@@ -1,0 +1,76 @@
+//! The experiment harness: regenerates every table and figure of the
+//! Chariots evaluation (§7).
+//!
+//! ```sh
+//! cargo run --release -p chariots-bench --bin harness -- all
+//! cargo run --release -p chariots-bench --bin harness -- fig8 --quick
+//! ```
+
+use chariots_bench::experiments::{ablations, apps, baseline, fig7, fig8, fig9, tables, txn};
+
+const USAGE: &str = "\
+usage: harness [--quick] <experiment>...
+experiments:
+  fig7       single-maintainer throughput vs target load
+  fig8       FLStore scalability with maintainers
+  table2     pipeline, one machine per stage
+  table3     pipeline, two clients
+  table4     pipeline, two clients + two batchers
+  table5     pipeline, two machines per stage
+  fig9       pipeline throughput time-series
+  baseline   FLStore vs CORFU sequencer (ablation A4)
+  txn        commit latency vs WAN latency (Message Futures / Helios)
+  apps       Hyksos / stream-processing throughput over the log
+  ablations  A1/A2 (FLStore knobs), A3 (token policy), A5 (flush threshold)
+  all        everything above
+--quick trims warmups/windows for smoke runs";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if selected.is_empty() {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+
+    let run = |name: &str| match name {
+        "fig7" => fig7::run(quick).finish(),
+        "fig8" => fig8::run(quick).finish(),
+        "table2" => tables::run(2, quick).finish(),
+        "table3" => tables::run(3, quick).finish(),
+        "table4" => tables::run(4, quick).finish(),
+        "table5" => tables::run(5, quick).finish(),
+        "fig9" => fig9::run(quick).finish(),
+        "baseline" => baseline::run(quick).finish(),
+        "txn" => txn::run(quick).finish(),
+        "apps" => apps::run(quick).finish(),
+        "ablations" => {
+            ablations::run_flstore_knobs(quick).finish();
+            ablations::run_token_policy(quick).finish();
+            ablations::run_flush_threshold(quick).finish();
+            ablations::run_sender_scaling(quick).finish();
+        }
+        other => {
+            eprintln!("unknown experiment: {other}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    for name in selected {
+        if name == "all" {
+            for e in [
+                "fig7", "fig8", "table2", "table3", "table4", "table5", "fig9", "baseline",
+                "txn", "apps", "ablations",
+            ] {
+                run(e);
+            }
+        } else {
+            run(name);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Baseline: post-assignment (FLStore) vs a CORFU-style centralized
+//! sequencer — the paper's motivating comparison (§1, §2.1) and ablation
+//! A4.
+//!
+//! Both systems get the same storage fleet; CORFU additionally pays one
+//! sequencer interaction per append. However many storage units are added,
+//! CORFU's total throughput is capped by the sequencer machine, while
+//! FLStore keeps scaling.
+
+use std::time::Duration;
+
+use chariots_corfu::CorfuLog;
+use chariots_flstore::FLStore;
+use chariots_simnet::Shutdown;
+use chariots_types::{DatacenterId, FLStoreConfig};
+
+use crate::report::Report;
+use crate::workload::spawn_flstore_generator;
+use crate::{private_station, RECORD_BYTES, SCALE};
+
+/// Runs the comparison sweep.
+pub fn run(quick: bool) -> Report {
+    let mut report = Report::new(
+        "baseline",
+        "Baseline: FLStore (post-assignment) vs CORFU-style sequencer (pre-assignment)",
+        vec!["FLStore rec/s".into(), "CORFU rec/s".into()],
+    );
+    let (warmup, window) = if quick {
+        (Duration::from_millis(200), Duration::from_millis(500))
+    } else {
+        (Duration::from_millis(300), Duration::from_millis(1000))
+    };
+    let max_m = if quick { 4 } else { 8 };
+
+    for m in 1..=max_m {
+        // FLStore at matched load (slightly below per-machine capacity).
+        let store = FLStore::launch_with(
+            DatacenterId(0),
+            FLStoreConfig::new()
+                .maintainers(m)
+                .batch_size(100)
+                .gossip_interval(Duration::from_millis(5)),
+            private_station(),
+            None,
+        )
+        .expect("launch flstore");
+        let shutdown = Shutdown::new();
+        let mut gens = Vec::new();
+        for maintainer in store.maintainers() {
+            gens.push(spawn_flstore_generator(
+                maintainer.clone(),
+                12_500.0,
+                shutdown.clone(),
+            ));
+        }
+        let counters: Vec<_> = store
+            .maintainers()
+            .iter()
+            .map(|h| h.appended_counter())
+            .collect();
+        std::thread::sleep(warmup);
+        let s0: u64 = counters.iter().map(|c| c.get()).sum();
+        let t0 = std::time::Instant::now();
+        std::thread::sleep(window);
+        let flstore_rate =
+            (counters.iter().map(|c| c.get()).sum::<u64>() - s0) as f64 / t0.elapsed().as_secs_f64();
+        shutdown.signal();
+        for (_, h) in gens {
+            let _ = h.join();
+        }
+        store.shutdown();
+
+        // CORFU: same number of storage units, one sequencer machine of
+        // the same class. Clients are synchronous (the CORFU protocol is
+        // client-driven), so run enough of them to saturate.
+        let corfu = CorfuLog::launch(m, private_station(), private_station());
+        let stop = Shutdown::new();
+        let mut client_threads = Vec::new();
+        for _ in 0..(2 * m).max(4) {
+            let client = corfu.client();
+            let stop = stop.clone();
+            client_threads.push(std::thread::spawn(move || {
+                let body = vec![0xCD; RECORD_BYTES];
+                while !stop.is_signaled() {
+                    if client.append(body.clone()).is_err() {
+                        return;
+                    }
+                }
+            }));
+        }
+        let writes: Vec<_> = corfu.units().iter().map(|u| u.writes_counter()).collect();
+        std::thread::sleep(warmup);
+        let s0: u64 = writes.iter().map(|c| c.get()).sum();
+        let t0 = std::time::Instant::now();
+        std::thread::sleep(window);
+        let corfu_rate =
+            (writes.iter().map(|c| c.get()).sum::<u64>() - s0) as f64 / t0.elapsed().as_secs_f64();
+        stop.signal();
+        for t in client_threads {
+            let _ = t.join();
+        }
+        corfu.shutdown();
+
+        report.row(
+            format!("{m} storage machine(s)"),
+            vec![flstore_rate, corfu_rate],
+        );
+    }
+    report.note(
+        "expect: FLStore scales ~linearly with machines; CORFU flattens at \
+         the sequencer's capacity no matter how many units are added",
+    );
+    report.note(format!("multiply by {SCALE} for paper-scale rates"));
+    report
+}

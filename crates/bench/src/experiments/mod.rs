@@ -1,0 +1,12 @@
+//! One module per experiment of §7 (plus the baseline and ablations); each
+//! returns a [`Report`](crate::report::Report) the harness prints and
+//! saves.
+
+pub mod ablations;
+pub mod apps;
+pub mod baseline;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod tables;
+pub mod txn;

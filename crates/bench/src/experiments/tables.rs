@@ -1,0 +1,177 @@
+//! Tables 2–5: per-machine throughput of the Chariots pipeline under four
+//! deployment shapes.
+//!
+//! The paper's stage naming for the table rows: *Client*, *Batcher*,
+//! *Filter*, *Maintainer*, *Store*. In our pipeline, the table's
+//! "Maintainer" row is the queues stage (the machines that assign `LId`s
+//! and designate maintainers) and "Store" is the FLStore log maintainer —
+//! the mapping is recorded in `EXPERIMENTS.md`.
+//!
+//! * **Table 2** — one machine per stage: everything runs at the client's
+//!   generation rate (client-limited).
+//! * **Table 3** — two clients: the single batcher becomes the bottleneck;
+//!   backpressure halves each client.
+//! * **Table 4** — two clients + two batchers: the bottleneck moves to the
+//!   filter.
+//! * **Table 5** — two machines per stage: every stage's aggregate doubles.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use chariots_core::{ChariotsCluster, Incoming, LocalAppend, StageStations};
+use chariots_simnet::{LinkConfig, Shutdown};
+use chariots_types::{ChariotsConfig, DatacenterId, FLStoreConfig, StageCounts, TagSet, VersionVector};
+
+use crate::report::Report;
+use crate::workload::{measure_rates, spawn_pipeline_client, GEN_BATCH};
+use crate::{stage_station, MACHINE_RATE, RECORD_BYTES};
+
+/// A pipeline deployment shape: machines per stage.
+pub struct Shape {
+    /// Number of client (generator) machines.
+    pub clients: usize,
+    /// Batcher machines.
+    pub batchers: usize,
+    /// Filter machines.
+    pub filters: usize,
+    /// Queue machines (the table's "Maintainer" row).
+    pub queues: usize,
+    /// Log maintainers (the table's "Store" row).
+    pub stores: usize,
+}
+
+/// The shapes of Tables 2–5.
+pub fn table_shape(table: u8) -> Shape {
+    match table {
+        2 => Shape { clients: 1, batchers: 1, filters: 1, queues: 1, stores: 1 },
+        3 => Shape { clients: 2, batchers: 1, filters: 1, queues: 1, stores: 1 },
+        4 => Shape { clients: 2, batchers: 2, filters: 1, queues: 1, stores: 1 },
+        5 => Shape { clients: 2, batchers: 2, filters: 2, queues: 2, stores: 2 },
+        _ => panic!("tables 2–5 only"),
+    }
+}
+
+/// Launches the pipeline for a shape and measures per-machine rates over
+/// the window. Returns `(name, rate)` rows: clients first, then each
+/// pipeline machine.
+pub fn run_shape(shape: &Shape, warmup: Duration, window: Duration) -> Vec<(String, f64)> {
+    let mut cfg = ChariotsConfig::new().datacenters(1);
+    cfg.stages = StageCounts {
+        receivers: 1,
+        batchers: shape.batchers,
+        filters: shape.filters,
+        queues: shape.queues,
+        senders: 1,
+    };
+    cfg.flstore = FLStoreConfig::new()
+        .maintainers(shape.stores)
+        .batch_size(100)
+        .gossip_interval(Duration::from_millis(5));
+    cfg.batcher_flush_threshold = GEN_BATCH;
+    cfg.batcher_flush_interval = Duration::from_millis(2);
+
+    let stations = StageStations {
+        batcher: stage_station(),
+        filter: stage_station(),
+        queue: stage_station(),
+        store: stage_station(),
+        sender: stage_station(),
+        receiver: stage_station(),
+    };
+    let cluster =
+        ChariotsCluster::launch(cfg, stations, LinkConfig::default()).expect("launch pipeline");
+    let dc = cluster.dc(DatacenterId(0));
+    let batchers = dc.batcher_handles();
+
+    // Client machines: each generates at its own machine rate, pinned to a
+    // batcher (i mod B), backpressured by that batcher's backlog.
+    let shutdown = Shutdown::new();
+    let mut client_counters = Vec::new();
+    let mut client_threads = Vec::new();
+    for c in 0..shape.clients {
+        let batcher = batchers[c % batchers.len()].clone();
+        let watch = batcher.station();
+        let (client, thread) = spawn_pipeline_client(
+            MACHINE_RATE * 0.99,
+            watch,
+            shutdown.clone(),
+            move |n| {
+                for _ in 0..n {
+                    let ok = batcher.send(Incoming::Local(LocalAppend {
+                        tags: TagSet::new(),
+                        body: Bytes::from(vec![0xCD; RECORD_BYTES]),
+                        deps: VersionVector::new(1),
+                        reply: None,
+                    }));
+                    if !ok {
+                        return false;
+                    }
+                }
+                true
+            },
+        );
+        client_counters.push((format!("client-{c}"), client.generated));
+        client_threads.push(thread);
+    }
+
+    let mut counters = client_counters;
+    counters.extend(dc.stage_counters());
+    let rates = measure_rates(&counters, warmup, window);
+    shutdown.signal();
+    for t in client_threads {
+        let _ = t.join();
+    }
+    cluster.shutdown();
+    rates
+        .into_iter()
+        .filter(|(name, _)| !name.starts_with("sender") && !name.starts_with("receiver"))
+        .collect()
+}
+
+/// Runs one of Tables 2–5.
+pub fn run(table: u8, quick: bool) -> Report {
+    let (warmup, window) = if quick {
+        (Duration::from_millis(300), Duration::from_millis(800))
+    } else {
+        (Duration::from_millis(500), Duration::from_secs(2))
+    };
+    let shape = table_shape(table);
+    let title = match table {
+        2 => "Table 2: one machine per stage",
+        3 => "Table 3: two clients, one machine elsewhere",
+        4 => "Table 4: two clients, two batchers",
+        5 => "Table 5: two machines per stage",
+        _ => unreachable!(),
+    };
+    let mut report = Report::new(
+        format!("table{table}"),
+        title,
+        vec!["rec/s (bench)".into(), "Krec/s (paper-scale)".into()],
+    );
+    for (name, rate) in run_shape(&shape, warmup, window) {
+        report.row(display_name(&name), vec![rate, rate * crate::SCALE / 1000.0]);
+    }
+    report.note(match table {
+        2 => "expect: all machines ≈ the client rate (client-limited; paper: 124–132K)",
+        3 => "expect: batcher saturates; clients halve under backpressure (paper: 126K batcher, 64.5/64.9K clients)",
+        4 => "expect: batchers relieved; the single filter becomes the bottleneck (paper: 120K filter)",
+        5 => "expect: every stage's aggregate doubles vs table 2 (paper: 115–132K per machine)",
+        _ => unreachable!(),
+    });
+    report
+}
+
+fn display_name(internal: &str) -> String {
+    // Map internal stage names onto the paper's table rows.
+    if let Some(rest) = internal.strip_prefix("queue-") {
+        format!("Maintainer-{rest} (queue)")
+    } else if let Some(rest) = internal.strip_prefix("store-") {
+        format!("Store-{rest} (log maintainer)")
+    } else {
+        let mut c = internal.chars();
+        match c.next() {
+            Some(first) => first.to_uppercase().collect::<String>() + c.as_str(),
+            None => String::new(),
+        }
+    }
+}

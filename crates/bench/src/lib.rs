@@ -1,0 +1,71 @@
+//! # chariots-bench
+//!
+//! The benchmark harness regenerating every table and figure of the
+//! Chariots evaluation (§7), plus the CORFU baseline comparison and the
+//! design-choice ablations listed in `DESIGN.md` §4.
+//!
+//! ## Scale
+//!
+//! The paper's machines sustain ≈130 K appends/s. To keep every experiment
+//! laptop-fast, simulated machines run at **1/10 scale** (≈13 K records/s
+//! nominal); the harness multiplies measured rates by [`SCALE`] when
+//! printing paper-scale numbers. Shapes — linearity, plateaus, bottleneck
+//! locations — are the reproduction target, not absolute values (see
+//! `DESIGN.md` §3).
+//!
+//! Run everything:
+//!
+//! ```sh
+//! cargo run --release -p chariots-bench --bin harness -- all
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod workload;
+
+/// Measured rates × `SCALE` ≈ paper-scale rates.
+pub const SCALE: f64 = 10.0;
+
+/// Nominal per-machine service rate (records/s) at bench scale, matching
+/// the paper's ≈130 K appends/s machines at 1/10 scale.
+pub const MACHINE_RATE: f64 = 13_000.0;
+
+/// The private-cloud maintainer rate (paper: ≈131 K appends/s).
+pub const PRIVATE_RATE: f64 = 13_100.0;
+
+/// The public-cloud maintainer's *nominal* rate: Fig. 7 peaks near a
+/// target of 150 K appends/s.
+pub const PUBLIC_RATE: f64 = 15_000.0;
+
+/// Overload degradation of the public-cloud machines: Fig. 7's plateau
+/// sits at ≈120 K ≈ 0.8 × the 150 K peak.
+pub const PUBLIC_DEGRADATION: f64 = 0.2;
+
+/// Record body size used throughout §7: "the size of each record is 512
+/// Bytes".
+pub const RECORD_BYTES: usize = 512;
+
+/// Station config for a public-cloud-like machine (with the overload
+/// model driving Fig. 7's shape).
+pub fn public_station() -> chariots_simnet::StationConfig {
+    chariots_simnet::StationConfig::with_rate(PUBLIC_RATE).overload(
+        PUBLIC_DEGRADATION,
+        1_000,
+        8_000,
+    )
+}
+
+/// Station config for a private-cloud-like machine.
+pub fn private_station() -> chariots_simnet::StationConfig {
+    chariots_simnet::StationConfig::with_rate(PRIVATE_RATE).overload(0.05, 2_000, 20_000)
+}
+
+/// Station config for a Chariots pipeline-stage machine (Tables 2–5): the
+/// paper's stages sink ≈120–130 K, with mild degradation under overload
+/// (Table 3's batcher drops from 129 K to 126 K; Table 4's filter to
+/// 120 K).
+pub fn stage_station() -> chariots_simnet::StationConfig {
+    chariots_simnet::StationConfig::with_rate(MACHINE_RATE).overload(0.07, 2_000, 20_000)
+}

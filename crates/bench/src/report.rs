@@ -1,0 +1,143 @@
+//! Experiment reporting: ASCII tables on stdout plus machine-readable JSON
+//! under `results/` so `EXPERIMENTS.md` is regenerable and diffable.
+
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+use crate::SCALE;
+
+/// One experiment's results, ready to print and persist.
+#[derive(Debug, Serialize)]
+pub struct Report {
+    /// Experiment id, e.g. `"fig8"`.
+    pub id: String,
+    /// Human title, e.g. `"Figure 8: FLStore scalability"`.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows: label + one value per column.
+    pub rows: Vec<Row>,
+    /// Bench-scale → paper-scale multiplier used.
+    pub scale: f64,
+    /// Free-form notes on what to look for.
+    pub notes: Vec<String>,
+}
+
+/// One row of a report.
+#[derive(Debug, Serialize)]
+pub struct Row {
+    /// Row label (e.g. machine name or parameter value).
+    pub label: String,
+    /// Values, one per column.
+    pub values: Vec<f64>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Self {
+        Report {
+            id: id.into(),
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+            scale: SCALE,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a row.
+    pub fn row(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        self.rows.push(Row {
+            label: label.into(),
+            values,
+        });
+    }
+
+    /// Adds a note.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Prints the ASCII table.
+    pub fn print(&self) {
+        println!("\n=== {} ===", self.title);
+        let label_w = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .chain(std::iter::once(8))
+            .max()
+            .unwrap();
+        print!("{:label_w$}", "");
+        for c in &self.columns {
+            print!("  {c:>14}");
+        }
+        println!();
+        for r in &self.rows {
+            print!("{:label_w$}", r.label);
+            for v in &r.values {
+                print!("  {v:>14.1}");
+            }
+            println!();
+        }
+        for n in &self.notes {
+            println!("note: {n}");
+        }
+    }
+
+    /// Persists the report as JSON under `results/<id>.json` (relative to
+    /// the workspace root when run via cargo).
+    pub fn save(&self) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        std::fs::write(&path, serde_json::to_vec_pretty(self).expect("serialize"))?;
+        Ok(path)
+    }
+
+    /// Prints and saves.
+    pub fn finish(&self) {
+        self.print();
+        match self.save() {
+            Ok(path) => println!("saved: {}", path.display()),
+            Err(e) => eprintln!("could not save results: {e}"),
+        }
+    }
+}
+
+/// The `results/` directory at the workspace root.
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench → workspace root is two up.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|root| root.join("results"))
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_roundtrips_to_json() {
+        let mut r = Report::new("test", "Test report", vec!["x".into(), "y".into()]);
+        r.row("row1", vec![1.0, 2.0]);
+        r.note("a note");
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("row1"));
+        assert!(json.contains("a note"));
+    }
+
+    #[test]
+    fn results_dir_is_workspace_relative() {
+        let d = results_dir();
+        assert!(d.ends_with("results"));
+    }
+}

@@ -1,0 +1,158 @@
+//! Open-loop load generation: paced client threads driving FLStore or the
+//! Chariots pipeline at a *target throughput* (the x-axis of Fig. 7).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use chariots_flstore::{AppendPayload, MaintainerHandle};
+use chariots_simnet::{Counter, RateLimiter, ServiceStation, Shutdown};
+use chariots_types::TagSet;
+
+use crate::RECORD_BYTES;
+
+/// Size of the batches a generator sends per pacing step — amortizes the
+/// channel cost exactly like the paper's client library batches appends.
+pub const GEN_BATCH: usize = 50;
+
+/// A 512-byte record payload ("the size of each record is 512 Bytes").
+pub fn payload() -> AppendPayload {
+    AppendPayload::new(TagSet::new(), Bytes::from(vec![0xCD; RECORD_BYTES]))
+}
+
+/// Spawns an open-loop generator thread appending to one maintainer at
+/// `rate` records/s until `shutdown`. Returns a counter of generated
+/// records.
+pub fn spawn_flstore_generator(
+    target: MaintainerHandle,
+    rate: f64,
+    shutdown: Shutdown,
+) -> (Counter, std::thread::JoinHandle<()>) {
+    let generated = Counter::new();
+    let counter = generated.clone();
+    let handle = std::thread::Builder::new()
+        .name("generator".into())
+        .spawn(move || {
+            let mut limiter = RateLimiter::new(rate);
+            while !shutdown.is_signaled() {
+                limiter.pace(GEN_BATCH as u64);
+                let batch: Vec<AppendPayload> = (0..GEN_BATCH).map(|_| payload()).collect();
+                if !target.append_async(batch) {
+                    return;
+                }
+                generated.add(GEN_BATCH as u64);
+            }
+        })
+        .expect("spawn generator");
+    (counter, handle)
+}
+
+/// A "client machine" for the pipeline experiments (Tables 2–5): it
+/// generates records at its own machine rate, but **backs off** when the
+/// next stage's backlog grows — the paper's clients are TCP-backpressured,
+/// which is why two clients sharing one batcher each achieve roughly half
+/// the batcher's throughput (Table 3).
+pub struct PipelineClient {
+    /// Generated records (the client row of Tables 2–5).
+    pub generated: Counter,
+}
+
+/// Spawns a pipeline client thread feeding `send` (a closure that enqueues
+/// one batch and returns false when the pipeline is gone). `watch` is the
+/// downstream station whose backlog triggers backpressure.
+pub fn spawn_pipeline_client<F>(
+    rate: f64,
+    watch: Arc<ServiceStation>,
+    shutdown: Shutdown,
+    mut send: F,
+) -> (PipelineClient, std::thread::JoinHandle<()>)
+where
+    F: FnMut(usize) -> bool + Send + 'static,
+{
+    let generated = Counter::new();
+    let counter = generated.clone();
+    let handle = std::thread::Builder::new()
+        .name("pipeline-client".into())
+        .spawn(move || {
+            let mut limiter = RateLimiter::new(rate);
+            while !shutdown.is_signaled() {
+                // Backpressure: wait while the downstream machine is
+                // drowning.
+                while watch.pending() > 2_000 && !shutdown.is_signaled() {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                limiter.pace(GEN_BATCH as u64);
+                if !send(GEN_BATCH) {
+                    return;
+                }
+                counter.add(GEN_BATCH as u64);
+            }
+        })
+        .expect("spawn pipeline client");
+    (PipelineClient { generated }, handle)
+}
+
+/// Measures the average rate of `counter` over `duration` after a
+/// `warmup`, returning records/second.
+pub fn measure_rate(counter: &Counter, warmup: Duration, duration: Duration) -> f64 {
+    std::thread::sleep(warmup);
+    let start_value = counter.get();
+    let start = Instant::now();
+    std::thread::sleep(duration);
+    let delta = counter.get() - start_value;
+    delta as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Measures several counters over the same window, returning their rates.
+pub fn measure_rates(
+    counters: &[(String, Counter)],
+    warmup: Duration,
+    duration: Duration,
+) -> Vec<(String, f64)> {
+    std::thread::sleep(warmup);
+    let start_values: Vec<u64> = counters.iter().map(|(_, c)| c.get()).collect();
+    let start = Instant::now();
+    std::thread::sleep(duration);
+    let elapsed = start.elapsed().as_secs_f64();
+    counters
+        .iter()
+        .zip(start_values)
+        .map(|((name, c), start_value)| {
+            (name.clone(), (c.get() - start_value) as f64 / elapsed)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_rate_tracks_counter() {
+        let c = Counter::new();
+        let stop = Shutdown::new();
+        let producer = {
+            let c = c.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut limiter = RateLimiter::new(10_000.0);
+                while !stop.is_signaled() {
+                    limiter.pace(100);
+                    c.add(100);
+                }
+            })
+        };
+        let rate = measure_rate(&c, Duration::from_millis(50), Duration::from_millis(200));
+        stop.signal();
+        producer.join().unwrap();
+        assert!(
+            (7_000.0..13_000.0).contains(&rate),
+            "expected ~10k, got {rate}"
+        );
+    }
+
+    #[test]
+    fn payload_is_512_bytes() {
+        assert_eq!(payload().body.len(), 512);
+    }
+}

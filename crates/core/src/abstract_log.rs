@@ -1,0 +1,485 @@
+//! The abstract replication solution (§6.1): Chariots on "a totally ordered
+//! thread of control at the datacenter".
+//!
+//! This module implements the paper's abstract algorithms *verbatim*:
+//! Initialization, Append, Read, Propagate, and Reception, over a log and
+//! an [`ATable`]. The distributed pipeline (§6.2) must be behaviourally
+//! equivalent to this model, so it doubles as the **test oracle**: property
+//! tests drive both with the same workload and compare the outcomes
+//! (see the crate-level tests and `tests/model_equivalence.rs`).
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use chariots_types::{
+    ChariotsError, DatacenterId, Entry, LId, Record, RecordId, Result, TOId, TagSet,
+    VersionVector,
+};
+
+use crate::atable::ATable;
+
+/// A snapshot sent from one abstract datacenter to another (*Propagate*):
+/// "a subset of the records in the log that are not already known by j"
+/// plus the sender's ATable.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// The sending datacenter.
+    pub from: DatacenterId,
+    /// Records the sender believes the receiver lacks.
+    pub records: Vec<Record>,
+    /// The sender's awareness table at snapshot time.
+    pub atable: ATable,
+}
+
+/// One datacenter of the abstract solution.
+#[derive(Debug)]
+pub struct AbstractDc {
+    dc: DatacenterId,
+    n: usize,
+    /// The shared log; index = `LId`.
+    log: Vec<Entry>,
+    atable: ATable,
+    /// Applied cut: for each host, the highest TOId whose record is in the
+    /// log. Mirrors row `dc` of the ATable.
+    applied: VersionVector,
+    /// The priority queue of records with unsatisfied dependencies, keyed
+    /// by `(host, toid)` so duplicates collapse ("ordered according to
+    /// causal relations" — per-host TOId order is exactly the causal order
+    /// of a single host's records).
+    pending: BTreeMap<RecordId, Record>,
+    /// Next TOId for locally appended records.
+    next_toid: TOId,
+}
+
+impl AbstractDc {
+    /// *Initialization*: empty log, all-zero ATable, first local record
+    /// will carry TOId 1.
+    pub fn new(dc: DatacenterId, n: usize) -> Self {
+        assert!(dc.index() < n);
+        AbstractDc {
+            dc,
+            n,
+            log: Vec::new(),
+            atable: ATable::new(n),
+            applied: VersionVector::new(n),
+            pending: BTreeMap::new(),
+            next_toid: TOId::FIRST,
+        }
+    }
+
+    /// This datacenter's id.
+    pub fn id(&self) -> DatacenterId {
+        self.dc
+    }
+
+    /// *Append*: construct the record (host id, TOId, causality, tags),
+    /// update `T[I][I]`, add to the log. Returns the assigned
+    /// `(TOId, LId)`.
+    pub fn append(&mut self, tags: TagSet, body: impl Into<Bytes>) -> (TOId, LId) {
+        let toid = self.next_toid;
+        self.next_toid = toid.next();
+        // The record's causal cut is everything this datacenter has
+        // incorporated so far (local total order is implied by TOId but
+        // carrying it in deps is harmless and keeps the rule uniform).
+        let deps = self.applied.clone();
+        let record = Record::new(RecordId::new(self.dc, toid), deps, tags, body.into());
+        let lid = LId(self.log.len() as u64);
+        self.applied.set(self.dc, toid);
+        self.atable.observe(self.dc, self.dc, toid);
+        self.log.push(Entry::new(lid, record));
+        (toid, lid)
+    }
+
+    /// *Read*: the record with the specified LId.
+    pub fn read(&self, lid: LId) -> Result<&Entry> {
+        self.log
+            .get(lid.0 as usize)
+            .ok_or(ChariotsError::NotYetAvailable(lid))
+    }
+
+    /// The number of records in the log.
+    pub fn len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+
+    /// The whole log in `LId` order.
+    pub fn log(&self) -> &[Entry] {
+        &self.log
+    }
+
+    /// The applied cut.
+    pub fn applied(&self) -> &VersionVector {
+        &self.applied
+    }
+
+    /// The awareness table.
+    pub fn atable(&self) -> &ATable {
+        &self.atable
+    }
+
+    /// Records parked with unsatisfied dependencies.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// *Propagate*: a snapshot for datacenter `to` containing every record
+    /// not already known by it — "whether a record r is known to j can be
+    /// verified using `T_i[j, I]` and comparing it to TOId(r)".
+    pub fn propagate_to(&self, to: DatacenterId) -> Snapshot {
+        let records = self
+            .log
+            .iter()
+            .map(|e| &e.record)
+            .filter(|r| !self.atable.knows(to, r.host(), r.toid()))
+            .cloned()
+            .collect();
+        Snapshot {
+            from: self.dc,
+            records,
+            atable: self.atable.clone(),
+        }
+    }
+
+    /// *Reception*: stage incoming records, incorporate the ready ones in
+    /// causal order, park the rest in the priority queue, merge the ATable.
+    pub fn receive(&mut self, snapshot: Snapshot) {
+        // Step 1: staging buffer → pending queue (duplicates collapse; the
+        // ones already applied are dropped immediately).
+        for record in snapshot.records {
+            if self.applied.covers(record.host(), record.toid()) {
+                continue; // already incorporated
+            }
+            self.pending.entry(record.id).or_insert(record);
+        }
+        // ATable merge: everything the sender knew, we now know it knew.
+        self.atable.merge(&snapshot.atable);
+        // Steps 2–3: repeatedly move records whose dependencies are
+        // satisfied from the queue into the log.
+        self.drain_pending();
+        // Our own row reflects the newly incorporated records.
+        self.atable.merge_row(self.dc, &self.applied.clone());
+    }
+
+    /// Transfers every pending record whose dependencies are satisfied to
+    /// the log, looping until a fixed point ("Chariots checks the priority
+    /// queue frequently to transfer any records that have their
+    /// dependencies satisfied").
+    fn drain_pending(&mut self) {
+        loop {
+            let ready: Vec<RecordId> = self
+                .pending
+                .values()
+                .filter(|r| self.can_apply(r))
+                .map(|r| r.id)
+                .collect();
+            if ready.is_empty() {
+                return;
+            }
+            for id in ready {
+                // Re-check: applying one record may have satisfied — or, by
+                // per-host ordering, *revealed as premature* — another.
+                let Some(record) = self.pending.get(&id) else {
+                    continue;
+                };
+                if !self.can_apply(record) {
+                    continue;
+                }
+                let record = self.pending.remove(&id).expect("present");
+                let lid = LId(self.log.len() as u64);
+                self.applied.set(record.host(), record.toid());
+                self.atable.observe(self.dc, record.host(), record.toid());
+                self.log.push(Entry::new(lid, record));
+            }
+        }
+    }
+
+    /// A record can be incorporated when (a) it is the next record of its
+    /// host's total order, and (b) its causal cut is contained in ours.
+    fn can_apply(&self, record: &Record) -> bool {
+        record.toid() == self.applied.get(record.host()).next()
+            && self.applied.dominates(&record.deps)
+    }
+
+    /// *Garbage collection*: drops the longest log prefix in which every
+    /// record is known by all replicas (`∀j: T[j][host(r)] ≥ toid(r)`).
+    /// Returns how many records were collected. (The abstract model drops
+    /// prefixes to mirror the distributed GC's LId bound.)
+    pub fn gc(&mut self) -> usize {
+        let collectible = self
+            .log
+            .iter()
+            .take_while(|e| {
+                let r = &e.record;
+                self.atable.gc_bound(r.host()) >= r.toid()
+            })
+            .count();
+        // Keep LIds stable: the abstract model remembers the offset.
+        // For simplicity we only report what *could* be collected; the
+        // distributed system performs the actual reclamation (its segments
+        // support offsets natively).
+        collectible
+    }
+
+    /// The n in this deployment.
+    pub fn num_datacenters(&self) -> usize {
+        self.n
+    }
+}
+
+/// A convenience harness: `n` abstract datacenters with all-pairs
+/// propagation, used by tests and the model-equivalence oracle.
+#[derive(Debug)]
+pub struct AbstractCluster {
+    dcs: Vec<AbstractDc>,
+}
+
+impl AbstractCluster {
+    /// `n` fresh datacenters.
+    pub fn new(n: usize) -> Self {
+        AbstractCluster {
+            dcs: (0..n).map(|i| AbstractDc::new(DatacenterId(i as u16), n)).collect(),
+        }
+    }
+
+    /// Access one datacenter.
+    pub fn dc(&self, i: DatacenterId) -> &AbstractDc {
+        &self.dcs[i.index()]
+    }
+
+    /// Mutable access to one datacenter.
+    pub fn dc_mut(&mut self, i: DatacenterId) -> &mut AbstractDc {
+        &mut self.dcs[i.index()]
+    }
+
+    /// Number of datacenters.
+    pub fn len(&self) -> usize {
+        self.dcs.len()
+    }
+
+    /// Never empty in practice.
+    pub fn is_empty(&self) -> bool {
+        self.dcs.is_empty()
+    }
+
+    /// One propagation step from `from` to `to`.
+    pub fn propagate(&mut self, from: DatacenterId, to: DatacenterId) {
+        let snapshot = self.dcs[from.index()].propagate_to(to);
+        self.dcs[to.index()].receive(snapshot);
+    }
+
+    /// Rounds of all-pairs propagation until every log stops growing
+    /// (quiescence).
+    pub fn settle(&mut self) {
+        loop {
+            let before: usize = self.dcs.iter().map(|d| d.len()).sum();
+            let n = self.dcs.len();
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j {
+                        self.propagate(DatacenterId(i as u16), DatacenterId(j as u16));
+                    }
+                }
+            }
+            let after: usize = self.dcs.iter().map(|d| d.len()).sum();
+            if after == before {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chariots_types::Tag;
+
+    fn dc(i: u16) -> DatacenterId {
+        DatacenterId(i)
+    }
+
+    #[test]
+    fn first_record_has_toid_one() {
+        let mut a = AbstractDc::new(dc(0), 2);
+        let (toid, lid) = a.append(TagSet::new(), "x");
+        assert_eq!(toid, TOId::FIRST);
+        assert_eq!(lid, LId(0));
+        assert_eq!(a.atable().get(dc(0), dc(0)), TOId(1));
+    }
+
+    #[test]
+    fn propagation_replicates_records() {
+        let mut cluster = AbstractCluster::new(2);
+        cluster.dc_mut(dc(0)).append(TagSet::new(), "from A");
+        cluster.propagate(dc(0), dc(1));
+        let b = cluster.dc(dc(1));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.log()[0].record.host(), dc(0));
+        assert_eq!(&b.log()[0].record.body[..], b"from A");
+    }
+
+    #[test]
+    fn propagation_is_idempotent() {
+        let mut cluster = AbstractCluster::new(2);
+        cluster.dc_mut(dc(0)).append(TagSet::new(), "x");
+        cluster.propagate(dc(0), dc(1));
+        cluster.propagate(dc(0), dc(1));
+        cluster.propagate(dc(0), dc(1));
+        assert_eq!(cluster.dc(dc(1)).len(), 1, "duplicates never re-applied");
+    }
+
+    #[test]
+    fn atable_filters_known_records() {
+        let mut cluster = AbstractCluster::new(2);
+        cluster.dc_mut(dc(0)).append(TagSet::new(), "x");
+        cluster.propagate(dc(0), dc(1));
+        // B tells A it knows A's record (by propagating back).
+        cluster.propagate(dc(1), dc(0));
+        let snapshot = cluster.dc(dc(0)).propagate_to(dc(1));
+        assert!(snapshot.records.is_empty(), "A knows B knows everything");
+    }
+
+    #[test]
+    fn per_host_total_order_is_preserved() {
+        let mut cluster = AbstractCluster::new(2);
+        for i in 0..5 {
+            cluster.dc_mut(dc(0)).append(TagSet::new(), format!("r{i}"));
+        }
+        cluster.propagate(dc(0), dc(1));
+        let toids: Vec<TOId> = cluster
+            .dc(dc(1))
+            .log()
+            .iter()
+            .map(|e| e.record.toid())
+            .collect();
+        assert_eq!(toids, (1..=5).map(TOId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn out_of_order_snapshot_parks_in_pending() {
+        let mut a = AbstractDc::new(dc(0), 2);
+        let mut b = AbstractDc::new(dc(1), 2);
+        a.append(TagSet::new(), "r1");
+        a.append(TagSet::new(), "r2");
+        // Deliver only r2: it must wait for r1.
+        let full = a.propagate_to(dc(1));
+        let only_r2 = Snapshot {
+            from: full.from,
+            records: vec![full.records[1].clone()],
+            atable: full.atable.clone(),
+        };
+        b.receive(only_r2);
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.pending(), 1);
+        // Now the full snapshot arrives: both apply, in order.
+        b.receive(full);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.pending(), 0);
+        assert_eq!(b.log()[0].record.toid(), TOId(1));
+        assert_eq!(b.log()[1].record.toid(), TOId(2));
+    }
+
+    #[test]
+    fn causal_dependency_across_hosts_is_honored() {
+        // A writes x. B reads it (via propagation), then writes y.
+        // A third DC must never apply y before x.
+        let mut cluster = AbstractCluster::new(3);
+        cluster.dc_mut(dc(0)).append(
+            TagSet::new().with(Tag::with_value("key", "x")),
+            "x=10",
+        );
+        cluster.propagate(dc(0), dc(1));
+        cluster
+            .dc_mut(dc(1))
+            .append(TagSet::new().with(Tag::with_value("key", "y")), "y=x+1");
+        // Deliver B's record to C *without* A's: it must park.
+        let b_snapshot = cluster.dc(dc(1)).propagate_to(dc(2));
+        let only_y = Snapshot {
+            from: dc(1),
+            records: b_snapshot
+                .records
+                .iter()
+                .filter(|r| r.host() == dc(1))
+                .cloned()
+                .collect(),
+            atable: ATable::new(3), // hide the sender's knowledge
+        };
+        cluster.dc_mut(dc(2)).receive(only_y);
+        assert_eq!(cluster.dc(dc(2)).len(), 0, "y applied before its cause");
+        // Full propagation settles everything, in causal order.
+        cluster.settle();
+        let c_log = cluster.dc(dc(2)).log();
+        assert_eq!(c_log.len(), 2);
+        assert_eq!(c_log[0].record.host(), dc(0), "cause precedes effect");
+        assert_eq!(c_log[1].record.host(), dc(1));
+    }
+
+    #[test]
+    fn concurrent_records_may_order_differently_per_replica() {
+        // The Hyksos Fig. 2 scenario: A and B concurrently put x.
+        let mut cluster = AbstractCluster::new(2);
+        cluster.dc_mut(dc(0)).append(TagSet::new(), "x=30 (A)");
+        cluster.dc_mut(dc(1)).append(TagSet::new(), "x=10 (B)");
+        cluster.settle();
+        let a_order: Vec<DatacenterId> = cluster
+            .dc(dc(0))
+            .log()
+            .iter()
+            .map(|e| e.record.host())
+            .collect();
+        let b_order: Vec<DatacenterId> = cluster
+            .dc(dc(1))
+            .log()
+            .iter()
+            .map(|e| e.record.host())
+            .collect();
+        // Each datacenter put its own record first — "this is permissible
+        // if no causal dependencies exist between them".
+        assert_eq!(a_order, vec![dc(0), dc(1)]);
+        assert_eq!(b_order, vec![dc(1), dc(0)]);
+    }
+
+    #[test]
+    fn settle_reaches_identical_record_sets() {
+        let mut cluster = AbstractCluster::new(3);
+        for round in 0..4 {
+            for i in 0..3 {
+                cluster
+                    .dc_mut(dc(i))
+                    .append(TagSet::new(), format!("dc{i} r{round}"));
+            }
+            // Partial propagation between rounds.
+            cluster.propagate(dc(0), dc(1));
+            cluster.propagate(dc(2), dc(0));
+        }
+        cluster.settle();
+        let mut sets: Vec<Vec<RecordId>> = (0..3)
+            .map(|i| {
+                let mut ids: Vec<RecordId> =
+                    cluster.dc(dc(i)).log().iter().map(|e| e.id()).collect();
+                ids.sort();
+                ids
+            })
+            .collect();
+        let first = sets.remove(0);
+        assert_eq!(first.len(), 12);
+        for other in sets {
+            assert_eq!(first, other);
+        }
+    }
+
+    #[test]
+    fn gc_counts_fully_replicated_prefix() {
+        let mut cluster = AbstractCluster::new(2);
+        cluster.dc_mut(dc(0)).append(TagSet::new(), "x");
+        cluster.dc_mut(dc(0)).append(TagSet::new(), "y");
+        assert_eq!(cluster.dc_mut(dc(0)).gc(), 0, "B knows nothing yet");
+        cluster.settle();
+        // After settle, B's knowledge of A's records flows back to A.
+        assert_eq!(cluster.dc_mut(dc(0)).gc(), 2);
+    }
+}

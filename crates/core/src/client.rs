@@ -1,0 +1,183 @@
+//! The Chariots application-client library (§3): append/read with causal
+//! session context.
+//!
+//! Each client tracks the causal cut of everything it has observed (its own
+//! appends plus every record it has read). Appends carry that cut as their
+//! dependency vector, so "happened-before relations between read and append
+//! operations" (§3) are honored at every replica.
+
+use bytes::Bytes;
+use chariots_types::{
+    ChariotsError, Entry, LId, ReadRule, Result, TOId, TagSet, VersionVector,
+};
+use crossbeam::channel::bounded;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+use chariots_flstore::FLStoreClient;
+
+use crate::atable::ATable;
+use crate::datacenter::ChariotsDc;
+use crate::message::{Incoming, LocalAppend};
+use crate::stages::batcher::BatcherHandle;
+
+/// A client session against one Chariots datacenter.
+pub struct ChariotsClient {
+    dc: chariots_types::DatacenterId,
+    batchers: Arc<RwLock<Vec<BatcherHandle>>>,
+    store: FLStoreClient,
+    atable: Arc<RwLock<ATable>>,
+    /// The causal cut this client has observed.
+    context: VersionVector,
+    rr: usize,
+}
+
+impl ChariotsClient {
+    /// Opens a session (called via [`ChariotsDc::client`]).
+    pub(crate) fn connect(dc: &ChariotsDc) -> Self {
+        ChariotsClient {
+            dc: dc.id(),
+            batchers: dc.batchers(),
+            store: dc.flstore().client(),
+            atable: dc.atable(),
+            context: VersionVector::new(dc.config().num_datacenters),
+            rr: 0,
+        }
+    }
+
+    /// Adopts a causal session token exported by another client (e.g. a
+    /// user's session moving between frontends): subsequent appends are
+    /// ordered after everything the token covers, and
+    /// [`wait_for`](Self::wait_for) can block until the local replica has
+    /// caught up to it.
+    pub fn with_context(mut self, token: VersionVector) -> Self {
+        self.context.merge(&token);
+        self
+    }
+
+    /// The local replica's applied cut: the highest TOId of each
+    /// datacenter whose records are in this datacenter's log.
+    pub fn applied_cut(&self) -> VersionVector {
+        self.atable.read().row(self.dc)
+    }
+
+    /// Session guarantee: blocks until the local replica has incorporated
+    /// every record in `cut` **and made it readable** (below the Head of
+    /// the Log), so a session handed over between frontends sees its own
+    /// writes. Returns whether the cut was reached before `timeout`.
+    pub fn wait_for(&mut self, cut: &VersionVector, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        'retry: loop {
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            if !self.applied_cut().dominates(cut) {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                continue;
+            }
+            // Applied is necessary but not sufficient: the records must
+            // also sit below the Head of the Log to be readable. Verify
+            // the frontier record of each datacenter in the cut.
+            for (dc, toid) in cut.iter() {
+                if toid.is_none() {
+                    continue;
+                }
+                let rule = ReadRule::where_(chariots_types::Condition::TOIdEq(dc, toid))
+                    .most_recent(1);
+                match self.store.read_rule(&rule) {
+                    Ok(hits) if !hits.is_empty() => {}
+                    _ => {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                        continue 'retry;
+                    }
+                }
+            }
+            return true;
+        }
+    }
+
+    /// Session guarantee: blocks until this client's *own* observations
+    /// (its causal context — reads and writes) are readable locally.
+    pub fn wait_for_self(&mut self, timeout: std::time::Duration) -> bool {
+        let cut = self.context.clone();
+        self.wait_for(&cut, timeout)
+    }
+
+    /// The client's current causal context.
+    pub fn context(&self) -> &VersionVector {
+        &self.context
+    }
+
+    fn send_to_batcher(&mut self, incoming: Incoming) -> Result<()> {
+        let batchers = self.batchers.read();
+        if batchers.is_empty() {
+            return Err(ChariotsError::Unavailable("no batchers".into()));
+        }
+        self.rr = (self.rr + 1) % batchers.len();
+        if batchers[self.rr].send(incoming) {
+            Ok(())
+        } else {
+            Err(ChariotsError::ShutDown)
+        }
+    }
+
+    /// `Append(in: record, tags)` — §3. Blocks until the pipeline assigns
+    /// the `(TOId, LId)` and returns them.
+    pub fn append(&mut self, tags: TagSet, body: impl Into<Bytes>) -> Result<(TOId, LId)> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.send_to_batcher(Incoming::Local(LocalAppend {
+            tags,
+            body: body.into(),
+            deps: self.context.clone(),
+            reply: Some(reply_tx),
+        }))?;
+        let (toid, lid) = reply_rx.recv().map_err(|_| ChariotsError::ShutDown)?;
+        // Our own append is something we have observed.
+        self.context.observe(self.dc, toid);
+        Ok((toid, lid))
+    }
+
+    /// Fire-and-forget append (open-loop load generation).
+    pub fn append_async(&mut self, tags: TagSet, body: impl Into<Bytes>) -> Result<()> {
+        self.send_to_batcher(Incoming::Local(LocalAppend {
+            tags,
+            body: body.into(),
+            deps: self.context.clone(),
+            reply: None,
+        }))
+    }
+
+    /// `Read` by position. Reads below the Head of the Log only (no
+    /// observable gaps), and folds the record into the causal context.
+    pub fn read(&mut self, lid: LId) -> Result<Entry> {
+        let entry = self.store.read(lid)?;
+        self.observe_entry(&entry);
+        Ok(entry)
+    }
+
+    /// `Read(in: rules, out: records)` — §3.
+    pub fn read_rule(&mut self, rule: &ReadRule) -> Result<Vec<Entry>> {
+        let entries = self.store.read_rule(rule)?;
+        for e in &entries {
+            self.observe_entry(e);
+        }
+        Ok(entries)
+    }
+
+    /// The Head of the Log (Hyksos polls this for get-transaction
+    /// snapshots).
+    pub fn head_of_log(&mut self) -> Result<LId> {
+        self.store.head_of_log()
+    }
+
+    /// Approximate records in the local shared log.
+    pub fn approx_records(&self) -> u64 {
+        self.store.approx_records()
+    }
+
+    fn observe_entry(&mut self, entry: &Entry) {
+        let r = &entry.record;
+        self.context.observe(r.host(), r.toid());
+        self.context.merge(&r.deps);
+    }
+}

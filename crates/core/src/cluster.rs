@@ -1,0 +1,157 @@
+//! Multi-datacenter deployment: `n` Chariots instances joined by simulated
+//! WAN links, with partition injection.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use chariots_simnet::{Link, LinkConfig, LinkHandle};
+use chariots_types::{ChariotsConfig, ChariotsError, DatacenterId, Result};
+use crossbeam::channel::unbounded;
+
+use crate::datacenter::{ChariotsDc, StageStations};
+use crate::message::PropagationMsg;
+
+/// A running multi-datacenter Chariots deployment.
+pub struct ChariotsCluster {
+    dcs: Vec<ChariotsDc>,
+    /// Fault-injection handles per directed link `(from, to)`.
+    links: HashMap<(DatacenterId, DatacenterId), LinkHandle>,
+}
+
+impl ChariotsCluster {
+    /// Launches `cfg.num_datacenters` datacenters joined pairwise by links
+    /// configured from `wan`.
+    pub fn launch(cfg: ChariotsConfig, stations: StageStations, wan: LinkConfig) -> Result<Self> {
+        cfg.validate().map_err(ChariotsError::InvalidConfig)?;
+        let n = cfg.num_datacenters;
+
+        // One ingress channel per datacenter; every inbound link delivers
+        // into it (its receivers share the channel).
+        let ingress: Vec<_> = (0..n).map(|_| unbounded::<PropagationMsg>()).collect();
+
+        // One directed link per ordered pair, forwarding into the
+        // destination's ingress.
+        let mut links = HashMap::new();
+        let mut egress: Vec<Vec<(DatacenterId, chariots_simnet::LinkSender<PropagationMsg>)>> =
+            (0..n).map(|_| Vec::new()).collect();
+        for from in 0..n {
+            for to in 0..n {
+                if from == to {
+                    continue;
+                }
+                let mut link_cfg = wan.clone();
+                // Decorrelate the RNGs of different links.
+                link_cfg.seed = wan.seed.wrapping_add((from * n + to) as u64);
+                let (tx, rx, handle) =
+                    Link::spawn(link_cfg, |m: &PropagationMsg| m.wire_size());
+                // Pump the link's egress into the destination ingress.
+                let dst = ingress[to].0.clone();
+                std::thread::Builder::new()
+                    .name(format!("wan-{from}->{to}"))
+                    .spawn(move || {
+                        for msg in rx {
+                            if dst.send(msg).is_err() {
+                                return;
+                            }
+                        }
+                    })
+                    .expect("spawn wan pump");
+                links.insert(
+                    (DatacenterId(from as u16), DatacenterId(to as u16)),
+                    handle,
+                );
+                egress[from].push((DatacenterId(to as u16), tx));
+            }
+        }
+
+        let mut dcs = Vec::with_capacity(n);
+        for (i, peers) in egress.into_iter().enumerate() {
+            let dc = DatacenterId(i as u16);
+            dcs.push(ChariotsDc::launch(
+                dc,
+                cfg.clone(),
+                stations.clone(),
+                ingress[i].1.clone(),
+                peers,
+            )?);
+        }
+        Ok(ChariotsCluster { dcs, links })
+    }
+
+    /// Number of datacenters.
+    pub fn len(&self) -> usize {
+        self.dcs.len()
+    }
+
+    /// Never empty.
+    pub fn is_empty(&self) -> bool {
+        self.dcs.is_empty()
+    }
+
+    /// Access one datacenter.
+    pub fn dc(&self, i: DatacenterId) -> &ChariotsDc {
+        &self.dcs[i.index()]
+    }
+
+    /// Mutable access to one datacenter (elasticity operations).
+    pub fn dc_mut(&mut self, i: DatacenterId) -> &mut ChariotsDc {
+        &mut self.dcs[i.index()]
+    }
+
+    /// Opens a client session at datacenter `i`.
+    pub fn client(&self, i: DatacenterId) -> crate::client::ChariotsClient {
+        self.dcs[i.index()].client()
+    }
+
+    /// Cuts both directions between two datacenters.
+    pub fn partition(&self, a: DatacenterId, b: DatacenterId) {
+        if let Some(l) = self.links.get(&(a, b)) {
+            l.partition();
+        }
+        if let Some(l) = self.links.get(&(b, a)) {
+            l.partition();
+        }
+    }
+
+    /// Heals both directions between two datacenters.
+    pub fn heal(&self, a: DatacenterId, b: DatacenterId) {
+        if let Some(l) = self.links.get(&(a, b)) {
+            l.heal();
+        }
+        if let Some(l) = self.links.get(&(b, a)) {
+            l.heal();
+        }
+    }
+
+    /// Fault-injection handle for the directed link `from → to`.
+    pub fn link(&self, from: DatacenterId, to: DatacenterId) -> Option<&LinkHandle> {
+        self.links.get(&(from, to))
+    }
+
+    /// Blocks until every datacenter's log contains at least `n` records,
+    /// or the deadline passes. Returns whether the goal was reached.
+    /// (Convergence helper for tests and examples.)
+    pub fn wait_for_replication(&self, n: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let all = self.dcs.iter().all(|dc| {
+                let mut client = dc.flstore().client();
+                client.head_of_log().map(|hl| hl.0 >= n).unwrap_or(false)
+            });
+            if all {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Shuts down every datacenter.
+    pub fn shutdown(self) {
+        for dc in self.dcs {
+            dc.shutdown();
+        }
+    }
+}

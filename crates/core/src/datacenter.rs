@@ -1,0 +1,520 @@
+//! One Chariots datacenter: the full §6.2 pipeline wired together.
+//!
+//! ```text
+//! clients ─┐
+//!          ├─► batchers ─► filters ─► queues ─► log maintainers (FLStore)
+//! receivers┘     ▲                      │(token ring)      │
+//!     ▲          └──────────────────────┘                  ▼
+//!     └──────────────── WAN ◄──────────────────────── senders
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use chariots_simnet::{Counter, LinkSender, ServiceStation, Shutdown, StationConfig};
+use chariots_types::{
+    ChariotsConfig, ChariotsError, DatacenterId, LId, Result,
+};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+
+use chariots_flstore::FLStore;
+
+use crate::atable::ATable;
+use crate::message::PropagationMsg;
+use crate::routing_plan::RoutingPlan;
+use crate::stages::batcher::{spawn_batcher, BatcherHandle};
+use crate::stages::filter::{spawn_filter, FilterCore, FilterHandle, FilterIngress, FilterRouting};
+use crate::stages::queue::{spawn_queue, QueueHandle, QueueIngress, QueueNodeConfig};
+use crate::stages::receiver::spawn_receiver;
+use crate::stages::sender::{spawn_sender, SenderNode};
+use crate::token::Token;
+
+/// Per-stage capacity models for the simulated machines (see `DESIGN.md`
+/// §3 for the substitution rationale). Default: uncapped (correctness
+/// mode); the bench harness caps them to reproduce the paper's tables.
+#[derive(Debug, Clone)]
+pub struct StageStations {
+    /// Batcher machines.
+    pub batcher: StationConfig,
+    /// Filter machines.
+    pub filter: StationConfig,
+    /// Queue machines.
+    pub queue: StationConfig,
+    /// Log-maintainer (store) machines.
+    pub store: StationConfig,
+    /// Sender machines.
+    pub sender: StationConfig,
+    /// Receiver machines.
+    pub receiver: StationConfig,
+}
+
+impl Default for StageStations {
+    fn default() -> Self {
+        StageStations {
+            batcher: StationConfig::uncapped(),
+            filter: StationConfig::uncapped(),
+            queue: StationConfig::uncapped(),
+            store: StationConfig::uncapped(),
+            sender: StationConfig::uncapped(),
+            receiver: StationConfig::uncapped(),
+        }
+    }
+}
+
+impl StageStations {
+    /// Every stage machine capped at the same rate — the paper's
+    /// homogeneous clusters.
+    pub fn uniform(rate: f64) -> Self {
+        StageStations {
+            batcher: StationConfig::with_rate(rate),
+            filter: StationConfig::with_rate(rate),
+            queue: StationConfig::with_rate(rate),
+            store: StationConfig::with_rate(rate),
+            sender: StationConfig::with_rate(rate),
+            receiver: StationConfig::with_rate(rate),
+        }
+    }
+}
+
+/// A running Chariots datacenter.
+pub struct ChariotsDc {
+    dc: DatacenterId,
+    cfg: ChariotsConfig,
+    flstore: FLStore,
+    maintainer_registry: Arc<RwLock<Vec<chariots_flstore::MaintainerHandle>>>,
+    atable: Arc<RwLock<ATable>>,
+    batchers: Arc<RwLock<Vec<BatcherHandle>>>,
+    filters: Vec<FilterHandle>,
+    filter_ingresses: Arc<RwLock<Vec<FilterIngress>>>,
+    queues: Vec<QueueHandle>,
+    queue_ingresses: Arc<RwLock<Vec<QueueIngress>>>,
+    plan: Arc<RwLock<RoutingPlan>>,
+    stations: StageStations,
+    sender_counters: Vec<Counter>,
+    receiver_counters: Vec<Counter>,
+    gc_floor: AtomicU64,
+    shutdown: Shutdown,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ChariotsDc {
+    /// Launches a datacenter.
+    ///
+    /// * `wan_rx` — ingress channel carrying [`PropagationMsg`]s from every
+    ///   peer (the cluster wires the links; a lone datacenter passes an
+    ///   idle channel).
+    /// * `peers` — egress link senders, one per peer datacenter.
+    pub fn launch(
+        dc: DatacenterId,
+        cfg: ChariotsConfig,
+        stations: StageStations,
+        wan_rx: Receiver<PropagationMsg>,
+        peers: Vec<(DatacenterId, LinkSender<PropagationMsg>)>,
+    ) -> Result<Self> {
+        cfg.validate().map_err(ChariotsError::InvalidConfig)?;
+        let shutdown = Shutdown::new();
+        let mut threads: Vec<JoinHandle<()>> = Vec::new();
+
+        // Log maintainers (FLStore) — §5, reused as the persistence stage.
+        let flstore = FLStore::launch_with(dc, cfg.flstore.clone(), stations.store.clone(), None)?;
+        let controller = flstore.controller().clone();
+        let maintainers: Arc<RwLock<Vec<chariots_flstore::MaintainerHandle>>> =
+            Arc::new(RwLock::new(flstore.maintainers().to_vec()));
+
+        let atable = Arc::new(RwLock::new(ATable::new(cfg.num_datacenters)));
+
+        // Queues: pre-create the token ring, then spawn.
+        let n_q = cfg.stages.queues;
+        let token_channels: Vec<(Sender<Token>, Receiver<Token>)> =
+            (0..n_q).map(|_| unbounded()).collect();
+        let mut queues = Vec::with_capacity(n_q);
+        for i in 0..n_q {
+            let next = Arc::new(Mutex::new(token_channels[(i + 1) % n_q].0.clone()));
+            let station = Arc::new(ServiceStation::new(
+                format!("{dc}-queue-{i}"),
+                stations.queue.clone(),
+            ));
+            let (handle, thread) = spawn_queue(
+                QueueNodeConfig {
+                    dc,
+                    carries_deferred: cfg.token_carries_deferred,
+                    controller: controller.clone(),
+                    maintainers: Arc::clone(&maintainers),
+                    atable: Arc::clone(&atable),
+                    next_queue: next,
+                    idle_pause: std::time::Duration::from_micros(200),
+                },
+                token_channels[i].clone(),
+                station,
+                shutdown.clone(),
+                format!("{dc}-queue-{i}"),
+            );
+            queues.push(handle);
+            threads.push(thread);
+        }
+        // Exactly one token exists; it starts at queue 0.
+        queues[0].inject_token(Token::new(cfg.num_datacenters));
+        let queue_ingresses = Arc::new(RwLock::new(
+            queues.iter().map(|q| q.ingress()).collect::<Vec<_>>(),
+        ));
+
+        // Filters, governed by the shared routing plan (future
+        // reassignment support, §6.3).
+        let plan = Arc::new(RwLock::new(RoutingPlan::new(FilterRouting::new(
+            cfg.stages.filters,
+            cfg.num_datacenters,
+        ))));
+        let mut filters = Vec::with_capacity(cfg.stages.filters);
+        for i in 0..cfg.stages.filters {
+            let station = Arc::new(ServiceStation::new(
+                format!("{dc}-filter-{i}"),
+                stations.filter.clone(),
+            ));
+            let (handle, thread) = spawn_filter(
+                FilterCore::new(i, Arc::clone(&plan)),
+                Arc::clone(&queue_ingresses),
+                station,
+                shutdown.clone(),
+                format!("{dc}-filter-{i}"),
+            );
+            filters.push(handle);
+            threads.push(thread);
+        }
+        let filter_ingresses = Arc::new(RwLock::new(
+            filters.iter().map(|f| f.ingress()).collect::<Vec<_>>(),
+        ));
+
+        // Batchers.
+        let mut batcher_handles = Vec::with_capacity(cfg.stages.batchers);
+        for i in 0..cfg.stages.batchers {
+            let station = Arc::new(ServiceStation::new(
+                format!("{dc}-batcher-{i}"),
+                stations.batcher.clone(),
+            ));
+            let (handle, thread) = spawn_batcher(
+                Arc::clone(&plan),
+                cfg.batcher_flush_threshold,
+                cfg.batcher_flush_interval,
+                Arc::clone(&filter_ingresses),
+                station,
+                shutdown.clone(),
+                format!("{dc}-batcher-{i}"),
+            );
+            batcher_handles.push(handle);
+            threads.push(thread);
+        }
+        let batchers = Arc::new(RwLock::new(batcher_handles));
+
+        // Receivers and senders (multi-datacenter only).
+        let mut receiver_counters = Vec::new();
+        let mut sender_counters = Vec::new();
+        if cfg.num_datacenters > 1 {
+            for i in 0..cfg.stages.receivers {
+                let station = Arc::new(ServiceStation::new(
+                    format!("{dc}-receiver-{i}"),
+                    stations.receiver.clone(),
+                ));
+                let (counter, thread) = spawn_receiver(
+                    wan_rx.clone(),
+                    Arc::clone(&batchers),
+                    Arc::clone(&atable),
+                    station,
+                    shutdown.clone(),
+                    format!("{dc}-receiver-{i}"),
+                );
+                receiver_counters.push(counter);
+                threads.push(thread);
+            }
+            for i in 0..cfg.stages.senders {
+                // Sender i is responsible for maintainers i, i+S, i+2S, …
+                let node = SenderNode::new(
+                    dc,
+                    Arc::clone(&maintainers),
+                    i,
+                    cfg.stages.senders,
+                    Arc::clone(&atable),
+                    peers.clone(),
+                );
+                let station = Arc::new(ServiceStation::new(
+                    format!("{dc}-sender-{i}"),
+                    stations.sender.clone(),
+                ));
+                let (counter, thread) = spawn_sender(
+                    node,
+                    cfg.propagation_interval,
+                    station,
+                    shutdown.clone(),
+                    format!("{dc}-sender-{i}"),
+                );
+                sender_counters.push(counter);
+                threads.push(thread);
+            }
+        }
+
+        Ok(ChariotsDc {
+            dc,
+            cfg,
+            flstore,
+            maintainer_registry: maintainers,
+            atable,
+            batchers,
+            filters,
+            filter_ingresses,
+            queues,
+            queue_ingresses,
+            plan,
+            stations,
+            sender_counters,
+            receiver_counters,
+            gc_floor: AtomicU64::new(0),
+            shutdown,
+            threads,
+        })
+    }
+
+    /// This datacenter's id.
+    pub fn id(&self) -> DatacenterId {
+        self.dc
+    }
+
+    /// The deployment configuration.
+    pub fn config(&self) -> &ChariotsConfig {
+        &self.cfg
+    }
+
+    /// The FLStore backing the log-maintainers stage.
+    pub fn flstore(&self) -> &FLStore {
+        &self.flstore
+    }
+
+    /// The shared awareness table.
+    pub fn atable(&self) -> Arc<RwLock<ATable>> {
+        Arc::clone(&self.atable)
+    }
+
+    /// The batcher nodes' handles (bench harness drives them directly to
+    /// model client machines with their own pacing and backpressure).
+    pub fn batcher_handles(&self) -> Vec<crate::stages::batcher::BatcherHandle> {
+        self.batchers.read().clone()
+    }
+
+    /// Shared access to the batcher list (client handles).
+    pub(crate) fn batchers(&self) -> Arc<RwLock<Vec<BatcherHandle>>> {
+        Arc::clone(&self.batchers)
+    }
+
+    /// Opens an application-client session.
+    pub fn client(&self) -> crate::client::ChariotsClient {
+        crate::client::ChariotsClient::connect(self)
+    }
+
+    /// Live elasticity (§6.3): adds a batcher. "A new batcher need[s] to
+    /// inform local receivers of its existence" — here, it registers in the
+    /// shared list both receivers and clients consult.
+    pub fn add_batcher(&mut self) -> usize {
+        let idx = self.batchers.read().len();
+        let station = Arc::new(ServiceStation::new(
+            format!("{}-batcher-{idx}", self.dc),
+            self.stations.batcher.clone(),
+        ));
+        let (handle, thread) = spawn_batcher(
+            Arc::clone(&self.plan),
+            self.cfg.batcher_flush_threshold,
+            self.cfg.batcher_flush_interval,
+            Arc::clone(&self.filter_ingresses),
+            station,
+            self.shutdown.clone(),
+            format!("{}-batcher-{idx}", self.dc),
+        );
+        self.batchers.write().push(handle);
+        self.threads.push(thread);
+        idx
+    }
+
+    /// Live elasticity (§6.3): adds a queue to the token ring. The new
+    /// queue is spliced between the last queue and queue 0, and registered
+    /// with the filters — which needs no coordination "because a queue can
+    /// receive any record".
+    pub fn add_queue(&mut self) -> usize {
+        let idx = self.queues.len();
+        let (token_tx, token_rx) = unbounded::<Token>();
+        // The new queue forwards to queue 0 (closing the ring).
+        let next = Arc::new(Mutex::new(self.queues[0].token_sender()));
+        let station = Arc::new(ServiceStation::new(
+            format!("{}-queue-{idx}", self.dc),
+            self.stations.queue.clone(),
+        ));
+        let (handle, thread) = spawn_queue(
+            QueueNodeConfig {
+                dc: self.dc,
+                carries_deferred: self.cfg.token_carries_deferred,
+                controller: self.flstore.controller().clone(),
+                maintainers: Arc::clone(&self.maintainer_registry),
+                atable: Arc::clone(&self.atable),
+                next_queue: next,
+                idle_pause: std::time::Duration::from_micros(200),
+            },
+            (token_tx, token_rx),
+            station,
+            self.shutdown.clone(),
+            format!("{}-queue-{idx}", self.dc),
+        );
+        // Splice into the ring: the previous last queue now forwards to
+        // the new one.
+        self.queues[idx - 1].set_next(handle.token_sender());
+        self.queue_ingresses.write().push(handle.ingress());
+        self.queues.push(handle);
+        self.threads.push(thread);
+        idx
+    }
+
+    /// Live elasticity (§6.3): adds a filter via *future reassignment*.
+    ///
+    /// The championing switch takes effect at a TOId boundary chosen far
+    /// beyond anything currently in flight (`margin` past the highest TOId
+    /// this datacenter knows of), giving the announcement "enough time to
+    /// propagate … to batchers". Returns the new filter's index.
+    pub fn add_filter(&mut self, margin: u64) -> usize {
+        let idx = self.filters.len();
+        let new_routing = FilterRouting::new(idx + 1, self.cfg.num_datacenters);
+        // Boundary: beyond every TOId any host is known to have produced.
+        let max_known = {
+            let atable = self.atable.read();
+            (0..self.cfg.num_datacenters)
+                .map(|h| {
+                    let h = DatacenterId(h as u16);
+                    (0..self.cfg.num_datacenters)
+                        .map(|i| atable.get(DatacenterId(i as u16), h).0)
+                        .max()
+                        .unwrap_or(0)
+                })
+                .max()
+                .unwrap_or(0)
+        };
+        let boundary = chariots_types::TOId(max_known + margin.max(1));
+        // Spawn the filter before activating the epoch so it exists when
+        // the first post-boundary record routes to it.
+        let station = Arc::new(ServiceStation::new(
+            format!("{}-filter-{idx}", self.dc),
+            self.stations.filter.clone(),
+        ));
+        let (handle, thread) = spawn_filter(
+            FilterCore::new(idx, Arc::clone(&self.plan)),
+            Arc::clone(&self.queue_ingresses),
+            station,
+            self.shutdown.clone(),
+            format!("{}-filter-{idx}", self.dc),
+        );
+        self.filter_ingresses.write().push(handle.ingress());
+        self.filters.push(handle);
+        self.threads.push(thread);
+        self.plan.write().announce(boundary, new_routing);
+        idx
+    }
+
+    /// The queue nodes' handles (fault injection and diagnostics).
+    pub fn queue_handles(&self) -> &[QueueHandle] {
+        &self.queues
+    }
+
+    /// The shared filter-routing plan (diagnostics).
+    pub fn routing_plan(&self) -> Arc<RwLock<RoutingPlan>> {
+        Arc::clone(&self.plan)
+    }
+
+    /// Live elasticity (§6.3): expands the FLStore maintainer fleet via a
+    /// future reassignment at `boundary`, and registers the new maintainer
+    /// with the queues (routing) and senders (propagation scanning).
+    pub fn flstore_add_maintainer(
+        &mut self,
+        boundary: LId,
+    ) -> Result<chariots_types::MaintainerId> {
+        let id = self.flstore.add_maintainer(boundary)?;
+        *self.maintainer_registry.write() = self.flstore.maintainers().to_vec();
+        Ok(id)
+    }
+
+    /// Per-stage throughput counters: `(machine name, counter)` pairs for
+    /// the bench harness (Tables 2–5, Fig. 9).
+    pub fn stage_counters(&self) -> Vec<(String, Counter)> {
+        let mut out = Vec::new();
+        for (i, b) in self.batchers.read().iter().enumerate() {
+            out.push((format!("batcher-{i}"), b.processed_counter()));
+        }
+        for (i, f) in self.filters.iter().enumerate() {
+            out.push((format!("filter-{i}"), f.processed_counter()));
+        }
+        for (i, q) in self.queues.iter().enumerate() {
+            out.push((format!("queue-{i}"), q.processed_counter()));
+        }
+        for (i, m) in self.flstore.maintainers().iter().enumerate() {
+            out.push((format!("store-{i}"), m.appended_counter()));
+        }
+        for (i, c) in self.sender_counters.iter().enumerate() {
+            out.push((format!("sender-{i}"), c.clone()));
+        }
+        for (i, c) in self.receiver_counters.iter().enumerate() {
+            out.push((format!("receiver-{i}"), c.clone()));
+        }
+        out
+    }
+
+    /// Garbage collection (§6.1): collects the longest log prefix in which
+    /// every record is known by all replicas, additionally honoring the
+    /// `gc_keep_records` spatial rule. Returns the new exclusive bound.
+    pub fn run_gc(&self) -> Result<LId> {
+        let mut client = self.flstore.client();
+        let hl = client.head_of_log()?;
+        let atable = self.atable.read();
+        let floor = self.gc_floor.load(Ordering::Acquire);
+        let mut bound = LId(floor);
+        while bound < hl {
+            match client.read_with_hl(bound, true) {
+                Ok(entry) => {
+                    let r = &entry.record;
+                    if atable.gc_bound(r.host()) >= r.toid() {
+                        bound = bound.next();
+                    } else {
+                        break;
+                    }
+                }
+                Err(ChariotsError::GarbageCollected(_)) => {
+                    bound = bound.next();
+                }
+                Err(_) => break,
+            }
+        }
+        drop(atable);
+        // Spatial rule: keep at least the most recent `keep` records.
+        if let Some(keep) = self.cfg.gc_keep_records {
+            let cap = LId(hl.0.saturating_sub(keep));
+            if bound > cap {
+                bound = cap;
+            }
+        }
+        if bound.0 > floor {
+            self.flstore.gc_before(bound);
+            self.gc_floor.store(bound.0, Ordering::Release);
+        }
+        Ok(bound)
+    }
+
+    /// Stops every stage and joins the worker threads.
+    pub fn shutdown(mut self) {
+        self.shutdown.signal();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ChariotsDc {
+    fn drop(&mut self) {
+        self.shutdown.signal();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}

@@ -1,0 +1,452 @@
+//! # chariots-core
+//!
+//! **Chariots** — a geo-replicated, causally ordered shared log built as an
+//! elastic multi-stage pipeline over FLStore (Section 6 of *Chariots*,
+//! EDBT 2015).
+//!
+//! Each datacenter runs the six-stage pipeline of Fig. 6: application
+//! clients and [`stages::receiver`]s feed [`stages::batcher`]s →
+//! [`stages::filter`]s (exactly-once) → [`stages::queue`]s (causal `LId`
+//! assignment under the circulating [`token::Token`]) → FLStore log
+//! maintainers; [`stages::sender`]s propagate local records to every peer,
+//! with the [`atable::ATable`] driving propagation filtering and garbage
+//! collection.
+//!
+//! [`abstract_log`] implements the paper's §6.1 single-threaded abstract
+//! solution verbatim; the distributed pipeline is tested for behavioural
+//! equivalence against it.
+//!
+//! ```no_run
+//! use chariots_core::{ChariotsCluster, StageStations};
+//! use chariots_simnet::LinkConfig;
+//! use chariots_types::{ChariotsConfig, DatacenterId, TagSet};
+//!
+//! let cluster = ChariotsCluster::launch(
+//!     ChariotsConfig::new().datacenters(2),
+//!     StageStations::default(),
+//!     LinkConfig::wan(),
+//! ).unwrap();
+//! let mut client = cluster.client(DatacenterId(0));
+//! let (toid, lid) = client.append(TagSet::new(), "hello, both coasts").unwrap();
+//! println!("appended as TOId {toid}, LId {lid}");
+//! cluster.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod abstract_log;
+pub mod atable;
+pub mod client;
+pub mod cluster;
+pub mod datacenter;
+pub mod message;
+pub mod routing_plan;
+pub mod stages;
+pub mod token;
+
+pub use abstract_log::{AbstractCluster, AbstractDc, Snapshot};
+pub use atable::ATable;
+pub use client::ChariotsClient;
+pub use cluster::ChariotsCluster;
+pub use datacenter::{ChariotsDc, StageStations};
+pub use message::{Incoming, LocalAppend, PropagationMsg};
+pub use routing_plan::{RoutingEpoch, RoutingPlan};
+pub use token::Token;
+
+#[cfg(test)]
+mod cluster_tests {
+    use super::*;
+    use chariots_simnet::LinkConfig;
+    use chariots_types::{
+        ChariotsConfig, DatacenterId, LId, StageCounts, TOId, Tag, TagSet,
+    };
+    use std::time::{Duration, Instant};
+
+    fn fast_cfg(n: usize) -> ChariotsConfig {
+        let mut cfg = ChariotsConfig::new().datacenters(n);
+        cfg.flstore = chariots_types::FLStoreConfig::new()
+            .maintainers(2)
+            .batch_size(8)
+            .gossip_interval(Duration::from_millis(1));
+        cfg.batcher_flush_threshold = 4;
+        cfg.batcher_flush_interval = Duration::from_millis(1);
+        cfg.propagation_interval = Duration::from_millis(2);
+        cfg
+    }
+
+    fn fast_wan() -> LinkConfig {
+        LinkConfig::with_latency(Duration::from_millis(2))
+    }
+
+    #[test]
+    fn single_dc_append_and_read() {
+        let cluster = ChariotsCluster::launch(
+            fast_cfg(1),
+            StageStations::default(),
+            LinkConfig::default(),
+        )
+        .unwrap();
+        let mut client = cluster.client(DatacenterId(0));
+        let (toid, _lid) = client.append(TagSet::new(), "first").unwrap();
+        assert_eq!(toid, TOId(1));
+        let (toid2, _) = client.append(TagSet::new(), "second").unwrap();
+        assert_eq!(toid2, TOId(2));
+        // Readable once the HL passes them.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if client.head_of_log().unwrap() >= LId(2) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "HL never reached 2");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let e0 = client.read(LId(0)).unwrap();
+        assert_eq!(&e0.record.body[..], b"first");
+        let e1 = client.read(LId(1)).unwrap();
+        assert_eq!(&e1.record.body[..], b"second");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn records_replicate_across_datacenters() {
+        let cluster =
+            ChariotsCluster::launch(fast_cfg(2), StageStations::default(), fast_wan()).unwrap();
+        let mut a = cluster.client(DatacenterId(0));
+        let mut b = cluster.client(DatacenterId(1));
+        a.append(TagSet::new().with(Tag::key("from-a")), "hello B").unwrap();
+        b.append(TagSet::new().with(Tag::key("from-b")), "hello A").unwrap();
+        assert!(
+            cluster.wait_for_replication(2, Duration::from_secs(10)),
+            "replication never converged"
+        );
+        // Each datacenter's log contains both records.
+        for dc in [DatacenterId(0), DatacenterId(1)] {
+            let mut c = cluster.client(dc);
+            let hosts: Vec<_> = (0..2)
+                .map(|l| c.read(LId(l)).unwrap().record.host())
+                .collect();
+            let mut sorted = hosts.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 2, "{dc}: both hosts present, got {hosts:?}");
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn per_host_total_order_holds_at_every_replica() {
+        let cluster =
+            ChariotsCluster::launch(fast_cfg(2), StageStations::default(), fast_wan()).unwrap();
+        let mut a = cluster.client(DatacenterId(0));
+        for i in 0..10 {
+            a.append(TagSet::new(), format!("a{i}")).unwrap();
+        }
+        assert!(cluster.wait_for_replication(10, Duration::from_secs(10)));
+        let mut b = cluster.client(DatacenterId(1));
+        let mut last = TOId::NONE;
+        for l in 0..10 {
+            let e = b.read(LId(l)).unwrap();
+            assert_eq!(e.record.host(), DatacenterId(0));
+            assert!(e.record.toid() > last, "TOId order violated");
+            last = e.record.toid();
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn causality_read_then_append_orders_across_dcs() {
+        let cluster =
+            ChariotsCluster::launch(fast_cfg(3), StageStations::default(), fast_wan()).unwrap();
+        // A writes x.
+        let mut a = cluster.client(DatacenterId(0));
+        a.append(TagSet::new().with(Tag::with_value("key", "x")), "x=1")
+            .unwrap();
+        assert!(cluster.wait_for_replication(1, Duration::from_secs(10)));
+        // B reads x, then writes y (causally after x).
+        let mut b = cluster.client(DatacenterId(1));
+        let x = b.read(LId(0)).unwrap();
+        assert_eq!(x.record.host(), DatacenterId(0));
+        b.append(TagSet::new().with(Tag::with_value("key", "y")), "y=2")
+            .unwrap();
+        assert!(cluster.wait_for_replication(2, Duration::from_secs(10)));
+        // At every datacenter, x precedes y in the log.
+        for dc in 0..3 {
+            let mut c = cluster.client(DatacenterId(dc));
+            let mut x_pos = None;
+            let mut y_pos = None;
+            for l in 0..2 {
+                let e = c.read(LId(l)).unwrap();
+                match e.record.host() {
+                    DatacenterId(0) => x_pos = Some(l),
+                    DatacenterId(1) => y_pos = Some(l),
+                    _ => {}
+                }
+            }
+            assert!(
+                x_pos.unwrap() < y_pos.unwrap(),
+                "DC {dc}: effect before cause"
+            );
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn partition_heals_and_replication_resumes() {
+        let cluster =
+            ChariotsCluster::launch(fast_cfg(2), StageStations::default(), fast_wan()).unwrap();
+        cluster.partition(DatacenterId(0), DatacenterId(1));
+        let mut a = cluster.client(DatacenterId(0));
+        a.append(TagSet::new(), "during partition").unwrap();
+        // The record must NOT reach B while partitioned (availability: A
+        // kept accepting writes).
+        std::thread::sleep(Duration::from_millis(100));
+        let mut b_store = cluster.dc(DatacenterId(1)).flstore().client();
+        assert_eq!(b_store.head_of_log().unwrap(), LId(0));
+        cluster.heal(DatacenterId(0), DatacenterId(1));
+        assert!(
+            cluster.wait_for_replication(1, Duration::from_secs(10)),
+            "replication did not resume after heal"
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn duplicated_wan_messages_do_not_duplicate_records() {
+        let mut wan = fast_wan();
+        wan.duplicate_prob = 1.0; // every message delivered twice
+        let cluster = ChariotsCluster::launch(fast_cfg(2), StageStations::default(), wan).unwrap();
+        let mut a = cluster.client(DatacenterId(0));
+        for i in 0..5 {
+            a.append(TagSet::new(), format!("r{i}")).unwrap();
+        }
+        assert!(cluster.wait_for_replication(5, Duration::from_secs(10)));
+        // Give duplicates time to arrive and (incorrectly) apply.
+        std::thread::sleep(Duration::from_millis(100));
+        let mut b = cluster.client(DatacenterId(1));
+        let hl = b.head_of_log().unwrap();
+        assert_eq!(hl, LId(5), "duplicates must not extend the log");
+        let mut toids: Vec<TOId> = (0..5)
+            .map(|l| b.read(LId(l)).unwrap().record.toid())
+            .collect();
+        toids.sort();
+        toids.dedup();
+        assert_eq!(toids.len(), 5, "exactly-once violated");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn multi_machine_stages_work() {
+        let mut cfg = fast_cfg(2);
+        cfg.stages = StageCounts::uniform(2);
+        let cluster =
+            ChariotsCluster::launch(cfg, StageStations::default(), fast_wan()).unwrap();
+        let mut a = cluster.client(DatacenterId(0));
+        let mut b = cluster.client(DatacenterId(1));
+        for i in 0..20 {
+            a.append(TagSet::new(), format!("a{i}")).unwrap();
+            b.append(TagSet::new(), format!("b{i}")).unwrap();
+        }
+        assert!(cluster.wait_for_replication(40, Duration::from_secs(15)));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn gc_collects_fully_replicated_prefix() {
+        let mut cfg = fast_cfg(2);
+        cfg.gc_keep_records = None;
+        let cluster =
+            ChariotsCluster::launch(cfg, StageStations::default(), fast_wan()).unwrap();
+        let mut a = cluster.client(DatacenterId(0));
+        for i in 0..6 {
+            a.append(TagSet::new(), format!("r{i}")).unwrap();
+        }
+        assert!(cluster.wait_for_replication(6, Duration::from_secs(10)));
+        // Let B's applied cut gossip back to A.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let bound = cluster.dc(DatacenterId(0)).run_gc().unwrap();
+            if bound >= LId(6) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "GC bound never advanced: {bound}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let mut a2 = cluster.dc(DatacenterId(0)).flstore().client();
+        assert!(matches!(
+            a2.read(LId(0)),
+            Err(chariots_types::ChariotsError::GarbageCollected(_))
+        ));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn elastic_batcher_addition_is_transparent() {
+        let mut cluster = ChariotsCluster::launch(
+            fast_cfg(1),
+            StageStations::default(),
+            LinkConfig::default(),
+        )
+        .unwrap();
+        let mut client = cluster.client(DatacenterId(0));
+        client.append(TagSet::new(), "before").unwrap();
+        let idx = cluster.dc_mut(DatacenterId(0)).add_batcher();
+        assert_eq!(idx, 1);
+        // New clients round-robin over both batchers; everything works.
+        let mut client2 = cluster.client(DatacenterId(0));
+        for i in 0..4 {
+            client2.append(TagSet::new(), format!("after{i}")).unwrap();
+        }
+        cluster.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod abstract_proptests {
+    use super::*;
+    use chariots_types::{DatacenterId, RecordId, TOId, TagSet, VersionVector};
+    use proptest::prelude::*;
+
+    /// One step of a random schedule for the abstract model.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Append(u16),
+        Propagate(u16, u16),
+    }
+
+    fn arb_ops(n: u16, len: usize) -> impl Strategy<Value = Vec<Op>> {
+        proptest::collection::vec(
+            prop_oneof![
+                2 => (0..n).prop_map(Op::Append),
+                3 => (0..n, 0..n).prop_map(|(a, b)| Op::Propagate(a, b)),
+            ],
+            1..len,
+        )
+    }
+
+    proptest! {
+        /// Under ANY schedule of appends and (possibly partial, repeated)
+        /// propagations, every abstract log satisfies the causal-log
+        /// invariants, and after settle() all replicas agree.
+        #[test]
+        fn abstract_model_invariants_under_random_schedules(
+            ops in arb_ops(3, 40),
+        ) {
+            let n = 3usize;
+            let mut cluster = AbstractCluster::new(n);
+            for op in &ops {
+                match op {
+                    Op::Append(dc) => {
+                        cluster
+                            .dc_mut(DatacenterId(*dc))
+                            .append(TagSet::new(), "x");
+                    }
+                    Op::Propagate(from, to) if from != to => {
+                        cluster.propagate(DatacenterId(*from), DatacenterId(*to));
+                    }
+                    Op::Propagate(..) => {}
+                }
+                // Invariants hold at EVERY intermediate state.
+                for i in 0..n {
+                    let dc = cluster.dc(DatacenterId(i as u16));
+                    let mut applied = VersionVector::new(n);
+                    for (pos, e) in dc.log().iter().enumerate() {
+                        let r = &e.record;
+                        prop_assert_eq!(e.lid.0 as usize, pos, "dense LIds");
+                        prop_assert_eq!(
+                            r.toid(),
+                            applied.get(r.host()).next(),
+                            "per-host total order"
+                        );
+                        prop_assert!(
+                            applied.dominates(&r.deps),
+                            "causal deps precede"
+                        );
+                        applied.set(r.host(), r.toid());
+                    }
+                }
+            }
+            // Quiescence: identical record sets everywhere.
+            cluster.settle();
+            let mut sets: Vec<Vec<RecordId>> = (0..n)
+                .map(|i| {
+                    let mut ids: Vec<RecordId> = cluster
+                        .dc(DatacenterId(i as u16))
+                        .log()
+                        .iter()
+                        .map(|e| e.id())
+                        .collect();
+                    ids.sort();
+                    ids
+                })
+                .collect();
+            let first = sets.remove(0);
+            for s in sets {
+                prop_assert_eq!(&first, &s);
+            }
+            // GC safety: the collectible prefix never exceeds what every
+            // replica knows.
+            for i in 0..n {
+                let dc = DatacenterId(i as u16);
+                let collectible = {
+                    let d = cluster.dc_mut(dc);
+                    d.gc()
+                };
+                let d = cluster.dc(dc);
+                for e in d.log().iter().take(collectible) {
+                    let r = &e.record;
+                    prop_assert!(
+                        d.atable().gc_bound(r.host()) >= r.toid(),
+                        "GC'd a record some replica might still need"
+                    );
+                }
+            }
+        }
+
+        /// The token's assignment rule agrees with the abstract model's
+        /// reception rule: feeding the same records (in any order, with
+        /// duplicates) produces the same applied cut.
+        #[test]
+        fn token_agrees_with_abstract_reception(
+            mut order in proptest::collection::vec(0usize..12, 1..30),
+        ) {
+            use bytes::Bytes;
+            use chariots_types::Record;
+            // A fixed chain of 6 records from host 1 with linear deps,
+            // delivered in arbitrary order with duplicates.
+            let records: Vec<Record> = (1..=6u64)
+                .map(|t| {
+                    Record::new(
+                        RecordId::new(DatacenterId(1), TOId(t)),
+                        VersionVector::from_entries(vec![TOId(0), TOId(t - 1)]),
+                        TagSet::new(),
+                        Bytes::new(),
+                    )
+                })
+                .collect();
+            order.iter_mut().for_each(|i| *i %= records.len());
+
+            // Token path.
+            let mut queue = stages::queue::QueueCore::new(DatacenterId(0), true);
+            let mut token = Token::new(2);
+            for &i in &order {
+                queue.stage(vec![Incoming::External(records[i].clone())]);
+                queue.process(&mut token);
+            }
+
+            // Abstract path.
+            let mut model = AbstractDc::new(DatacenterId(0), 2);
+            for &i in &order {
+                model.receive(Snapshot {
+                    from: DatacenterId(1),
+                    records: vec![records[i].clone()],
+                    atable: ATable::new(2),
+                });
+            }
+            prop_assert_eq!(
+                token.applied.get(DatacenterId(1)),
+                model.applied().get(DatacenterId(1)),
+                "token and abstract model disagree on the applied cut"
+            );
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Future reassignment of filter championing (§6.3).
+//!
+//! "A future reassignment for filters begins by marking future TOIds that
+//! are championed by the original filter. These future TOIds mark
+//! transition of championing a subset of the records to the new filter.
+//! … This future reassignment should allow enough time to propagate this
+//! information to batchers."
+//!
+//! A [`RoutingPlan`] is the filter-stage analogue of FLStore's epoch
+//! journal: a sequence of `(boundary TOId, FilterRouting)` epochs. Records
+//! with `TOId < boundary` route under the old striping; records at or
+//! beyond it under the new one. Because routing is a pure function of
+//! `(host, TOId)`, batchers and filters that share the plan always agree —
+//! no coordination, exactly like FLStore's position ownership.
+
+use chariots_types::{DatacenterId, TOId};
+
+use crate::stages::filter::FilterRouting;
+
+/// One filter-routing epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoutingEpoch {
+    /// Records with `TOId ≥ boundary` (from any host) use this epoch.
+    pub boundary: TOId,
+    /// The striping in force.
+    pub routing: FilterRouting,
+}
+
+/// The full history of filter-routing assignments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingPlan {
+    epochs: Vec<RoutingEpoch>,
+}
+
+impl RoutingPlan {
+    /// A plan whose initial epoch covers every record.
+    pub fn new(initial: FilterRouting) -> Self {
+        RoutingPlan {
+            epochs: vec![RoutingEpoch {
+                boundary: TOId::NONE,
+                routing: initial,
+            }],
+        }
+    }
+
+    /// Announces a future reassignment from `boundary` onward. The caller
+    /// picks `boundary` beyond every TOId that may already be in flight
+    /// (see [`ChariotsDc::add_filter`](crate::datacenter::ChariotsDc::add_filter)).
+    ///
+    /// Returns the new epoch's index.
+    ///
+    /// # Panics
+    /// Panics if `boundary` does not advance past the current epoch's.
+    pub fn announce(&mut self, boundary: TOId, routing: FilterRouting) -> usize {
+        let last = self.epochs.last().expect("plan never empty");
+        assert!(
+            boundary > last.boundary,
+            "filter reassignment must start after {:?}",
+            last.boundary
+        );
+        self.epochs.push(RoutingEpoch { boundary, routing });
+        self.epochs.len() - 1
+    }
+
+    /// The epoch index governing a record with this `TOId`.
+    pub fn epoch_for(&self, toid: TOId) -> usize {
+        self.epochs
+            .iter()
+            .rposition(|e| e.boundary <= toid)
+            .expect("epoch 0 covers everything")
+    }
+
+    /// The epoch at `index`.
+    pub fn epoch(&self, index: usize) -> &RoutingEpoch {
+        &self.epochs[index]
+    }
+
+    /// The current (latest) epoch.
+    pub fn current(&self) -> &RoutingEpoch {
+        self.epochs.last().expect("plan never empty")
+    }
+
+    /// Number of epochs.
+    pub fn len(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// Never empty.
+    pub fn is_empty(&self) -> bool {
+        self.epochs.is_empty()
+    }
+
+    /// The filter championing `(host, toid)` under the governing epoch.
+    pub fn filter_for(&self, host: DatacenterId, toid: TOId) -> usize {
+        self.epochs[self.epoch_for(toid)]
+            .routing
+            .filter_for(host, toid)
+    }
+
+    /// The `(stride, first_toid)` of `filter`'s championed subsequence of
+    /// `host` within epoch `epoch_idx`, clipped to start at the epoch
+    /// boundary. `None` if the filter champions nothing of that host there.
+    pub fn stride_in_epoch(
+        &self,
+        epoch_idx: usize,
+        filter: usize,
+        host: DatacenterId,
+    ) -> Option<(u64, u64)> {
+        let e = &self.epochs[epoch_idx];
+        let (stride, first) = e.routing.stride_for(filter, host)?;
+        let b = e.boundary.0.max(1);
+        let first = if b <= first {
+            first
+        } else {
+            // Smallest member of {first, first+stride, …} that is ≥ b.
+            first + (b - first).div_ceil(stride) * stride
+        };
+        Some((stride, first))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dc(i: u16) -> DatacenterId {
+        DatacenterId(i)
+    }
+
+    #[test]
+    fn single_epoch_matches_routing() {
+        let plan = RoutingPlan::new(FilterRouting::new(2, 2));
+        assert_eq!(plan.filter_for(dc(0), TOId(5)), 0);
+        assert_eq!(plan.filter_for(dc(1), TOId(5)), 1);
+        assert_eq!(plan.epoch_for(TOId(1_000_000)), 0);
+    }
+
+    #[test]
+    fn announce_splits_by_boundary() {
+        let mut plan = RoutingPlan::new(FilterRouting::new(1, 1));
+        plan.announce(TOId(100), FilterRouting::new(2, 1));
+        // Below the boundary: the lone old filter.
+        assert_eq!(plan.filter_for(dc(0), TOId(99)), 0);
+        assert_eq!(plan.epoch_for(TOId(99)), 0);
+        // At and beyond: split between filters 0 and 1 by TOId.
+        assert_eq!(plan.epoch_for(TOId(100)), 1);
+        let f100 = plan.filter_for(dc(0), TOId(100));
+        let f101 = plan.filter_for(dc(0), TOId(101));
+        assert_ne!(f100, f101, "consecutive TOIds alternate");
+    }
+
+    #[test]
+    fn stride_in_epoch_clips_to_boundary() {
+        let mut plan = RoutingPlan::new(FilterRouting::new(1, 1));
+        plan.announce(TOId(100), FilterRouting::new(2, 1));
+        // Epoch 0: the old filter expects 1, 2, 3, … (stride 1).
+        assert_eq!(plan.stride_in_epoch(0, 0, dc(0)), Some((1, 1)));
+        // Epoch 1: each filter expects its parity class starting ≥ 100.
+        let (s0, f0) = plan.stride_in_epoch(1, 0, dc(0)).unwrap();
+        let (s1, f1) = plan.stride_in_epoch(1, 1, dc(0)).unwrap();
+        assert_eq!((s0, s1), (2, 2));
+        assert!(f0 >= 100 && f1 >= 100);
+        assert_ne!(f0 % 2, f1 % 2, "the classes partition the TOIds");
+        // Together the two filters cover every TOId ≥ 100.
+        for t in 100u64..120 {
+            let covered = (t >= f0 && (t - f0) % s0 == 0) || (t >= f1 && (t - f1) % s1 == 0);
+            assert!(covered, "TOId {t} championed by nobody");
+        }
+    }
+
+    #[test]
+    fn every_routed_record_is_championed_across_epochs() {
+        let mut plan = RoutingPlan::new(FilterRouting::new(2, 2));
+        plan.announce(TOId(50), FilterRouting::new(3, 2));
+        plan.announce(TOId(120), FilterRouting::new(4, 2));
+        for host in 0..2u16 {
+            for toid in 1u64..200 {
+                let epoch = plan.epoch_for(TOId(toid));
+                let target = plan.filter_for(dc(host), TOId(toid));
+                let (stride, first) = plan
+                    .stride_in_epoch(epoch, target, dc(host))
+                    .expect("routed filter champions the host in its epoch");
+                assert!(
+                    toid >= first && (toid - first) % stride == 0,
+                    "host {host} toid {toid}: routed to {target} but its \
+                     sequence is {first}+{stride}k"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must start after")]
+    fn announce_must_advance() {
+        let mut plan = RoutingPlan::new(FilterRouting::new(1, 1));
+        plan.announce(TOId::NONE, FilterRouting::new(2, 1));
+    }
+}

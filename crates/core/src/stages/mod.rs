@@ -1,0 +1,16 @@
+//! The six pipeline stages of a Chariots datacenter (§6.2, Fig. 6):
+//! application clients and [`receiver`]s feed [`batcher`]s, which feed
+//! [`filter`]s, which feed [`queue`]s, which persist into FLStore's log
+//! maintainers; [`sender`]s propagate local records to other datacenters.
+
+pub mod batcher;
+pub mod filter;
+pub mod queue;
+pub mod receiver;
+pub mod sender;
+
+pub use batcher::{spawn_batcher, BatcherCore, BatcherHandle};
+pub use filter::{spawn_filter, FilterCore, FilterHandle, FilterIngress, FilterRouting};
+pub use queue::{spawn_queue, QueueCore, QueueHandle, QueueIngress, QueueNodeConfig};
+pub use receiver::spawn_receiver;
+pub use sender::{spawn_sender, SenderNode};

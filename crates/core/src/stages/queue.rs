@@ -1,0 +1,492 @@
+//! The queues stage (§6.2): causal `LId` assignment under the token.
+//!
+//! "Queues are responsible for assigning LIds to the records. … Once a
+//! group of records have their causal dependencies satisfied, they are
+//! assigned LIds and sent to the appropriate log maintainer for
+//! persistence. … The queue holding the token appends all the records that
+//! can be added to the log … the token is sent to the next [queue] in a
+//! round-robin fashion."
+//!
+//! Adding a queue at runtime (§6.3) "involves two tasks: making the new
+//! queue part of the token exchange loop and propagating the information
+//! of its addition to filters". The first is the swappable `next_queue`
+//! slot below; the second needs no coordination "because a queue can
+//! receive any record" — filters just see a longer ingress list.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use chariots_simnet::{Counter, ServiceStation, Shutdown};
+use chariots_types::{DatacenterId, Entry, MaintainerId, Record, RecordId};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::{Mutex, RwLock};
+
+use chariots_flstore::{Controller, MaintainerHandle};
+
+use crate::atable::ATable;
+use crate::message::{Incoming, LocalAppend};
+use crate::token::Token;
+
+/// The synchronous assignment logic of one queue.
+#[derive(Debug)]
+pub struct QueueCore {
+    dc: DatacenterId,
+    /// Records staged here while the token is elsewhere.
+    staged: Vec<Incoming>,
+    /// Deferred records parked *at this queue* when the deployment's
+    /// token-carries-deferred policy is off (ablation A3).
+    parked: BTreeMap<RecordId, Record>,
+    parked_local: Vec<LocalAppend>,
+    carries_deferred: bool,
+}
+
+impl QueueCore {
+    /// A queue for datacenter `dc`.
+    pub fn new(dc: DatacenterId, carries_deferred: bool) -> Self {
+        QueueCore {
+            dc,
+            staged: Vec::new(),
+            parked: BTreeMap::new(),
+            parked_local: Vec::new(),
+            carries_deferred,
+        }
+    }
+
+    /// Stages records for the next token visit.
+    pub fn stage(&mut self, records: Vec<Incoming>) {
+        self.staged.extend(records);
+    }
+
+    /// Records waiting for the token.
+    pub fn staged_len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Records parked here with unsatisfied dependencies.
+    pub fn parked_len(&self) -> usize {
+        self.parked.len() + self.parked_local.len()
+    }
+
+    /// Processes everything processable while holding the token: assigns
+    /// `(TOId, LId)` to ready records, sends client replies, and returns
+    /// the entries to persist. Unsatisfied records move to the token (or
+    /// stay parked here, per policy).
+    pub fn process(&mut self, token: &mut Token) -> Vec<Entry> {
+        let mut out = Vec::new();
+
+        // Pull everything parked on the token into our working set.
+        let mut ext: BTreeMap<RecordId, Record> = std::mem::take(&mut token.deferred);
+        ext.append(&mut self.parked);
+        let mut locals: Vec<LocalAppend> = std::mem::take(&mut token.deferred_local);
+        locals.append(&mut self.parked_local);
+
+        // Stage the new arrivals.
+        for inc in self.staged.drain(..) {
+            match inc {
+                Incoming::External(r) => {
+                    if !token.is_duplicate(&r) {
+                        ext.entry(r.id).or_insert(r);
+                    }
+                }
+                Incoming::Local(l) => locals.push(l),
+            }
+        }
+
+        // Fixed point: applying one record can unblock others.
+        loop {
+            let mut progress = false;
+
+            // External records in (host, TOId) order — the order they can
+            // possibly apply in.
+            let ready: Vec<RecordId> = ext
+                .values()
+                .filter(|r| token.can_apply(r))
+                .map(|r| r.id)
+                .collect();
+            for id in ready {
+                let Some(r) = ext.get(&id) else { continue };
+                if !token.can_apply(r) {
+                    continue;
+                }
+                let r = ext.remove(&id).expect("present");
+                let lid = token.assign_external(&r);
+                out.push(Entry::new(lid, r));
+                progress = true;
+            }
+
+            // Local appends whose client context is satisfied.
+            let mut still_waiting = Vec::new();
+            for l in locals.drain(..) {
+                if token.applied.dominates(&l.deps) {
+                    let (toid, lid) = token.assign_local(self.dc);
+                    let record =
+                        Record::new(RecordId::new(self.dc, toid), l.deps, l.tags, l.body);
+                    if let Some(reply) = l.reply {
+                        let _ = reply.send((toid, lid));
+                    }
+                    out.push(Entry::new(lid, record));
+                    progress = true;
+                } else {
+                    still_waiting.push(l);
+                }
+            }
+            locals = still_waiting;
+
+            if !progress {
+                break;
+            }
+        }
+
+        // Park the rest — on the token or here, per policy.
+        if self.carries_deferred {
+            token.deferred = ext;
+            token.deferred_local = locals;
+        } else {
+            self.parked = ext;
+            self.parked_local = locals;
+        }
+        out
+    }
+}
+
+/// Routes assigned entries to their owning maintainers and stores them.
+pub fn route_entries(
+    entries: Vec<Entry>,
+    controller: &Controller,
+    maintainers: &[MaintainerHandle],
+) {
+    if entries.is_empty() {
+        return;
+    }
+    let journal = controller.journal();
+    let mut per_maintainer: HashMap<MaintainerId, Vec<Entry>> = HashMap::new();
+    for entry in entries {
+        let owner = journal.owner_of(entry.lid);
+        per_maintainer.entry(owner).or_default().push(entry);
+    }
+    for (owner, batch) in per_maintainer {
+        if let Some(handle) = maintainers.get(owner.index()) {
+            handle.store(batch);
+        }
+    }
+}
+
+/// Producer-side ingress to a queue: sending notes the arrival at the
+/// queue's station so backlog drives its overload model.
+#[derive(Clone)]
+pub struct QueueIngress {
+    tx: Sender<Vec<Incoming>>,
+    station: Arc<ServiceStation>,
+}
+
+impl QueueIngress {
+    /// Enqueues a batch of releasable records.
+    pub fn send(&self, batch: Vec<Incoming>) -> bool {
+        self.station.note_arrival(batch.len() as u64);
+        self.tx.send(batch).is_ok()
+    }
+
+    /// The queue machine's capacity model.
+    pub fn station(&self) -> Arc<ServiceStation> {
+        Arc::clone(&self.station)
+    }
+}
+
+/// Handle to a queue node.
+#[derive(Clone)]
+pub struct QueueHandle {
+    records_tx: Sender<Vec<Incoming>>,
+    token_tx: Sender<Token>,
+    next_queue: Arc<Mutex<Sender<Token>>>,
+    station: Arc<ServiceStation>,
+    processed: Counter,
+}
+
+impl QueueHandle {
+    /// A producer-side ingress (notes arrivals at this queue's station).
+    pub fn ingress(&self) -> QueueIngress {
+        QueueIngress {
+            tx: self.records_tx.clone(),
+            station: Arc::clone(&self.station),
+        }
+    }
+
+    /// Injects the token (deployment wiring: exactly one token exists).
+    pub fn inject_token(&self, token: Token) {
+        let _ = self.token_tx.send(token);
+    }
+
+    /// The sender other queues use to pass the token to this queue.
+    pub fn token_sender(&self) -> Sender<Token> {
+        self.token_tx.clone()
+    }
+
+    /// Re-points this queue's token forwarding — the ring-insertion step
+    /// of adding a queue (§6.3: "informing one of the queues that it
+    /// should forward the token to the new queue rather than the original
+    /// neighbor").
+    pub fn set_next(&self, next: Sender<Token>) {
+        *self.next_queue.lock() = next;
+    }
+
+    /// Records assigned by this queue (bench instrumentation).
+    pub fn processed_counter(&self) -> Counter {
+        self.processed.clone()
+    }
+
+    /// The machine's capacity model.
+    pub fn station(&self) -> Arc<ServiceStation> {
+        Arc::clone(&self.station)
+    }
+}
+
+/// Everything a queue node needs to do its job.
+pub struct QueueNodeConfig {
+    /// This datacenter.
+    pub dc: DatacenterId,
+    /// Token-carries-deferred policy (ablation A3).
+    pub carries_deferred: bool,
+    /// The FLStore controller, for routing journal lookups.
+    pub controller: Controller,
+    /// Maintainer handles for persistence (shared registry: FLStore
+    /// expansion appends to it live).
+    pub maintainers: Arc<RwLock<Vec<MaintainerHandle>>>,
+    /// Shared ATable: row `dc` is refreshed from the token's applied cut.
+    pub atable: Arc<RwLock<ATable>>,
+    /// Where to pass the token next (swappable for ring insertion).
+    pub next_queue: Arc<Mutex<Sender<Token>>>,
+    /// Idle pause before passing on a token that found no work.
+    pub idle_pause: Duration,
+}
+
+/// Spawns a queue node. The caller supplies the token channel pair so the
+/// round-robin ring can be wired before any queue runs: queue *i* receives
+/// on its own channel and `cfg.next_queue` points at queue *i+1*'s sender.
+pub fn spawn_queue(
+    cfg: QueueNodeConfig,
+    token_channel: (Sender<Token>, Receiver<Token>),
+    station: Arc<ServiceStation>,
+    shutdown: Shutdown,
+    name: String,
+) -> (QueueHandle, JoinHandle<()>) {
+    let (records_tx, records_rx) = unbounded::<Vec<Incoming>>();
+    let (token_tx, token_rx) = token_channel;
+    let processed = Counter::new();
+    let handle = QueueHandle {
+        records_tx,
+        token_tx,
+        next_queue: Arc::clone(&cfg.next_queue),
+        station: Arc::clone(&station),
+        processed: processed.clone(),
+    };
+    let thread = std::thread::Builder::new()
+        .name(name)
+        .spawn(move || queue_loop(cfg, &records_rx, &token_rx, &station, &shutdown, &processed))
+        .expect("spawn queue");
+    (handle, thread)
+}
+
+fn queue_loop(
+    cfg: QueueNodeConfig,
+    records_rx: &Receiver<Vec<Incoming>>,
+    token_rx: &Receiver<Token>,
+    station: &ServiceStation,
+    shutdown: &Shutdown,
+    processed: &Counter,
+) {
+    let mut core = QueueCore::new(cfg.dc, cfg.carries_deferred);
+    let pass_token = |token: Token| cfg.next_queue.lock().send(token).is_ok();
+    loop {
+        if shutdown.is_signaled() {
+            return;
+        }
+        // Stage any waiting records (non-blocking), paying their machine
+        // cost NOW — while this queue does *not* hold the token. The
+        // per-record work (staging, buffering, building batches) is what a
+        // queue machine spends its time on; only the LId assignment itself
+        // is serialized by the token, so queue machines scale out (§6.2,
+        // Table 5).
+        let mut crashed = false;
+        loop {
+            match records_rx.try_recv() {
+                Ok(batch) => {
+                    let n = batch.len() as u64;
+                    core.stage(batch);
+                    if station.serve(n).is_err() {
+                        crashed = true;
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => return,
+            }
+        }
+        // Wait briefly for the token.
+        let mut token = match token_rx.recv_timeout(Duration::from_millis(5)) {
+            Ok(t) => t,
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+        };
+        if crashed || station.is_crashed() {
+            // Crashed: pass the token straight on so the ring survives (a
+            // real deployment would re-mint it via the controller).
+            let _ = pass_token(token);
+            continue;
+        }
+
+        let staged = core.staged_len() as u64;
+        let entries = core.process(&mut token);
+        let assigned = entries.len() as u64;
+        processed.add(assigned);
+        route_entries(entries, &cfg.controller, &cfg.maintainers.read());
+        cfg.atable.write().merge_row(cfg.dc, &token.applied);
+        token.passes += 1;
+
+        if assigned == 0 && staged == 0 && !cfg.idle_pause.is_zero() {
+            // Nothing to do: rest before passing the token on, so a quiet
+            // single-queue deployment doesn't spin.
+            std::thread::sleep(cfg.idle_pause);
+        }
+        if !pass_token(token) {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use chariots_types::{LId, TOId, TagSet, VersionVector};
+
+    fn record(host: u16, toid: u64, deps: Vec<u64>) -> Record {
+        Record::new(
+            RecordId::new(DatacenterId(host), TOId(toid)),
+            VersionVector::from_entries(deps.into_iter().map(TOId).collect()),
+            TagSet::new(),
+            Bytes::new(),
+        )
+    }
+
+    fn local(deps: Vec<u64>) -> LocalAppend {
+        LocalAppend {
+            tags: TagSet::new(),
+            body: Bytes::new(),
+            deps: VersionVector::from_entries(deps.into_iter().map(TOId).collect()),
+            reply: None,
+        }
+    }
+
+    #[test]
+    fn ready_records_are_assigned_in_causal_order() {
+        let mut q = QueueCore::new(DatacenterId(0), true);
+        let mut token = Token::new(2);
+        // Deliver host 1's records out of order.
+        q.stage(vec![
+            Incoming::External(record(1, 2, vec![0, 1])),
+            Incoming::External(record(1, 1, vec![0, 0])),
+        ]);
+        let entries = q.process(&mut token);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].record.toid(), TOId(1));
+        assert_eq!(entries[0].lid, LId(0));
+        assert_eq!(entries[1].record.toid(), TOId(2));
+        assert_eq!(entries[1].lid, LId(1));
+        assert_eq!(token.deferred_len(), 0);
+    }
+
+    #[test]
+    fn unsatisfied_records_ride_the_token() {
+        let mut q = QueueCore::new(DatacenterId(0), true);
+        let mut token = Token::new(2);
+        q.stage(vec![Incoming::External(record(1, 2, vec![0, 1]))]);
+        let entries = q.process(&mut token);
+        assert!(entries.is_empty());
+        assert_eq!(token.deferred.len(), 1, "parked on the token");
+        // A second queue later receives the missing dependency.
+        let mut q2 = QueueCore::new(DatacenterId(0), true);
+        q2.stage(vec![Incoming::External(record(1, 1, vec![0, 0]))]);
+        let entries = q2.process(&mut token);
+        assert_eq!(entries.len(), 2, "token-carried record applied too");
+    }
+
+    #[test]
+    fn parked_locally_when_policy_off() {
+        let mut q = QueueCore::new(DatacenterId(0), false);
+        let mut token = Token::new(2);
+        q.stage(vec![Incoming::External(record(1, 2, vec![0, 1]))]);
+        q.process(&mut token);
+        assert_eq!(token.deferred_len(), 0, "token travels light");
+        assert_eq!(q.parked_len(), 1);
+        // The dependency arrives at *this* queue on a later pass.
+        q.stage(vec![Incoming::External(record(1, 1, vec![0, 0]))]);
+        let entries = q.process(&mut token);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(q.parked_len(), 0);
+    }
+
+    #[test]
+    fn local_appends_get_toid_and_reply() {
+        let mut q = QueueCore::new(DatacenterId(0), true);
+        let mut token = Token::new(2);
+        let (reply_tx, reply_rx) = unbounded();
+        q.stage(vec![Incoming::Local(LocalAppend {
+            reply: Some(reply_tx),
+            ..local(vec![0, 0])
+        })]);
+        let entries = q.process(&mut token);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].record.host(), DatacenterId(0));
+        assert_eq!(reply_rx.try_recv().unwrap(), (TOId(1), LId(0)));
+        assert_eq!(token.applied.get(DatacenterId(0)), TOId(1));
+    }
+
+    #[test]
+    fn local_append_waits_for_its_context() {
+        let mut q = QueueCore::new(DatacenterId(0), true);
+        let mut token = Token::new(2);
+        // Client observed host 1's record 1, which is not in the log yet.
+        q.stage(vec![Incoming::Local(local(vec![0, 1]))]);
+        assert!(q.process(&mut token).is_empty());
+        assert_eq!(token.deferred_local.len(), 1);
+        // The dependency arrives; both apply, dependency first.
+        q.stage(vec![Incoming::External(record(1, 1, vec![0, 0]))]);
+        let entries = q.process(&mut token);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].record.host(), DatacenterId(1));
+        assert_eq!(entries[1].record.host(), DatacenterId(0));
+    }
+
+    #[test]
+    fn duplicate_externals_are_dropped() {
+        let mut q = QueueCore::new(DatacenterId(0), true);
+        let mut token = Token::new(2);
+        q.stage(vec![Incoming::External(record(1, 1, vec![0, 0]))]);
+        assert_eq!(q.process(&mut token).len(), 1);
+        // The same record arrives again (filter restarted, link duplicated…).
+        q.stage(vec![Incoming::External(record(1, 1, vec![0, 0]))]);
+        assert!(q.process(&mut token).is_empty(), "exactly-once at the queue");
+        // And a duplicate of a *deferred* record collapses too.
+        q.stage(vec![
+            Incoming::External(record(1, 3, vec![0, 2])),
+            Incoming::External(record(1, 3, vec![0, 2])),
+        ]);
+        q.process(&mut token);
+        assert_eq!(token.deferred.len(), 1);
+    }
+
+    #[test]
+    fn cross_host_causality_is_enforced() {
+        // Host 1's record depends on host 0's record 1.
+        let mut q = QueueCore::new(DatacenterId(2), true);
+        let mut token = Token::new(3);
+        q.stage(vec![Incoming::External(record(1, 1, vec![1, 0, 0]))]);
+        assert!(q.process(&mut token).is_empty(), "cause missing");
+        q.stage(vec![Incoming::External(record(0, 1, vec![0, 0, 0]))]);
+        let entries = q.process(&mut token);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].record.host(), DatacenterId(0), "cause first");
+        assert_eq!(entries[1].record.host(), DatacenterId(1));
+    }
+}

@@ -1,0 +1,147 @@
+//! The receivers stage (§6.2): the ingress for records propagated from
+//! other datacenters.
+//!
+//! Receivers drain the WAN links, record the sending datacenter's applied
+//! cut in the shared ATable (the knowledge that drives propagation
+//! filtering and GC), and forward the records to the batchers.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use chariots_simnet::{Counter, ServiceStation, Shutdown};
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+use parking_lot::RwLock;
+
+use crate::atable::ATable;
+use crate::message::{Incoming, PropagationMsg};
+use crate::stages::batcher::BatcherHandle;
+
+/// Spawns a receiver node draining `wan_rx`. Multiple receivers of one
+/// datacenter share the same channel (crossbeam channels are MPMC), exactly
+/// like multiple machines behind one ingress VIP.
+pub fn spawn_receiver(
+    wan_rx: Receiver<PropagationMsg>,
+    batchers: Arc<RwLock<Vec<BatcherHandle>>>,
+    atable: Arc<RwLock<ATable>>,
+    station: Arc<ServiceStation>,
+    shutdown: Shutdown,
+    name: String,
+) -> (Counter, JoinHandle<()>) {
+    let processed = Counter::new();
+    let counter = processed.clone();
+    let thread = std::thread::Builder::new()
+        .name(name)
+        .spawn(move || {
+            let mut rr = 0usize;
+            loop {
+                if shutdown.is_signaled() {
+                    return;
+                }
+                let msg = match wan_rx.recv_timeout(Duration::from_millis(20)) {
+                    Ok(m) => m,
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => return,
+                };
+                let n = msg.records.len() as u64;
+                station.note_arrival(n.max(1));
+                if station.serve(n.max(1)).is_err() {
+                    continue; // crashed: the ATable loop re-sends
+                }
+                processed.add(n);
+                // The sender's applied cut: everything `from` has
+                // incorporated — row `from` of our ATable.
+                atable.write().merge_row(msg.from, &msg.applied);
+                let batchers = batchers.read();
+                if batchers.is_empty() {
+                    continue;
+                }
+                for record in msg.records {
+                    rr = (rr + 1) % batchers.len();
+                    batchers[rr].send(Incoming::External(record));
+                }
+            }
+        })
+        .expect("spawn receiver");
+    (counter, thread)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stages::batcher::spawn_batcher;
+    use crate::stages::filter::FilterRouting;
+    use bytes::Bytes;
+    use chariots_simnet::StationConfig;
+    use chariots_types::{DatacenterId, Record, RecordId, TOId, TagSet, VersionVector};
+    use crossbeam::channel::unbounded;
+    use std::time::Instant;
+
+    #[test]
+    fn receiver_updates_atable_and_forwards() {
+        let shutdown = Shutdown::new();
+        let atable = Arc::new(RwLock::new(ATable::new(2)));
+        let (filter_tx, filter_rx) = unbounded();
+        let station = Arc::new(ServiceStation::new("r0", StationConfig::uncapped()));
+        let filter_ingress = crate::stages::filter::FilterIngress::from_parts(
+            filter_tx,
+            Arc::new(ServiceStation::new("f0", StationConfig::uncapped())),
+        );
+        let plan = Arc::new(RwLock::new(crate::routing_plan::RoutingPlan::new(
+            FilterRouting::new(1, 2),
+        )));
+        let (batcher, batcher_thread) = spawn_batcher(
+            plan,
+            1, // flush immediately
+            Duration::from_millis(1),
+            Arc::new(RwLock::new(vec![filter_ingress])),
+            Arc::new(ServiceStation::new("b0", StationConfig::uncapped())),
+            shutdown.clone(),
+            "batcher".into(),
+        );
+        let batchers = Arc::new(RwLock::new(vec![batcher]));
+        let (wan_tx, wan_rx) = unbounded();
+        let (counter, recv_thread) = spawn_receiver(
+            wan_rx,
+            batchers,
+            Arc::clone(&atable),
+            station,
+            shutdown.clone(),
+            "receiver".into(),
+        );
+
+        let record = Record::new(
+            RecordId::new(DatacenterId(1), TOId(1)),
+            VersionVector::new(2),
+            TagSet::new(),
+            Bytes::from_static(b"ext"),
+        );
+        wan_tx
+            .send(PropagationMsg {
+                from: DatacenterId(1),
+                records: vec![record],
+                applied: VersionVector::from_entries(vec![TOId(0), TOId(1)]),
+            })
+            .unwrap();
+
+        // The record flows receiver → batcher → filter channel.
+        let batch = filter_rx
+            .recv_timeout(Duration::from_secs(2))
+            .expect("record forwarded");
+        assert_eq!(batch.len(), 1);
+        // And the ATable learned DC 1's applied cut.
+        let deadline = Instant::now() + Duration::from_secs(1);
+        loop {
+            let known = atable.read().get(DatacenterId(1), DatacenterId(1));
+            if known == TOId(1) {
+                break;
+            }
+            assert!(Instant::now() < deadline);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(counter.get(), 1);
+        shutdown.signal();
+        recv_thread.join().unwrap();
+        batcher_thread.join().unwrap();
+    }
+}

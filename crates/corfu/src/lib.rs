@@ -1,0 +1,307 @@
+//! # chariots-corfu
+//!
+//! A CORFU-style shared log baseline (Balakrishnan et al., NSDI 2012; used
+//! by Tango, SOSP 2013) — the design Chariots §5.2 argues against.
+//!
+//! CORFU is **client-driven with pre-assignment**: a centralized
+//! [`sequencer`] hands out log positions, and clients then write their
+//! records directly to the storage [`unit`]s (striped, write-once). The
+//! sequencer is off the data path, so the log's bandwidth exceeds a single
+//! machine's I/O — but every append still costs one sequencer interaction,
+//! so total throughput is capped by the sequencer's capacity no matter how
+//! many storage units are added. The bench harness demonstrates exactly
+//! that cap against FLStore's linear scaling.
+//!
+//! ```
+//! use chariots_corfu::CorfuLog;
+//! use chariots_simnet::StationConfig;
+//!
+//! let log = CorfuLog::launch(3, StationConfig::uncapped(), StationConfig::uncapped());
+//! let client = log.client();
+//! let pos = client.append(b"hello".to_vec()).unwrap();
+//! assert_eq!(pos, 0);
+//! assert_eq!(client.read(pos).unwrap(), b"hello".to_vec());
+//! log.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod sequencer;
+pub mod unit;
+
+use std::sync::Arc;
+
+use chariots_simnet::{Shutdown, StationConfig};
+use chariots_types::{ChariotsError, Result};
+
+pub use sequencer::{spawn_sequencer, SequencerHandle};
+pub use unit::{StorageUnit, UnitSlot};
+
+/// A running CORFU-style deployment: one sequencer plus `n` storage units.
+pub struct CorfuLog {
+    sequencer: SequencerHandle,
+    units: Vec<Arc<StorageUnit>>,
+    shutdown: Shutdown,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl CorfuLog {
+    /// Launches the deployment. `sequencer_station` caps the sequencer's
+    /// request rate (its network I/O — the bottleneck under test);
+    /// `unit_station` caps each storage unit's write bandwidth.
+    pub fn launch(
+        num_units: usize,
+        sequencer_station: StationConfig,
+        unit_station: StationConfig,
+    ) -> Self {
+        assert!(num_units > 0);
+        let shutdown = Shutdown::new();
+        let (sequencer, seq_thread) = spawn_sequencer(sequencer_station, shutdown.clone());
+        let units = (0..num_units)
+            .map(|i| Arc::new(StorageUnit::new(i, unit_station.clone())))
+            .collect();
+        CorfuLog {
+            sequencer,
+            units,
+            shutdown,
+            threads: vec![seq_thread],
+        }
+    }
+
+    /// A client of this log. Clients are cheap; make one per worker thread.
+    pub fn client(&self) -> CorfuClient {
+        CorfuClient {
+            sequencer: self.sequencer.clone(),
+            units: self.units.clone(),
+        }
+    }
+
+    /// The sequencer handle (bench instrumentation).
+    pub fn sequencer(&self) -> &SequencerHandle {
+        &self.sequencer
+    }
+
+    /// The storage units (bench instrumentation).
+    pub fn units(&self) -> &[Arc<StorageUnit>] {
+        &self.units
+    }
+
+    /// Stops the sequencer thread.
+    pub fn shutdown(mut self) {
+        self.shutdown.signal();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// A CORFU client: reserves positions from the sequencer, then writes
+/// directly to the striped storage units.
+#[derive(Clone)]
+pub struct CorfuClient {
+    sequencer: SequencerHandle,
+    units: Vec<Arc<StorageUnit>>,
+}
+
+impl CorfuClient {
+    #[inline]
+    fn unit_for(&self, pos: u64) -> &StorageUnit {
+        &self.units[(pos % self.units.len() as u64) as usize]
+    }
+
+    /// Appends one record: one sequencer round trip, then a direct write.
+    pub fn append(&self, data: Vec<u8>) -> Result<u64> {
+        let pos = self.sequencer.reserve(1)?;
+        self.unit_for(pos).write(pos, data)?;
+        Ok(pos)
+    }
+
+    /// Appends a batch: one sequencer round trip for the whole range
+    /// (CORFU's batched-token optimization), then per-unit writes.
+    pub fn append_batch(&self, batch: Vec<Vec<u8>>) -> Result<u64> {
+        let n = batch.len() as u64;
+        if n == 0 {
+            return self.sequencer.reserve(0);
+        }
+        let start = self.sequencer.reserve(n)?;
+        for (i, data) in batch.into_iter().enumerate() {
+            self.unit_for(start + i as u64).write(start + i as u64, data)?;
+        }
+        Ok(start)
+    }
+
+    /// Reads the record at `pos`.
+    pub fn read(&self, pos: u64) -> Result<Vec<u8>> {
+        self.unit_for(pos).read(pos)
+    }
+
+    /// Fills a hole left by a crashed client (CORFU's junk-fill), making
+    /// the position unreadable but complete so readers can advance.
+    pub fn fill_hole(&self, pos: u64) -> Result<()> {
+        self.unit_for(pos).fill(pos)
+    }
+
+    /// The tail position the sequencer would hand out next.
+    pub fn tail(&self) -> Result<u64> {
+        self.sequencer.tail()
+    }
+}
+
+impl std::fmt::Debug for CorfuClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CorfuClient")
+            .field("units", &self.units.len())
+            .finish()
+    }
+}
+
+/// Convenience: the error CORFU reports when reading a junk-filled hole.
+pub fn is_hole(err: &ChariotsError) -> bool {
+    matches!(err, ChariotsError::Storage(msg) if msg.contains("hole"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn launch(units: usize) -> CorfuLog {
+        CorfuLog::launch(units, StationConfig::uncapped(), StationConfig::uncapped())
+    }
+
+    #[test]
+    fn appends_get_dense_positions() {
+        let log = launch(3);
+        let client = log.client();
+        for expect in 0..10u64 {
+            assert_eq!(client.append(vec![expect as u8]).unwrap(), expect);
+        }
+        for pos in 0..10u64 {
+            assert_eq!(client.read(pos).unwrap(), vec![pos as u8]);
+        }
+        log.shutdown();
+    }
+
+    #[test]
+    fn batch_append_reserves_a_range() {
+        let log = launch(2);
+        let client = log.client();
+        let start = client
+            .append_batch(vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()])
+            .unwrap();
+        assert_eq!(start, 0);
+        assert_eq!(client.read(2).unwrap(), b"c".to_vec());
+        assert_eq!(client.tail().unwrap(), 3);
+        log.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_never_collide() {
+        let log = launch(4);
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let client = log.client();
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                for i in 0..50 {
+                    got.push(client.append(vec![t as u8, i as u8]).unwrap());
+                }
+                got
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 200, "every append got a unique position");
+        assert_eq!(*all.last().unwrap(), 199, "and the range is dense");
+        log.shutdown();
+    }
+
+    #[test]
+    fn hole_fill_completes_a_crashed_append() {
+        let log = launch(2);
+        let client = log.client();
+        // A "crashed" client reserved position 0 but never wrote it.
+        let pos = client.tail().unwrap();
+        let _ = client.sequencer.reserve(1).unwrap();
+        // Another client fills the hole so readers can proceed.
+        client.fill_hole(pos).unwrap();
+        let err = client.read(pos).unwrap_err();
+        assert!(is_hole(&err), "expected a hole marker, got {err}");
+        // The slot is write-once even after filling.
+        assert!(client.append(vec![1]).is_ok(), "log continues past the hole");
+        log.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+        /// Any mix of single and batched appends from any number of
+        /// threads yields dense, unique positions.
+        #[test]
+        fn concurrent_mixed_appends_stay_dense(
+            per_thread in proptest::collection::vec(1usize..5, 2..5),
+            units in 1usize..5,
+        ) {
+            let log = CorfuLog::launch(
+                units,
+                StationConfig::uncapped(),
+                StationConfig::uncapped(),
+            );
+            let mut handles = Vec::new();
+            let mut expected_total = 0u64;
+            for (t, batches) in per_thread.iter().enumerate() {
+                let client = log.client();
+                let batches = *batches;
+                expected_total += (batches * (batches + 1) / 2) as u64;
+                handles.push(std::thread::spawn(move || {
+                    for b in 1..=batches {
+                        let batch: Vec<Vec<u8>> =
+                            (0..b).map(|i| vec![t as u8, i as u8]).collect();
+                        client.append_batch(batch).unwrap();
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            let client = log.client();
+            prop_assert_eq!(client.tail().unwrap(), expected_total);
+            // Every position readable, none empty.
+            for pos in 0..expected_total {
+                prop_assert!(client.read(pos).is_ok(), "hole at {}", pos);
+            }
+            log.shutdown();
+        }
+
+        /// Striping sends position p to unit p mod n, always.
+        #[test]
+        fn striping_is_deterministic(units in 1usize..6, appends in 1u64..40) {
+            let log = CorfuLog::launch(
+                units,
+                StationConfig::uncapped(),
+                StationConfig::uncapped(),
+            );
+            let client = log.client();
+            for i in 0..appends {
+                client.append(vec![i as u8]).unwrap();
+            }
+            let per_unit: Vec<u64> =
+                log.units().iter().map(|u| u.writes_counter().get()).collect();
+            for (i, &count) in per_unit.iter().enumerate() {
+                let expected =
+                    (0..appends).filter(|p| (*p % units as u64) as usize == i).count() as u64;
+                prop_assert_eq!(count, expected, "unit {} write count", i);
+            }
+            log.shutdown();
+        }
+    }
+}

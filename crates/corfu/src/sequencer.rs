@@ -1,0 +1,157 @@
+//! The centralized sequencer: CORFU's position pre-assignment service.
+//!
+//! "The CORFU protocol … uses a centralized sequencer that assigns offsets
+//! to clients to be filled later. This takes the sequencer out of the data
+//! path … However, it is still limited by the bandwidth of the sequencer"
+//! (Chariots §1). The sequencer here is one worker thread whose request
+//! rate is paced by a [`ServiceStation`] — add all the storage units you
+//! like, every append still queues here first.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use chariots_simnet::{Counter, ServiceStation, Shutdown, StationConfig};
+use chariots_types::{ChariotsError, Result};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+
+enum Request {
+    /// Reserve `n` consecutive positions; reply with the first.
+    Reserve { n: u64, reply: Sender<u64> },
+    /// Read the tail without reserving.
+    Tail { reply: Sender<u64> },
+}
+
+/// Client handle to the sequencer.
+#[derive(Clone)]
+pub struct SequencerHandle {
+    tx: Sender<Request>,
+    station: Arc<ServiceStation>,
+    reservations: Counter,
+}
+
+impl SequencerHandle {
+    /// Reserves `n` consecutive positions, returning the first.
+    pub fn reserve(&self, n: u64) -> Result<u64> {
+        self.station.note_arrival(1);
+        let (reply, rx) = bounded(1);
+        self.tx
+            .send(Request::Reserve { n, reply })
+            .map_err(|_| ChariotsError::ShutDown)?;
+        rx.recv().map_err(|_| ChariotsError::ShutDown)
+    }
+
+    /// The next position the sequencer would hand out.
+    pub fn tail(&self) -> Result<u64> {
+        let (reply, rx) = bounded(1);
+        self.tx
+            .send(Request::Tail { reply })
+            .map_err(|_| ChariotsError::ShutDown)?;
+        rx.recv().map_err(|_| ChariotsError::ShutDown)
+    }
+
+    /// Total reservation requests served (bench instrumentation). Each
+    /// request costs one unit of sequencer capacity regardless of batch
+    /// size — that asymmetry is why client-side batching helps CORFU but
+    /// can never remove the cap.
+    pub fn reservations_counter(&self) -> Counter {
+        self.reservations.clone()
+    }
+
+    /// The sequencer machine's capacity model.
+    pub fn station(&self) -> Arc<ServiceStation> {
+        Arc::clone(&self.station)
+    }
+}
+
+/// Spawns the sequencer thread.
+pub fn spawn_sequencer(
+    station_cfg: StationConfig,
+    shutdown: Shutdown,
+) -> (SequencerHandle, JoinHandle<()>) {
+    let (tx, rx): (Sender<Request>, Receiver<Request>) = unbounded();
+    let station = Arc::new(ServiceStation::new("sequencer", station_cfg));
+    let reservations = Counter::new();
+    let handle = SequencerHandle {
+        tx,
+        station: Arc::clone(&station),
+        reservations: reservations.clone(),
+    };
+    let thread = std::thread::Builder::new()
+        .name("corfu-sequencer".into())
+        .spawn(move || {
+            let mut tail: u64 = 0;
+            loop {
+                if shutdown.is_signaled() {
+                    return;
+                }
+                match rx.recv_timeout(Duration::from_millis(20)) {
+                    Ok(Request::Reserve { n, reply }) => {
+                        // One request = one unit of sequencer I/O,
+                        // regardless of the batch size it reserves.
+                        if station.serve(1).is_err() {
+                            continue; // crashed: the client's recv fails? No
+                                      // — drop the reply sender so the
+                                      // client sees ShutDown-style failure.
+                        }
+                        reservations.add(1);
+                        let start = tail;
+                        tail += n;
+                        let _ = reply.send(start);
+                    }
+                    Ok(Request::Tail { reply }) => {
+                        let _ = reply.send(tail);
+                    }
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+            }
+        })
+        .expect("spawn sequencer");
+    (handle, thread)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn reservations_are_consecutive() {
+        let shutdown = Shutdown::new();
+        let (seq, thread) = spawn_sequencer(StationConfig::uncapped(), shutdown.clone());
+        assert_eq!(seq.reserve(1).unwrap(), 0);
+        assert_eq!(seq.reserve(5).unwrap(), 1);
+        assert_eq!(seq.reserve(1).unwrap(), 6);
+        assert_eq!(seq.tail().unwrap(), 7);
+        assert_eq!(seq.reservations_counter().get(), 3);
+        shutdown.signal();
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn capped_sequencer_limits_request_rate() {
+        let shutdown = Shutdown::new();
+        let (seq, thread) = spawn_sequencer(StationConfig::with_rate(1_000.0), shutdown.clone());
+        let start = Instant::now();
+        for _ in 0..100 {
+            seq.reserve(1).unwrap();
+        }
+        // 100 requests at 1000 req/s ⇒ ≥ ~100 ms.
+        assert!(start.elapsed() >= Duration::from_millis(80));
+        shutdown.signal();
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn batch_reservations_cost_one_request() {
+        let shutdown = Shutdown::new();
+        let (seq, thread) = spawn_sequencer(StationConfig::with_rate(1_000.0), shutdown.clone());
+        let start = Instant::now();
+        // 100 positions in one request: fast despite the cap.
+        assert_eq!(seq.reserve(100).unwrap(), 0);
+        assert!(start.elapsed() < Duration::from_millis(50));
+        shutdown.signal();
+        thread.join().unwrap();
+    }
+}

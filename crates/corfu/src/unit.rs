@@ -1,0 +1,139 @@
+//! CORFU storage units: write-once striped pages.
+//!
+//! Each unit stores the positions `p` with `p mod num_units == unit_index`.
+//! Slots are write-once (a flash page); overwrites are errors, and holes
+//! left by crashed clients can be junk-filled so readers can advance.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use chariots_simnet::{Counter, ServiceStation, StationConfig};
+use chariots_types::{ChariotsError, Result};
+use parking_lot::Mutex;
+
+/// One slot of a storage unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnitSlot {
+    /// A written record.
+    Data(Vec<u8>),
+    /// A junk-filled hole (reserved by a client that never wrote).
+    Hole,
+}
+
+/// One write-once storage unit.
+#[derive(Debug)]
+pub struct StorageUnit {
+    index: usize,
+    slots: Mutex<HashMap<u64, UnitSlot>>,
+    station: Arc<ServiceStation>,
+    writes: Counter,
+}
+
+impl StorageUnit {
+    /// Creates unit `index` paced by `station_cfg`.
+    pub fn new(index: usize, station_cfg: StationConfig) -> Self {
+        StorageUnit {
+            index,
+            slots: Mutex::new(HashMap::new()),
+            station: Arc::new(ServiceStation::new(format!("unit-{index}"), station_cfg)),
+            writes: Counter::new(),
+        }
+    }
+
+    /// This unit's stripe index.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Writes `data` at `pos`. Write-once: an occupied slot is an error.
+    pub fn write(&self, pos: u64, data: Vec<u8>) -> Result<()> {
+        self.station.note_arrival(1);
+        self.station.serve(1)?;
+        let mut slots = self.slots.lock();
+        if slots.contains_key(&pos) {
+            return Err(ChariotsError::Storage(format!(
+                "position {pos} already written (write-once)"
+            )));
+        }
+        slots.insert(pos, UnitSlot::Data(data));
+        self.writes.add(1);
+        Ok(())
+    }
+
+    /// Junk-fills `pos` (idempotent against races with the original
+    /// writer: if data landed first, the fill is a no-op failure).
+    pub fn fill(&self, pos: u64) -> Result<()> {
+        let mut slots = self.slots.lock();
+        match slots.get(&pos) {
+            Some(UnitSlot::Data(_)) => Err(ChariotsError::Storage(format!(
+                "position {pos} already written (write-once)"
+            ))),
+            Some(UnitSlot::Hole) => Ok(()),
+            None => {
+                slots.insert(pos, UnitSlot::Hole);
+                Ok(())
+            }
+        }
+    }
+
+    /// Reads the record at `pos`.
+    pub fn read(&self, pos: u64) -> Result<Vec<u8>> {
+        let slots = self.slots.lock();
+        match slots.get(&pos) {
+            Some(UnitSlot::Data(d)) => Ok(d.clone()),
+            Some(UnitSlot::Hole) => Err(ChariotsError::Storage(format!(
+                "position {pos} is a junk-filled hole"
+            ))),
+            None => Err(ChariotsError::NotYetAvailable(chariots_types::LId(pos))),
+        }
+    }
+
+    /// Total successful writes (bench instrumentation).
+    pub fn writes_counter(&self) -> Counter {
+        self.writes.clone()
+    }
+
+    /// The unit's capacity model.
+    pub fn station(&self) -> Arc<ServiceStation> {
+        Arc::clone(&self.station)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let u = StorageUnit::new(0, StationConfig::uncapped());
+        u.write(0, b"x".to_vec()).unwrap();
+        assert_eq!(u.read(0).unwrap(), b"x".to_vec());
+    }
+
+    #[test]
+    fn slots_are_write_once() {
+        let u = StorageUnit::new(0, StationConfig::uncapped());
+        u.write(3, b"a".to_vec()).unwrap();
+        assert!(u.write(3, b"b".to_vec()).is_err());
+        assert_eq!(u.read(3).unwrap(), b"a".to_vec());
+    }
+
+    #[test]
+    fn unwritten_reads_are_not_yet_available() {
+        let u = StorageUnit::new(0, StationConfig::uncapped());
+        assert!(matches!(
+            u.read(9),
+            Err(ChariotsError::NotYetAvailable(_))
+        ));
+    }
+
+    #[test]
+    fn fill_is_idempotent_and_loses_to_data() {
+        let u = StorageUnit::new(0, StationConfig::uncapped());
+        u.fill(1).unwrap();
+        u.fill(1).unwrap();
+        assert!(u.read(1).is_err());
+        u.write(2, b"d".to_vec()).unwrap();
+        assert!(u.fill(2).is_err(), "fill must not clobber data");
+    }
+}

@@ -1,0 +1,202 @@
+//! Cold storage for garbage-collected records (§6.1).
+//!
+//! "If the user chooses not to garbage collect the records then they may
+//! employ a cold storage solution to archive older records." This module
+//! provides that tier: before the hot log reclaims a prefix, its entries
+//! are appended to an archive file (the same CRC-framed format as the
+//! WAL), and an [`ArchiveReader`] serves reads of collected positions —
+//! the substrate for the paper's "time travel" and auditing use cases.
+
+use std::path::{Path, PathBuf};
+
+use chariots_types::{ChariotsError, Entry, LId, Result};
+
+use crate::wal::Wal;
+
+/// Append-side handle to an archive file.
+#[derive(Debug)]
+pub struct ArchiveWriter {
+    wal: Wal,
+    /// Positions strictly below this have been archived.
+    archived_below: LId,
+}
+
+impl ArchiveWriter {
+    /// Opens (creating if absent) the archive at `path`. Existing frames
+    /// are scanned to find where archiving left off.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self> {
+        let path = path.into();
+        let archived_below = Wal::replay(&path)?
+            .last()
+            .map(|e| e.lid.next())
+            .unwrap_or(LId::ZERO);
+        Ok(ArchiveWriter {
+            wal: Wal::open(path)?,
+            archived_below,
+        })
+    }
+
+    /// Archives entries. They must continue the archived prefix in `LId`
+    /// order (the GC bound only moves forward, so this is the natural call
+    /// pattern); re-archiving already-archived positions is a no-op.
+    pub fn archive(&mut self, entries: &[Entry]) -> Result<()> {
+        for entry in entries {
+            if entry.lid < self.archived_below {
+                continue; // idempotent re-archive
+            }
+            if entry.lid != self.archived_below {
+                return Err(ChariotsError::Storage(format!(
+                    "archive gap: expected {}, got {}",
+                    self.archived_below, entry.lid
+                )));
+            }
+            self.wal.append(entry)?;
+            self.archived_below = entry.lid.next();
+        }
+        self.wal.sync()
+    }
+
+    /// Positions strictly below this are safely archived.
+    pub fn archived_below(&self) -> LId {
+        self.archived_below
+    }
+
+    /// The backing file.
+    pub fn path(&self) -> &Path {
+        self.wal.path()
+    }
+}
+
+/// Read-side handle: loads the archive into memory for position lookups.
+/// Archives are cold by definition — opened on demand, not kept hot.
+#[derive(Debug)]
+pub struct ArchiveReader {
+    entries: Vec<Entry>,
+}
+
+impl ArchiveReader {
+    /// Loads the archive at `path`.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        Ok(ArchiveReader {
+            entries: Wal::replay(path)?,
+        })
+    }
+
+    /// Reads the archived entry at `lid`.
+    pub fn read(&self, lid: LId) -> Result<Entry> {
+        // Entries are dense and LId-ordered starting at the first archived
+        // position.
+        let base = self
+            .entries
+            .first()
+            .map(|e| e.lid)
+            .ok_or(ChariotsError::NotYetAvailable(lid))?;
+        if lid < base {
+            return Err(ChariotsError::GarbageCollected(lid));
+        }
+        self.entries
+            .get((lid.0 - base.0) as usize)
+            .filter(|e| e.lid == lid)
+            .cloned()
+            .ok_or(ChariotsError::NotYetAvailable(lid))
+    }
+
+    /// Number of archived entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the archive is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates archived entries in `LId` order.
+    pub fn iter(&self) -> impl Iterator<Item = &Entry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use chariots_types::{DatacenterId, Record, RecordId, TOId, TagSet, VersionVector};
+
+    fn entry(lid: u64) -> Entry {
+        Entry::new(
+            LId(lid),
+            Record::new(
+                RecordId::new(DatacenterId(0), TOId(lid + 1)),
+                VersionVector::new(1),
+                TagSet::new(),
+                Bytes::from(format!("r{lid}")),
+            ),
+        )
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("chariots-archive-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn archive_and_read_back() {
+        let path = temp_path("roundtrip.arc");
+        let mut w = ArchiveWriter::open(&path).unwrap();
+        w.archive(&[entry(0), entry(1), entry(2)]).unwrap();
+        assert_eq!(w.archived_below(), LId(3));
+        let r = ArchiveReader::open(&path).unwrap();
+        assert_eq!(r.len(), 3);
+        assert_eq!(&r.read(LId(1)).unwrap().record.body[..], b"r1");
+        assert!(matches!(
+            r.read(LId(3)),
+            Err(ChariotsError::NotYetAvailable(_))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn archive_rejects_gaps_and_tolerates_rearchive() {
+        let path = temp_path("gaps.arc");
+        let mut w = ArchiveWriter::open(&path).unwrap();
+        w.archive(&[entry(0)]).unwrap();
+        // Re-archiving position 0 is a no-op…
+        w.archive(&[entry(0), entry(1)]).unwrap();
+        assert_eq!(w.archived_below(), LId(2));
+        // …but skipping position 2 is an error.
+        assert!(matches!(
+            w.archive(&[entry(3)]),
+            Err(ChariotsError::Storage(_))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn archive_resumes_after_reopen() {
+        let path = temp_path("resume.arc");
+        {
+            let mut w = ArchiveWriter::open(&path).unwrap();
+            w.archive(&[entry(0), entry(1)]).unwrap();
+        }
+        let mut w = ArchiveWriter::open(&path).unwrap();
+        assert_eq!(w.archived_below(), LId(2));
+        w.archive(&[entry(2)]).unwrap();
+        let r = ArchiveReader::open(&path).unwrap();
+        assert_eq!(r.len(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_archive_reads_nothing() {
+        let path = temp_path("empty.arc");
+        let _ = ArchiveWriter::open(&path).unwrap();
+        let r = ArchiveReader::open(&path).unwrap();
+        assert!(r.is_empty());
+        assert!(r.read(LId(0)).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

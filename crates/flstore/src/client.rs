@@ -1,0 +1,279 @@
+//! The application-client library (§3): `Append` and `Read` over FLStore.
+//!
+//! "The shared log is accessed by cloud applications … through a linked
+//! library that manages the exchange of information between the application
+//! and the log maintainers." The client polls the controller once at
+//! session start (and again on topology trouble), then talks directly to
+//! maintainers — and to indexers only "if [the] read operation did not
+//! specify LIds in the rules".
+
+use bytes::Bytes;
+use chariots_types::{
+    ChariotsError, Condition, Entry, LId, Limit, ReadRule, Result, TOId, TagSet,
+};
+
+use crate::controller::{Controller, Session};
+use crate::maintainer::AppendPayload;
+
+/// How the client spreads appends over maintainers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AppendRouting {
+    /// Round-robin over maintainers (default; best load spread).
+    #[default]
+    RoundRobin,
+    /// Always the same maintainer (gives same-maintainer FIFO ordering for
+    /// this client's appends, §5.4's first explicit-order technique).
+    Pinned(u16),
+}
+
+/// A client session against one datacenter's FLStore.
+pub struct FLStoreClient {
+    controller: Controller,
+    session: Session,
+    routing: AppendRouting,
+    rr_cursor: usize,
+}
+
+impl FLStoreClient {
+    /// Opens a session via the controller.
+    pub fn connect(controller: &Controller) -> Self {
+        FLStoreClient {
+            controller: controller.clone(),
+            session: controller.session(),
+            routing: AppendRouting::default(),
+            rr_cursor: 0,
+        }
+    }
+
+    /// Sets the append-routing policy.
+    pub fn with_routing(mut self, routing: AppendRouting) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Re-polls the controller ("if communication problems occur").
+    pub fn refresh_session(&mut self) {
+        self.session = self.controller.session();
+    }
+
+    /// Approximate number of records in the log (from session start).
+    pub fn approx_records(&self) -> u64 {
+        self.session.approx_records
+    }
+
+    fn pick_maintainer(&mut self) -> Result<usize> {
+        let n = self.session.maintainers.len();
+        if n == 0 {
+            return Err(ChariotsError::Unavailable("no maintainers".into()));
+        }
+        Ok(match self.routing {
+            AppendRouting::Pinned(i) => (i as usize) % n,
+            AppendRouting::RoundRobin => {
+                self.rr_cursor = (self.rr_cursor + 1) % n;
+                self.rr_cursor
+            }
+        })
+    }
+
+    /// Appends a record; returns the assigned `(TOId, LId)` (§3's
+    /// `Append(in: record, tags)`).
+    pub fn append(&mut self, tags: TagSet, body: impl Into<Bytes>) -> Result<(TOId, LId)> {
+        let i = self.pick_maintainer()?;
+        let mut ids =
+            self.session.maintainers[i].append(vec![AppendPayload::new(tags, body)])?;
+        Ok(ids.pop().expect("one payload, one id"))
+    }
+
+    /// Appends a batch to a single maintainer (amortizes the round trip).
+    pub fn append_batch(&mut self, payloads: Vec<AppendPayload>) -> Result<Vec<(TOId, LId)>> {
+        let i = self.pick_maintainer()?;
+        self.session.maintainers[i].append(payloads)
+    }
+
+    /// Fire-and-forget batch append (open-loop load generation).
+    pub fn append_async(&mut self, payloads: Vec<AppendPayload>) -> Result<()> {
+        let i = self.pick_maintainer()?;
+        if self.session.maintainers[i].append_async(payloads) {
+            Ok(())
+        } else {
+            Err(ChariotsError::ShutDown)
+        }
+    }
+
+    /// Explicit-order append across maintainers: the assigned position is
+    /// guaranteed to exceed `min` (§5.4's second technique).
+    pub fn append_after(
+        &mut self,
+        tags: TagSet,
+        body: impl Into<Bytes>,
+        min: LId,
+    ) -> Result<Option<(TOId, LId)>> {
+        let i = self.pick_maintainer()?;
+        self.session.maintainers[i].append_min_bound(AppendPayload::new(tags, body), min)
+    }
+
+    /// Reads the record at `lid`, enforcing the no-gaps-below rule via the
+    /// Head of the Log.
+    pub fn read(&mut self, lid: LId) -> Result<Entry> {
+        self.read_with_hl(lid, true)
+    }
+
+    /// Reads the record at `lid`, optionally skipping the HL gate (used by
+    /// infrastructure that has its own ordering guarantees).
+    pub fn read_with_hl(&mut self, lid: LId, enforce_hl: bool) -> Result<Entry> {
+        let owner = self.session.journal.owner_of(lid);
+        let Some(handle) = self.session.maintainers.get(owner.index()) else {
+            return Err(ChariotsError::Unavailable(format!("maintainer {owner}")));
+        };
+        match handle.read(lid, enforce_hl) {
+            Err(ChariotsError::WrongMaintainer { owner, .. }) => {
+                // Stale journal: refresh the session and retry once.
+                self.refresh_session();
+                let handle = self
+                    .session
+                    .maintainers
+                    .get(owner.index())
+                    .ok_or_else(|| ChariotsError::Unavailable(format!("maintainer {owner}")))?;
+                handle.read(lid, enforce_hl)
+            }
+            other => other,
+        }
+    }
+
+    /// The Head of the Log: every position strictly below it is readable
+    /// (Hyksos polls this to pick get-transaction snapshots, Alg. 1).
+    pub fn head_of_log(&mut self) -> Result<LId> {
+        // Any maintainer answers ("it asks one of the maintainers").
+        let i = self.pick_maintainer()?;
+        self.session.maintainers[i].head_of_log()
+    }
+
+    /// `Read(in: rules, out: records)` (§3): evaluates a [`ReadRule`].
+    ///
+    /// * Rules that pin exact `LId`s read directly from the owners.
+    /// * Rules with tag conditions consult the responsible indexer first.
+    /// * Rules with neither fall back to scanning the maintainers.
+    ///
+    /// Results respect the Head of the Log: positions at or above it are
+    /// never returned.
+    pub fn read_rule(&mut self, rule: &ReadRule) -> Result<Vec<Entry>> {
+        let hl = self.head_of_log()?;
+
+        // Exact-LId fast path.
+        let exact: Vec<LId> = rule
+            .conditions
+            .iter()
+            .filter_map(|c| match c {
+                Condition::LIdEq(lid) => Some(*lid),
+                _ => None,
+            })
+            .collect();
+        if !exact.is_empty() {
+            let mut out = Vec::new();
+            for lid in exact {
+                if lid >= hl {
+                    continue;
+                }
+                let entry = self.read_with_hl(lid, true)?;
+                if rule.matches(&entry) {
+                    out.push(entry);
+                }
+            }
+            out.sort_by_key(|e| e.lid);
+            return Ok(apply_limit(out, rule.limit));
+        }
+
+        // Tag-indexed path.
+        let tag_key = rule.conditions.iter().find_map(|c| match c {
+            Condition::HasTag(key) => Some(key.clone()),
+            Condition::TagValue(key, _) => Some(key.clone()),
+            _ => None,
+        });
+        let candidates: Vec<LId> = if let Some(key) = tag_key {
+            if self.session.indexers.is_empty() {
+                self.scan_candidates(hl)?
+            } else {
+                let ix = crate::indexer::indexer_for(&key, self.session.indexers.len());
+                // Over-fetch with Limit::All: other conditions may filter
+                // further, and the final limit is applied after filtering.
+                self.session.indexers[ix].lookup(key, None, Limit::All)?
+            }
+        } else {
+            self.scan_candidates(hl)?
+        };
+
+        let mut out = Vec::new();
+        for lid in candidates {
+            if lid >= hl {
+                continue;
+            }
+            if let Ok(entry) = self.read_with_hl(lid, true) {
+                if rule.matches(&entry) {
+                    out.push(entry);
+                }
+            }
+        }
+        out.sort_by_key(|e| e.lid);
+        out.dedup_by_key(|e| e.lid);
+        Ok(apply_limit(out, rule.limit))
+    }
+
+    /// Full-scan fallback: every readable position below the HL.
+    fn scan_candidates(&mut self, hl: LId) -> Result<Vec<LId>> {
+        let mut lids = Vec::new();
+        for m in &self.session.maintainers {
+            for e in m.scan(LId::ZERO, usize::MAX)? {
+                if e.lid < hl {
+                    lids.push(e.lid);
+                }
+            }
+        }
+        lids.sort_unstable();
+        Ok(lids)
+    }
+}
+
+/// Applies a [`Limit`] to `LId`-ascending entries, mirroring
+/// [`ReadRule::apply`]'s ordering semantics.
+fn apply_limit(mut entries: Vec<Entry>, limit: Limit) -> Vec<Entry> {
+    match limit {
+        Limit::All => entries,
+        Limit::Oldest(n) => {
+            entries.truncate(n);
+            entries
+        }
+        Limit::MostRecent(n) => {
+            let skip = entries.len().saturating_sub(n);
+            let mut recent = entries.split_off(skip);
+            recent.reverse();
+            recent
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_limit_most_recent_descends() {
+        use chariots_types::{DatacenterId, Record, RecordId, TagSet, VersionVector};
+        let entries: Vec<Entry> = (0..5)
+            .map(|i| {
+                Entry::new(
+                    LId(i),
+                    Record::new(
+                        RecordId::new(DatacenterId(0), chariots_types::TOId(i + 1)),
+                        VersionVector::new(1),
+                        TagSet::new(),
+                        Bytes::new(),
+                    ),
+                )
+            })
+            .collect();
+        let got = apply_limit(entries.clone(), Limit::MostRecent(2));
+        assert_eq!(got.iter().map(|e| e.lid).collect::<Vec<_>>(), vec![LId(4), LId(3)]);
+        let got = apply_limit(entries, Limit::Oldest(2));
+        assert_eq!(got.iter().map(|e| e.lid).collect::<Vec<_>>(), vec![LId(0), LId(1)]);
+    }
+}

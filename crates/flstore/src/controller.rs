@@ -1,0 +1,160 @@
+//! The Controller: highly-available stateless metadata oracle (§3, §5.1).
+//!
+//! "Meta servers are a highly-available collection of stateless servers
+//! acting as an oracle for application clients to report about the state
+//! and locations of the Log maintainers." This reproduction models the
+//! collection as a shared, lock-protected registry: any clone of
+//! [`Controller`] answers session requests, and none of them sits on the
+//! data path.
+
+use std::sync::Arc;
+
+use chariots_types::{DatacenterId, Epoch, LId, Result};
+use chariots_simnet::Counter;
+use parking_lot::RwLock;
+
+use crate::epoch::EpochJournal;
+use crate::node::{IndexerHandle, MaintainerHandle};
+use crate::range::RangeMap;
+
+/// Everything a client needs for a session: maintainer and indexer
+/// addresses, the epoch journal, and the approximate log size (§5.1:
+/// "approximate information about the number of records in the shared
+/// log").
+#[derive(Clone)]
+pub struct Session {
+    /// The datacenter this session talks to.
+    pub dc: DatacenterId,
+    /// Handles to every log maintainer, indexed by `MaintainerId`.
+    pub maintainers: Vec<MaintainerHandle>,
+    /// Handles to every indexer.
+    pub indexers: Vec<IndexerHandle>,
+    /// Snapshot of the epoch journal at session start.
+    pub journal: EpochJournal,
+    /// Approximate number of records in the shared log at session start.
+    pub approx_records: u64,
+}
+
+struct ControllerState {
+    dc: DatacenterId,
+    maintainers: Vec<MaintainerHandle>,
+    indexers: Vec<IndexerHandle>,
+    journal: EpochJournal,
+}
+
+/// The metadata oracle for one datacenter's FLStore deployment.
+#[derive(Clone)]
+pub struct Controller {
+    state: Arc<RwLock<ControllerState>>,
+    appended: Counter,
+}
+
+impl Controller {
+    /// Creates a controller for a deployment with the given initial
+    /// striping.
+    pub fn new(dc: DatacenterId, initial: RangeMap) -> Self {
+        Controller {
+            state: Arc::new(RwLock::new(ControllerState {
+                dc,
+                maintainers: Vec::new(),
+                indexers: Vec::new(),
+                journal: EpochJournal::new(initial),
+            })),
+            appended: Counter::new(),
+        }
+    }
+
+    /// Registers the deployment's maintainer handles.
+    pub fn register_maintainers(&self, maintainers: Vec<MaintainerHandle>) {
+        self.state.write().maintainers = maintainers;
+    }
+
+    /// Registers the deployment's indexer handles.
+    pub fn register_indexers(&self, indexers: Vec<IndexerHandle>) {
+        self.state.write().indexers = indexers;
+    }
+
+    /// The shared append counter maintainers feed (approximate log size).
+    pub fn appended_counter(&self) -> Counter {
+        self.appended.clone()
+    }
+
+    /// Starts a client session: a snapshot of the current topology.
+    pub fn session(&self) -> Session {
+        let state = self.state.read();
+        Session {
+            dc: state.dc,
+            maintainers: state.maintainers.clone(),
+            indexers: state.indexers.clone(),
+            journal: state.journal.clone(),
+            approx_records: self.approx_records(),
+        }
+    }
+
+    /// Approximate number of records in the shared log.
+    pub fn approx_records(&self) -> u64 {
+        let maintainers = { self.state.read().maintainers.clone() };
+        maintainers
+            .iter()
+            .map(|m| m.appended_counter().get())
+            .sum()
+    }
+
+    /// Announces a future reassignment (§6.3): records the new epoch in the
+    /// journal and broadcasts it to every registered maintainer. The added
+    /// maintainer (if any) must already be registered.
+    ///
+    /// Returns the new epoch.
+    pub fn announce_epoch(&self, start: LId, map: RangeMap) -> Result<Epoch> {
+        let mut state = self.state.write();
+        let epoch = state.journal.announce(start, map);
+        for m in &state.maintainers {
+            m.announce_epoch(start, map);
+        }
+        Ok(epoch)
+    }
+
+    /// A snapshot of the journal (e.g. for a refreshed session).
+    pub fn journal(&self) -> EpochJournal {
+        self.state.read().journal.clone()
+    }
+
+    /// The datacenter this controller serves.
+    pub fn datacenter(&self) -> DatacenterId {
+        self.state.read().dc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_snapshots_topology() {
+        let c = Controller::new(DatacenterId(0), RangeMap::new(2, 10));
+        let s = c.session();
+        assert_eq!(s.dc, DatacenterId(0));
+        assert!(s.maintainers.is_empty());
+        assert_eq!(s.journal.current().epoch, Epoch::INITIAL);
+        assert_eq!(s.approx_records, 0);
+    }
+
+    #[test]
+    fn announce_epoch_updates_journal() {
+        let c = Controller::new(DatacenterId(0), RangeMap::new(1, 10));
+        let e = c.announce_epoch(LId(100), RangeMap::new(2, 10)).unwrap();
+        assert_eq!(e, Epoch(1));
+        let j = c.journal();
+        assert_eq!(j.assignments().len(), 2);
+        assert_eq!(j.current().start, LId(100));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let c = Controller::new(DatacenterId(1), RangeMap::new(1, 10));
+        let c2 = c.clone();
+        c.announce_epoch(LId(50), RangeMap::new(2, 10)).unwrap();
+        assert_eq!(c2.journal().assignments().len(), 2);
+        assert_eq!(c2.datacenter(), DatacenterId(1));
+    }
+}

@@ -1,0 +1,213 @@
+//! Deployment wiring: launch a full FLStore instance inside one simulated
+//! datacenter — maintainer nodes, indexer nodes, the controller, and the
+//! gossip fabric (Fig. 3's architecture).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use chariots_types::{DatacenterId, FLStoreConfig, LId, MaintainerId, Result};
+use chariots_simnet::{ServiceStation, Shutdown, StationConfig};
+
+use crate::client::FLStoreClient;
+use crate::controller::Controller;
+use crate::indexer::IndexerCore;
+use crate::maintainer::MaintainerCore;
+use crate::node::{spawn_indexer, spawn_maintainer, Fabric, IndexerHandle, MaintainerHandle};
+use crate::range::RangeMap;
+
+/// A running FLStore deployment: the §5 architecture inside one datacenter.
+pub struct FLStore {
+    cfg: FLStoreConfig,
+    dc: DatacenterId,
+    controller: Controller,
+    fabric: Fabric,
+    maintainers: Vec<MaintainerHandle>,
+    indexers: Vec<IndexerHandle>,
+    station_cfg: StationConfig,
+    persist_dir: Option<PathBuf>,
+    shutdown: Shutdown,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl FLStore {
+    /// Launches a deployment with uncapped machines (correctness testing).
+    pub fn launch(dc: DatacenterId, cfg: FLStoreConfig) -> Result<Self> {
+        Self::launch_with(dc, cfg, StationConfig::uncapped(), None)
+    }
+
+    /// Launches a deployment whose machines are paced by `station_cfg`,
+    /// optionally persisting each maintainer's log under `persist_dir`.
+    pub fn launch_with(
+        dc: DatacenterId,
+        cfg: FLStoreConfig,
+        station_cfg: StationConfig,
+        persist_dir: Option<PathBuf>,
+    ) -> Result<Self> {
+        cfg.validate().map_err(chariots_types::ChariotsError::InvalidConfig)?;
+        let initial = RangeMap::new(cfg.num_maintainers, cfg.batch_size);
+        let controller = Controller::new(dc, initial);
+        let fabric = Fabric::new();
+        let shutdown = Shutdown::new();
+        let mut deployment = FLStore {
+            cfg,
+            dc,
+            controller,
+            fabric,
+            maintainers: Vec::new(),
+            indexers: Vec::new(),
+            station_cfg,
+            persist_dir,
+            shutdown,
+            threads: Vec::new(),
+        };
+
+        for i in 0..deployment.cfg.num_maintainers {
+            deployment.spawn_maintainer_node(MaintainerId(i as u16))?;
+        }
+        for _ in 0..deployment.cfg.num_indexers {
+            let (handle, thread) = spawn_indexer(IndexerCore::new(), deployment.shutdown.clone());
+            deployment.indexers.push(handle);
+            deployment.threads.push(forget_result(thread));
+        }
+        deployment.rewire();
+        Ok(deployment)
+    }
+
+    fn spawn_maintainer_node(&mut self, id: MaintainerId) -> Result<()> {
+        let mut core = MaintainerCore::new(id, self.dc, self.controller.journal())
+            .with_max_deferred(self.cfg.max_deferred_appends);
+        if let Some(dir) = &self.persist_dir {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| chariots_types::ChariotsError::Storage(e.to_string()))?;
+            core = core.with_wal(dir.join(format!("maintainer-{}.wal", id.0)))?;
+        }
+        let station = Arc::new(ServiceStation::new(
+            format!("maintainer-{}", id.0),
+            self.station_cfg.clone(),
+        ));
+        let (handle, thread) = spawn_maintainer(
+            core,
+            station,
+            self.fabric.clone(),
+            self.cfg.gossip_interval,
+            self.shutdown.clone(),
+        );
+        self.maintainers.push(handle);
+        self.threads.push(forget_result(thread));
+        Ok(())
+    }
+
+    fn rewire(&self) {
+        self.fabric.set_peers(self.maintainers.clone());
+        self.fabric.set_indexers(self.indexers.clone());
+        self.controller.register_maintainers(self.maintainers.clone());
+        self.controller.register_indexers(self.indexers.clone());
+    }
+
+    /// The deployment's controller (session bootstrap).
+    pub fn controller(&self) -> &Controller {
+        &self.controller
+    }
+
+    /// Opens an application-client session.
+    pub fn client(&self) -> FLStoreClient {
+        FLStoreClient::connect(&self.controller)
+    }
+
+    /// Handles to the maintainer nodes (bench harness instrumentation).
+    pub fn maintainers(&self) -> &[MaintainerHandle] {
+        &self.maintainers
+    }
+
+    /// Handles to the indexer nodes.
+    pub fn indexers(&self) -> &[IndexerHandle] {
+        &self.indexers
+    }
+
+    /// The datacenter this deployment serves.
+    pub fn datacenter(&self) -> DatacenterId {
+        self.dc
+    }
+
+    /// Live elasticity (§6.3): adds a maintainer via *future reassignment*.
+    ///
+    /// The new striping (one more maintainer, same batch size) takes effect
+    /// at `boundary`, which the caller picks comfortably beyond the current
+    /// append frontier so the announcement reaches every stage first.
+    pub fn add_maintainer(&mut self, boundary: LId) -> Result<MaintainerId> {
+        let new_id = MaintainerId(self.maintainers.len() as u16);
+        let new_map = RangeMap::new(self.maintainers.len() + 1, self.cfg.batch_size);
+        // Spawn the node first so it exists when the epoch activates. Its
+        // journal snapshot (taken in spawn) predates the announcement; the
+        // broadcast below reaches it through the registered handle.
+        self.spawn_maintainer_node(new_id)?;
+        self.rewire();
+        self.controller.announce_epoch(boundary, new_map)?;
+        Ok(new_id)
+    }
+
+    /// Archives every readable position below `bound` into `archive`
+    /// (cold storage, §6.1), then garbage-collects the prefix. The archive
+    /// must already cover everything previously collected.
+    pub fn archive_and_gc(
+        &self,
+        bound: LId,
+        archive: &mut crate::archive::ArchiveWriter,
+    ) -> Result<()> {
+        let mut client = self.client();
+        let mut batch = Vec::new();
+        let mut lid = archive.archived_below();
+        while lid < bound {
+            match client.read_with_hl(lid, true) {
+                Ok(entry) => batch.push(entry),
+                Err(chariots_types::ChariotsError::GarbageCollected(_)) => {}
+                Err(_) => break, // not yet readable: archive up to here only
+            }
+            lid = lid.next();
+        }
+        let archived_to = batch.last().map(|e| e.lid.next());
+        archive.archive(&batch)?;
+        if let Some(upto) = archived_to {
+            self.gc_before(upto);
+        }
+        Ok(())
+    }
+
+    /// Requests garbage collection of all positions below `bound`.
+    pub fn gc_before(&self, bound: LId) {
+        for m in &self.maintainers {
+            m.gc(bound);
+        }
+        for ix in &self.indexers {
+            ix.gc(bound);
+        }
+    }
+
+    /// Stops every node and waits for the threads.
+    pub fn shutdown(mut self) {
+        self.shutdown.signal();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for FLStore {
+    fn drop(&mut self) {
+        self.shutdown.signal();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Erases a typed join handle into `JoinHandle<()>` by wrapping.
+fn forget_result<T: Send + 'static>(handle: JoinHandle<T>) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("join-wrapper".into())
+        .spawn(move || {
+            let _ = handle.join();
+        })
+        .expect("spawn join wrapper")
+}

@@ -1,0 +1,216 @@
+//! The epoch journal: future reassignment of log ranges for live elasticity
+//! (§6.3).
+//!
+//! Expanding the maintainer fleet changes who champions which `LId`s.
+//! Rather than migrating old records, FLStore uses *future reassignment*: a
+//! change is announced to take effect at a future log position, and the
+//! **epoch journal** records, for every range of the log, the round-robin
+//! assignment that was in force when it was written. "These can be used by
+//! readers to figure out which log maintainer to ask for an old record."
+//!
+//! Within epoch *e* starting at position `start_e`, ownership follows the
+//! epoch's [`RangeMap`] applied to the *epoch-relative* position
+//! `lid − start_e`, so every epoch begins a fresh round-robin pattern at
+//! maintainer 0.
+
+use chariots_types::{Epoch, LId, MaintainerId};
+
+use crate::range::RangeMap;
+
+/// One epoch's assignment: from `start` (inclusive) until the next epoch's
+/// start, ownership follows `map` on epoch-relative positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochAssignment {
+    /// The epoch's sequence number.
+    pub epoch: Epoch,
+    /// First global position governed by this epoch.
+    pub start: LId,
+    /// Round-robin striping in force during this epoch.
+    pub map: RangeMap,
+}
+
+impl EpochAssignment {
+    /// Owner of global position `lid` (which must be ≥ `self.start`).
+    pub fn owner_of(&self, lid: LId) -> MaintainerId {
+        debug_assert!(lid >= self.start);
+        self.map.owner_of(LId(lid.0 - self.start.0))
+    }
+
+    /// Epoch-relative local index of `lid` at maintainer `m`, if owned.
+    pub fn local_index(&self, m: MaintainerId, lid: LId) -> Option<u64> {
+        debug_assert!(lid >= self.start);
+        self.map.local_index(m, LId(lid.0 - self.start.0))
+    }
+
+    /// Global `LId` of maintainer `m`'s `local_index`-th slot in this epoch.
+    pub fn lid_for(&self, m: MaintainerId, local_index: u64) -> LId {
+        LId(self.start.0 + self.map.lid_for(m, local_index).0)
+    }
+}
+
+/// The full history of assignments, ordered by starting position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochJournal {
+    epochs: Vec<EpochAssignment>,
+}
+
+impl EpochJournal {
+    /// A journal whose initial epoch covers the log from position 0.
+    pub fn new(initial: RangeMap) -> Self {
+        EpochJournal {
+            epochs: vec![EpochAssignment {
+                epoch: Epoch::INITIAL,
+                start: LId::ZERO,
+                map: initial,
+            }],
+        }
+    }
+
+    /// Announces a future reassignment: from `start` onward, ownership
+    /// follows `map`. `start` must lie strictly beyond the previous epoch's
+    /// start; the controller chooses it far enough ahead that the
+    /// announcement propagates before any position it governs is assigned.
+    ///
+    /// Returns the new epoch number.
+    ///
+    /// # Panics
+    /// Panics if `start` does not advance past the current epoch's start.
+    pub fn announce(&mut self, start: LId, map: RangeMap) -> Epoch {
+        let last = self.epochs.last().expect("journal never empty");
+        assert!(
+            start > last.start,
+            "future reassignment must start after {} (got {start})",
+            last.start
+        );
+        let epoch = last.epoch.next();
+        self.epochs.push(EpochAssignment { epoch, start, map });
+        epoch
+    }
+
+    /// The assignment governing position `lid`.
+    pub fn assignment_at(&self, lid: LId) -> &EpochAssignment {
+        // Epochs are few; linear scan from the back is optimal in practice.
+        self.epochs
+            .iter()
+            .rev()
+            .find(|e| e.start <= lid)
+            .expect("epoch 0 starts at 0")
+    }
+
+    /// The owner of position `lid` under the epoch governing it.
+    pub fn owner_of(&self, lid: LId) -> MaintainerId {
+        self.assignment_at(lid).owner_of(lid)
+    }
+
+    /// The latest (current) assignment.
+    pub fn current(&self) -> &EpochAssignment {
+        self.epochs.last().expect("journal never empty")
+    }
+
+    /// All assignments, oldest first.
+    pub fn assignments(&self) -> &[EpochAssignment] {
+        &self.epochs
+    }
+
+    /// The assignment with sequence number `epoch`, if it exists.
+    pub fn by_epoch(&self, epoch: Epoch) -> Option<&EpochAssignment> {
+        self.epochs.get(epoch.0 as usize).filter(|e| e.epoch == epoch)
+    }
+
+    /// Exclusive upper bound of epoch `epoch`'s range (`None` for the
+    /// current epoch, which is unbounded).
+    pub fn end_of(&self, epoch: Epoch) -> Option<LId> {
+        self.epochs.get(epoch.0 as usize + 1).map(|next| next.start)
+    }
+
+    /// Number of slots maintainer `m` owns within epoch `epoch`, or `None`
+    /// if the epoch is unbounded (the current one).
+    pub fn slots_in_epoch(&self, epoch: Epoch, m: MaintainerId) -> Option<u64> {
+        let assignment = self.by_epoch(epoch)?;
+        let end = self.end_of(epoch)?;
+        Some(assignment.map.owned_below(m, end.0 - assignment.start.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_epoch_matches_rangemap() {
+        let j = EpochJournal::new(RangeMap::new(3, 10));
+        assert_eq!(j.owner_of(LId(0)), MaintainerId(0));
+        assert_eq!(j.owner_of(LId(25)), MaintainerId(2));
+        assert_eq!(j.current().epoch, Epoch::INITIAL);
+    }
+
+    #[test]
+    fn announce_reassigns_future_positions_only() {
+        let mut j = EpochJournal::new(RangeMap::new(2, 10));
+        let e1 = j.announce(LId(100), RangeMap::new(3, 10));
+        assert_eq!(e1, Epoch(1));
+        // Before the boundary: 2-maintainer striping.
+        assert_eq!(j.owner_of(LId(15)), MaintainerId(1));
+        assert_eq!(j.owner_of(LId(99)), MaintainerId(1)); // round 9 % 2
+        // From the boundary: fresh 3-maintainer striping, relative to 100.
+        assert_eq!(j.owner_of(LId(100)), MaintainerId(0));
+        assert_eq!(j.owner_of(LId(110)), MaintainerId(1));
+        assert_eq!(j.owner_of(LId(120)), MaintainerId(2));
+        assert_eq!(j.owner_of(LId(130)), MaintainerId(0));
+    }
+
+    #[test]
+    fn assignment_lookup_by_epoch() {
+        let mut j = EpochJournal::new(RangeMap::new(2, 10));
+        j.announce(LId(100), RangeMap::new(3, 10));
+        assert_eq!(j.by_epoch(Epoch(0)).unwrap().start, LId::ZERO);
+        assert_eq!(j.by_epoch(Epoch(1)).unwrap().start, LId(100));
+        assert!(j.by_epoch(Epoch(2)).is_none());
+        assert_eq!(j.end_of(Epoch(0)), Some(LId(100)));
+        assert_eq!(j.end_of(Epoch(1)), None);
+    }
+
+    #[test]
+    fn epoch_relative_local_indexes_are_dense() {
+        let mut j = EpochJournal::new(RangeMap::new(2, 10));
+        j.announce(LId(40), RangeMap::new(3, 5));
+        let e1 = j.by_epoch(Epoch(1)).copied().unwrap();
+        assert_eq!(e1.lid_for(MaintainerId(0), 0), LId(40));
+        assert_eq!(e1.lid_for(MaintainerId(1), 0), LId(45));
+        assert_eq!(e1.lid_for(MaintainerId(2), 4), LId(54));
+        assert_eq!(e1.lid_for(MaintainerId(0), 5), LId(55));
+        assert_eq!(e1.local_index(MaintainerId(1), LId(45)), Some(0));
+        assert_eq!(e1.local_index(MaintainerId(0), LId(45)), None);
+    }
+
+    #[test]
+    fn slots_in_bounded_epoch_counts_partial_cycles() {
+        let mut j = EpochJournal::new(RangeMap::new(2, 10));
+        j.announce(LId(55), RangeMap::new(3, 10));
+        // Epoch 0 spans [0, 55): rounds 0..5 and half of round 5.
+        // M0 owns rounds 0,2,4 → 30 slots. M1 owns 1,3 fully (20) plus
+        // positions 50..55 of round 5 → 25.
+        assert_eq!(j.slots_in_epoch(Epoch(0), MaintainerId(0)), Some(30));
+        assert_eq!(j.slots_in_epoch(Epoch(0), MaintainerId(1)), Some(25));
+        // Current epoch is unbounded.
+        assert_eq!(j.slots_in_epoch(Epoch(1), MaintainerId(0)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "future reassignment")]
+    fn announce_must_advance() {
+        let mut j = EpochJournal::new(RangeMap::new(2, 10));
+        j.announce(LId::ZERO, RangeMap::new(3, 10));
+    }
+
+    #[test]
+    fn multiple_reassignments_stack() {
+        let mut j = EpochJournal::new(RangeMap::new(1, 10));
+        j.announce(LId(20), RangeMap::new(2, 10));
+        j.announce(LId(60), RangeMap::new(3, 10));
+        assert_eq!(j.assignments().len(), 3);
+        assert_eq!(j.owner_of(LId(5)), MaintainerId(0));
+        assert_eq!(j.owner_of(LId(30)), MaintainerId(1)); // epoch1 rel 10
+        assert_eq!(j.owner_of(LId(80)), MaintainerId(2)); // epoch2 rel 20
+    }
+}

@@ -1,0 +1,115 @@
+//! Head-of-Log (HL) gossip: closing temporary gaps for readers (§5.4).
+//!
+//! "A Log maintainer receiving more records advances in the log ahead of
+//! others", leaving *temporary gaps*. Readers must never observe a record at
+//! position `i` while a gap exists at some `j < i`. Each maintainer
+//! therefore gossips its **frontier** — the smallest global `LId` it owns
+//! that is still unfilled; every owned position below the frontier is
+//! filled. The minimum frontier across all maintainers is the **Head of the
+//! Log**: every position strictly below it is guaranteed readable.
+//!
+//! The gossip is a fixed-size vector, so its cost is independent of append
+//! throughput — the property the paper relies on for scalability.
+
+use chariots_types::{LId, MaintainerId};
+
+/// One maintainer's view of every maintainer's frontier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HlVector {
+    frontiers: Vec<LId>,
+}
+
+impl HlVector {
+    /// An all-zero vector for `num_maintainers` maintainers ("initially the
+    /// vector is initialized to all zeros").
+    pub fn new(num_maintainers: usize) -> Self {
+        assert!(num_maintainers > 0);
+        HlVector {
+            frontiers: vec![LId::ZERO; num_maintainers],
+        }
+    }
+
+    /// Number of maintainers covered.
+    pub fn len(&self) -> usize {
+        self.frontiers.len()
+    }
+
+    /// Never empty; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.frontiers.is_empty()
+    }
+
+    /// Records maintainer `m`'s advertised frontier. Frontiers only move
+    /// forward; stale gossip (smaller values) is ignored.
+    pub fn update(&mut self, m: MaintainerId, frontier: LId) {
+        if m.index() >= self.frontiers.len() {
+            self.frontiers.resize(m.index() + 1, LId::ZERO);
+        }
+        if frontier > self.frontiers[m.index()] {
+            self.frontiers[m.index()] = frontier;
+        }
+    }
+
+    /// The frontier last heard from maintainer `m`.
+    pub fn get(&self, m: MaintainerId) -> LId {
+        self.frontiers.get(m.index()).copied().unwrap_or(LId::ZERO)
+    }
+
+    /// The Head of the Log: every position strictly below this is filled at
+    /// its owner ("the HL value is equal to the vector entry with the
+    /// smallest value").
+    pub fn head_of_log(&self) -> LId {
+        self.frontiers.iter().copied().min().unwrap_or(LId::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_head_is_zero() {
+        let v = HlVector::new(3);
+        assert_eq!(v.head_of_log(), LId::ZERO);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn head_is_minimum_frontier() {
+        let mut v = HlVector::new(3);
+        v.update(MaintainerId(0), LId(3000));
+        v.update(MaintainerId(1), LId(1900));
+        v.update(MaintainerId(2), LId(2500));
+        assert_eq!(v.head_of_log(), LId(1900));
+    }
+
+    #[test]
+    fn stale_gossip_is_ignored() {
+        let mut v = HlVector::new(2);
+        v.update(MaintainerId(0), LId(100));
+        v.update(MaintainerId(0), LId(50)); // reordered, stale
+        assert_eq!(v.get(MaintainerId(0)), LId(100));
+    }
+
+    #[test]
+    fn update_grows_for_new_maintainers() {
+        let mut v = HlVector::new(1);
+        v.update(MaintainerId(2), LId(10));
+        assert_eq!(v.len(), 3);
+        // The new maintainer at index 1 has frontier 0, so HL stays 0.
+        assert_eq!(v.head_of_log(), LId::ZERO);
+    }
+
+    #[test]
+    fn head_advances_only_when_slowest_advances() {
+        let mut v = HlVector::new(2);
+        v.update(MaintainerId(0), LId(1000));
+        assert_eq!(v.head_of_log(), LId::ZERO);
+        v.update(MaintainerId(1), LId(400));
+        assert_eq!(v.head_of_log(), LId(400));
+        v.update(MaintainerId(0), LId(2000));
+        assert_eq!(v.head_of_log(), LId(400), "bounded by the slowest");
+        v.update(MaintainerId(1), LId(2000));
+        assert_eq!(v.head_of_log(), LId(2000));
+    }
+}

@@ -1,0 +1,210 @@
+//! Distributed tag indexers (§5.3).
+//!
+//! "Records in Log maintainers are arranged according to their LIds.
+//! However, Application clients often desire to access records according to
+//! other information" — the tags. Each indexer champions a subset of tag
+//! keys (hash partitioning); maintainers post `(tag, LId)` pairs to the
+//! responsible indexer as records persist, and clients look up `LId`s by
+//! tag name, optionally with a value predicate and a most-recent-`k` bound.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use chariots_types::{LId, Limit, TagValue, ValuePredicate};
+
+/// One tag posting: the value (if any) and the position of the record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Posting {
+    /// The tag's value at that record, if it had one.
+    pub value: Option<TagValue>,
+    /// The record copy's position.
+    pub lid: LId,
+}
+
+/// Selects the indexer championing `key` among `num_indexers`.
+pub fn indexer_for(key: &str, num_indexers: usize) -> usize {
+    debug_assert!(num_indexers > 0);
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % num_indexers as u64) as usize
+}
+
+/// The synchronous state of one indexer.
+#[derive(Debug, Default)]
+pub struct IndexerCore {
+    /// Postings per tag key, kept sorted by `LId`.
+    postings: HashMap<String, Vec<Posting>>,
+    posted: u64,
+    lookups: u64,
+}
+
+impl IndexerCore {
+    /// An empty indexer.
+    pub fn new() -> Self {
+        IndexerCore::default()
+    }
+
+    /// Ingests one posting. Postings usually arrive in roughly increasing
+    /// `LId` order (maintainers post as they persist), so insertion is an
+    /// amortized append with a short backward scan when out of order.
+    pub fn post(&mut self, key: &str, value: Option<TagValue>, lid: LId) {
+        self.posted += 1;
+        let list = self.postings.entry(key.to_owned()).or_default();
+        let posting = Posting { value, lid };
+        match list.last() {
+            Some(last) if last.lid > lid => {
+                let at = list.partition_point(|p| p.lid < lid);
+                list.insert(at, posting);
+            }
+            _ => list.push(posting),
+        }
+    }
+
+    /// Looks up positions of records carrying tag `key`, optionally
+    /// filtered by a value predicate, bounded by `limit`.
+    ///
+    /// `MostRecent(n)` results are in descending `LId` order (the §5.3
+    /// example: "return the most recent 100 record LIds").
+    pub fn lookup(
+        &mut self,
+        key: &str,
+        predicate: Option<&ValuePredicate>,
+        limit: Limit,
+    ) -> Vec<LId> {
+        self.lookups += 1;
+        let Some(list) = self.postings.get(key) else {
+            return Vec::new();
+        };
+        let matches = |p: &Posting| match predicate {
+            Some(pred) => pred.matches(p.value.as_ref()),
+            None => true,
+        };
+        match limit {
+            Limit::All => list.iter().filter(|p| matches(p)).map(|p| p.lid).collect(),
+            Limit::Oldest(n) => list
+                .iter()
+                .filter(|p| matches(p))
+                .take(n)
+                .map(|p| p.lid)
+                .collect(),
+            Limit::MostRecent(n) => list
+                .iter()
+                .rev()
+                .filter(|p| matches(p))
+                .take(n)
+                .map(|p| p.lid)
+                .collect(),
+        }
+    }
+
+    /// Distinct tag keys indexed here.
+    pub fn keys(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Total postings ingested.
+    pub fn posted(&self) -> u64 {
+        self.posted
+    }
+
+    /// Total lookups served.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Drops postings below `bound` (piggybacks on log GC).
+    pub fn gc_before(&mut self, bound: LId) {
+        for list in self.postings.values_mut() {
+            let keep_from = list.partition_point(|p| p.lid < bound);
+            list.drain(..keep_from);
+        }
+        self.postings.retain(|_, list| !list.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_partitioning_is_stable_and_in_range() {
+        for key in ["alpha", "beta", "gamma", ""] {
+            let a = indexer_for(key, 4);
+            assert_eq!(a, indexer_for(key, 4), "stable");
+            assert!(a < 4);
+        }
+        assert_eq!(indexer_for("anything", 1), 0);
+    }
+
+    #[test]
+    fn post_and_lookup_all() {
+        let mut ix = IndexerCore::new();
+        ix.post("key", Some(TagValue::Str("x".into())), LId(3));
+        ix.post("key", Some(TagValue::Str("y".into())), LId(7));
+        ix.post("other", None, LId(5));
+        assert_eq!(ix.lookup("key", None, Limit::All), vec![LId(3), LId(7)]);
+        assert_eq!(ix.lookup("missing", None, Limit::All), Vec::<LId>::new());
+        assert_eq!(ix.keys(), 2);
+        assert_eq!(ix.posted(), 3);
+    }
+
+    #[test]
+    fn out_of_order_postings_stay_sorted() {
+        let mut ix = IndexerCore::new();
+        ix.post("k", None, LId(10));
+        ix.post("k", None, LId(4));
+        ix.post("k", None, LId(7));
+        assert_eq!(ix.lookup("k", None, Limit::All), vec![LId(4), LId(7), LId(10)]);
+    }
+
+    #[test]
+    fn most_recent_is_descending_and_bounded() {
+        let mut ix = IndexerCore::new();
+        for lid in 0..10 {
+            ix.post("k", None, LId(lid));
+        }
+        assert_eq!(
+            ix.lookup("k", None, Limit::MostRecent(3)),
+            vec![LId(9), LId(8), LId(7)]
+        );
+        assert_eq!(
+            ix.lookup("k", None, Limit::Oldest(2)),
+            vec![LId(0), LId(1)]
+        );
+    }
+
+    #[test]
+    fn value_predicates_filter_lookups() {
+        let mut ix = IndexerCore::new();
+        for (lid, v) in [(0, 5i64), (1, 10), (2, 15), (3, 20)] {
+            ix.post("seq", Some(TagValue::Int(v)), LId(lid));
+        }
+        // §5.3: "look up records with a certain tag with values greater
+        // than i and return the most recent x records".
+        let got = ix.lookup(
+            "seq",
+            Some(&ValuePredicate::Gt(TagValue::Int(10))),
+            Limit::MostRecent(1),
+        );
+        assert_eq!(got, vec![LId(3)]);
+        let got = ix.lookup(
+            "seq",
+            Some(&ValuePredicate::Le(TagValue::Int(10))),
+            Limit::All,
+        );
+        assert_eq!(got, vec![LId(0), LId(1)]);
+    }
+
+    #[test]
+    fn gc_drops_old_postings() {
+        let mut ix = IndexerCore::new();
+        for lid in 0..6 {
+            ix.post("k", None, LId(lid));
+        }
+        ix.post("gone", None, LId(1));
+        ix.gc_before(LId(4));
+        assert_eq!(ix.lookup("k", None, Limit::All), vec![LId(4), LId(5)]);
+        assert_eq!(ix.keys(), 1, "emptied keys are dropped");
+    }
+}

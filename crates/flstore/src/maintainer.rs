@@ -1,0 +1,745 @@
+//! The log maintainer: post-assignment of log positions (§5.2).
+//!
+//! "The thesis of a post-assignment approach is to let the application
+//! client construct the record and send it to a randomly (or intelligibly)
+//! selected Log maintainer. The Log maintainer will assign the record the
+//! next available log position from log positions under its control."
+//!
+//! [`MaintainerCore`] is the synchronous, single-threaded state machine —
+//! everything is testable without spawning anything. The thread-hosted
+//! server wrapper lives in [`node`](crate::node).
+
+use std::path::PathBuf;
+
+use bytes::Bytes;
+use chariots_types::{
+    ChariotsError, DatacenterId, Entry, LId, MaintainerId, Record, RecordId, Result, TOId, TagSet,
+    VersionVector,
+};
+
+use crate::epoch::EpochJournal;
+use crate::gossip::HlVector;
+use crate::segment::SegmentStore;
+use crate::wal::Wal;
+
+/// What an application client sends to append: tags plus the opaque body.
+/// The maintainer constructs the full [`Record`] — identity included —
+/// because under post-assignment the position (and hence, in standalone
+/// FLStore, the total order) is not known until the maintainer picks it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppendPayload {
+    /// System-visible tags to index.
+    pub tags: TagSet,
+    /// Opaque application payload.
+    pub body: Bytes,
+}
+
+impl AppendPayload {
+    /// Creates a payload.
+    pub fn new(tags: TagSet, body: impl Into<Bytes>) -> Self {
+        AppendPayload {
+            tags,
+            body: body.into(),
+        }
+    }
+}
+
+/// Per-epoch storage and append cursor.
+#[derive(Debug)]
+struct EpochState {
+    store: SegmentStore,
+    /// Next local slot this maintainer will self-assign in this epoch.
+    next_local: u64,
+}
+
+impl EpochState {
+    fn new() -> Self {
+        EpochState {
+            store: SegmentStore::default(),
+            next_local: 0,
+        }
+    }
+}
+
+/// A record waiting for its explicit-order minimum bound (§5.4).
+#[derive(Debug)]
+struct MinBoundWaiter {
+    payload: AppendPayload,
+    min: LId,
+}
+
+/// Counters exposed for diagnostics and the bench harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MaintainerStats {
+    /// Records appended via post-assignment.
+    pub appended: u64,
+    /// Entries stored with pre-routed positions (Chariots queues).
+    pub stored: u64,
+    /// Reads served.
+    pub reads: u64,
+    /// Records currently parked awaiting a minimum bound.
+    pub deferred: usize,
+    /// This maintainer's current frontier.
+    pub frontier: LId,
+    /// This maintainer's current view of the Head of the Log.
+    pub head_of_log: LId,
+}
+
+/// The synchronous state machine of one log maintainer.
+#[derive(Debug)]
+pub struct MaintainerCore {
+    id: MaintainerId,
+    dc: DatacenterId,
+    journal: EpochJournal,
+    /// Index i holds state for epoch i; grown lazily.
+    epochs: Vec<EpochState>,
+    /// Cursor: the epoch in which the next self-assigned append lands.
+    append_epoch: usize,
+    hl: HlVector,
+    wal: Option<Wal>,
+    deferred: Vec<MinBoundWaiter>,
+    max_deferred: usize,
+    stats_appended: u64,
+    stats_stored: u64,
+    stats_reads: u64,
+}
+
+impl MaintainerCore {
+    /// Creates a maintainer with empty storage.
+    pub fn new(id: MaintainerId, dc: DatacenterId, journal: EpochJournal) -> Self {
+        let n = journal.current().map.num_maintainers();
+        let hl = HlVector::new(n);
+        let mut core = MaintainerCore {
+            id,
+            dc,
+            journal,
+            epochs: vec![EpochState::new()],
+            append_epoch: 0,
+            hl,
+            wal: None,
+            deferred: Vec::new(),
+            max_deferred: 65_536,
+            stats_appended: 0,
+            stats_stored: 0,
+            stats_reads: 0,
+        };
+        // A fresh maintainer's frontier is its first owned slot, not zero:
+        // it is not blocking any position below that slot.
+        core.refresh_own_frontier();
+        core
+    }
+
+    /// Bounds the explicit-order deferral buffer.
+    pub fn with_max_deferred(mut self, max: usize) -> Self {
+        self.max_deferred = max;
+        self
+    }
+
+    /// Enables write-ahead persistence at `path`, replaying any existing
+    /// entries first (crash recovery).
+    pub fn with_wal(mut self, path: impl Into<PathBuf>) -> Result<Self> {
+        let path = path.into();
+        for entry in Wal::replay(&path)? {
+            self.locate_and_insert(entry, false)?;
+        }
+        // Self-assignment resumes after the densest filled prefix of each
+        // epoch (appends are dense per epoch, so the prefix is exact).
+        for (i, state) in self.epochs.iter_mut().enumerate() {
+            let _ = i;
+            state.next_local = state.store.filled_prefix();
+        }
+        self.refresh_own_frontier();
+        self.wal = Some(Wal::open(path)?);
+        Ok(self)
+    }
+
+    /// This maintainer's id.
+    pub fn id(&self) -> MaintainerId {
+        self.id
+    }
+
+    /// The datacenter this maintainer serves.
+    pub fn datacenter(&self) -> DatacenterId {
+        self.dc
+    }
+
+    /// Read-only view of the epoch journal.
+    pub fn journal(&self) -> &EpochJournal {
+        &self.journal
+    }
+
+    fn epoch_state(&mut self, epoch_idx: usize) -> &mut EpochState {
+        while self.epochs.len() <= epoch_idx {
+            self.epochs.push(EpochState::new());
+        }
+        &mut self.epochs[epoch_idx]
+    }
+
+    /// The global position the next self-assigned append would take,
+    /// without consuming it.
+    ///
+    /// Fails with [`ChariotsError::Unavailable`] if this maintainer owns no
+    /// assignable positions — e.g. a freshly added maintainer whose future
+    /// reassignment has not been announced to it yet.
+    pub fn peek_next_lid(&mut self) -> Result<LId> {
+        loop {
+            let epoch_idx = self.append_epoch;
+            let epoch = chariots_types::Epoch(epoch_idx as u32);
+            let next_local = self.epoch_state(epoch_idx).next_local;
+            let assignment = *self
+                .journal
+                .by_epoch(epoch)
+                .expect("append_epoch within journal");
+            let member = self.id.index() < assignment.map.num_maintainers();
+            let exhausted = match self.journal.slots_in_epoch(epoch, self.id) {
+                Some(cap) => next_local >= cap,
+                // Unbounded (current) epoch: exhausted only if we are not
+                // part of its striping.
+                None => !member,
+            };
+            if exhausted {
+                if self
+                    .journal
+                    .by_epoch(chariots_types::Epoch(epoch_idx as u32 + 1))
+                    .is_none()
+                {
+                    return Err(ChariotsError::Unavailable(format!(
+                        "maintainer {} owns no assignable positions yet",
+                        self.id
+                    )));
+                }
+                // This epoch's slots are exhausted; move on.
+                self.append_epoch += 1;
+                continue;
+            }
+            return Ok(assignment.lid_for(self.id, next_local));
+        }
+    }
+
+    fn take_next_lid(&mut self) -> Result<LId> {
+        let lid = self.peek_next_lid()?;
+        self.epoch_state(self.append_epoch).next_local += 1;
+        Ok(lid)
+    }
+
+    /// Appends payloads with post-assigned positions, returning the
+    /// `(TOId, LId)` pairs "sent back to the Application client" (§3).
+    ///
+    /// In standalone FLStore the datacenter's total order *is* the log
+    /// order, so the assigned `TOId` is `LId + 1` (TOIds are 1-based).
+    pub fn append_batch(&mut self, payloads: Vec<AppendPayload>) -> Result<Vec<(TOId, LId)>> {
+        let mut assigned = Vec::with_capacity(payloads.len());
+        for payload in payloads {
+            let lid = self.take_next_lid()?;
+            let toid = TOId(lid.0 + 1);
+            let record = Record::new(
+                RecordId::new(self.dc, toid),
+                VersionVector::new(0),
+                payload.tags,
+                payload.body,
+            );
+            self.insert_at(lid, record)?;
+            self.stats_appended += 1;
+            assigned.push((toid, lid));
+        }
+        self.drain_deferred()?;
+        Ok(assigned)
+    }
+
+    /// Appends one payload subject to an explicit-order minimum bound: the
+    /// assigned position is guaranteed to exceed `min` (§5.4). Returns the
+    /// assignment if it could happen immediately, or `Ok(None)` if the
+    /// record was parked ("buffered until it can be added to a partial log
+    /// with LIds larger than the minimum bound").
+    pub fn append_min_bound(
+        &mut self,
+        payload: AppendPayload,
+        min: LId,
+    ) -> Result<Option<(TOId, LId)>> {
+        if self.peek_next_lid()? > min {
+            let mut out = self.append_batch(vec![payload])?;
+            return Ok(Some(out.pop().expect("one payload appended")));
+        }
+        if self.deferred.len() >= self.max_deferred {
+            return Err(ChariotsError::Overloaded(format!(
+                "maintainer {} min-bound buffer",
+                self.id
+            )));
+        }
+        self.deferred.push(MinBoundWaiter { payload, min });
+        Ok(None)
+    }
+
+    /// Appends every parked record whose bound is now satisfied. Returns
+    /// the assignments made. Called after ordinary appends and on gossip
+    /// ticks.
+    pub fn drain_deferred(&mut self) -> Result<Vec<(TOId, LId)>> {
+        let mut out = Vec::new();
+        loop {
+            let next = self.peek_next_lid()?;
+            let Some(pos) = self.deferred.iter().position(|w| next > w.min) else {
+                break;
+            };
+            let waiter = self.deferred.swap_remove(pos);
+            // One-element append cannot recurse into drain_deferred
+            // infinitely: each call strictly consumes a waiter.
+            let lid = self.take_next_lid()?;
+            let toid = TOId(lid.0 + 1);
+            let record = Record::new(
+                RecordId::new(self.dc, toid),
+                VersionVector::new(0),
+                waiter.payload.tags,
+                waiter.payload.body,
+            );
+            self.insert_at(lid, record)?;
+            self.stats_appended += 1;
+            out.push((toid, lid));
+        }
+        Ok(out)
+    }
+
+    /// Stores entries whose positions were already assigned by the Chariots
+    /// queues stage. Positions must be owned by this maintainer under the
+    /// governing epoch.
+    pub fn store_entries(&mut self, entries: Vec<Entry>) -> Result<()> {
+        for entry in entries {
+            self.locate_and_insert(entry, true)?;
+            self.stats_stored += 1;
+        }
+        Ok(())
+    }
+
+    fn locate_and_insert(&mut self, entry: Entry, write_wal: bool) -> Result<()> {
+        let assignment = *self.journal.assignment_at(entry.lid);
+        let Some(local) = assignment.local_index(self.id, entry.lid) else {
+            return Err(ChariotsError::WrongMaintainer {
+                asked: self.id,
+                owner: assignment.owner_of(entry.lid),
+                lid: entry.lid,
+            });
+        };
+        let epoch_idx = assignment.epoch.0 as usize;
+        if write_wal {
+            if let Some(wal) = &mut self.wal {
+                wal.append(&entry)?;
+            }
+        }
+        self.epoch_state(epoch_idx).store.insert(local, entry)?;
+        self.refresh_own_frontier();
+        Ok(())
+    }
+
+    fn insert_at(&mut self, lid: LId, record: Record) -> Result<()> {
+        self.locate_and_insert(Entry::new(lid, record), true)
+    }
+
+    /// This maintainer's frontier: the smallest owned global position still
+    /// unfilled. Every owned position below it is filled.
+    pub fn frontier(&self) -> LId {
+        for (i, state) in self.epochs.iter().enumerate() {
+            let epoch = chariots_types::Epoch(i as u32);
+            let prefix = state.store.filled_prefix();
+            let assignment = self.journal.by_epoch(epoch).expect("state implies epoch");
+            let member = self.id.index() < assignment.map.num_maintainers();
+            match self.journal.slots_in_epoch(epoch, self.id) {
+                Some(cap) if prefix >= cap => continue, // epoch fully filled
+                None if !member => continue, // we own nothing in it
+                _ => return assignment.lid_for(self.id, prefix),
+            }
+        }
+        // All materialized epochs full: frontier is the first slot of the
+        // next epoch (or of the current one if none materialized).
+        let epoch = chariots_types::Epoch(self.epochs.len() as u32);
+        let assignment = self
+            .journal
+            .by_epoch(epoch)
+            .unwrap_or_else(|| self.journal.current());
+        if self.id.index() >= assignment.map.num_maintainers() {
+            // Not part of this striping yet (a newly added maintainer whose
+            // epoch has not been announced here): conservatively claim
+            // nothing is filled.
+            return LId::ZERO;
+        }
+        assignment.lid_for(self.id, 0)
+    }
+
+    fn refresh_own_frontier(&mut self) {
+        let f = self.frontier();
+        self.hl.update(self.id, f);
+    }
+
+    /// Incorporates a gossiped frontier from a peer maintainer.
+    pub fn gossip_in(&mut self, from: MaintainerId, frontier: LId) {
+        self.hl.update(from, frontier);
+    }
+
+    /// The gossip message this maintainer sends to peers: its own frontier,
+    /// freshly recomputed (an epoch announcement can move it without any
+    /// record being stored).
+    pub fn gossip_out(&mut self) -> (MaintainerId, LId) {
+        self.refresh_own_frontier();
+        (self.id, self.hl.get(self.id))
+    }
+
+    /// This maintainer's current view of the Head of the Log.
+    pub fn head_of_log(&self) -> LId {
+        self.hl.head_of_log()
+    }
+
+    /// Reads the entry at `lid`.
+    ///
+    /// With `enforce_hl`, positions at or above the maintainer's view of
+    /// the Head of the Log are refused ("Application clients must not be
+    /// allowed to read a record at log position i if there exists at least
+    /// one gap at log position j less than i", §5.4).
+    pub fn read(&mut self, lid: LId, enforce_hl: bool) -> Result<Entry> {
+        self.stats_reads += 1;
+        if enforce_hl && lid >= self.hl.head_of_log() {
+            return Err(ChariotsError::NotYetAvailable(lid));
+        }
+        let assignment = self.journal.assignment_at(lid);
+        let Some(local) = assignment.local_index(self.id, lid) else {
+            return Err(ChariotsError::WrongMaintainer {
+                asked: self.id,
+                owner: assignment.owner_of(lid),
+                lid,
+            });
+        };
+        let epoch_idx = assignment.epoch.0 as usize;
+        let Some(state) = self.epochs.get(epoch_idx) else {
+            return Err(ChariotsError::NotYetAvailable(lid));
+        };
+        if state.store.is_collected(local) {
+            return Err(ChariotsError::GarbageCollected(lid));
+        }
+        state
+            .store
+            .get(local)
+            .cloned()
+            .ok_or(ChariotsError::NotYetAvailable(lid))
+    }
+
+    /// Scans this maintainer's stored entries with `lid ≥ from`, in `LId`
+    /// order, up to `max` entries. Senders use this to ship local records to
+    /// other datacenters; unlike client reads it is *not* HL-gated (causal
+    /// safety at the receiver is TOId-based).
+    pub fn scan_from(&self, from: LId, max: usize) -> Vec<Entry> {
+        let mut out = Vec::new();
+        for (i, state) in self.epochs.iter().enumerate() {
+            if out.len() >= max {
+                break;
+            }
+            let epoch = chariots_types::Epoch(i as u32);
+            let assignment = match self.journal.by_epoch(epoch) {
+                Some(a) => *a,
+                None => break,
+            };
+            let start_local = assignment
+                .local_index(self.id, from)
+                .unwrap_or_else(|| {
+                    // `from` is not one of our slots (or predates the
+                    // epoch): start from the first owned slot ≥ from.
+                    if from <= assignment.start {
+                        0
+                    } else {
+                        assignment.map.owned_below(self.id, from.0 - assignment.start.0)
+                    }
+                });
+            for (_, entry) in state.store.iter_from(start_local) {
+                if entry.lid >= from {
+                    out.push(entry.clone());
+                    if out.len() >= max {
+                        break;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Garbage-collects every owned position strictly below `bound`.
+    pub fn gc_before(&mut self, bound: LId) {
+        for (i, state) in self.epochs.iter_mut().enumerate() {
+            let epoch = chariots_types::Epoch(i as u32);
+            let Some(assignment) = self.journal.by_epoch(epoch) else {
+                continue;
+            };
+            if bound <= assignment.start {
+                continue;
+            }
+            let span = bound.0 - assignment.start.0;
+            let floor = assignment.map.owned_below(self.id, span);
+            state.store.gc_before(floor);
+        }
+    }
+
+    /// Applies a future reassignment announced by the controller.
+    pub fn announce_epoch(&mut self, start: LId, map: crate::range::RangeMap) {
+        self.journal.announce(start, map);
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> MaintainerStats {
+        MaintainerStats {
+            appended: self.stats_appended,
+            stored: self.stats_stored,
+            reads: self.stats_reads,
+            deferred: self.deferred.len(),
+            frontier: self.hl.get(self.id),
+            head_of_log: self.hl.head_of_log(),
+        }
+    }
+
+    /// Flushes (and syncs) the WAL if persistence is enabled.
+    pub fn sync(&mut self) -> Result<()> {
+        if let Some(wal) = &mut self.wal {
+            wal.sync()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::range::RangeMap;
+    use chariots_types::Tag;
+
+    fn core(id: u16, maintainers: usize, batch: u64) -> MaintainerCore {
+        MaintainerCore::new(
+            MaintainerId(id),
+            DatacenterId(0),
+            EpochJournal::new(RangeMap::new(maintainers, batch)),
+        )
+    }
+
+    fn payload(body: &str) -> AppendPayload {
+        AppendPayload::new(TagSet::new(), Bytes::copy_from_slice(body.as_bytes()))
+    }
+
+    #[test]
+    fn post_assignment_fills_owned_slots_in_order() {
+        let mut m = core(1, 3, 10); // owns 10..19, 40..49, …
+        let ids = m.append_batch(vec![payload("a"), payload("b")]).unwrap();
+        assert_eq!(ids, vec![(TOId(11), LId(10)), (TOId(12), LId(11))]);
+        let ids = m.append_batch((0..8).map(|_| payload("x")).collect()).unwrap();
+        assert_eq!(ids.last().unwrap().1, LId(19));
+        // Next round skips to 40.
+        let ids = m.append_batch(vec![payload("y")]).unwrap();
+        assert_eq!(ids[0].1, LId(40));
+    }
+
+    #[test]
+    fn read_own_records_without_hl() {
+        let mut m = core(0, 2, 5);
+        m.append_batch(vec![payload("hello")]).unwrap();
+        let e = m.read(LId(0), false).unwrap();
+        assert_eq!(&e.record.body[..], b"hello");
+        assert_eq!(e.record.toid(), TOId(1));
+    }
+
+    #[test]
+    fn read_foreign_lid_names_owner() {
+        let mut m = core(0, 2, 5);
+        let err = m.read(LId(7), false).unwrap_err();
+        assert_eq!(
+            err,
+            ChariotsError::WrongMaintainer {
+                asked: MaintainerId(0),
+                owner: MaintainerId(1),
+                lid: LId(7),
+            }
+        );
+    }
+
+    #[test]
+    fn hl_gates_reads_until_gossip_closes_gaps() {
+        let mut m = core(0, 2, 5);
+        m.append_batch(vec![payload("a")]).unwrap();
+        // Own frontier is 1, but maintainer 1 has not gossiped: HL = 0.
+        assert_eq!(m.head_of_log(), LId(0));
+        assert!(matches!(
+            m.read(LId(0), true),
+            Err(ChariotsError::NotYetAvailable(_))
+        ));
+        // Peer reports it has filled its first round: HL rises.
+        m.gossip_in(MaintainerId(1), LId(10));
+        assert_eq!(m.head_of_log(), LId(1));
+        assert!(m.read(LId(0), true).is_ok());
+    }
+
+    #[test]
+    fn frontier_advances_within_and_across_rounds() {
+        let mut m = core(0, 2, 3); // owns 0,1,2, 6,7,8, …
+        assert_eq!(m.frontier(), LId(0));
+        m.append_batch(vec![payload("a"), payload("b")]).unwrap();
+        assert_eq!(m.frontier(), LId(2));
+        m.append_batch(vec![payload("c")]).unwrap();
+        assert_eq!(m.frontier(), LId(6), "round exhausted: next owned slot");
+    }
+
+    #[test]
+    fn min_bound_defers_until_position_exceeds_bound() {
+        let mut m = core(0, 2, 5);
+        // Next position would be 0, min bound 7 (e.g. assigned by peer): defer.
+        let parked = m.append_min_bound(payload("later"), LId(7)).unwrap();
+        assert!(parked.is_none());
+        assert_eq!(m.stats().deferred, 1);
+        // Five appends exhaust round one (0..4); next position is 10 > 7,
+        // so the waiter drains during the batch append.
+        m.append_batch((0..5).map(|_| payload("x")).collect()).unwrap();
+        assert_eq!(m.stats().deferred, 0);
+        let e = m.read(LId(10), false).unwrap();
+        assert_eq!(&e.record.body[..], b"later");
+    }
+
+    #[test]
+    fn min_bound_satisfied_immediately_appends_now() {
+        let mut m = core(0, 2, 5);
+        m.append_batch(vec![payload("a")]).unwrap();
+        let got = m.append_min_bound(payload("b"), LId(0)).unwrap();
+        assert_eq!(got, Some((TOId(2), LId(1))));
+    }
+
+    #[test]
+    fn min_bound_buffer_is_bounded() {
+        let mut m = core(0, 2, 5).with_max_deferred(2);
+        assert!(m.append_min_bound(payload("1"), LId(100)).unwrap().is_none());
+        assert!(m.append_min_bound(payload("2"), LId(100)).unwrap().is_none());
+        assert!(matches!(
+            m.append_min_bound(payload("3"), LId(100)),
+            Err(ChariotsError::Overloaded(_))
+        ));
+    }
+
+    #[test]
+    fn store_entries_accepts_owned_positions_only() {
+        let mut m = core(1, 2, 5); // owns 5..9, 15..19, …
+        let entry = Entry::new(
+            LId(6),
+            Record::new(
+                RecordId::new(DatacenterId(1), TOId(1)),
+                VersionVector::new(2),
+                TagSet::new(),
+                Bytes::from_static(b"ext"),
+            ),
+        );
+        m.store_entries(vec![entry]).unwrap();
+        assert_eq!(m.read(LId(6), false).unwrap().record.host(), DatacenterId(1));
+        let foreign = Entry::new(
+            LId(2),
+            Record::new(
+                RecordId::new(DatacenterId(1), TOId(2)),
+                VersionVector::new(2),
+                TagSet::new(),
+                Bytes::new(),
+            ),
+        );
+        assert!(matches!(
+            m.store_entries(vec![foreign]),
+            Err(ChariotsError::WrongMaintainer { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_order_store_tracks_frontier() {
+        let mut m = core(0, 2, 3);
+        let mk = |lid: u64| {
+            Entry::new(
+                LId(lid),
+                Record::new(
+                    RecordId::new(DatacenterId(0), TOId(lid + 1)),
+                    VersionVector::new(1),
+                    TagSet::new(),
+                    Bytes::new(),
+                ),
+            )
+        };
+        m.store_entries(vec![mk(2)]).unwrap();
+        assert_eq!(m.frontier(), LId(0));
+        m.store_entries(vec![mk(0), mk(1)]).unwrap();
+        assert_eq!(m.frontier(), LId(6));
+    }
+
+    #[test]
+    fn scan_from_returns_lid_ordered_entries() {
+        let mut m = core(0, 2, 3); // owns 0,1,2,6,7,8
+        m.append_batch((0..5).map(|_| payload("x")).collect()).unwrap();
+        let all = m.scan_from(LId(0), 100);
+        let lids: Vec<LId> = all.iter().map(|e| e.lid).collect();
+        assert_eq!(lids, vec![LId(0), LId(1), LId(2), LId(6), LId(7)]);
+        let tail = m.scan_from(LId(2), 2);
+        let lids: Vec<LId> = tail.iter().map(|e| e.lid).collect();
+        assert_eq!(lids, vec![LId(2), LId(6)]);
+        // From a position we don't own: starts at the next owned slot.
+        let from_foreign = m.scan_from(LId(4), 2);
+        assert_eq!(from_foreign[0].lid, LId(6));
+    }
+
+    #[test]
+    fn gc_collects_below_bound() {
+        let mut m = core(0, 2, 3);
+        m.append_batch((0..4).map(|_| payload("x")).collect()).unwrap();
+        m.gc_before(LId(2));
+        assert!(matches!(m.read(LId(0), false), Err(ChariotsError::GarbageCollected(_))));
+        assert!(m.read(LId(2), false).is_ok());
+        assert!(m.read(LId(6), false).is_ok());
+    }
+
+    #[test]
+    fn epoch_reassignment_changes_future_appends() {
+        let mut m = core(0, 1, 5); // alone: owns everything
+        m.append_batch((0..5).map(|_| payload("x")).collect()).unwrap();
+        // A second maintainer joins from position 10.
+        m.announce_epoch(LId(10), RangeMap::new(2, 5));
+        // Positions 5..9 are still epoch-0 (ours); fill them.
+        let ids = m.append_batch((0..5).map(|_| payload("y")).collect()).unwrap();
+        assert_eq!(ids.last().unwrap().1, LId(9));
+        // Next append lands in epoch 1 at relative 0 → global 10; we are
+        // maintainer 0 so we own 10..14, then 20..24.
+        let ids = m.append_batch((0..6).map(|_| payload("z")).collect()).unwrap();
+        assert_eq!(ids[0].1, LId(10));
+        assert_eq!(ids[4].1, LId(14));
+        assert_eq!(ids[5].1, LId(20));
+    }
+
+    #[test]
+    fn wal_recovery_restores_state() {
+        let dir = std::env::temp_dir().join(format!("chariots-m-recover-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m0.wal");
+        let _ = std::fs::remove_file(&path);
+
+        let journal = EpochJournal::new(RangeMap::new(2, 3));
+        {
+            let mut m = MaintainerCore::new(MaintainerId(0), DatacenterId(0), journal.clone())
+                .with_wal(&path)
+                .unwrap();
+            m.append_batch(vec![payload("a"), payload("b")]).unwrap();
+            m.sync().unwrap();
+        }
+        // "Crash" and recover from the WAL.
+        let mut m = MaintainerCore::new(MaintainerId(0), DatacenterId(0), journal)
+            .with_wal(&path)
+            .unwrap();
+        assert_eq!(&m.read(LId(0), false).unwrap().record.body[..], b"a");
+        assert_eq!(&m.read(LId(1), false).unwrap().record.body[..], b"b");
+        assert_eq!(m.frontier(), LId(2));
+        // New appends continue after the recovered prefix.
+        let ids = m.append_batch(vec![payload("c")]).unwrap();
+        assert_eq!(ids[0].1, LId(2));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_returns_tags_preserved() {
+        let mut m = core(0, 1, 10);
+        let p = AppendPayload::new(
+            TagSet::new().with(Tag::with_value("key", "k1")),
+            Bytes::from_static(b"v"),
+        );
+        let ids = m.append_batch(vec![p]).unwrap();
+        let e = m.read(ids[0].1, false).unwrap();
+        assert!(e.record.tags.contains_key("key"));
+    }
+}

@@ -1,0 +1,725 @@
+//! Thread-hosted servers wrapping the synchronous cores: each simulated
+//! machine (maintainer or indexer) is one worker thread fed by a channel,
+//! paced by its [`ServiceStation`].
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use chariots_types::{
+    ChariotsError, Entry, LId, Limit, MaintainerId, Result, TOId, TagValue, ValuePredicate,
+};
+use chariots_simnet::{Counter, ServiceStation, Shutdown};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::RwLock;
+
+use crate::indexer::{indexer_for, IndexerCore};
+use crate::maintainer::{AppendPayload, MaintainerCore, MaintainerStats};
+use crate::range::RangeMap;
+
+/// Reply channel for append requests: the assigned `(TOId, LId)` pairs.
+pub type AppendReplySender = Sender<Result<Vec<(TOId, LId)>>>;
+
+/// Requests served by a maintainer node.
+pub enum MaintainerRequest {
+    /// Post-assigned append of a batch of payloads. `reply` is `None` for
+    /// open-loop load generation (fire-and-forget).
+    Append {
+        /// Payloads to append.
+        payloads: Vec<AppendPayload>,
+        /// Where to send the assigned ids, if anyone is waiting.
+        reply: Option<AppendReplySender>,
+    },
+    /// Explicit-order append: the assigned position must exceed `min`.
+    AppendMinBound {
+        /// Payload to append.
+        payload: AppendPayload,
+        /// Minimum-bound position.
+        min: LId,
+        /// Immediate assignment, or `None` if parked.
+        reply: Sender<Result<Option<(TOId, LId)>>>,
+    },
+    /// Store entries whose positions were pre-routed by the Chariots
+    /// queues.
+    Store {
+        /// Entries to persist.
+        entries: Vec<Entry>,
+    },
+    /// Read one position.
+    Read {
+        /// Position to read.
+        lid: LId,
+        /// Whether to refuse positions at/above the Head of the Log.
+        enforce_hl: bool,
+        /// Reply channel.
+        reply: Sender<Result<Entry>>,
+    },
+    /// Scan owned entries with `lid ≥ from` (sender/reader bulk path).
+    Scan {
+        /// Scan start.
+        from: LId,
+        /// Maximum entries returned.
+        max: usize,
+        /// Reply channel.
+        reply: Sender<Vec<Entry>>,
+    },
+    /// Ask for this maintainer's view of the Head of the Log.
+    HeadOfLog {
+        /// Reply channel.
+        reply: Sender<LId>,
+    },
+    /// Incorporate a peer's gossiped frontier.
+    GossipIn {
+        /// Gossiping maintainer.
+        from: MaintainerId,
+        /// Its advertised frontier.
+        frontier: LId,
+    },
+    /// Apply a future reassignment (§6.3).
+    AnnounceEpoch {
+        /// First position governed by the new map.
+        start: LId,
+        /// The new striping.
+        map: RangeMap,
+    },
+    /// Garbage-collect owned positions below `before`.
+    Gc {
+        /// Exclusive GC bound.
+        before: LId,
+    },
+    /// Fetch live counters.
+    Stats {
+        /// Reply channel.
+        reply: Sender<MaintainerStats>,
+    },
+}
+
+/// Client-side handle to a maintainer node. Cheap to clone.
+#[derive(Clone)]
+pub struct MaintainerHandle {
+    /// The maintainer's id.
+    pub id: MaintainerId,
+    tx: Sender<MaintainerRequest>,
+    station: Arc<ServiceStation>,
+    appended: Counter,
+}
+
+impl MaintainerHandle {
+    /// Fire-and-forget append (open-loop load generation).
+    pub fn append_async(&self, payloads: Vec<AppendPayload>) -> bool {
+        self.station.note_arrival(payloads.len() as u64);
+        self.tx
+            .send(MaintainerRequest::Append {
+                payloads,
+                reply: None,
+            })
+            .is_ok()
+    }
+
+    /// Append and wait for the assigned `(TOId, LId)` pairs.
+    pub fn append(&self, payloads: Vec<AppendPayload>) -> Result<Vec<(TOId, LId)>> {
+        self.station.note_arrival(payloads.len() as u64);
+        let (reply, rx) = bounded(1);
+        self.tx
+            .send(MaintainerRequest::Append {
+                payloads,
+                reply: Some(reply),
+            })
+            .map_err(|_| ChariotsError::ShutDown)?;
+        rx.recv().map_err(|_| ChariotsError::ShutDown)?
+    }
+
+    /// Explicit-order append with a minimum bound.
+    pub fn append_min_bound(
+        &self,
+        payload: AppendPayload,
+        min: LId,
+    ) -> Result<Option<(TOId, LId)>> {
+        self.station.note_arrival(1);
+        let (reply, rx) = bounded(1);
+        self.tx
+            .send(MaintainerRequest::AppendMinBound { payload, min, reply })
+            .map_err(|_| ChariotsError::ShutDown)?;
+        rx.recv().map_err(|_| ChariotsError::ShutDown)?
+    }
+
+    /// Store pre-routed entries (Chariots queues stage).
+    pub fn store(&self, entries: Vec<Entry>) -> bool {
+        self.station.note_arrival(entries.len() as u64);
+        self.tx.send(MaintainerRequest::Store { entries }).is_ok()
+    }
+
+    /// Read one position.
+    pub fn read(&self, lid: LId, enforce_hl: bool) -> Result<Entry> {
+        let (reply, rx) = bounded(1);
+        self.tx
+            .send(MaintainerRequest::Read {
+                lid,
+                enforce_hl,
+                reply,
+            })
+            .map_err(|_| ChariotsError::ShutDown)?;
+        rx.recv().map_err(|_| ChariotsError::ShutDown)?
+    }
+
+    /// Scan owned entries with `lid ≥ from`.
+    pub fn scan(&self, from: LId, max: usize) -> Result<Vec<Entry>> {
+        let (reply, rx) = bounded(1);
+        self.tx
+            .send(MaintainerRequest::Scan { from, max, reply })
+            .map_err(|_| ChariotsError::ShutDown)?;
+        rx.recv().map_err(|_| ChariotsError::ShutDown)
+    }
+
+    /// This maintainer's view of the Head of the Log.
+    pub fn head_of_log(&self) -> Result<LId> {
+        let (reply, rx) = bounded(1);
+        self.tx
+            .send(MaintainerRequest::HeadOfLog { reply })
+            .map_err(|_| ChariotsError::ShutDown)?;
+        rx.recv().map_err(|_| ChariotsError::ShutDown)
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> Result<MaintainerStats> {
+        let (reply, rx) = bounded(1);
+        self.tx
+            .send(MaintainerRequest::Stats { reply })
+            .map_err(|_| ChariotsError::ShutDown)?;
+        rx.recv().map_err(|_| ChariotsError::ShutDown)
+    }
+
+    /// Injects gossip (used by peers and tests).
+    pub fn gossip_in(&self, from: MaintainerId, frontier: LId) {
+        let _ = self.tx.send(MaintainerRequest::GossipIn { from, frontier });
+    }
+
+    /// Announces a future reassignment to this maintainer.
+    pub fn announce_epoch(&self, start: LId, map: RangeMap) {
+        let _ = self.tx.send(MaintainerRequest::AnnounceEpoch { start, map });
+    }
+
+    /// Requests garbage collection below `before`.
+    pub fn gc(&self, before: LId) {
+        let _ = self.tx.send(MaintainerRequest::Gc { before });
+    }
+
+    /// Crashes the simulated machine (requests fail until recovery).
+    pub fn crash(&self) {
+        self.station.crash();
+    }
+
+    /// Recovers the simulated machine.
+    pub fn recover(&self) {
+        self.station.recover();
+    }
+
+    /// Total records appended+stored through this node (shared counter).
+    pub fn appended_counter(&self) -> Counter {
+        self.appended.clone()
+    }
+
+    /// The station modelling this machine's capacity.
+    pub fn station(&self) -> Arc<ServiceStation> {
+        Arc::clone(&self.station)
+    }
+}
+
+/// Wiring shared by all maintainers of one deployment: peer handles for
+/// gossip and indexer handles for tag postings. Registered after spawn
+/// (the topology is cyclic).
+#[derive(Clone, Default)]
+pub struct Fabric {
+    peers: Arc<RwLock<Vec<MaintainerHandle>>>,
+    indexers: Arc<RwLock<Vec<IndexerHandle>>>,
+}
+
+impl Fabric {
+    /// An empty fabric.
+    pub fn new() -> Self {
+        Fabric::default()
+    }
+
+    /// Registers the full set of maintainer handles (gossip peers).
+    pub fn set_peers(&self, peers: Vec<MaintainerHandle>) {
+        *self.peers.write() = peers;
+    }
+
+    /// Registers the indexer handles.
+    pub fn set_indexers(&self, indexers: Vec<IndexerHandle>) {
+        *self.indexers.write() = indexers;
+    }
+
+    fn gossip(&self, from: MaintainerId, frontier: LId) {
+        for peer in self.peers.read().iter() {
+            if peer.id != from {
+                peer.gossip_in(from, frontier);
+            }
+        }
+    }
+
+    fn post_tags(&self, entries_tags: Vec<(String, Option<TagValue>, LId)>) {
+        let indexers = self.indexers.read();
+        if indexers.is_empty() {
+            return;
+        }
+        for (key, value, lid) in entries_tags {
+            let ix = indexer_for(&key, indexers.len());
+            indexers[ix].post(key, value, lid);
+        }
+    }
+}
+
+/// Spawns a maintainer node thread.
+///
+/// The node loop drains its channel in batches, paces application through
+/// `station`, gossips its frontier every `gossip_interval`, and posts tag
+/// information to the fabric's indexers.
+pub fn spawn_maintainer(
+    mut core: MaintainerCore,
+    station: Arc<ServiceStation>,
+    fabric: Fabric,
+    gossip_interval: Duration,
+    shutdown: Shutdown,
+) -> (MaintainerHandle, JoinHandle<MaintainerCore>) {
+    let (tx, rx) = unbounded::<MaintainerRequest>();
+    let appended = Counter::new();
+    let handle = MaintainerHandle {
+        id: core.id(),
+        tx,
+        station: Arc::clone(&station),
+        appended: appended.clone(),
+    };
+    let thread = std::thread::Builder::new()
+        .name(format!("maintainer-{}", core.id()))
+        .spawn(move || {
+            maintainer_loop(
+                &mut core,
+                &rx,
+                &station,
+                &fabric,
+                gossip_interval,
+                &shutdown,
+                &appended,
+            );
+            core
+        })
+        .expect("spawn maintainer");
+    (handle, thread)
+}
+
+fn collect_tag_postings(entries: &[Entry]) -> Vec<(String, Option<TagValue>, LId)> {
+    let mut out = Vec::new();
+    for e in entries {
+        for tag in e.record.tags.iter() {
+            out.push((tag.key.clone(), tag.value.clone(), e.lid));
+        }
+    }
+    out
+}
+
+fn maintainer_loop(
+    core: &mut MaintainerCore,
+    rx: &Receiver<MaintainerRequest>,
+    station: &ServiceStation,
+    fabric: &Fabric,
+    gossip_interval: Duration,
+    shutdown: &Shutdown,
+    appended: &Counter,
+) {
+    let mut last_gossip = std::time::Instant::now();
+    // Pre-routed entries that arrived while the machine was crashed: their
+    // positions are already committed by the queues' token, so they must
+    // not be lost — a real deployment recovers them from the WAL or a
+    // re-send; we hold them until recovery.
+    let mut crash_buffer: Vec<Entry> = Vec::new();
+    loop {
+        if shutdown.is_signaled() {
+            return;
+        }
+        let req = match rx.recv_timeout(gossip_interval) {
+            Ok(r) => Some(r),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+
+        // Recovery: apply everything buffered during the outage first.
+        if !crash_buffer.is_empty() && !station.is_crashed() {
+            let entries = std::mem::take(&mut crash_buffer);
+            let n = entries.len() as u64;
+            if station.serve(n).is_ok() {
+                let postings = collect_tag_postings(&entries);
+                if core.store_entries(entries).is_ok() {
+                    appended.add(n);
+                    fabric.post_tags(postings);
+                }
+            }
+        }
+
+        if let Some(req) = req {
+            serve_request(core, req, station, fabric, appended, &mut crash_buffer);
+        }
+
+        // Periodic gossip of our frontier + a chance for parked
+        // min-bound records to drain.
+        if last_gossip.elapsed() >= gossip_interval {
+            last_gossip = std::time::Instant::now();
+            let _ = core.drain_deferred();
+            let (from, frontier) = core.gossip_out();
+            fabric.gossip(from, frontier);
+        }
+    }
+}
+
+fn serve_request(
+    core: &mut MaintainerCore,
+    req: MaintainerRequest,
+    station: &ServiceStation,
+    fabric: &Fabric,
+    appended: &Counter,
+    crash_buffer: &mut Vec<Entry>,
+) {
+    match req {
+        MaintainerRequest::Append { payloads, reply } => {
+            let n = payloads.len() as u64;
+            if let Err(e) = station.serve(n) {
+                // Crashed: the records are lost, as they would be on a
+                // machine that died with them in its socket buffer.
+                if let Some(reply) = reply {
+                    let _ = reply.send(Err(e));
+                }
+                return;
+            }
+            let result = core.append_batch(payloads);
+            if let Ok(assigned) = &result {
+                appended.add(assigned.len() as u64);
+                let postings: Vec<_> = assigned
+                    .iter()
+                    .filter_map(|(_, lid)| core.read(*lid, false).ok())
+                    .collect::<Vec<_>>();
+                fabric.post_tags(collect_tag_postings(&postings));
+            }
+            if let Some(reply) = reply {
+                let _ = reply.send(result);
+            }
+        }
+        MaintainerRequest::AppendMinBound { payload, min, reply } => {
+            if let Err(e) = station.serve(1) {
+                let _ = reply.send(Err(e));
+                return;
+            }
+            let result = core.append_min_bound(payload, min);
+            if let Ok(Some((_, lid))) = &result {
+                appended.add(1);
+                if let Ok(entry) = core.read(*lid, false) {
+                    fabric.post_tags(collect_tag_postings(std::slice::from_ref(&entry)));
+                }
+            }
+            let _ = reply.send(result);
+        }
+        MaintainerRequest::Store { entries } => {
+            let n = entries.len() as u64;
+            if station.serve(n).is_err() {
+                // Crashed: the positions are already committed upstream —
+                // park the entries for recovery instead of losing them.
+                crash_buffer.extend(entries);
+                return;
+            }
+            let postings = collect_tag_postings(&entries);
+            if core.store_entries(entries).is_ok() {
+                appended.add(n);
+                fabric.post_tags(postings);
+            }
+        }
+        MaintainerRequest::Read {
+            lid,
+            enforce_hl,
+            reply,
+        } => {
+            let result = if station.is_crashed() {
+                Err(ChariotsError::Unavailable(format!(
+                    "maintainer {}",
+                    core.id()
+                )))
+            } else {
+                core.read(lid, enforce_hl)
+            };
+            let _ = reply.send(result);
+        }
+        MaintainerRequest::Scan { from, max, reply } => {
+            let _ = reply.send(core.scan_from(from, max));
+        }
+        MaintainerRequest::HeadOfLog { reply } => {
+            let _ = reply.send(core.head_of_log());
+        }
+        MaintainerRequest::GossipIn { from, frontier } => {
+            core.gossip_in(from, frontier);
+            let _ = core.drain_deferred();
+        }
+        MaintainerRequest::AnnounceEpoch { start, map } => {
+            core.announce_epoch(start, map);
+        }
+        MaintainerRequest::Gc { before } => {
+            core.gc_before(before);
+        }
+        MaintainerRequest::Stats { reply } => {
+            let _ = reply.send(core.stats());
+        }
+    }
+}
+
+/// Requests served by an indexer node.
+pub enum IndexerRequest {
+    /// Ingest postings.
+    Post {
+        /// `(key, value, lid)` triples.
+        postings: Vec<(String, Option<TagValue>, LId)>,
+    },
+    /// Look up positions by tag.
+    Lookup {
+        /// Tag key.
+        key: String,
+        /// Optional value predicate.
+        predicate: Option<ValuePredicate>,
+        /// Result bound.
+        limit: Limit,
+        /// Reply channel.
+        reply: Sender<Vec<LId>>,
+    },
+    /// Drop postings below the bound.
+    Gc {
+        /// Exclusive GC bound.
+        before: LId,
+    },
+}
+
+/// Client-side handle to an indexer node.
+#[derive(Clone)]
+pub struct IndexerHandle {
+    tx: Sender<IndexerRequest>,
+}
+
+impl IndexerHandle {
+    /// Posts one tag occurrence.
+    pub fn post(&self, key: String, value: Option<TagValue>, lid: LId) {
+        let _ = self.tx.send(IndexerRequest::Post {
+            postings: vec![(key, value, lid)],
+        });
+    }
+
+    /// Posts a batch of tag occurrences.
+    pub fn post_batch(&self, postings: Vec<(String, Option<TagValue>, LId)>) {
+        let _ = self.tx.send(IndexerRequest::Post { postings });
+    }
+
+    /// Looks up positions carrying a tag.
+    pub fn lookup(
+        &self,
+        key: String,
+        predicate: Option<ValuePredicate>,
+        limit: Limit,
+    ) -> Result<Vec<LId>> {
+        let (reply, rx) = bounded(1);
+        self.tx
+            .send(IndexerRequest::Lookup {
+                key,
+                predicate,
+                limit,
+                reply,
+            })
+            .map_err(|_| ChariotsError::ShutDown)?;
+        rx.recv().map_err(|_| ChariotsError::ShutDown)
+    }
+
+    /// Requests index GC below the bound.
+    pub fn gc(&self, before: LId) {
+        let _ = self.tx.send(IndexerRequest::Gc { before });
+    }
+}
+
+/// Spawns an indexer node thread.
+pub fn spawn_indexer(
+    mut core: IndexerCore,
+    shutdown: Shutdown,
+) -> (IndexerHandle, JoinHandle<IndexerCore>) {
+    let (tx, rx) = unbounded::<IndexerRequest>();
+    let handle = IndexerHandle { tx };
+    let thread = std::thread::Builder::new()
+        .name("indexer".into())
+        .spawn(move || {
+            loop {
+                if shutdown.is_signaled() {
+                    return core;
+                }
+                match rx.recv_timeout(Duration::from_millis(50)) {
+                    Ok(IndexerRequest::Post { postings }) => {
+                        for (key, value, lid) in postings {
+                            core.post(&key, value, lid);
+                        }
+                    }
+                    Ok(IndexerRequest::Lookup {
+                        key,
+                        predicate,
+                        limit,
+                        reply,
+                    }) => {
+                        let _ = reply.send(core.lookup(&key, predicate.as_ref(), limit));
+                    }
+                    Ok(IndexerRequest::Gc { before }) => core.gc_before(before),
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => return core,
+                }
+            }
+        })
+        .expect("spawn indexer");
+    (handle, thread)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epoch::EpochJournal;
+    use bytes::Bytes;
+    use chariots_simnet::StationConfig;
+    use chariots_types::{DatacenterId, Tag, TagSet};
+
+    fn launch_one(
+        maintainers: usize,
+        batch: u64,
+    ) -> (Vec<MaintainerHandle>, Fabric, Shutdown, Vec<JoinHandle<MaintainerCore>>) {
+        let journal = EpochJournal::new(RangeMap::new(maintainers, batch));
+        let fabric = Fabric::new();
+        let shutdown = Shutdown::new();
+        let mut handles = Vec::new();
+        let mut threads = Vec::new();
+        for i in 0..maintainers {
+            let core = MaintainerCore::new(
+                MaintainerId(i as u16),
+                DatacenterId(0),
+                journal.clone(),
+            );
+            let station = Arc::new(ServiceStation::new(
+                format!("m{i}"),
+                StationConfig::uncapped(),
+            ));
+            let (h, t) = spawn_maintainer(
+                core,
+                station,
+                fabric.clone(),
+                Duration::from_millis(2),
+                shutdown.clone(),
+            );
+            handles.push(h);
+            threads.push(t);
+        }
+        fabric.set_peers(handles.clone());
+        (handles, fabric, shutdown, threads)
+    }
+
+    fn payload(s: &str) -> AppendPayload {
+        AppendPayload::new(TagSet::new(), Bytes::copy_from_slice(s.as_bytes()))
+    }
+
+    #[test]
+    fn append_read_roundtrip_through_node() {
+        let (handles, _fabric, shutdown, threads) = launch_one(1, 10);
+        let ids = handles[0].append(vec![payload("hi")]).unwrap();
+        assert_eq!(ids, vec![(TOId(1), LId(0))]);
+        let e = handles[0].read(LId(0), false).unwrap();
+        assert_eq!(&e.record.body[..], b"hi");
+        shutdown.signal();
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn gossip_raises_head_of_log_across_nodes() {
+        let (handles, _fabric, shutdown, threads) = launch_one(2, 5);
+        handles[0].append(vec![payload("a")]).unwrap();
+        handles[1].append(vec![payload("b")]).unwrap();
+        // Give gossip a few intervals to propagate.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        loop {
+            let hl = handles[0].head_of_log().unwrap();
+            if hl >= LId(1) {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "HL never advanced");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Position 0 is now safely readable with HL enforcement.
+        assert!(handles[0].read(LId(0), true).is_ok());
+        shutdown.signal();
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn crash_fails_requests_until_recovery() {
+        let (handles, _fabric, shutdown, threads) = launch_one(1, 10);
+        handles[0].append(vec![payload("a")]).unwrap();
+        handles[0].crash();
+        assert!(matches!(
+            handles[0].read(LId(0), false),
+            Err(ChariotsError::Unavailable(_))
+        ));
+        assert!(matches!(
+            handles[0].append(vec![payload("b")]),
+            Err(ChariotsError::Unavailable(_))
+        ));
+        handles[0].recover();
+        assert!(handles[0].read(LId(0), false).is_ok());
+        shutdown.signal();
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn tags_flow_to_indexer() {
+        let (handles, fabric, shutdown, threads) = launch_one(1, 10);
+        let (ix, ix_thread) = spawn_indexer(IndexerCore::new(), shutdown.clone());
+        fabric.set_indexers(vec![ix.clone()]);
+        let p = AppendPayload::new(
+            TagSet::new().with(Tag::with_value("key", "x")),
+            Bytes::from_static(b"v"),
+        );
+        let ids = handles[0].append(vec![p]).unwrap();
+        // Indexer ingestion is async; poll briefly.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        loop {
+            let hits = ix.lookup("key".into(), None, Limit::All).unwrap();
+            if hits == vec![ids[0].1] {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "posting never arrived");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        shutdown.signal();
+        for t in threads {
+            t.join().unwrap();
+        }
+        ix_thread.join().unwrap();
+    }
+
+    #[test]
+    fn async_appends_are_counted() {
+        let (handles, _fabric, shutdown, threads) = launch_one(1, 100);
+        let counter = handles[0].appended_counter();
+        for _ in 0..10 {
+            assert!(handles[0].append_async(vec![payload("x"); 10]));
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while counter.get() < 100 {
+            assert!(std::time::Instant::now() < deadline);
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(counter.get(), 100);
+        shutdown.signal();
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Deterministic round-robin ownership of log ranges (§5.2).
+//!
+//! "We employ a deterministic approach to make each machine responsible for
+//! specific ranges of the log. These ranges round-robin across machines
+//! where each round consists of a number of records [the batch size]."
+//!
+//! With `m` maintainers and batch size `b`, the global log is divided into
+//! consecutive *rounds* of `b` positions; round `r` belongs to maintainer
+//! `r mod m`. Every mapping here is pure arithmetic — no coordination, which
+//! is the whole point of post-assignment.
+
+use chariots_types::{LId, MaintainerId};
+
+/// The round-robin striping of one epoch: `num_maintainers` machines, each
+/// owning alternating runs of `batch_size` positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangeMap {
+    num_maintainers: u64,
+    batch_size: u64,
+}
+
+impl RangeMap {
+    /// Creates a range map.
+    ///
+    /// # Panics
+    /// Panics if either parameter is zero.
+    pub fn new(num_maintainers: usize, batch_size: u64) -> Self {
+        assert!(num_maintainers > 0, "need at least one maintainer");
+        assert!(batch_size > 0, "batch size must be positive");
+        RangeMap {
+            num_maintainers: num_maintainers as u64,
+            batch_size,
+        }
+    }
+
+    /// Number of maintainers in this epoch.
+    pub fn num_maintainers(&self) -> usize {
+        self.num_maintainers as usize
+    }
+
+    /// Records per round per maintainer.
+    pub fn batch_size(&self) -> u64 {
+        self.batch_size
+    }
+
+    /// The maintainer owning global position `lid`.
+    #[inline]
+    pub fn owner_of(&self, lid: LId) -> MaintainerId {
+        let round = lid.0 / self.batch_size;
+        MaintainerId((round % self.num_maintainers) as u16)
+    }
+
+    /// Converts a maintainer's dense *local index* (0, 1, 2, … in the order
+    /// the maintainer fills its slots) into the global `LId` of that slot.
+    #[inline]
+    pub fn lid_for(&self, m: MaintainerId, local_index: u64) -> LId {
+        debug_assert!(
+            (m.0 as u64) < self.num_maintainers,
+            "maintainer {m} is not part of this striping"
+        );
+        let local_round = local_index / self.batch_size;
+        let offset = local_index % self.batch_size;
+        let global_round = local_round * self.num_maintainers + m.0 as u64;
+        LId(global_round * self.batch_size + offset)
+    }
+
+    /// Converts a global `LId` into its owner's dense local index.
+    ///
+    /// Returns `None` if `m` does not own `lid`.
+    #[inline]
+    pub fn local_index(&self, m: MaintainerId, lid: LId) -> Option<u64> {
+        if self.owner_of(lid) != m {
+            return None;
+        }
+        let global_round = lid.0 / self.batch_size;
+        let local_round = global_round / self.num_maintainers;
+        Some(local_round * self.batch_size + lid.0 % self.batch_size)
+    }
+
+    /// Number of slots maintainer `m` owns among positions `0..span`.
+    ///
+    /// This powers both epoch sizing (how many slots a bounded epoch gives
+    /// each maintainer) and garbage collection (how many of a maintainer's
+    /// slots fall below a global GC bound).
+    pub fn owned_below(&self, m: MaintainerId, span: u64) -> u64 {
+        if m.0 as u64 >= self.num_maintainers {
+            // A maintainer not in this epoch's striping (e.g. one added by
+            // a later epoch) owns nothing here.
+            return 0;
+        }
+        let cycle = self.batch_size * self.num_maintainers;
+        let full_cycles = span / cycle;
+        let rem = span % cycle;
+        let mut slots = full_cycles * self.batch_size;
+        // Within the partial cycle, m's round occupies
+        // [m·b, (m+1)·b).
+        let round_start = m.0 as u64 * self.batch_size;
+        if rem > round_start {
+            slots += (rem - round_start).min(self.batch_size);
+        }
+        slots
+    }
+
+    /// The inclusive-exclusive bounds `[start, end)` of the round containing
+    /// `lid`.
+    pub fn round_bounds(&self, lid: LId) -> (LId, LId) {
+        let start = lid.0 / self.batch_size * self.batch_size;
+        (LId(start), LId(start + self.batch_size))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_example_three_maintainers_batch_1000() {
+        // Fig. 4: maintainers A, B, C; batch size 1000. Round 1 gives A
+        // 0–999, B 1000–1999, C 2000–2999; round 2 gives A 3000–3999, …
+        let map = RangeMap::new(3, 1000);
+        assert_eq!(map.owner_of(LId(0)), MaintainerId(0));
+        assert_eq!(map.owner_of(LId(999)), MaintainerId(0));
+        assert_eq!(map.owner_of(LId(1000)), MaintainerId(1));
+        assert_eq!(map.owner_of(LId(2500)), MaintainerId(2));
+        assert_eq!(map.owner_of(LId(3000)), MaintainerId(0));
+        assert_eq!(map.owner_of(LId(4001)), MaintainerId(1));
+    }
+
+    #[test]
+    fn lid_for_walks_owned_slots_in_order() {
+        let map = RangeMap::new(3, 1000);
+        // Maintainer B's slots: 1000..=1999, then 4000..=4999, …
+        assert_eq!(map.lid_for(MaintainerId(1), 0), LId(1000));
+        assert_eq!(map.lid_for(MaintainerId(1), 999), LId(1999));
+        assert_eq!(map.lid_for(MaintainerId(1), 1000), LId(4000));
+        assert_eq!(map.lid_for(MaintainerId(0), 0), LId(0));
+        assert_eq!(map.lid_for(MaintainerId(2), 1500), LId(5500));
+    }
+
+    #[test]
+    fn local_index_rejects_foreign_lids() {
+        let map = RangeMap::new(3, 1000);
+        assert_eq!(map.local_index(MaintainerId(0), LId(1000)), None);
+        assert_eq!(map.local_index(MaintainerId(1), LId(1000)), Some(0));
+    }
+
+    #[test]
+    fn single_maintainer_owns_everything() {
+        let map = RangeMap::new(1, 10);
+        for lid in 0..100 {
+            assert_eq!(map.owner_of(LId(lid)), MaintainerId(0));
+            assert_eq!(map.local_index(MaintainerId(0), LId(lid)), Some(lid));
+            assert_eq!(map.lid_for(MaintainerId(0), lid), LId(lid));
+        }
+    }
+
+    #[test]
+    fn round_bounds_cover_batch() {
+        let map = RangeMap::new(3, 100);
+        assert_eq!(map.round_bounds(LId(0)), (LId(0), LId(100)));
+        assert_eq!(map.round_bounds(LId(99)), (LId(0), LId(100)));
+        assert_eq!(map.round_bounds(LId(250)), (LId(200), LId(300)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one maintainer")]
+    fn zero_maintainers_panics() {
+        let _ = RangeMap::new(0, 10);
+    }
+
+    proptest! {
+        /// lid_for and local_index are inverse bijections on owned slots.
+        #[test]
+        fn lid_local_roundtrip(m in 1usize..8, b in 1u64..64, idx in 0u64..10_000) {
+            let map = RangeMap::new(m, b);
+            for owner in 0..m as u16 {
+                let owner = MaintainerId(owner);
+                let lid = map.lid_for(owner, idx);
+                prop_assert_eq!(map.owner_of(lid), owner);
+                prop_assert_eq!(map.local_index(owner, lid), Some(idx));
+            }
+        }
+
+        /// Every global position has exactly one owner, and consecutive
+        /// local indexes map to strictly increasing LIds.
+        #[test]
+        fn ownership_partitions_log(m in 1usize..8, b in 1u64..64, lid in 0u64..10_000) {
+            let map = RangeMap::new(m, b);
+            let owner = map.owner_of(LId(lid));
+            let mut owners = 0;
+            for cand in 0..m as u16 {
+                if map.local_index(MaintainerId(cand), LId(lid)).is_some() {
+                    owners += 1;
+                    prop_assert_eq!(MaintainerId(cand), owner);
+                }
+            }
+            prop_assert_eq!(owners, 1);
+            let next = map.lid_for(owner, map.local_index(owner, LId(lid)).unwrap() + 1);
+            prop_assert!(next > LId(lid));
+        }
+    }
+}

@@ -1,0 +1,416 @@
+//! Write-ahead persistence for log maintainers.
+//!
+//! Maintainers "are responsible for persisting the log's records" (§5.2).
+//! Each maintainer owns one append-only WAL file holding its entries in the
+//! order they were stored. Frames are length-prefixed and CRC-32 protected;
+//! recovery replays frames until end-of-file or the first torn/corrupt
+//! frame, which tolerates a crash mid-write.
+//!
+//! The codec is hand-rolled: the format is tiny, stable, and has no reason
+//! to pull a serialization framework into the storage path.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use bytes::Bytes;
+use chariots_types::{
+    ChariotsError, DatacenterId, Entry, LId, Record, RecordId, Result, TOId, Tag, TagSet,
+    TagValue, VersionVector,
+};
+
+/// CRC-32 (IEEE 802.3) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// Computes the CRC-32 checksum of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+fn io_err(e: std::io::Error) -> ChariotsError {
+    ChariotsError::Storage(e.to_string())
+}
+
+/// Serializes one entry into the WAL payload format.
+fn encode_entry(entry: &Entry, buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&entry.lid.0.to_le_bytes());
+    buf.extend_from_slice(&entry.record.host().0.to_le_bytes());
+    buf.extend_from_slice(&entry.record.toid().0.to_le_bytes());
+
+    let deps: Vec<u64> = entry.record.deps.iter().map(|(_, t)| t.0).collect();
+    buf.extend_from_slice(&(deps.len() as u16).to_le_bytes());
+    for d in deps {
+        buf.extend_from_slice(&d.to_le_bytes());
+    }
+
+    buf.extend_from_slice(&(entry.record.tags.len() as u16).to_le_bytes());
+    for tag in entry.record.tags.iter() {
+        buf.extend_from_slice(&(tag.key.len() as u16).to_le_bytes());
+        buf.extend_from_slice(tag.key.as_bytes());
+        match &tag.value {
+            None => buf.push(0),
+            Some(TagValue::Int(i)) => {
+                buf.push(1);
+                buf.extend_from_slice(&i.to_le_bytes());
+            }
+            Some(TagValue::Str(s)) => {
+                buf.push(2);
+                buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                buf.extend_from_slice(s.as_bytes());
+            }
+        }
+    }
+
+    buf.extend_from_slice(&(entry.record.body.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&entry.record.body);
+}
+
+/// Cursor-based reader over a decoded payload.
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.data.len() {
+            return None;
+        }
+        let s = &self.data[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+    fn u16(&mut self) -> Option<u16> {
+        self.take(2).map(|b| u16::from_le_bytes([b[0], b[1]]))
+    }
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(|b| {
+            u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+        })
+    }
+    fn i64(&mut self) -> Option<i64> {
+        self.u64().map(|v| v as i64)
+    }
+}
+
+/// Deserializes one entry from a WAL payload. Returns `None` on any
+/// malformation (the caller treats it as a torn tail).
+fn decode_entry(payload: &[u8]) -> Option<Entry> {
+    let mut c = Cursor {
+        data: payload,
+        pos: 0,
+    };
+    let lid = LId(c.u64()?);
+    let host = DatacenterId(c.u16()?);
+    let toid = TOId(c.u64()?);
+
+    let deps_len = c.u16()? as usize;
+    let mut deps = Vec::with_capacity(deps_len);
+    for _ in 0..deps_len {
+        deps.push(TOId(c.u64()?));
+    }
+
+    let tag_count = c.u16()? as usize;
+    let mut tags = TagSet::new();
+    for _ in 0..tag_count {
+        let key_len = c.u16()? as usize;
+        let key = std::str::from_utf8(c.take(key_len)?).ok()?.to_owned();
+        let value = match *c.take(1)?.first()? {
+            0 => None,
+            1 => Some(TagValue::Int(c.i64()?)),
+            2 => {
+                let len = c.u32()? as usize;
+                Some(TagValue::Str(
+                    std::str::from_utf8(c.take(len)?).ok()?.to_owned(),
+                ))
+            }
+            _ => return None,
+        };
+        tags.push(Tag { key, value });
+    }
+
+    let body_len = c.u32()? as usize;
+    let body = Bytes::copy_from_slice(c.take(body_len)?);
+    if c.pos != payload.len() {
+        return None; // trailing garbage
+    }
+    Some(Entry::new(
+        lid,
+        Record::new(
+            RecordId::new(host, toid),
+            VersionVector::from_entries(deps),
+            tags,
+            body,
+        ),
+    ))
+}
+
+/// An append-only, CRC-protected write-ahead log of entries.
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    appended: u64,
+}
+
+impl Wal {
+    /// Opens (creating if absent) the WAL at `path` for appending.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self> {
+        let path = path.into();
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(io_err)?;
+        Ok(Wal {
+            path,
+            writer: BufWriter::new(file),
+            appended: 0,
+        })
+    }
+
+    /// Appends one entry frame.
+    pub fn append(&mut self, entry: &Entry) -> Result<()> {
+        let mut payload = Vec::with_capacity(64 + entry.record.body.len());
+        encode_entry(entry, &mut payload);
+        let crc = crc32(&payload);
+        self.writer
+            .write_all(&(payload.len() as u32).to_le_bytes())
+            .and_then(|_| self.writer.write_all(&crc.to_le_bytes()))
+            .and_then(|_| self.writer.write_all(&payload))
+            .map_err(io_err)?;
+        self.appended += 1;
+        Ok(())
+    }
+
+    /// Flushes buffered frames to the OS.
+    pub fn flush(&mut self) -> Result<()> {
+        self.writer.flush().map_err(io_err)
+    }
+
+    /// Flushes and fsyncs (durability point).
+    pub fn sync(&mut self) -> Result<()> {
+        self.flush()?;
+        self.writer.get_ref().sync_data().map_err(io_err)
+    }
+
+    /// Number of frames appended through this handle.
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// The file backing this WAL.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Replays every intact frame in `path`, stopping cleanly at a torn or
+    /// corrupt tail. Missing files replay as empty (a maintainer that never
+    /// persisted anything).
+    pub fn replay(path: impl AsRef<Path>) -> Result<Vec<Entry>> {
+        let file = match File::open(path.as_ref()) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(io_err(e)),
+        };
+        let mut reader = BufReader::new(file);
+        let mut entries = Vec::new();
+        loop {
+            let mut header = [0u8; 8];
+            match reader.read_exact(&mut header) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+                Err(e) => return Err(io_err(e)),
+            }
+            let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+            let crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+            // Cap against absurd lengths from a corrupt header.
+            if len > 1 << 30 {
+                break;
+            }
+            let mut payload = vec![0u8; len];
+            match reader.read_exact(&mut payload) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break, // torn tail
+                Err(e) => return Err(io_err(e)),
+            }
+            if crc32(&payload) != crc {
+                break; // corrupt frame: stop replay here
+            }
+            match decode_entry(&payload) {
+                Some(entry) => entries.push(entry),
+                None => break,
+            }
+        }
+        Ok(entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entry(lid: u64, toid: u64) -> Entry {
+        Entry::new(
+            LId(lid),
+            Record::new(
+                RecordId::new(DatacenterId(1), TOId(toid)),
+                VersionVector::from_entries(vec![TOId(3), TOId(toid)]),
+                TagSet::new()
+                    .with(Tag::with_value("key", "x"))
+                    .with(Tag::with_value("seq", 9i64))
+                    .with(Tag::key("put")),
+                Bytes::from(vec![0xAB; 64]),
+            ),
+        )
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard test vector for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let entry = sample_entry(42, 7);
+        let mut buf = Vec::new();
+        encode_entry(&entry, &mut buf);
+        let back = decode_entry(&buf).expect("decodes");
+        assert_eq!(back, entry);
+    }
+
+    #[test]
+    fn decode_rejects_truncation_at_every_length() {
+        let entry = sample_entry(1, 1);
+        let mut buf = Vec::new();
+        encode_entry(&entry, &mut buf);
+        for cut in 0..buf.len() {
+            assert!(
+                decode_entry(&buf[..cut]).is_none(),
+                "decoded from a {cut}-byte prefix"
+            );
+        }
+    }
+
+    #[test]
+    fn wal_roundtrips_through_file() {
+        let dir = std::env::temp_dir().join(format!("chariots-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.wal");
+        let _ = std::fs::remove_file(&path);
+
+        let entries: Vec<Entry> = (0..10).map(|i| sample_entry(i, i + 1)).collect();
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            for e in &entries {
+                wal.append(e).unwrap();
+            }
+            wal.sync().unwrap();
+            assert_eq!(wal.appended(), 10);
+        }
+        let replayed = Wal::replay(&path).unwrap();
+        assert_eq!(replayed, entries);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn replay_missing_file_is_empty() {
+        let replayed = Wal::replay("/nonexistent/chariots.wal").unwrap();
+        assert!(replayed.is_empty());
+    }
+
+    #[test]
+    fn replay_stops_at_torn_tail() {
+        let dir = std::env::temp_dir().join(format!("chariots-wal-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(&sample_entry(0, 1)).unwrap();
+            wal.append(&sample_entry(1, 2)).unwrap();
+            wal.sync().unwrap();
+        }
+        // Tear off the last 5 bytes, as a crash mid-write would.
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 5]).unwrap();
+        let replayed = Wal::replay(&path).unwrap();
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(replayed[0].lid, LId(0));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn replay_stops_at_corrupt_frame_but_keeps_prefix() {
+        let dir =
+            std::env::temp_dir().join(format!("chariots-wal-corrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(&sample_entry(0, 1)).unwrap();
+            wal.append(&sample_entry(1, 2)).unwrap();
+            wal.append(&sample_entry(2, 3)).unwrap();
+            wal.sync().unwrap();
+        }
+        // Flip a byte in the middle of the second frame's payload.
+        let mut data = std::fs::read(&path).unwrap();
+        let frame_len = {
+            let l = u32::from_le_bytes([data[0], data[1], data[2], data[3]]) as usize;
+            8 + l
+        };
+        data[frame_len + 20] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+        let replayed = Wal::replay(&path).unwrap();
+        assert_eq!(replayed.len(), 1, "only the intact prefix survives");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_after_reopen_extends_log() {
+        let dir =
+            std::env::temp_dir().join(format!("chariots-wal-reopen-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("reopen.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(&sample_entry(0, 1)).unwrap();
+            wal.sync().unwrap();
+        }
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(&sample_entry(1, 2)).unwrap();
+            wal.sync().unwrap();
+        }
+        let replayed = Wal::replay(&path).unwrap();
+        assert_eq!(replayed.len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

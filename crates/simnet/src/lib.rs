@@ -1,0 +1,49 @@
+//! # chariots-simnet
+//!
+//! Simulated cluster substrate for the Chariots reproduction.
+//!
+//! The paper evaluates on a private Xeon cluster and on AWS; this crate
+//! replaces that hardware with controllable software models (see
+//! `DESIGN.md` §3 for why each substitution preserves the behaviour the
+//! evaluation measures):
+//!
+//! * [`station`] — [`ServiceStation`]: per-machine capacity with an
+//!   overload-degradation model (the shape of the paper's Fig. 7).
+//! * [`link`] — [`Link`]: latency / jitter / bandwidth plus fault injection
+//!   (partitions, drops, duplication) for WAN and intra-DC hops.
+//! * [`pacing`] — precise sleeps and the open-loop [`RateLimiter`] used by
+//!   target-throughput load generators.
+//! * [`metrics`] — counters, throughput meters, and the time-series sampler
+//!   behind Fig. 9.
+//! * [`shutdown`] — cooperative worker shutdown.
+//!
+//! ```
+//! use chariots_simnet::{Link, LinkConfig, ServiceStation, StationConfig};
+//! use std::time::Duration;
+//!
+//! // A machine that can serve 50k records/s, and a 5ms link to it.
+//! let station = ServiceStation::new("m0", StationConfig::with_rate(50_000.0));
+//! let (tx, rx, handle) = Link::spawn_simple::<u32>(
+//!     LinkConfig::with_latency(Duration::from_millis(5)),
+//! );
+//! tx.send(42);
+//! assert_eq!(rx.recv().unwrap(), 42);
+//! station.note_arrival(1);
+//! station.serve(1).unwrap();
+//! assert_eq!(station.served(), 1);
+//! handle.partition(); // messages sent now are lost until heal()
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod link;
+pub mod metrics;
+pub mod pacing;
+pub mod shutdown;
+pub mod station;
+
+pub use link::{Link, LinkConfig, LinkHandle, LinkSender};
+pub use metrics::{sample_until, Counter, Series, ThroughputMeter, TimeSeries};
+pub use pacing::{sleep_until, RateLimiter};
+pub use shutdown::Shutdown;
+pub use station::{ServiceStation, StationConfig};

@@ -1,0 +1,499 @@
+//! Simulated network links: latency, jitter, bandwidth, partitions,
+//! duplication, and drops.
+//!
+//! A [`Link`] connects two simulated machines (or two datacenters, for WAN
+//! links). Messages sent into the link are delivered on the receiving end
+//! after the configured latency; a background forwarder thread owns the
+//! delay queue. The [`LinkHandle`] injects faults at runtime: partitions
+//! (messages silently dropped, as they would time out under a real
+//! partition), probabilistic drops, and probabilistic duplication — the
+//! latter exercises the filters stage's exactly-once guarantee (§6.2).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Static configuration of a link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkConfig {
+    /// One-way propagation delay.
+    pub latency: Duration,
+    /// Uniform random extra delay in `[0, jitter]`; jitter also induces
+    /// reordering between messages sent close together.
+    pub jitter: Duration,
+    /// Payload bytes per second the link can carry; `None` means unlimited.
+    /// Transmission time queues serially, modelling a NIC.
+    pub bandwidth: Option<f64>,
+    /// Probability in `[0, 1]` that a message is delivered twice.
+    pub duplicate_prob: f64,
+    /// Probability in `[0, 1]` that a message is silently dropped.
+    pub drop_prob: f64,
+    /// RNG seed for jitter/duplication/drops (deterministic tests).
+    pub seed: u64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            latency: Duration::ZERO,
+            jitter: Duration::ZERO,
+            bandwidth: None,
+            duplicate_prob: 0.0,
+            drop_prob: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl LinkConfig {
+    /// A link with only a fixed one-way latency.
+    pub fn with_latency(latency: Duration) -> Self {
+        LinkConfig {
+            latency,
+            ..LinkConfig::default()
+        }
+    }
+
+    /// A typical WAN link for the multi-datacenter experiments: 40 ms
+    /// one-way, 5 ms jitter.
+    pub fn wan() -> Self {
+        LinkConfig {
+            latency: Duration::from_millis(40),
+            jitter: Duration::from_millis(5),
+            ..LinkConfig::default()
+        }
+    }
+
+    /// Sets the jitter bound.
+    pub fn jitter(mut self, jitter: Duration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Sets the bandwidth in bytes/second.
+    pub fn bandwidth(mut self, bytes_per_sec: f64) -> Self {
+        self.bandwidth = Some(bytes_per_sec);
+        self
+    }
+
+    /// Sets the duplication probability.
+    pub fn duplicate_prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        self.duplicate_prob = p;
+        self
+    }
+
+    /// Sets the drop probability.
+    pub fn drop_prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        self.drop_prob = p;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Runtime fault-injection and observation handle for a link.
+#[derive(Debug, Clone)]
+pub struct LinkHandle {
+    shared: Arc<LinkShared>,
+}
+
+#[derive(Debug)]
+struct LinkShared {
+    partitioned: AtomicBool,
+    latency_micros: AtomicU64,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    dup_per_million: AtomicU32,
+    drop_per_million: AtomicU32,
+}
+
+impl LinkHandle {
+    /// Cuts the link: messages sent while partitioned are dropped, like
+    /// traffic during a real network partition.
+    pub fn partition(&self) {
+        self.shared.partitioned.store(true, Ordering::Release);
+    }
+
+    /// Heals the partition.
+    pub fn heal(&self) {
+        self.shared.partitioned.store(false, Ordering::Release);
+    }
+
+    /// Whether the link is currently partitioned.
+    pub fn is_partitioned(&self) -> bool {
+        self.shared.partitioned.load(Ordering::Acquire)
+    }
+
+    /// Changes the one-way latency at runtime.
+    pub fn set_latency(&self, latency: Duration) {
+        self.shared
+            .latency_micros
+            .store(latency.as_micros() as u64, Ordering::Release);
+    }
+
+    /// Changes the duplication probability at runtime.
+    pub fn set_duplicate_prob(&self, p: f64) {
+        assert!((0.0..=1.0).contains(&p));
+        self.shared
+            .dup_per_million
+            .store((p * 1e6) as u32, Ordering::Release);
+    }
+
+    /// Changes the drop probability at runtime.
+    pub fn set_drop_prob(&self, p: f64) {
+        assert!((0.0..=1.0).contains(&p));
+        self.shared
+            .drop_per_million
+            .store((p * 1e6) as u32, Ordering::Release);
+    }
+
+    /// Messages delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.shared.delivered.load(Ordering::Relaxed)
+    }
+
+    /// Messages dropped so far (partition + probabilistic drops).
+    pub fn dropped(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Messages duplicated so far.
+    pub fn duplicated(&self) -> u64 {
+        self.shared.duplicated.load(Ordering::Relaxed)
+    }
+}
+
+/// Sending endpoint of a link.
+#[derive(Debug, Clone)]
+pub struct LinkSender<T> {
+    ingress: Sender<T>,
+    shared: Arc<LinkShared>,
+}
+
+impl<T> LinkSender<T> {
+    /// Sends a message into the link. Returns `false` if the receiving end
+    /// (and forwarder) has shut down.
+    pub fn send(&self, msg: T) -> bool {
+        // Partition check happens on the sending side so that messages sent
+        // during a partition never arrive, even if it heals a moment later.
+        if self.shared.partitioned.load(Ordering::Acquire) {
+            self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+            return true; // the *link* is up; the message is just lost
+        }
+        self.ingress.send(msg).is_ok()
+    }
+}
+
+struct Scheduled<T> {
+    due: Instant,
+    seq: u64,
+    msg: T,
+}
+
+impl<T> PartialEq for Scheduled<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl<T> Eq for Scheduled<T> {}
+impl<T> PartialOrd for Scheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Scheduled<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
+/// A simulated unidirectional link. Construct with [`Link::spawn`] (sized
+/// messages, bandwidth modelling) or [`Link::spawn_simple`].
+pub struct Link;
+
+impl Link {
+    /// Spawns a link whose bandwidth model uses `size_of` to weigh
+    /// messages. Returns the sending endpoint, the delivery receiver, and
+    /// the fault-injection handle.
+    pub fn spawn<T, F>(cfg: LinkConfig, size_of: F) -> (LinkSender<T>, Receiver<T>, LinkHandle)
+    where
+        T: Send + Clone + 'static,
+        F: Fn(&T) -> usize + Send + 'static,
+    {
+        let shared = Arc::new(LinkShared {
+            partitioned: AtomicBool::new(false),
+            latency_micros: AtomicU64::new(cfg.latency.as_micros() as u64),
+            delivered: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            duplicated: AtomicU64::new(0),
+            dup_per_million: AtomicU32::new((cfg.duplicate_prob * 1e6) as u32),
+            drop_per_million: AtomicU32::new((cfg.drop_prob * 1e6) as u32),
+        });
+        let (ingress_tx, ingress_rx) = channel::unbounded::<T>();
+        let (egress_tx, egress_rx) = channel::unbounded::<T>();
+        let fwd_shared = Arc::clone(&shared);
+        let jitter = cfg.jitter;
+        let bandwidth = cfg.bandwidth;
+        let seed = cfg.seed;
+        std::thread::Builder::new()
+            .name("simnet-link".into())
+            .spawn(move || {
+                forwarder(
+                    ingress_rx, egress_tx, fwd_shared, jitter, bandwidth, seed, size_of,
+                )
+            })
+            .expect("spawn link forwarder");
+        (
+            LinkSender {
+                ingress: ingress_tx,
+                shared: Arc::clone(&shared),
+            },
+            egress_rx,
+            LinkHandle { shared },
+        )
+    }
+
+    /// Spawns a link that ignores message sizes (no bandwidth model).
+    pub fn spawn_simple<T>(cfg: LinkConfig) -> (LinkSender<T>, Receiver<T>, LinkHandle)
+    where
+        T: Send + Clone + 'static,
+    {
+        Self::spawn(cfg, |_| 0)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn forwarder<T, F>(
+    ingress: Receiver<T>,
+    egress: Sender<T>,
+    shared: Arc<LinkShared>,
+    jitter: Duration,
+    bandwidth: Option<f64>,
+    seed: u64,
+    size_of: F,
+) where
+    T: Send + Clone + 'static,
+    F: Fn(&T) -> usize,
+{
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut heap: BinaryHeap<Reverse<Scheduled<T>>> = BinaryHeap::new();
+    let mut seq: u64 = 0;
+    // The instant the simulated NIC finishes its current transmissions.
+    let mut tx_free = Instant::now();
+    let mut ingress_open = true;
+
+    loop {
+        // Deliver everything due.
+        let now = Instant::now();
+        while heap.peek().is_some_and(|Reverse(s)| s.due <= now) {
+            let Reverse(s) = heap.pop().expect("peeked");
+            shared.delivered.fetch_add(1, Ordering::Relaxed);
+            if egress.send(s.msg).is_err() {
+                return; // receiver gone
+            }
+        }
+        if !ingress_open && heap.is_empty() {
+            return; // fully drained after sender hung up
+        }
+
+        // Wait for the next arrival or the next due delivery.
+        let msg = if let Some(Reverse(next)) = heap.peek() {
+            let timeout = next.due.saturating_duration_since(Instant::now());
+            if !ingress_open {
+                crate::pacing::sleep_until(next.due);
+                continue;
+            }
+            match ingress.recv_timeout(timeout) {
+                Ok(m) => m,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => {
+                    ingress_open = false;
+                    continue;
+                }
+            }
+        } else {
+            match ingress.recv() {
+                Ok(m) => m,
+                Err(_) => return, // nothing queued and sender gone
+            }
+        };
+
+        // Probabilistic drop.
+        let drop_p = shared.drop_per_million.load(Ordering::Acquire);
+        if drop_p > 0 && rng.gen_range(0u32..1_000_000) < drop_p {
+            shared.dropped.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+
+        // Schedule delivery: serial transmission time + propagation + jitter.
+        let now = Instant::now();
+        if tx_free < now {
+            tx_free = now;
+        }
+        if let Some(bw) = bandwidth {
+            let size = size_of(&msg);
+            tx_free += Duration::from_secs_f64(size as f64 / bw);
+        }
+        let latency = Duration::from_micros(shared.latency_micros.load(Ordering::Acquire));
+        let jit = if jitter.is_zero() {
+            Duration::ZERO
+        } else {
+            Duration::from_secs_f64(rng.gen_range(0.0..jitter.as_secs_f64()))
+        };
+        let due = tx_free + latency + jit;
+
+        // Probabilistic duplication: the copy gets fresh jitter, so the two
+        // deliveries may arrive in either order.
+        let dup_p = shared.dup_per_million.load(Ordering::Acquire);
+        if dup_p > 0 && rng.gen_range(0u32..1_000_000) < dup_p {
+            shared.duplicated.fetch_add(1, Ordering::Relaxed);
+            let extra_jit = if jitter.is_zero() {
+                Duration::ZERO
+            } else {
+                Duration::from_secs_f64(rng.gen_range(0.0..jitter.as_secs_f64()))
+            };
+            heap.push(Reverse(Scheduled {
+                due: tx_free + latency + extra_jit,
+                seq,
+                msg: msg.clone(),
+            }));
+            seq += 1;
+        }
+        heap.push(Reverse(Scheduled { due, seq, msg }));
+        seq += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_latency_link_delivers_in_order() {
+        let (tx, rx, _h) = Link::spawn_simple::<u32>(LinkConfig::default());
+        for i in 0..100 {
+            assert!(tx.send(i));
+        }
+        let got: Vec<u32> = (0..100)
+            .map(|_| rx.recv_timeout(Duration::from_secs(1)).unwrap())
+            .collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let cfg = LinkConfig::with_latency(Duration::from_millis(30));
+        let (tx, rx, _h) = Link::spawn_simple::<u8>(cfg);
+        let start = Instant::now();
+        tx.send(1);
+        rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(28), "{elapsed:?}");
+        assert!(elapsed < Duration::from_millis(200), "{elapsed:?}");
+    }
+
+    #[test]
+    fn partition_drops_messages_and_heals() {
+        let (tx, rx, h) = Link::spawn_simple::<u32>(LinkConfig::default());
+        h.partition();
+        assert!(h.is_partitioned());
+        tx.send(1);
+        tx.send(2);
+        assert!(rx.recv_timeout(Duration::from_millis(50)).is_err());
+        assert_eq!(h.dropped(), 2);
+        h.heal();
+        tx.send(3);
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), 3);
+        assert_eq!(h.delivered(), 1);
+    }
+
+    #[test]
+    fn duplication_delivers_copies() {
+        let cfg = LinkConfig::default().duplicate_prob(1.0).seed(7);
+        let (tx, rx, h) = Link::spawn_simple::<u32>(cfg);
+        tx.send(42);
+        let a = rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        let b = rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!((a, b), (42, 42));
+        assert_eq!(h.duplicated(), 1);
+    }
+
+    #[test]
+    fn drops_are_probabilistic_and_counted() {
+        let cfg = LinkConfig::default().drop_prob(1.0).seed(3);
+        let (tx, rx, h) = Link::spawn_simple::<u32>(cfg);
+        for i in 0..10 {
+            tx.send(i);
+        }
+        assert!(rx.recv_timeout(Duration::from_millis(50)).is_err());
+        assert_eq!(h.dropped(), 10);
+    }
+
+    #[test]
+    fn bandwidth_paces_transmission() {
+        // 10 messages × 1000 bytes at 100 kB/s = 100 ms of transmission.
+        let cfg = LinkConfig::default().bandwidth(100_000.0);
+        let (tx, rx, _h) = Link::spawn::<Vec<u8>, _>(cfg, |m| m.len());
+        let start = Instant::now();
+        for _ in 0..10 {
+            tx.send(vec![0u8; 1000]);
+        }
+        for _ in 0..10 {
+            rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        }
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(85), "{elapsed:?}");
+    }
+
+    #[test]
+    fn jitter_reorders_but_loses_nothing() {
+        let cfg = LinkConfig::with_latency(Duration::from_millis(1))
+            .jitter(Duration::from_millis(10))
+            .seed(11);
+        let (tx, rx, _h) = Link::spawn_simple::<u32>(cfg);
+        for i in 0..50 {
+            tx.send(i);
+        }
+        let mut got: Vec<u32> = (0..50)
+            .map(|_| rx.recv_timeout(Duration::from_secs(1)).unwrap())
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn latency_change_applies_to_new_messages() {
+        let cfg = LinkConfig::with_latency(Duration::from_millis(100));
+        let (tx, rx, h) = Link::spawn_simple::<u32>(cfg);
+        h.set_latency(Duration::ZERO);
+        let start = Instant::now();
+        tx.send(5);
+        rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert!(start.elapsed() < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn link_drains_after_sender_drops() {
+        let cfg = LinkConfig::with_latency(Duration::from_millis(20));
+        let (tx, rx, _h) = Link::spawn_simple::<u32>(cfg);
+        tx.send(1);
+        tx.send(2);
+        drop(tx);
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), 1);
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), 2);
+        assert!(rx.recv_timeout(Duration::from_millis(100)).is_err());
+    }
+}

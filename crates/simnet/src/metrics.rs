@@ -1,0 +1,189 @@
+//! Lightweight metrics: shared counters, throughput meters, and the
+//! time-series sampler behind the paper's Fig. 9.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cheap shared counter (relaxed atomics; readers tolerate slight skew).
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Measures average throughput of a [`Counter`] over a wall-clock window.
+#[derive(Debug)]
+pub struct ThroughputMeter {
+    counter: Counter,
+    started: Instant,
+    start_value: u64,
+}
+
+impl ThroughputMeter {
+    /// Starts measuring `counter` from its current value.
+    pub fn start(counter: Counter) -> Self {
+        let start_value = counter.get();
+        ThroughputMeter {
+            counter,
+            started: Instant::now(),
+            start_value,
+        }
+    }
+
+    /// Units counted since the meter started.
+    pub fn count(&self) -> u64 {
+        self.counter.get() - self.start_value
+    }
+
+    /// Average rate (units/second) since the meter started.
+    pub fn rate(&self) -> f64 {
+        let elapsed = self.started.elapsed().as_secs_f64();
+        if elapsed == 0.0 {
+            0.0
+        } else {
+            self.count() as f64 / elapsed
+        }
+    }
+
+    /// Elapsed time since the meter started.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
+/// One named series of per-interval counts (for Fig. 9-style plots).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Display name of the machine/stage being sampled.
+    pub name: String,
+    /// Records per interval, one entry per sample tick.
+    pub deltas: Vec<u64>,
+}
+
+impl Series {
+    /// Converts per-interval deltas into rates (units/second).
+    pub fn rates(&self, interval: Duration) -> Vec<f64> {
+        let secs = interval.as_secs_f64();
+        self.deltas.iter().map(|&d| d as f64 / secs).collect()
+    }
+}
+
+/// A sampled multi-series time series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    /// Sampling interval.
+    pub interval: Duration,
+    /// One series per sampled counter.
+    pub series: Vec<Series>,
+}
+
+/// Samples a set of named counters every `interval` until `stop` returns
+/// true, producing per-interval deltas. Runs inline on the calling thread
+/// (spawn one if concurrency is needed).
+pub fn sample_until(
+    counters: &[(String, Counter)],
+    interval: Duration,
+    mut stop: impl FnMut() -> bool,
+) -> TimeSeries {
+    let mut last: Vec<u64> = counters.iter().map(|(_, c)| c.get()).collect();
+    let mut series: Vec<Series> = counters
+        .iter()
+        .map(|(name, _)| Series {
+            name: name.clone(),
+            deltas: Vec::new(),
+        })
+        .collect();
+    let mut next_tick = Instant::now() + interval;
+    while !stop() {
+        crate::pacing::sleep_until(next_tick);
+        next_tick += interval;
+        for (i, (_, c)) in counters.iter().enumerate() {
+            let now = c.get();
+            series[i].deltas.push(now - last[i]);
+            last[i] = now;
+        }
+    }
+    TimeSeries { interval, series }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.add(3);
+        c.add(4);
+        assert_eq!(c.get(), 7);
+        let c2 = c.clone(); // clones share the value
+        c2.add(1);
+        assert_eq!(c.get(), 8);
+    }
+
+    #[test]
+    fn meter_measures_rate() {
+        let c = Counter::new();
+        c.add(100); // before the meter starts: excluded
+        let meter = ThroughputMeter::start(c.clone());
+        c.add(500);
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(meter.count(), 500);
+        let rate = meter.rate();
+        assert!(rate > 0.0 && rate <= 500.0 / 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn sampler_collects_deltas() {
+        let c = Counter::new();
+        let counters = vec![("stage".to_string(), c.clone())];
+        let producer = {
+            let c = c.clone();
+            std::thread::spawn(move || {
+                for _ in 0..10 {
+                    c.add(10);
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            })
+        };
+        let ticks = std::cell::Cell::new(0);
+        let ts = sample_until(&counters, Duration::from_millis(20), || {
+            ticks.set(ticks.get() + 1);
+            ticks.get() > 4
+        });
+        producer.join().unwrap();
+        assert_eq!(ts.series.len(), 1);
+        assert_eq!(ts.series[0].name, "stage");
+        let total: u64 = ts.series[0].deltas.iter().sum();
+        assert!(total <= 100);
+        assert!(!ts.series[0].deltas.is_empty());
+    }
+
+    #[test]
+    fn series_rates_divide_by_interval() {
+        let s = Series {
+            name: "x".into(),
+            deltas: vec![50, 100],
+        };
+        assert_eq!(s.rates(Duration::from_millis(500)), vec![100.0, 200.0]);
+    }
+}

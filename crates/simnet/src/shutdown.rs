@@ -1,0 +1,61 @@
+//! Cooperative shutdown signalling for simulated-machine worker threads.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cloneable shutdown flag shared by a deployment's worker threads.
+///
+/// Workers poll [`is_signaled`](Shutdown::is_signaled) between batches;
+/// the deployment owner calls [`signal`](Shutdown::signal) once and joins.
+#[derive(Debug, Clone, Default)]
+pub struct Shutdown {
+    flag: Arc<AtomicBool>,
+}
+
+impl Shutdown {
+    /// A fresh, un-signalled flag.
+    pub fn new() -> Self {
+        Shutdown::default()
+    }
+
+    /// Requests shutdown. Idempotent.
+    pub fn signal(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether shutdown has been requested.
+    #[inline]
+    pub fn is_signaled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_is_visible_to_clones() {
+        let s = Shutdown::new();
+        let c = s.clone();
+        assert!(!c.is_signaled());
+        s.signal();
+        assert!(c.is_signaled());
+        s.signal(); // idempotent
+        assert!(s.is_signaled());
+    }
+
+    #[test]
+    fn signal_crosses_threads() {
+        let s = Shutdown::new();
+        let c = s.clone();
+        let h = std::thread::spawn(move || {
+            while !c.is_signaled() {
+                std::thread::yield_now();
+            }
+            true
+        });
+        s.signal();
+        assert!(h.join().unwrap());
+    }
+}

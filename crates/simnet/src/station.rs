@@ -1,0 +1,298 @@
+//! Service stations: the capacity model for simulated machines.
+//!
+//! The paper evaluates Chariots on real clusters (Xeon nodes on a 10 GbE
+//! rack, and AWS c3.large instances). This reproduction replaces the
+//! hardware with **service stations**: each simulated machine's worker
+//! thread paces its work through a station with a configurable service rate.
+//! The station also models the overload behaviour visible in the paper's
+//! Fig. 7 — a machine pushed past its capacity *loses* throughput (the paper
+//! measures a peak of ≈150 K appends/s that degrades to ≈120 K under
+//! overload) — by degrading the effective service rate as its input backlog
+//! grows.
+//!
+//! Producers feeding a station call [`ServiceStation::note_arrival`] (cheap,
+//! non-blocking); the machine's worker thread calls
+//! [`ServiceStation::serve`], which blocks long enough to keep the long-run
+//! service rate at or below the (possibly degraded) capacity.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use chariots_types::{ChariotsError, Result};
+use parking_lot::Mutex;
+
+use crate::pacing::sleep_until;
+
+/// Capacity model of one simulated machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StationConfig {
+    /// Nominal service rate in records per second. `f64::INFINITY` means
+    /// uncapped (useful in correctness tests, where wall-clock pacing is
+    /// noise).
+    pub rate: f64,
+    /// Fraction of the nominal rate lost at full overload. The paper's
+    /// Fig. 7 shows ≈20 % degradation (150 K peak → ≈120 K plateau).
+    pub overload_degradation: f64,
+    /// Backlog (pending records) at which degradation starts.
+    pub overload_onset: u64,
+    /// Backlog at which degradation reaches `overload_degradation`;
+    /// in between, degradation ramps linearly.
+    pub overload_full: u64,
+}
+
+impl Default for StationConfig {
+    fn default() -> Self {
+        StationConfig {
+            rate: f64::INFINITY,
+            overload_degradation: 0.2,
+            overload_onset: 2_000,
+            overload_full: 20_000,
+        }
+    }
+}
+
+impl StationConfig {
+    /// An uncapped station (for correctness tests).
+    pub fn uncapped() -> Self {
+        StationConfig::default()
+    }
+
+    /// A station with the given nominal rate and default overload model.
+    pub fn with_rate(rate: f64) -> Self {
+        StationConfig {
+            rate,
+            ..StationConfig::default()
+        }
+    }
+
+    /// Sets the overload model parameters.
+    pub fn overload(mut self, degradation: f64, onset: u64, full: u64) -> Self {
+        assert!((0.0..1.0).contains(&degradation));
+        assert!(full >= onset);
+        self.overload_degradation = degradation;
+        self.overload_onset = onset;
+        self.overload_full = full;
+        self
+    }
+}
+
+/// A simulated machine's service capacity. See the module docs.
+#[derive(Debug)]
+pub struct ServiceStation {
+    name: String,
+    cfg: StationConfig,
+    /// Records noted as arrived but not yet served; the overload signal.
+    pending: AtomicI64,
+    /// Total records served (the per-machine throughput counter the bench
+    /// harness reads).
+    served: AtomicU64,
+    crashed: AtomicBool,
+    /// The instant at which the station is next free; pacing state.
+    next_free: Mutex<Instant>,
+}
+
+impl ServiceStation {
+    /// Creates a station.
+    pub fn new(name: impl Into<String>, cfg: StationConfig) -> Self {
+        ServiceStation {
+            name: name.into(),
+            cfg,
+            pending: AtomicI64::new(0),
+            served: AtomicU64::new(0),
+            crashed: AtomicBool::new(false),
+            next_free: Mutex::new(Instant::now()),
+        }
+    }
+
+    /// The station's name (diagnostics and bench output).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Notes that `n` records arrived at this machine's input queue.
+    /// Producers call this; it never blocks.
+    #[inline]
+    pub fn note_arrival(&self, n: u64) {
+        self.pending.fetch_add(n as i64, Ordering::Relaxed);
+    }
+
+    /// Serves `n` records: blocks the calling worker thread so the long-run
+    /// service rate respects the (possibly degraded) capacity, then counts
+    /// the records as served.
+    ///
+    /// Returns [`ChariotsError::Unavailable`] while the machine is crashed.
+    pub fn serve(&self, n: u64) -> Result<()> {
+        if self.crashed.load(Ordering::Acquire) {
+            return Err(ChariotsError::Unavailable(self.name.clone()));
+        }
+        if n == 0 {
+            return Ok(());
+        }
+        if self.cfg.rate.is_finite() {
+            let eff = self.effective_rate();
+            let cost = Duration::from_secs_f64(n as f64 / eff);
+            let deadline = {
+                let mut next_free = self.next_free.lock();
+                let now = Instant::now();
+                // A station does not bank idle time: capacity not used is
+                // lost, like a real CPU.
+                if *next_free < now {
+                    *next_free = now;
+                }
+                *next_free += cost;
+                *next_free
+            };
+            sleep_until(deadline);
+        }
+        self.pending.fetch_sub(n as i64, Ordering::Relaxed);
+        self.served.fetch_add(n, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// The effective service rate given the current backlog.
+    pub fn effective_rate(&self) -> f64 {
+        let pending = self.pending.load(Ordering::Relaxed).max(0) as u64;
+        let d = &self.cfg;
+        let degradation = if pending <= d.overload_onset {
+            0.0
+        } else if pending >= d.overload_full {
+            d.overload_degradation
+        } else {
+            let span = (d.overload_full - d.overload_onset) as f64;
+            d.overload_degradation * (pending - d.overload_onset) as f64 / span
+        };
+        self.cfg.rate * (1.0 - degradation)
+    }
+
+    /// Current input backlog in records (clamped at zero: consumers that
+    /// never call [`note_arrival`](Self::note_arrival) drive it negative).
+    pub fn pending(&self) -> u64 {
+        self.pending.load(Ordering::Relaxed).max(0) as u64
+    }
+
+    /// Total records served since creation.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Simulates a machine crash: subsequent [`serve`](Self::serve) calls
+    /// fail until [`recover`](Self::recover).
+    pub fn crash(&self) {
+        self.crashed.store(true, Ordering::Release);
+    }
+
+    /// Brings a crashed machine back.
+    pub fn recover(&self) {
+        self.crashed.store(false, Ordering::Release);
+        *self.next_free.lock() = Instant::now();
+    }
+
+    /// Whether the machine is currently crashed.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncapped_station_never_blocks() {
+        let s = ServiceStation::new("m", StationConfig::uncapped());
+        let start = Instant::now();
+        for _ in 0..1000 {
+            s.serve(1000).unwrap();
+        }
+        assert!(start.elapsed() < Duration::from_millis(100));
+        assert_eq!(s.served(), 1_000_000);
+    }
+
+    #[test]
+    fn capped_station_enforces_rate() {
+        let s = ServiceStation::new("m", StationConfig::with_rate(50_000.0));
+        let start = Instant::now();
+        // 10_000 records at 50k/s = 200 ms.
+        for _ in 0..100 {
+            s.serve(100).unwrap();
+        }
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(180), "{elapsed:?}");
+        assert!(elapsed < Duration::from_millis(400), "{elapsed:?}");
+    }
+
+    #[test]
+    fn idle_capacity_is_not_banked() {
+        let s = ServiceStation::new("m", StationConfig::with_rate(1_000.0));
+        std::thread::sleep(Duration::from_millis(50));
+        let start = Instant::now();
+        s.serve(100).unwrap(); // must still take ~100 ms
+        assert!(start.elapsed() >= Duration::from_millis(90));
+    }
+
+    #[test]
+    fn overload_degrades_effective_rate() {
+        let cfg = StationConfig::with_rate(10_000.0).overload(0.2, 100, 1_000);
+        let s = ServiceStation::new("m", cfg);
+        assert_eq!(s.effective_rate(), 10_000.0);
+        s.note_arrival(100);
+        assert_eq!(s.effective_rate(), 10_000.0, "onset is inclusive");
+        s.note_arrival(450); // pending 550: halfway up the ramp
+        let eff = s.effective_rate();
+        assert!((eff - 9_000.0).abs() < 1.0, "expected ~9000, got {eff}");
+        s.note_arrival(10_000); // far past full
+        assert_eq!(s.effective_rate(), 8_000.0);
+    }
+
+    #[test]
+    fn serving_reduces_pending() {
+        let s = ServiceStation::new("m", StationConfig::uncapped());
+        s.note_arrival(50);
+        assert_eq!(s.pending(), 50);
+        s.serve(20).unwrap();
+        assert_eq!(s.pending(), 30);
+        s.serve(40).unwrap(); // over-serving clamps at zero
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn crash_and_recover() {
+        let s = ServiceStation::new("m", StationConfig::uncapped());
+        s.crash();
+        assert!(s.is_crashed());
+        assert!(matches!(
+            s.serve(1),
+            Err(ChariotsError::Unavailable(name)) if name == "m"
+        ));
+        s.recover();
+        assert!(s.serve(1).is_ok());
+        assert_eq!(s.served(), 1);
+    }
+
+    #[test]
+    fn concurrent_servers_share_capacity() {
+        use std::sync::Arc;
+        let s = Arc::new(ServiceStation::new(
+            "m",
+            StationConfig::with_rate(50_000.0),
+        ));
+        let start = Instant::now();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..25 {
+                        s.serve(100).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // 4 threads × 2500 records = 10_000 records at a *shared* 50 k/s:
+        // must take ≥ ~200 ms even with 4 callers.
+        assert!(start.elapsed() >= Duration::from_millis(180));
+        assert_eq!(s.served(), 10_000);
+    }
+}

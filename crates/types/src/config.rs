@@ -1,0 +1,298 @@
+//! Deployment configuration for FLStore and the Chariots pipeline.
+//!
+//! Configuration follows the builder pattern; every knob has a documented
+//! default chosen to match the paper's evaluation setup (§7) at 1/10 scale
+//! (see `DESIGN.md` §3 for the scaling rationale).
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one datacenter's FLStore deployment (§5).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FLStoreConfig {
+    /// Number of log maintainers sharing the log ("a group of log
+    /// maintainers that mutually handle exclusive ranges", §1).
+    pub num_maintainers: usize,
+    /// Records per round-robin round per maintainer; the paper's running
+    /// example uses 1000 (§5.2, Fig. 4).
+    pub batch_size: u64,
+    /// Number of tag indexers (§5.3).
+    pub num_indexers: usize,
+    /// Interval between Head-of-Log gossip messages between maintainers
+    /// (§5.4). Fixed-size messages, so the cost is throughput-independent.
+    pub gossip_interval: Duration,
+    /// Capacity bound of a maintainer's buffer of min-bound (explicit order)
+    /// records, to "avoid a large backlog of partial logs" (§5.4).
+    pub max_deferred_appends: usize,
+}
+
+impl Default for FLStoreConfig {
+    fn default() -> Self {
+        FLStoreConfig {
+            num_maintainers: 3,
+            batch_size: 1000,
+            num_indexers: 1,
+            gossip_interval: Duration::from_millis(5),
+            max_deferred_appends: 65_536,
+        }
+    }
+}
+
+impl FLStoreConfig {
+    /// Starts from defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of log maintainers.
+    pub fn maintainers(mut self, n: usize) -> Self {
+        self.num_maintainers = n;
+        self
+    }
+
+    /// Sets the round-robin batch size.
+    pub fn batch_size(mut self, n: u64) -> Self {
+        self.batch_size = n;
+        self
+    }
+
+    /// Sets the number of indexers.
+    pub fn indexers(mut self, n: usize) -> Self {
+        self.num_indexers = n;
+        self
+    }
+
+    /// Sets the HL gossip interval.
+    pub fn gossip_interval(mut self, d: Duration) -> Self {
+        self.gossip_interval = d;
+        self
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_maintainers == 0 {
+            return Err("num_maintainers must be at least 1".into());
+        }
+        if self.batch_size == 0 {
+            return Err("batch_size must be at least 1".into());
+        }
+        if self.num_indexers == 0 {
+            return Err("num_indexers must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// Per-stage machine counts for one datacenter's Chariots pipeline (§6.2).
+///
+/// "Each stage can consist of more than one machine, e.g., five machines
+/// acting as Queues and four acting as Batchers."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageCounts {
+    /// Machines receiving records propagated from other datacenters.
+    pub receivers: usize,
+    /// Machines batching incoming records toward filters.
+    pub batchers: usize,
+    /// Machines enforcing exactly-once record incorporation.
+    pub filters: usize,
+    /// Machines assigning `LId`s under the token protocol.
+    pub queues: usize,
+    /// Machines propagating local records to other datacenters.
+    pub senders: usize,
+}
+
+impl Default for StageCounts {
+    fn default() -> Self {
+        StageCounts {
+            receivers: 1,
+            batchers: 1,
+            filters: 1,
+            queues: 1,
+            senders: 1,
+        }
+    }
+}
+
+impl StageCounts {
+    /// One machine per stage — the paper's basic deployment (Table 2).
+    pub fn uniform(n: usize) -> Self {
+        StageCounts {
+            receivers: n,
+            batchers: n,
+            filters: n,
+            queues: n,
+            senders: n,
+        }
+    }
+}
+
+/// Configuration of one Chariots datacenter instance (§6.2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChariotsConfig {
+    /// Number of datacenters in the deployment (sizes the ATable and all
+    /// version vectors).
+    pub num_datacenters: usize,
+    /// Per-stage machine counts.
+    pub stages: StageCounts,
+    /// FLStore deployment backing the Log-maintainers stage.
+    pub flstore: FLStoreConfig,
+    /// Records a batcher accumulates per destination filter before flushing
+    /// (§6.2: "once a buffer size exceeds a threshold, the records are
+    /// sent").
+    pub batcher_flush_threshold: usize,
+    /// Maximum time records may sit in a batcher buffer before a flush is
+    /// forced, bounding append latency at low load.
+    pub batcher_flush_interval: Duration,
+    /// Whether queues forward deferred (dependency-blocked) records along
+    /// with the token, trading network I/O for append latency (§6.2: "it is
+    /// a design decision"). Ablation A3.
+    pub token_carries_deferred: bool,
+    /// Interval between propagation snapshots sent to every peer (§6.1
+    /// *Propagate*).
+    pub propagation_interval: Duration,
+    /// User-specified spatial GC rule: keep at most this many records
+    /// per datacenter log beyond the replication-safe prefix. `None`
+    /// disables user GC (records are kept indefinitely, §6.1).
+    pub gc_keep_records: Option<u64>,
+}
+
+impl Default for ChariotsConfig {
+    fn default() -> Self {
+        ChariotsConfig {
+            num_datacenters: 2,
+            stages: StageCounts::default(),
+            flstore: FLStoreConfig::default(),
+            batcher_flush_threshold: 64,
+            batcher_flush_interval: Duration::from_millis(2),
+            token_carries_deferred: true,
+            propagation_interval: Duration::from_millis(10),
+            gc_keep_records: None,
+        }
+    }
+}
+
+impl ChariotsConfig {
+    /// Starts from defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of datacenters.
+    pub fn datacenters(mut self, n: usize) -> Self {
+        self.num_datacenters = n;
+        self
+    }
+
+    /// Sets per-stage machine counts.
+    pub fn stages(mut self, stages: StageCounts) -> Self {
+        self.stages = stages;
+        self
+    }
+
+    /// Sets the FLStore configuration.
+    pub fn flstore(mut self, flstore: FLStoreConfig) -> Self {
+        self.flstore = flstore;
+        self
+    }
+
+    /// Sets the batcher flush threshold.
+    pub fn batcher_flush_threshold(mut self, n: usize) -> Self {
+        self.batcher_flush_threshold = n;
+        self
+    }
+
+    /// Sets whether the token carries deferred records (ablation A3).
+    pub fn token_carries_deferred(mut self, yes: bool) -> Self {
+        self.token_carries_deferred = yes;
+        self
+    }
+
+    /// Sets the propagation interval.
+    pub fn propagation_interval(mut self, d: Duration) -> Self {
+        self.propagation_interval = d;
+        self
+    }
+
+    /// Enables the spatial GC rule.
+    pub fn gc_keep_records(mut self, n: u64) -> Self {
+        self.gc_keep_records = Some(n);
+        self
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_datacenters == 0 {
+            return Err("num_datacenters must be at least 1".into());
+        }
+        let s = &self.stages;
+        if s.batchers == 0 || s.filters == 0 || s.queues == 0 {
+            return Err("batchers, filters, and queues must each have at least 1 machine".into());
+        }
+        if self.num_datacenters > 1 && (s.receivers == 0 || s.senders == 0) {
+            return Err("multi-datacenter deployments need receivers and senders".into());
+        }
+        if self.batcher_flush_threshold == 0 {
+            return Err("batcher_flush_threshold must be at least 1".into());
+        }
+        self.flstore.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(FLStoreConfig::default().validate().is_ok());
+        assert!(ChariotsConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn builder_chains() {
+        let cfg = ChariotsConfig::new()
+            .datacenters(3)
+            .stages(StageCounts::uniform(2))
+            .flstore(FLStoreConfig::new().maintainers(4).batch_size(100))
+            .batcher_flush_threshold(32)
+            .token_carries_deferred(false)
+            .gc_keep_records(10_000);
+        assert_eq!(cfg.num_datacenters, 3);
+        assert_eq!(cfg.stages.queues, 2);
+        assert_eq!(cfg.flstore.num_maintainers, 4);
+        assert_eq!(cfg.flstore.batch_size, 100);
+        assert!(!cfg.token_carries_deferred);
+        assert_eq!(cfg.gc_keep_records, Some(10_000));
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_maintainers_rejected() {
+        let cfg = FLStoreConfig::new().maintainers(0);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn zero_batch_size_rejected() {
+        let cfg = FLStoreConfig::new().batch_size(0);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn multi_dc_requires_senders_and_receivers() {
+        let mut cfg = ChariotsConfig::new().datacenters(2);
+        cfg.stages.senders = 0;
+        assert!(cfg.validate().is_err());
+        // A single-datacenter deployment does not need senders.
+        cfg.num_datacenters = 1;
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_core_stage_rejected() {
+        let mut cfg = ChariotsConfig::new();
+        cfg.stages.filters = 0;
+        assert!(cfg.validate().is_err());
+    }
+}

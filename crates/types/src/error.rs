@@ -1,0 +1,96 @@
+//! Error types shared across the Chariots stack.
+
+use std::fmt;
+
+use crate::ids::{DatacenterId, LId, MaintainerId, RecordId};
+
+/// Errors surfaced by the shared-log APIs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChariotsError {
+    /// The requested `LId` is beyond the readable head of the log, or lies
+    /// in a temporary gap (§5.4: a read below the head never observes one).
+    NotYetAvailable(LId),
+    /// The requested `LId` was garbage-collected (§6.1).
+    GarbageCollected(LId),
+    /// The addressed maintainer does not own the `LId` under the current
+    /// epoch's round-robin assignment.
+    WrongMaintainer {
+        /// The maintainer that was asked.
+        asked: MaintainerId,
+        /// The maintainer that owns the position.
+        owner: MaintainerId,
+        /// The position in question.
+        lid: LId,
+    },
+    /// A record with this identity was already incorporated (filters enforce
+    /// exactly-once, §6.2); the duplicate was dropped.
+    DuplicateRecord(RecordId),
+    /// The machine or datacenter addressed is down or partitioned away.
+    Unavailable(String),
+    /// A buffer reached its configured capacity bound.
+    Overloaded(String),
+    /// The deployment does not know this datacenter.
+    UnknownDatacenter(DatacenterId),
+    /// Configuration rejected by validation.
+    InvalidConfig(String),
+    /// The component was asked to operate after shutdown.
+    ShutDown,
+    /// Persistent storage failed (segment I/O).
+    Storage(String),
+}
+
+impl fmt::Display for ChariotsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChariotsError::NotYetAvailable(lid) => {
+                write!(f, "log position {lid} is not yet readable")
+            }
+            ChariotsError::GarbageCollected(lid) => {
+                write!(f, "log position {lid} was garbage-collected")
+            }
+            ChariotsError::WrongMaintainer { asked, owner, lid } => write!(
+                f,
+                "maintainer {asked} does not own {lid}; it belongs to {owner}"
+            ),
+            ChariotsError::DuplicateRecord(id) => {
+                write!(f, "record {id} was already incorporated")
+            }
+            ChariotsError::Unavailable(what) => write!(f, "{what} is unavailable"),
+            ChariotsError::Overloaded(what) => write!(f, "{what} is overloaded"),
+            ChariotsError::UnknownDatacenter(dc) => write!(f, "unknown datacenter {dc}"),
+            ChariotsError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            ChariotsError::ShutDown => write!(f, "component is shut down"),
+            ChariotsError::Storage(msg) => write!(f, "storage error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ChariotsError {}
+
+/// Convenient result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, ChariotsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ChariotsError::WrongMaintainer {
+            asked: MaintainerId(0),
+            owner: MaintainerId(2),
+            lid: LId(4096),
+        };
+        assert_eq!(e.to_string(), "maintainer M0 does not own L4096; it belongs to M2");
+        assert!(ChariotsError::NotYetAvailable(LId(9))
+            .to_string()
+            .contains("L9"));
+        assert!(ChariotsError::ShutDown.to_string().contains("shut down"));
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn assert_error<E: std::error::Error>() {}
+        assert_error::<ChariotsError>();
+    }
+}

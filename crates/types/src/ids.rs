@@ -1,0 +1,265 @@
+//! Strongly-typed identifiers used throughout the Chariots stack.
+//!
+//! The paper distinguishes two orderings for every record (§3):
+//!
+//! * the **Log Id** ([`LId`]) — the record's position in *one datacenter's*
+//!   copy of the shared log; copies of the same record at different
+//!   datacenters generally have different `LId`s, and
+//! * the **Total-Order Id** ([`TOId`]) — the record's position among records
+//!   created at its *host* datacenter; all copies of a record share the same
+//!   `TOId`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies one datacenter (one full replica of the shared log).
+///
+/// Datacenter ids are small dense integers assigned at deployment time; they
+/// index rows and columns of the awareness table and entries of
+/// [`VersionVector`](crate::causality::VersionVector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DatacenterId(pub u16);
+
+impl DatacenterId {
+    /// Returns the id as a `usize` index (for vector-indexed structures).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DatacenterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Datacenters print as letters (A, B, C, …) matching the paper's
+        // figures, falling back to `DC<n>` past 26.
+        if self.0 < 26 {
+            write!(f, "{}", (b'A' + self.0 as u8) as char)
+        } else {
+            write!(f, "DC{}", self.0)
+        }
+    }
+}
+
+/// Position of a record copy within one datacenter's shared log.
+///
+/// `LId`s are dense and zero-based: the first record of a datacenter's log
+/// has `LId(0)` and the log never has permanent gaps. (The paper's figures
+/// display 1-based positions; this implementation is 0-based so that `LId`s
+/// double as indexes into the round-robin maintainer ranges.)
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct LId(pub u64);
+
+impl LId {
+    /// The first position in a log.
+    pub const ZERO: LId = LId(0);
+
+    /// The position immediately after `self`.
+    #[inline]
+    pub fn next(self) -> LId {
+        LId(self.0 + 1)
+    }
+
+    /// Returns the id as a `u64`.
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for LId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Total order of a record among records from the same host datacenter.
+///
+/// `TOId`s are 1-based, matching the paper ("the first record of each node
+/// has a TOId of 1", §6.1). The value `0` therefore means *no records yet*,
+/// which is exactly the initial state of awareness tables and version
+/// vectors; [`TOId::NONE`] names that sentinel.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TOId(pub u64);
+
+impl TOId {
+    /// "No records known" — the state before the first record (TOId 1).
+    pub const NONE: TOId = TOId(0);
+    /// The TOId of the first record created at a datacenter.
+    pub const FIRST: TOId = TOId(1);
+
+    /// The TOId following `self`.
+    #[inline]
+    pub fn next(self) -> TOId {
+        TOId(self.0 + 1)
+    }
+
+    /// The TOId preceding `self`, or [`TOId::NONE`] for the first.
+    #[inline]
+    pub fn prev(self) -> TOId {
+        TOId(self.0.saturating_sub(1))
+    }
+
+    /// Whether this is the [`TOId::NONE`] sentinel.
+    #[inline]
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the id as a `u64`.
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TOId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Globally unique identity of a record: the datacenter that created it plus
+/// its total-order id there.
+///
+/// Every copy of a record, at every datacenter, carries the same `RecordId`;
+/// the filters stage uses it to enforce exactly-once incorporation (§6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RecordId {
+    /// Datacenter whose application client appended the record.
+    pub host: DatacenterId,
+    /// Total order of the record among `host`'s records.
+    pub toid: TOId,
+}
+
+impl RecordId {
+    /// Creates a record id.
+    #[inline]
+    pub fn new(host: DatacenterId, toid: TOId) -> Self {
+        RecordId { host, toid }
+    }
+}
+
+impl fmt::Display for RecordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{},{}>", self.host, self.toid.0)
+    }
+}
+
+/// Identifies one log maintainer within a datacenter's FLStore deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MaintainerId(pub u16);
+
+impl MaintainerId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MaintainerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M{}", self.0)
+    }
+}
+
+/// Identifies an application-client session within one datacenter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClientId(pub u32);
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// An epoch number for live-elasticity reassignment (§6.3).
+///
+/// Every change to the maintainer or filter championing assignment opens a
+/// new epoch; the epoch journal maps log ranges to the assignment that was in
+/// force when they were written.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Epoch(pub u32);
+
+impl Epoch {
+    /// The deployment's initial epoch.
+    pub const INITIAL: Epoch = Epoch(0);
+
+    /// The epoch following `self`.
+    #[inline]
+    pub fn next(self) -> Epoch {
+        Epoch(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datacenter_display_uses_letters() {
+        assert_eq!(DatacenterId(0).to_string(), "A");
+        assert_eq!(DatacenterId(2).to_string(), "C");
+        assert_eq!(DatacenterId(25).to_string(), "Z");
+        assert_eq!(DatacenterId(26).to_string(), "DC26");
+    }
+
+    #[test]
+    fn toid_sentinel_and_successors() {
+        assert!(TOId::NONE.is_none());
+        assert!(!TOId::FIRST.is_none());
+        assert_eq!(TOId::NONE.next(), TOId::FIRST);
+        assert_eq!(TOId::FIRST.prev(), TOId::NONE);
+        assert_eq!(TOId::NONE.prev(), TOId::NONE);
+        assert_eq!(TOId(41).next(), TOId(42));
+    }
+
+    #[test]
+    fn lid_is_zero_based_and_dense() {
+        assert_eq!(LId::ZERO.as_u64(), 0);
+        assert_eq!(LId::ZERO.next(), LId(1));
+        assert!(LId(3) < LId(4));
+    }
+
+    #[test]
+    fn record_id_display_matches_paper_notation() {
+        let id = RecordId::new(DatacenterId(1), TOId(2));
+        assert_eq!(id.to_string(), "<B,2>");
+    }
+
+    #[test]
+    fn record_id_ordering_is_host_then_toid() {
+        let a1 = RecordId::new(DatacenterId(0), TOId(9));
+        let b1 = RecordId::new(DatacenterId(1), TOId(1));
+        assert!(a1 < b1);
+        let b2 = RecordId::new(DatacenterId(1), TOId(2));
+        assert!(b1 < b2);
+    }
+
+    #[test]
+    fn epoch_advances() {
+        assert_eq!(Epoch::INITIAL.next(), Epoch(1));
+        assert_eq!(Epoch(7).next().to_string(), "E8");
+    }
+
+    #[test]
+    fn ids_roundtrip_serde() {
+        let id = RecordId::new(DatacenterId(3), TOId(77));
+        let json = serde_json::to_string(&id).unwrap();
+        let back: RecordId = serde_json::from_str(&json).unwrap();
+        assert_eq!(id, back);
+    }
+}

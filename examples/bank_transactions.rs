@@ -1,0 +1,98 @@
+//! Strongly consistent transactions over the causal log: Message Futures
+//! commit protocol with conflicting transfers from two datacenters.
+//!
+//! ```sh
+//! cargo run --example bank_transactions
+//! ```
+
+use std::time::Duration;
+
+use chariots::prelude::*;
+
+const TIMEOUT: Duration = Duration::from_secs(15);
+
+fn main() {
+    let mut cfg = ChariotsConfig::new().datacenters(2);
+    cfg.flstore = FLStoreConfig::new()
+        .maintainers(2)
+        .batch_size(16)
+        .gossip_interval(Duration::from_millis(1));
+    cfg.batcher_flush_threshold = 2;
+    cfg.batcher_flush_interval = Duration::from_millis(1);
+    cfg.propagation_interval = Duration::from_millis(2);
+    let cluster = ChariotsCluster::launch(
+        cfg,
+        StageStations::default(),
+        LinkConfig::with_latency(Duration::from_millis(10)),
+    )
+    .expect("launch");
+
+    let a = DatacenterId(0);
+    let b = DatacenterId(1);
+    let mut tm_a = TxnManager::new(cluster.dc(a), CommitPolicy::MessageFutures);
+    let mut tm_b = TxnManager::new(cluster.dc(b), CommitPolicy::MessageFutures);
+
+    // Seed the account from A.
+    let mut seed = Transaction::new("seed");
+    seed.write("alice", "100");
+    seed.write("bob", "0");
+    let out = tm_a.commit(seed, TIMEOUT).unwrap();
+    println!("seed txn at A: {out:?}");
+
+    // Wait until B sees the committed seed.
+    let deadline = std::time::Instant::now() + TIMEOUT;
+    while tm_b.get_committed("alice").unwrap().is_none() {
+        assert!(std::time::Instant::now() < deadline);
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Two concurrent transfers race to spend Alice's balance — a classic
+    // write-write conflict across datacenters.
+    println!("\nracing two conflicting transfers (A and B both debit alice)…");
+    let ha = std::thread::spawn(move || {
+        let mut t = Transaction::new("transfer@A");
+        let bal: i64 = tm_a.read(&mut t, "alice").unwrap().unwrap().parse().unwrap();
+        t.write("alice", (bal - 70).to_string());
+        t.write("bob", "70");
+        let out = tm_a.commit(t, TIMEOUT).unwrap();
+        (tm_a, out)
+    });
+    let hb = std::thread::spawn(move || {
+        let mut t = Transaction::new("transfer@B");
+        let bal: i64 = tm_b.read(&mut t, "alice").unwrap().unwrap().parse().unwrap();
+        t.write("alice", (bal - 50).to_string());
+        t.write("carol", "50");
+        let out = tm_b.commit(t, TIMEOUT).unwrap();
+        (tm_b, out)
+    });
+    let (mut tm_a, out_a) = ha.join().unwrap();
+    let (mut tm_b, out_b) = hb.join().unwrap();
+    println!("  A's transfer: {out_a:?}");
+    println!("  B's transfer: {out_b:?}");
+    let commits = [&out_a, &out_b]
+        .iter()
+        .filter(|o| matches!(o, Outcome::Committed(_)))
+        .count();
+    assert_eq!(commits, 1, "exactly one conflicting transfer commits");
+
+    // Both datacenters converge on the same balances.
+    let deadline = std::time::Instant::now() + TIMEOUT;
+    loop {
+        let a_alice = tm_a.get_committed("alice").unwrap();
+        let b_alice = tm_b.get_committed("alice").unwrap();
+        if a_alice == b_alice {
+            println!("\nconverged: alice = {a_alice:?} at both datacenters");
+            println!("  bob   = {:?}", tm_a.get_committed("bob").unwrap());
+            println!("  carol = {:?}", tm_a.get_committed("carol").unwrap());
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "state diverged");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let (commits_a, aborts_a) = tm_a.stats();
+    println!("\nmanager at A decided: {commits_a} commits, {aborts_a} aborts");
+
+    cluster.shutdown();
+    println!("done.");
+}

@@ -1,0 +1,76 @@
+//! # chariots
+//!
+//! Umbrella crate for the Rust reproduction of *Chariots: A Scalable Shared
+//! Log for Data Management in Multi-Datacenter Cloud Environments* (Nawab,
+//! Arora, Agrawal, El Abbadi — EDBT 2015).
+//!
+//! The stack, bottom to top:
+//!
+//! | Layer | Crate | Paper section |
+//! |---|---|---|
+//! | Data model (ids, records, tags, causal cuts) | [`types`] | §3 |
+//! | Simulated cluster substrate | [`simnet`] | §7 (hardware substitution) |
+//! | FLStore: intra-DC distributed log, post-assignment | [`flstore`] | §5 |
+//! | Chariots: geo-replicated causal pipeline | [`core`] | §6 |
+//! | CORFU sequencer baseline | [`corfu`] | §1, §2.1 |
+//! | Hyksos causal KV store | [`hyksos`] | §4.1 |
+//! | Multi-DC event processing | [`streamproc`] | §4.2 |
+//! | Message Futures / Helios transactions | [`msgfutures`] | §4.3 |
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the paper-vs-measured record of every table and
+//! figure (regenerate with `cargo run -p chariots-bench --bin harness`).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use chariots::prelude::*;
+//! use std::time::Duration;
+//!
+//! // A two-datacenter deployment with fast test timings.
+//! let mut cfg = ChariotsConfig::new().datacenters(2);
+//! cfg.propagation_interval = Duration::from_millis(2);
+//! cfg.batcher_flush_interval = Duration::from_millis(1);
+//! cfg.batcher_flush_threshold = 1;
+//! cfg.flstore = FLStoreConfig::new()
+//!     .maintainers(2)
+//!     .batch_size(8)
+//!     .gossip_interval(Duration::from_millis(1));
+//! let cluster = ChariotsCluster::launch(
+//!     cfg,
+//!     StageStations::default(),
+//!     LinkConfig::with_latency(Duration::from_millis(1)),
+//! ).unwrap();
+//!
+//! let mut client = cluster.client(DatacenterId(0));
+//! let (toid, lid) = client.append(TagSet::new(), "hello").unwrap();
+//! assert_eq!(toid.as_u64(), 1);
+//! assert!(cluster.wait_for_replication(1, Duration::from_secs(10)));
+//! cluster.shutdown();
+//! ```
+
+pub use chariots_core as core;
+pub use chariots_corfu as corfu;
+pub use chariots_flstore as flstore;
+pub use chariots_hyksos as hyksos;
+pub use chariots_msgfutures as msgfutures;
+pub use chariots_simnet as simnet;
+pub use chariots_streamproc as streamproc;
+pub use chariots_types as types;
+
+/// The most commonly used items across the stack.
+pub mod prelude {
+    pub use chariots_core::{
+        AbstractCluster, AbstractDc, ChariotsClient, ChariotsCluster, ChariotsDc, StageStations,
+    };
+    pub use chariots_flstore::{AppendPayload, FLStore, FLStoreClient};
+    pub use chariots_hyksos::{HyksosClient, Materializer, PutBatch, Versioned};
+    pub use chariots_msgfutures::{CommitPolicy, Outcome, Transaction, TxnManager};
+    pub use chariots_simnet::{LinkConfig, StationConfig};
+    pub use chariots_streamproc::{Joiner, Publisher, Reader};
+    pub use chariots_types::{
+        ChariotsConfig, ChariotsError, Condition, DatacenterId, Entry, FLStoreConfig, LId,
+        ReadRule, Record, StageCounts, TOId, Tag, TagSet, TagValue, ValuePredicate,
+        VersionVector,
+    };
+}

@@ -1,0 +1,173 @@
+//! Chaos scenarios: scripted sequences of partitions, crashes, and
+//! recoveries against a live multi-datacenter deployment, always ending in
+//! convergence with the log invariants intact.
+
+mod common;
+
+use std::time::Duration;
+
+use chariots::prelude::*;
+use common::{assert_log_invariants, assert_same_record_sets, dump_log, fast_cfg};
+
+fn launch3() -> ChariotsCluster {
+    ChariotsCluster::launch(
+        fast_cfg(3),
+        StageStations::default(),
+        LinkConfig::with_latency(Duration::from_millis(2)).jitter(Duration::from_millis(2)),
+    )
+    .unwrap()
+}
+
+fn verify_converged(cluster: &ChariotsCluster, total: u64) {
+    assert!(
+        cluster.wait_for_replication(total, Duration::from_secs(40)),
+        "cluster never converged to {total} records"
+    );
+    let logs: Vec<Vec<Entry>> = (0..3)
+        .map(|i| dump_log(cluster, DatacenterId(i)))
+        .collect();
+    for log in &logs {
+        assert_eq!(log.len() as u64, total);
+        assert_log_invariants(log, 3);
+    }
+    assert_same_record_sets(&logs);
+}
+
+#[test]
+fn rolling_partitions_between_three_datacenters() {
+    let cluster = launch3();
+    let mut clients: Vec<_> = (0..3).map(|i| cluster.client(DatacenterId(i))).collect();
+    let mut total = 0u64;
+    // Each phase cuts a different pair while everyone keeps writing.
+    let pairs = [(0u16, 1u16), (1, 2), (0, 2)];
+    for (phase, (a, b)) in pairs.iter().enumerate() {
+        cluster.partition(DatacenterId(*a), DatacenterId(*b));
+        for (i, client) in clients.iter_mut().enumerate() {
+            for j in 0..4 {
+                client
+                    .append(TagSet::new(), format!("p{phase}-dc{i}-r{j}"))
+                    .unwrap();
+                total += 1;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        cluster.heal(DatacenterId(*a), DatacenterId(*b));
+    }
+    verify_converged(&cluster, total);
+    cluster.shutdown();
+}
+
+#[test]
+fn datacenter_isolated_then_rejoins() {
+    // DC 2 is fully cut off; the majority keeps working; on heal, DC 2
+    // both catches up and delivers its partition-era writes.
+    let cluster = launch3();
+    cluster.partition(DatacenterId(0), DatacenterId(2));
+    cluster.partition(DatacenterId(1), DatacenterId(2));
+    let mut majority_a = cluster.client(DatacenterId(0));
+    let mut isolated = cluster.client(DatacenterId(2));
+    for i in 0..6 {
+        majority_a.append(TagSet::new(), format!("major{i}")).unwrap();
+        isolated.append(TagSet::new(), format!("isolated{i}")).unwrap();
+    }
+    // The majority pair replicates between themselves meanwhile.
+    std::thread::sleep(Duration::from_millis(100));
+    let mut b_store = cluster.dc(DatacenterId(1)).flstore().client();
+    assert!(
+        b_store.head_of_log().unwrap() >= LId(6),
+        "majority replication stalled during the partition"
+    );
+    cluster.heal(DatacenterId(0), DatacenterId(2));
+    cluster.heal(DatacenterId(1), DatacenterId(2));
+    verify_converged(&cluster, 12);
+    cluster.shutdown();
+}
+
+#[test]
+fn store_crash_during_replication_recovers() {
+    let cluster = launch3();
+    let mut a = cluster.client(DatacenterId(0));
+    for i in 0..10 {
+        a.append(TagSet::new(), format!("r{i}")).unwrap();
+    }
+    // Crash one of DC 1's log maintainers mid-replication; the ATable
+    // re-offer loop re-delivers whatever died with it.
+    cluster.dc(DatacenterId(1)).flstore().maintainers()[0].crash();
+    std::thread::sleep(Duration::from_millis(100));
+    cluster.dc(DatacenterId(1)).flstore().maintainers()[0].recover();
+    verify_converged(&cluster, 10);
+    cluster.shutdown();
+}
+
+#[test]
+fn lossy_jittery_duplicating_network_with_partitions() {
+    // Everything at once: drops, duplicates, reordering, and a partition
+    // in the middle.
+    let wan = LinkConfig::with_latency(Duration::from_millis(2))
+        .jitter(Duration::from_millis(5))
+        .drop_prob(0.2)
+        .duplicate_prob(0.3)
+        .seed(99);
+    let cluster = ChariotsCluster::launch(fast_cfg(3), StageStations::default(), wan).unwrap();
+    let mut clients: Vec<_> = (0..3).map(|i| cluster.client(DatacenterId(i))).collect();
+    for round in 0..3 {
+        for (i, c) in clients.iter_mut().enumerate() {
+            c.append(TagSet::new(), format!("x{round}-{i}")).unwrap();
+        }
+        if round == 1 {
+            cluster.partition(DatacenterId(0), DatacenterId(1));
+        }
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    cluster.heal(DatacenterId(0), DatacenterId(1));
+    assert!(
+        cluster.wait_for_replication(9, Duration::from_secs(40)),
+        "never converged under compound chaos"
+    );
+    let logs: Vec<Vec<Entry>> = (0..3)
+        .map(|i| dump_log(&cluster, DatacenterId(i)))
+        .collect();
+    for log in &logs {
+        assert_eq!(log.len(), 9, "exactly-once violated under chaos");
+        assert_log_invariants(log, 3);
+    }
+    assert_same_record_sets(&logs);
+    cluster.shutdown();
+}
+
+#[test]
+fn queue_crash_stalls_but_never_loses_records() {
+    // Two queues; one crashes mid-stream. Records staged at the crashed
+    // queue wait out the outage (the token skips it) and flow after
+    // recovery — nothing is lost, nothing duplicates.
+    let mut cluster = ChariotsCluster::launch(
+        fast_cfg(1),
+        StageStations::default(),
+        LinkConfig::default(),
+    )
+    .unwrap();
+    cluster.dc_mut(DatacenterId(0)).add_queue();
+    let mut client = cluster.client(DatacenterId(0));
+    for i in 0..10 {
+        client.append(TagSet::new(), format!("pre{i}")).unwrap();
+    }
+    let q1 = cluster.dc(DatacenterId(0)).queue_handles()[1].clone();
+    q1.station().crash();
+    // Fire-and-forget appends while one queue is down: the filter
+    // round-robins over both queues, so some of these stall.
+    for i in 0..10 {
+        client
+            .append_async(TagSet::new(), format!("during{i}"))
+            .unwrap();
+    }
+    std::thread::sleep(Duration::from_millis(100));
+    q1.station().recover();
+    assert!(
+        cluster.wait_for_replication(20, Duration::from_secs(20)),
+        "records lost across the queue crash"
+    );
+    let log = dump_log(&cluster, DatacenterId(0));
+    assert_eq!(log.len(), 20);
+    assert_log_invariants(&log, 1);
+    cluster.shutdown();
+}

@@ -1,0 +1,113 @@
+//! Cold-storage archiving (§6.1): the hot log reclaims its prefix while an
+//! archive keeps the full history readable — the substrate for auditing
+//! and time travel.
+
+mod common;
+
+use std::time::{Duration, Instant};
+
+use chariots::flstore::{ArchiveReader, ArchiveWriter};
+use chariots::prelude::*;
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("chariots-cold-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = dir.join(name);
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+#[test]
+fn archive_then_gc_keeps_history_readable() {
+    let store = FLStore::launch(
+        DatacenterId(0),
+        FLStoreConfig::new()
+            .maintainers(2)
+            .batch_size(4)
+            .gossip_interval(Duration::from_millis(1)),
+    )
+    .unwrap();
+    let mut client = store.client();
+    // 24 appends = 12 per maintainer = whole rounds, so the HL can cover
+    // everything (a partial round leaves its tail as a gap).
+    for i in 0..24 {
+        client
+            .append(
+                TagSet::new().with(Tag::with_value("seq", i as i64)),
+                format!("record-{i}"),
+            )
+            .unwrap();
+    }
+    // Wait for the head to cover everything.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while client.head_of_log().unwrap() < LId(24) {
+        assert!(Instant::now() < deadline);
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Archive + GC the first 12 positions.
+    let path = temp_path("tiered.arc");
+    let mut writer = ArchiveWriter::open(&path).unwrap();
+    store.archive_and_gc(LId(12), &mut writer).unwrap();
+    assert_eq!(writer.archived_below(), LId(12));
+
+    // Hot reads below the bound fail as collected…
+    std::thread::sleep(Duration::from_millis(30));
+    assert!(matches!(
+        client.read(LId(0)),
+        Err(ChariotsError::GarbageCollected(_))
+    ));
+    // …hot reads above still work…
+    assert!(client.read(LId(12)).is_ok());
+    // …and the archive serves the cold prefix, bodies intact.
+    let reader = ArchiveReader::open(&path).unwrap();
+    assert_eq!(reader.len(), 12);
+    for lid in 0..12u64 {
+        let entry = reader.read(LId(lid)).unwrap();
+        assert_eq!(entry.lid, LId(lid));
+    }
+    // The full history = archive prefix + hot suffix, in order.
+    let mut full: Vec<LId> = reader.iter().map(|e| e.lid).collect();
+    for lid in 12..24u64 {
+        full.push(client.read(LId(lid)).unwrap().lid);
+    }
+    assert_eq!(full, (0..24).map(LId).collect::<Vec<_>>());
+
+    store.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn incremental_archiving_moves_the_boundary() {
+    let store = FLStore::launch(
+        DatacenterId(0),
+        FLStoreConfig::new()
+            .maintainers(2)
+            .batch_size(4)
+            .gossip_interval(Duration::from_millis(1)),
+    )
+    .unwrap();
+    let mut client = store.client();
+    let path = temp_path("incremental.arc");
+    let mut writer = ArchiveWriter::open(&path).unwrap();
+
+    for round in 0..3u64 {
+        for i in 0..8 {
+            client
+                .append(TagSet::new(), format!("r{round}-{i}"))
+                .unwrap();
+        }
+        let target = LId((round + 1) * 8);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while client.head_of_log().unwrap() < target {
+            assert!(Instant::now() < deadline);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        store.archive_and_gc(target, &mut writer).unwrap();
+        assert_eq!(writer.archived_below(), target);
+    }
+    let reader = ArchiveReader::open(&path).unwrap();
+    assert_eq!(reader.len(), 24, "three rounds archived without overlap");
+    store.shutdown();
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,91 @@
+//! Shared helpers for the integration tests: fast-timing deployments and
+//! log-invariant checkers.
+//!
+//! Each integration suite compiles its own copy and uses a subset of the
+//! helpers, so unused-by-this-suite warnings are expected.
+#![allow(dead_code)]
+
+use std::time::Duration;
+
+use chariots::prelude::*;
+
+/// A cluster configuration with millisecond-scale timings so integration
+/// tests run fast.
+pub fn fast_cfg(n: usize) -> ChariotsConfig {
+    let mut cfg = ChariotsConfig::new().datacenters(n);
+    cfg.flstore = FLStoreConfig::new()
+        .maintainers(2)
+        .batch_size(8)
+        .gossip_interval(Duration::from_millis(1));
+    cfg.batcher_flush_threshold = 2;
+    cfg.batcher_flush_interval = Duration::from_millis(1);
+    cfg.propagation_interval = Duration::from_millis(2);
+    cfg
+}
+
+/// Launches a fast-timing cluster with the given WAN latency.
+pub fn launch(n: usize, wan_ms: u64) -> ChariotsCluster {
+    ChariotsCluster::launch(
+        fast_cfg(n),
+        StageStations::default(),
+        LinkConfig::with_latency(Duration::from_millis(wan_ms)),
+    )
+    .expect("launch cluster")
+}
+
+/// Reads datacenter `dc`'s entire log (positions `0..hl`).
+pub fn dump_log(cluster: &ChariotsCluster, dc: DatacenterId) -> Vec<Entry> {
+    let mut client = cluster.dc(dc).flstore().client();
+    let hl = client.head_of_log().expect("head of log");
+    (0..hl.0)
+        .map(|l| client.read(LId(l)).expect("position below HL readable"))
+        .collect()
+}
+
+/// Asserts the three core log invariants on one datacenter's log:
+///
+/// 1. `LId`s are dense (0, 1, 2, …) with no duplicates.
+/// 2. Records of each host appear in `TOId` order with no gaps.
+/// 3. Every record's causal dependency cut is satisfied by the records
+///    that precede it.
+pub fn assert_log_invariants(log: &[Entry], num_dcs: usize) {
+    let mut applied = VersionVector::new(num_dcs);
+    for (i, entry) in log.iter().enumerate() {
+        assert_eq!(entry.lid, LId(i as u64), "LIds must be dense");
+        let r = &entry.record;
+        assert_eq!(
+            r.toid(),
+            applied.get(r.host()).next(),
+            "host {} total order broken at {}",
+            r.host(),
+            entry.lid
+        );
+        assert!(
+            applied.dominates(&r.deps),
+            "record {} at {} has unsatisfied dependencies {} (applied {})",
+            r.id,
+            entry.lid,
+            r.deps,
+            applied
+        );
+        applied.set(r.host(), r.toid());
+    }
+}
+
+/// Asserts that all datacenters hold the same set of records.
+pub fn assert_same_record_sets(logs: &[Vec<Entry>]) {
+    let mut sets: Vec<Vec<RecordId>> = logs
+        .iter()
+        .map(|log| {
+            let mut ids: Vec<RecordId> = log.iter().map(|e| e.id()).collect();
+            ids.sort();
+            ids
+        })
+        .collect();
+    let first = sets.remove(0);
+    for (i, other) in sets.into_iter().enumerate() {
+        assert_eq!(first, other, "datacenter {} diverged", i + 1);
+    }
+}
+
+pub use chariots_types::RecordId;

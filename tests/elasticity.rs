@@ -1,0 +1,188 @@
+//! Live elasticity (§6.3) under load: adding batchers, queues, filters,
+//! and log maintainers to a running deployment without disrupting clients.
+
+mod common;
+
+use std::time::{Duration, Instant};
+
+use chariots::prelude::*;
+use common::{assert_log_invariants, dump_log, fast_cfg};
+
+fn launch_single_dc() -> ChariotsCluster {
+    ChariotsCluster::launch(
+        fast_cfg(1),
+        StageStations::default(),
+        LinkConfig::default(),
+    )
+    .unwrap()
+}
+
+/// Appends `n` records, asserting each round trip succeeds.
+fn append_n(client: &mut chariots::core::ChariotsClient, n: u64, label: &str) {
+    for i in 0..n {
+        client
+            .append(TagSet::new(), format!("{label}{i}"))
+            .unwrap_or_else(|e| panic!("append {label}{i} failed: {e}"));
+    }
+}
+
+fn wait_hl(cluster: &ChariotsCluster, at_least: u64) {
+    assert!(
+        cluster.wait_for_replication(at_least, Duration::from_secs(20)),
+        "HL never reached {at_least}"
+    );
+}
+
+#[test]
+fn add_queue_mid_stream_preserves_the_log() {
+    let mut cluster = launch_single_dc();
+    let mut client = cluster.client(DatacenterId(0));
+    append_n(&mut client, 20, "pre");
+    let idx = cluster.dc_mut(DatacenterId(0)).add_queue();
+    assert_eq!(idx, 1);
+    append_n(&mut client, 20, "post");
+    wait_hl(&cluster, 40);
+    let log = dump_log(&cluster, DatacenterId(0));
+    assert_eq!(log.len(), 40);
+    assert_log_invariants(&log, 1);
+    // Both queues participated (the second assigned at least something —
+    // the token visits it every cycle).
+    cluster.shutdown();
+}
+
+#[test]
+fn add_filter_mid_stream_preserves_the_log() {
+    let mut cluster = launch_single_dc();
+    let mut client = cluster.client(DatacenterId(0));
+    append_n(&mut client, 15, "pre");
+    let idx = cluster.dc_mut(DatacenterId(0)).add_filter(10);
+    assert_eq!(idx, 1);
+    append_n(&mut client, 30, "post");
+    wait_hl(&cluster, 45);
+    let log = dump_log(&cluster, DatacenterId(0));
+    assert_eq!(log.len(), 45);
+    assert_log_invariants(&log, 1);
+    cluster.shutdown();
+}
+
+#[test]
+fn add_filter_reroutes_external_records_across_the_boundary() {
+    // Two datacenters; DC 1 grows a filter while DC 0 streams records at
+    // it. Exactly-once and total order must hold across the reassignment
+    // boundary.
+    let mut cluster = ChariotsCluster::launch(
+        fast_cfg(2),
+        StageStations::default(),
+        LinkConfig::with_latency(Duration::from_millis(1)).jitter(Duration::from_millis(2)),
+    )
+    .unwrap();
+    let mut a = cluster.client(DatacenterId(0));
+    append_n(&mut a, 10, "early");
+    assert!(cluster.wait_for_replication(10, Duration::from_secs(20)));
+    // Grow DC 1's filter fleet with a small margin so the boundary lands
+    // inside the upcoming stream.
+    cluster.dc_mut(DatacenterId(1)).add_filter(15);
+    append_n(&mut a, 40, "late");
+    assert!(cluster.wait_for_replication(50, Duration::from_secs(20)));
+    let log = dump_log(&cluster, DatacenterId(1));
+    assert_eq!(log.len(), 50, "every record exactly once");
+    assert_log_invariants(&log, 2);
+    cluster.shutdown();
+}
+
+#[test]
+fn grow_everything_under_continuous_load() {
+    // The paper's elasticity story end-to-end: while a client streams
+    // appends, add a batcher, a queue, a filter, and a log maintainer.
+    let mut cluster = launch_single_dc();
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let streamer = {
+        let mut client = cluster.client(DatacenterId(0));
+        let stop = std::sync::Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut sent = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                client
+                    .append(TagSet::new(), format!("s{sent}"))
+                    .expect("append during growth");
+                sent += 1;
+                std::thread::sleep(Duration::from_micros(300));
+            }
+            sent
+        })
+    };
+    std::thread::sleep(Duration::from_millis(50));
+    let dc = cluster.dc_mut(DatacenterId(0));
+    dc.add_batcher();
+    std::thread::sleep(Duration::from_millis(50));
+    dc.add_queue();
+    std::thread::sleep(Duration::from_millis(50));
+    dc.add_filter(1000);
+    std::thread::sleep(Duration::from_millis(50));
+    // FLStore maintainer expansion needs a boundary beyond the current
+    // frontier.
+    let hl = {
+        let mut c = cluster.dc(DatacenterId(0)).flstore().client();
+        c.head_of_log().unwrap()
+    };
+    cluster
+        .dc_mut(DatacenterId(0))
+        .flstore_add_maintainer(LId(hl.0 + 2_000))
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    stop.store(true, std::sync::atomic::Ordering::Release);
+    let sent = streamer.join().unwrap();
+    assert!(sent > 100, "streamer stalled: only {sent} appends");
+    // Everything the client appended must become readable, in order.
+    wait_hl(&cluster, sent);
+    let log = dump_log(&cluster, DatacenterId(0));
+    assert_eq!(log.len() as u64, sent);
+    assert_log_invariants(&log, 1);
+    cluster.shutdown();
+}
+
+#[test]
+fn added_queue_keeps_token_ring_alive_after_bursts() {
+    let mut cluster = launch_single_dc();
+    let mut client = cluster.client(DatacenterId(0));
+    cluster.dc_mut(DatacenterId(0)).add_queue();
+    cluster.dc_mut(DatacenterId(0)).add_queue();
+    // Three queues; burst, go idle, burst again — the ring must survive
+    // idleness.
+    append_n(&mut client, 20, "b1");
+    std::thread::sleep(Duration::from_millis(100));
+    append_n(&mut client, 20, "b2");
+    wait_hl(&cluster, 40);
+    let log = dump_log(&cluster, DatacenterId(0));
+    assert_eq!(log.len(), 40);
+    assert_log_invariants(&log, 1);
+    cluster.shutdown();
+}
+
+#[test]
+fn hl_remains_safe_during_maintainer_growth() {
+    // Reads below the HL must never fail across a maintainer expansion.
+    let mut cluster = launch_single_dc();
+    let mut client = cluster.client(DatacenterId(0));
+    append_n(&mut client, 30, "pre");
+    wait_hl(&cluster, 30);
+    cluster
+        .dc_mut(DatacenterId(0))
+        .flstore_add_maintainer(LId(1_000))
+        .unwrap();
+    // Probe reads below the HL repeatedly while appending more.
+    let deadline = Instant::now() + Duration::from_secs(3);
+    let mut i = 0u64;
+    while Instant::now() < deadline {
+        client.append(TagSet::new(), format!("g{i}")).unwrap();
+        i += 1;
+        let hl = client.head_of_log().unwrap();
+        if hl > LId::ZERO {
+            let probe = LId(hl.0 - 1);
+            client
+                .read(probe)
+                .unwrap_or_else(|e| panic!("read below HL failed at {probe}: {e}"));
+        }
+    }
+    cluster.shutdown();
+}

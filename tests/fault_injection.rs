@@ -1,0 +1,200 @@
+//! Fault injection across the stack: lossy and duplicating WAN links,
+//! partitions, maintainer crashes, and crash recovery from the WAL.
+
+mod common;
+
+use std::time::{Duration, Instant};
+
+use chariots::prelude::*;
+use common::{assert_log_invariants, assert_same_record_sets, dump_log, fast_cfg};
+
+#[test]
+fn replication_survives_a_lossy_wan() {
+    // 30 % of propagation messages dropped: the ATable re-offer loop must
+    // still converge.
+    let wan = LinkConfig::with_latency(Duration::from_millis(2))
+        .drop_prob(0.3)
+        .seed(42);
+    let cluster = ChariotsCluster::launch(fast_cfg(2), StageStations::default(), wan).unwrap();
+    let mut a = cluster.client(DatacenterId(0));
+    let mut b = cluster.client(DatacenterId(1));
+    for i in 0..15 {
+        a.append(TagSet::new(), format!("a{i}")).unwrap();
+        b.append(TagSet::new(), format!("b{i}")).unwrap();
+    }
+    assert!(
+        cluster.wait_for_replication(30, Duration::from_secs(30)),
+        "lossy WAN never converged"
+    );
+    let logs = vec![
+        dump_log(&cluster, DatacenterId(0)),
+        dump_log(&cluster, DatacenterId(1)),
+    ];
+    for log in &logs {
+        assert_log_invariants(log, 2);
+    }
+    assert_same_record_sets(&logs);
+    cluster.shutdown();
+}
+
+#[test]
+fn replication_survives_duplication_and_jitter() {
+    let wan = LinkConfig::with_latency(Duration::from_millis(2))
+        .jitter(Duration::from_millis(4))
+        .duplicate_prob(0.5)
+        .seed(7);
+    let cluster = ChariotsCluster::launch(fast_cfg(2), StageStations::default(), wan).unwrap();
+    let mut a = cluster.client(DatacenterId(0));
+    for i in 0..20 {
+        a.append(TagSet::new(), format!("a{i}")).unwrap();
+    }
+    assert!(cluster.wait_for_replication(20, Duration::from_secs(30)));
+    // Give late duplicates time to land, then verify exactly-once.
+    std::thread::sleep(Duration::from_millis(150));
+    let log = dump_log(&cluster, DatacenterId(1));
+    assert_eq!(log.len(), 20, "duplicates extended the log");
+    assert_log_invariants(&log, 2);
+    cluster.shutdown();
+}
+
+#[test]
+fn maintainer_crash_blocks_its_range_until_recovery() {
+    let cluster = ChariotsCluster::launch(
+        fast_cfg(1),
+        StageStations::default(),
+        LinkConfig::default(),
+    )
+    .unwrap();
+    let dc = cluster.dc(DatacenterId(0));
+    let mut client = dc.client();
+    for i in 0..4 {
+        client.append(TagSet::new(), format!("pre{i}")).unwrap();
+    }
+    // Crash maintainer 1, then keep appending: records routed to the
+    // crashed maintainer's ranges are lost in flight; the queue keeps
+    // assigning, so the HL stalls at the crashed maintainer's frontier.
+    dc.flstore().maintainers()[1].crash();
+    for i in 0..8 {
+        let _ = client.append_async(TagSet::new(), format!("during{i}"));
+    }
+    std::thread::sleep(Duration::from_millis(100));
+    dc.flstore().maintainers()[1].recover();
+    // New appends eventually land; reads below the final HL always work.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut hl = LId::ZERO;
+    while Instant::now() < deadline {
+        hl = client.head_of_log().unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    for l in 0..hl.0 {
+        assert!(client.read(LId(l)).is_ok(), "gap below HL at {l}");
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn flstore_recovers_from_wal_after_crash() {
+    let dir = std::env::temp_dir().join(format!("chariots-it-recover-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = FLStoreConfig::new()
+        .maintainers(3)
+        .batch_size(4)
+        .gossip_interval(Duration::from_millis(1));
+    let pre_crash_hl;
+    {
+        let store = FLStore::launch_with(
+            DatacenterId(0),
+            cfg.clone(),
+            StationConfig::uncapped(),
+            Some(dir.clone()),
+        )
+        .unwrap();
+        let mut client = store.client();
+        for i in 0..30 {
+            client
+                .append(
+                    TagSet::new().with(Tag::with_value("i", i as i64)),
+                    format!("r{i}"),
+                )
+                .unwrap();
+        }
+        // Round-robin appends leave each maintainer mid-round, so the HL
+        // settles below 30; capture where it stabilizes.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let hl = client.head_of_log().unwrap();
+            std::thread::sleep(Duration::from_millis(5));
+            if client.head_of_log().unwrap() == hl && hl > LId::ZERO {
+                pre_crash_hl = hl;
+                break;
+            }
+            assert!(Instant::now() < deadline, "HL never stabilized");
+        }
+        store.shutdown();
+    }
+    // Whole-deployment crash; relaunch from the same directory.
+    let store = FLStore::launch_with(
+        DatacenterId(0),
+        cfg,
+        StationConfig::uncapped(),
+        Some(dir.clone()),
+    )
+    .unwrap();
+    let mut client = store.client();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while client.head_of_log().unwrap() < pre_crash_hl {
+        assert!(
+            Instant::now() < deadline,
+            "recovered HL never reached {pre_crash_hl}"
+        );
+        std::thread::sleep(Duration::from_millis(3));
+    }
+    for l in 0..pre_crash_hl.0 {
+        let e = client.read(LId(l)).unwrap();
+        assert_eq!(e.lid, LId(l));
+    }
+    store.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn availability_during_partition_then_convergence() {
+    // The CAP stance (§1): Chariots favors availability — both sides keep
+    // accepting appends during the partition and converge afterwards.
+    let cluster = ChariotsCluster::launch(
+        fast_cfg(2),
+        StageStations::default(),
+        LinkConfig::with_latency(Duration::from_millis(2)),
+    )
+    .unwrap();
+    cluster.partition(DatacenterId(0), DatacenterId(1));
+    let mut a = cluster.client(DatacenterId(0));
+    let mut b = cluster.client(DatacenterId(1));
+    for i in 0..10 {
+        a.append(TagSet::new(), format!("a{i}")).unwrap();
+        b.append(TagSet::new(), format!("b{i}")).unwrap();
+    }
+    // Both sides applied their own writes (availability).
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let ha = cluster.dc(DatacenterId(0)).flstore().client().head_of_log().unwrap();
+        let hb = cluster.dc(DatacenterId(1)).flstore().client().head_of_log().unwrap();
+        if ha >= LId(10) && hb >= LId(10) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "local appends stalled during partition");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    cluster.heal(DatacenterId(0), DatacenterId(1));
+    assert!(cluster.wait_for_replication(20, Duration::from_secs(30)));
+    let logs = vec![
+        dump_log(&cluster, DatacenterId(0)),
+        dump_log(&cluster, DatacenterId(1)),
+    ];
+    for log in &logs {
+        assert_log_invariants(log, 2);
+        assert_eq!(log.len(), 20);
+    }
+    assert_same_record_sets(&logs);
+    cluster.shutdown();
+}

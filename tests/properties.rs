@@ -1,0 +1,125 @@
+//! Property-based tests: randomized multi-datacenter workloads must always
+//! satisfy the log invariants, and randomized fault patterns must never
+//! break convergence.
+//!
+//! Each proptest case launches a real (fast-timing) deployment, so the
+//! case counts are kept small; the workload space is still explored across
+//! runs via proptest's RNG.
+
+mod common;
+
+use std::time::Duration;
+
+use chariots::prelude::*;
+use common::{assert_log_invariants, assert_same_record_sets, dump_log, launch};
+use proptest::prelude::*;
+
+/// One step of a randomized workload.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Append a record at this datacenter.
+    Append(u16),
+    /// Read the head of the log at this datacenter (pulls the reader's
+    /// causal context forward, entangling later appends).
+    ReadHead(u16),
+}
+
+fn arb_step(n: u16) -> impl Strategy<Value = Step> {
+    prop_oneof![
+        3 => (0..n).prop_map(Step::Append),
+        1 => (0..n).prop_map(Step::ReadHead),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6,
+        max_shrink_iters: 20,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_workloads_preserve_log_invariants(
+        steps in proptest::collection::vec(arb_step(2), 5..30),
+    ) {
+        let n = 2usize;
+        let cluster = launch(n, 1);
+        let mut clients: Vec<ChariotsClient> =
+            (0..n).map(|i| cluster.client(DatacenterId(i as u16))).collect();
+        let mut appended = 0u64;
+        for step in &steps {
+            match step {
+                Step::Append(dc) => {
+                    clients[*dc as usize]
+                        .append(TagSet::new(), format!("r{appended}"))
+                        .expect("append");
+                    appended += 1;
+                }
+                Step::ReadHead(dc) => {
+                    let client = &mut clients[*dc as usize];
+                    if let Ok(hl) = client.head_of_log() {
+                        if hl > LId::ZERO {
+                            let _ = client.read(LId(hl.0 - 1));
+                        }
+                    }
+                }
+            }
+        }
+        prop_assert!(
+            cluster.wait_for_replication(appended, Duration::from_secs(30)),
+            "replication of {} records never converged", appended
+        );
+        let logs: Vec<Vec<Entry>> = (0..n)
+            .map(|i| dump_log(&cluster, DatacenterId(i as u16)))
+            .collect();
+        for log in &logs {
+            prop_assert_eq!(log.len() as u64, appended);
+            assert_log_invariants(log, n);
+        }
+        assert_same_record_sets(&logs);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn random_fault_patterns_still_converge(
+        appends_a in 1u64..10,
+        appends_b in 1u64..10,
+        drop_prob in 0.0f64..0.4,
+        dup_prob in 0.0f64..0.5,
+        seed in 0u64..1000,
+    ) {
+        let wan = LinkConfig::with_latency(Duration::from_millis(1))
+            .jitter(Duration::from_millis(2))
+            .drop_prob(drop_prob)
+            .duplicate_prob(dup_prob)
+            .seed(seed);
+        let cluster = ChariotsCluster::launch(
+            common::fast_cfg(2),
+            StageStations::default(),
+            wan,
+        ).expect("launch");
+        let mut a = cluster.client(DatacenterId(0));
+        let mut b = cluster.client(DatacenterId(1));
+        for i in 0..appends_a {
+            a.append(TagSet::new(), format!("a{i}")).expect("append at A");
+        }
+        for i in 0..appends_b {
+            b.append(TagSet::new(), format!("b{i}")).expect("append at B");
+        }
+        let total = appends_a + appends_b;
+        prop_assert!(
+            cluster.wait_for_replication(total, Duration::from_secs(30)),
+            "never converged under drop={drop_prob:.2} dup={dup_prob:.2}"
+        );
+        let logs = vec![
+            dump_log(&cluster, DatacenterId(0)),
+            dump_log(&cluster, DatacenterId(1)),
+        ];
+        for log in &logs {
+            prop_assert_eq!(log.len() as u64, total, "wrong record count");
+            assert_log_invariants(log, 2);
+        }
+        assert_same_record_sets(&logs);
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,92 @@
+//! Causal session guarantees across client handovers: a session token (the
+//! client's causal context) carried from one datacenter's frontend to
+//! another preserves read-your-writes and monotonic reads.
+
+mod common;
+
+use std::time::Duration;
+
+use chariots::prelude::*;
+use common::launch;
+
+#[test]
+fn session_token_preserves_read_your_writes_across_datacenters() {
+    let cluster = launch(2, 3);
+    // The user writes at A…
+    let mut at_a = cluster.client(DatacenterId(0));
+    let (toid, _lid) = at_a
+        .append(TagSet::new().with(Tag::with_value("key", "profile")), "v1")
+        .unwrap();
+    let token = at_a.context().clone();
+    assert_eq!(token.get(DatacenterId(0)), toid);
+
+    // …then their session moves to B. Adopting the token and waiting for
+    // it guarantees the write is visible before any read happens.
+    let mut at_b = cluster.client(DatacenterId(1)).with_context(token.clone());
+    assert!(
+        at_b.wait_for(&token, Duration::from_secs(10)),
+        "B never caught up to the session token"
+    );
+    // The record is readable; the tag index may lag a few milliseconds
+    // behind persistence (indexing is asynchronous).
+    let rule = ReadRule::where_(Condition::TagValue(
+        "key".into(),
+        ValuePredicate::Eq(TagValue::Str("profile".into())),
+    ))
+    .most_recent(1);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let hits = loop {
+        let hits = at_b.read_rule(&rule).unwrap();
+        if !hits.is_empty() {
+            break hits;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "read-your-writes violated across DCs"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    };
+    assert_eq!(&hits[0].record.body[..], b"v1");
+    cluster.shutdown();
+}
+
+#[test]
+fn appends_after_handover_are_causally_ordered_after_the_token() {
+    let cluster = launch(2, 3);
+    let mut at_a = cluster.client(DatacenterId(0));
+    at_a.append(TagSet::new(), "first (at A)").unwrap();
+    let token = at_a.context().clone();
+
+    // The session continues at B *without* reading anything — only the
+    // token carries the causality.
+    let at_b = cluster.client(DatacenterId(1)).with_context(token);
+    let mut at_b = at_b;
+    at_b.append(TagSet::new(), "second (at B)").unwrap();
+
+    assert!(cluster.wait_for_replication(2, Duration::from_secs(10)));
+    // At every datacenter, the A-record precedes the B-record.
+    for dc in [DatacenterId(0), DatacenterId(1)] {
+        let log = common::dump_log(&cluster, dc);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].record.host(), DatacenterId(0), "{dc}: order broken");
+        assert_eq!(log[1].record.host(), DatacenterId(1));
+        common::assert_log_invariants(&log, 2);
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn applied_cut_is_monotone() {
+    let cluster = launch(1, 0);
+    let mut client = cluster.client(DatacenterId(0));
+    let mut last = client.applied_cut();
+    for i in 0..10 {
+        client.append(TagSet::new(), format!("r{i}")).unwrap();
+        assert!(client.wait_for_self(Duration::from_secs(5)));
+        let now = client.applied_cut();
+        assert!(now.dominates(&last), "applied cut regressed");
+        last = now;
+    }
+    assert_eq!(last.get(DatacenterId(0)), TOId(10));
+    cluster.shutdown();
+}

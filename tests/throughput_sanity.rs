@@ -1,0 +1,95 @@
+//! A coarse performance regression guard: the uncapped pipeline must
+//! sustain well above the simulated machine rates, proving the
+//! service-station pacing (not software overhead) governs every macro
+//! experiment.
+
+mod common;
+
+use std::time::{Duration, Instant};
+
+use chariots::prelude::*;
+
+#[test]
+fn uncapped_pipeline_sustains_bulk_appends() {
+    let mut cfg = common::fast_cfg(1);
+    cfg.batcher_flush_threshold = 64;
+    let cluster = ChariotsCluster::launch(
+        cfg,
+        StageStations::default(),
+        LinkConfig::default(),
+    )
+    .unwrap();
+    let mut client = cluster.client(DatacenterId(0));
+    const N: u64 = 30_000;
+    let t0 = Instant::now();
+    for i in 0..N {
+        client
+            .append_async(TagSet::new(), format!("r{i}"))
+            .unwrap();
+    }
+    assert!(
+        cluster.wait_for_replication(N, Duration::from_secs(30)),
+        "pipeline never digested the burst"
+    );
+    let rate = N as f64 / t0.elapsed().as_secs_f64();
+    // The bench machines are simulated at 13k rec/s; the real software
+    // path must clear that with a wide margin or the capacity model is
+    // not what the experiments measure.
+    assert!(
+        rate > 26_000.0,
+        "pipeline too slow: {rate:.0} rec/s (needs > 2× the simulated machine rate)"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn uncapped_flstore_sustains_bulk_appends() {
+    let store = FLStore::launch(
+        DatacenterId(0),
+        FLStoreConfig::new()
+            .maintainers(4)
+            .batch_size(1000)
+            .gossip_interval(Duration::from_millis(1)),
+    )
+    .unwrap();
+    const N: u64 = 100_000;
+    const BATCH: usize = 100;
+    let t0 = Instant::now();
+    let handles: Vec<_> = store
+        .maintainers()
+        .iter()
+        .cloned()
+        .map(|m| {
+            std::thread::spawn(move || {
+                for _ in 0..(N as usize / 4 / BATCH) {
+                    let batch = (0..BATCH)
+                        .map(|_| AppendPayload::new(TagSet::new(), vec![0u8; 64]))
+                        .collect();
+                    m.append_async(batch);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let total: u64 = store
+            .maintainers()
+            .iter()
+            .map(|m| m.appended_counter().get())
+            .sum();
+        if total >= N {
+            break;
+        }
+        assert!(Instant::now() < deadline, "FLStore never digested the burst");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let rate = N as f64 / t0.elapsed().as_secs_f64();
+    assert!(
+        rate > 100_000.0,
+        "FLStore too slow: {rate:.0} rec/s uncapped"
+    );
+    store.shutdown();
+}
