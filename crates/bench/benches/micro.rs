@@ -13,8 +13,8 @@ use chariots_flstore::{
     HlVector, MaintainerCore, RangeMap,
 };
 use chariots_types::{
-    DatacenterId, Entry, LId, Limit, MaintainerId, Record, RecordId, TOId, Tag, TagSet,
-    TagValue, VersionVector,
+    DatacenterId, Entry, LId, Limit, MaintainerId, Record, RecordId, TOId, Tag, TagSet, TagValue,
+    VersionVector,
 };
 
 fn record(host: u16, toid: u64) -> Record {
@@ -115,8 +115,9 @@ fn bench_filter(c: &mut Criterion) {
         bench.iter_batched(
             || {
                 let core = FilterCore::with_routing(0, FilterRouting::new(1, 2));
-                let records: Vec<Incoming> =
-                    (1..=1000).map(|t| Incoming::External(record(1, t))).collect();
+                let records: Vec<Incoming> = (1..=1000)
+                    .map(|t| Incoming::External(record(1, t)))
+                    .collect();
                 (core, records)
             },
             |(mut core, records)| {
@@ -179,8 +180,9 @@ fn bench_segment_store(c: &mut Criterion) {
     group.bench_function("insert_1000_in_order", |bench| {
         bench.iter_batched(
             || {
-                let entries: Vec<Entry> =
-                    (0..1000).map(|i| Entry::new(LId(i), record(0, i + 1))).collect();
+                let entries: Vec<Entry> = (0..1000)
+                    .map(|i| Entry::new(LId(i), record(0, i + 1)))
+                    .collect();
                 (SegmentStore::new(256), entries)
             },
             |(mut store, entries)| {
@@ -194,7 +196,9 @@ fn bench_segment_store(c: &mut Criterion) {
     });
     let mut filled = SegmentStore::new(256);
     for i in 0..10_000u64 {
-        filled.insert(i, Entry::new(LId(i), record(0, i + 1))).unwrap();
+        filled
+            .insert(i, Entry::new(LId(i), record(0, i + 1)))
+            .unwrap();
     }
     group.bench_function("get_of_10k", |bench| {
         bench.iter(|| filled.get(std::hint::black_box(7_777)).is_some())

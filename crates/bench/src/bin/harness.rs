@@ -4,12 +4,17 @@
 //! ```sh
 //! cargo run --release -p chariots-bench --bin harness -- all
 //! cargo run --release -p chariots-bench --bin harness -- fig8 --quick
+//! cargo run --release -p chariots-bench --bin harness -- --metrics-out /tmp/m.json fig9
 //! ```
 
+use std::path::PathBuf;
+
 use chariots_bench::experiments::{ablations, apps, baseline, fig7, fig8, fig9, tables, txn};
+use chariots_bench::report::Report;
+use chariots_simnet::MetricsSnapshot;
 
 const USAGE: &str = "\
-usage: harness [--quick] <experiment>...
+usage: harness [--quick] [--metrics-out <path>] <experiment>...
 experiments:
   fig7       single-maintainer throughput vs target load
   fig8       FLStore scalability with maintainers
@@ -23,54 +28,102 @@ experiments:
   apps       Hyksos / stream-processing throughput over the log
   ablations  A1/A2 (FLStore knobs), A3 (token policy), A5 (flush threshold)
   all        everything above
---quick trims warmups/windows for smoke runs";
+--quick trims warmups/windows for smoke runs
+--metrics-out writes the merged metrics registries (counters, gauges,
+  per-stage latency histograms) of every selected experiment as JSON";
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let selected: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let mut quick = false;
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut selected: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--metrics-out" => match args.next() {
+                Some(path) => metrics_out = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--metrics-out requires a path\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag: {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+            other => selected.push(other.to_string()),
+        }
+    }
     if selected.is_empty() {
         eprintln!("{USAGE}");
         std::process::exit(2);
     }
 
-    let run = |name: &str| match name {
-        "fig7" => fig7::run(quick).finish(),
-        "fig8" => fig8::run(quick).finish(),
-        "table2" => tables::run(2, quick).finish(),
-        "table3" => tables::run(3, quick).finish(),
-        "table4" => tables::run(4, quick).finish(),
-        "table5" => tables::run(5, quick).finish(),
-        "fig9" => fig9::run(quick).finish(),
-        "baseline" => baseline::run(quick).finish(),
-        "txn" => txn::run(quick).finish(),
-        "apps" => apps::run(quick).finish(),
-        "ablations" => {
-            ablations::run_flstore_knobs(quick).finish();
-            ablations::run_token_policy(quick).finish();
-            ablations::run_flush_threshold(quick).finish();
-            ablations::run_sender_scaling(quick).finish();
-        }
-        other => {
-            eprintln!("unknown experiment: {other}\n{USAGE}");
-            std::process::exit(2);
+    let run = |name: &str| -> Vec<Report> {
+        match name {
+            "fig7" => vec![fig7::run(quick)],
+            "fig8" => vec![fig8::run(quick)],
+            "table2" => vec![tables::run(2, quick)],
+            "table3" => vec![tables::run(3, quick)],
+            "table4" => vec![tables::run(4, quick)],
+            "table5" => vec![tables::run(5, quick)],
+            "fig9" => vec![fig9::run(quick)],
+            "baseline" => vec![baseline::run(quick)],
+            "txn" => vec![txn::run(quick)],
+            "apps" => vec![apps::run(quick)],
+            "ablations" => vec![
+                ablations::run_flstore_knobs(quick),
+                ablations::run_token_policy(quick),
+                ablations::run_flush_threshold(quick),
+                ablations::run_sender_scaling(quick),
+            ],
+            other => {
+                eprintln!("unknown experiment: {other}\n{USAGE}");
+                std::process::exit(2);
+            }
         }
     };
 
-    for name in selected {
+    let mut merged = MetricsSnapshot::empty("harness");
+    let mut run_and_collect = |name: &str| {
+        for report in run(name) {
+            report.finish();
+            if let Some(m) = &report.metrics {
+                merged.merge(m);
+            }
+        }
+    };
+
+    for name in &selected {
         if name == "all" {
             for e in [
-                "fig7", "fig8", "table2", "table3", "table4", "table5", "fig9", "baseline",
-                "txn", "apps", "ablations",
+                "fig7",
+                "fig8",
+                "table2",
+                "table3",
+                "table4",
+                "table5",
+                "fig9",
+                "baseline",
+                "txn",
+                "apps",
+                "ablations",
             ] {
-                run(e);
+                run_and_collect(e);
             }
         } else {
-            run(name);
+            run_and_collect(name);
+        }
+    }
+
+    if let Some(path) = metrics_out {
+        let json = serde_json::to_vec_pretty(&merged).expect("serialize metrics");
+        match std::fs::write(&path, json) {
+            Ok(()) => println!("metrics: {}", path.display()),
+            Err(e) => {
+                eprintln!("could not write metrics to {}: {e}", path.display());
+                std::process::exit(1);
+            }
         }
     }
 }

@@ -16,9 +16,9 @@ use chariots_flstore::FLStore;
 use chariots_simnet::{LinkConfig, Shutdown};
 use chariots_types::{ChariotsConfig, DatacenterId, FLStoreConfig, TagSet};
 
+use crate::private_station;
 use crate::report::Report;
 use crate::workload::spawn_flstore_generator;
-use crate::private_station;
 
 /// A1 + A2: FLStore batch size and gossip interval, measured as achieved
 /// throughput plus Head-of-Log lag (how far readers trail the appenders).
@@ -26,10 +26,7 @@ pub fn run_flstore_knobs(quick: bool) -> Report {
     let mut report = Report::new(
         "ablations_flstore",
         "Ablations A1/A2: batch size and gossip interval vs throughput and HL lag",
-        vec![
-            "achieved rec/s".into(),
-            "HL lag (records)".into(),
-        ],
+        vec!["achieved rec/s".into(), "HL lag (records)".into()],
     );
     let window = if quick {
         Duration::from_millis(500)
@@ -127,8 +124,7 @@ pub fn run_token_policy(quick: bool) -> Report {
         let wan = LinkConfig::with_latency(Duration::from_millis(2))
             .jitter(Duration::from_millis(8))
             .seed(5);
-        let cluster =
-            ChariotsCluster::launch(cfg, StageStations::default(), wan).expect("launch");
+        let cluster = ChariotsCluster::launch(cfg, StageStations::default(), wan).expect("launch");
         let mut a = cluster.client(DatacenterId(0));
         let mut b = cluster.client(DatacenterId(1));
         let t0 = Instant::now();
@@ -230,12 +226,8 @@ pub fn run_flush_threshold(quick: bool) -> Report {
             .gossip_interval(Duration::from_millis(1));
         cfg.batcher_flush_threshold = threshold;
         cfg.batcher_flush_interval = Duration::from_millis(5);
-        let cluster = ChariotsCluster::launch(
-            cfg,
-            StageStations::default(),
-            LinkConfig::default(),
-        )
-        .expect("launch");
+        let cluster = ChariotsCluster::launch(cfg, StageStations::default(), LinkConfig::default())
+            .expect("launch");
         let mut client = cluster.client(DatacenterId(0));
         let mut latencies: Vec<f64> = Vec::with_capacity(appends);
         for i in 0..appends {

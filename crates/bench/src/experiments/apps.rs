@@ -24,8 +24,7 @@ fn launch() -> ChariotsCluster {
         .gossip_interval(Duration::from_millis(1));
     cfg.batcher_flush_threshold = 16;
     cfg.batcher_flush_interval = Duration::from_millis(1);
-    ChariotsCluster::launch(cfg, StageStations::default(), LinkConfig::default())
-        .expect("launch")
+    ChariotsCluster::launch(cfg, StageStations::default(), LinkConfig::default()).expect("launch")
 }
 
 /// Runs the application-level measurements.
@@ -43,7 +42,8 @@ pub fn run(quick: bool) -> Report {
         let mut kv = HyksosClient::new(cluster.client(DatacenterId(0)));
         let t0 = Instant::now();
         for i in 0..n {
-            kv.put(format!("key{}", i % 64), i.to_string()).expect("put");
+            kv.put(format!("key{}", i % 64), i.to_string())
+                .expect("put");
         }
         let rate = n as f64 / t0.elapsed().as_secs_f64();
         report.row(format!("hyksos put (sync, {n} ops)"), vec![rate]);
@@ -68,10 +68,7 @@ pub fn run(quick: bool) -> Report {
         let t0 = Instant::now();
         view.catch_up().expect("catch up");
         let rate = n as f64 / t0.elapsed().as_secs_f64();
-        report.row(
-            format!("materializer replay ({n} records)"),
-            vec![rate],
-        );
+        report.row(format!("materializer replay ({n} records)"), vec![rate]);
         cluster.shutdown();
     }
 

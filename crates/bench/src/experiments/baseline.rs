@@ -11,7 +11,7 @@ use std::time::Duration;
 
 use chariots_corfu::CorfuLog;
 use chariots_flstore::FLStore;
-use chariots_simnet::Shutdown;
+use chariots_simnet::{MetricsSnapshot, Shutdown};
 use chariots_types::{DatacenterId, FLStoreConfig};
 
 use crate::report::Report;
@@ -32,6 +32,7 @@ pub fn run(quick: bool) -> Report {
     };
     let max_m = if quick { 4 } else { 8 };
 
+    let mut metrics = MetricsSnapshot::empty("baseline");
     for m in 1..=max_m {
         // FLStore at matched load (slightly below per-machine capacity).
         let store = FLStore::launch_with(
@@ -62,12 +63,13 @@ pub fn run(quick: bool) -> Report {
         let s0: u64 = counters.iter().map(|c| c.get()).sum();
         let t0 = std::time::Instant::now();
         std::thread::sleep(window);
-        let flstore_rate =
-            (counters.iter().map(|c| c.get()).sum::<u64>() - s0) as f64 / t0.elapsed().as_secs_f64();
+        let flstore_rate = (counters.iter().map(|c| c.get()).sum::<u64>() - s0) as f64
+            / t0.elapsed().as_secs_f64();
         shutdown.signal();
         for (_, h) in gens {
             let _ = h.join();
         }
+        metrics.merge(&store.metrics());
         store.shutdown();
 
         // CORFU: same number of storage units, one sequencer machine of
@@ -99,6 +101,7 @@ pub fn run(quick: bool) -> Report {
         for t in client_threads {
             let _ = t.join();
         }
+        metrics.merge(&corfu.metrics());
         corfu.shutdown();
 
         report.row(
@@ -111,5 +114,6 @@ pub fn run(quick: bool) -> Report {
          the sequencer's capacity no matter how many units are added",
     );
     report.note(format!("multiply by {SCALE} for paper-scale rates"));
+    report.attach_metrics(metrics);
     report
 }

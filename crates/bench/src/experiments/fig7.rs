@@ -8,7 +8,7 @@
 use std::time::Duration;
 
 use chariots_flstore::FLStore;
-use chariots_simnet::Shutdown;
+use chariots_simnet::{MetricsSnapshot, Shutdown};
 use chariots_types::{DatacenterId, FLStoreConfig};
 
 use crate::report::Report;
@@ -33,6 +33,7 @@ pub fn run(quick: bool) -> Report {
     };
 
     let targets: Vec<f64> = (1..=10).map(|i| i as f64 * 2_500.0).collect();
+    let mut metrics = MetricsSnapshot::empty("fig7");
     for target in targets {
         let store = FLStore::launch_with(
             DatacenterId(0),
@@ -61,6 +62,7 @@ pub fn run(quick: bool) -> Report {
         for (_, h) in gens {
             let _ = h.join();
         }
+        metrics.merge(&store.metrics());
         store.shutdown();
         report.row(
             format!("target {:>6.0}", target),
@@ -72,5 +74,6 @@ pub fn run(quick: bool) -> Report {
          (paper: 150K), then degradation toward 12k (paper: ~120K) under \
          overload",
     );
+    report.attach_metrics(metrics);
     report
 }

@@ -11,7 +11,7 @@
 use std::time::Duration;
 
 use chariots_flstore::FLStore;
-use chariots_simnet::{Shutdown, StationConfig};
+use chariots_simnet::{MetricsSnapshot, Shutdown, StationConfig};
 use chariots_types::{DatacenterId, FLStoreConfig};
 
 use crate::report::Report;
@@ -59,6 +59,7 @@ pub fn run(quick: bool) -> Report {
     ];
 
     let mut results: Vec<Vec<f64>> = vec![Vec::new(); series.len()];
+    let mut metrics = MetricsSnapshot::empty("fig8");
     for (si, s) in series.iter().enumerate() {
         for m in 1..=max_m {
             let store = FLStore::launch_with(
@@ -100,6 +101,7 @@ pub fn run(quick: bool) -> Report {
             for (_, h) in gens {
                 let _ = h.join();
             }
+            metrics.merge(&store.metrics());
             store.shutdown();
             results[si].push(achieved);
             let _ = measure_rate; // (single-counter variant unused here)
@@ -126,5 +128,6 @@ pub fn run(quick: bool) -> Report {
     report.note(format!(
         "all rates are bench-scale; multiply by {SCALE} for paper-scale"
     ));
+    report.attach_metrics(metrics);
     report
 }

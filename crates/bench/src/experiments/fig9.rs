@@ -48,8 +48,7 @@ pub fn run(quick: bool) -> Report {
         sender: stage_station(),
         receiver: stage_station(),
     };
-    let cluster =
-        ChariotsCluster::launch(cfg, stations, LinkConfig::default()).expect("launch");
+    let cluster = ChariotsCluster::launch(cfg, stations, LinkConfig::default()).expect("launch");
     let dc = cluster.dc(DatacenterId(0));
     let batchers = dc.batcher_handles();
 
@@ -72,6 +71,7 @@ pub fn run(quick: bool) -> Report {
                         body: Bytes::from(vec![0xCD; RECORD_BYTES]),
                         deps: VersionVector::new(1),
                         reply: None,
+                        trace: None,
                     }));
                 }
                 sent += GEN_BATCH as u64;
@@ -113,12 +113,16 @@ pub fn run(quick: bool) -> Report {
     for t in client_threads {
         let _ = t.join();
     }
+    let metrics = cluster.metrics();
     cluster.shutdown();
 
     let mut report = Report::new(
         "fig9",
         "Figure 9: pipeline throughput over time (table-4 deployment, fixed workload)",
-        ts.series.iter().map(|s| format!("{} rec/s", s.name)).collect(),
+        ts.series
+            .iter()
+            .map(|s| format!("{} rec/s", s.name))
+            .collect(),
     );
     let rates: Vec<Vec<f64>> = ts.series.iter().map(|s| s.rates(ts.interval)).collect();
     let n_ticks = rates.first().map(|r| r.len()).unwrap_or(0);
@@ -133,5 +137,6 @@ pub fn run(quick: bool) -> Report {
          draining the backlog afterwards (the paper's batchers finished at \
          42:30 while latter stages ran to 43:10)",
     );
+    report.attach_metrics(metrics);
     report
 }

@@ -19,8 +19,10 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use chariots_core::{ChariotsCluster, Incoming, LocalAppend, StageStations};
-use chariots_simnet::{LinkConfig, Shutdown};
-use chariots_types::{ChariotsConfig, DatacenterId, FLStoreConfig, StageCounts, TagSet, VersionVector};
+use chariots_simnet::{LinkConfig, MetricsSnapshot, Shutdown};
+use chariots_types::{
+    ChariotsConfig, DatacenterId, FLStoreConfig, StageCounts, TagSet, VersionVector,
+};
 
 use crate::report::Report;
 use crate::workload::{measure_rates, spawn_pipeline_client, GEN_BATCH};
@@ -43,18 +45,46 @@ pub struct Shape {
 /// The shapes of Tables 2–5.
 pub fn table_shape(table: u8) -> Shape {
     match table {
-        2 => Shape { clients: 1, batchers: 1, filters: 1, queues: 1, stores: 1 },
-        3 => Shape { clients: 2, batchers: 1, filters: 1, queues: 1, stores: 1 },
-        4 => Shape { clients: 2, batchers: 2, filters: 1, queues: 1, stores: 1 },
-        5 => Shape { clients: 2, batchers: 2, filters: 2, queues: 2, stores: 2 },
+        2 => Shape {
+            clients: 1,
+            batchers: 1,
+            filters: 1,
+            queues: 1,
+            stores: 1,
+        },
+        3 => Shape {
+            clients: 2,
+            batchers: 1,
+            filters: 1,
+            queues: 1,
+            stores: 1,
+        },
+        4 => Shape {
+            clients: 2,
+            batchers: 2,
+            filters: 1,
+            queues: 1,
+            stores: 1,
+        },
+        5 => Shape {
+            clients: 2,
+            batchers: 2,
+            filters: 2,
+            queues: 2,
+            stores: 2,
+        },
         _ => panic!("tables 2–5 only"),
     }
 }
 
 /// Launches the pipeline for a shape and measures per-machine rates over
-/// the window. Returns `(name, rate)` rows: clients first, then each
-/// pipeline machine.
-pub fn run_shape(shape: &Shape, warmup: Duration, window: Duration) -> Vec<(String, f64)> {
+/// the window. Returns `(name, rate)` rows — clients first, then each
+/// pipeline machine — plus the deployment's end-of-run metrics snapshot.
+pub fn run_shape(
+    shape: &Shape,
+    warmup: Duration,
+    window: Duration,
+) -> (Vec<(String, f64)>, MetricsSnapshot) {
     let mut cfg = ChariotsConfig::new().datacenters(1);
     cfg.stages = StageCounts {
         receivers: 1,
@@ -91,25 +121,22 @@ pub fn run_shape(shape: &Shape, warmup: Duration, window: Duration) -> Vec<(Stri
     for c in 0..shape.clients {
         let batcher = batchers[c % batchers.len()].clone();
         let watch = batcher.station();
-        let (client, thread) = spawn_pipeline_client(
-            MACHINE_RATE * 0.99,
-            watch,
-            shutdown.clone(),
-            move |n| {
+        let (client, thread) =
+            spawn_pipeline_client(MACHINE_RATE * 0.99, watch, shutdown.clone(), move |n| {
                 for _ in 0..n {
                     let ok = batcher.send(Incoming::Local(LocalAppend {
                         tags: TagSet::new(),
                         body: Bytes::from(vec![0xCD; RECORD_BYTES]),
                         deps: VersionVector::new(1),
                         reply: None,
+                        trace: None,
                     }));
                     if !ok {
                         return false;
                     }
                 }
                 true
-            },
-        );
+            });
         client_counters.push((format!("client-{c}"), client.generated));
         client_threads.push(thread);
     }
@@ -121,11 +148,13 @@ pub fn run_shape(shape: &Shape, warmup: Duration, window: Duration) -> Vec<(Stri
     for t in client_threads {
         let _ = t.join();
     }
+    let metrics = cluster.metrics();
     cluster.shutdown();
-    rates
+    let rows = rates
         .into_iter()
         .filter(|(name, _)| !name.starts_with("sender") && !name.starts_with("receiver"))
-        .collect()
+        .collect();
+    (rows, metrics)
 }
 
 /// Runs one of Tables 2–5.
@@ -148,9 +177,14 @@ pub fn run(table: u8, quick: bool) -> Report {
         title,
         vec!["rec/s (bench)".into(), "Krec/s (paper-scale)".into()],
     );
-    for (name, rate) in run_shape(&shape, warmup, window) {
-        report.row(display_name(&name), vec![rate, rate * crate::SCALE / 1000.0]);
+    let (rows, metrics) = run_shape(&shape, warmup, window);
+    for (name, rate) in rows {
+        report.row(
+            display_name(&name),
+            vec![rate, rate * crate::SCALE / 1000.0],
+        );
     }
+    report.attach_metrics(metrics);
     report.note(match table {
         2 => "expect: all machines ≈ the client rate (client-limited; paper: 124–132K)",
         3 => "expect: batcher saturates; clients halve under backpressure (paper: 126K batcher, 64.5/64.9K clients)",

@@ -51,7 +51,11 @@ pub fn run(quick: bool) -> Report {
         ],
     );
     let txns = if quick { 10 } else { 25 };
-    let latencies: &[u64] = if quick { &[5, 20, 40] } else { &[5, 10, 20, 40, 80] };
+    let latencies: &[u64] = if quick {
+        &[5, 20, 40]
+    } else {
+        &[5, 10, 20, 40, 80]
+    };
 
     for &wan_ms in latencies {
         let mut row = Vec::new();

@@ -3,6 +3,7 @@
 
 use std::path::PathBuf;
 
+use chariots_simnet::MetricsSnapshot;
 use serde::Serialize;
 
 use crate::SCALE;
@@ -22,6 +23,10 @@ pub struct Report {
     pub scale: f64,
     /// Free-form notes on what to look for.
     pub notes: Vec<String>,
+    /// End-of-run metrics snapshot (counters, gauges, per-stage latency
+    /// histograms), when the experiment attached one.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 /// One row of a report.
@@ -35,11 +40,7 @@ pub struct Row {
 
 impl Report {
     /// Creates an empty report.
-    pub fn new(
-        id: impl Into<String>,
-        title: impl Into<String>,
-        columns: Vec<String>,
-    ) -> Self {
+    pub fn new(id: impl Into<String>, title: impl Into<String>, columns: Vec<String>) -> Self {
         Report {
             id: id.into(),
             title: title.into(),
@@ -47,6 +48,7 @@ impl Report {
             rows: Vec::new(),
             scale: SCALE,
             notes: Vec::new(),
+            metrics: None,
         }
     }
 
@@ -61,6 +63,12 @@ impl Report {
     /// Adds a note.
     pub fn note(&mut self, note: impl Into<String>) {
         self.notes.push(note.into());
+    }
+
+    /// Attaches an end-of-run metrics snapshot. It rides along in the saved
+    /// JSON and feeds the per-stage latency breakdown in [`print`](Self::print).
+    pub fn attach_metrics(&mut self, snapshot: MetricsSnapshot) {
+        self.metrics = Some(snapshot);
     }
 
     /// Prints the ASCII table.
@@ -88,6 +96,9 @@ impl Report {
         for n in &self.notes {
             println!("note: {n}");
         }
+        if let Some(metrics) = &self.metrics {
+            print_latency_breakdown(metrics);
+        }
     }
 
     /// Persists the report as JSON under `results/<id>.json` (relative to
@@ -107,6 +118,31 @@ impl Report {
             Ok(path) => println!("saved: {}", path.display()),
             Err(e) => eprintln!("could not save results: {e}"),
         }
+    }
+}
+
+/// Prints the stage-latency section of an attached snapshot: one line per
+/// `*.latency_us` histogram that saw samples, in name order.
+fn print_latency_breakdown(metrics: &MetricsSnapshot) {
+    let latencies: Vec<_> = metrics
+        .histograms
+        .iter()
+        .filter(|(name, h)| name.ends_with(".latency_us") && h.count > 0)
+        .collect();
+    if latencies.is_empty() {
+        return;
+    }
+    println!("per-stage latency breakdown (sampled traces, µs):");
+    let name_w = latencies.iter().map(|(n, _)| n.len()).max().unwrap_or(8);
+    println!(
+        "  {:name_w$}  {:>8}  {:>10}  {:>10}  {:>10}",
+        "stage", "samples", "p50", "p95", "p99"
+    );
+    for (name, h) in latencies {
+        println!(
+            "  {:name_w$}  {:>8}  {:>10}  {:>10}  {:>10}",
+            name, h.count, h.p50, h.p95, h.p99
+        );
     }
 }
 

@@ -117,9 +117,7 @@ pub fn measure_rates(
     counters
         .iter()
         .zip(start_values)
-        .map(|((name, c), start_value)| {
-            (name.clone(), (c.get() - start_value) as f64 / elapsed)
-        })
+        .map(|((name, c), start_value)| (name.clone(), (c.get() - start_value) as f64 / elapsed))
         .collect()
 }
 

@@ -12,8 +12,7 @@ use std::collections::BTreeMap;
 
 use bytes::Bytes;
 use chariots_types::{
-    ChariotsError, DatacenterId, Entry, LId, Record, RecordId, Result, TOId, TagSet,
-    VersionVector,
+    ChariotsError, DatacenterId, Entry, LId, Record, RecordId, Result, TOId, TagSet, VersionVector,
 };
 
 use crate::atable::ATable;
@@ -242,7 +241,9 @@ impl AbstractCluster {
     /// `n` fresh datacenters.
     pub fn new(n: usize) -> Self {
         AbstractCluster {
-            dcs: (0..n).map(|i| AbstractDc::new(DatacenterId(i as u16), n)).collect(),
+            dcs: (0..n)
+                .map(|i| AbstractDc::new(DatacenterId(i as u16), n))
+                .collect(),
         }
     }
 
@@ -388,10 +389,9 @@ mod tests {
         // A writes x. B reads it (via propagation), then writes y.
         // A third DC must never apply y before x.
         let mut cluster = AbstractCluster::new(3);
-        cluster.dc_mut(dc(0)).append(
-            TagSet::new().with(Tag::with_value("key", "x")),
-            "x=10",
-        );
+        cluster
+            .dc_mut(dc(0))
+            .append(TagSet::new().with(Tag::with_value("key", "x")), "x=10");
         cluster.propagate(dc(0), dc(1));
         cluster
             .dc_mut(dc(1))

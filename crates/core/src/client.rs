@@ -7,8 +7,9 @@
 //! operations" (§3) are honored at every replica.
 
 use bytes::Bytes;
+use chariots_simnet::PipelineTracer;
 use chariots_types::{
-    ChariotsError, Entry, LId, ReadRule, Result, TOId, TagSet, VersionVector,
+    ChariotsError, Entry, LId, ReadRule, Result, TOId, TagSet, TraceId, VersionVector,
 };
 use crossbeam::channel::bounded;
 use parking_lot::RwLock;
@@ -30,6 +31,9 @@ pub struct ChariotsClient {
     /// The causal cut this client has observed.
     context: VersionVector,
     rr: usize,
+    tracer: PipelineTracer,
+    /// The trace id stamped on this client's most recent sampled append.
+    last_trace: Option<TraceId>,
 }
 
 impl ChariotsClient {
@@ -42,6 +46,8 @@ impl ChariotsClient {
             atable: dc.atable(),
             context: VersionVector::new(dc.config().num_datacenters),
             rr: 0,
+            tracer: dc.tracer().clone(),
+            last_trace: None,
         }
     }
 
@@ -82,8 +88,8 @@ impl ChariotsClient {
                 if toid.is_none() {
                     continue;
                 }
-                let rule = ReadRule::where_(chariots_types::Condition::TOIdEq(dc, toid))
-                    .most_recent(1);
+                let rule =
+                    ReadRule::where_(chariots_types::Condition::TOIdEq(dc, toid)).most_recent(1);
                 match self.store.read_rule(&rule) {
                     Ok(hits) if !hits.is_empty() => {}
                     _ => {
@@ -125,11 +131,14 @@ impl ChariotsClient {
     /// the `(TOId, LId)` and returns them.
     pub fn append(&mut self, tags: TagSet, body: impl Into<Bytes>) -> Result<(TOId, LId)> {
         let (reply_tx, reply_rx) = bounded(1);
+        let trace = self.tracer.sample();
+        self.last_trace = trace;
         self.send_to_batcher(Incoming::Local(LocalAppend {
             tags,
             body: body.into(),
             deps: self.context.clone(),
             reply: Some(reply_tx),
+            trace,
         }))?;
         let (toid, lid) = reply_rx.recv().map_err(|_| ChariotsError::ShutDown)?;
         // Our own append is something we have observed.
@@ -139,12 +148,22 @@ impl ChariotsClient {
 
     /// Fire-and-forget append (open-loop load generation).
     pub fn append_async(&mut self, tags: TagSet, body: impl Into<Bytes>) -> Result<()> {
+        let trace = self.tracer.sample();
+        self.last_trace = trace;
         self.send_to_batcher(Incoming::Local(LocalAppend {
             tags,
             body: body.into(),
             deps: self.context.clone(),
             reply: None,
+            trace,
         }))
+    }
+
+    /// The trace id of this client's most recent sampled append (`None` if
+    /// the last append was not sampled or tracing is disabled). Feed it to
+    /// [`PipelineTracer::stage_latencies`] for a per-stage breakdown.
+    pub fn last_trace(&self) -> Option<TraceId> {
+        self.last_trace
     }
 
     /// `Read` by position. Reads below the Head of the Log only (no

@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
-use chariots_simnet::{Link, LinkConfig, LinkHandle};
+use chariots_simnet::{Link, LinkConfig, LinkHandle, MetricsSnapshot};
 use chariots_types::{ChariotsConfig, ChariotsError, DatacenterId, Result};
 use crossbeam::channel::unbounded;
 
@@ -42,8 +42,7 @@ impl ChariotsCluster {
                 let mut link_cfg = wan.clone();
                 // Decorrelate the RNGs of different links.
                 link_cfg.seed = wan.seed.wrapping_add((from * n + to) as u64);
-                let (tx, rx, handle) =
-                    Link::spawn(link_cfg, |m: &PropagationMsg| m.wire_size());
+                let (tx, rx, handle) = Link::spawn(link_cfg, |m: &PropagationMsg| m.wire_size());
                 // Pump the link's egress into the destination ingress.
                 let dst = ingress[to].0.clone();
                 std::thread::Builder::new()
@@ -56,10 +55,7 @@ impl ChariotsCluster {
                         }
                     })
                     .expect("spawn wan pump");
-                links.insert(
-                    (DatacenterId(from as u16), DatacenterId(to as u16)),
-                    handle,
-                );
+                links.insert((DatacenterId(from as u16), DatacenterId(to as u16)), handle);
                 egress[from].push((DatacenterId(to as u16), tx));
             }
         }
@@ -126,6 +122,17 @@ impl ChariotsCluster {
     /// Fault-injection handle for the directed link `from → to`.
     pub fn link(&self, from: DatacenterId, to: DatacenterId) -> Option<&LinkHandle> {
         self.links.get(&(from, to))
+    }
+
+    /// A snapshot of every datacenter's metrics (pipeline and FLStore
+    /// registries), merged. Metric names stay disjoint thanks to their
+    /// `dc{N}.` prefixes, so nothing collides.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::empty("cluster");
+        for dc in &self.dcs {
+            snap.merge(&dc.metrics());
+        }
+        snap
     }
 
     /// Blocks until every datacenter's log contains at least `n` records,

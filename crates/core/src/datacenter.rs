@@ -12,10 +12,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use chariots_simnet::{Counter, LinkSender, ServiceStation, Shutdown, StationConfig};
-use chariots_types::{
-    ChariotsConfig, ChariotsError, DatacenterId, LId, Result,
+use chariots_simnet::{
+    Counter, LinkSender, MetricsRegistry, MetricsSnapshot, PipelineTracer, ServiceStation,
+    Shutdown, StationConfig,
 };
+use chariots_types::{ChariotsConfig, ChariotsError, DatacenterId, LId, Result};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 
@@ -29,6 +30,7 @@ use crate::stages::filter::{spawn_filter, FilterCore, FilterHandle, FilterIngres
 use crate::stages::queue::{spawn_queue, QueueHandle, QueueIngress, QueueNodeConfig};
 use crate::stages::receiver::spawn_receiver;
 use crate::stages::sender::{spawn_sender, SenderNode};
+use crate::stages::STAGE_NAMES;
 use crate::token::Token;
 
 /// Per-stage capacity models for the simulated machines (see `DESIGN.md`
@@ -92,8 +94,8 @@ pub struct ChariotsDc {
     queue_ingresses: Arc<RwLock<Vec<QueueIngress>>>,
     plan: Arc<RwLock<RoutingPlan>>,
     stations: StageStations,
-    sender_counters: Vec<Counter>,
-    receiver_counters: Vec<Counter>,
+    registry: MetricsRegistry,
+    tracer: PipelineTracer,
     gc_floor: AtomicU64,
     shutdown: Shutdown,
     threads: Vec<JoinHandle<()>>,
@@ -117,11 +119,22 @@ impl ChariotsDc {
         let shutdown = Shutdown::new();
         let mut threads: Vec<JoinHandle<()>> = Vec::new();
 
+        // Observability: the per-DC metrics registry and the sampled
+        // record tracer all six stages stamp into (see DESIGN.md
+        // "Observability" for the naming scheme).
+        let prefix = format!("dc{}", dc.0);
+        let registry = MetricsRegistry::new(prefix.clone());
+        let tracer = PipelineTracer::new(&STAGE_NAMES, cfg.trace_sample_every, &registry, &prefix);
+
         // Log maintainers (FLStore) — §5, reused as the persistence stage.
         let flstore = FLStore::launch_with(dc, cfg.flstore.clone(), stations.store.clone(), None)?;
+        flstore.set_store_tracer(tracer.stage("store"));
         let controller = flstore.controller().clone();
         let maintainers: Arc<RwLock<Vec<chariots_flstore::MaintainerHandle>>> =
             Arc::new(RwLock::new(flstore.maintainers().to_vec()));
+        for (i, m) in flstore.maintainers().iter().enumerate() {
+            registry.register_counter(format!("{prefix}.store{i}.in"), m.appended_counter());
+        }
 
         let atable = Arc::new(RwLock::new(ATable::new(cfg.num_datacenters)));
 
@@ -145,12 +158,15 @@ impl ChariotsDc {
                     atable: Arc::clone(&atable),
                     next_queue: next,
                     idle_pause: std::time::Duration::from_micros(200),
+                    tracer: tracer.stage("queue"),
+                    store_tracer: tracer.stage("store"),
                 },
                 token_channels[i].clone(),
                 station,
                 shutdown.clone(),
                 format!("{dc}-queue-{i}"),
             );
+            registry.register_counter(format!("{prefix}.queue{i}.in"), handle.processed_counter());
             queues.push(handle);
             threads.push(thread);
         }
@@ -178,7 +194,9 @@ impl ChariotsDc {
                 station,
                 shutdown.clone(),
                 format!("{dc}-filter-{i}"),
+                tracer.stage("filter"),
             );
+            registry.register_counter(format!("{prefix}.filter{i}.in"), handle.processed_counter());
             filters.push(handle);
             threads.push(thread);
         }
@@ -201,6 +219,11 @@ impl ChariotsDc {
                 station,
                 shutdown.clone(),
                 format!("{dc}-batcher-{i}"),
+                tracer.stage("batcher"),
+            );
+            registry.register_counter(
+                format!("{prefix}.batcher{i}.in"),
+                handle.processed_counter(),
             );
             batcher_handles.push(handle);
             threads.push(thread);
@@ -208,8 +231,6 @@ impl ChariotsDc {
         let batchers = Arc::new(RwLock::new(batcher_handles));
 
         // Receivers and senders (multi-datacenter only).
-        let mut receiver_counters = Vec::new();
-        let mut sender_counters = Vec::new();
         if cfg.num_datacenters > 1 {
             for i in 0..cfg.stages.receivers {
                 let station = Arc::new(ServiceStation::new(
@@ -223,8 +244,9 @@ impl ChariotsDc {
                     station,
                     shutdown.clone(),
                     format!("{dc}-receiver-{i}"),
+                    tracer.clone(),
                 );
-                receiver_counters.push(counter);
+                registry.register_counter(format!("{prefix}.receiver{i}.in"), counter);
                 threads.push(thread);
             }
             for i in 0..cfg.stages.senders {
@@ -247,8 +269,9 @@ impl ChariotsDc {
                     station,
                     shutdown.clone(),
                     format!("{dc}-sender-{i}"),
+                    tracer.stage("sender"),
                 );
-                sender_counters.push(counter);
+                registry.register_counter(format!("{prefix}.sender{i}.in"), counter);
                 threads.push(thread);
             }
         }
@@ -266,8 +289,8 @@ impl ChariotsDc {
             queue_ingresses,
             plan,
             stations,
-            sender_counters,
-            receiver_counters,
+            registry,
+            tracer,
             gc_floor: AtomicU64::new(0),
             shutdown,
             threads,
@@ -327,6 +350,11 @@ impl ChariotsDc {
             station,
             self.shutdown.clone(),
             format!("{}-batcher-{idx}", self.dc),
+            self.tracer.stage("batcher"),
+        );
+        self.registry.register_counter(
+            format!("dc{}.batcher{idx}.in", self.dc.0),
+            handle.processed_counter(),
         );
         self.batchers.write().push(handle);
         self.threads.push(thread);
@@ -355,11 +383,17 @@ impl ChariotsDc {
                 atable: Arc::clone(&self.atable),
                 next_queue: next,
                 idle_pause: std::time::Duration::from_micros(200),
+                tracer: self.tracer.stage("queue"),
+                store_tracer: self.tracer.stage("store"),
             },
             (token_tx, token_rx),
             station,
             self.shutdown.clone(),
             format!("{}-queue-{idx}", self.dc),
+        );
+        self.registry.register_counter(
+            format!("dc{}.queue{idx}.in", self.dc.0),
+            handle.processed_counter(),
         );
         // Splice into the ring: the previous last queue now forwards to
         // the new one.
@@ -406,6 +440,11 @@ impl ChariotsDc {
             station,
             self.shutdown.clone(),
             format!("{}-filter-{idx}", self.dc),
+            self.tracer.stage("filter"),
+        );
+        self.registry.register_counter(
+            format!("dc{}.filter{idx}.in", self.dc.0),
+            handle.processed_counter(),
         );
         self.filter_ingresses.write().push(handle.ingress());
         self.filters.push(handle);
@@ -433,30 +472,54 @@ impl ChariotsDc {
     ) -> Result<chariots_types::MaintainerId> {
         let id = self.flstore.add_maintainer(boundary)?;
         *self.maintainer_registry.write() = self.flstore.maintainers().to_vec();
+        for (i, m) in self.flstore.maintainers().iter().enumerate() {
+            self.registry
+                .register_counter(format!("dc{}.store{i}.in", self.dc.0), m.appended_counter());
+        }
         Ok(id)
+    }
+
+    /// The datacenter's metrics registry. Stage throughput counters are
+    /// registered as `dc{N}.{stage}{i}.in`; the tracer keeps one
+    /// `dc{N}.{stage}.latency_us` histogram per pipeline stage.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The sampled record tracer stamping per-stage spans.
+    pub fn tracer(&self) -> &PipelineTracer {
+        &self.tracer
+    }
+
+    /// A point-in-time snapshot of every metric this datacenter owns:
+    /// the pipeline registry merged with the FLStore registry.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = self.registry.snapshot();
+        snap.merge(&self.flstore.metrics());
+        snap
     }
 
     /// Per-stage throughput counters: `(machine name, counter)` pairs for
     /// the bench harness (Tables 2–5, Fig. 9).
+    ///
+    /// A thin shim over [`registry`](Self::registry): each
+    /// `dc{N}.{stage}{i}.in` counter is reported under its legacy
+    /// `{stage}-{i}` name.
     pub fn stage_counters(&self) -> Vec<(String, Counter)> {
+        let prefix = format!("dc{}.", self.dc.0);
         let mut out = Vec::new();
-        for (i, b) in self.batchers.read().iter().enumerate() {
-            out.push((format!("batcher-{i}"), b.processed_counter()));
-        }
-        for (i, f) in self.filters.iter().enumerate() {
-            out.push((format!("filter-{i}"), f.processed_counter()));
-        }
-        for (i, q) in self.queues.iter().enumerate() {
-            out.push((format!("queue-{i}"), q.processed_counter()));
-        }
-        for (i, m) in self.flstore.maintainers().iter().enumerate() {
-            out.push((format!("store-{i}"), m.appended_counter()));
-        }
-        for (i, c) in self.sender_counters.iter().enumerate() {
-            out.push((format!("sender-{i}"), c.clone()));
-        }
-        for (i, c) in self.receiver_counters.iter().enumerate() {
-            out.push((format!("receiver-{i}"), c.clone()));
+        for (name, counter) in self.registry.counters() {
+            let Some(machine) = name
+                .strip_prefix(&prefix)
+                .and_then(|rest| rest.strip_suffix(".in"))
+            else {
+                continue;
+            };
+            let split = machine
+                .find(|c: char| c.is_ascii_digit())
+                .unwrap_or(machine.len());
+            let (stage, idx) = machine.split_at(split);
+            out.push((format!("{stage}-{idx}"), counter));
         }
         out
     }

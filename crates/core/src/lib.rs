@@ -57,9 +57,7 @@ pub use token::Token;
 mod cluster_tests {
     use super::*;
     use chariots_simnet::LinkConfig;
-    use chariots_types::{
-        ChariotsConfig, DatacenterId, LId, StageCounts, TOId, Tag, TagSet,
-    };
+    use chariots_types::{ChariotsConfig, DatacenterId, LId, StageCounts, TOId, Tag, TagSet};
     use std::time::{Duration, Instant};
 
     fn fast_cfg(n: usize) -> ChariotsConfig {
@@ -80,12 +78,9 @@ mod cluster_tests {
 
     #[test]
     fn single_dc_append_and_read() {
-        let cluster = ChariotsCluster::launch(
-            fast_cfg(1),
-            StageStations::default(),
-            LinkConfig::default(),
-        )
-        .unwrap();
+        let cluster =
+            ChariotsCluster::launch(fast_cfg(1), StageStations::default(), LinkConfig::default())
+                .unwrap();
         let mut client = cluster.client(DatacenterId(0));
         let (toid, _lid) = client.append(TagSet::new(), "first").unwrap();
         assert_eq!(toid, TOId(1));
@@ -113,8 +108,10 @@ mod cluster_tests {
             ChariotsCluster::launch(fast_cfg(2), StageStations::default(), fast_wan()).unwrap();
         let mut a = cluster.client(DatacenterId(0));
         let mut b = cluster.client(DatacenterId(1));
-        a.append(TagSet::new().with(Tag::key("from-a")), "hello B").unwrap();
-        b.append(TagSet::new().with(Tag::key("from-b")), "hello A").unwrap();
+        a.append(TagSet::new().with(Tag::key("from-a")), "hello B")
+            .unwrap();
+        b.append(TagSet::new().with(Tag::key("from-b")), "hello A")
+            .unwrap();
         assert!(
             cluster.wait_for_replication(2, Duration::from_secs(10)),
             "replication never converged"
@@ -238,8 +235,7 @@ mod cluster_tests {
     fn multi_machine_stages_work() {
         let mut cfg = fast_cfg(2);
         cfg.stages = StageCounts::uniform(2);
-        let cluster =
-            ChariotsCluster::launch(cfg, StageStations::default(), fast_wan()).unwrap();
+        let cluster = ChariotsCluster::launch(cfg, StageStations::default(), fast_wan()).unwrap();
         let mut a = cluster.client(DatacenterId(0));
         let mut b = cluster.client(DatacenterId(1));
         for i in 0..20 {
@@ -254,8 +250,7 @@ mod cluster_tests {
     fn gc_collects_fully_replicated_prefix() {
         let mut cfg = fast_cfg(2);
         cfg.gc_keep_records = None;
-        let cluster =
-            ChariotsCluster::launch(cfg, StageStations::default(), fast_wan()).unwrap();
+        let cluster = ChariotsCluster::launch(cfg, StageStations::default(), fast_wan()).unwrap();
         let mut a = cluster.client(DatacenterId(0));
         for i in 0..6 {
             a.append(TagSet::new(), format!("r{i}")).unwrap();
@@ -268,7 +263,10 @@ mod cluster_tests {
             if bound >= LId(6) {
                 break;
             }
-            assert!(Instant::now() < deadline, "GC bound never advanced: {bound}");
+            assert!(
+                Instant::now() < deadline,
+                "GC bound never advanced: {bound}"
+            );
             std::thread::sleep(Duration::from_millis(10));
         }
         let mut a2 = cluster.dc(DatacenterId(0)).flstore().client();
@@ -281,12 +279,9 @@ mod cluster_tests {
 
     #[test]
     fn elastic_batcher_addition_is_transparent() {
-        let mut cluster = ChariotsCluster::launch(
-            fast_cfg(1),
-            StageStations::default(),
-            LinkConfig::default(),
-        )
-        .unwrap();
+        let mut cluster =
+            ChariotsCluster::launch(fast_cfg(1), StageStations::default(), LinkConfig::default())
+                .unwrap();
         let mut client = cluster.client(DatacenterId(0));
         client.append(TagSet::new(), "before").unwrap();
         let idx = cluster.dc_mut(DatacenterId(0)).add_batcher();

@@ -2,7 +2,7 @@
 //! datacenters.
 
 use bytes::Bytes;
-use chariots_types::{DatacenterId, LId, Record, TOId, TagSet, VersionVector};
+use chariots_types::{DatacenterId, LId, Record, TOId, TagSet, TraceId, VersionVector};
 use crossbeam::channel::Sender;
 
 /// A locally originated append, not yet assigned a `TOId`.
@@ -24,6 +24,9 @@ pub struct LocalAppend {
     /// LId will be sent back to the Application client", §3). `None` for
     /// open-loop load generation.
     pub reply: Option<Sender<(TOId, LId)>>,
+    /// Observability: set on a sampled subset of appends so the pipeline
+    /// stages stamp per-stage enter/exit times for this record.
+    pub trace: Option<TraceId>,
 }
 
 /// One record entering the pipeline: either a fresh local append or a fully
@@ -43,6 +46,15 @@ impl Incoming {
         match self {
             Incoming::Local(l) => 16 + l.body.len() + l.deps.len() * 8,
             Incoming::External(r) => r.wire_size(),
+        }
+    }
+
+    /// The record's trace id, if this record is sampled for tracing.
+    #[inline]
+    pub fn trace(&self) -> Option<TraceId> {
+        match self {
+            Incoming::Local(l) => l.trace,
+            Incoming::External(r) => r.trace,
         }
     }
 }
@@ -67,8 +79,7 @@ pub struct PropagationMsg {
 impl PropagationMsg {
     /// Approximate wire size for bandwidth-modelled WAN links.
     pub fn wire_size(&self) -> usize {
-        8 + self.applied.len() * 8
-            + self.records.iter().map(Record::wire_size).sum::<usize>()
+        8 + self.applied.len() * 8 + self.records.iter().map(Record::wire_size).sum::<usize>()
     }
 }
 
@@ -97,12 +108,14 @@ mod tests {
             body: Bytes::from_static(b"x"),
             deps: VersionVector::new(2),
             reply: None,
+            trace: None,
         });
         let big = Incoming::Local(LocalAppend {
             tags: TagSet::new(),
             body: Bytes::from(vec![0u8; 512]),
             deps: VersionVector::new(2),
             reply: None,
+            trace: None,
         });
         assert!(big.wire_size() > small.wire_size());
     }

@@ -14,7 +14,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use chariots_simnet::{Counter, ServiceStation, Shutdown};
+use chariots_simnet::{Counter, ServiceStation, Shutdown, StageTracer};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::RwLock;
 
@@ -96,12 +96,15 @@ pub struct BatcherHandle {
     tx: Sender<Incoming>,
     station: Arc<ServiceStation>,
     processed: Counter,
+    tracer: StageTracer,
 }
 
 impl BatcherHandle {
-    /// Feeds one record into the batcher.
+    /// Feeds one record into the batcher. A traced record's batcher span
+    /// starts here, so it includes channel and buffer wait.
     pub fn send(&self, record: Incoming) -> bool {
         self.station.note_arrival(1);
+        self.tracer.enter(record.trace());
         self.tx.send(record).is_ok()
     }
 
@@ -126,6 +129,7 @@ pub fn spawn_batcher(
     station: Arc<ServiceStation>,
     shutdown: Shutdown,
     name: String,
+    tracer: StageTracer,
 ) -> (BatcherHandle, JoinHandle<()>) {
     let (tx, rx) = unbounded::<Incoming>();
     let processed = Counter::new();
@@ -133,6 +137,7 @@ pub fn spawn_batcher(
         tx,
         station: Arc::clone(&station),
         processed: processed.clone(),
+        tracer: tracer.clone(),
     };
     let thread = std::thread::Builder::new()
         .name(name)
@@ -145,19 +150,30 @@ pub fn spawn_batcher(
                 flush_interval,
                 &shutdown,
                 &processed,
+                &tracer,
             )
         })
         .expect("spawn batcher");
     (handle, thread)
 }
 
-fn send_to_filter(filters: &RwLock<Vec<FilterIngress>>, idx: usize, batch: Vec<Incoming>) {
+fn send_to_filter(
+    filters: &RwLock<Vec<FilterIngress>>,
+    idx: usize,
+    batch: Vec<Incoming>,
+    tracer: &StageTracer,
+) {
+    // The batcher span ends when the batch leaves for the filter.
+    for record in &batch {
+        tracer.exit(record.trace());
+    }
     let filters = filters.read();
     if let Some(f) = filters.get(idx) {
         f.send(batch);
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn batcher_loop(
     mut core: BatcherCore,
     rx: &Receiver<Incoming>,
@@ -166,6 +182,7 @@ fn batcher_loop(
     flush_interval: Duration,
     shutdown: &Shutdown,
     processed: &Counter,
+    tracer: &StageTracer,
 ) {
     let mut last_flush = Instant::now();
     loop {
@@ -179,13 +196,13 @@ fn batcher_loop(
                 }
                 processed.add(1);
                 if let Some((idx, batch)) = core.ingest(record) {
-                    send_to_filter(filters, idx, batch);
+                    send_to_filter(filters, idx, batch, tracer);
                 }
             }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => {
                 for (idx, batch) in core.flush_all() {
-                    send_to_filter(filters, idx, batch);
+                    send_to_filter(filters, idx, batch, tracer);
                 }
                 return;
             }
@@ -193,7 +210,7 @@ fn batcher_loop(
         if last_flush.elapsed() >= flush_interval {
             last_flush = Instant::now();
             for (idx, batch) in core.flush_all() {
-                send_to_filter(filters, idx, batch);
+                send_to_filter(filters, idx, batch, tracer);
             }
         }
     }
@@ -227,6 +244,7 @@ mod tests {
             body: Bytes::new(),
             deps: VersionVector::new(2),
             reply: None,
+            trace: None,
         })
     }
 
@@ -300,6 +318,7 @@ mod tests {
         let ingress = FilterIngress::from_parts(
             filter_tx,
             Arc::new(ServiceStation::new("f0", StationConfig::uncapped())),
+            StageTracer::disabled(),
         );
         let (handle, thread) = spawn_batcher(
             plan(1, 2),
@@ -309,6 +328,7 @@ mod tests {
             station,
             shutdown.clone(),
             "batcher-test".into(),
+            StageTracer::disabled(),
         );
         for i in 0..10 {
             assert!(handle.send(external(0, i + 1)));

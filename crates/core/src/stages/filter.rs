@@ -25,7 +25,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use chariots_simnet::{Counter, ServiceStation, Shutdown};
+use chariots_simnet::{Counter, ServiceStation, Shutdown, StageTracer};
 use chariots_types::{DatacenterId, Record, TOId};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::RwLock;
@@ -206,9 +206,7 @@ impl FilterCore {
             return out;
         }
         // Future record: park it (duplicates collapse on the key).
-        if champ.reorder.len() < max_reorder
-            && champ.reorder.insert(toid, external).is_some()
-        {
+        if champ.reorder.len() < max_reorder && champ.reorder.insert(toid, external).is_some() {
             self.duplicates_dropped += 1;
         }
         Vec::new()
@@ -222,17 +220,31 @@ impl FilterCore {
 pub struct FilterIngress {
     tx: Sender<Vec<Incoming>>,
     station: Arc<ServiceStation>,
+    tracer: StageTracer,
 }
 
 impl FilterIngress {
     /// Builds an ingress from raw parts (tests and custom wiring).
-    pub fn from_parts(tx: Sender<Vec<Incoming>>, station: Arc<ServiceStation>) -> Self {
-        FilterIngress { tx, station }
+    pub fn from_parts(
+        tx: Sender<Vec<Incoming>>,
+        station: Arc<ServiceStation>,
+        tracer: StageTracer,
+    ) -> Self {
+        FilterIngress {
+            tx,
+            station,
+            tracer,
+        }
     }
 
-    /// Enqueues a batch. Returns false when the filter is gone.
+    /// Enqueues a batch. Returns false when the filter is gone. A traced
+    /// record's filter span starts here, so it includes channel wait and
+    /// any time parked in the reorder buffer.
     pub fn send(&self, batch: Vec<Incoming>) -> bool {
         self.station.note_arrival(batch.len() as u64);
+        for record in &batch {
+            self.tracer.enter(record.trace());
+        }
         self.tx.send(batch).is_ok()
     }
 
@@ -248,6 +260,7 @@ pub struct FilterHandle {
     tx: Sender<Vec<Incoming>>,
     station: Arc<ServiceStation>,
     processed: Counter,
+    tracer: StageTracer,
 }
 
 impl FilterHandle {
@@ -256,6 +269,7 @@ impl FilterHandle {
         FilterIngress {
             tx: self.tx.clone(),
             station: Arc::clone(&self.station),
+            tracer: self.tracer.clone(),
         }
     }
 
@@ -279,6 +293,7 @@ pub fn spawn_filter(
     station: Arc<ServiceStation>,
     shutdown: Shutdown,
     name: String,
+    tracer: StageTracer,
 ) -> (FilterHandle, JoinHandle<()>) {
     let (tx, rx) = unbounded::<Vec<Incoming>>();
     let processed = Counter::new();
@@ -286,10 +301,11 @@ pub fn spawn_filter(
         tx,
         station: Arc::clone(&station),
         processed: processed.clone(),
+        tracer: tracer.clone(),
     };
     let thread = std::thread::Builder::new()
         .name(name)
-        .spawn(move || filter_loop(core, &rx, &queues, &station, &shutdown, &processed))
+        .spawn(move || filter_loop(core, &rx, &queues, &station, &shutdown, &processed, &tracer))
         .expect("spawn filter");
     (handle, thread)
 }
@@ -301,6 +317,7 @@ fn filter_loop(
     station: &ServiceStation,
     shutdown: &Shutdown,
     processed: &Counter,
+    tracer: &StageTracer,
 ) {
     let mut rr = 0usize;
     loop {
@@ -322,6 +339,11 @@ fn filter_loop(
             out.extend(core.ingest(record));
         }
         if !out.is_empty() {
+            // The filter span ends as releasable records leave for a
+            // queue — including records just released from reorder.
+            for record in &out {
+                tracer.exit(record.trace());
+            }
             let queues = queues.read();
             if queues.is_empty() {
                 continue;
@@ -447,7 +469,10 @@ mod tests {
         assert_eq!(toids(&f.ingest(Incoming::External(record(0, 1)))), vec![1]);
         assert_eq!(toids(&f.ingest(Incoming::External(record(1, 1)))), vec![1]);
         assert!(f.ingest(Incoming::External(record(1, 3))).is_empty());
-        assert_eq!(toids(&f.ingest(Incoming::External(record(1, 2)))), vec![2, 3]);
+        assert_eq!(
+            toids(&f.ingest(Incoming::External(record(1, 2)))),
+            vec![2, 3]
+        );
     }
 
     #[test]
@@ -470,6 +495,7 @@ mod tests {
             body: Bytes::new(),
             deps: VersionVector::new(2),
             reply: None,
+            trace: None,
         }));
         assert_eq!(out.len(), 1);
         assert!(matches!(out[0], Incoming::Local(_)));
@@ -477,8 +503,7 @@ mod tests {
 
     #[test]
     fn reorder_buffer_is_bounded() {
-        let mut f =
-            FilterCore::with_routing(0, FilterRouting::new(1, 2)).with_max_reorder(3);
+        let mut f = FilterCore::with_routing(0, FilterRouting::new(1, 2)).with_max_reorder(3);
         for toid in [5u64, 4, 3, 2] {
             f.ingest(Incoming::External(record(0, toid)));
         }

@@ -9,6 +9,11 @@ pub mod queue;
 pub mod receiver;
 pub mod sender;
 
+/// The pipeline stages in flow order, as named in metrics and traces:
+/// `dc{N}.{stage}.latency_us` histograms and `dc{N}.{stage}{i}.in` counters
+/// both draw from this list.
+pub const STAGE_NAMES: [&str; 6] = ["receiver", "batcher", "filter", "queue", "store", "sender"];
+
 pub use batcher::{spawn_batcher, BatcherCore, BatcherHandle};
 pub use filter::{spawn_filter, FilterCore, FilterHandle, FilterIngress, FilterRouting};
 pub use queue::{spawn_queue, QueueCore, QueueHandle, QueueIngress, QueueNodeConfig};

@@ -18,7 +18,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use chariots_simnet::{Counter, ServiceStation, Shutdown};
+use chariots_simnet::{Counter, ServiceStation, Shutdown, StageTracer};
 use chariots_types::{DatacenterId, Entry, MaintainerId, Record, RecordId};
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::{Mutex, RwLock};
@@ -121,8 +121,8 @@ impl QueueCore {
             for l in locals.drain(..) {
                 if token.applied.dominates(&l.deps) {
                     let (toid, lid) = token.assign_local(self.dc);
-                    let record =
-                        Record::new(RecordId::new(self.dc, toid), l.deps, l.tags, l.body);
+                    let record = Record::new(RecordId::new(self.dc, toid), l.deps, l.tags, l.body)
+                        .with_trace(l.trace);
                     if let Some(reply) = l.reply {
                         let _ = reply.send((toid, lid));
                     }
@@ -179,12 +179,17 @@ pub fn route_entries(
 pub struct QueueIngress {
     tx: Sender<Vec<Incoming>>,
     station: Arc<ServiceStation>,
+    tracer: StageTracer,
 }
 
 impl QueueIngress {
-    /// Enqueues a batch of releasable records.
+    /// Enqueues a batch of releasable records. A traced record's queue
+    /// span starts here, so it includes the wait for the token.
     pub fn send(&self, batch: Vec<Incoming>) -> bool {
         self.station.note_arrival(batch.len() as u64);
+        for record in &batch {
+            self.tracer.enter(record.trace());
+        }
         self.tx.send(batch).is_ok()
     }
 
@@ -202,6 +207,7 @@ pub struct QueueHandle {
     next_queue: Arc<Mutex<Sender<Token>>>,
     station: Arc<ServiceStation>,
     processed: Counter,
+    tracer: StageTracer,
 }
 
 impl QueueHandle {
@@ -210,6 +216,7 @@ impl QueueHandle {
         QueueIngress {
             tx: self.records_tx.clone(),
             station: Arc::clone(&self.station),
+            tracer: self.tracer.clone(),
         }
     }
 
@@ -259,6 +266,12 @@ pub struct QueueNodeConfig {
     pub next_queue: Arc<Mutex<Sender<Token>>>,
     /// Idle pause before passing on a token that found no work.
     pub idle_pause: Duration,
+    /// Queue-stage tracer: entered at ingress, exited when an entry is
+    /// assigned and routed to a maintainer.
+    pub tracer: StageTracer,
+    /// Store-stage tracer: a record's store span starts when the queue
+    /// hands it to a maintainer and ends when the maintainer persists it.
+    pub store_tracer: StageTracer,
 }
 
 /// Spawns a queue node. The caller supplies the token channel pair so the
@@ -280,6 +293,7 @@ pub fn spawn_queue(
         next_queue: Arc::clone(&cfg.next_queue),
         station: Arc::clone(&station),
         processed: processed.clone(),
+        tracer: cfg.tracer.clone(),
     };
     let thread = std::thread::Builder::new()
         .name(name)
@@ -339,6 +353,12 @@ fn queue_loop(
         let entries = core.process(&mut token);
         let assigned = entries.len() as u64;
         processed.add(assigned);
+        for e in &entries {
+            // The queue span ends at assignment; the store span opens as
+            // the entry leaves for its maintainer.
+            cfg.tracer.exit(e.record.trace);
+            cfg.store_tracer.enter(e.record.trace);
+        }
         route_entries(entries, &cfg.controller, &cfg.maintainers.read());
         cfg.atable.write().merge_row(cfg.dc, &token.applied);
         token.passes += 1;
@@ -375,6 +395,7 @@ mod tests {
             body: Bytes::new(),
             deps: VersionVector::from_entries(deps.into_iter().map(TOId).collect()),
             reply: None,
+            trace: None,
         }
     }
 
@@ -466,7 +487,10 @@ mod tests {
         assert_eq!(q.process(&mut token).len(), 1);
         // The same record arrives again (filter restarted, link duplicated…).
         q.stage(vec![Incoming::External(record(1, 1, vec![0, 0]))]);
-        assert!(q.process(&mut token).is_empty(), "exactly-once at the queue");
+        assert!(
+            q.process(&mut token).is_empty(),
+            "exactly-once at the queue"
+        );
         // And a duplicate of a *deferred* record collapses too.
         q.stage(vec![
             Incoming::External(record(1, 3, vec![0, 2])),

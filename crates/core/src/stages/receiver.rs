@@ -9,7 +9,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use chariots_simnet::{Counter, ServiceStation, Shutdown};
+use chariots_simnet::{Counter, PipelineTracer, ServiceStation, Shutdown};
 use crossbeam::channel::{Receiver, RecvTimeoutError};
 use parking_lot::RwLock;
 
@@ -27,12 +27,14 @@ pub fn spawn_receiver(
     station: Arc<ServiceStation>,
     shutdown: Shutdown,
     name: String,
+    tracer: PipelineTracer,
 ) -> (Counter, JoinHandle<()>) {
     let processed = Counter::new();
     let counter = processed.clone();
     let thread = std::thread::Builder::new()
         .name(name)
         .spawn(move || {
+            let stage = tracer.stage("receiver");
             let mut rr = 0usize;
             loop {
                 if shutdown.is_signaled() {
@@ -56,9 +58,16 @@ pub fn spawn_receiver(
                 if batchers.is_empty() {
                     continue;
                 }
+                let t0 = std::time::Instant::now();
                 for record in msg.records {
+                    // A foreign record's trace does not cross the WAN: this
+                    // datacenter re-samples it under its own tracer.
+                    let record = record.with_trace(tracer.sample());
                     rr = (rr + 1) % batchers.len();
                     batchers[rr].send(Incoming::External(record));
+                }
+                if n > 0 {
+                    stage.observe(t0.elapsed());
                 }
             }
         })
@@ -86,6 +95,7 @@ mod tests {
         let filter_ingress = crate::stages::filter::FilterIngress::from_parts(
             filter_tx,
             Arc::new(ServiceStation::new("f0", StationConfig::uncapped())),
+            chariots_simnet::StageTracer::disabled(),
         );
         let plan = Arc::new(RwLock::new(crate::routing_plan::RoutingPlan::new(
             FilterRouting::new(1, 2),
@@ -98,6 +108,7 @@ mod tests {
             Arc::new(ServiceStation::new("b0", StationConfig::uncapped())),
             shutdown.clone(),
             "batcher".into(),
+            chariots_simnet::StageTracer::disabled(),
         );
         let batchers = Arc::new(RwLock::new(vec![batcher]));
         let (wan_tx, wan_rx) = unbounded();
@@ -108,6 +119,7 @@ mod tests {
             station,
             shutdown.clone(),
             "receiver".into(),
+            PipelineTracer::disabled(),
         );
 
         let record = Record::new(

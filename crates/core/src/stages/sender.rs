@@ -17,7 +17,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use chariots_simnet::{Counter, LinkSender, ServiceStation, Shutdown};
+use chariots_simnet::{Counter, LinkSender, ServiceStation, Shutdown, StageTracer};
 use chariots_types::{DatacenterId, LId, Record, TOId};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -87,7 +87,10 @@ impl SenderNode {
             let at = self.atable.read();
             (
                 at.row(self.dc),
-                self.peers.iter().map(|(p, _)| at.get(*p, self.dc)).collect(),
+                self.peers
+                    .iter()
+                    .map(|(p, _)| at.get(*p, self.dc))
+                    .collect(),
             )
         };
         let mut sent = 0u64;
@@ -196,6 +199,7 @@ pub fn spawn_sender(
     station: Arc<ServiceStation>,
     shutdown: Shutdown,
     name: String,
+    tracer: StageTracer,
 ) -> (Counter, JoinHandle<()>) {
     let processed = Counter::new();
     let counter = processed.clone();
@@ -205,9 +209,13 @@ pub fn spawn_sender(
             if shutdown.is_signaled() {
                 return;
             }
+            let t0 = std::time::Instant::now();
             let sent = node.round(Some(&station));
             if sent > 0 {
                 processed.add(sent);
+                // Records ship in bulk, so the sender stage reports its
+                // round service time rather than per-record spans.
+                tracer.observe(t0.elapsed());
             }
             std::thread::sleep(interval);
         })
@@ -226,7 +234,11 @@ mod tests {
     /// Chariots way (pre-assigned entries).
     fn maintainer_with_local_records(
         n_records: u64,
-    ) -> (MaintainerHandle, Shutdown, Vec<std::thread::JoinHandle<MaintainerCore>>) {
+    ) -> (
+        MaintainerHandle,
+        Shutdown,
+        Vec<std::thread::JoinHandle<MaintainerCore>>,
+    ) {
         let shutdown = Shutdown::new();
         let journal = EpochJournal::new(RangeMap::new(1, 100));
         let core = MaintainerCore::new(MaintainerId(0), DatacenterId(0), journal);
@@ -241,10 +253,7 @@ mod tests {
         // Standalone appends: host == DC 0, TOId == LId+1.
         for i in 0..n_records {
             handle
-                .append(vec![AppendPayload::new(
-                    TagSet::new(),
-                    format!("r{i}"),
-                )])
+                .append(vec![AppendPayload::new(TagSet::new(), format!("r{i}"))])
                 .unwrap();
         }
         (handle, shutdown, vec![thread])

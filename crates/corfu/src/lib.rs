@@ -31,7 +31,7 @@ pub mod unit;
 
 use std::sync::Arc;
 
-use chariots_simnet::{Shutdown, StationConfig};
+use chariots_simnet::{Histogram, MetricsRegistry, MetricsSnapshot, Shutdown, StationConfig};
 use chariots_types::{ChariotsError, Result};
 
 pub use sequencer::{spawn_sequencer, SequencerHandle};
@@ -41,6 +41,7 @@ pub use unit::{StorageUnit, UnitSlot};
 pub struct CorfuLog {
     sequencer: SequencerHandle,
     units: Vec<Arc<StorageUnit>>,
+    registry: MetricsRegistry,
     shutdown: Shutdown,
     threads: Vec<std::thread::JoinHandle<()>>,
 }
@@ -57,12 +58,29 @@ impl CorfuLog {
         assert!(num_units > 0);
         let shutdown = Shutdown::new();
         let (sequencer, seq_thread) = spawn_sequencer(sequencer_station, shutdown.clone());
-        let units = (0..num_units)
+        let units: Vec<Arc<StorageUnit>> = (0..num_units)
             .map(|i| Arc::new(StorageUnit::new(i, unit_station.clone())))
             .collect();
+        let registry = MetricsRegistry::new("corfu");
+        registry.register_counter(
+            "corfu.sequencer.reservations",
+            sequencer.reservations_counter(),
+        );
+        for unit in &units {
+            registry.register_counter(
+                format!("corfu.unit{}.writes", unit.index()),
+                unit.writes_counter(),
+            );
+        }
+        // Create the latency histograms up front so an idle deployment
+        // still snapshots with the full metric set.
+        registry.histogram("corfu.append.latency_us");
+        registry.histogram("corfu.sequencer.latency_us");
+        registry.histogram("corfu.unit.write_latency_us");
         CorfuLog {
             sequencer,
             units,
+            registry,
             shutdown,
             threads: vec![seq_thread],
         }
@@ -73,7 +91,20 @@ impl CorfuLog {
         CorfuClient {
             sequencer: self.sequencer.clone(),
             units: self.units.clone(),
+            append_latency: self.registry.histogram("corfu.append.latency_us"),
+            sequencer_latency: self.registry.histogram("corfu.sequencer.latency_us"),
+            unit_write_latency: self.registry.histogram("corfu.unit.write_latency_us"),
         }
+    }
+
+    /// The deployment's metrics registry (`corfu.*` names).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// A point-in-time snapshot of the deployment's metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
     }
 
     /// The sequencer handle (bench instrumentation).
@@ -101,6 +132,9 @@ impl CorfuLog {
 pub struct CorfuClient {
     sequencer: SequencerHandle,
     units: Vec<Arc<StorageUnit>>,
+    append_latency: Histogram,
+    sequencer_latency: Histogram,
+    unit_write_latency: Histogram,
 }
 
 impl CorfuClient {
@@ -111,8 +145,13 @@ impl CorfuClient {
 
     /// Appends one record: one sequencer round trip, then a direct write.
     pub fn append(&self, data: Vec<u8>) -> Result<u64> {
+        let t0 = std::time::Instant::now();
         let pos = self.sequencer.reserve(1)?;
+        self.sequencer_latency.record_duration(t0.elapsed());
+        let t1 = std::time::Instant::now();
         self.unit_for(pos).write(pos, data)?;
+        self.unit_write_latency.record_duration(t1.elapsed());
+        self.append_latency.record_duration(t0.elapsed());
         Ok(pos)
     }
 
@@ -123,10 +162,16 @@ impl CorfuClient {
         if n == 0 {
             return self.sequencer.reserve(0);
         }
+        let t0 = std::time::Instant::now();
         let start = self.sequencer.reserve(n)?;
+        self.sequencer_latency.record_duration(t0.elapsed());
         for (i, data) in batch.into_iter().enumerate() {
-            self.unit_for(start + i as u64).write(start + i as u64, data)?;
+            let t1 = std::time::Instant::now();
+            self.unit_for(start + i as u64)
+                .write(start + i as u64, data)?;
+            self.unit_write_latency.record_duration(t1.elapsed());
         }
+        self.append_latency.record_duration(t0.elapsed());
         Ok(start)
     }
 
@@ -231,7 +276,10 @@ mod tests {
         let err = client.read(pos).unwrap_err();
         assert!(is_hole(&err), "expected a hole marker, got {err}");
         // The slot is write-once even after filling.
-        assert!(client.append(vec![1]).is_ok(), "log continues past the hole");
+        assert!(
+            client.append(vec![1]).is_ok(),
+            "log continues past the hole"
+        );
         log.shutdown();
     }
 }

@@ -121,10 +121,7 @@ mod tests {
     #[test]
     fn unwritten_reads_are_not_yet_available() {
         let u = StorageUnit::new(0, StationConfig::uncapped());
-        assert!(matches!(
-            u.read(9),
-            Err(ChariotsError::NotYetAvailable(_))
-        ));
+        assert!(matches!(u.read(9), Err(ChariotsError::NotYetAvailable(_))));
     }
 
     #[test]

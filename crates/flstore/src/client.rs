@@ -8,9 +8,7 @@
 //! specify LIds in the rules".
 
 use bytes::Bytes;
-use chariots_types::{
-    ChariotsError, Condition, Entry, LId, Limit, ReadRule, Result, TOId, TagSet,
-};
+use chariots_types::{ChariotsError, Condition, Entry, LId, Limit, ReadRule, Result, TOId, TagSet};
 
 use crate::controller::{Controller, Session};
 use crate::maintainer::AppendPayload;
@@ -79,8 +77,7 @@ impl FLStoreClient {
     /// `Append(in: record, tags)`).
     pub fn append(&mut self, tags: TagSet, body: impl Into<Bytes>) -> Result<(TOId, LId)> {
         let i = self.pick_maintainer()?;
-        let mut ids =
-            self.session.maintainers[i].append(vec![AppendPayload::new(tags, body)])?;
+        let mut ids = self.session.maintainers[i].append(vec![AppendPayload::new(tags, body)])?;
         Ok(ids.pop().expect("one payload, one id"))
     }
 
@@ -272,8 +269,14 @@ mod tests {
             })
             .collect();
         let got = apply_limit(entries.clone(), Limit::MostRecent(2));
-        assert_eq!(got.iter().map(|e| e.lid).collect::<Vec<_>>(), vec![LId(4), LId(3)]);
+        assert_eq!(
+            got.iter().map(|e| e.lid).collect::<Vec<_>>(),
+            vec![LId(4), LId(3)]
+        );
         let got = apply_limit(entries, Limit::Oldest(2));
-        assert_eq!(got.iter().map(|e| e.lid).collect::<Vec<_>>(), vec![LId(0), LId(1)]);
+        assert_eq!(
+            got.iter().map(|e| e.lid).collect::<Vec<_>>(),
+            vec![LId(0), LId(1)]
+        );
     }
 }

@@ -9,8 +9,8 @@
 
 use std::sync::Arc;
 
-use chariots_types::{DatacenterId, Epoch, LId, Result};
 use chariots_simnet::Counter;
+use chariots_types::{DatacenterId, Epoch, LId, Result};
 use parking_lot::RwLock;
 
 use crate::epoch::EpochJournal;
@@ -94,10 +94,7 @@ impl Controller {
     /// Approximate number of records in the shared log.
     pub fn approx_records(&self) -> u64 {
         let maintainers = { self.state.read().maintainers.clone() };
-        maintainers
-            .iter()
-            .map(|m| m.appended_counter().get())
-            .sum()
+        maintainers.iter().map(|m| m.appended_counter().get()).sum()
     }
 
     /// Announces a future reassignment (§6.3): records the new epoch in the

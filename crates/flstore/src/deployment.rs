@@ -6,14 +6,18 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use chariots_simnet::{
+    MetricsRegistry, MetricsSnapshot, ServiceStation, Shutdown, StageTracer, StationConfig,
+};
 use chariots_types::{DatacenterId, FLStoreConfig, LId, MaintainerId, Result};
-use chariots_simnet::{ServiceStation, Shutdown, StationConfig};
 
 use crate::client::FLStoreClient;
 use crate::controller::Controller;
 use crate::indexer::IndexerCore;
 use crate::maintainer::MaintainerCore;
-use crate::node::{spawn_indexer, spawn_maintainer, Fabric, IndexerHandle, MaintainerHandle};
+use crate::node::{
+    spawn_indexer, spawn_maintainer, Fabric, FabricObs, IndexerHandle, MaintainerHandle,
+};
 use crate::range::RangeMap;
 
 /// A running FLStore deployment: the §5 architecture inside one datacenter.
@@ -26,6 +30,7 @@ pub struct FLStore {
     indexers: Vec<IndexerHandle>,
     station_cfg: StationConfig,
     persist_dir: Option<PathBuf>,
+    registry: MetricsRegistry,
     shutdown: Shutdown,
     threads: Vec<JoinHandle<()>>,
 }
@@ -44,10 +49,13 @@ impl FLStore {
         station_cfg: StationConfig,
         persist_dir: Option<PathBuf>,
     ) -> Result<Self> {
-        cfg.validate().map_err(chariots_types::ChariotsError::InvalidConfig)?;
+        cfg.validate()
+            .map_err(chariots_types::ChariotsError::InvalidConfig)?;
         let initial = RangeMap::new(cfg.num_maintainers, cfg.batch_size);
         let controller = Controller::new(dc, initial);
-        let fabric = Fabric::new();
+        let prefix = format!("dc{}.flstore", dc.0);
+        let registry = MetricsRegistry::new(prefix.clone());
+        let fabric = Fabric::with_obs(FabricObs::registered(&registry, &prefix));
         let shutdown = Shutdown::new();
         let mut deployment = FLStore {
             cfg,
@@ -58,6 +66,7 @@ impl FLStore {
             indexers: Vec::new(),
             station_cfg,
             persist_dir,
+            registry,
             shutdown,
             threads: Vec::new(),
         };
@@ -65,8 +74,12 @@ impl FLStore {
         for i in 0..deployment.cfg.num_maintainers {
             deployment.spawn_maintainer_node(MaintainerId(i as u16))?;
         }
-        for _ in 0..deployment.cfg.num_indexers {
+        for i in 0..deployment.cfg.num_indexers {
             let (handle, thread) = spawn_indexer(IndexerCore::new(), deployment.shutdown.clone());
+            deployment.registry.register_counter(
+                format!("{}.indexer{i}.posted", deployment.registry.name()),
+                handle.posted_counter(),
+            );
             deployment.indexers.push(handle);
             deployment.threads.push(forget_result(thread));
         }
@@ -93,6 +106,10 @@ impl FLStore {
             self.cfg.gossip_interval,
             self.shutdown.clone(),
         );
+        self.registry.register_counter(
+            format!("{}.maintainer{}.appended", self.registry.name(), id.0),
+            handle.appended_counter(),
+        );
         self.maintainers.push(handle);
         self.threads.push(forget_result(thread));
         Ok(())
@@ -101,7 +118,8 @@ impl FLStore {
     fn rewire(&self) {
         self.fabric.set_peers(self.maintainers.clone());
         self.fabric.set_indexers(self.indexers.clone());
-        self.controller.register_maintainers(self.maintainers.clone());
+        self.controller
+            .register_maintainers(self.maintainers.clone());
         self.controller.register_indexers(self.indexers.clone());
     }
 
@@ -128,6 +146,22 @@ impl FLStore {
     /// The datacenter this deployment serves.
     pub fn datacenter(&self) -> DatacenterId {
         self.dc
+    }
+
+    /// The deployment's metrics registry (`dc{N}.flstore.*` names).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// A point-in-time snapshot of the deployment's metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Wires the Chariots store-stage tracer into the maintainer fabric so
+    /// persisted records close their store span (disabled by default).
+    pub fn set_store_tracer(&self, tracer: StageTracer) {
+        self.fabric.set_store_tracer(tracer);
     }
 
     /// Live elasticity (§6.3): adds a maintainer via *future reassignment*.

@@ -114,7 +114,9 @@ impl EpochJournal {
 
     /// The assignment with sequence number `epoch`, if it exists.
     pub fn by_epoch(&self, epoch: Epoch) -> Option<&EpochAssignment> {
-        self.epochs.get(epoch.0 as usize).filter(|e| e.epoch == epoch)
+        self.epochs
+            .get(epoch.0 as usize)
+            .filter(|e| e.epoch == epoch)
     }
 
     /// Exclusive upper bound of epoch `epoch`'s range (`None` for the
@@ -152,7 +154,7 @@ mod tests {
         // Before the boundary: 2-maintainer striping.
         assert_eq!(j.owner_of(LId(15)), MaintainerId(1));
         assert_eq!(j.owner_of(LId(99)), MaintainerId(1)); // round 9 % 2
-        // From the boundary: fresh 3-maintainer striping, relative to 100.
+                                                          // From the boundary: fresh 3-maintainer striping, relative to 100.
         assert_eq!(j.owner_of(LId(100)), MaintainerId(0));
         assert_eq!(j.owner_of(LId(110)), MaintainerId(1));
         assert_eq!(j.owner_of(LId(120)), MaintainerId(2));

@@ -155,7 +155,10 @@ mod tests {
         ix.post("k", None, LId(10));
         ix.post("k", None, LId(4));
         ix.post("k", None, LId(7));
-        assert_eq!(ix.lookup("k", None, Limit::All), vec![LId(4), LId(7), LId(10)]);
+        assert_eq!(
+            ix.lookup("k", None, Limit::All),
+            vec![LId(4), LId(7), LId(10)]
+        );
     }
 
     #[test]
@@ -168,10 +171,7 @@ mod tests {
             ix.lookup("k", None, Limit::MostRecent(3)),
             vec![LId(9), LId(8), LId(7)]
         );
-        assert_eq!(
-            ix.lookup("k", None, Limit::Oldest(2)),
-            vec![LId(0), LId(1)]
-        );
+        assert_eq!(ix.lookup("k", None, Limit::Oldest(2)), vec![LId(0), LId(1)]);
     }
 
     #[test]

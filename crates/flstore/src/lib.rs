@@ -65,7 +65,7 @@ pub use epoch::{EpochAssignment, EpochJournal};
 pub use gossip::HlVector;
 pub use indexer::{indexer_for, IndexerCore, Posting};
 pub use maintainer::{AppendPayload, MaintainerCore, MaintainerStats};
-pub use node::{Fabric, IndexerHandle, MaintainerHandle};
+pub use node::{Fabric, FabricObs, IndexerHandle, MaintainerHandle};
 pub use range::RangeMap;
 pub use wal::Wal;
 
@@ -163,10 +163,12 @@ mod deployment_tests {
         let hits = client2.read_rule(&rule).unwrap();
         let vals: Vec<i64> = hits
             .iter()
-            .map(|e| match e.record.tags.get("even").unwrap().value.as_ref().unwrap() {
-                TagValue::Int(v) => *v,
-                _ => panic!("int tag"),
-            })
+            .map(
+                |e| match e.record.tags.get("even").unwrap().value.as_ref().unwrap() {
+                    TagValue::Int(v) => *v,
+                    _ => panic!("int tag"),
+                },
+            )
             .collect();
         assert_eq!(vals.len(), 3, "6, 8, 10");
         assert!(vals.iter().all(|v| *v >= 6 && v % 2 == 0));
@@ -187,9 +189,9 @@ mod deployment_tests {
         // Future reassignment at position 16 (past the frontier of 8).
         store.add_maintainer(LId(16)).unwrap();
         let mut client = store.client(); // refreshed session sees 3 maintainers
-        // Keep appending: round-robin routing does not align exactly with
-        // per-maintainer slot capacity across the epoch boundary, so the
-        // Head of the Log advances as traffic flows, not per append count.
+                                         // Keep appending: round-robin routing does not align exactly with
+                                         // per-maintainer slot capacity across the epoch boundary, so the
+                                         // Head of the Log advances as traffic flows, not per append count.
         let deadline = Instant::now() + Duration::from_secs(5);
         let mut i = 0;
         while client.head_of_log().unwrap() < LId(24) {
@@ -211,10 +213,8 @@ mod deployment_tests {
 
     #[test]
     fn crash_recovery_from_wal_preserves_log() {
-        let dir = std::env::temp_dir().join(format!(
-            "chariots-flstore-recover-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("chariots-flstore-recover-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let cfg = FLStoreConfig::new()
             .maintainers(2)
@@ -499,7 +499,9 @@ mod client_semantics_tests {
         // Maintainer 0 has assigned nothing yet: its next position (0)
         // would violate the order without the bound.
         let mut second = store.client().with_routing(AppendRouting::Pinned(0));
-        let immediate = second.append_after(TagSet::new(), "later", first_lid).unwrap();
+        let immediate = second
+            .append_after(TagSet::new(), "later", first_lid)
+            .unwrap();
         match immediate {
             Some((_, lid)) => assert!(lid > first_lid),
             None => {

@@ -343,7 +343,7 @@ impl MaintainerCore {
             let member = self.id.index() < assignment.map.num_maintainers();
             match self.journal.slots_in_epoch(epoch, self.id) {
                 Some(cap) if prefix >= cap => continue, // epoch fully filled
-                None if !member => continue, // we own nothing in it
+                None if !member => continue,            // we own nothing in it
                 _ => return assignment.lid_for(self.id, prefix),
             }
         }
@@ -434,17 +434,17 @@ impl MaintainerCore {
                 Some(a) => *a,
                 None => break,
             };
-            let start_local = assignment
-                .local_index(self.id, from)
-                .unwrap_or_else(|| {
-                    // `from` is not one of our slots (or predates the
-                    // epoch): start from the first owned slot ≥ from.
-                    if from <= assignment.start {
-                        0
-                    } else {
-                        assignment.map.owned_below(self.id, from.0 - assignment.start.0)
-                    }
-                });
+            let start_local = assignment.local_index(self.id, from).unwrap_or_else(|| {
+                // `from` is not one of our slots (or predates the
+                // epoch): start from the first owned slot ≥ from.
+                if from <= assignment.start {
+                    0
+                } else {
+                    assignment
+                        .map
+                        .owned_below(self.id, from.0 - assignment.start.0)
+                }
+            });
             for (_, entry) in state.store.iter_from(start_local) {
                 if entry.lid >= from {
                     out.push(entry.clone());
@@ -522,7 +522,9 @@ mod tests {
         let mut m = core(1, 3, 10); // owns 10..19, 40..49, …
         let ids = m.append_batch(vec![payload("a"), payload("b")]).unwrap();
         assert_eq!(ids, vec![(TOId(11), LId(10)), (TOId(12), LId(11))]);
-        let ids = m.append_batch((0..8).map(|_| payload("x")).collect()).unwrap();
+        let ids = m
+            .append_batch((0..8).map(|_| payload("x")).collect())
+            .unwrap();
         assert_eq!(ids.last().unwrap().1, LId(19));
         // Next round skips to 40.
         let ids = m.append_batch(vec![payload("y")]).unwrap();
@@ -587,7 +589,8 @@ mod tests {
         assert_eq!(m.stats().deferred, 1);
         // Five appends exhaust round one (0..4); next position is 10 > 7,
         // so the waiter drains during the batch append.
-        m.append_batch((0..5).map(|_| payload("x")).collect()).unwrap();
+        m.append_batch((0..5).map(|_| payload("x")).collect())
+            .unwrap();
         assert_eq!(m.stats().deferred, 0);
         let e = m.read(LId(10), false).unwrap();
         assert_eq!(&e.record.body[..], b"later");
@@ -604,8 +607,14 @@ mod tests {
     #[test]
     fn min_bound_buffer_is_bounded() {
         let mut m = core(0, 2, 5).with_max_deferred(2);
-        assert!(m.append_min_bound(payload("1"), LId(100)).unwrap().is_none());
-        assert!(m.append_min_bound(payload("2"), LId(100)).unwrap().is_none());
+        assert!(m
+            .append_min_bound(payload("1"), LId(100))
+            .unwrap()
+            .is_none());
+        assert!(m
+            .append_min_bound(payload("2"), LId(100))
+            .unwrap()
+            .is_none());
         assert!(matches!(
             m.append_min_bound(payload("3"), LId(100)),
             Err(ChariotsError::Overloaded(_))
@@ -625,7 +634,10 @@ mod tests {
             ),
         );
         m.store_entries(vec![entry]).unwrap();
-        assert_eq!(m.read(LId(6), false).unwrap().record.host(), DatacenterId(1));
+        assert_eq!(
+            m.read(LId(6), false).unwrap().record.host(),
+            DatacenterId(1)
+        );
         let foreign = Entry::new(
             LId(2),
             Record::new(
@@ -664,7 +676,8 @@ mod tests {
     #[test]
     fn scan_from_returns_lid_ordered_entries() {
         let mut m = core(0, 2, 3); // owns 0,1,2,6,7,8
-        m.append_batch((0..5).map(|_| payload("x")).collect()).unwrap();
+        m.append_batch((0..5).map(|_| payload("x")).collect())
+            .unwrap();
         let all = m.scan_from(LId(0), 100);
         let lids: Vec<LId> = all.iter().map(|e| e.lid).collect();
         assert_eq!(lids, vec![LId(0), LId(1), LId(2), LId(6), LId(7)]);
@@ -679,9 +692,13 @@ mod tests {
     #[test]
     fn gc_collects_below_bound() {
         let mut m = core(0, 2, 3);
-        m.append_batch((0..4).map(|_| payload("x")).collect()).unwrap();
+        m.append_batch((0..4).map(|_| payload("x")).collect())
+            .unwrap();
         m.gc_before(LId(2));
-        assert!(matches!(m.read(LId(0), false), Err(ChariotsError::GarbageCollected(_))));
+        assert!(matches!(
+            m.read(LId(0), false),
+            Err(ChariotsError::GarbageCollected(_))
+        ));
         assert!(m.read(LId(2), false).is_ok());
         assert!(m.read(LId(6), false).is_ok());
     }
@@ -689,15 +706,20 @@ mod tests {
     #[test]
     fn epoch_reassignment_changes_future_appends() {
         let mut m = core(0, 1, 5); // alone: owns everything
-        m.append_batch((0..5).map(|_| payload("x")).collect()).unwrap();
+        m.append_batch((0..5).map(|_| payload("x")).collect())
+            .unwrap();
         // A second maintainer joins from position 10.
         m.announce_epoch(LId(10), RangeMap::new(2, 5));
         // Positions 5..9 are still epoch-0 (ours); fill them.
-        let ids = m.append_batch((0..5).map(|_| payload("y")).collect()).unwrap();
+        let ids = m
+            .append_batch((0..5).map(|_| payload("y")).collect())
+            .unwrap();
         assert_eq!(ids.last().unwrap().1, LId(9));
         // Next append lands in epoch 1 at relative 0 → global 10; we are
         // maintainer 0 so we own 10..14, then 20..24.
-        let ids = m.append_batch((0..6).map(|_| payload("z")).collect()).unwrap();
+        let ids = m
+            .append_batch((0..6).map(|_| payload("z")).collect())
+            .unwrap();
         assert_eq!(ids[0].1, LId(10));
         assert_eq!(ids[4].1, LId(14));
         assert_eq!(ids[5].1, LId(20));

@@ -6,10 +6,12 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use chariots_types::{
-    ChariotsError, Entry, LId, Limit, MaintainerId, Result, TOId, TagValue, ValuePredicate,
+use chariots_simnet::{
+    Counter, Gauge, Histogram, MetricsRegistry, ServiceStation, Shutdown, StageTracer,
 };
-use chariots_simnet::{Counter, ServiceStation, Shutdown};
+use chariots_types::{
+    ChariotsError, Entry, LId, Limit, MaintainerId, Result, TOId, TagValue, TraceId, ValuePredicate,
+};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::RwLock;
 
@@ -138,7 +140,11 @@ impl MaintainerHandle {
         self.station.note_arrival(1);
         let (reply, rx) = bounded(1);
         self.tx
-            .send(MaintainerRequest::AppendMinBound { payload, min, reply })
+            .send(MaintainerRequest::AppendMinBound {
+                payload,
+                min,
+                reply,
+            })
             .map_err(|_| ChariotsError::ShutDown)?;
         rx.recv().map_err(|_| ChariotsError::ShutDown)?
     }
@@ -196,7 +202,9 @@ impl MaintainerHandle {
 
     /// Announces a future reassignment to this maintainer.
     pub fn announce_epoch(&self, start: LId, map: RangeMap) {
-        let _ = self.tx.send(MaintainerRequest::AnnounceEpoch { start, map });
+        let _ = self
+            .tx
+            .send(MaintainerRequest::AnnounceEpoch { start, map });
     }
 
     /// Requests garbage collection below `before`.
@@ -225,19 +233,72 @@ impl MaintainerHandle {
     }
 }
 
+/// Shared observability instruments for one FLStore deployment. All
+/// fields are cheap shared handles; a default-constructed instance works
+/// standalone, while [`FabricObs::registered`] ties the instruments into a
+/// [`MetricsRegistry`] so they show up in snapshots.
+#[derive(Clone, Default, Debug)]
+pub struct FabricObs {
+    /// Service time of standalone `append_batch` calls.
+    pub append_latency: Histogram,
+    /// Service time of pre-routed `store_entries` calls.
+    pub store_latency: Histogram,
+    /// Gossip rounds initiated across all maintainers.
+    pub gossip_rounds: Counter,
+    /// Highest Head of the Log any maintainer has computed.
+    pub hl: Gauge,
+}
+
+impl FabricObs {
+    /// Instruments registered in `registry` as `{prefix}.append.latency_us`,
+    /// `{prefix}.store.latency_us`, `{prefix}.gossip.rounds`, and
+    /// `{prefix}.hl`.
+    pub fn registered(registry: &MetricsRegistry, prefix: &str) -> Self {
+        FabricObs {
+            append_latency: registry.histogram(&format!("{prefix}.append.latency_us")),
+            store_latency: registry.histogram(&format!("{prefix}.store.latency_us")),
+            gossip_rounds: registry.counter(&format!("{prefix}.gossip.rounds")),
+            hl: registry.gauge(&format!("{prefix}.hl")),
+        }
+    }
+
+    fn note_gossip(&self, hl: LId) {
+        self.gossip_rounds.add(1);
+        self.hl.raise_to(hl.0 as i64);
+    }
+}
+
 /// Wiring shared by all maintainers of one deployment: peer handles for
-/// gossip and indexer handles for tag postings. Registered after spawn
-/// (the topology is cyclic).
+/// gossip, indexer handles for tag postings, and observability instruments.
+/// Registered after spawn (the topology is cyclic).
 #[derive(Clone, Default)]
 pub struct Fabric {
     peers: Arc<RwLock<Vec<MaintainerHandle>>>,
     indexers: Arc<RwLock<Vec<IndexerHandle>>>,
+    obs: FabricObs,
+    /// The Chariots "store" stage tracer: exit stamps for traced records
+    /// once a maintainer persists them. Swappable because the owning
+    /// datacenter wires it after FLStore launches.
+    store_tracer: Arc<RwLock<StageTracer>>,
 }
 
 impl Fabric {
     /// An empty fabric.
     pub fn new() -> Self {
         Fabric::default()
+    }
+
+    /// A fabric reporting into `obs`.
+    pub fn with_obs(obs: FabricObs) -> Self {
+        Fabric {
+            obs,
+            ..Fabric::default()
+        }
+    }
+
+    /// The deployment's observability instruments.
+    pub fn obs(&self) -> &FabricObs {
+        &self.obs
     }
 
     /// Registers the full set of maintainer handles (gossip peers).
@@ -248,6 +309,21 @@ impl Fabric {
     /// Registers the indexer handles.
     pub fn set_indexers(&self, indexers: Vec<IndexerHandle>) {
         *self.indexers.write() = indexers;
+    }
+
+    /// Wires the Chariots store-stage tracer (disabled by default).
+    pub fn set_store_tracer(&self, tracer: StageTracer) {
+        *self.store_tracer.write() = tracer;
+    }
+
+    fn stamp_store_exits(&self, traced: &[TraceId]) {
+        if traced.is_empty() {
+            return;
+        }
+        let tracer = self.store_tracer.read();
+        for t in traced {
+            tracer.exit(Some(*t));
+        }
     }
 
     fn gossip(&self, from: MaintainerId, frontier: LId) {
@@ -349,8 +425,10 @@ fn maintainer_loop(
             let n = entries.len() as u64;
             if station.serve(n).is_ok() {
                 let postings = collect_tag_postings(&entries);
+                let traced: Vec<TraceId> = entries.iter().filter_map(|e| e.record.trace).collect();
                 if core.store_entries(entries).is_ok() {
                     appended.add(n);
+                    fabric.stamp_store_exits(&traced);
                     fabric.post_tags(postings);
                 }
             }
@@ -367,6 +445,7 @@ fn maintainer_loop(
             let _ = core.drain_deferred();
             let (from, frontier) = core.gossip_out();
             fabric.gossip(from, frontier);
+            fabric.obs().note_gossip(core.head_of_log());
         }
     }
 }
@@ -390,8 +469,10 @@ fn serve_request(
                 }
                 return;
             }
+            let t0 = std::time::Instant::now();
             let result = core.append_batch(payloads);
             if let Ok(assigned) = &result {
+                fabric.obs().append_latency.record_duration(t0.elapsed());
                 appended.add(assigned.len() as u64);
                 let postings: Vec<_> = assigned
                     .iter()
@@ -403,7 +484,11 @@ fn serve_request(
                 let _ = reply.send(result);
             }
         }
-        MaintainerRequest::AppendMinBound { payload, min, reply } => {
+        MaintainerRequest::AppendMinBound {
+            payload,
+            min,
+            reply,
+        } => {
             if let Err(e) = station.serve(1) {
                 let _ = reply.send(Err(e));
                 return;
@@ -426,8 +511,12 @@ fn serve_request(
                 return;
             }
             let postings = collect_tag_postings(&entries);
+            let traced: Vec<TraceId> = entries.iter().filter_map(|e| e.record.trace).collect();
+            let t0 = std::time::Instant::now();
             if core.store_entries(entries).is_ok() {
+                fabric.obs().store_latency.record_duration(t0.elapsed());
                 appended.add(n);
+                fabric.stamp_store_exits(&traced);
                 fabric.post_tags(postings);
             }
         }
@@ -497,11 +586,13 @@ pub enum IndexerRequest {
 #[derive(Clone)]
 pub struct IndexerHandle {
     tx: Sender<IndexerRequest>,
+    posted: Counter,
 }
 
 impl IndexerHandle {
     /// Posts one tag occurrence.
     pub fn post(&self, key: String, value: Option<TagValue>, lid: LId) {
+        self.posted.add(1);
         let _ = self.tx.send(IndexerRequest::Post {
             postings: vec![(key, value, lid)],
         });
@@ -509,7 +600,13 @@ impl IndexerHandle {
 
     /// Posts a batch of tag occurrences.
     pub fn post_batch(&self, postings: Vec<(String, Option<TagValue>, LId)>) {
+        self.posted.add(postings.len() as u64);
         let _ = self.tx.send(IndexerRequest::Post { postings });
+    }
+
+    /// Total tag postings sent through this handle (shared counter).
+    pub fn posted_counter(&self) -> Counter {
+        self.posted.clone()
     }
 
     /// Looks up positions carrying a tag.
@@ -543,32 +640,33 @@ pub fn spawn_indexer(
     shutdown: Shutdown,
 ) -> (IndexerHandle, JoinHandle<IndexerCore>) {
     let (tx, rx) = unbounded::<IndexerRequest>();
-    let handle = IndexerHandle { tx };
+    let handle = IndexerHandle {
+        tx,
+        posted: Counter::new(),
+    };
     let thread = std::thread::Builder::new()
         .name("indexer".into())
-        .spawn(move || {
-            loop {
-                if shutdown.is_signaled() {
-                    return core;
-                }
-                match rx.recv_timeout(Duration::from_millis(50)) {
-                    Ok(IndexerRequest::Post { postings }) => {
-                        for (key, value, lid) in postings {
-                            core.post(&key, value, lid);
-                        }
+        .spawn(move || loop {
+            if shutdown.is_signaled() {
+                return core;
+            }
+            match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(IndexerRequest::Post { postings }) => {
+                    for (key, value, lid) in postings {
+                        core.post(&key, value, lid);
                     }
-                    Ok(IndexerRequest::Lookup {
-                        key,
-                        predicate,
-                        limit,
-                        reply,
-                    }) => {
-                        let _ = reply.send(core.lookup(&key, predicate.as_ref(), limit));
-                    }
-                    Ok(IndexerRequest::Gc { before }) => core.gc_before(before),
-                    Err(RecvTimeoutError::Timeout) => continue,
-                    Err(RecvTimeoutError::Disconnected) => return core,
                 }
+                Ok(IndexerRequest::Lookup {
+                    key,
+                    predicate,
+                    limit,
+                    reply,
+                }) => {
+                    let _ = reply.send(core.lookup(&key, predicate.as_ref(), limit));
+                }
+                Ok(IndexerRequest::Gc { before }) => core.gc_before(before),
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return core,
             }
         })
         .expect("spawn indexer");
@@ -586,18 +684,20 @@ mod tests {
     fn launch_one(
         maintainers: usize,
         batch: u64,
-    ) -> (Vec<MaintainerHandle>, Fabric, Shutdown, Vec<JoinHandle<MaintainerCore>>) {
+    ) -> (
+        Vec<MaintainerHandle>,
+        Fabric,
+        Shutdown,
+        Vec<JoinHandle<MaintainerCore>>,
+    ) {
         let journal = EpochJournal::new(RangeMap::new(maintainers, batch));
         let fabric = Fabric::new();
         let shutdown = Shutdown::new();
         let mut handles = Vec::new();
         let mut threads = Vec::new();
         for i in 0..maintainers {
-            let core = MaintainerCore::new(
-                MaintainerId(i as u16),
-                DatacenterId(0),
-                journal.clone(),
-            );
+            let core =
+                MaintainerCore::new(MaintainerId(i as u16), DatacenterId(0), journal.clone());
             let station = Arc::new(ServiceStation::new(
                 format!("m{i}"),
                 StationConfig::uncapped(),
@@ -694,7 +794,10 @@ mod tests {
             if hits == vec![ids[0].1] {
                 break;
             }
-            assert!(std::time::Instant::now() < deadline, "posting never arrived");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "posting never arrived"
+            );
             std::thread::sleep(Duration::from_millis(5));
         }
         shutdown.signal();

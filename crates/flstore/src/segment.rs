@@ -99,7 +99,8 @@ impl SegmentStore {
         let seg_base = local_idx / self.segment_size as u64 * self.segment_size as u64;
         if self.segments.is_empty() {
             self.first_base = seg_base;
-            self.segments.push_back(Segment::new(seg_base, self.segment_size));
+            self.segments
+                .push_back(Segment::new(seg_base, self.segment_size));
         }
         // Out-of-order inserts may land before the first materialized
         // segment (but never below the GC floor, checked by the caller).
@@ -111,7 +112,8 @@ impl SegmentStore {
         // Extend forward as needed.
         while self.segments.back().expect("nonempty").base < seg_base {
             let next_base = self.segments.back().unwrap().base + self.segment_size as u64;
-            self.segments.push_back(Segment::new(next_base, self.segment_size));
+            self.segments
+                .push_back(Segment::new(next_base, self.segment_size));
         }
         let seg_idx = ((seg_base - self.first_base) / self.segment_size as u64) as usize;
         &mut self.segments[seg_idx]

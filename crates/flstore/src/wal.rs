@@ -15,8 +15,8 @@ use std::path::{Path, PathBuf};
 
 use bytes::Bytes;
 use chariots_types::{
-    ChariotsError, DatacenterId, Entry, LId, Record, RecordId, Result, TOId, Tag, TagSet,
-    TagValue, VersionVector,
+    ChariotsError, DatacenterId, Entry, LId, Record, RecordId, Result, TOId, Tag, TagSet, TagValue,
+    VersionVector,
 };
 
 /// CRC-32 (IEEE 802.3) lookup table, built at compile time.
@@ -27,7 +27,11 @@ const CRC_TABLE: [u32; 256] = {
         let mut c = i as u32;
         let mut k = 0;
         while k < 8 {
-            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
             k += 1;
         }
         table[i] = c;
@@ -107,9 +111,8 @@ impl<'a> Cursor<'a> {
             .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
     fn u64(&mut self) -> Option<u64> {
-        self.take(8).map(|b| {
-            u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
-        })
+        self.take(8)
+            .map(|b| u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
     }
     fn i64(&mut self) -> Option<i64> {
         self.u64().map(|v| v as i64)
@@ -367,8 +370,7 @@ mod tests {
 
     #[test]
     fn replay_stops_at_corrupt_frame_but_keeps_prefix() {
-        let dir =
-            std::env::temp_dir().join(format!("chariots-wal-corrupt-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("chariots-wal-corrupt-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("corrupt.wal");
         let _ = std::fs::remove_file(&path);
@@ -394,8 +396,7 @@ mod tests {
 
     #[test]
     fn append_after_reopen_extends_log() {
-        let dir =
-            std::env::temp_dir().join(format!("chariots-wal-reopen-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("chariots-wal-reopen-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("reopen.wal");
         let _ = std::fs::remove_file(&path);

@@ -41,8 +41,7 @@ use std::time::{Duration, Instant};
 
 use chariots_core::{ATable, ChariotsClient, ChariotsDc};
 use chariots_types::{
-    ChariotsError, DatacenterId, LId, RecordId, Result, TOId, Tag, TagSet,
-    VersionVector,
+    ChariotsError, DatacenterId, LId, RecordId, Result, TOId, Tag, TagSet, VersionVector,
 };
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
@@ -458,7 +457,10 @@ mod tests {
             if va.is_some() && va == vb {
                 break;
             }
-            assert!(Instant::now() < deadline, "managers disagree: {va:?} vs {vb:?}");
+            assert!(
+                Instant::now() < deadline,
+                "managers disagree: {va:?} vs {vb:?}"
+            );
             std::thread::sleep(Duration::from_millis(3));
         }
         cluster.shutdown();

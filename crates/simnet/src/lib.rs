@@ -13,8 +13,12 @@
 //!   (partitions, drops, duplication) for WAN and intra-DC hops.
 //! * [`pacing`] — precise sleeps and the open-loop [`RateLimiter`] used by
 //!   target-throughput load generators.
-//! * [`metrics`] — counters, throughput meters, and the time-series sampler
-//!   behind Fig. 9.
+//! * [`metrics`] — counters, gauges, log-bucketed latency histograms, the
+//!   time-series sampler behind Fig. 9, and the named [`MetricsRegistry`]
+//!   whose [`MetricsSnapshot`] the bench harness dumps as JSON.
+//! * [`trace`] — sampled per-record tracing: a [`PipelineTracer`] stamps
+//!   [`TraceId`](chariots_types::TraceId)s on records and stages record
+//!   enter/exit times through [`StageTracer`]s.
 //! * [`shutdown`] — cooperative worker shutdown.
 //!
 //! ```
@@ -41,9 +45,14 @@ pub mod metrics;
 pub mod pacing;
 pub mod shutdown;
 pub mod station;
+pub mod trace;
 
 pub use link::{Link, LinkConfig, LinkHandle, LinkSender};
-pub use metrics::{sample_until, Counter, Series, ThroughputMeter, TimeSeries};
+pub use metrics::{
+    sample_until, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+    Series, ThroughputMeter, TimeSeries,
+};
 pub use pacing::{sleep_until, RateLimiter};
 pub use shutdown::Shutdown;
 pub use station::{ServiceStation, StationConfig};
+pub use trace::{PipelineTracer, StageTracer};

@@ -1,0 +1,98 @@
+//! Shared counters and throughput meters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cheap shared counter (relaxed atomics; readers tolerate slight skew).
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Measures average throughput of a [`Counter`] over a wall-clock window.
+#[derive(Debug)]
+pub struct ThroughputMeter {
+    counter: Counter,
+    started: Instant,
+    start_value: u64,
+}
+
+impl ThroughputMeter {
+    /// Starts measuring `counter` from its current value.
+    pub fn start(counter: Counter) -> Self {
+        let start_value = counter.get();
+        ThroughputMeter {
+            counter,
+            started: Instant::now(),
+            start_value,
+        }
+    }
+
+    /// Units counted since the meter started.
+    pub fn count(&self) -> u64 {
+        self.counter.get() - self.start_value
+    }
+
+    /// Average rate (units/second) since the meter started.
+    pub fn rate(&self) -> f64 {
+        let elapsed = self.started.elapsed().as_secs_f64();
+        if elapsed == 0.0 {
+            0.0
+        } else {
+            self.count() as f64 / elapsed
+        }
+    }
+
+    /// Elapsed time since the meter started.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.add(3);
+        c.add(4);
+        assert_eq!(c.get(), 7);
+        let c2 = c.clone(); // clones share the value
+        c2.add(1);
+        assert_eq!(c.get(), 8);
+    }
+
+    #[test]
+    fn meter_measures_rate() {
+        let c = Counter::new();
+        c.add(100); // before the meter starts: excluded
+        let meter = ThroughputMeter::start(c.clone());
+        c.add(500);
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(meter.count(), 500);
+        let rate = meter.rate();
+        assert!(rate > 0.0 && rate <= 500.0 / 0.05, "rate {rate}");
+    }
+}

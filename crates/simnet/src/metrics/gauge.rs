@@ -1,0 +1,60 @@
+//! Point-in-time gauges.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// A shared point-in-time value (e.g. a queue depth or the head of the
+/// log). Relaxed atomics; readers tolerate slight skew.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (monotone watermark).
+    #[inline]
+    pub fn raise_to(&self, v: i64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauge_sets_adds_and_raises() {
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+        let g2 = g.clone(); // clones share the value
+        g2.raise_to(5); // below current: no-op
+        assert_eq!(g.get(), 7);
+        g2.raise_to(42);
+        assert_eq!(g.get(), 42);
+    }
+}

@@ -1,0 +1,343 @@
+//! Lock-free log-bucketed histograms with fixed percentiles.
+//!
+//! Values are bucketed into octaves of 8 sub-buckets each (values below 8
+//! are exact), bounding the relative quantile error at 1/8 = 12.5% while
+//! keeping the whole `u64` range in 496 buckets. Recording is a single
+//! relaxed `fetch_add`; merging is an elementwise add, so merge is
+//! commutative and associative by construction.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// log2 of the sub-buckets per octave.
+const SUB_BITS: u32 = 3;
+/// Sub-buckets per octave.
+const SUB: usize = 1 << SUB_BITS;
+/// Octaves above the exact range (`msb` from `SUB_BITS` to 63).
+const OCTAVES: usize = 64 - SUB_BITS as usize;
+/// Total bucket count covering all of `u64`.
+pub(crate) const NUM_BUCKETS: usize = SUB + OCTAVES * SUB;
+
+/// Bucket index for a value: exact below [`SUB`], then
+/// `8 + octave*8 + sub` where `sub` is the 3 bits below the MSB.
+#[inline]
+pub(crate) fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let octave = (msb - SUB_BITS) as usize;
+        let sub = ((v >> (msb - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+        SUB + octave * SUB + sub
+    }
+}
+
+/// Inclusive `(lower, upper)` value bounds of bucket `idx`.
+pub(crate) fn bucket_bounds(idx: usize) -> (u64, u64) {
+    if idx < SUB {
+        return (idx as u64, idx as u64);
+    }
+    let octave = ((idx - SUB) / SUB) as u32;
+    let sub = ((idx - SUB) % SUB) as u64;
+    let msb = octave + SUB_BITS;
+    let width = 1u64 << (msb - SUB_BITS);
+    let lower = (1u64 << msb) + sub * width;
+    (lower, lower + (width - 1))
+}
+
+#[derive(Debug)]
+struct Inner {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A shared, lock-free histogram of `u64` samples (typically latencies in
+/// microseconds). Clones share the same buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<Inner>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            inner: Arc::new(Inner {
+                buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let i = &self.inner;
+        i.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        i.count.fetch_add(1, Ordering::Relaxed);
+        i.sum.fetch_add(v, Ordering::Relaxed);
+        i.min.fetch_min(v, Ordering::Relaxed);
+        i.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration as whole microseconds.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        let m = self.inner.min.load(Ordering::Relaxed);
+        if m == u64::MAX {
+            0
+        } else {
+            m
+        }
+    }
+
+    /// Largest sample, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.inner.max.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0.0 < q <= 1.0`): the upper bound of the bucket
+    /// holding the ⌈q·count⌉-th smallest sample, so the estimate is never
+    /// below the exact value and at most one bucket width above it.
+    /// Returns 0 for an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cum = 0u64;
+        for (idx, b) in self.inner.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= rank {
+                return bucket_bounds(idx).1.min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Adds all of `other`'s buckets into `self` (elementwise, so merging
+    /// is commutative and associative).
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.inner.buckets.iter().zip(other.inner.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.inner.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.inner.sum.fetch_add(other.sum(), Ordering::Relaxed);
+        if other.count() > 0 {
+            self.inner
+                .min
+                .fetch_min(other.inner.min.load(Ordering::Relaxed), Ordering::Relaxed);
+            self.inner.max.fetch_max(other.max(), Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time summary (count, sum, min/max, p50/p95/p99).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.percentile(0.50),
+            p95: self.percentile(0.95),
+            p99: self.percentile(0.99),
+        }
+    }
+}
+
+/// Serializable summary of a [`Histogram`]. Units are whatever was
+/// recorded (microseconds for the pipeline's latency histograms).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 if empty).
+    pub min: u64,
+    /// Largest sample (0 if empty).
+    pub max: u64,
+    /// Median (upper bucket bound; ≤ 12.5% above exact).
+    pub p50: u64,
+    /// 95th percentile (upper bucket bound).
+    pub p95: u64,
+    /// 99th percentile (upper bucket bound).
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..8 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 7);
+        assert_eq!(h.percentile(0.5), 3);
+        assert_eq!(h.percentile(1.0), 7);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        let s = h.snapshot();
+        assert_eq!(
+            s,
+            HistogramSnapshot {
+                count: 0,
+                sum: 0,
+                min: 0,
+                max: 0,
+                p50: 0,
+                p95: 0,
+                p99: 0
+            }
+        );
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn buckets_partition_the_u64_range() {
+        // Every bucket's bounds are consistent with bucket_index, and
+        // consecutive buckets tile the range without gaps.
+        let mut expected_lower = 0u64;
+        for idx in 0..NUM_BUCKETS {
+            let (lo, hi) = bucket_bounds(idx);
+            assert_eq!(lo, expected_lower, "bucket {idx} lower bound");
+            assert!(hi >= lo);
+            assert_eq!(bucket_index(lo), idx);
+            assert_eq!(bucket_index(hi), idx);
+            if hi == u64::MAX {
+                assert_eq!(idx, NUM_BUCKETS - 1);
+                return;
+            }
+            expected_lower = hi + 1;
+        }
+        panic!("buckets did not cover u64::MAX");
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let h = Histogram::new();
+        h.record(100);
+        h.record(200);
+        let json = serde_json::to_string(&h.snapshot()).unwrap();
+        let back: HistogramSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h.snapshot());
+        assert_eq!(back.count, 2);
+    }
+
+    /// Exact percentile of sorted samples: the ⌈q·n⌉-th smallest.
+    fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    proptest! {
+        #[test]
+        fn percentiles_within_one_bucket_of_exact(
+            values in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+            q in 0.01f64..1.0,
+        ) {
+            let h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            let exact = exact_percentile(&sorted, q);
+            let est = h.percentile(q);
+            // The estimate is the upper bound of the exact value's bucket
+            // (clamped to the observed max): never below exact, and at
+            // most one bucket width above.
+            let (lo, hi) = bucket_bounds(bucket_index(exact));
+            prop_assert!(est >= exact, "est {est} < exact {exact}");
+            prop_assert!(
+                est <= exact + (hi - lo),
+                "est {est} more than a bucket above exact {exact} (bucket {lo}..={hi})"
+            );
+        }
+
+        #[test]
+        fn merge_is_associative_and_commutative(
+            a in proptest::collection::vec(0u64..1_000_000, 0..100),
+            b in proptest::collection::vec(0u64..1_000_000, 0..100),
+            c in proptest::collection::vec(0u64..1_000_000, 0..100),
+        ) {
+            let fill = |vals: &[u64]| {
+                let h = Histogram::new();
+                for &v in vals {
+                    h.record(v);
+                }
+                h
+            };
+            // (a ⊕ b) ⊕ c
+            let left = fill(&a);
+            left.merge_from(&fill(&b));
+            left.merge_from(&fill(&c));
+            // a ⊕ (b ⊕ c)
+            let bc = fill(&b);
+            bc.merge_from(&fill(&c));
+            let right = fill(&a);
+            right.merge_from(&bc);
+            prop_assert_eq!(left.snapshot(), right.snapshot());
+            // b ⊕ a == a ⊕ b
+            let ab = fill(&a);
+            ab.merge_from(&fill(&b));
+            let ba = fill(&b);
+            ba.merge_from(&fill(&a));
+            prop_assert_eq!(ab.snapshot(), ba.snapshot());
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Observability primitives: counters, gauges, log-bucketed histograms,
+//! the time-series sampler behind the paper's Fig. 9, and a named
+//! [`MetricsRegistry`] whose [`MetricsSnapshot`] serializes to JSON.
+//!
+//! Naming scheme (see `DESIGN.md` §Observability): per-machine counters
+//! are `dc{N}.{stage}{i}.in`, per-stage latency histograms are
+//! `dc{N}.{stage}.latency_us`, and FLStore internals live under
+//! `dc{N}.flstore.*`. Everything here is lock-free on the hot path —
+//! registries take a lock only at get-or-create and snapshot time.
+
+mod counter;
+mod gauge;
+mod histogram;
+mod registry;
+mod sampler;
+
+pub use counter::{Counter, ThroughputMeter};
+pub use gauge::Gauge;
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use registry::{MetricsRegistry, MetricsSnapshot};
+pub use sampler::{sample_until, Series, TimeSeries};

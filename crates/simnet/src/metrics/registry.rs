@@ -1,0 +1,222 @@
+//! Named metric registries and serializable snapshots.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use super::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A named collection of counters, gauges, and histograms. Clones share
+/// the same metrics; lookup/creation takes a lock, but the returned
+/// handles are lock-free, so hot paths hold a handle rather than the
+/// registry.
+#[derive(Debug, Clone)]
+pub struct MetricsRegistry {
+    name: Arc<String>,
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry named `name` (e.g. `"dc0"`).
+    pub fn new(name: impl Into<String>) -> Self {
+        MetricsRegistry {
+            name: Arc::new(name.into()),
+            inner: Arc::new(RwLock::new(Inner::default())),
+        }
+    }
+
+    /// The registry's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns the counter named `name`, creating it if absent.
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(c) = self.inner.read().counters.get(name) {
+            return c.clone();
+        }
+        self.inner
+            .write()
+            .counters
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Returns the gauge named `name`, creating it if absent.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(g) = self.inner.read().gauges.get(name) {
+            return g.clone();
+        }
+        self.inner
+            .write()
+            .gauges
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Returns the histogram named `name`, creating it if absent.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        if let Some(h) = self.inner.read().histograms.get(name) {
+            return h.clone();
+        }
+        self.inner
+            .write()
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Registers an externally created counter under `name` (replacing any
+    /// previous counter with that name).
+    pub fn register_counter(&self, name: impl Into<String>, counter: Counter) {
+        self.inner.write().counters.insert(name.into(), counter);
+    }
+
+    /// All registered counters, sorted by name.
+    pub fn counters(&self) -> Vec<(String, Counter)> {
+        self.inner
+            .read()
+            .counters
+            .iter()
+            .map(|(n, c)| (n.clone(), c.clone()))
+            .collect()
+    }
+
+    /// A point-in-time, serializable view of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.read();
+        MetricsSnapshot {
+            name: (*self.name).clone(),
+            counters: inner
+                .counters
+                .iter()
+                .map(|(n, c)| (n.clone(), c.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(n, g)| (n.clone(), g.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(n, h)| (n.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A serializable point-in-time view of a [`MetricsRegistry`] (or of
+/// several registries merged together).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// The registry (or merged view) this snapshot came from.
+    pub name: String,
+    /// Counter values by metric name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by metric name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram summaries by metric name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot named `name` — a seed for [`merge`](Self::merge).
+    pub fn empty(name: impl Into<String>) -> Self {
+        MetricsSnapshot {
+            name: name.into(),
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        }
+    }
+
+    /// Folds `other` into `self`. Metric names are expected to be
+    /// disjoint (each registry prefixes its names with its scope); on a
+    /// clash, counters add, gauges take `other`'s value, and the
+    /// histogram summary with more samples wins (summaries cannot be
+    /// merged exactly — merge live [`super::Histogram`]s for that).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            self.gauges.insert(name.clone(), *v);
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.get(name) {
+                Some(existing) if existing.count >= h.count => {}
+                _ => {
+                    self.histograms.insert(name.clone(), h.clone());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_shared_handles() {
+        let reg = MetricsRegistry::new("dc0");
+        reg.counter("dc0.batcher0.in").add(5);
+        assert_eq!(reg.counter("dc0.batcher0.in").get(), 5);
+        reg.gauge("dc0.flstore.hl").set(9);
+        assert_eq!(reg.gauge("dc0.flstore.hl").get(), 9);
+        reg.histogram("dc0.queue.latency_us").record(42);
+        assert_eq!(reg.histogram("dc0.queue.latency_us").count(), 1);
+    }
+
+    #[test]
+    fn register_counter_adopts_external_counter() {
+        let reg = MetricsRegistry::new("dc0");
+        let c = Counter::new();
+        c.add(3);
+        reg.register_counter("dc0.store0.in", c.clone());
+        assert_eq!(reg.counter("dc0.store0.in").get(), 3);
+        c.add(1);
+        assert_eq!(reg.snapshot().counters["dc0.store0.in"], 4);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let reg = MetricsRegistry::new("dc0");
+        reg.counter("c").add(7);
+        reg.gauge("g").set(-2);
+        reg.histogram("h").record(1000);
+        let snap = reg.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn merge_combines_disjoint_and_sums_clashing_counters() {
+        let a = MetricsRegistry::new("dc0");
+        a.counter("dc0.batcher0.in").add(10);
+        let b = MetricsRegistry::new("dc1");
+        b.counter("dc1.batcher0.in").add(20);
+        b.counter("dc0.batcher0.in").add(1); // clash: sums
+        b.histogram("dc1.queue.latency_us").record(5);
+        let mut merged = MetricsSnapshot::empty("cluster");
+        merged.merge(&a.snapshot());
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counters["dc0.batcher0.in"], 11);
+        assert_eq!(merged.counters["dc1.batcher0.in"], 20);
+        assert_eq!(merged.histograms["dc1.queue.latency_us"].count, 1);
+    }
+}

@@ -1,74 +1,8 @@
-//! Lightweight metrics: shared counters, throughput meters, and the
-//! time-series sampler behind the paper's Fig. 9.
+//! The time-series sampler behind the paper's Fig. 9.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// A cheap shared counter (relaxed atomics; readers tolerate slight skew).
-#[derive(Debug, Clone, Default)]
-pub struct Counter {
-    value: Arc<AtomicU64>,
-}
-
-impl Counter {
-    /// A counter at zero.
-    pub fn new() -> Self {
-        Counter::default()
-    }
-
-    /// Adds `n`.
-    #[inline]
-    pub fn add(&self, n: u64) {
-        self.value.fetch_add(n, Ordering::Relaxed);
-    }
-
-    /// Current value.
-    #[inline]
-    pub fn get(&self) -> u64 {
-        self.value.load(Ordering::Relaxed)
-    }
-}
-
-/// Measures average throughput of a [`Counter`] over a wall-clock window.
-#[derive(Debug)]
-pub struct ThroughputMeter {
-    counter: Counter,
-    started: Instant,
-    start_value: u64,
-}
-
-impl ThroughputMeter {
-    /// Starts measuring `counter` from its current value.
-    pub fn start(counter: Counter) -> Self {
-        let start_value = counter.get();
-        ThroughputMeter {
-            counter,
-            started: Instant::now(),
-            start_value,
-        }
-    }
-
-    /// Units counted since the meter started.
-    pub fn count(&self) -> u64 {
-        self.counter.get() - self.start_value
-    }
-
-    /// Average rate (units/second) since the meter started.
-    pub fn rate(&self) -> f64 {
-        let elapsed = self.started.elapsed().as_secs_f64();
-        if elapsed == 0.0 {
-            0.0
-        } else {
-            self.count() as f64 / elapsed
-        }
-    }
-
-    /// Elapsed time since the meter started.
-    pub fn elapsed(&self) -> Duration {
-        self.started.elapsed()
-    }
-}
+use super::Counter;
 
 /// One named series of per-interval counts (for Fig. 9-style plots).
 #[derive(Debug, Clone, PartialEq)]
@@ -80,9 +14,13 @@ pub struct Series {
 }
 
 impl Series {
-    /// Converts per-interval deltas into rates (units/second).
+    /// Converts per-interval deltas into rates (units/second). A zero
+    /// `interval` yields all-zero rates rather than `inf`/NaN.
     pub fn rates(&self, interval: Duration) -> Vec<f64> {
         let secs = interval.as_secs_f64();
+        if secs == 0.0 {
+            return vec![0.0; self.deltas.len()];
+        }
         self.deltas.iter().map(|&d| d as f64 / secs).collect()
     }
 }
@@ -98,7 +36,9 @@ pub struct TimeSeries {
 
 /// Samples a set of named counters every `interval` until `stop` returns
 /// true, producing per-interval deltas. Runs inline on the calling thread
-/// (spawn one if concurrency is needed).
+/// (spawn one if concurrency is needed). A counter that resets or is
+/// replaced mid-run contributes a zero delta for that tick (saturating),
+/// not a panic.
 pub fn sample_until(
     counters: &[(String, Counter)],
     interval: Duration,
@@ -118,7 +58,7 @@ pub fn sample_until(
         next_tick += interval;
         for (i, (_, c)) in counters.iter().enumerate() {
             let now = c.get();
-            series[i].deltas.push(now - last[i]);
+            series[i].deltas.push(now.saturating_sub(last[i]));
             last[i] = now;
         }
     }
@@ -128,29 +68,6 @@ pub fn sample_until(
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn counter_accumulates() {
-        let c = Counter::new();
-        c.add(3);
-        c.add(4);
-        assert_eq!(c.get(), 7);
-        let c2 = c.clone(); // clones share the value
-        c2.add(1);
-        assert_eq!(c.get(), 8);
-    }
-
-    #[test]
-    fn meter_measures_rate() {
-        let c = Counter::new();
-        c.add(100); // before the meter starts: excluded
-        let meter = ThroughputMeter::start(c.clone());
-        c.add(500);
-        std::thread::sleep(Duration::from_millis(50));
-        assert_eq!(meter.count(), 500);
-        let rate = meter.rate();
-        assert!(rate > 0.0 && rate <= 500.0 / 0.05, "rate {rate}");
-    }
 
     #[test]
     fn sampler_collects_deltas() {
@@ -185,5 +102,16 @@ mod tests {
             deltas: vec![50, 100],
         };
         assert_eq!(s.rates(Duration::from_millis(500)), vec![100.0, 200.0]);
+    }
+
+    #[test]
+    fn zero_interval_rates_are_zero() {
+        let s = Series {
+            name: "x".into(),
+            deltas: vec![50, 100],
+        };
+        let rates = s.rates(Duration::ZERO);
+        assert_eq!(rates, vec![0.0, 0.0]);
+        assert!(rates.iter().all(|r| r.is_finite()));
     }
 }

@@ -272,10 +272,7 @@ mod tests {
     #[test]
     fn concurrent_servers_share_capacity() {
         use std::sync::Arc;
-        let s = Arc::new(ServiceStation::new(
-            "m",
-            StationConfig::with_rate(50_000.0),
-        ));
+        let s = Arc::new(ServiceStation::new("m", StationConfig::with_rate(50_000.0)));
         let start = Instant::now();
         let handles: Vec<_> = (0..4)
             .map(|_| {

@@ -1,0 +1,333 @@
+//! Sampled per-record pipeline tracing.
+//!
+//! A [`PipelineTracer`] stamps a [`TraceId`] on every N-th record entering
+//! the pipeline and keeps a fixed-size slot table of per-stage enter/exit
+//! timestamps for the sampled records. Stages hold a [`StageTracer`] and
+//! call [`enter`](StageTracer::enter) when a record is handed to them and
+//! [`exit`](StageTracer::exit) when they forward or persist it; the exit
+//! stamp also feeds the stage's latency [`Histogram`]
+//! (`{prefix}.{stage}.latency_us`), so percentiles accumulate even after a
+//! slot is recycled.
+//!
+//! Everything is lock-free: stamps are relaxed atomic stores into the slot
+//! table, and an untraced record (`trace == None`) costs one branch per
+//! stage. A disabled tracer (`sample_every == 0`) is a no-op everywhere.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use chariots_types::TraceId;
+
+use crate::metrics::{Histogram, MetricsRegistry};
+
+/// Slots in the trace table; sampled records whose trace outlives
+/// `capacity` newer samples lose their stamps (the histogram entries
+/// already recorded are unaffected).
+const DEFAULT_CAPACITY: usize = 4096;
+
+struct Slot {
+    /// The trace id currently owning this slot (0 = free). Stamps from a
+    /// previous occupant are detected by this generation check.
+    id: AtomicU64,
+    /// ns since the tracer's epoch, per stage; 0 = not stamped.
+    enters: Vec<AtomicU64>,
+    exits: Vec<AtomicU64>,
+}
+
+struct Inner {
+    epoch: Instant,
+    every: u64,
+    ticks: AtomicU64,
+    next_id: AtomicU64,
+    slots: Vec<Slot>,
+    stages: Vec<String>,
+    histograms: Vec<Histogram>,
+}
+
+impl Inner {
+    fn now_ns(&self) -> u64 {
+        // +1 so a stamp taken exactly at the epoch still reads as set.
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX) + 1
+    }
+
+    fn slot_of(&self, t: TraceId) -> &Slot {
+        &self.slots[(t.0 as usize) % self.slots.len()]
+    }
+}
+
+/// Samples and records end-to-end traces across a fixed set of pipeline
+/// stages. Cheap to clone (shared state); a disabled tracer no-ops.
+#[derive(Clone)]
+pub struct PipelineTracer {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for PipelineTracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Some(i) => write!(
+                f,
+                "PipelineTracer(every={}, stages={:?})",
+                i.every, i.stages
+            ),
+            None => write!(f, "PipelineTracer(disabled)"),
+        }
+    }
+}
+
+impl PipelineTracer {
+    /// A tracer that never samples and ignores all stamps.
+    pub fn disabled() -> Self {
+        PipelineTracer { inner: None }
+    }
+
+    /// Creates a tracer over `stages`, sampling one record in
+    /// `sample_every` (0 = disabled). A latency histogram named
+    /// `{prefix}.{stage}.latency_us` is registered in `registry` for every
+    /// stage up front, so snapshots show all stages even before traffic.
+    pub fn new(
+        stages: &[&str],
+        sample_every: u64,
+        registry: &MetricsRegistry,
+        prefix: &str,
+    ) -> Self {
+        let histograms = stages
+            .iter()
+            .map(|s| registry.histogram(&format!("{prefix}.{s}.latency_us")))
+            .collect();
+        if sample_every == 0 {
+            return PipelineTracer { inner: None };
+        }
+        let num_stages = stages.len();
+        let slots = (0..DEFAULT_CAPACITY)
+            .map(|_| Slot {
+                id: AtomicU64::new(0),
+                enters: (0..num_stages).map(|_| AtomicU64::new(0)).collect(),
+                exits: (0..num_stages).map(|_| AtomicU64::new(0)).collect(),
+            })
+            .collect();
+        PipelineTracer {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                every: sample_every,
+                ticks: AtomicU64::new(0),
+                next_id: AtomicU64::new(0),
+                slots,
+                stages: stages.iter().map(|s| s.to_string()).collect(),
+                histograms,
+            })),
+        }
+    }
+
+    /// Whether this tracer ever samples.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Called once per record at the pipeline entrance: every
+    /// `sample_every`-th call allocates a fresh trace and returns its id.
+    pub fn sample(&self) -> Option<TraceId> {
+        let inner = self.inner.as_ref()?;
+        if inner.ticks.fetch_add(1, Ordering::Relaxed) % inner.every != 0 {
+            return None;
+        }
+        // Ids start at 1 so 0 can mean "free slot".
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let slot = &inner.slots[(id as usize) % inner.slots.len()];
+        slot.id.store(id, Ordering::Relaxed);
+        for s in 0..inner.stages.len() {
+            slot.enters[s].store(0, Ordering::Relaxed);
+            slot.exits[s].store(0, Ordering::Relaxed);
+        }
+        Some(TraceId(id))
+    }
+
+    /// A per-stage view for stamping; an unknown stage name yields a
+    /// disabled stage tracer.
+    pub fn stage(&self, name: &str) -> StageTracer {
+        let stage = self
+            .inner
+            .as_ref()
+            .and_then(|i| i.stages.iter().position(|s| s == name));
+        match stage {
+            Some(stage) => StageTracer {
+                tracer: self.clone(),
+                stage,
+            },
+            None => StageTracer::disabled(),
+        }
+    }
+
+    fn enter(&self, t: TraceId, stage: usize) {
+        if let Some(inner) = &self.inner {
+            let slot = inner.slot_of(t);
+            if slot.id.load(Ordering::Relaxed) == t.0 {
+                slot.enters[stage].store(inner.now_ns(), Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn exit(&self, t: TraceId, stage: usize) {
+        if let Some(inner) = &self.inner {
+            let slot = inner.slot_of(t);
+            if slot.id.load(Ordering::Relaxed) != t.0 {
+                return;
+            }
+            let now = inner.now_ns();
+            slot.exits[stage].store(now, Ordering::Relaxed);
+            let entered = slot.enters[stage].load(Ordering::Relaxed);
+            if entered != 0 && now >= entered {
+                inner.histograms[stage].record((now - entered) / 1_000);
+            }
+        }
+    }
+
+    fn observe(&self, stage: usize, d: Duration) {
+        if let Some(inner) = &self.inner {
+            inner.histograms[stage].record_duration(d);
+        }
+    }
+
+    /// The per-stage latencies stamped for trace `t`, in stage order,
+    /// covering stages with both an enter and an exit. `None` if the
+    /// trace's slot was recycled by a newer sample.
+    pub fn stage_latencies(&self, t: TraceId) -> Option<Vec<(String, Duration)>> {
+        let inner = self.inner.as_ref()?;
+        let slot = inner.slot_of(t);
+        if slot.id.load(Ordering::Relaxed) != t.0 {
+            return None;
+        }
+        let mut out = Vec::new();
+        for (s, name) in inner.stages.iter().enumerate() {
+            let entered = slot.enters[s].load(Ordering::Relaxed);
+            let exited = slot.exits[s].load(Ordering::Relaxed);
+            if entered != 0 && exited >= entered {
+                out.push((name.clone(), Duration::from_nanos(exited - entered)));
+            }
+        }
+        Some(out)
+    }
+}
+
+/// One stage's handle onto a [`PipelineTracer`]: stamps enters/exits for
+/// traced records and records direct service-time observations.
+#[derive(Clone, Debug)]
+pub struct StageTracer {
+    tracer: PipelineTracer,
+    stage: usize,
+}
+
+impl Default for StageTracer {
+    fn default() -> Self {
+        StageTracer::disabled()
+    }
+}
+
+impl StageTracer {
+    /// A stage tracer that ignores all stamps.
+    pub fn disabled() -> Self {
+        StageTracer {
+            tracer: PipelineTracer::disabled(),
+            stage: 0,
+        }
+    }
+
+    /// Stamps the stage-entry time for a traced record (no-op for `None`).
+    #[inline]
+    pub fn enter(&self, t: Option<TraceId>) {
+        if let Some(t) = t {
+            self.tracer.enter(t, self.stage);
+        }
+    }
+
+    /// Stamps the stage-exit time for a traced record and records the
+    /// enter→exit interval into the stage's latency histogram.
+    #[inline]
+    pub fn exit(&self, t: Option<TraceId>) {
+        if let Some(t) = t {
+            self.tracer.exit(t, self.stage);
+        }
+    }
+
+    /// Records a directly measured service time into the stage's latency
+    /// histogram (for stages that process rounds, not individual records).
+    #[inline]
+    pub fn observe(&self, d: Duration) {
+        self.tracer.observe(self.stage, d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_is_a_noop() {
+        let t = PipelineTracer::disabled();
+        assert!(!t.is_enabled());
+        assert_eq!(t.sample(), None);
+        let stage = t.stage("batcher");
+        stage.enter(Some(TraceId(1)));
+        stage.exit(Some(TraceId(1)));
+        assert_eq!(t.stage_latencies(TraceId(1)), None);
+    }
+
+    #[test]
+    fn sampling_period_is_respected() {
+        let reg = MetricsRegistry::new("t");
+        let t = PipelineTracer::new(&["a", "b"], 4, &reg, "dc0");
+        let sampled: Vec<_> = (0..16).map(|_| t.sample()).collect();
+        let hits = sampled.iter().flatten().count();
+        assert_eq!(hits, 4, "one in four records sampled");
+        assert!(sampled[0].is_some(), "first record always sampled");
+    }
+
+    #[test]
+    fn stamps_produce_stage_latencies_and_histogram_entries() {
+        let reg = MetricsRegistry::new("t");
+        let t = PipelineTracer::new(&["batcher", "queue"], 1, &reg, "dc0");
+        let id = t.sample().expect("every record sampled");
+        let batcher = t.stage("batcher");
+        let queue = t.stage("queue");
+        batcher.enter(Some(id));
+        std::thread::sleep(Duration::from_millis(2));
+        batcher.exit(Some(id));
+        queue.enter(Some(id));
+        queue.exit(Some(id));
+        let lat = t.stage_latencies(id).expect("slot still owned");
+        assert_eq!(lat.len(), 2);
+        assert_eq!(lat[0].0, "batcher");
+        assert!(lat[0].1 >= Duration::from_millis(2));
+        assert_eq!(reg.histogram("dc0.batcher.latency_us").count(), 1);
+        assert!(reg.histogram("dc0.batcher.latency_us").max() >= 2_000);
+        // Histograms for all stages exist in the snapshot even if idle.
+        assert!(reg
+            .snapshot()
+            .histograms
+            .contains_key("dc0.queue.latency_us"));
+    }
+
+    #[test]
+    fn recycled_slots_reject_stale_traces() {
+        let reg = MetricsRegistry::new("t");
+        let t = PipelineTracer::new(&["a"], 1, &reg, "dc0");
+        let first = t.sample().unwrap();
+        // Burn through the whole table so `first`'s slot is reused.
+        for _ in 0..DEFAULT_CAPACITY {
+            t.sample();
+        }
+        assert_eq!(t.stage_latencies(first), None);
+        t.stage("a").exit(Some(first)); // stale stamp: ignored
+        assert_eq!(reg.histogram("dc0.a.latency_us").count(), 0);
+    }
+
+    #[test]
+    fn zero_sampling_disables_but_still_registers_histograms() {
+        let reg = MetricsRegistry::new("t");
+        let t = PipelineTracer::new(&["a"], 0, &reg, "dc0");
+        assert!(!t.is_enabled());
+        assert_eq!(t.sample(), None);
+        assert!(reg.snapshot().histograms.contains_key("dc0.a.latency_us"));
+    }
+}

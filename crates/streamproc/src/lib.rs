@@ -548,9 +548,15 @@ mod tests {
         let cluster = launch(2);
         let mut clicks = Publisher::new(cluster.client(dc(0)));
         let mut queries = Publisher::new(cluster.client(dc(1)));
-        queries.publish_keyed("queries", "q42", "search: rust logs").unwrap();
-        clicks.publish_keyed("clicks", "q42", "clicked result 3").unwrap();
-        clicks.publish_keyed("clicks", "q77", "orphan click").unwrap();
+        queries
+            .publish_keyed("queries", "q42", "search: rust logs")
+            .unwrap();
+        clicks
+            .publish_keyed("clicks", "q42", "clicked result 3")
+            .unwrap();
+        clicks
+            .publish_keyed("clicks", "q77", "orphan click")
+            .unwrap();
         assert!(cluster.wait_for_replication(3, Duration::from_secs(10)));
         let mut joiner = Joiner::new(cluster.client(dc(0)), "clicks", "queries");
         let deadline = Instant::now() + Duration::from_secs(10);
@@ -574,7 +580,9 @@ mod tests {
         let mut publisher = Publisher::new(cluster.client(dc(0)));
         // An orphan event, then enough unrelated traffic to push it past
         // the window.
-        publisher.publish_keyed("l", "orphan", "never matched").unwrap();
+        publisher
+            .publish_keyed("l", "orphan", "never matched")
+            .unwrap();
         for i in 0..20 {
             publisher.publish("noise", format!("n{i}")).unwrap();
         }
@@ -629,7 +637,11 @@ mod tests {
         let mut events: Vec<Event> = Vec::new();
         while events.len() < 20 {
             events.extend(group.poll(64).unwrap());
-            assert!(Instant::now() < deadline, "group stalled at {}", events.len());
+            assert!(
+                Instant::now() < deadline,
+                "group stalled at {}",
+                events.len()
+            );
             std::thread::sleep(Duration::from_millis(3));
         }
         // Each poll batch is LId-ordered and the union is exactly-once.

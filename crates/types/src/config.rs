@@ -155,6 +155,11 @@ pub struct ChariotsConfig {
     /// per datacenter log beyond the replication-safe prefix. `None`
     /// disables user GC (records are kept indefinitely, §6.1).
     pub gc_keep_records: Option<u64>,
+    /// Observability: stamp a [`TraceId`](crate::TraceId) on every N-th
+    /// appended record so the pipeline stages record per-stage enter/exit
+    /// times for it. `0` disables tracing entirely; `1` traces every
+    /// record (tests/debugging).
+    pub trace_sample_every: u64,
 }
 
 impl Default for ChariotsConfig {
@@ -168,6 +173,7 @@ impl Default for ChariotsConfig {
             token_carries_deferred: true,
             propagation_interval: Duration::from_millis(10),
             gc_keep_records: None,
+            trace_sample_every: 64,
         }
     }
 }
@@ -220,6 +226,12 @@ impl ChariotsConfig {
         self
     }
 
+    /// Sets the record-trace sampling period (0 disables tracing).
+    pub fn trace_sample_every(mut self, n: u64) -> Self {
+        self.trace_sample_every = n;
+        self
+    }
+
     /// Validates internal consistency.
     pub fn validate(&self) -> Result<(), String> {
         if self.num_datacenters == 0 {
@@ -257,13 +269,15 @@ mod tests {
             .flstore(FLStoreConfig::new().maintainers(4).batch_size(100))
             .batcher_flush_threshold(32)
             .token_carries_deferred(false)
-            .gc_keep_records(10_000);
+            .gc_keep_records(10_000)
+            .trace_sample_every(8);
         assert_eq!(cfg.num_datacenters, 3);
         assert_eq!(cfg.stages.queues, 2);
         assert_eq!(cfg.flstore.num_maintainers, 4);
         assert_eq!(cfg.flstore.batch_size, 100);
         assert!(!cfg.token_carries_deferred);
         assert_eq!(cfg.gc_keep_records, Some(10_000));
+        assert_eq!(cfg.trace_sample_every, 8);
         assert!(cfg.validate().is_ok());
     }
 

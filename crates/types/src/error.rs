@@ -81,7 +81,10 @@ mod tests {
             owner: MaintainerId(2),
             lid: LId(4096),
         };
-        assert_eq!(e.to_string(), "maintainer M0 does not own L4096; it belongs to M2");
+        assert_eq!(
+            e.to_string(),
+            "maintainer M0 does not own L4096; it belongs to M2"
+        );
         assert!(ChariotsError::NotYetAvailable(LId(9))
             .to_string()
             .contains("L9"));

@@ -205,6 +205,30 @@ impl fmt::Display for Epoch {
     }
 }
 
+/// Identity of one sampled record trace (observability, not protocol).
+///
+/// A `TraceId` is stamped on a sampled subset of records as they enter the
+/// pipeline; each stage then records enter/exit timestamps against it so
+/// the bench can break end-to-end latency down per stage. Trace ids never
+/// cross datacenters — a receiver re-samples incoming records — and they
+/// are excluded from record equality and wire encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// Returns the id as a `u64`.
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tr{}", self.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -12,7 +12,7 @@ use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
 use crate::causality::VersionVector;
-use crate::ids::{DatacenterId, LId, RecordId, TOId};
+use crate::ids::{DatacenterId, LId, RecordId, TOId, TraceId};
 
 /// The value attached to a tag, if any.
 ///
@@ -149,7 +149,7 @@ impl FromIterator<Tag> for TagSet {
 /// Contains everything the abstract solution's *Append* event attaches
 /// (§6.1): host identifier and `TOId` (in [`RecordId`]), causality
 /// information ([`VersionVector`]), tags, and the opaque body.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Record {
     /// Host datacenter + total-order id: the record's global identity.
     pub id: RecordId,
@@ -161,17 +161,41 @@ pub struct Record {
     pub tags: TagSet,
     /// Application payload, opaque to Chariots.
     pub body: Bytes,
+    /// Observability: set on a sampled subset of records so the pipeline
+    /// stages can stamp per-stage enter/exit times. Not part of the
+    /// record's identity (excluded from equality) and not persisted or
+    /// sent on the wire.
+    #[serde(skip)]
+    pub trace: Option<TraceId>,
+}
+
+// Trace ids are diagnostic metadata: two copies of a record are the same
+// record whether or not either copy happens to be sampled.
+impl PartialEq for Record {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+            && self.deps == other.deps
+            && self.tags == other.tags
+            && self.body == other.body
+    }
 }
 
 impl Record {
-    /// Creates a record.
+    /// Creates a record (untraced; see [`Record::with_trace`]).
     pub fn new(id: RecordId, deps: VersionVector, tags: TagSet, body: Bytes) -> Self {
         Record {
             id,
             deps,
             tags,
             body,
+            trace: None,
         }
+    }
+
+    /// Replaces the record's trace id (builder style).
+    pub fn with_trace(mut self, trace: Option<TraceId>) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Host datacenter of the record.
@@ -343,10 +367,31 @@ mod tests {
 
     #[test]
     fn entry_wraps_record_with_lid() {
-        let r = Record::new(rid(0, 1), VersionVector::new(1), TagSet::new(), Bytes::new());
+        let r = Record::new(
+            rid(0, 1),
+            VersionVector::new(1),
+            TagSet::new(),
+            Bytes::new(),
+        );
         let e = Entry::new(LId(7), r);
         assert_eq!(e.lid, LId(7));
         assert_eq!(e.id(), rid(0, 1));
+    }
+
+    #[test]
+    fn trace_id_is_not_part_of_record_identity() {
+        let r = Record::new(
+            rid(0, 1),
+            VersionVector::new(1),
+            TagSet::new(),
+            Bytes::new(),
+        );
+        let traced = r.clone().with_trace(Some(TraceId(9)));
+        assert_eq!(r, traced, "trace ids are diagnostic, not identity");
+        // And it never crosses the wire: serde drops it.
+        let json = serde_json::to_string(&traced).unwrap();
+        let back: Record = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.trace, None);
     }
 
     #[test]

@@ -51,7 +51,12 @@ fn main() {
     println!("\nracing two conflicting transfers (A and B both debit alice)…");
     let ha = std::thread::spawn(move || {
         let mut t = Transaction::new("transfer@A");
-        let bal: i64 = tm_a.read(&mut t, "alice").unwrap().unwrap().parse().unwrap();
+        let bal: i64 = tm_a
+            .read(&mut t, "alice")
+            .unwrap()
+            .unwrap()
+            .parse()
+            .unwrap();
         t.write("alice", (bal - 70).to_string());
         t.write("bob", "70");
         let out = tm_a.commit(t, TIMEOUT).unwrap();
@@ -59,7 +64,12 @@ fn main() {
     });
     let hb = std::thread::spawn(move || {
         let mut t = Transaction::new("transfer@B");
-        let bal: i64 = tm_b.read(&mut t, "alice").unwrap().unwrap().parse().unwrap();
+        let bal: i64 = tm_b
+            .read(&mut t, "alice")
+            .unwrap()
+            .unwrap()
+            .parse()
+            .unwrap();
         t.write("alice", (bal - 50).to_string());
         t.write("carol", "50");
         let out = tm_b.commit(t, TIMEOUT).unwrap();

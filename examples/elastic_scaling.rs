@@ -20,12 +20,8 @@ fn main() {
         .gossip_interval(Duration::from_millis(1));
     cfg.batcher_flush_threshold = 8;
     cfg.batcher_flush_interval = Duration::from_millis(1);
-    let mut cluster = ChariotsCluster::launch(
-        cfg,
-        StageStations::default(),
-        LinkConfig::default(),
-    )
-    .expect("launch");
+    let mut cluster = ChariotsCluster::launch(cfg, StageStations::default(), LinkConfig::default())
+        .expect("launch");
 
     // A background client streams appends throughout.
     let stop = Arc::new(AtomicBool::new(false));

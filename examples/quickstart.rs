@@ -60,7 +60,11 @@ fn main() {
     let hits = client.read_rule(&rule).unwrap();
     println!("rule matched {} records:", hits.len());
     for e in hits {
-        println!("  {} -> {:?}", e.lid, String::from_utf8_lossy(&e.record.body));
+        println!(
+            "  {} -> {:?}",
+            e.lid,
+            String::from_utf8_lossy(&e.record.body)
+        );
     }
 
     store.shutdown();

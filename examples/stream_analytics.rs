@@ -39,7 +39,11 @@ fn main() {
     }
     for q in 0..15 {
         clicks
-            .publish_keyed("clicks", &format!("q{q}"), format!("click on result for q{q}"))
+            .publish_keyed(
+                "clicks",
+                &format!("q{q}"),
+                format!("click on result for q{q}"),
+            )
             .unwrap();
     }
     assert!(cluster.wait_for_replication(35, Duration::from_secs(15)));

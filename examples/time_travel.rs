@@ -24,12 +24,8 @@ fn main() {
         .gossip_interval(Duration::from_millis(1));
     cfg.batcher_flush_threshold = 1;
     cfg.batcher_flush_interval = Duration::from_millis(1);
-    let cluster = ChariotsCluster::launch(
-        cfg,
-        StageStations::default(),
-        LinkConfig::default(),
-    )
-    .expect("launch");
+    let cluster = ChariotsCluster::launch(cfg, StageStations::default(), LinkConfig::default())
+        .expect("launch");
 
     // A little history: an account balance over time.
     let mut kv = HyksosClient::new(cluster.client(DatacenterId(0)));
@@ -72,7 +68,10 @@ fn main() {
         hot.read(LId(0)),
         Err(ChariotsError::GarbageCollected(_))
     ));
-    println!("\nhot log reclaimed positions below {}", writer.archived_below());
+    println!(
+        "\nhot log reclaimed positions below {}",
+        writer.archived_below()
+    );
 
     let cold = ArchiveReader::open(&path).unwrap();
     println!("cold archive holds {} records:", cold.len());

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Pre-PR gate: formatting, lints, and the full test suite.
+# Run from anywhere inside the repository.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "All checks passed."

@@ -70,7 +70,6 @@ pub mod prelude {
     pub use chariots_streamproc::{Joiner, Publisher, Reader};
     pub use chariots_types::{
         ChariotsConfig, ChariotsError, Condition, DatacenterId, Entry, FLStoreConfig, LId,
-        ReadRule, Record, StageCounts, TOId, Tag, TagSet, TagValue, ValuePredicate,
-        VersionVector,
+        ReadRule, Record, StageCounts, TOId, Tag, TagSet, TagValue, ValuePredicate, VersionVector,
     };
 }

@@ -23,9 +23,7 @@ fn verify_converged(cluster: &ChariotsCluster, total: u64) {
         cluster.wait_for_replication(total, Duration::from_secs(40)),
         "cluster never converged to {total} records"
     );
-    let logs: Vec<Vec<Entry>> = (0..3)
-        .map(|i| dump_log(cluster, DatacenterId(i)))
-        .collect();
+    let logs: Vec<Vec<Entry>> = (0..3).map(|i| dump_log(cluster, DatacenterId(i))).collect();
     for log in &logs {
         assert_eq!(log.len() as u64, total);
         assert_log_invariants(log, 3);
@@ -67,8 +65,12 @@ fn datacenter_isolated_then_rejoins() {
     let mut majority_a = cluster.client(DatacenterId(0));
     let mut isolated = cluster.client(DatacenterId(2));
     for i in 0..6 {
-        majority_a.append(TagSet::new(), format!("major{i}")).unwrap();
-        isolated.append(TagSet::new(), format!("isolated{i}")).unwrap();
+        majority_a
+            .append(TagSet::new(), format!("major{i}"))
+            .unwrap();
+        isolated
+            .append(TagSet::new(), format!("isolated{i}"))
+            .unwrap();
     }
     // The majority pair replicates between themselves meanwhile.
     std::thread::sleep(Duration::from_millis(100));
@@ -140,12 +142,9 @@ fn queue_crash_stalls_but_never_loses_records() {
     // Two queues; one crashes mid-stream. Records staged at the crashed
     // queue wait out the outage (the token skips it) and flow after
     // recovery — nothing is lost, nothing duplicates.
-    let mut cluster = ChariotsCluster::launch(
-        fast_cfg(1),
-        StageStations::default(),
-        LinkConfig::default(),
-    )
-    .unwrap();
+    let mut cluster =
+        ChariotsCluster::launch(fast_cfg(1), StageStations::default(), LinkConfig::default())
+            .unwrap();
     cluster.dc_mut(DatacenterId(0)).add_queue();
     let mut client = cluster.client(DatacenterId(0));
     for i in 0..10 {

@@ -9,12 +9,7 @@ use chariots::prelude::*;
 use common::{assert_log_invariants, dump_log, fast_cfg};
 
 fn launch_single_dc() -> ChariotsCluster {
-    ChariotsCluster::launch(
-        fast_cfg(1),
-        StageStations::default(),
-        LinkConfig::default(),
-    )
-    .unwrap()
+    ChariotsCluster::launch(fast_cfg(1), StageStations::default(), LinkConfig::default()).unwrap()
 }
 
 /// Appends `n` records, asserting each round trip succeeds.

@@ -23,8 +23,12 @@ fn three_applications_share_one_log() {
 
     // 2. Stream events published at B.
     let mut publisher = Publisher::new(cluster.client(b));
-    publisher.publish_keyed("pageviews", "user:1", "GET /home").unwrap();
-    publisher.publish_keyed("pageviews", "user:1", "GET /pricing").unwrap();
+    publisher
+        .publish_keyed("pageviews", "user:1", "GET /home")
+        .unwrap();
+    publisher
+        .publish_keyed("pageviews", "user:1", "GET /pricing")
+        .unwrap();
 
     // 3. A transaction at A.
     let mut tm = TxnManager::new(cluster.dc(a), CommitPolicy::MessageFutures);

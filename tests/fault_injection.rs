@@ -59,12 +59,9 @@ fn replication_survives_duplication_and_jitter() {
 
 #[test]
 fn maintainer_crash_blocks_its_range_until_recovery() {
-    let cluster = ChariotsCluster::launch(
-        fast_cfg(1),
-        StageStations::default(),
-        LinkConfig::default(),
-    )
-    .unwrap();
+    let cluster =
+        ChariotsCluster::launch(fast_cfg(1), StageStations::default(), LinkConfig::default())
+            .unwrap();
     let dc = cluster.dc(DatacenterId(0));
     let mut client = dc.client();
     for i in 0..4 {
@@ -177,12 +174,25 @@ fn availability_during_partition_then_convergence() {
     // Both sides applied their own writes (availability).
     let deadline = Instant::now() + Duration::from_secs(5);
     loop {
-        let ha = cluster.dc(DatacenterId(0)).flstore().client().head_of_log().unwrap();
-        let hb = cluster.dc(DatacenterId(1)).flstore().client().head_of_log().unwrap();
+        let ha = cluster
+            .dc(DatacenterId(0))
+            .flstore()
+            .client()
+            .head_of_log()
+            .unwrap();
+        let hb = cluster
+            .dc(DatacenterId(1))
+            .flstore()
+            .client()
+            .head_of_log()
+            .unwrap();
         if ha >= LId(10) && hb >= LId(10) {
             break;
         }
-        assert!(Instant::now() < deadline, "local appends stalled during partition");
+        assert!(
+            Instant::now() < deadline,
+            "local appends stalled during partition"
+        );
         std::thread::sleep(Duration::from_millis(5));
     }
     cluster.heal(DatacenterId(0), DatacenterId(1));

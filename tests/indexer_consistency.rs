@@ -83,14 +83,15 @@ fn index_respects_gc() {
     let mut client = cluster.client(DatacenterId(0));
     for i in 0..16i64 {
         client
-            .append(
-                TagSet::new().with(Tag::with_value("k", i)),
-                format!("r{i}"),
-            )
+            .append(TagSet::new().with(Tag::with_value("k", i)), format!("r{i}"))
             .unwrap();
     }
     assert!(cluster.wait_for_replication(16, Duration::from_secs(10)));
-    wait_indexed(&mut client, &ReadRule::where_(Condition::HasTag("k".into())), 16);
+    wait_indexed(
+        &mut client,
+        &ReadRule::where_(Condition::HasTag("k".into())),
+        16,
+    );
     // GC the first half directly at the FLStore layer.
     cluster.dc(DatacenterId(0)).flstore().gc_before(LId(8));
     std::thread::sleep(Duration::from_millis(50));

@@ -13,19 +13,13 @@ use chariots::prelude::*;
 fn uncapped_pipeline_sustains_bulk_appends() {
     let mut cfg = common::fast_cfg(1);
     cfg.batcher_flush_threshold = 64;
-    let cluster = ChariotsCluster::launch(
-        cfg,
-        StageStations::default(),
-        LinkConfig::default(),
-    )
-    .unwrap();
+    let cluster =
+        ChariotsCluster::launch(cfg, StageStations::default(), LinkConfig::default()).unwrap();
     let mut client = cluster.client(DatacenterId(0));
     const N: u64 = 30_000;
     let t0 = Instant::now();
     for i in 0..N {
-        client
-            .append_async(TagSet::new(), format!("r{i}"))
-            .unwrap();
+        client.append_async(TagSet::new(), format!("r{i}")).unwrap();
     }
     assert!(
         cluster.wait_for_replication(N, Duration::from_secs(30)),
@@ -40,6 +34,84 @@ fn uncapped_pipeline_sustains_bulk_appends() {
         "pipeline too slow: {rate:.0} rec/s (needs > 2× the simulated machine rate)"
     );
     cluster.shutdown();
+}
+
+#[test]
+fn traced_stage_latencies_account_for_end_to_end_latency() {
+    let mut cfg = common::fast_cfg(1);
+    cfg.trace_sample_every = 1; // trace every record
+    let cluster =
+        ChariotsCluster::launch(cfg, StageStations::default(), LinkConfig::default()).unwrap();
+    let dc = cluster.dc(DatacenterId(0));
+    let mut client = cluster.client(DatacenterId(0));
+
+    // Warm the pipeline so the measured appends see steady state.
+    for i in 0..32 {
+        client.append(TagSet::new(), format!("warm{i}")).unwrap();
+    }
+
+    const N: usize = 100;
+    let mut e2e = Vec::with_capacity(N);
+    let mut staged = Vec::with_capacity(N);
+    for i in 0..N {
+        let t0 = Instant::now();
+        let (_, lid) = client.append(TagSet::new(), format!("r{i}")).unwrap();
+        // The append reply arrives at LId assignment; poll the read so the
+        // end-to-end span also covers the store stage persisting the record.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while client.read(lid).is_err() {
+            assert!(
+                Instant::now() < deadline,
+                "record at {lid} never became readable"
+            );
+            std::thread::sleep(Duration::from_micros(50));
+        }
+        e2e.push(t0.elapsed());
+
+        let trace = client
+            .last_trace()
+            .expect("sample_every=1 must trace every append");
+        let stages = dc
+            .tracer()
+            .stage_latencies(trace)
+            .expect("traced record must have stage stamps");
+        assert!(
+            !stages.is_empty(),
+            "traced record must cross at least one stage"
+        );
+        staged.push(stages.iter().map(|(_, d)| *d).sum::<Duration>());
+    }
+
+    // The traced stages (batcher → filter → queue → store) cover a
+    // contiguous subinterval of the observed append-to-readable span, so
+    // their sum must agree with it to within 2× in both directions.
+    let med_e2e = median(&mut e2e);
+    let med_staged = median(&mut staged);
+    assert!(
+        med_staged <= med_e2e * 2,
+        "stage sum {med_staged:?} exceeds 2x the end-to-end latency {med_e2e:?}"
+    );
+    assert!(
+        med_e2e <= med_staged * 2,
+        "end-to-end {med_e2e:?} exceeds 2x the traced stage sum {med_staged:?} \
+         (stages are losing track of where records spend their time)"
+    );
+
+    // Every pipeline stage publishes its latency histogram.
+    let snapshot = cluster.metrics();
+    for stage in ["receiver", "batcher", "filter", "queue", "store", "sender"] {
+        let name = format!("dc0.{stage}.latency_us");
+        assert!(
+            snapshot.histograms.contains_key(&name),
+            "missing histogram {name}"
+        );
+    }
+    cluster.shutdown();
+}
+
+fn median(samples: &mut [Duration]) -> Duration {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
 }
 
 #[test]
@@ -83,7 +155,10 @@ fn uncapped_flstore_sustains_bulk_appends() {
         if total >= N {
             break;
         }
-        assert!(Instant::now() < deadline, "FLStore never digested the burst");
+        assert!(
+            Instant::now() < deadline,
+            "FLStore never digested the burst"
+        );
         std::thread::sleep(Duration::from_millis(5));
     }
     let rate = N as f64 / t0.elapsed().as_secs_f64();
