@@ -9,7 +9,9 @@
 
 use std::path::PathBuf;
 
-use chariots_bench::experiments::{ablations, apps, baseline, fig7, fig8, fig9, tables, txn};
+use chariots_bench::experiments::{
+    ablations, apps, availability, baseline, fig7, fig8, fig9, tables, txn,
+};
 use chariots_bench::report::Report;
 use chariots_simnet::MetricsSnapshot;
 
@@ -24,6 +26,8 @@ experiments:
   table5     pipeline, two machines per stage
   fig9       pipeline throughput time-series
   baseline   FLStore vs CORFU sequencer (ablation A4)
+  availability  append availability and p99 before/during/after a
+             maintainer-primary crash (replication factor 2)
   txn        commit latency vs WAN latency (Message Futures / Helios)
   apps       Hyksos / stream-processing throughput over the log
   ablations  A1/A2 (FLStore knobs), A3 (token policy), A5 (flush threshold)
@@ -69,6 +73,7 @@ fn main() {
             "table5" => vec![tables::run(5, quick)],
             "fig9" => vec![fig9::run(quick)],
             "baseline" => vec![baseline::run(quick)],
+            "availability" => vec![availability::run(quick)],
             "txn" => vec![txn::run(quick)],
             "apps" => vec![apps::run(quick)],
             "ablations" => vec![
@@ -105,6 +110,7 @@ fn main() {
                 "table5",
                 "fig9",
                 "baseline",
+                "availability",
                 "txn",
                 "apps",
                 "ablations",

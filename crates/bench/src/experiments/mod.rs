@@ -4,6 +4,7 @@
 
 pub mod ablations;
 pub mod apps;
+pub mod availability;
 pub mod baseline;
 pub mod fig7;
 pub mod fig8;

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use chariots_flstore::{AppendPayload, MaintainerHandle};
+use chariots_flstore::{AppendPayload, ReplicaGroupHandle};
 use chariots_simnet::{Counter, RateLimiter, ServiceStation, Shutdown};
 use chariots_types::TagSet;
 
@@ -24,7 +24,7 @@ pub fn payload() -> AppendPayload {
 /// `rate` records/s until `shutdown`. Returns a counter of generated
 /// records.
 pub fn spawn_flstore_generator(
-    target: MaintainerHandle,
+    target: ReplicaGroupHandle,
     rate: f64,
     shutdown: Shutdown,
 ) -> (Counter, std::thread::JoinHandle<()>) {

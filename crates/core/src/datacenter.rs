@@ -85,7 +85,7 @@ pub struct ChariotsDc {
     dc: DatacenterId,
     cfg: ChariotsConfig,
     flstore: FLStore,
-    maintainer_registry: Arc<RwLock<Vec<chariots_flstore::MaintainerHandle>>>,
+    maintainer_registry: Arc<RwLock<Vec<chariots_flstore::ReplicaGroupHandle>>>,
     atable: Arc<RwLock<ATable>>,
     batchers: Arc<RwLock<Vec<BatcherHandle>>>,
     filters: Vec<FilterHandle>,
@@ -130,7 +130,7 @@ impl ChariotsDc {
         let flstore = FLStore::launch_with(dc, cfg.flstore.clone(), stations.store.clone(), None)?;
         flstore.set_store_tracer(tracer.stage("store"));
         let controller = flstore.controller().clone();
-        let maintainers: Arc<RwLock<Vec<chariots_flstore::MaintainerHandle>>> =
+        let maintainers: Arc<RwLock<Vec<chariots_flstore::ReplicaGroupHandle>>> =
             Arc::new(RwLock::new(flstore.maintainers().to_vec()));
         for (i, m) in flstore.maintainers().iter().enumerate() {
             registry.register_counter(format!("{prefix}.store{i}.in"), m.appended_counter());

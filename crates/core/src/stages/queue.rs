@@ -23,7 +23,7 @@ use chariots_types::{DatacenterId, Entry, MaintainerId, Record, RecordId};
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::{Mutex, RwLock};
 
-use chariots_flstore::{Controller, MaintainerHandle};
+use chariots_flstore::{Controller, ReplicaGroupHandle};
 
 use crate::atable::ATable;
 use crate::message::{Incoming, LocalAppend};
@@ -151,11 +151,13 @@ impl QueueCore {
     }
 }
 
-/// Routes assigned entries to their owning maintainers and stores them.
+/// Routes assigned entries to their owning maintainer groups and stores
+/// them. The group handle picks a live replica, so a crashed primary does
+/// not swallow entries whose positions the token already committed.
 pub fn route_entries(
     entries: Vec<Entry>,
     controller: &Controller,
-    maintainers: &[MaintainerHandle],
+    maintainers: &[ReplicaGroupHandle],
 ) {
     if entries.is_empty() {
         return;
@@ -257,9 +259,9 @@ pub struct QueueNodeConfig {
     pub carries_deferred: bool,
     /// The FLStore controller, for routing journal lookups.
     pub controller: Controller,
-    /// Maintainer handles for persistence (shared registry: FLStore
-    /// expansion appends to it live).
-    pub maintainers: Arc<RwLock<Vec<MaintainerHandle>>>,
+    /// Maintainer replica-group handles for persistence (shared registry:
+    /// FLStore expansion appends to it live).
+    pub maintainers: Arc<RwLock<Vec<ReplicaGroupHandle>>>,
     /// Shared ATable: row `dc` is refreshed from the token's applied cut.
     pub atable: Arc<RwLock<ATable>>,
     /// Where to pass the token next (swappable for ring insertion).

@@ -22,7 +22,7 @@ use chariots_types::{DatacenterId, LId, Record, TOId};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 
-use chariots_flstore::MaintainerHandle;
+use chariots_flstore::ReplicaGroupHandle;
 
 use crate::atable::ATable;
 use crate::message::PropagationMsg;
@@ -41,7 +41,7 @@ pub struct SenderNode {
     /// The deployment's maintainer registry; this sender is responsible
     /// for indices `≡ my_index (mod num_senders)`, adopting newly added
     /// maintainers automatically.
-    registry: Arc<RwLock<Vec<MaintainerHandle>>>,
+    registry: Arc<RwLock<Vec<ReplicaGroupHandle>>>,
     my_index: usize,
     num_senders: usize,
     /// Per-maintainer scan cursors, by registry index.
@@ -57,7 +57,7 @@ impl SenderNode {
     /// Creates the sender state.
     pub fn new(
         dc: DatacenterId,
-        registry: Arc<RwLock<Vec<MaintainerHandle>>>,
+        registry: Arc<RwLock<Vec<ReplicaGroupHandle>>>,
         my_index: usize,
         num_senders: usize,
         atable: Arc<RwLock<ATable>>,
@@ -126,7 +126,7 @@ impl SenderNode {
 
     /// Pulls newly persisted local records from this sender's maintainers.
     fn scan_new_records(&mut self) {
-        let mine: Vec<(usize, MaintainerHandle)> = {
+        let mine: Vec<(usize, ReplicaGroupHandle)> = {
             let registry = self.registry.read();
             registry
                 .iter()
@@ -235,7 +235,7 @@ mod tests {
     fn maintainer_with_local_records(
         n_records: u64,
     ) -> (
-        MaintainerHandle,
+        ReplicaGroupHandle,
         Shutdown,
         Vec<std::thread::JoinHandle<MaintainerCore>>,
     ) {
@@ -256,7 +256,7 @@ mod tests {
                 .append(vec![AppendPayload::new(TagSet::new(), format!("r{i}"))])
                 .unwrap();
         }
-        (handle, shutdown, vec![thread])
+        (ReplicaGroupHandle::solo(handle), shutdown, vec![thread])
     }
 
     #[test]

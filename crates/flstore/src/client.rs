@@ -8,10 +8,26 @@
 //! specify LIds in the rules".
 
 use bytes::Bytes;
+use chariots_simnet::RetryPolicy;
 use chariots_types::{ChariotsError, Condition, Entry, LId, Limit, ReadRule, Result, TOId, TagSet};
 
 use crate::controller::{Controller, Session};
 use crate::maintainer::AppendPayload;
+
+/// Errors worth a bounded retry after a session refresh: the target's
+/// machine is down (failover may be promoting a backup right now), the
+/// group's routing moved (fencing / no primary yet), or the journal went
+/// stale. Everything else — bad requests, GC'd positions, shutdown — is
+/// returned immediately.
+fn transient(e: &ChariotsError) -> bool {
+    matches!(
+        e,
+        ChariotsError::Unavailable(_)
+            | ChariotsError::Fenced { .. }
+            | ChariotsError::NoLivePrimary(_)
+            | ChariotsError::WrongMaintainer { .. }
+    )
+}
 
 /// How the client spreads appends over maintainers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -29,6 +45,7 @@ pub struct FLStoreClient {
     controller: Controller,
     session: Session,
     routing: AppendRouting,
+    retry: RetryPolicy,
     rr_cursor: usize,
 }
 
@@ -39,6 +56,7 @@ impl FLStoreClient {
             controller: controller.clone(),
             session: controller.session(),
             routing: AppendRouting::default(),
+            retry: RetryPolicy::default(),
             rr_cursor: 0,
         }
     }
@@ -46,6 +64,15 @@ impl FLStoreClient {
     /// Sets the append-routing policy.
     pub fn with_routing(mut self, routing: AppendRouting) -> Self {
         self.routing = routing;
+        self
+    }
+
+    /// Sets the retry schedule used for transient errors (Unavailable,
+    /// fenced or primary-less groups, stale-journal routing). The default
+    /// rides out a failover window; `RetryPolicy::new().max_attempts(1)`
+    /// restores fail-fast behavior.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 
@@ -76,15 +103,25 @@ impl FLStoreClient {
     /// Appends a record; returns the assigned `(TOId, LId)` (§3's
     /// `Append(in: record, tags)`).
     pub fn append(&mut self, tags: TagSet, body: impl Into<Bytes>) -> Result<(TOId, LId)> {
-        let i = self.pick_maintainer()?;
-        let mut ids = self.session.maintainers[i].append(vec![AppendPayload::new(tags, body)])?;
+        let mut ids = self.append_batch(vec![AppendPayload::new(tags, body)])?;
         Ok(ids.pop().expect("one payload, one id"))
     }
 
     /// Appends a batch to a single maintainer (amortizes the round trip).
+    ///
+    /// Transient failures — the primary's machine down mid-failover, a
+    /// fenced or deposed primary — are retried with jittered backoff after
+    /// refreshing the session; a failed attempt assigned nothing, so the
+    /// retry cannot duplicate records.
     pub fn append_batch(&mut self, payloads: Vec<AppendPayload>) -> Result<Vec<(TOId, LId)>> {
-        let i = self.pick_maintainer()?;
-        self.session.maintainers[i].append(payloads)
+        let retry = self.retry.clone();
+        retry.run(transient, |attempt| {
+            if attempt > 0 {
+                self.refresh_session();
+            }
+            let i = self.pick_maintainer()?;
+            self.session.maintainers[i].append(payloads.clone())
+        })
     }
 
     /// Fire-and-forget batch append (open-loop load generation).
@@ -105,8 +142,15 @@ impl FLStoreClient {
         body: impl Into<Bytes>,
         min: LId,
     ) -> Result<Option<(TOId, LId)>> {
-        let i = self.pick_maintainer()?;
-        self.session.maintainers[i].append_min_bound(AppendPayload::new(tags, body), min)
+        let payload = AppendPayload::new(tags, body.into());
+        let retry = self.retry.clone();
+        retry.run(transient, |attempt| {
+            if attempt > 0 {
+                self.refresh_session();
+            }
+            let i = self.pick_maintainer()?;
+            self.session.maintainers[i].append_min_bound(payload.clone(), min)
+        })
     }
 
     /// Reads the record at `lid`, enforcing the no-gaps-below rule via the
@@ -117,32 +161,39 @@ impl FLStoreClient {
 
     /// Reads the record at `lid`, optionally skipping the HL gate (used by
     /// infrastructure that has its own ordering guarantees).
+    ///
+    /// A stale journal (`WrongMaintainer`) or a down machine is handled by
+    /// refreshing the session and retrying with bounded jittered backoff —
+    /// the paper's "if communication problems occur" clause; the group
+    /// handle additionally falls back to backups for reads.
     pub fn read_with_hl(&mut self, lid: LId, enforce_hl: bool) -> Result<Entry> {
-        let owner = self.session.journal.owner_of(lid);
-        let Some(handle) = self.session.maintainers.get(owner.index()) else {
-            return Err(ChariotsError::Unavailable(format!("maintainer {owner}")));
-        };
-        match handle.read(lid, enforce_hl) {
-            Err(ChariotsError::WrongMaintainer { owner, .. }) => {
-                // Stale journal: refresh the session and retry once.
+        let retry = self.retry.clone();
+        retry.run(transient, |attempt| {
+            if attempt > 0 {
                 self.refresh_session();
-                let handle = self
-                    .session
-                    .maintainers
-                    .get(owner.index())
-                    .ok_or_else(|| ChariotsError::Unavailable(format!("maintainer {owner}")))?;
-                handle.read(lid, enforce_hl)
             }
-            other => other,
-        }
+            let owner = self.session.journal.owner_of(lid);
+            let handle = self
+                .session
+                .maintainers
+                .get(owner.index())
+                .ok_or_else(|| ChariotsError::Unavailable(format!("maintainer {owner}")))?;
+            handle.read(lid, enforce_hl)
+        })
     }
 
     /// The Head of the Log: every position strictly below it is readable
     /// (Hyksos polls this to pick get-transaction snapshots, Alg. 1).
     pub fn head_of_log(&mut self) -> Result<LId> {
         // Any maintainer answers ("it asks one of the maintainers").
-        let i = self.pick_maintainer()?;
-        self.session.maintainers[i].head_of_log()
+        let retry = self.retry.clone();
+        retry.run(transient, |attempt| {
+            if attempt > 0 {
+                self.refresh_session();
+            }
+            let i = self.pick_maintainer()?;
+            self.session.maintainers[i].head_of_log()
+        })
     }
 
     /// `Read(in: rules, out: records)` (§3): evaluates a [`ReadRule`].

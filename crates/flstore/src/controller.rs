@@ -10,12 +10,13 @@
 use std::sync::Arc;
 
 use chariots_simnet::Counter;
-use chariots_types::{DatacenterId, Epoch, LId, Result};
+use chariots_types::{ChariotsError, DatacenterId, Epoch, Generation, LId, MaintainerId, Result};
 use parking_lot::RwLock;
 
 use crate::epoch::EpochJournal;
-use crate::node::{IndexerHandle, MaintainerHandle};
+use crate::node::IndexerHandle;
 use crate::range::RangeMap;
+use crate::replication::ReplicaGroupHandle;
 
 /// Everything a client needs for a session: maintainer and indexer
 /// addresses, the epoch journal, and the approximate log size (§5.1:
@@ -25,8 +26,10 @@ use crate::range::RangeMap;
 pub struct Session {
     /// The datacenter this session talks to.
     pub dc: DatacenterId,
-    /// Handles to every log maintainer, indexed by `MaintainerId`.
-    pub maintainers: Vec<MaintainerHandle>,
+    /// Handles to every log maintainer replica group, indexed by
+    /// `MaintainerId`. Each handle routes to the group's live primary, so
+    /// a failover re-routes existing sessions without a refresh.
+    pub maintainers: Vec<ReplicaGroupHandle>,
     /// Handles to every indexer.
     pub indexers: Vec<IndexerHandle>,
     /// Snapshot of the epoch journal at session start.
@@ -37,7 +40,7 @@ pub struct Session {
 
 struct ControllerState {
     dc: DatacenterId,
-    maintainers: Vec<MaintainerHandle>,
+    maintainers: Vec<ReplicaGroupHandle>,
     indexers: Vec<IndexerHandle>,
     journal: EpochJournal,
 }
@@ -64,9 +67,30 @@ impl Controller {
         }
     }
 
-    /// Registers the deployment's maintainer handles.
-    pub fn register_maintainers(&self, maintainers: Vec<MaintainerHandle>) {
+    /// Registers the deployment's maintainer replica groups.
+    pub fn register_maintainers(&self, maintainers: Vec<ReplicaGroupHandle>) {
         self.state.write().maintainers = maintainers;
+    }
+
+    /// Snapshot of the registered replica groups.
+    pub fn groups(&self) -> Vec<ReplicaGroupHandle> {
+        self.state.read().maintainers.clone()
+    }
+
+    /// Promotes replica `new_primary` of group `group` to primary, bumping
+    /// the group's generation so the deposed primary is fenced. This is the
+    /// controller half of failover; the failure detector supplies the
+    /// suspicion that triggers it.
+    pub fn promote(&self, group: MaintainerId, new_primary: usize) -> Result<Generation> {
+        let handle = {
+            let state = self.state.read();
+            state
+                .maintainers
+                .get(group.index())
+                .cloned()
+                .ok_or(ChariotsError::NoLivePrimary(group))?
+        };
+        Ok(handle.state().promote(new_primary))
     }
 
     /// Registers the deployment's indexer handles.

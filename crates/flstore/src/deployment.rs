@@ -1,13 +1,14 @@
 //! Deployment wiring: launch a full FLStore instance inside one simulated
-//! datacenter — maintainer nodes, indexer nodes, the controller, and the
-//! gossip fabric (Fig. 3's architecture).
+//! datacenter — maintainer replica groups, indexer nodes, the controller,
+//! the failure monitor, and the gossip fabric (Fig. 3's architecture).
 
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use chariots_simnet::{
-    MetricsRegistry, MetricsSnapshot, ServiceStation, Shutdown, StageTracer, StationConfig,
+    Counter, FailureDetector, FailureMonitor, MetricsRegistry, MetricsSnapshot, ServiceStation,
+    Shutdown, StageTracer, StationConfig,
 };
 use chariots_types::{DatacenterId, FLStoreConfig, LId, MaintainerId, Result};
 
@@ -15,22 +16,32 @@ use crate::client::FLStoreClient;
 use crate::controller::Controller;
 use crate::indexer::IndexerCore;
 use crate::maintainer::MaintainerCore;
-use crate::node::{
-    spawn_indexer, spawn_maintainer, Fabric, FabricObs, IndexerHandle, MaintainerHandle,
-};
+use crate::node::{spawn_indexer, spawn_replica, Fabric, FabricObs, IndexerHandle};
 use crate::range::RangeMap;
+use crate::replication::{
+    replica_key, run_failover, run_repair, GroupState, ReplicaCtx, ReplicaGroupHandle,
+};
 
 /// A running FLStore deployment: the §5 architecture inside one datacenter.
+///
+/// With `replication_factor > 1` every maintainer id is served by a replica
+/// group: one primary plus backups, heartbeating into a shared
+/// [`FailureDetector`]. A background [`FailureMonitor`] promotes a
+/// caught-up backup when a primary goes silent (`{prefix}.failover.count`)
+/// and runs anti-entropy repair so lagging replicas converge
+/// (`{prefix}.replica.lag`).
 pub struct FLStore {
     cfg: FLStoreConfig,
     dc: DatacenterId,
     controller: Controller,
     fabric: Fabric,
-    maintainers: Vec<MaintainerHandle>,
+    maintainers: Vec<ReplicaGroupHandle>,
     indexers: Vec<IndexerHandle>,
     station_cfg: StationConfig,
     persist_dir: Option<PathBuf>,
     registry: MetricsRegistry,
+    detector: Option<FailureDetector>,
+    monitor: Option<FailureMonitor>,
     shutdown: Shutdown,
     threads: Vec<JoinHandle<()>>,
 }
@@ -42,7 +53,8 @@ impl FLStore {
     }
 
     /// Launches a deployment whose machines are paced by `station_cfg`,
-    /// optionally persisting each maintainer's log under `persist_dir`.
+    /// optionally persisting each maintainer replica's log under
+    /// `persist_dir`.
     pub fn launch_with(
         dc: DatacenterId,
         cfg: FLStoreConfig,
@@ -57,6 +69,11 @@ impl FLStore {
         let registry = MetricsRegistry::new(prefix.clone());
         let fabric = Fabric::with_obs(FabricObs::registered(&registry, &prefix));
         let shutdown = Shutdown::new();
+        let detector = if cfg.replication_factor > 1 {
+            Some(FailureDetector::new(cfg.suspicion_timeout))
+        } else {
+            None
+        };
         let mut deployment = FLStore {
             cfg,
             dc,
@@ -67,12 +84,14 @@ impl FLStore {
             station_cfg,
             persist_dir,
             registry,
+            detector,
+            monitor: None,
             shutdown,
             threads: Vec::new(),
         };
 
         for i in 0..deployment.cfg.num_maintainers {
-            deployment.spawn_maintainer_node(MaintainerId(i as u16))?;
+            deployment.spawn_maintainer_group(MaintainerId(i as u16))?;
         }
         for i in 0..deployment.cfg.num_indexers {
             let (handle, thread) = spawn_indexer(IndexerCore::new(), deployment.shutdown.clone());
@@ -84,35 +103,90 @@ impl FLStore {
             deployment.threads.push(forget_result(thread));
         }
         deployment.rewire();
+        deployment.start_failure_monitor();
         Ok(deployment)
     }
 
-    fn spawn_maintainer_node(&mut self, id: MaintainerId) -> Result<()> {
-        let mut core = MaintainerCore::new(id, self.dc, self.controller.journal())
-            .with_max_deferred(self.cfg.max_deferred_appends);
-        if let Some(dir) = &self.persist_dir {
-            std::fs::create_dir_all(dir)
-                .map_err(|e| chariots_types::ChariotsError::Storage(e.to_string()))?;
-            core = core.with_wal(dir.join(format!("maintainer-{}.wal", id.0)))?;
+    /// Spawns the `replication_factor` replicas of group `id` and registers
+    /// the group. Replica 0 starts as primary and keeps the legacy
+    /// single-node WAL filename, so an unreplicated deployment's on-disk
+    /// layout is unchanged and pre-replication logs replay into seat 0.
+    fn spawn_maintainer_group(&mut self, id: MaintainerId) -> Result<()> {
+        let replicas = self.cfg.replication_factor.max(1);
+        let state = Arc::new(GroupState::new(id));
+        let appended = Counter::new();
+        let mut raw = Vec::new();
+        for r in 0..replicas {
+            let mut core = MaintainerCore::new(id, self.dc, self.controller.journal())
+                .with_max_deferred(self.cfg.max_deferred_appends);
+            if let Some(dir) = &self.persist_dir {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| chariots_types::ChariotsError::Storage(e.to_string()))?;
+                let file = if r == 0 {
+                    format!("maintainer-{}.wal", id.0)
+                } else {
+                    format!("maintainer-{}-r{r}.wal", id.0)
+                };
+                core = core.with_wal(dir.join(file))?;
+            }
+            let name = if r == 0 {
+                format!("maintainer-{}", id.0)
+            } else {
+                format!("maintainer-{}.r{r}", id.0)
+            };
+            let station = Arc::new(ServiceStation::new(name, self.station_cfg.clone()));
+            if let Some(detector) = &self.detector {
+                detector.register(&replica_key(id, r));
+            }
+            let ctx = ReplicaCtx {
+                group: Arc::clone(&state),
+                index: r,
+                detector: self.detector.clone(),
+                heartbeat_interval: self.cfg.heartbeat_interval,
+            };
+            let (handle, thread) = spawn_replica(
+                core,
+                station,
+                self.fabric.clone(),
+                self.cfg.gossip_interval,
+                self.shutdown.clone(),
+                ctx,
+                appended.clone(),
+            );
+            raw.push(handle);
+            self.threads.push(forget_result(thread));
         }
-        let station = Arc::new(ServiceStation::new(
-            format!("maintainer-{}", id.0),
-            self.station_cfg.clone(),
-        ));
-        let (handle, thread) = spawn_maintainer(
-            core,
-            station,
-            self.fabric.clone(),
-            self.cfg.gossip_interval,
-            self.shutdown.clone(),
-        );
+        state.set_replicas(raw);
         self.registry.register_counter(
             format!("{}.maintainer{}.appended", self.registry.name(), id.0),
-            handle.appended_counter(),
+            appended.clone(),
         );
-        self.maintainers.push(handle);
-        self.threads.push(forget_result(thread));
+        self.maintainers
+            .push(ReplicaGroupHandle::new(id, state, appended));
         Ok(())
+    }
+
+    /// Starts the failover/repair loop when replication is on. The monitor
+    /// period trades detection latency for overhead: it must tick at least
+    /// a few times per suspicion window to promote promptly.
+    fn start_failure_monitor(&mut self) {
+        let Some(detector) = self.detector.clone() else {
+            return;
+        };
+        let prefix = self.registry.name().to_string();
+        let failovers = self.registry.counter(&format!("{prefix}.failover.count"));
+        let lag = self.registry.gauge(&format!("{prefix}.replica.lag"));
+        let controller = self.controller.clone();
+        let period = self
+            .cfg
+            .heartbeat_interval
+            .max(self.cfg.suspicion_timeout / 4);
+        let tick_detector = detector.clone();
+        self.monitor = Some(FailureMonitor::spawn(detector, period, move |_suspects| {
+            let groups = controller.groups();
+            run_failover(&groups, &tick_detector, &failovers);
+            run_repair(&groups, 256, &lag);
+        }));
     }
 
     fn rewire(&self) {
@@ -133,14 +207,20 @@ impl FLStore {
         FLStoreClient::connect(&self.controller)
     }
 
-    /// Handles to the maintainer nodes (bench harness instrumentation).
-    pub fn maintainers(&self) -> &[MaintainerHandle] {
+    /// Handles to the maintainer replica groups (bench harness
+    /// instrumentation and fault injection).
+    pub fn maintainers(&self) -> &[ReplicaGroupHandle] {
         &self.maintainers
     }
 
     /// Handles to the indexer nodes.
     pub fn indexers(&self) -> &[IndexerHandle] {
         &self.indexers
+    }
+
+    /// The shared failure detector, when replication is enabled.
+    pub fn failure_detector(&self) -> Option<&FailureDetector> {
+        self.detector.as_ref()
     }
 
     /// The datacenter this deployment serves.
@@ -172,10 +252,10 @@ impl FLStore {
     pub fn add_maintainer(&mut self, boundary: LId) -> Result<MaintainerId> {
         let new_id = MaintainerId(self.maintainers.len() as u16);
         let new_map = RangeMap::new(self.maintainers.len() + 1, self.cfg.batch_size);
-        // Spawn the node first so it exists when the epoch activates. Its
+        // Spawn the group first so it exists when the epoch activates. Its
         // journal snapshot (taken in spawn) predates the announcement; the
         // broadcast below reaches it through the registered handle.
-        self.spawn_maintainer_node(new_id)?;
+        self.spawn_maintainer_group(new_id)?;
         self.rewire();
         self.controller.announce_epoch(boundary, new_map)?;
         Ok(new_id)
@@ -220,6 +300,13 @@ impl FLStore {
 
     /// Stops every node and waits for the threads.
     pub fn shutdown(mut self) {
+        self.stop_all();
+    }
+
+    fn stop_all(&mut self) {
+        if let Some(monitor) = self.monitor.take() {
+            monitor.stop();
+        }
         self.shutdown.signal();
         for t in self.threads.drain(..) {
             let _ = t.join();
@@ -229,10 +316,7 @@ impl FLStore {
 
 impl Drop for FLStore {
     fn drop(&mut self) {
-        self.shutdown.signal();
-        for t in self.threads.drain(..) {
-            let _ = t.join();
-        }
+        self.stop_all();
     }
 }
 

@@ -54,6 +54,7 @@ pub mod indexer;
 pub mod maintainer;
 pub mod node;
 pub mod range;
+pub mod replication;
 pub mod segment;
 pub mod wal;
 
@@ -67,6 +68,9 @@ pub use indexer::{indexer_for, IndexerCore, Posting};
 pub use maintainer::{AppendPayload, MaintainerCore, MaintainerStats};
 pub use node::{Fabric, FabricObs, IndexerHandle, MaintainerHandle};
 pub use range::RangeMap;
+pub use replication::{
+    replica_key, run_failover, run_repair, GroupState, ReplicaCtx, ReplicaGroupHandle,
+};
 pub use wal::Wal;
 
 #[cfg(test)]
@@ -213,9 +217,8 @@ mod deployment_tests {
 
     #[test]
     fn crash_recovery_from_wal_preserves_log() {
-        let dir =
-            std::env::temp_dir().join(format!("chariots-flstore-recover-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let tmp = chariots_simnet::TestDir::new("chariots-flstore-recover");
+        let dir = tmp.path().to_path_buf();
         let cfg = FLStoreConfig::new()
             .maintainers(2)
             .batch_size(4)
@@ -251,7 +254,6 @@ mod deployment_tests {
         let (_, lid) = client.append(TagSet::new(), "after").unwrap();
         assert!(lid >= LId(8));
         store.shutdown();
-        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -303,11 +305,8 @@ mod proptests {
             flip_at in 0usize..2048,
             flip_mask in 1u8..=255,
         ) {
-            let dir = std::env::temp_dir()
-                .join(format!("chariots-prop-wal-{}", std::process::id()));
-            std::fs::create_dir_all(&dir).unwrap();
-            let path = dir.join(format!("fuzz-{n_entries}-{flip_at}-{flip_mask}.wal"));
-            let _ = std::fs::remove_file(&path);
+            let dir = chariots_simnet::TestDir::new("chariots-prop-wal");
+            let path = dir.path().join("fuzz.wal");
             {
                 let mut wal = Wal::open(&path).unwrap();
                 for i in 0..n_entries {
@@ -330,7 +329,6 @@ mod proptests {
                 // cannot produce.
                 prop_assert_eq!(e, &entry(i as u64));
             }
-            let _ = std::fs::remove_file(&path);
         }
 
         /// Epoch journals partition the whole log: every position has

@@ -99,6 +99,10 @@ pub struct MaintainerCore {
     wal: Option<Wal>,
     deferred: Vec<MinBoundWaiter>,
     max_deferred: usize,
+    /// Positions assigned to drained min-bound waiters since the last
+    /// [`MaintainerCore::take_drained`] — the node replicates these to its
+    /// backups (they bypass the normal append reply path).
+    drained_lids: Vec<LId>,
     stats_appended: u64,
     stats_stored: u64,
     stats_reads: u64,
@@ -119,6 +123,7 @@ impl MaintainerCore {
             wal: None,
             deferred: Vec::new(),
             max_deferred: 65_536,
+            drained_lids: Vec::new(),
             stats_appended: 0,
             stats_stored: 0,
             stats_reads: 0,
@@ -140,7 +145,9 @@ impl MaintainerCore {
     pub fn with_wal(mut self, path: impl Into<PathBuf>) -> Result<Self> {
         let path = path.into();
         for entry in Wal::replay(&path)? {
-            self.locate_and_insert(entry, false)?;
+            // Last-wins: a replica's WAL may hold a newer frame for a slot
+            // it first learned via replication and later saw repaired.
+            self.locate_and_apply(entry, false, true)?;
         }
         // Self-assignment resumes after the densest filled prefix of each
         // epoch (appends are dense per epoch, so the prefix is exact).
@@ -293,23 +300,70 @@ impl MaintainerCore {
             );
             self.insert_at(lid, record)?;
             self.stats_appended += 1;
+            self.drained_lids.push(lid);
             out.push((toid, lid));
         }
         Ok(out)
     }
 
+    /// Positions assigned to drained min-bound waiters since the last call
+    /// (consumed by the node's replication path).
+    pub fn take_drained(&mut self) -> Vec<LId> {
+        std::mem::take(&mut self.drained_lids)
+    }
+
     /// Stores entries whose positions were already assigned by the Chariots
     /// queues stage. Positions must be owned by this maintainer under the
-    /// governing epoch.
+    /// governing epoch. Entries already held (re-sends after a crash, link
+    /// duplication) are skipped — the position is immutable once assigned,
+    /// so a re-delivery carries nothing new.
     pub fn store_entries(&mut self, entries: Vec<Entry>) -> Result<()> {
         for entry in entries {
-            self.locate_and_insert(entry, true)?;
-            self.stats_stored += 1;
+            match self.locate_and_apply(entry, true, false) {
+                Ok(_) => self.stats_stored += 1,
+                Err(ChariotsError::DuplicateRecord(_)) => {}
+                Err(e) => return Err(e),
+            }
         }
         Ok(())
     }
 
-    fn locate_and_insert(&mut self, entry: Entry, write_wal: bool) -> Result<()> {
+    /// Applies entries replicated from a peer replica of this maintainer's
+    /// group (primary→backup push or anti-entropy repair), overwriting any
+    /// occupant, and returns the resulting frontier. Positions already
+    /// garbage-collected locally are skipped — collected data is gone.
+    pub fn replicate_entries(&mut self, entries: Vec<Entry>) -> Result<LId> {
+        for entry in entries {
+            match self.locate_and_apply(entry, true, true) {
+                Ok(_) => self.stats_stored += 1,
+                Err(ChariotsError::GarbageCollected(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Replication can extend the filled prefix past the append cursor;
+        // keep self-assignment ahead of what this replica now holds.
+        self.resume_assignment();
+        Ok(self.frontier())
+    }
+
+    /// Moves the self-assignment cursor of every epoch past the densest
+    /// filled prefix. Called when a backup is promoted to primary (and
+    /// after replication), so the new primary resumes assignment after the
+    /// replicated suffix instead of re-handing-out taken positions.
+    pub fn resume_assignment(&mut self) {
+        for state in &mut self.epochs {
+            state.next_local = state.next_local.max(state.store.filled_prefix());
+        }
+        self.refresh_own_frontier();
+    }
+
+    /// Locates `entry`'s slot under the governing epoch and applies it.
+    ///
+    /// Returns whether the slot was previously empty. With `overwrite`,
+    /// an occupant is replaced (identical copies are left alone without a
+    /// new WAL frame); without it, an occupied slot is a
+    /// [`ChariotsError::DuplicateRecord`] and nothing is written.
+    fn locate_and_apply(&mut self, entry: Entry, write_wal: bool, overwrite: bool) -> Result<bool> {
         let assignment = *self.journal.assignment_at(entry.lid);
         let Some(local) = assignment.local_index(self.id, entry.lid) else {
             return Err(ChariotsError::WrongMaintainer {
@@ -319,18 +373,39 @@ impl MaintainerCore {
             });
         };
         let epoch_idx = assignment.epoch.0 as usize;
+        {
+            let state = self.epoch_state(epoch_idx);
+            if state.store.is_collected(local) {
+                return Err(ChariotsError::GarbageCollected(entry.lid));
+            }
+            if let Some(existing) = state.store.get(local) {
+                if !overwrite {
+                    return Err(ChariotsError::DuplicateRecord(entry.record.id));
+                }
+                if existing.record.id == entry.record.id {
+                    return Ok(false);
+                }
+            }
+        }
         if write_wal {
             if let Some(wal) = &mut self.wal {
                 wal.append(&entry)?;
             }
         }
-        self.epoch_state(epoch_idx).store.insert(local, entry)?;
+        let state = self.epoch_state(epoch_idx);
+        let was_empty = if overwrite {
+            state.store.insert_or_replace(local, entry)?
+        } else {
+            state.store.insert(local, entry)?;
+            true
+        };
         self.refresh_own_frontier();
-        Ok(())
+        Ok(was_empty)
     }
 
     fn insert_at(&mut self, lid: LId, record: Record) -> Result<()> {
-        self.locate_and_insert(Entry::new(lid, record), true)
+        self.locate_and_apply(Entry::new(lid, record), true, false)
+            .map(|_| ())
     }
 
     /// This maintainer's frontier: the smallest owned global position still
@@ -727,10 +802,8 @@ mod tests {
 
     #[test]
     fn wal_recovery_restores_state() {
-        let dir = std::env::temp_dir().join(format!("chariots-m-recover-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("m0.wal");
-        let _ = std::fs::remove_file(&path);
+        let dir = chariots_simnet::TestDir::new("chariots-m-recover");
+        let path = dir.path().join("m0.wal");
 
         let journal = EpochJournal::new(RangeMap::new(2, 3));
         {
@@ -750,7 +823,6 @@ mod tests {
         // New appends continue after the recovered prefix.
         let ids = m.append_batch(vec![payload("c")]).unwrap();
         assert_eq!(ids[0].1, LId(2));
-        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

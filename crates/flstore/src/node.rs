@@ -10,7 +10,8 @@ use chariots_simnet::{
     Counter, Gauge, Histogram, MetricsRegistry, ServiceStation, Shutdown, StageTracer,
 };
 use chariots_types::{
-    ChariotsError, Entry, LId, Limit, MaintainerId, Result, TOId, TagValue, TraceId, ValuePredicate,
+    ChariotsError, Entry, Generation, LId, Limit, MaintainerId, Result, TOId, TagValue, TraceId,
+    ValuePredicate,
 };
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::RwLock;
@@ -18,6 +19,7 @@ use parking_lot::RwLock;
 use crate::indexer::{indexer_for, IndexerCore};
 use crate::maintainer::{AppendPayload, MaintainerCore, MaintainerStats};
 use crate::range::RangeMap;
+use crate::replication::{GroupState, ReplicaCtx, ReplicaGroupHandle};
 
 /// Reply channel for append requests: the assigned `(TOId, LId)` pairs.
 pub type AppendReplySender = Sender<Result<Vec<(TOId, LId)>>>;
@@ -46,6 +48,18 @@ pub enum MaintainerRequest {
     Store {
         /// Entries to persist.
         entries: Vec<Entry>,
+    },
+    /// Primary→backup replication of already-assigned entries (also used
+    /// by anti-entropy repair). Unlike `Store`, duplicates are overwritten
+    /// rather than rejected, and no tag postings or counters fire — the
+    /// acting primary already accounted for the records.
+    Replicate {
+        /// Entries to persist on this replica.
+        entries: Vec<Entry>,
+        /// The sender's view of the group generation (fencing).
+        generation: Generation,
+        /// Replies with this replica's frontier after applying.
+        reply: Sender<Result<LId>>,
     },
     /// Read one position.
     Read {
@@ -153,6 +167,22 @@ impl MaintainerHandle {
     pub fn store(&self, entries: Vec<Entry>) -> bool {
         self.station.note_arrival(entries.len() as u64);
         self.tx.send(MaintainerRequest::Store { entries }).is_ok()
+    }
+
+    /// Replicates already-assigned entries onto this replica, stamped with
+    /// the sender's group generation. Returns the replica's frontier after
+    /// applying; a stale generation is fenced.
+    pub fn replicate(&self, entries: Vec<Entry>, generation: Generation) -> Result<LId> {
+        self.station.note_arrival(entries.len() as u64);
+        let (reply, rx) = bounded(1);
+        self.tx
+            .send(MaintainerRequest::Replicate {
+                entries,
+                generation,
+                reply,
+            })
+            .map_err(|_| ChariotsError::ShutDown)?;
+        rx.recv().map_err(|_| ChariotsError::ShutDown)?
     }
 
     /// Read one position.
@@ -273,7 +303,7 @@ impl FabricObs {
 /// Registered after spawn (the topology is cyclic).
 #[derive(Clone, Default)]
 pub struct Fabric {
-    peers: Arc<RwLock<Vec<MaintainerHandle>>>,
+    peers: Arc<RwLock<Vec<ReplicaGroupHandle>>>,
     indexers: Arc<RwLock<Vec<IndexerHandle>>>,
     obs: FabricObs,
     /// The Chariots "store" stage tracer: exit stamps for traced records
@@ -301,8 +331,9 @@ impl Fabric {
         &self.obs
     }
 
-    /// Registers the full set of maintainer handles (gossip peers).
-    pub fn set_peers(&self, peers: Vec<MaintainerHandle>) {
+    /// Registers the full set of replica-group handles (gossip peers).
+    /// Gossip fans out group-wide so backups track the Head of the Log.
+    pub fn set_peers(&self, peers: Vec<ReplicaGroupHandle>) {
         *self.peers.write() = peers;
     }
 
@@ -346,20 +377,48 @@ impl Fabric {
     }
 }
 
-/// Spawns a maintainer node thread.
-///
-/// The node loop drains its channel in batches, paces application through
-/// `station`, gossips its frontier every `gossip_interval`, and posts tag
-/// information to the fabric's indexers.
+/// Spawns a standalone (unreplicated) maintainer node thread: a
+/// single-replica group. Kept as the simple entry point for tests and
+/// benches; deployments spawn full groups via [`spawn_replica`].
 pub fn spawn_maintainer(
-    mut core: MaintainerCore,
+    core: MaintainerCore,
     station: Arc<ServiceStation>,
     fabric: Fabric,
     gossip_interval: Duration,
     shutdown: Shutdown,
 ) -> (MaintainerHandle, JoinHandle<MaintainerCore>) {
+    let state = Arc::new(GroupState::new(core.id()));
+    let (handle, thread) = spawn_replica(
+        core,
+        station,
+        fabric,
+        gossip_interval,
+        shutdown,
+        ReplicaCtx::solo(Arc::clone(&state)),
+        Counter::new(),
+    );
+    state.set_replicas(vec![handle.clone()]);
+    (handle, thread)
+}
+
+/// Spawns one replica of a maintainer group.
+///
+/// The node loop drains its channel in batches, paces application through
+/// `station`, heartbeats the failure detector, gossips the group frontier
+/// every `gossip_interval` while acting primary, replicates appends and
+/// stores to its backups, and posts tag information to the fabric's
+/// indexers. `appended` is the group-level record counter, bumped only by
+/// the acting primary.
+pub fn spawn_replica(
+    mut core: MaintainerCore,
+    station: Arc<ServiceStation>,
+    fabric: Fabric,
+    gossip_interval: Duration,
+    shutdown: Shutdown,
+    ctx: ReplicaCtx,
+    appended: Counter,
+) -> (MaintainerHandle, JoinHandle<MaintainerCore>) {
     let (tx, rx) = unbounded::<MaintainerRequest>();
-    let appended = Counter::new();
     let handle = MaintainerHandle {
         id: core.id(),
         tx,
@@ -367,7 +426,7 @@ pub fn spawn_maintainer(
         appended: appended.clone(),
     };
     let thread = std::thread::Builder::new()
-        .name(format!("maintainer-{}", core.id()))
+        .name(format!("maintainer-{}-r{}", core.id(), ctx.index))
         .spawn(move || {
             maintainer_loop(
                 &mut core,
@@ -377,6 +436,7 @@ pub fn spawn_maintainer(
                 gossip_interval,
                 &shutdown,
                 &appended,
+                &ctx,
             );
             core
         })
@@ -394,6 +454,58 @@ fn collect_tag_postings(entries: &[Entry]) -> Vec<(String, Option<TagValue>, LId
     out
 }
 
+/// Pushes `entries` to every live backup of the group, stamped with the
+/// current generation. Called by the acting primary after it applies
+/// records locally; returning means every live backup acked (synchronous
+/// replication — the client's ack happens after this).
+fn replicate_to_backups(ctx: &ReplicaCtx, entries: &[Entry]) {
+    if entries.is_empty() {
+        return;
+    }
+    let replicas = ctx.group.replicas();
+    if replicas.len() < 2 {
+        return;
+    }
+    let generation = ctx.group.generation();
+    for (i, replica) in replicas.iter().enumerate() {
+        if i == ctx.index || replica.station().is_crashed() {
+            continue;
+        }
+        // A crashed backup answers Unavailable and catches up later via
+        // anti-entropy; a fenced reply means we were deposed mid-flight,
+        // in which case the new primary repairs divergence the same way.
+        let _ = replica.replicate(entries.to_vec(), generation);
+    }
+}
+
+/// The error a deposed (or never-primary) replica answers assignment
+/// requests with: the client should refresh and re-route.
+fn fenced(group: MaintainerId, ctx: &ReplicaCtx) -> ChariotsError {
+    let current = ctx.group.generation();
+    ChariotsError::Fenced {
+        group,
+        // The best stale stamp this replica can name is the generation
+        // preceding the current one (it has not acted under `current`).
+        sent: Generation(current.as_u64().saturating_sub(1)),
+        current,
+    }
+}
+
+/// Replicates any min-bound waiters drained by the last operation (their
+/// assignments bypass the normal append reply path).
+fn replicate_drained(core: &mut MaintainerCore, ctx: &ReplicaCtx) {
+    let drained = core.take_drained();
+    if drained.is_empty() || !ctx.group.is_primary(ctx.index) {
+        return;
+    }
+    let entries: Vec<Entry> = drained
+        .iter()
+        .filter_map(|&lid| core.read(lid, false).ok())
+        .collect();
+    replicate_to_backups(ctx, &entries);
+}
+
+#[allow(clippy::too_many_arguments)]
 fn maintainer_loop(
     core: &mut MaintainerCore,
     rx: &Receiver<MaintainerRequest>,
@@ -402,8 +514,12 @@ fn maintainer_loop(
     gossip_interval: Duration,
     shutdown: &Shutdown,
     appended: &Counter,
+    ctx: &ReplicaCtx,
 ) {
     let mut last_gossip = std::time::Instant::now();
+    let mut last_heartbeat = std::time::Instant::now();
+    let heartbeat_key = ctx.key();
+    let mut was_primary = ctx.group.is_primary(ctx.index);
     // Pre-routed entries that arrived while the machine was crashed: their
     // positions are already committed by the queues' token, so they must
     // not be lost — a real deployment recovers them from the WAL or a
@@ -419,37 +535,69 @@ fn maintainer_loop(
             Err(RecvTimeoutError::Disconnected) => return,
         };
 
+        // Liveness: report to the failure detector while the machine is
+        // up. A crashed station stops beating, so silence accumulates and
+        // the detector suspects this replica after the suspicion timeout.
+        if let Some(detector) = &ctx.detector {
+            if !station.is_crashed() && last_heartbeat.elapsed() >= ctx.heartbeat_interval {
+                detector.heartbeat(&heartbeat_key);
+                last_heartbeat = std::time::Instant::now();
+            }
+        }
+
+        // Role change: a backup promoted to primary resumes self-assignment
+        // after the suffix it already replicated, instead of re-assigning
+        // positions the old primary handed out.
+        let is_primary = ctx.group.is_primary(ctx.index);
+        if is_primary && !was_primary {
+            core.resume_assignment();
+        }
+        was_primary = is_primary;
+
         // Recovery: apply everything buffered during the outage first.
         if !crash_buffer.is_empty() && !station.is_crashed() {
             let entries = std::mem::take(&mut crash_buffer);
             let n = entries.len() as u64;
-            if station.serve(n).is_ok() {
-                let postings = collect_tag_postings(&entries);
-                let traced: Vec<TraceId> = entries.iter().filter_map(|e| e.record.trace).collect();
-                if core.store_entries(entries).is_ok() {
-                    appended.add(n);
-                    fabric.stamp_store_exits(&traced);
-                    fabric.post_tags(postings);
+            if is_primary {
+                if station.serve(n).is_ok() {
+                    let postings = collect_tag_postings(&entries);
+                    let traced: Vec<TraceId> =
+                        entries.iter().filter_map(|e| e.record.trace).collect();
+                    if core.store_entries(entries.clone()).is_ok() {
+                        appended.add(n);
+                        fabric.stamp_store_exits(&traced);
+                        fabric.post_tags(postings);
+                        replicate_to_backups(ctx, &entries);
+                    }
                 }
+            } else if let Some(primary) = ctx.group.primary_handle() {
+                // Deposed while down: the buffered positions belong to the
+                // current primary now — hand them over.
+                primary.store(entries);
             }
         }
 
         if let Some(req) = req {
-            serve_request(core, req, station, fabric, appended, &mut crash_buffer);
+            serve_request(core, req, station, fabric, appended, &mut crash_buffer, ctx);
         }
 
-        // Periodic gossip of our frontier + a chance for parked
-        // min-bound records to drain.
+        // Periodic drain of parked min-bound records, plus gossip: only
+        // the acting primary speaks for the group; backups still refresh
+        // their own frontier so a promotion starts from an honest view.
         if last_gossip.elapsed() >= gossip_interval {
             last_gossip = std::time::Instant::now();
             let _ = core.drain_deferred();
+            replicate_drained(core, ctx);
             let (from, frontier) = core.gossip_out();
-            fabric.gossip(from, frontier);
-            fabric.obs().note_gossip(core.head_of_log());
+            if is_primary {
+                fabric.gossip(from, frontier);
+                fabric.obs().note_gossip(core.head_of_log());
+            }
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn serve_request(
     core: &mut MaintainerCore,
     req: MaintainerRequest,
@@ -457,6 +605,7 @@ fn serve_request(
     fabric: &Fabric,
     appended: &Counter,
     crash_buffer: &mut Vec<Entry>,
+    ctx: &ReplicaCtx,
 ) {
     match req {
         MaintainerRequest::Append { payloads, reply } => {
@@ -469,16 +618,27 @@ fn serve_request(
                 }
                 return;
             }
+            if !ctx.group.is_primary(ctx.index) {
+                // Only the primary assigns positions; fence the request so
+                // the client refreshes its routing toward the new primary.
+                if let Some(reply) = reply {
+                    let _ = reply.send(Err(fenced(core.id(), ctx)));
+                }
+                return;
+            }
             let t0 = std::time::Instant::now();
             let result = core.append_batch(payloads);
             if let Ok(assigned) = &result {
                 fabric.obs().append_latency.record_duration(t0.elapsed());
                 appended.add(assigned.len() as u64);
-                let postings: Vec<_> = assigned
+                let stored: Vec<Entry> = assigned
                     .iter()
                     .filter_map(|(_, lid)| core.read(*lid, false).ok())
-                    .collect::<Vec<_>>();
-                fabric.post_tags(collect_tag_postings(&postings));
+                    .collect();
+                fabric.post_tags(collect_tag_postings(&stored));
+                // Ack only after every live backup holds the records.
+                replicate_to_backups(ctx, &stored);
+                replicate_drained(core, ctx);
             }
             if let Some(reply) = reply {
                 let _ = reply.send(result);
@@ -493,13 +653,19 @@ fn serve_request(
                 let _ = reply.send(Err(e));
                 return;
             }
+            if !ctx.group.is_primary(ctx.index) {
+                let _ = reply.send(Err(fenced(core.id(), ctx)));
+                return;
+            }
             let result = core.append_min_bound(payload, min);
             if let Ok(Some((_, lid))) = &result {
                 appended.add(1);
                 if let Ok(entry) = core.read(*lid, false) {
                     fabric.post_tags(collect_tag_postings(std::slice::from_ref(&entry)));
+                    replicate_to_backups(ctx, std::slice::from_ref(&entry));
                 }
             }
+            replicate_drained(core, ctx);
             let _ = reply.send(result);
         }
         MaintainerRequest::Store { entries } => {
@@ -510,15 +676,54 @@ fn serve_request(
                 crash_buffer.extend(entries);
                 return;
             }
+            if !ctx.group.is_primary(ctx.index) {
+                // Routed here because the primary's machine is down (or a
+                // stale route). Relay to a live primary when there is one;
+                // otherwise persist locally so the positions survive until
+                // this replica (or a repaired peer) is promoted.
+                match ctx.group.primary_handle() {
+                    Some(primary) if !primary.station().is_crashed() => {
+                        primary.store(entries);
+                    }
+                    _ => {
+                        let _ = core.replicate_entries(entries);
+                    }
+                }
+                return;
+            }
             let postings = collect_tag_postings(&entries);
             let traced: Vec<TraceId> = entries.iter().filter_map(|e| e.record.trace).collect();
             let t0 = std::time::Instant::now();
-            if core.store_entries(entries).is_ok() {
+            if core.store_entries(entries.clone()).is_ok() {
                 fabric.obs().store_latency.record_duration(t0.elapsed());
                 appended.add(n);
                 fabric.stamp_store_exits(&traced);
                 fabric.post_tags(postings);
+                replicate_to_backups(ctx, &entries);
             }
+        }
+        MaintainerRequest::Replicate {
+            entries,
+            generation,
+            reply,
+        } => {
+            let n = entries.len() as u64;
+            if let Err(e) = station.serve(n) {
+                let _ = reply.send(Err(e));
+                return;
+            }
+            let current = ctx.group.generation();
+            if generation < current {
+                let _ = reply.send(Err(ChariotsError::Fenced {
+                    group: core.id(),
+                    sent: generation,
+                    current,
+                }));
+                return;
+            }
+            // No counters, postings, or trace stamps here: the acting
+            // primary already accounted for these records.
+            let _ = reply.send(core.replicate_entries(entries));
         }
         MaintainerRequest::Read {
             lid,
@@ -544,6 +749,7 @@ fn serve_request(
         MaintainerRequest::GossipIn { from, frontier } => {
             core.gossip_in(from, frontier);
             let _ = core.drain_deferred();
+            replicate_drained(core, ctx);
         }
         MaintainerRequest::AnnounceEpoch { start, map } => {
             core.announce_epoch(start, map);
@@ -712,7 +918,12 @@ mod tests {
             handles.push(h);
             threads.push(t);
         }
-        fabric.set_peers(handles.clone());
+        let groups = handles
+            .iter()
+            .cloned()
+            .map(ReplicaGroupHandle::solo)
+            .collect();
+        fabric.set_peers(groups);
         (handles, fabric, shutdown, threads)
     }
 

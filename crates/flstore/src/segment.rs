@@ -152,6 +152,29 @@ impl SegmentStore {
         Ok(())
     }
 
+    /// Inserts `entry` at `local_idx`, replacing any occupant (replication
+    /// repair: the copy stamped by the current generation wins). Returns
+    /// whether the slot was previously empty. Inserting below the GC floor
+    /// is still an error — collected data is gone on every replica.
+    pub fn insert_or_replace(&mut self, local_idx: u64, entry: Entry) -> Result<bool> {
+        if local_idx < self.gc_floor {
+            return Err(ChariotsError::GarbageCollected(entry.lid));
+        }
+        let size = self.segment_size as u64;
+        let seg = self.segment_mut(local_idx);
+        let slot = (local_idx % size) as usize;
+        let was_empty = seg.slots[slot].is_none();
+        seg.slots[slot] = Some(entry);
+        if was_empty {
+            seg.filled += 1;
+            self.len += 1;
+            while self.get(self.filled_prefix).is_some() {
+                self.filled_prefix += 1;
+            }
+        }
+        Ok(was_empty)
+    }
+
     /// The entry at `local_idx`, if present and not GC'd.
     pub fn get(&self, local_idx: u64) -> Option<&Entry> {
         let seg = self.segment(local_idx)?;
@@ -255,6 +278,20 @@ mod tests {
             Err(ChariotsError::DuplicateRecord(_))
         ));
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn insert_or_replace_overwrites_without_double_count() {
+        let mut s = SegmentStore::new(4);
+        assert!(s.insert_or_replace(0, entry(0)).unwrap());
+        assert!(!s.insert_or_replace(0, entry(0)).unwrap());
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.filled_prefix(), 1);
+        s.gc_before(1);
+        assert!(matches!(
+            s.insert_or_replace(0, entry(0)),
+            Err(ChariotsError::GarbageCollected(_))
+        ));
     }
 
     #[test]

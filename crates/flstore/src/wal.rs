@@ -322,10 +322,8 @@ mod tests {
 
     #[test]
     fn wal_roundtrips_through_file() {
-        let dir = std::env::temp_dir().join(format!("chariots-wal-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("roundtrip.wal");
-        let _ = std::fs::remove_file(&path);
+        let dir = chariots_simnet::TestDir::new("chariots-wal");
+        let path = dir.path().join("roundtrip.wal");
 
         let entries: Vec<Entry> = (0..10).map(|i| sample_entry(i, i + 1)).collect();
         {
@@ -338,7 +336,6 @@ mod tests {
         }
         let replayed = Wal::replay(&path).unwrap();
         assert_eq!(replayed, entries);
-        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
@@ -349,10 +346,8 @@ mod tests {
 
     #[test]
     fn replay_stops_at_torn_tail() {
-        let dir = std::env::temp_dir().join(format!("chariots-wal-torn-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("torn.wal");
-        let _ = std::fs::remove_file(&path);
+        let dir = chariots_simnet::TestDir::new("chariots-wal-torn");
+        let path = dir.path().join("torn.wal");
         {
             let mut wal = Wal::open(&path).unwrap();
             wal.append(&sample_entry(0, 1)).unwrap();
@@ -365,15 +360,12 @@ mod tests {
         let replayed = Wal::replay(&path).unwrap();
         assert_eq!(replayed.len(), 1);
         assert_eq!(replayed[0].lid, LId(0));
-        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
     fn replay_stops_at_corrupt_frame_but_keeps_prefix() {
-        let dir = std::env::temp_dir().join(format!("chariots-wal-corrupt-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("corrupt.wal");
-        let _ = std::fs::remove_file(&path);
+        let dir = chariots_simnet::TestDir::new("chariots-wal-corrupt");
+        let path = dir.path().join("corrupt.wal");
         {
             let mut wal = Wal::open(&path).unwrap();
             wal.append(&sample_entry(0, 1)).unwrap();
@@ -391,15 +383,12 @@ mod tests {
         std::fs::write(&path, &data).unwrap();
         let replayed = Wal::replay(&path).unwrap();
         assert_eq!(replayed.len(), 1, "only the intact prefix survives");
-        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
     fn append_after_reopen_extends_log() {
-        let dir = std::env::temp_dir().join(format!("chariots-wal-reopen-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("reopen.wal");
-        let _ = std::fs::remove_file(&path);
+        let dir = chariots_simnet::TestDir::new("chariots-wal-reopen");
+        let path = dir.path().join("reopen.wal");
         {
             let mut wal = Wal::open(&path).unwrap();
             wal.append(&sample_entry(0, 1)).unwrap();
@@ -412,6 +401,69 @@ mod tests {
         }
         let replayed = Wal::replay(&path).unwrap();
         assert_eq!(replayed.len(), 2);
-        std::fs::remove_file(&path).unwrap();
+    }
+
+    mod torn_tail {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Byte offset at which each frame ends, given the entries written.
+        fn frame_ends(entries: &[Entry]) -> Vec<usize> {
+            let mut ends = Vec::with_capacity(entries.len());
+            let mut pos = 0usize;
+            let mut buf = Vec::new();
+            for e in entries {
+                buf.clear();
+                encode_entry(e, &mut buf);
+                pos += 8 + buf.len();
+                ends.push(pos);
+            }
+            ends
+        }
+
+        proptest! {
+            /// Crash-consistency contract (§5.2 durability): whatever a
+            /// crash does to the file's tail — truncation mid-frame or a
+            /// flipped byte — replay returns *exactly* the longest prefix
+            /// of intact frames, never a partial or corrupted record.
+            #[test]
+            fn replay_yields_longest_valid_prefix(
+                n in 1usize..16,
+                cut_frac in 0.0f64..1.0,
+                flip in proptest::bool::ANY,
+            ) {
+                let dir = chariots_simnet::TestDir::new("chariots-wal-prop");
+                let path = dir.path().join("prop.wal");
+                let entries: Vec<Entry> =
+                    (0..n as u64).map(|i| sample_entry(i, i + 1)).collect();
+                {
+                    let mut wal = Wal::open(&path).unwrap();
+                    for e in &entries {
+                        wal.append(e).unwrap();
+                    }
+                    wal.sync().unwrap();
+                }
+                let ends = frame_ends(&entries);
+                let total = *ends.last().unwrap();
+                prop_assert_eq!(std::fs::metadata(&path).unwrap().len() as usize, total);
+                let cut = ((total as f64) * cut_frac) as usize;
+                let expected = if flip {
+                    // Flip one byte: the frame containing it fails its CRC
+                    // (or decodes as garbage), ending replay there.
+                    let mut data = std::fs::read(&path).unwrap();
+                    let target = cut.min(total - 1);
+                    data[target] ^= 0xFF;
+                    std::fs::write(&path, &data).unwrap();
+                    ends.iter().position(|&e| e > target).unwrap()
+                } else {
+                    // Truncate: only frames wholly below the cut survive.
+                    let data = std::fs::read(&path).unwrap();
+                    std::fs::write(&path, &data[..cut]).unwrap();
+                    ends.iter().take_while(|&&e| e <= cut).count()
+                };
+                let replayed = Wal::replay(&path).unwrap();
+                prop_assert_eq!(&replayed[..], &entries[..expected]);
+            }
+        }
     }
 }

@@ -1,0 +1,228 @@
+//! Heartbeat-based failure detection for simulated machines.
+//!
+//! Real deployments detect crashed nodes by the absence of heartbeats; this
+//! module reproduces that signal for the simulated cluster. Worker threads
+//! call [`FailureDetector::heartbeat`] while they are healthy (a crashed
+//! [`ServiceStation`](crate::ServiceStation) stops its owner from beating),
+//! and a [`FailureMonitor`] thread periodically asks the detector for the
+//! set of *suspected* machines — those whose last heartbeat is older than
+//! the suspicion timeout — and hands them to a callback (e.g. a failover
+//! routine).
+//!
+//! The detector is deliberately simple: no phi-accrual, no gossip — a
+//! single tunable suspicion timeout, which is all the deterministic
+//! simulation needs. False suspicion under load is possible exactly as in a
+//! real cluster, and callers must tolerate a suspected machine coming back.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::shutdown::Shutdown;
+
+#[derive(Debug)]
+struct Inner {
+    suspicion_timeout: Duration,
+    beats: Mutex<HashMap<String, Instant>>,
+}
+
+/// Tracks per-machine heartbeats and reports machines whose heartbeat is
+/// older than the suspicion timeout. Clones share state.
+#[derive(Debug, Clone)]
+pub struct FailureDetector {
+    inner: Arc<Inner>,
+}
+
+impl FailureDetector {
+    /// Creates a detector that suspects a machine after `suspicion_timeout`
+    /// without a heartbeat.
+    pub fn new(suspicion_timeout: Duration) -> Self {
+        FailureDetector {
+            inner: Arc::new(Inner {
+                suspicion_timeout,
+                beats: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// The configured suspicion timeout.
+    pub fn suspicion_timeout(&self) -> Duration {
+        self.inner.suspicion_timeout
+    }
+
+    /// Registers `key` with a fresh heartbeat (a machine is healthy until
+    /// proven otherwise — registering starts its timeout clock).
+    pub fn register(&self, key: impl Into<String>) {
+        self.inner.beats.lock().insert(key.into(), Instant::now());
+    }
+
+    /// Removes `key` from monitoring (machine decommissioned).
+    pub fn deregister(&self, key: &str) {
+        self.inner.beats.lock().remove(key);
+    }
+
+    /// Records a heartbeat from `key`. Unregistered keys are registered
+    /// implicitly.
+    pub fn heartbeat(&self, key: &str) {
+        let mut beats = self.inner.beats.lock();
+        match beats.get_mut(key) {
+            Some(at) => *at = Instant::now(),
+            None => {
+                beats.insert(key.to_string(), Instant::now());
+            }
+        }
+    }
+
+    /// Whether `key` is currently suspected: registered, and silent for
+    /// longer than the suspicion timeout. Unknown keys are not suspected.
+    pub fn is_suspected(&self, key: &str) -> bool {
+        let beats = self.inner.beats.lock();
+        match beats.get(key) {
+            Some(at) => at.elapsed() > self.inner.suspicion_timeout,
+            None => false,
+        }
+    }
+
+    /// Age of `key`'s most recent heartbeat, if registered.
+    pub fn last_heartbeat_age(&self, key: &str) -> Option<Duration> {
+        self.inner.beats.lock().get(key).map(|at| at.elapsed())
+    }
+
+    /// All currently suspected machines, sorted by key.
+    pub fn suspects(&self) -> Vec<String> {
+        let beats = self.inner.beats.lock();
+        let mut out: Vec<String> = beats
+            .iter()
+            .filter(|(_, at)| at.elapsed() > self.inner.suspicion_timeout)
+            .map(|(k, _)| k.clone())
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+/// A periodic monitor thread over a [`FailureDetector`].
+///
+/// Every `period` it collects the detector's suspect set and invokes the
+/// callback (even when the set is empty, so the callback can double as a
+/// general periodic maintenance hook — anti-entropy, lag metrics, …).
+#[derive(Debug)]
+pub struct FailureMonitor {
+    handle: Option<JoinHandle<()>>,
+    shutdown: Shutdown,
+}
+
+impl FailureMonitor {
+    /// Spawns the monitor thread. `on_tick` runs on the monitor thread; it
+    /// must not block for long relative to `period`.
+    pub fn spawn(
+        detector: FailureDetector,
+        period: Duration,
+        mut on_tick: impl FnMut(&[String]) + Send + 'static,
+    ) -> Self {
+        let shutdown = Shutdown::new();
+        let stop = shutdown.clone();
+        let handle = std::thread::Builder::new()
+            .name("failure-monitor".into())
+            .spawn(move || {
+                while !stop.is_signaled() {
+                    std::thread::sleep(period);
+                    if stop.is_signaled() {
+                        break;
+                    }
+                    let suspects = detector.suspects();
+                    on_tick(&suspects);
+                }
+            })
+            .expect("spawn failure monitor");
+        FailureMonitor {
+            handle: Some(handle),
+            shutdown,
+        }
+    }
+
+    /// Signals the monitor to stop and joins its thread.
+    pub fn stop(mut self) {
+        self.shutdown.signal();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for FailureMonitor {
+    fn drop(&mut self) {
+        self.shutdown.signal();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn fresh_registration_is_not_suspected() {
+        let d = FailureDetector::new(Duration::from_millis(50));
+        d.register("m0");
+        assert!(!d.is_suspected("m0"));
+        assert!(d.suspects().is_empty());
+    }
+
+    #[test]
+    fn silence_beyond_timeout_is_suspected() {
+        let d = FailureDetector::new(Duration::from_millis(20));
+        d.register("m0");
+        d.register("m1");
+        std::thread::sleep(Duration::from_millis(40));
+        d.heartbeat("m1");
+        assert!(d.is_suspected("m0"));
+        assert!(!d.is_suspected("m1"));
+        assert_eq!(d.suspects(), vec!["m0".to_string()]);
+    }
+
+    #[test]
+    fn heartbeat_clears_suspicion() {
+        let d = FailureDetector::new(Duration::from_millis(20));
+        d.register("m0");
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(d.is_suspected("m0"));
+        d.heartbeat("m0");
+        assert!(!d.is_suspected("m0"));
+    }
+
+    #[test]
+    fn unknown_and_deregistered_keys_are_not_suspected() {
+        let d = FailureDetector::new(Duration::from_millis(1));
+        assert!(!d.is_suspected("ghost"));
+        d.register("m0");
+        std::thread::sleep(Duration::from_millis(10));
+        d.deregister("m0");
+        assert!(!d.is_suspected("m0"));
+    }
+
+    #[test]
+    fn monitor_reports_suspects_periodically() {
+        let d = FailureDetector::new(Duration::from_millis(10));
+        d.register("m0");
+        let ticks = Arc::new(AtomicUsize::new(0));
+        let suspected = Arc::new(AtomicUsize::new(0));
+        let (t, s) = (Arc::clone(&ticks), Arc::clone(&suspected));
+        let monitor = FailureMonitor::spawn(d.clone(), Duration::from_millis(5), move |sus| {
+            t.fetch_add(1, Ordering::Relaxed);
+            if !sus.is_empty() {
+                s.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        std::thread::sleep(Duration::from_millis(60));
+        monitor.stop();
+        assert!(ticks.load(Ordering::Relaxed) >= 3);
+        assert!(suspected.load(Ordering::Relaxed) >= 1);
+    }
+}

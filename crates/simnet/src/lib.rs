@@ -19,7 +19,13 @@
 //! * [`trace`] — sampled per-record tracing: a [`PipelineTracer`] stamps
 //!   [`TraceId`](chariots_types::TraceId)s on records and stages record
 //!   enter/exit times through [`StageTracer`]s.
+//! * [`failure`] — heartbeat-based [`FailureDetector`] and the periodic
+//!   [`FailureMonitor`] thread that drives failover decisions.
+//! * [`retry`] — [`RetryPolicy`]: bounded retries with deterministic
+//!   jittered exponential backoff for clients riding out failover windows.
 //! * [`shutdown`] — cooperative worker shutdown.
+//! * [`tempdir`] — [`TestDir`]: collision-free, self-cleaning scratch
+//!   directories for tests that persist WALs.
 //!
 //! ```
 //! use chariots_simnet::{Link, LinkConfig, ServiceStation, StationConfig};
@@ -40,19 +46,25 @@
 
 #![warn(missing_docs)]
 
+pub mod failure;
 pub mod link;
 pub mod metrics;
 pub mod pacing;
+pub mod retry;
 pub mod shutdown;
 pub mod station;
+pub mod tempdir;
 pub mod trace;
 
+pub use failure::{FailureDetector, FailureMonitor};
 pub use link::{Link, LinkConfig, LinkHandle, LinkSender};
 pub use metrics::{
     sample_until, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
     Series, ThroughputMeter, TimeSeries,
 };
 pub use pacing::{sleep_until, RateLimiter};
+pub use retry::RetryPolicy;
 pub use shutdown::Shutdown;
 pub use station::{ServiceStation, StationConfig};
+pub use tempdir::TestDir;
 pub use trace::{PipelineTracer, StageTracer};

@@ -1,0 +1,220 @@
+//! Bounded retry with deterministic jittered exponential backoff.
+//!
+//! Clients of a replicated service see transient `Unavailable` errors during
+//! failover windows; the right response is a small, *bounded* number of
+//! retries with backoff — not an immediate error, and not an unbounded spin.
+//! The jitter is derived from a seed (splitmix64), so simulated runs stay
+//! reproducible without pulling in a RNG dependency on the hot path.
+
+use std::time::Duration;
+
+/// Backoff schedule for [`RetryPolicy::run`]: exponential growth from
+/// `base_delay`, capped at `max_delay`, with multiplicative jitter in
+/// `[1 - jitter, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (so `1` means "no retries").
+    pub max_attempts: u32,
+    /// Delay before the first retry.
+    pub base_delay: Duration,
+    /// Upper bound on any single delay.
+    pub max_delay: Duration,
+    /// Jitter fraction in `[0, 1)`: each delay is scaled by a deterministic
+    /// factor drawn from `[1 - jitter, 1]`.
+    pub jitter: f64,
+    /// Seed for the deterministic jitter sequence.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 10,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(50),
+            jitter: 0.5,
+            seed: 0x5EED_CAFE,
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl RetryPolicy {
+    /// Starts from defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the total number of attempts (including the first).
+    pub fn max_attempts(mut self, n: u32) -> Self {
+        assert!(n >= 1, "at least one attempt is required");
+        self.max_attempts = n;
+        self
+    }
+
+    /// Sets the delay before the first retry.
+    pub fn base_delay(mut self, d: Duration) -> Self {
+        self.base_delay = d;
+        self
+    }
+
+    /// Sets the cap on any single delay.
+    pub fn max_delay(mut self, d: Duration) -> Self {
+        self.max_delay = d;
+        self
+    }
+
+    /// Sets the jitter fraction (`0.0` disables jitter).
+    pub fn jitter(mut self, j: f64) -> Self {
+        assert!((0.0..1.0).contains(&j));
+        self.jitter = j;
+        self
+    }
+
+    /// Sets the jitter seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The delay to sleep after failed attempt number `attempt` (0-based).
+    pub fn delay_for(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.max_delay);
+        if self.jitter == 0.0 {
+            return exp;
+        }
+        let h = splitmix64(self.seed ^ u64::from(attempt));
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        let factor = 1.0 - self.jitter * unit;
+        exp.mul_f64(factor)
+    }
+
+    /// Runs `op` up to `max_attempts` times, sleeping the backoff delay
+    /// between attempts. `op` receives the 0-based attempt number.
+    /// An error for which `retryable` returns `false` aborts immediately;
+    /// the error of the final attempt is returned as-is.
+    pub fn run<T, E>(
+        &self,
+        mut retryable: impl FnMut(&E) -> bool,
+        mut op: impl FnMut(u32) -> Result<T, E>,
+    ) -> Result<T, E> {
+        let mut attempt = 0;
+        loop {
+            match op(attempt) {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    if attempt + 1 >= self.max_attempts || !retryable(&e) {
+                        return Err(e);
+                    }
+                    std::thread::sleep(self.delay_for(attempt));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn succeeds_first_try_without_sleeping() {
+        let policy = RetryPolicy::new().base_delay(Duration::from_secs(10));
+        let start = std::time::Instant::now();
+        let out: Result<u32, ()> = policy.run(|_| true, |_| Ok(7));
+        assert_eq!(out, Ok(7));
+        assert!(start.elapsed() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn retries_until_success() {
+        let policy = RetryPolicy::new()
+            .max_attempts(5)
+            .base_delay(Duration::from_micros(10));
+        let mut calls = 0;
+        let out: Result<&str, &str> = policy.run(
+            |_| true,
+            |attempt| {
+                calls += 1;
+                if attempt < 3 {
+                    Err("transient")
+                } else {
+                    Ok("done")
+                }
+            },
+        );
+        assert_eq!(out, Ok("done"));
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn exhausts_attempts_and_returns_last_error() {
+        let policy = RetryPolicy::new()
+            .max_attempts(3)
+            .base_delay(Duration::from_micros(10));
+        let mut calls = 0;
+        let out: Result<(), u32> = policy.run(
+            |_| true,
+            |attempt| {
+                calls += 1;
+                Err(attempt)
+            },
+        );
+        assert_eq!(out, Err(2));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn non_retryable_error_aborts_immediately() {
+        let policy = RetryPolicy::new().max_attempts(10);
+        let mut calls = 0;
+        let out: Result<(), &str> = policy.run(
+            |e| *e != "fatal",
+            |_| {
+                calls += 1;
+                Err("fatal")
+            },
+        );
+        assert_eq!(out, Err("fatal"));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn delays_grow_and_cap() {
+        let policy = RetryPolicy::new()
+            .base_delay(Duration::from_millis(2))
+            .max_delay(Duration::from_millis(16))
+            .jitter(0.0);
+        assert_eq!(policy.delay_for(0), Duration::from_millis(2));
+        assert_eq!(policy.delay_for(1), Duration::from_millis(4));
+        assert_eq!(policy.delay_for(3), Duration::from_millis(16));
+        assert_eq!(policy.delay_for(30), Duration::from_millis(16));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let policy = RetryPolicy::new()
+            .base_delay(Duration::from_millis(8))
+            .max_delay(Duration::from_millis(8))
+            .jitter(0.5)
+            .seed(42);
+        let a = policy.delay_for(0);
+        let b = policy.delay_for(0);
+        assert_eq!(a, b, "same seed and attempt must jitter identically");
+        assert!(a <= Duration::from_millis(8));
+        assert!(a >= Duration::from_millis(4));
+        let other = policy.clone().seed(43).delay_for(0);
+        assert_ne!(a, other, "different seeds should (generically) differ");
+    }
+}

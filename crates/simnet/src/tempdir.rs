@@ -1,0 +1,84 @@
+//! Collision-free scratch directories for tests.
+//!
+//! `std::env::temp_dir().join(format!("...-{}", std::process::id()))` is not
+//! unique: every `#[test]` in one binary shares the process id, so two tests
+//! using the same prefix — or one test re-run in-process — race on the same
+//! path and corrupt each other's WAL files. [`TestDir`] adds a process-wide
+//! atomic nonce to the name and removes the directory when dropped, so each
+//! construction gets a fresh, private path and leaves nothing behind.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone per-process nonce distinguishing directories that share a
+/// prefix and a process id.
+static NONCE: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named scratch directory under [`std::env::temp_dir`] that is
+/// deleted (recursively) on drop.
+///
+/// ```
+/// let dir = chariots_simnet::TestDir::new("doc-example");
+/// std::fs::write(dir.path().join("x"), b"hi").unwrap();
+/// let path = dir.path().to_path_buf();
+/// drop(dir);
+/// assert!(!path.exists());
+/// ```
+#[derive(Debug)]
+pub struct TestDir {
+    path: PathBuf,
+}
+
+impl TestDir {
+    /// Creates `temp_dir()/{prefix}-{pid}-{nonce}`, with the directory
+    /// itself already created on disk.
+    pub fn new(prefix: &str) -> Self {
+        let nonce = NONCE.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("{prefix}-{}-{nonce}", std::process::id()));
+        // A leftover from a crashed previous process with the same pid is
+        // stale by definition; clear it so the test starts clean.
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create test dir");
+        TestDir { path }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl AsRef<Path> for TestDir {
+    fn as_ref(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TestDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_prefix_yields_distinct_paths() {
+        let a = TestDir::new("simnet-tempdir");
+        let b = TestDir::new("simnet-tempdir");
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir());
+        assert!(b.path().is_dir());
+    }
+
+    #[test]
+    fn removed_on_drop() {
+        let dir = TestDir::new("simnet-tempdir-drop");
+        let path = dir.path().to_path_buf();
+        std::fs::write(path.join("f"), b"x").unwrap();
+        drop(dir);
+        assert!(!path.exists());
+    }
+}

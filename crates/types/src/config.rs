@@ -25,6 +25,15 @@ pub struct FLStoreConfig {
     /// Capacity bound of a maintainer's buffer of min-bound (explicit order)
     /// records, to "avoid a large backlog of partial logs" (§5.4).
     pub max_deferred_appends: usize,
+    /// Replicas per maintainer group (`f + 1`): 1 disables replication,
+    /// 2 (the default) survives one replica failure per group. Appends ack
+    /// only after reaching every live replica of the owning group.
+    pub replication_factor: usize,
+    /// How often each replica reports liveness to the failure detector.
+    pub heartbeat_interval: Duration,
+    /// Silence after which the failure detector suspects a replica and the
+    /// controller considers failing over its group.
+    pub suspicion_timeout: Duration,
 }
 
 impl Default for FLStoreConfig {
@@ -35,6 +44,9 @@ impl Default for FLStoreConfig {
             num_indexers: 1,
             gossip_interval: Duration::from_millis(5),
             max_deferred_appends: 65_536,
+            replication_factor: 2,
+            heartbeat_interval: Duration::from_millis(5),
+            suspicion_timeout: Duration::from_millis(150),
         }
     }
 }
@@ -69,6 +81,25 @@ impl FLStoreConfig {
         self
     }
 
+    /// Sets the replication factor (replicas per maintainer group; 1
+    /// disables replication).
+    pub fn replication(mut self, n: usize) -> Self {
+        self.replication_factor = n;
+        self
+    }
+
+    /// Sets the replica heartbeat interval.
+    pub fn heartbeat_interval(mut self, d: Duration) -> Self {
+        self.heartbeat_interval = d;
+        self
+    }
+
+    /// Sets the failure-detector suspicion timeout.
+    pub fn suspicion_timeout(mut self, d: Duration) -> Self {
+        self.suspicion_timeout = d;
+        self
+    }
+
     /// Validates internal consistency.
     pub fn validate(&self) -> Result<(), String> {
         if self.num_maintainers == 0 {
@@ -79,6 +110,12 @@ impl FLStoreConfig {
         }
         if self.num_indexers == 0 {
             return Err("num_indexers must be at least 1".into());
+        }
+        if self.replication_factor == 0 {
+            return Err("replication_factor must be at least 1".into());
+        }
+        if self.suspicion_timeout < self.heartbeat_interval {
+            return Err("suspicion_timeout must be at least the heartbeat interval".into());
         }
         Ok(())
     }
@@ -290,6 +327,16 @@ mod tests {
     #[test]
     fn zero_batch_size_rejected() {
         let cfg = FLStoreConfig::new().batch_size(0);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn replication_knobs_validate() {
+        assert!(FLStoreConfig::new().replication(0).validate().is_err());
+        assert!(FLStoreConfig::new().replication(3).validate().is_ok());
+        let cfg = FLStoreConfig::new()
+            .heartbeat_interval(Duration::from_millis(50))
+            .suspicion_timeout(Duration::from_millis(10));
         assert!(cfg.validate().is_err());
     }
 

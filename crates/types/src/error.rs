@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use crate::ids::{DatacenterId, LId, MaintainerId, RecordId};
+use crate::ids::{DatacenterId, Generation, LId, MaintainerId, RecordId};
 
 /// Errors surfaced by the shared-log APIs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,6 +25,19 @@ pub enum ChariotsError {
     /// A record with this identity was already incorporated (filters enforce
     /// exactly-once, §6.2); the duplicate was dropped.
     DuplicateRecord(RecordId),
+    /// The request carried a stale replica-group generation: a failover
+    /// promoted a new primary and fenced the sender's generation.
+    Fenced {
+        /// The replica group addressed.
+        group: MaintainerId,
+        /// The generation the request was stamped with.
+        sent: Generation,
+        /// The group's current generation.
+        current: Generation,
+    },
+    /// The replica group has no live primary to serve the request (all
+    /// replicas crashed or still catching up).
+    NoLivePrimary(MaintainerId),
     /// The machine or datacenter addressed is down or partitioned away.
     Unavailable(String),
     /// A buffer reached its configured capacity bound.
@@ -54,6 +67,17 @@ impl fmt::Display for ChariotsError {
             ),
             ChariotsError::DuplicateRecord(id) => {
                 write!(f, "record {id} was already incorporated")
+            }
+            ChariotsError::Fenced {
+                group,
+                sent,
+                current,
+            } => write!(
+                f,
+                "request to group {group} fenced: sent generation {sent}, current is {current}"
+            ),
+            ChariotsError::NoLivePrimary(group) => {
+                write!(f, "replica group {group} has no live primary")
             }
             ChariotsError::Unavailable(what) => write!(f, "{what} is unavailable"),
             ChariotsError::Overloaded(what) => write!(f, "{what} is overloaded"),
@@ -89,6 +113,18 @@ mod tests {
             .to_string()
             .contains("L9"));
         assert!(ChariotsError::ShutDown.to_string().contains("shut down"));
+        let fenced = ChariotsError::Fenced {
+            group: MaintainerId(1),
+            sent: crate::ids::Generation(2),
+            current: crate::ids::Generation(3),
+        };
+        assert_eq!(
+            fenced.to_string(),
+            "request to group M1 fenced: sent generation g2, current is g3"
+        );
+        assert!(ChariotsError::NoLivePrimary(MaintainerId(0))
+            .to_string()
+            .contains("M0"));
     }
 
     #[test]

@@ -168,6 +168,40 @@ impl fmt::Display for MaintainerId {
     }
 }
 
+/// Generation number of a maintainer replica group.
+///
+/// Every primary promotion bumps the group's generation; requests stamped
+/// with an older generation are *fenced* (rejected), so a deposed primary
+/// that did not notice its demotion cannot ack writes the new primary will
+/// never see.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Generation(pub u64);
+
+impl Generation {
+    /// The generation a replica group starts in.
+    pub const INITIAL: Generation = Generation(0);
+
+    /// The generation following `self`.
+    #[inline]
+    pub fn next(self) -> Generation {
+        Generation(self.0 + 1)
+    }
+
+    /// Returns the generation as a `u64`.
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Generation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
 /// Identifies an application-client session within one datacenter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ClientId(pub u32);
@@ -271,6 +305,13 @@ mod tests {
         assert!(a1 < b1);
         let b2 = RecordId::new(DatacenterId(1), TOId(2));
         assert!(b1 < b2);
+    }
+
+    #[test]
+    fn generation_advances_and_orders() {
+        assert_eq!(Generation::INITIAL.next(), Generation(1));
+        assert!(Generation(1) < Generation(2));
+        assert_eq!(Generation(3).to_string(), "g3");
     }
 
     #[test]

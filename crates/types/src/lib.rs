@@ -45,7 +45,9 @@ pub mod rules;
 pub use causality::{compare, CausalOrder, VersionVector};
 pub use config::{ChariotsConfig, FLStoreConfig, StageCounts};
 pub use error::{ChariotsError, Result};
-pub use ids::{ClientId, DatacenterId, Epoch, LId, MaintainerId, RecordId, TOId, TraceId};
+pub use ids::{
+    ClientId, DatacenterId, Epoch, Generation, LId, MaintainerId, RecordId, TOId, TraceId,
+};
 pub use record::{Entry, Record, RecordBuilder, Tag, TagSet, TagValue};
 pub use rules::{Condition, Limit, ReadRule, ValuePredicate};
 

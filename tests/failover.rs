@@ -1,0 +1,114 @@
+//! Chaos test for maintainer replica groups: with replication factor 2,
+//! crashing a primary mid-workload must not stall the shared log — the
+//! failure detector suspects it, the monitor promotes the caught-up
+//! backup, clients ride out the window on retries, and the restarted
+//! replica is repaired back to the group's frontier.
+
+use std::time::{Duration, Instant};
+
+use chariots::prelude::*;
+use chariots_flstore::replica_key;
+
+#[test]
+fn primary_crash_mid_workload_fails_over_without_stalling() {
+    let cfg = FLStoreConfig::new()
+        .maintainers(2)
+        .batch_size(4)
+        .gossip_interval(Duration::from_millis(1))
+        .replication(2)
+        .heartbeat_interval(Duration::from_millis(2))
+        .suspicion_timeout(Duration::from_millis(40));
+    let store = FLStore::launch(DatacenterId(0), cfg).unwrap();
+    let mut client = store.client();
+
+    // Steady pre-crash workload, spread round-robin over both groups.
+    for i in 0..12 {
+        client.append(TagSet::new(), format!("pre{i}")).unwrap();
+    }
+
+    let group = store.maintainers()[0].clone();
+    let old_primary = group.state().primary_index();
+    let old_generation = group.generation();
+    let pre_crash_frontier = group.stats().unwrap().frontier;
+    let pre_crash_hl = client.head_of_log().unwrap();
+    group.crash();
+
+    // Appends keep completing through the crash window: attempts that land
+    // on the dead primary retry with backoff until the promotion re-routes
+    // them. The paced loop comfortably outlasts the suspicion timeout, so
+    // plenty of appends land *after* failover too — every one must
+    // succeed, no crash-window errors surface to the client.
+    for i in 0..300 {
+        client.append(TagSet::new(), format!("during{i}")).unwrap();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // The failover is observable: the monitor bumped the counter, the
+    // group's primary seat moved, and the generation fences the old one.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let failovers = store
+            .metrics()
+            .counters
+            .get("dc0.flstore.failover.count")
+            .copied()
+            .unwrap_or(0);
+        if failovers >= 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "failover never counted");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_ne!(group.state().primary_index(), old_primary);
+    assert!(group.generation() > old_generation);
+    let detector = store.failure_detector().expect("replication enables it");
+    assert!(
+        detector.is_suspected(&replica_key(group.id, old_primary)),
+        "crashed primary should be suspected"
+    );
+
+    // The crashed group's slice of the log kept filling: the promoted
+    // backup accepted appends past the dead primary's frontier, and the
+    // head of the log moved beyond its pre-crash value instead of
+    // stalling there. Every position below the final HL reads back.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut hl = pre_crash_hl;
+    while Instant::now() < deadline
+        && (hl <= pre_crash_hl || group.stats().unwrap().frontier <= pre_crash_frontier)
+    {
+        hl = client.head_of_log().unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(hl > pre_crash_hl, "head of log stalled at {hl}");
+    assert!(
+        group.stats().unwrap().frontier > pre_crash_frontier,
+        "crashed group's range stopped filling"
+    );
+    for l in 0..hl.0 {
+        assert!(client.read(LId(l)).is_ok(), "gap below HL at {l}");
+    }
+
+    // Restart the deposed primary: anti-entropy repair must catch it up to
+    // the group's frontier (it missed the whole crash-window suffix).
+    let frontier = group.stats().unwrap().frontier;
+    group.replicas()[old_primary].recover();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let caught_up = group.replicas()[old_primary]
+            .stats()
+            .map(|s| s.frontier >= frontier)
+            .unwrap_or(false);
+        if caught_up {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "restarted replica never caught up to {frontier}"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // And the group still serves appends after all that.
+    client.append(TagSet::new(), "post").unwrap();
+    store.shutdown();
+}

@@ -91,8 +91,8 @@ fn maintainer_crash_blocks_its_range_until_recovery() {
 
 #[test]
 fn flstore_recovers_from_wal_after_crash() {
-    let dir = std::env::temp_dir().join(format!("chariots-it-recover-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
+    let tmp = chariots_simnet::TestDir::new("chariots-it-recover");
+    let dir = tmp.path().to_path_buf();
     let cfg = FLStoreConfig::new()
         .maintainers(3)
         .batch_size(4)
@@ -151,7 +151,6 @@ fn flstore_recovers_from_wal_after_crash() {
         assert_eq!(e.lid, LId(l));
     }
     store.shutdown();
-    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
