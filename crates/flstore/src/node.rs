@@ -455,27 +455,35 @@ fn collect_tag_postings(entries: &[Entry]) -> Vec<(String, Option<TagValue>, LId
 }
 
 /// Pushes `entries` to every live backup of the group, stamped with the
-/// current generation. Called by the acting primary after it applies
-/// records locally; returning means every live backup acked (synchronous
-/// replication — the client's ack happens after this).
-fn replicate_to_backups(ctx: &ReplicaCtx, entries: &[Entry]) {
+/// generation captured when the request was admitted. Called by the acting
+/// primary after it applies records locally; `Ok` means every live backup
+/// acked (synchronous replication — the client's ack happens after this).
+/// Backups whose machines are crashed are skipped (anti-entropy catches
+/// them up later); any other failure — fencing after a mid-flight
+/// deposition, overload — is propagated so the caller does NOT ack.
+fn replicate_to_backups(ctx: &ReplicaCtx, entries: &[Entry], generation: Generation) -> Result<()> {
     if entries.is_empty() {
-        return;
+        return Ok(());
     }
     let replicas = ctx.group.replicas();
     if replicas.len() < 2 {
-        return;
+        return Ok(());
     }
-    let generation = ctx.group.generation();
     for (i, replica) in replicas.iter().enumerate() {
         if i == ctx.index || replica.station().is_crashed() {
             continue;
         }
-        // A crashed backup answers Unavailable and catches up later via
-        // anti-entropy; a fenced reply means we were deposed mid-flight,
-        // in which case the new primary repairs divergence the same way.
-        let _ = replica.replicate(entries.to_vec(), generation);
+        if let Err(e) = replica.replicate(entries.to_vec(), generation) {
+            // A backup that crashed in the window after the liveness check
+            // is treated like one that was already down; every other error
+            // means a live backup does not hold the records.
+            if replica.station().is_crashed() {
+                continue;
+            }
+            return Err(e);
+        }
     }
+    Ok(())
 }
 
 /// The error a deposed (or never-primary) replica answers assignment
@@ -492,17 +500,22 @@ fn fenced(group: MaintainerId, ctx: &ReplicaCtx) -> ChariotsError {
 }
 
 /// Replicates any min-bound waiters drained by the last operation (their
-/// assignments bypass the normal append reply path).
+/// assignments bypass the normal append reply path). Best-effort: the
+/// waiters were acked as *parked*, not as committed, so a shortfall here is
+/// left to anti-entropy repair rather than failing the current request.
 fn replicate_drained(core: &mut MaintainerCore, ctx: &ReplicaCtx) {
     let drained = core.take_drained();
-    if drained.is_empty() || !ctx.group.is_primary(ctx.index) {
+    if drained.is_empty() {
         return;
     }
+    let Some(generation) = ctx.group.primary_generation(ctx.index) else {
+        return;
+    };
     let entries: Vec<Entry> = drained
         .iter()
         .filter_map(|&lid| core.read(lid, false).ok())
         .collect();
-    replicate_to_backups(ctx, &entries);
+    let _ = replicate_to_backups(ctx, &entries, generation);
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -525,6 +538,10 @@ fn maintainer_loop(
     // not be lost — a real deployment recovers them from the WAL or a
     // re-send; we hold them until recovery.
     let mut crash_buffer: Vec<Entry> = Vec::new();
+    // Entries this node applied and counted but failed to push to a live
+    // backup (or was deposed before it could): re-replicated — or handed to
+    // the current primary — each loop turn until the group holds them.
+    let mut pending_replication: Vec<Entry> = Vec::new();
     loop {
         if shutdown.is_signaled() {
             return;
@@ -554,31 +571,70 @@ fn maintainer_loop(
         }
         was_primary = is_primary;
 
-        // Recovery: apply everything buffered during the outage first.
+        // Recovery: apply everything buffered during the outage first. The
+        // buffered positions are already committed by the queues' token, so
+        // every failure path puts them back for the next loop turn instead
+        // of dropping them.
         if !crash_buffer.is_empty() && !station.is_crashed() {
             let entries = std::mem::take(&mut crash_buffer);
             let n = entries.len() as u64;
-            if is_primary {
-                if station.serve(n).is_ok() {
-                    let postings = collect_tag_postings(&entries);
-                    let traced: Vec<TraceId> =
-                        entries.iter().filter_map(|e| e.record.trace).collect();
-                    if core.store_entries(entries.clone()).is_ok() {
+            match ctx.group.primary_generation(ctx.index) {
+                Some(generation) => {
+                    // Re-applying is idempotent (`replicate_entries`
+                    // overwrites), so a retry after a partial failure
+                    // cannot be rejected as a duplicate.
+                    if station.serve(n).is_ok() && core.replicate_entries(entries.clone()).is_ok() {
+                        let traced: Vec<TraceId> =
+                            entries.iter().filter_map(|e| e.record.trace).collect();
                         appended.add(n);
                         fabric.stamp_store_exits(&traced);
-                        fabric.post_tags(postings);
-                        replicate_to_backups(ctx, &entries);
+                        fabric.post_tags(collect_tag_postings(&entries));
+                        if replicate_to_backups(ctx, &entries, generation).is_err() {
+                            pending_replication.extend(entries);
+                        }
+                    } else {
+                        crash_buffer = entries;
                     }
                 }
-            } else if let Some(primary) = ctx.group.primary_handle() {
                 // Deposed while down: the buffered positions belong to the
-                // current primary now — hand them over.
-                primary.store(entries);
+                // current primary now — hand them over (it skips whatever
+                // it already holds).
+                None => match ctx.group.primary_handle() {
+                    Some(primary) if primary.store(entries.clone()) => {}
+                    _ => crash_buffer = entries,
+                },
+            }
+        }
+
+        // Re-replication of applied-but-unreplicated positions: keep
+        // pushing until every live backup holds them, or hand them to the
+        // new primary if this replica was deposed mid-flight.
+        if !pending_replication.is_empty() && !station.is_crashed() {
+            let entries = std::mem::take(&mut pending_replication);
+            match ctx.group.primary_generation(ctx.index) {
+                Some(generation) => {
+                    if replicate_to_backups(ctx, &entries, generation).is_err() {
+                        pending_replication = entries;
+                    }
+                }
+                None => match ctx.group.primary_handle() {
+                    Some(primary) if primary.store(entries.clone()) => {}
+                    _ => pending_replication = entries,
+                },
             }
         }
 
         if let Some(req) = req {
-            serve_request(core, req, station, fabric, appended, &mut crash_buffer, ctx);
+            serve_request(
+                core,
+                req,
+                station,
+                fabric,
+                appended,
+                &mut crash_buffer,
+                &mut pending_replication,
+                ctx,
+            );
         }
 
         // Periodic drain of parked min-bound records, plus gossip: only
@@ -605,6 +661,7 @@ fn serve_request(
     fabric: &Fabric,
     appended: &Counter,
     crash_buffer: &mut Vec<Entry>,
+    pending_replication: &mut Vec<Entry>,
     ctx: &ReplicaCtx,
 ) {
     match req {
@@ -618,28 +675,44 @@ fn serve_request(
                 }
                 return;
             }
-            if !ctx.group.is_primary(ctx.index) {
+            // Admission: capture the generation under which this replica
+            // holds primacy *after* station pacing (a primary deposed while
+            // stalled in serve must not assign). All replication below is
+            // stamped with this generation, so a deposition mid-flight is
+            // fenced by the backups instead of silently acked.
+            let Some(generation) = ctx.group.primary_generation(ctx.index) else {
                 // Only the primary assigns positions; fence the request so
                 // the client refreshes its routing toward the new primary.
                 if let Some(reply) = reply {
                     let _ = reply.send(Err(fenced(core.id(), ctx)));
                 }
                 return;
-            }
+            };
             let t0 = std::time::Instant::now();
-            let result = core.append_batch(payloads);
-            if let Ok(assigned) = &result {
-                fabric.obs().append_latency.record_duration(t0.elapsed());
-                appended.add(assigned.len() as u64);
+            let result = core.append_batch(payloads).and_then(|assigned| {
                 let stored: Vec<Entry> = assigned
                     .iter()
                     .filter_map(|(_, lid)| core.read(*lid, false).ok())
                     .collect();
+                // Ack only after every live backup holds the records …
+                replicate_to_backups(ctx, &stored, generation)?;
+                // … and only while still primary under the admission
+                // generation: a deposition after replication means the
+                // promoted backup may resume assignment at these very
+                // positions, so acking would admit a duplicate LId.
+                if ctx.group.primary_generation(ctx.index) != Some(generation) {
+                    return Err(ChariotsError::Fenced {
+                        group: core.id(),
+                        sent: generation,
+                        current: ctx.group.generation(),
+                    });
+                }
+                fabric.obs().append_latency.record_duration(t0.elapsed());
+                appended.add(assigned.len() as u64);
                 fabric.post_tags(collect_tag_postings(&stored));
-                // Ack only after every live backup holds the records.
-                replicate_to_backups(ctx, &stored);
-                replicate_drained(core, ctx);
-            }
+                Ok(assigned)
+            });
+            replicate_drained(core, ctx);
             if let Some(reply) = reply {
                 let _ = reply.send(result);
             }
@@ -653,18 +726,30 @@ fn serve_request(
                 let _ = reply.send(Err(e));
                 return;
             }
-            if !ctx.group.is_primary(ctx.index) {
+            let Some(generation) = ctx.group.primary_generation(ctx.index) else {
                 let _ = reply.send(Err(fenced(core.id(), ctx)));
                 return;
-            }
-            let result = core.append_min_bound(payload, min);
-            if let Ok(Some((_, lid))) = &result {
-                appended.add(1);
-                if let Ok(entry) = core.read(*lid, false) {
-                    fabric.post_tags(collect_tag_postings(std::slice::from_ref(&entry)));
-                    replicate_to_backups(ctx, std::slice::from_ref(&entry));
+            };
+            let result = core.append_min_bound(payload, min).and_then(|assigned| {
+                if let Some((_, lid)) = &assigned {
+                    let entry = core.read(*lid, false).ok();
+                    if let Some(entry) = &entry {
+                        replicate_to_backups(ctx, std::slice::from_ref(entry), generation)?;
+                    }
+                    if ctx.group.primary_generation(ctx.index) != Some(generation) {
+                        return Err(ChariotsError::Fenced {
+                            group: core.id(),
+                            sent: generation,
+                            current: ctx.group.generation(),
+                        });
+                    }
+                    appended.add(1);
+                    if let Some(entry) = &entry {
+                        fabric.post_tags(collect_tag_postings(std::slice::from_ref(entry)));
+                    }
                 }
-            }
+                Ok(assigned)
+            });
             replicate_drained(core, ctx);
             let _ = reply.send(result);
         }
@@ -676,7 +761,7 @@ fn serve_request(
                 crash_buffer.extend(entries);
                 return;
             }
-            if !ctx.group.is_primary(ctx.index) {
+            let Some(generation) = ctx.group.primary_generation(ctx.index) else {
                 // Routed here because the primary's machine is down (or a
                 // stale route). Relay to a live primary when there is one;
                 // otherwise persist locally so the positions survive until
@@ -690,7 +775,7 @@ fn serve_request(
                     }
                 }
                 return;
-            }
+            };
             let postings = collect_tag_postings(&entries);
             let traced: Vec<TraceId> = entries.iter().filter_map(|e| e.record.trace).collect();
             let t0 = std::time::Instant::now();
@@ -699,7 +784,12 @@ fn serve_request(
                 appended.add(n);
                 fabric.stamp_store_exits(&traced);
                 fabric.post_tags(postings);
-                replicate_to_backups(ctx, &entries);
+                // No reply channel to fail here: a replication shortfall to
+                // a live backup (or a mid-store deposition) queues the
+                // committed positions for re-replication / handover.
+                if replicate_to_backups(ctx, &entries, generation).is_err() {
+                    pending_replication.extend(entries);
+                }
             }
         }
         MaintainerRequest::Replicate {

@@ -79,6 +79,25 @@ impl GroupState {
         self.primary_index() == index
     }
 
+    /// The generation under which replica `index` currently holds primacy,
+    /// or `None` if it is not primary. Unlike reading [`Self::is_primary`]
+    /// and [`Self::generation`] separately, the two are observed
+    /// consistently: a concurrent [`Self::promote`] (which bumps the
+    /// generation before moving the seat) can never yield "primary under
+    /// the *new* generation" to the replica being deposed.
+    pub fn primary_generation(&self, index: usize) -> Option<Generation> {
+        loop {
+            let before = self.generation();
+            if !self.is_primary(index) {
+                return None;
+            }
+            if self.generation() == before {
+                return Some(before);
+            }
+            // A promotion landed between the two reads; retry.
+        }
+    }
+
     /// The group's current fencing generation.
     pub fn generation(&self) -> Generation {
         Generation(self.generation.load(Ordering::Acquire))
@@ -289,7 +308,12 @@ impl ReplicaGroupHandle {
             };
             match replica.read(lid, enforce_hl) {
                 Ok(entry) => return Ok(entry),
-                Err(ChariotsError::Unavailable(s)) => last = ChariotsError::Unavailable(s),
+                // Keep falling back: the replica may be down (Unavailable)
+                // or simply lagging (NotYetAvailable) while a later one —
+                // e.g. a more caught-up backup — holds the entry.
+                Err(e @ (ChariotsError::Unavailable(_) | ChariotsError::NotYetAvailable(_))) => {
+                    last = e
+                }
                 Err(e) => return Err(e),
             }
         }
@@ -416,11 +440,18 @@ pub fn run_failover(
 }
 
 /// One anti-entropy sweep: for every group, copy the missing suffix from
-/// the most caught-up *live* replica into every lagging live replica (in
+/// the authoritative live replica into every lagging live replica (in
 /// `batch`-entry chunks), and report the worst observed lag — in log
 /// positions — through the `lag` gauge. This is both how a restarted
 /// replica catches up after WAL replay and how a primary that missed
 /// stores during a brief outage is made whole again.
+///
+/// The source is the *current primary* whenever its machine is live — a
+/// recovered deposed primary may hold a longer local log whose tail was
+/// never acked (fenced mid-flight), and picking it by frontier alone would
+/// resurrect those stale entries over the new primary's assignments. Only
+/// when the primary's machine is down does the sweep fall back to the
+/// highest live frontier.
 pub fn run_repair(groups: &[ReplicaGroupHandle], batch: usize, lag: &Gauge) {
     let mut worst_lag = 0u64;
     for group in groups {
@@ -429,7 +460,6 @@ pub fn run_repair(groups: &[ReplicaGroupHandle], batch: usize, lag: &Gauge) {
         if replicas.len() < 2 {
             continue;
         }
-        // Frontiers of the live replicas; the highest one is the source.
         let mut frontiers: Vec<(usize, LId)> = Vec::new();
         for (i, replica) in replicas.iter().enumerate() {
             if replica.station().is_crashed() {
@@ -439,7 +469,12 @@ pub fn run_repair(groups: &[ReplicaGroupHandle], batch: usize, lag: &Gauge) {
                 frontiers.push((i, stats.frontier));
             }
         }
-        let Some(&(source, top)) = frontiers.iter().max_by_key(|&&(_, f)| f) else {
+        let primary_index = state.primary_index();
+        let Some(&(source, top)) = frontiers
+            .iter()
+            .find(|&&(i, _)| i == primary_index)
+            .or_else(|| frontiers.iter().max_by_key(|&&(_, f)| f))
+        else {
             continue;
         };
         let generation = state.generation();
@@ -610,6 +645,58 @@ mod tests {
         assert_ne!(group.state().primary_index(), 0);
         assert_eq!(failovers.get(), 1);
         assert_eq!(group.generation(), Generation(1));
+        shutdown.signal();
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn repair_sources_from_the_primary_not_a_longer_deposed_log() {
+        let (group, shutdown, threads) = launch_group(2);
+        // a, b reach both replicas; c, d only the primary (backup down).
+        group.append(vec![payload("a"), payload("b")]).unwrap();
+        group.replicas()[1].crash();
+        group.append(vec![payload("c"), payload("d")]).unwrap();
+        // Fail over to the backup: the deposed replica now holds a longer
+        // local log (frontier 4) than the new primary (frontier 2), but
+        // its tail was never replicated under the current generation.
+        group.replicas()[1].recover();
+        group.state().promote(1);
+        let lag = Gauge::new();
+        let groups = [group.clone()];
+        run_repair(&groups, 64, &lag);
+        // The stale tail is NOT resurrected onto the new primary: repair
+        // sources from the current primary, not the highest frontier.
+        assert!(matches!(
+            group.replicas()[1].read(LId(2), false),
+            Err(ChariotsError::NotYetAvailable(_))
+        ));
+        // The new primary reassigns position 2; replication overwrites the
+        // deposed replica's stale copy.
+        let after = group.append(vec![payload("e")]).unwrap();
+        assert_eq!(after[0].1, LId(2));
+        let stale = group.replicas()[0].read(LId(2), false).unwrap();
+        assert_eq!(&stale.record.body[..], b"e", "stale copy overwritten");
+        shutdown.signal();
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn read_falls_back_past_a_lagging_primary() {
+        let (group, shutdown, threads) = launch_group(2);
+        // The backup misses position 0 (down during the append), then
+        // comes back and is promoted before catching up.
+        group.replicas()[1].crash();
+        group.append(vec![payload("a")]).unwrap();
+        group.replicas()[1].recover();
+        group.state().promote(1);
+        // The lagging new primary answers NotYetAvailable; the group read
+        // falls back to the caught-up replica instead of surfacing it.
+        let e = group.read(LId(0), false).unwrap();
+        assert_eq!(&e.record.body[..], b"a");
         shutdown.signal();
         for t in threads {
             t.join().unwrap();
