@@ -10,13 +10,13 @@
 use std::path::PathBuf;
 
 use chariots_bench::experiments::{
-    ablations, apps, availability, baseline, fig7, fig8, fig9, tables, txn,
+    ablations, apps, availability, baseline, batching, fig7, fig8, fig9, tables, txn,
 };
 use chariots_bench::report::Report;
 use chariots_simnet::MetricsSnapshot;
 
 const USAGE: &str = "\
-usage: harness [--quick] [--metrics-out <path>] <experiment>...
+usage: harness [--quick] [--smoke] [--metrics-out <path>] <experiment>...
 experiments:
   fig7       single-maintainer throughput vs target load
   fig8       FLStore scalability with maintainers
@@ -28,22 +28,31 @@ experiments:
   baseline   FLStore vs CORFU sequencer (ablation A4)
   availability  append availability and p99 before/during/after a
              maintainer-primary crash (replication factor 2)
+  batching   group-commit sweep: throughput/latency vs drain bound and
+             WAL sync policy
   txn        commit latency vs WAN latency (Message Futures / Helios)
   apps       Hyksos / stream-processing throughput over the log
   ablations  A1/A2 (FLStore knobs), A3 (token policy), A5 (flush threshold)
   all        everything above
 --quick trims warmups/windows for smoke runs
+--smoke implies --quick and additionally gates: experiments with a smoke
+  check (batching) fail the process when the check fails
 --metrics-out writes the merged metrics registries (counters, gauges,
   per-stage latency histograms) of every selected experiment as JSON";
 
 fn main() {
     let mut quick = false;
+    let mut smoke = false;
     let mut metrics_out: Option<PathBuf> = None;
     let mut selected: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--smoke" => {
+                quick = true;
+                smoke = true;
+            }
             "--metrics-out" => match args.next() {
                 Some(path) => metrics_out = Some(PathBuf::from(path)),
                 None => {
@@ -74,6 +83,7 @@ fn main() {
             "fig9" => vec![fig9::run(quick)],
             "baseline" => vec![baseline::run(quick)],
             "availability" => vec![availability::run(quick)],
+            "batching" => vec![batching::run(quick)],
             "txn" => vec![txn::run(quick)],
             "apps" => vec![apps::run(quick)],
             "ablations" => vec![
@@ -90,9 +100,19 @@ fn main() {
     };
 
     let mut merged = MetricsSnapshot::empty("harness");
+    let mut smoke_failures = 0usize;
     let mut run_and_collect = |name: &str| {
         for report in run(name) {
             report.finish();
+            if smoke && report.id == "batching" {
+                match batching::verify_smoke(&report) {
+                    Ok(()) => println!("smoke gate [{}]: ok", report.id),
+                    Err(e) => {
+                        eprintln!("smoke gate [{}]: FAIL: {e}", report.id);
+                        smoke_failures += 1;
+                    }
+                }
+            }
             if let Some(m) = &report.metrics {
                 merged.merge(m);
             }
@@ -111,6 +131,7 @@ fn main() {
                 "fig9",
                 "baseline",
                 "availability",
+                "batching",
                 "txn",
                 "apps",
                 "ablations",
@@ -123,6 +144,9 @@ fn main() {
     }
 
     if let Some(path) = metrics_out {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
         let json = serde_json::to_vec_pretty(&merged).expect("serialize metrics");
         match std::fs::write(&path, json) {
             Ok(()) => println!("metrics: {}", path.display()),
@@ -131,5 +155,9 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    if smoke_failures > 0 {
+        eprintln!("{smoke_failures} smoke gate(s) failed");
+        std::process::exit(1);
     }
 }

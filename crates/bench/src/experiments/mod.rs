@@ -6,6 +6,7 @@ pub mod ablations;
 pub mod apps;
 pub mod availability;
 pub mod baseline;
+pub mod batching;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;

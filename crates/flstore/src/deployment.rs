@@ -16,7 +16,7 @@ use crate::client::FLStoreClient;
 use crate::controller::Controller;
 use crate::indexer::IndexerCore;
 use crate::maintainer::MaintainerCore;
-use crate::node::{spawn_indexer, spawn_replica, Fabric, FabricObs, IndexerHandle};
+use crate::node::{spawn_indexer, spawn_replica, BatchPolicy, Fabric, FabricObs, IndexerHandle};
 use crate::range::RangeMap;
 use crate::replication::{
     replica_key, run_failover, run_repair, GroupState, ReplicaCtx, ReplicaGroupHandle,
@@ -116,9 +116,15 @@ impl FLStore {
         let state = Arc::new(GroupState::new(id));
         let appended = Counter::new();
         let mut raw = Vec::new();
+        let batch = BatchPolicy {
+            max_records: self.cfg.max_batch_records,
+            max_bytes: self.cfg.max_batch_bytes,
+        };
         for r in 0..replicas {
             let mut core = MaintainerCore::new(id, self.dc, self.controller.journal())
-                .with_max_deferred(self.cfg.max_deferred_appends);
+                .with_max_deferred(self.cfg.max_deferred_appends)
+                .with_sync_policy(self.cfg.wal_sync_policy)
+                .with_wal_sync_counter(self.fabric.obs().wal_syncs.clone());
             if let Some(dir) = &self.persist_dir {
                 std::fs::create_dir_all(dir)
                     .map_err(|e| chariots_types::ChariotsError::Storage(e.to_string()))?;
@@ -152,6 +158,7 @@ impl FLStore {
                 self.shutdown.clone(),
                 ctx,
                 appended.clone(),
+                batch,
             );
             raw.push(handle);
             self.threads.push(forget_result(thread));

@@ -413,9 +413,9 @@ mod proptests {
                     .collect();
                 assigned.extend(core.append_batch(payloads).unwrap());
             }
-            for (i, (toid, lid)) in assigned.iter().enumerate() {
-                prop_assert_eq!(*lid, map.lid_for(which, i as u64));
-                prop_assert_eq!(toid.0, lid.0 + 1);
+            for (i, entry) in assigned.iter().enumerate() {
+                prop_assert_eq!(entry.lid, map.lid_for(which, i as u64));
+                prop_assert_eq!(entry.record.toid().0, entry.lid.0 + 1);
             }
         }
 

@@ -12,9 +12,10 @@
 use std::path::PathBuf;
 
 use bytes::Bytes;
+use chariots_simnet::Counter;
 use chariots_types::{
     ChariotsError, DatacenterId, Entry, LId, MaintainerId, Record, RecordId, Result, TOId, TagSet,
-    VersionVector,
+    VersionVector, WalSyncPolicy,
 };
 
 use crate::epoch::EpochJournal;
@@ -97,12 +98,18 @@ pub struct MaintainerCore {
     append_epoch: usize,
     hl: HlVector,
     wal: Option<Wal>,
+    /// When the WAL is fsynced on the apply path; see
+    /// [`MaintainerCore::sync_batch`].
+    sync_policy: WalSyncPolicy,
+    /// Counts WAL fsyncs (shared with the node's metrics registry as
+    /// `flstore.wal.sync.count`).
+    wal_syncs: Counter,
     deferred: Vec<MinBoundWaiter>,
     max_deferred: usize,
-    /// Positions assigned to drained min-bound waiters since the last
+    /// Entries built for drained min-bound waiters since the last
     /// [`MaintainerCore::take_drained`] — the node replicates these to its
     /// backups (they bypass the normal append reply path).
-    drained_lids: Vec<LId>,
+    drained: Vec<Entry>,
     stats_appended: u64,
     stats_stored: u64,
     stats_reads: u64,
@@ -121,9 +128,11 @@ impl MaintainerCore {
             append_epoch: 0,
             hl,
             wal: None,
+            sync_policy: WalSyncPolicy::default(),
+            wal_syncs: Counter::new(),
             deferred: Vec::new(),
             max_deferred: 65_536,
-            drained_lids: Vec::new(),
+            drained: Vec::new(),
             stats_appended: 0,
             stats_stored: 0,
             stats_reads: 0,
@@ -137,6 +146,19 @@ impl MaintainerCore {
     /// Bounds the explicit-order deferral buffer.
     pub fn with_max_deferred(mut self, max: usize) -> Self {
         self.max_deferred = max;
+        self
+    }
+
+    /// Selects when the WAL is flushed+fsynced on the apply path.
+    pub fn with_sync_policy(mut self, policy: WalSyncPolicy) -> Self {
+        self.sync_policy = policy;
+        self
+    }
+
+    /// Shares the WAL fsync counter (e.g. a registry-backed
+    /// `flstore.wal.sync.count`) so syncs are observable.
+    pub fn with_wal_sync_counter(mut self, counter: Counter) -> Self {
+        self.wal_syncs = counter;
         self
     }
 
@@ -229,13 +251,16 @@ impl MaintainerCore {
         Ok(lid)
     }
 
-    /// Appends payloads with post-assigned positions, returning the
-    /// `(TOId, LId)` pairs "sent back to the Application client" (§3).
+    /// Appends payloads with post-assigned positions, returning the built
+    /// [`Entry`]s — each carries the `(TOId, LId)` pair "sent back to the
+    /// Application client" (§3) plus the full record, so callers (the node's
+    /// group-commit path in particular) can reply *and* replicate without
+    /// re-reading every position out of the store.
     ///
     /// In standalone FLStore the datacenter's total order *is* the log
     /// order, so the assigned `TOId` is `LId + 1` (TOIds are 1-based).
-    pub fn append_batch(&mut self, payloads: Vec<AppendPayload>) -> Result<Vec<(TOId, LId)>> {
-        let mut assigned = Vec::with_capacity(payloads.len());
+    pub fn append_batch(&mut self, payloads: Vec<AppendPayload>) -> Result<Vec<Entry>> {
+        let mut appended = Vec::with_capacity(payloads.len());
         for payload in payloads {
             let lid = self.take_next_lid()?;
             let toid = TOId(lid.0 + 1);
@@ -245,24 +270,21 @@ impl MaintainerCore {
                 payload.tags,
                 payload.body,
             );
-            self.insert_at(lid, record)?;
+            let entry = Entry::new(lid, record);
+            self.locate_and_apply(entry.clone(), true, false)?;
             self.stats_appended += 1;
-            assigned.push((toid, lid));
+            appended.push(entry);
         }
         self.drain_deferred()?;
-        Ok(assigned)
+        Ok(appended)
     }
 
     /// Appends one payload subject to an explicit-order minimum bound: the
     /// assigned position is guaranteed to exceed `min` (§5.4). Returns the
-    /// assignment if it could happen immediately, or `Ok(None)` if the
-    /// record was parked ("buffered until it can be added to a partial log
-    /// with LIds larger than the minimum bound").
-    pub fn append_min_bound(
-        &mut self,
-        payload: AppendPayload,
-        min: LId,
-    ) -> Result<Option<(TOId, LId)>> {
+    /// built entry if the append could happen immediately, or `Ok(None)` if
+    /// the record was parked ("buffered until it can be added to a partial
+    /// log with LIds larger than the minimum bound").
+    pub fn append_min_bound(&mut self, payload: AppendPayload, min: LId) -> Result<Option<Entry>> {
         if self.peek_next_lid()? > min {
             let mut out = self.append_batch(vec![payload])?;
             return Ok(Some(out.pop().expect("one payload appended")));
@@ -278,9 +300,9 @@ impl MaintainerCore {
     }
 
     /// Appends every parked record whose bound is now satisfied. Returns
-    /// the assignments made. Called after ordinary appends and on gossip
+    /// the entries appended. Called after ordinary appends and on gossip
     /// ticks.
-    pub fn drain_deferred(&mut self) -> Result<Vec<(TOId, LId)>> {
+    pub fn drain_deferred(&mut self) -> Result<Vec<Entry>> {
         let mut out = Vec::new();
         loop {
             let next = self.peek_next_lid()?;
@@ -298,18 +320,19 @@ impl MaintainerCore {
                 waiter.payload.tags,
                 waiter.payload.body,
             );
-            self.insert_at(lid, record)?;
+            let entry = Entry::new(lid, record);
+            self.locate_and_apply(entry.clone(), true, false)?;
             self.stats_appended += 1;
-            self.drained_lids.push(lid);
-            out.push((toid, lid));
+            self.drained.push(entry.clone());
+            out.push(entry);
         }
         Ok(out)
     }
 
-    /// Positions assigned to drained min-bound waiters since the last call
-    /// (consumed by the node's replication path).
-    pub fn take_drained(&mut self) -> Vec<LId> {
-        std::mem::take(&mut self.drained_lids)
+    /// Entries built for drained min-bound waiters since the last call
+    /// (consumed by the node's replication path — no store re-read needed).
+    pub fn take_drained(&mut self) -> Vec<Entry> {
+        std::mem::take(&mut self.drained)
     }
 
     /// Stores entries whose positions were already assigned by the Chariots
@@ -332,9 +355,13 @@ impl MaintainerCore {
     /// group (primary→backup push or anti-entropy repair), overwriting any
     /// occupant, and returns the resulting frontier. Positions already
     /// garbage-collected locally are skipped — collected data is gone.
-    pub fn replicate_entries(&mut self, entries: Vec<Entry>) -> Result<LId> {
+    ///
+    /// Takes a slice so the caller can hand every backup the same shared
+    /// `Arc<[Entry]>` batch; entries are cloned only into this replica's
+    /// own store/WAL.
+    pub fn replicate_entries(&mut self, entries: &[Entry]) -> Result<LId> {
         for entry in entries {
-            match self.locate_and_apply(entry, true, true) {
+            match self.locate_and_apply(entry.clone(), true, true) {
                 Ok(_) => self.stats_stored += 1,
                 Err(ChariotsError::GarbageCollected(_)) => {}
                 Err(e) => return Err(e),
@@ -390,6 +417,12 @@ impl MaintainerCore {
         if write_wal {
             if let Some(wal) = &mut self.wal {
                 wal.append(&entry)?;
+                // The strictest policy pays one fsync per record; the batch
+                // policies defer to the sync_batch() commit point.
+                if self.sync_policy == WalSyncPolicy::PerRecord {
+                    wal.sync()?;
+                    self.wal_syncs.add(1);
+                }
             }
         }
         let state = self.epoch_state(epoch_idx);
@@ -401,11 +434,6 @@ impl MaintainerCore {
         };
         self.refresh_own_frontier();
         Ok(was_empty)
-    }
-
-    fn insert_at(&mut self, lid: LId, record: Record) -> Result<()> {
-        self.locate_and_apply(Entry::new(lid, record), true, false)
-            .map(|_| ())
     }
 
     /// This maintainer's frontier: the smallest owned global position still
@@ -565,12 +593,43 @@ impl MaintainerCore {
         }
     }
 
-    /// Flushes (and syncs) the WAL if persistence is enabled.
+    /// Flushes (and syncs) the WAL if persistence is enabled,
+    /// unconditionally — shutdown paths and tests that want durability
+    /// regardless of the configured policy.
     pub fn sync(&mut self) -> Result<()> {
         if let Some(wal) = &mut self.wal {
             wal.sync()?;
+            self.wal_syncs.add(1);
         }
         Ok(())
+    }
+
+    /// The group-commit durability point: called by the node once per
+    /// drained batch, after every record in the batch has been applied and
+    /// before any ack leaves this replica.
+    ///
+    /// - `PerBatch` (default): one flush+fsync for the whole batch.
+    /// - `PerRecord`: no-op — every record already fsynced on apply.
+    /// - `Never`: flush frames to the OS but skip the fsync (ablation /
+    ///   bulk-load; crash durability is forfeited).
+    pub fn sync_batch(&mut self) -> Result<()> {
+        let Some(wal) = &mut self.wal else {
+            return Ok(());
+        };
+        match self.sync_policy {
+            WalSyncPolicy::PerBatch => {
+                wal.sync()?;
+                self.wal_syncs.add(1);
+            }
+            WalSyncPolicy::PerRecord => {}
+            WalSyncPolicy::Never => wal.flush()?,
+        }
+        Ok(())
+    }
+
+    /// WAL fsyncs performed by this core so far.
+    pub fn wal_syncs(&self) -> u64 {
+        self.wal_syncs.get()
     }
 }
 
@@ -592,18 +651,33 @@ mod tests {
         AppendPayload::new(TagSet::new(), Bytes::copy_from_slice(body.as_bytes()))
     }
 
+    /// `(TOId, LId)` view of appended entries, for assignment asserts.
+    fn ids(entries: &[Entry]) -> Vec<(TOId, LId)> {
+        entries.iter().map(|e| (e.record.toid(), e.lid)).collect()
+    }
+
     #[test]
     fn post_assignment_fills_owned_slots_in_order() {
         let mut m = core(1, 3, 10); // owns 10..19, 40..49, …
-        let ids = m.append_batch(vec![payload("a"), payload("b")]).unwrap();
-        assert_eq!(ids, vec![(TOId(11), LId(10)), (TOId(12), LId(11))]);
-        let ids = m
+        let out = m.append_batch(vec![payload("a"), payload("b")]).unwrap();
+        assert_eq!(ids(&out), vec![(TOId(11), LId(10)), (TOId(12), LId(11))]);
+        let out = m
             .append_batch((0..8).map(|_| payload("x")).collect())
             .unwrap();
-        assert_eq!(ids.last().unwrap().1, LId(19));
+        assert_eq!(out.last().unwrap().lid, LId(19));
         // Next round skips to 40.
-        let ids = m.append_batch(vec![payload("y")]).unwrap();
-        assert_eq!(ids[0].1, LId(40));
+        let out = m.append_batch(vec![payload("y")]).unwrap();
+        assert_eq!(out[0].lid, LId(40));
+    }
+
+    #[test]
+    fn append_batch_returns_full_entries() {
+        let mut m = core(0, 1, 10);
+        let out = m.append_batch(vec![payload("body")]).unwrap();
+        // The returned entry matches what a store read would produce — the
+        // node's hot path relies on this to skip the re-read.
+        assert_eq!(out[0], m.read(out[0].lid, false).unwrap());
+        assert_eq!(&out[0].record.body[..], b"body");
     }
 
     #[test]
@@ -676,7 +750,10 @@ mod tests {
         let mut m = core(0, 2, 5);
         m.append_batch(vec![payload("a")]).unwrap();
         let got = m.append_min_bound(payload("b"), LId(0)).unwrap();
-        assert_eq!(got, Some((TOId(2), LId(1))));
+        assert_eq!(
+            got.map(|e| (e.record.toid(), e.lid)),
+            Some((TOId(2), LId(1)))
+        );
     }
 
     #[test]
@@ -786,18 +863,18 @@ mod tests {
         // A second maintainer joins from position 10.
         m.announce_epoch(LId(10), RangeMap::new(2, 5));
         // Positions 5..9 are still epoch-0 (ours); fill them.
-        let ids = m
+        let out = m
             .append_batch((0..5).map(|_| payload("y")).collect())
             .unwrap();
-        assert_eq!(ids.last().unwrap().1, LId(9));
+        assert_eq!(out.last().unwrap().lid, LId(9));
         // Next append lands in epoch 1 at relative 0 → global 10; we are
         // maintainer 0 so we own 10..14, then 20..24.
-        let ids = m
+        let out = m
             .append_batch((0..6).map(|_| payload("z")).collect())
             .unwrap();
-        assert_eq!(ids[0].1, LId(10));
-        assert_eq!(ids[4].1, LId(14));
-        assert_eq!(ids[5].1, LId(20));
+        assert_eq!(out[0].lid, LId(10));
+        assert_eq!(out[4].lid, LId(14));
+        assert_eq!(out[5].lid, LId(20));
     }
 
     #[test]
@@ -821,8 +898,82 @@ mod tests {
         assert_eq!(&m.read(LId(1), false).unwrap().record.body[..], b"b");
         assert_eq!(m.frontier(), LId(2));
         // New appends continue after the recovered prefix.
-        let ids = m.append_batch(vec![payload("c")]).unwrap();
-        assert_eq!(ids[0].1, LId(2));
+        let out = m.append_batch(vec![payload("c")]).unwrap();
+        assert_eq!(out[0].lid, LId(2));
+    }
+
+    /// The group-commit durability contract: every record acked at a
+    /// `sync_batch()` boundary survives a crash that tears the WAL anywhere
+    /// after that boundary — here mid-frame inside the *next* (unacked)
+    /// batch.
+    #[test]
+    fn acked_batches_survive_mid_batch_truncation() {
+        let dir = chariots_simnet::TestDir::new("chariots-m-groupcommit");
+        let path = dir.path().join("m0.wal");
+        let journal = EpochJournal::new(RangeMap::new(1, 100));
+
+        let synced_len = {
+            let mut m = MaintainerCore::new(MaintainerId(0), DatacenterId(0), journal.clone())
+                .with_wal(&path)
+                .unwrap()
+                .with_sync_policy(WalSyncPolicy::PerBatch);
+            // Batch 1: applied, then the batch commit point — these three
+            // records are the ones a client saw acked.
+            m.append_batch(vec![payload("a1"), payload("a2"), payload("a3")])
+                .unwrap();
+            m.sync_batch().unwrap();
+            assert_eq!(m.wal_syncs(), 1, "one fsync for the whole batch");
+            let synced_len = std::fs::metadata(&path).unwrap().len();
+            // Batch 2: applied but the crash lands before its sync_batch —
+            // nothing in it was ever acked.
+            m.append_batch(vec![payload("b1"), payload("b2")]).unwrap();
+            m.sync().unwrap(); // flush so the file holds batch 2 bytes to tear
+            synced_len
+        };
+
+        // Crash: tear the file mid-frame inside the unacked second batch.
+        let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(synced_len + 5).unwrap();
+        drop(file);
+
+        let mut m = MaintainerCore::new(MaintainerId(0), DatacenterId(0), journal)
+            .with_wal(&path)
+            .unwrap();
+        for (lid, body) in [(0u64, "a1"), (1, "a2"), (2, "a3")] {
+            assert_eq!(
+                &m.read(LId(lid), false).unwrap().record.body[..],
+                body.as_bytes(),
+                "acked record {lid} must survive the crash"
+            );
+        }
+        assert_eq!(m.frontier(), LId(3), "exactly the acked prefix recovered");
+    }
+
+    /// `PerRecord` fsyncs on every apply; `Never` never does.
+    #[test]
+    fn sync_policy_controls_fsync_count() {
+        let dir = chariots_simnet::TestDir::new("chariots-m-syncpolicy");
+        let journal = EpochJournal::new(RangeMap::new(1, 100));
+
+        let mut per_record = MaintainerCore::new(MaintainerId(0), DatacenterId(0), journal.clone())
+            .with_wal(dir.path().join("per-record.wal"))
+            .unwrap()
+            .with_sync_policy(WalSyncPolicy::PerRecord);
+        per_record
+            .append_batch(vec![payload("a"), payload("b"), payload("c")])
+            .unwrap();
+        per_record.sync_batch().unwrap();
+        assert_eq!(per_record.wal_syncs(), 3, "one fsync per record");
+
+        let mut never = MaintainerCore::new(MaintainerId(0), DatacenterId(0), journal)
+            .with_wal(dir.path().join("never.wal"))
+            .unwrap()
+            .with_sync_policy(WalSyncPolicy::Never);
+        never
+            .append_batch(vec![payload("a"), payload("b"), payload("c")])
+            .unwrap();
+        never.sync_batch().unwrap();
+        assert_eq!(never.wal_syncs(), 0, "Never policy does not fsync");
     }
 
     #[test]
@@ -832,8 +983,8 @@ mod tests {
             TagSet::new().with(Tag::with_value("key", "k1")),
             Bytes::from_static(b"v"),
         );
-        let ids = m.append_batch(vec![p]).unwrap();
-        let e = m.read(ids[0].1, false).unwrap();
+        let out = m.append_batch(vec![p]).unwrap();
+        let e = m.read(out[0].lid, false).unwrap();
         assert!(e.record.tags.contains_key("key"));
     }
 }

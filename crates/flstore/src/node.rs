@@ -1,6 +1,16 @@
 //! Thread-hosted servers wrapping the synchronous cores: each simulated
 //! machine (maintainer or indexer) is one worker thread fed by a channel,
 //! paced by its [`ServiceStation`].
+//!
+//! The maintainer node is a **group-commit batch engine** (§5.2's "batches
+//! of records" made real): after the first blocking `recv`, the loop
+//! opportunistically drains further queued `Append`/`Store` requests into
+//! one batch bounded by [`BatchPolicy`], then pays one station admission,
+//! one generation capture, one application pass, one WAL flush+fsync
+//! (under the configured [`WalSyncPolicy`](chariots_types::WalSyncPolicy)),
+//! and one replication push per live backup — the pushed entries are a
+//! shared `Arc<[Entry]>`, never deep-cloned per backup — before fanning
+//! replies out to every waiter.
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -23,6 +33,26 @@ use crate::replication::{GroupState, ReplicaCtx, ReplicaGroupHandle};
 
 /// Reply channel for append requests: the assigned `(TOId, LId)` pairs.
 pub type AppendReplySender = Sender<Result<Vec<(TOId, LId)>>>;
+
+/// Bounds on how many queued requests the node loop coalesces into one
+/// group-commit batch (config knobs `max_batch_records` /
+/// `max_batch_bytes`). A records bound of 1 disables coalescing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Maximum records (payloads + pre-routed entries) per batch.
+    pub max_records: usize,
+    /// Maximum summed record-body bytes per batch.
+    pub max_bytes: usize,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_records: 512,
+            max_bytes: 1 << 20,
+        }
+    }
+}
 
 /// Requests served by a maintainer node.
 pub enum MaintainerRequest {
@@ -54,8 +84,9 @@ pub enum MaintainerRequest {
     /// rather than rejected, and no tag postings or counters fire — the
     /// acting primary already accounted for the records.
     Replicate {
-        /// Entries to persist on this replica.
-        entries: Vec<Entry>,
+        /// Entries to persist on this replica. Shared: the primary sends
+        /// every backup the same allocation instead of a deep copy each.
+        entries: Arc<[Entry]>,
         /// The sender's view of the group generation (fencing).
         generation: Generation,
         /// Replies with this replica's frontier after applying.
@@ -118,6 +149,10 @@ pub struct MaintainerHandle {
     tx: Sender<MaintainerRequest>,
     station: Arc<ServiceStation>,
     appended: Counter,
+    /// Replication RPCs received by this node (one per `replicate` call,
+    /// however many entries it carries) — observable proof that a drained
+    /// batch costs each backup a single push.
+    replicate_rpcs: Counter,
 }
 
 impl MaintainerHandle {
@@ -133,6 +168,14 @@ impl MaintainerHandle {
     }
 
     /// Append and wait for the assigned `(TOId, LId)` pairs.
+    ///
+    /// The reply arrives only after the whole group-commit batch this
+    /// request rode in has **committed**: applied locally, WAL-synced under
+    /// the configured policy, and acked by every live backup. The node may
+    /// coalesce this request with other queued `Append`/`Store` requests up
+    /// to the [`BatchPolicy`] bounds, which amortizes the fsync and the
+    /// replication round trip without changing the serial semantics — each
+    /// request still succeeds or fails on its own application outcome.
     pub fn append(&self, payloads: Vec<AppendPayload>) -> Result<Vec<(TOId, LId)>> {
         self.station.note_arrival(payloads.len() as u64);
         let (reply, rx) = bounded(1);
@@ -171,9 +214,12 @@ impl MaintainerHandle {
 
     /// Replicates already-assigned entries onto this replica, stamped with
     /// the sender's group generation. Returns the replica's frontier after
-    /// applying; a stale generation is fenced.
-    pub fn replicate(&self, entries: Vec<Entry>, generation: Generation) -> Result<LId> {
+    /// applying; a stale generation is fenced. The entries are shared — a
+    /// primary fanning one batch out to several backups clones the `Arc`,
+    /// not the payloads.
+    pub fn replicate(&self, entries: Arc<[Entry]>, generation: Generation) -> Result<LId> {
         self.station.note_arrival(entries.len() as u64);
+        self.replicate_rpcs.add(1);
         let (reply, rx) = bounded(1);
         self.tx
             .send(MaintainerRequest::Replicate {
@@ -257,6 +303,12 @@ impl MaintainerHandle {
         self.appended.clone()
     }
 
+    /// Replication RPCs received by this node (shared counter; one per
+    /// `replicate` call regardless of batch size).
+    pub fn replicate_rpc_counter(&self) -> Counter {
+        self.replicate_rpcs.clone()
+    }
+
     /// The station modelling this machine's capacity.
     pub fn station(&self) -> Arc<ServiceStation> {
         Arc::clone(&self.station)
@@ -277,18 +329,32 @@ pub struct FabricObs {
     pub gossip_rounds: Counter,
     /// Highest Head of the Log any maintainer has computed.
     pub hl: Gauge,
+    /// Records per committed group-commit batch.
+    pub batch_size: Histogram,
+    /// Summed record-body bytes per committed group-commit batch.
+    pub batch_bytes: Histogram,
+    /// WAL flush+fsync operations across all maintainer cores.
+    pub wal_syncs: Counter,
+    /// Drained min-bound entries whose replication push was abandoned to
+    /// anti-entropy repair (deposed mid-drain, or a live backup refused).
+    pub replication_dropped: Counter,
 }
 
 impl FabricObs {
     /// Instruments registered in `registry` as `{prefix}.append.latency_us`,
-    /// `{prefix}.store.latency_us`, `{prefix}.gossip.rounds`, and
-    /// `{prefix}.hl`.
+    /// `{prefix}.store.latency_us`, `{prefix}.gossip.rounds`, `{prefix}.hl`,
+    /// `{prefix}.batch.size`, `{prefix}.batch.bytes`,
+    /// `{prefix}.wal.sync.count`, and `{prefix}.replication.dropped`.
     pub fn registered(registry: &MetricsRegistry, prefix: &str) -> Self {
         FabricObs {
             append_latency: registry.histogram(&format!("{prefix}.append.latency_us")),
             store_latency: registry.histogram(&format!("{prefix}.store.latency_us")),
             gossip_rounds: registry.counter(&format!("{prefix}.gossip.rounds")),
             hl: registry.gauge(&format!("{prefix}.hl")),
+            batch_size: registry.histogram(&format!("{prefix}.batch.size")),
+            batch_bytes: registry.histogram(&format!("{prefix}.batch.bytes")),
+            wal_syncs: registry.counter(&format!("{prefix}.wal.sync.count")),
+            replication_dropped: registry.counter(&format!("{prefix}.replication.dropped")),
         }
     }
 
@@ -378,8 +444,9 @@ impl Fabric {
 }
 
 /// Spawns a standalone (unreplicated) maintainer node thread: a
-/// single-replica group. Kept as the simple entry point for tests and
-/// benches; deployments spawn full groups via [`spawn_replica`].
+/// single-replica group under the default [`BatchPolicy`]. Kept as the
+/// simple entry point for tests and benches; deployments spawn full groups
+/// via [`spawn_replica`].
 pub fn spawn_maintainer(
     core: MaintainerCore,
     station: Arc<ServiceStation>,
@@ -396,6 +463,7 @@ pub fn spawn_maintainer(
         shutdown,
         ReplicaCtx::solo(Arc::clone(&state)),
         Counter::new(),
+        BatchPolicy::default(),
     );
     state.set_replicas(vec![handle.clone()]);
     (handle, thread)
@@ -403,12 +471,15 @@ pub fn spawn_maintainer(
 
 /// Spawns one replica of a maintainer group.
 ///
-/// The node loop drains its channel in batches, paces application through
-/// `station`, heartbeats the failure detector, gossips the group frontier
-/// every `gossip_interval` while acting primary, replicates appends and
-/// stores to its backups, and posts tag information to the fabric's
-/// indexers. `appended` is the group-level record counter, bumped only by
-/// the acting primary.
+/// The node loop group-commits: after each blocking `recv` it drains
+/// further queued `Append`/`Store` requests into one batch (bounded by
+/// `batch`), pays a single station admission, generation capture, WAL
+/// flush+fsync, and replication push per live backup for the whole batch,
+/// then fans replies out. It also heartbeats the failure detector, gossips
+/// the group frontier every `gossip_interval` while acting primary, and
+/// posts tag information to the fabric's indexers. `appended` is the
+/// group-level record counter, bumped only by the acting primary.
+#[allow(clippy::too_many_arguments)]
 pub fn spawn_replica(
     mut core: MaintainerCore,
     station: Arc<ServiceStation>,
@@ -417,6 +488,7 @@ pub fn spawn_replica(
     shutdown: Shutdown,
     ctx: ReplicaCtx,
     appended: Counter,
+    batch: BatchPolicy,
 ) -> (MaintainerHandle, JoinHandle<MaintainerCore>) {
     let (tx, rx) = unbounded::<MaintainerRequest>();
     let handle = MaintainerHandle {
@@ -424,6 +496,7 @@ pub fn spawn_replica(
         tx,
         station: Arc::clone(&station),
         appended: appended.clone(),
+        replicate_rpcs: Counter::new(),
     };
     let thread = std::thread::Builder::new()
         .name(format!("maintainer-{}-r{}", core.id(), ctx.index))
@@ -437,6 +510,7 @@ pub fn spawn_replica(
                 &shutdown,
                 &appended,
                 &ctx,
+                batch,
             );
             core
         })
@@ -455,13 +529,19 @@ fn collect_tag_postings(entries: &[Entry]) -> Vec<(String, Option<TagValue>, LId
 }
 
 /// Pushes `entries` to every live backup of the group, stamped with the
-/// generation captured when the request was admitted. Called by the acting
+/// generation captured when the batch was admitted. Called by the acting
 /// primary after it applies records locally; `Ok` means every live backup
 /// acked (synchronous replication — the client's ack happens after this).
+/// One RPC per backup per batch: each backup receives a clone of the same
+/// `Arc<[Entry]>`, so the entry payloads are never copied per backup.
 /// Backups whose machines are crashed are skipped (anti-entropy catches
 /// them up later); any other failure — fencing after a mid-flight
 /// deposition, overload — is propagated so the caller does NOT ack.
-fn replicate_to_backups(ctx: &ReplicaCtx, entries: &[Entry], generation: Generation) -> Result<()> {
+fn replicate_to_backups(
+    ctx: &ReplicaCtx,
+    entries: &Arc<[Entry]>,
+    generation: Generation,
+) -> Result<()> {
     if entries.is_empty() {
         return Ok(());
     }
@@ -473,7 +553,7 @@ fn replicate_to_backups(ctx: &ReplicaCtx, entries: &[Entry], generation: Generat
         if i == ctx.index || replica.station().is_crashed() {
             continue;
         }
-        if let Err(e) = replica.replicate(entries.to_vec(), generation) {
+        if let Err(e) = replica.replicate(Arc::clone(entries), generation) {
             // A backup that crashed in the window after the liveness check
             // is treated like one that was already down; every other error
             // means a live backup does not hold the records.
@@ -499,23 +579,303 @@ fn fenced(group: MaintainerId, ctx: &ReplicaCtx) -> ChariotsError {
     }
 }
 
-/// Replicates any min-bound waiters drained by the last operation (their
-/// assignments bypass the normal append reply path). Best-effort: the
-/// waiters were acked as *parked*, not as committed, so a shortfall here is
-/// left to anti-entropy repair rather than failing the current request.
-fn replicate_drained(core: &mut MaintainerCore, ctx: &ReplicaCtx) {
+/// Replicates any min-bound waiters drained outside a group-commit batch
+/// (gossip ticks and min-bound serves; batch serves fold drained entries
+/// into the batch's own push). The drained entries come straight from the
+/// core — no store re-reads — and ride one shared-`Arc` push per backup.
+/// Best-effort: the waiters were acked as *parked*, not as committed, so a
+/// shortfall here is left to anti-entropy repair rather than failing the
+/// current request — but every abandoned entry is counted on
+/// `flstore.replication.dropped` so the shortfall is visible.
+fn replicate_drained(core: &mut MaintainerCore, ctx: &ReplicaCtx, fabric: &Fabric) {
     let drained = core.take_drained();
     if drained.is_empty() {
         return;
     }
+    // Drained entries were applied (and WAL-appended) after the last batch
+    // commit point; give them their own durability point before pushing.
+    let _ = core.sync_batch();
+    let entries: Arc<[Entry]> = drained.into();
     let Some(generation) = ctx.group.primary_generation(ctx.index) else {
+        fabric.obs().replication_dropped.add(entries.len() as u64);
         return;
     };
-    let entries: Vec<Entry> = drained
-        .iter()
-        .filter_map(|&lid| core.read(lid, false).ok())
-        .collect();
-    let _ = replicate_to_backups(ctx, &entries, generation);
+    if replicate_to_backups(ctx, &entries, generation).is_err() {
+        fabric.obs().replication_dropped.add(entries.len() as u64);
+    }
+}
+
+/// One request's worth of coalescable work inside a group-commit batch,
+/// kept in arrival order so a batched serve is indistinguishable from
+/// serving the requests one at a time.
+enum BatchItem {
+    /// A post-assignment append and (if closed-loop) its waiter.
+    Append {
+        /// Payloads to append.
+        payloads: Vec<AppendPayload>,
+        /// Where to send the assigned ids, if anyone is waiting.
+        reply: Option<AppendReplySender>,
+    },
+    /// Pre-routed entries from the Chariots queues stage.
+    Store {
+        /// Entries to persist.
+        entries: Vec<Entry>,
+    },
+}
+
+impl BatchItem {
+    /// Records this item adds to the batch.
+    fn records(&self) -> usize {
+        match self {
+            BatchItem::Append { payloads, .. } => payloads.len(),
+            BatchItem::Store { entries } => entries.len(),
+        }
+    }
+
+    /// Record-body bytes this item adds to the batch.
+    fn bytes(&self) -> usize {
+        match self {
+            BatchItem::Append { payloads, .. } => payloads.iter().map(|p| p.body.len()).sum(),
+            BatchItem::Store { entries } => entries.iter().map(|e| e.record.body.len()).sum(),
+        }
+    }
+}
+
+/// Splits a request into a coalescable batch item, or hands it back when it
+/// must be served on its own (reads, gossip, control traffic, and the
+/// order-sensitive min-bound/replicate paths).
+fn coalesce(req: MaintainerRequest) -> std::result::Result<BatchItem, MaintainerRequest> {
+    match req {
+        MaintainerRequest::Append { payloads, reply } => Ok(BatchItem::Append { payloads, reply }),
+        MaintainerRequest::Store { entries } => Ok(BatchItem::Store { entries }),
+        other => Err(other),
+    }
+}
+
+/// The outcome of applying one batch item, held until the batch commits so
+/// replies can be fanned out afterwards.
+enum AppliedItem {
+    /// Append applied; `assigned` are the built entries awaiting commit.
+    Append {
+        assigned: Vec<Entry>,
+        reply: Option<AppendReplySender>,
+    },
+    /// Append failed on its own (e.g. no assignable positions); the error
+    /// is delivered regardless of how the rest of the batch fares.
+    AppendFailed {
+        err: ChariotsError,
+        reply: Option<AppendReplySender>,
+    },
+    /// Store applied; the entries await commit (they have no reply channel,
+    /// but a failed commit queues them for re-replication).
+    Store { entries: Vec<Entry> },
+    /// Store failed on its own (bad routing); nothing to commit or reply.
+    StoreFailed,
+}
+
+/// Serves one coalesced batch end to end: one station admission, one
+/// generation capture, one application pass in arrival order, one WAL
+/// sync ([`MaintainerCore::sync_batch`]), one shared-`Arc` replication push
+/// per live backup, then reply fan-out. Min-bound waiters drained by the
+/// batch's appends commit (and replicate) with the batch.
+///
+/// Per-item application failures only fail that item; admission, fencing,
+/// durability, and replication failures fail the **whole batch** — no
+/// partial acks under a deposed generation.
+#[allow(clippy::too_many_arguments)]
+fn serve_batch(
+    core: &mut MaintainerCore,
+    batch: Vec<BatchItem>,
+    station: &ServiceStation,
+    fabric: &Fabric,
+    appended: &Counter,
+    crash_buffer: &mut Vec<Entry>,
+    pending_replication: &mut Vec<Entry>,
+    ctx: &ReplicaCtx,
+) {
+    let total_records: usize = batch.iter().map(BatchItem::records).sum();
+    let total_bytes: usize = batch.iter().map(BatchItem::bytes).sum();
+
+    // Admission: one station pass for the whole batch.
+    if let Err(e) = station.serve(total_records as u64) {
+        for item in batch {
+            match item {
+                // Crashed: the appends are lost, as they would be on a
+                // machine that died with them in its socket buffer.
+                BatchItem::Append { reply, .. } => {
+                    if let Some(reply) = reply {
+                        let _ = reply.send(Err(e.clone()));
+                    }
+                }
+                // Stores are already committed upstream by the queues'
+                // token — park them for recovery instead of losing them.
+                BatchItem::Store { entries } => crash_buffer.extend(entries),
+            }
+        }
+        return;
+    }
+
+    // One generation capture *after* station pacing (a primary deposed
+    // while stalled in serve must not assign). Everything below is stamped
+    // with it, so a deposition mid-flight is fenced by the backups instead
+    // of silently acked.
+    let Some(generation) = ctx.group.primary_generation(ctx.index) else {
+        for item in batch {
+            match item {
+                // Only the primary assigns positions; fence appends so the
+                // client refreshes its routing toward the new primary.
+                BatchItem::Append { reply, .. } => {
+                    if let Some(reply) = reply {
+                        let _ = reply.send(Err(fenced(core.id(), ctx)));
+                    }
+                }
+                // Routed here because the primary's machine is down (or a
+                // stale route). Relay to a live primary when there is one;
+                // otherwise persist locally so the positions survive until
+                // this replica (or a repaired peer) is promoted.
+                BatchItem::Store { entries } => match ctx.group.primary_handle() {
+                    Some(primary) if !primary.station().is_crashed() => {
+                        primary.store(entries);
+                    }
+                    _ => {
+                        let _ = core.replicate_entries(&entries);
+                    }
+                },
+            }
+        }
+        return;
+    };
+
+    let t0 = std::time::Instant::now();
+    let mut had_appends = false;
+    let mut had_stores = false;
+
+    // Application pass, in arrival order. Each item succeeds or fails on
+    // its own (serial equivalence); failures drop out of the commit set.
+    let mut applied = Vec::with_capacity(batch.len());
+    let mut committed: Vec<Entry> = Vec::with_capacity(total_records);
+    for item in batch {
+        match item {
+            BatchItem::Append { payloads, reply } => {
+                had_appends = true;
+                match core.append_batch(payloads) {
+                    Ok(assigned) => {
+                        committed.extend_from_slice(&assigned);
+                        applied.push(AppliedItem::Append { assigned, reply });
+                    }
+                    Err(err) => applied.push(AppliedItem::AppendFailed { err, reply }),
+                }
+            }
+            BatchItem::Store { entries } => {
+                had_stores = true;
+                match core.store_entries(entries.clone()) {
+                    Ok(()) => {
+                        committed.extend_from_slice(&entries);
+                        applied.push(AppliedItem::Store { entries });
+                    }
+                    Err(_) => applied.push(AppliedItem::StoreFailed),
+                }
+            }
+        }
+    }
+    // Min-bound waiters drained by this batch's appends commit with it:
+    // same WAL sync, same replication push.
+    let drained = core.take_drained();
+    let drained_count = drained.len();
+    committed.extend(drained);
+
+    // Commit: the batch's single durability point, then one shared-`Arc`
+    // push per live backup, then the post-replication primacy re-check — a
+    // deposition anywhere in the window fails the whole batch (the promoted
+    // backup may resume assignment at these very positions, so acking any
+    // of it would admit duplicate LIds).
+    let share: Arc<[Entry]> = committed.into();
+    let commit = if share.is_empty() {
+        // Nothing committed (every item failed on its own): no durability
+        // point or replication push to pay for.
+        Ok(())
+    } else {
+        core.sync_batch()
+            .and_then(|()| replicate_to_backups(ctx, &share, generation))
+            .and_then(|()| {
+                if ctx.group.primary_generation(ctx.index) != Some(generation) {
+                    return Err(ChariotsError::Fenced {
+                        group: core.id(),
+                        sent: generation,
+                        current: ctx.group.generation(),
+                    });
+                }
+                Ok(())
+            })
+    };
+
+    match commit {
+        Ok(()) => {
+            let elapsed = t0.elapsed();
+            let obs = fabric.obs();
+            obs.batch_size.record(total_records as u64);
+            obs.batch_bytes.record(total_bytes as u64);
+            if had_appends {
+                obs.append_latency.record_duration(elapsed);
+            }
+            if had_stores {
+                obs.store_latency.record_duration(elapsed);
+            }
+            // Tag postings and trace stamps once per batch, for everything
+            // that committed (drained waiters included).
+            let traced: Vec<TraceId> = share.iter().filter_map(|e| e.record.trace).collect();
+            fabric.stamp_store_exits(&traced);
+            fabric.post_tags(collect_tag_postings(&share));
+            for item in applied {
+                match item {
+                    AppliedItem::Append { assigned, reply } => {
+                        appended.add(assigned.len() as u64);
+                        if let Some(reply) = reply {
+                            let ids = assigned
+                                .iter()
+                                .map(|e| (e.record.toid(), e.lid))
+                                .collect::<Vec<_>>();
+                            let _ = reply.send(Ok(ids));
+                        }
+                    }
+                    AppliedItem::AppendFailed { err, reply } => {
+                        if let Some(reply) = reply {
+                            let _ = reply.send(Err(err));
+                        }
+                    }
+                    AppliedItem::Store { entries } => {
+                        appended.add(entries.len() as u64);
+                    }
+                    AppliedItem::StoreFailed => {}
+                }
+            }
+        }
+        Err(commit_err) => {
+            for item in applied {
+                match item {
+                    // No partial acks: every append waiter in the batch
+                    // sees the commit failure, whatever its own item did.
+                    AppliedItem::Append { reply, .. } => {
+                        if let Some(reply) = reply {
+                            let _ = reply.send(Err(commit_err.clone()));
+                        }
+                    }
+                    AppliedItem::AppendFailed { err, reply } => {
+                        if let Some(reply) = reply {
+                            let _ = reply.send(Err(err));
+                        }
+                    }
+                    // Store positions are committed upstream: queue them
+                    // for re-replication / handover instead of dropping.
+                    AppliedItem::Store { entries } => pending_replication.extend(entries),
+                    AppliedItem::StoreFailed => {}
+                }
+            }
+            // Drained waiters were acked as *parked*; their shortfall is
+            // left to anti-entropy, but counted.
+            fabric.obs().replication_dropped.add(drained_count as u64);
+        }
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -528,6 +888,7 @@ fn maintainer_loop(
     shutdown: &Shutdown,
     appended: &Counter,
     ctx: &ReplicaCtx,
+    batch: BatchPolicy,
 ) {
     let mut last_gossip = std::time::Instant::now();
     let mut last_heartbeat = std::time::Instant::now();
@@ -583,14 +944,18 @@ fn maintainer_loop(
                     // Re-applying is idempotent (`replicate_entries`
                     // overwrites), so a retry after a partial failure
                     // cannot be rejected as a duplicate.
-                    if station.serve(n).is_ok() && core.replicate_entries(entries.clone()).is_ok() {
+                    if station.serve(n).is_ok()
+                        && core.replicate_entries(&entries).is_ok()
+                        && core.sync_batch().is_ok()
+                    {
                         let traced: Vec<TraceId> =
                             entries.iter().filter_map(|e| e.record.trace).collect();
                         appended.add(n);
                         fabric.stamp_store_exits(&traced);
                         fabric.post_tags(collect_tag_postings(&entries));
-                        if replicate_to_backups(ctx, &entries, generation).is_err() {
-                            pending_replication.extend(entries);
+                        let share: Arc<[Entry]> = entries.into();
+                        if replicate_to_backups(ctx, &share, generation).is_err() {
+                            pending_replication.extend(share.iter().cloned());
                         }
                     } else {
                         crash_buffer = entries;
@@ -613,8 +978,9 @@ fn maintainer_loop(
             let entries = std::mem::take(&mut pending_replication);
             match ctx.group.primary_generation(ctx.index) {
                 Some(generation) => {
-                    if replicate_to_backups(ctx, &entries, generation).is_err() {
-                        pending_replication = entries;
+                    let share: Arc<[Entry]> = entries.into();
+                    if replicate_to_backups(ctx, &share, generation).is_err() {
+                        pending_replication.extend(share.iter().cloned());
                     }
                 }
                 None => match ctx.group.primary_handle() {
@@ -625,16 +991,67 @@ fn maintainer_loop(
         }
 
         if let Some(req) = req {
-            serve_request(
-                core,
-                req,
-                station,
-                fabric,
-                appended,
-                &mut crash_buffer,
-                &mut pending_replication,
-                ctx,
-            );
+            match coalesce(req) {
+                // Group commit: the first coalescable request opens a
+                // batch; keep draining the channel until a bound is hit, it
+                // runs dry, or a non-coalescable request shows up (which is
+                // then served right after the batch, preserving arrival
+                // order).
+                Ok(first) => {
+                    let mut followup = None;
+                    let mut records = first.records();
+                    let mut bytes = first.bytes();
+                    let mut items = vec![first];
+                    while records < batch.max_records && bytes < batch.max_bytes {
+                        match rx.try_recv() {
+                            Ok(next) => match coalesce(next) {
+                                Ok(item) => {
+                                    records += item.records();
+                                    bytes += item.bytes();
+                                    items.push(item);
+                                }
+                                Err(other) => {
+                                    followup = Some(other);
+                                    break;
+                                }
+                            },
+                            Err(_) => break,
+                        }
+                    }
+                    serve_batch(
+                        core,
+                        items,
+                        station,
+                        fabric,
+                        appended,
+                        &mut crash_buffer,
+                        &mut pending_replication,
+                        ctx,
+                    );
+                    if let Some(req) = followup {
+                        serve_request(
+                            core,
+                            req,
+                            station,
+                            fabric,
+                            appended,
+                            &mut crash_buffer,
+                            &mut pending_replication,
+                            ctx,
+                        );
+                    }
+                }
+                Err(other) => serve_request(
+                    core,
+                    other,
+                    station,
+                    fabric,
+                    appended,
+                    &mut crash_buffer,
+                    &mut pending_replication,
+                    ctx,
+                ),
+            }
         }
 
         // Periodic drain of parked min-bound records, plus gossip: only
@@ -643,7 +1060,7 @@ fn maintainer_loop(
         if last_gossip.elapsed() >= gossip_interval {
             last_gossip = std::time::Instant::now();
             let _ = core.drain_deferred();
-            replicate_drained(core, ctx);
+            replicate_drained(core, ctx, fabric);
             let (from, frontier) = core.gossip_out();
             if is_primary {
                 fabric.gossip(from, frontier);
@@ -665,58 +1082,28 @@ fn serve_request(
     ctx: &ReplicaCtx,
 ) {
     match req {
-        MaintainerRequest::Append { payloads, reply } => {
-            let n = payloads.len() as u64;
-            if let Err(e) = station.serve(n) {
-                // Crashed: the records are lost, as they would be on a
-                // machine that died with them in its socket buffer.
-                if let Some(reply) = reply {
-                    let _ = reply.send(Err(e));
-                }
-                return;
-            }
-            // Admission: capture the generation under which this replica
-            // holds primacy *after* station pacing (a primary deposed while
-            // stalled in serve must not assign). All replication below is
-            // stamped with this generation, so a deposition mid-flight is
-            // fenced by the backups instead of silently acked.
-            let Some(generation) = ctx.group.primary_generation(ctx.index) else {
-                // Only the primary assigns positions; fence the request so
-                // the client refreshes its routing toward the new primary.
-                if let Some(reply) = reply {
-                    let _ = reply.send(Err(fenced(core.id(), ctx)));
-                }
-                return;
-            };
-            let t0 = std::time::Instant::now();
-            let result = core.append_batch(payloads).and_then(|assigned| {
-                let stored: Vec<Entry> = assigned
-                    .iter()
-                    .filter_map(|(_, lid)| core.read(*lid, false).ok())
-                    .collect();
-                // Ack only after every live backup holds the records …
-                replicate_to_backups(ctx, &stored, generation)?;
-                // … and only while still primary under the admission
-                // generation: a deposition after replication means the
-                // promoted backup may resume assignment at these very
-                // positions, so acking would admit a duplicate LId.
-                if ctx.group.primary_generation(ctx.index) != Some(generation) {
-                    return Err(ChariotsError::Fenced {
-                        group: core.id(),
-                        sent: generation,
-                        current: ctx.group.generation(),
-                    });
-                }
-                fabric.obs().append_latency.record_duration(t0.elapsed());
-                appended.add(assigned.len() as u64);
-                fabric.post_tags(collect_tag_postings(&stored));
-                Ok(assigned)
-            });
-            replicate_drained(core, ctx);
-            if let Some(reply) = reply {
-                let _ = reply.send(result);
-            }
-        }
+        // Append/Store normally enter through the loop's batch drain; a
+        // straggler routed here is just a batch of one.
+        MaintainerRequest::Append { payloads, reply } => serve_batch(
+            core,
+            vec![BatchItem::Append { payloads, reply }],
+            station,
+            fabric,
+            appended,
+            crash_buffer,
+            pending_replication,
+            ctx,
+        ),
+        MaintainerRequest::Store { entries } => serve_batch(
+            core,
+            vec![BatchItem::Store { entries }],
+            station,
+            fabric,
+            appended,
+            crash_buffer,
+            pending_replication,
+            ctx,
+        ),
         MaintainerRequest::AppendMinBound {
             payload,
             min,
@@ -731,11 +1118,10 @@ fn serve_request(
                 return;
             };
             let result = core.append_min_bound(payload, min).and_then(|assigned| {
-                if let Some((_, lid)) = &assigned {
-                    let entry = core.read(*lid, false).ok();
-                    if let Some(entry) = &entry {
-                        replicate_to_backups(ctx, std::slice::from_ref(entry), generation)?;
-                    }
+                if let Some(entry) = &assigned {
+                    core.sync_batch()?;
+                    let share: Arc<[Entry]> = vec![entry.clone()].into();
+                    replicate_to_backups(ctx, &share, generation)?;
                     if ctx.group.primary_generation(ctx.index) != Some(generation) {
                         return Err(ChariotsError::Fenced {
                             group: core.id(),
@@ -744,53 +1130,12 @@ fn serve_request(
                         });
                     }
                     appended.add(1);
-                    if let Some(entry) = &entry {
-                        fabric.post_tags(collect_tag_postings(std::slice::from_ref(entry)));
-                    }
+                    fabric.post_tags(collect_tag_postings(std::slice::from_ref(entry)));
                 }
-                Ok(assigned)
+                Ok(assigned.map(|e| (e.record.toid(), e.lid)))
             });
-            replicate_drained(core, ctx);
+            replicate_drained(core, ctx, fabric);
             let _ = reply.send(result);
-        }
-        MaintainerRequest::Store { entries } => {
-            let n = entries.len() as u64;
-            if station.serve(n).is_err() {
-                // Crashed: the positions are already committed upstream —
-                // park the entries for recovery instead of losing them.
-                crash_buffer.extend(entries);
-                return;
-            }
-            let Some(generation) = ctx.group.primary_generation(ctx.index) else {
-                // Routed here because the primary's machine is down (or a
-                // stale route). Relay to a live primary when there is one;
-                // otherwise persist locally so the positions survive until
-                // this replica (or a repaired peer) is promoted.
-                match ctx.group.primary_handle() {
-                    Some(primary) if !primary.station().is_crashed() => {
-                        primary.store(entries);
-                    }
-                    _ => {
-                        let _ = core.replicate_entries(entries);
-                    }
-                }
-                return;
-            };
-            let postings = collect_tag_postings(&entries);
-            let traced: Vec<TraceId> = entries.iter().filter_map(|e| e.record.trace).collect();
-            let t0 = std::time::Instant::now();
-            if core.store_entries(entries.clone()).is_ok() {
-                fabric.obs().store_latency.record_duration(t0.elapsed());
-                appended.add(n);
-                fabric.stamp_store_exits(&traced);
-                fabric.post_tags(postings);
-                // No reply channel to fail here: a replication shortfall to
-                // a live backup (or a mid-store deposition) queues the
-                // committed positions for re-replication / handover.
-                if replicate_to_backups(ctx, &entries, generation).is_err() {
-                    pending_replication.extend(entries);
-                }
-            }
         }
         MaintainerRequest::Replicate {
             entries,
@@ -812,8 +1157,13 @@ fn serve_request(
                 return;
             }
             // No counters, postings, or trace stamps here: the acting
-            // primary already accounted for these records.
-            let _ = reply.send(core.replicate_entries(entries));
+            // primary already accounted for these records. Backups group-
+            // commit too — one WAL sync per replicated batch, so the
+            // primary's ack implies durability group-wide.
+            let result = core
+                .replicate_entries(&entries)
+                .and_then(|frontier| core.sync_batch().map(|()| frontier));
+            let _ = reply.send(result);
         }
         MaintainerRequest::Read {
             lid,
@@ -839,7 +1189,7 @@ fn serve_request(
         MaintainerRequest::GossipIn { from, frontier } => {
             core.gossip_in(from, frontier);
             let _ = core.drain_deferred();
-            replicate_drained(core, ctx);
+            replicate_drained(core, ctx, fabric);
         }
         MaintainerRequest::AnnounceEpoch { start, map } => {
             core.announce_epoch(start, map);
@@ -1106,6 +1456,197 @@ mod tests {
             t.join().unwrap();
         }
         ix_thread.join().unwrap();
+    }
+
+    /// Spawns `n` replica node threads of group M0 and returns the pieces a
+    /// test needs to drive a batch against the group directly.
+    fn launch_backups(
+        n: usize,
+    ) -> (
+        Arc<GroupState>,
+        Vec<MaintainerHandle>,
+        Fabric,
+        Shutdown,
+        Vec<JoinHandle<MaintainerCore>>,
+        EpochJournal,
+    ) {
+        let journal = EpochJournal::new(RangeMap::new(1, 10));
+        let fabric = Fabric::new();
+        let shutdown = Shutdown::new();
+        let state = Arc::new(GroupState::new(MaintainerId(0)));
+        let appended = Counter::new();
+        let mut raw = Vec::new();
+        let mut threads = Vec::new();
+        for r in 0..n {
+            let core = MaintainerCore::new(MaintainerId(0), DatacenterId(0), journal.clone());
+            let station = Arc::new(ServiceStation::new(
+                format!("m0-r{r}"),
+                StationConfig::uncapped(),
+            ));
+            let ctx = ReplicaCtx {
+                group: Arc::clone(&state),
+                index: r,
+                detector: None,
+                heartbeat_interval: Duration::from_millis(5),
+            };
+            let (h, t) = spawn_replica(
+                core,
+                station,
+                fabric.clone(),
+                Duration::from_millis(50),
+                shutdown.clone(),
+                ctx,
+                appended.clone(),
+                BatchPolicy::default(),
+            );
+            raw.push(h);
+            threads.push(t);
+        }
+        state.set_replicas(raw.clone());
+        (state, raw, fabric, shutdown, threads, journal)
+    }
+
+    fn stored_entry(lid: u64, body: &str) -> Entry {
+        use chariots_types::{Record, RecordId, VersionVector};
+        Entry::new(
+            LId(lid),
+            Record::new(
+                RecordId::new(DatacenterId(0), TOId(lid + 1)),
+                VersionVector::new(1),
+                TagSet::new(),
+                Bytes::copy_from_slice(body.as_bytes()),
+            ),
+        )
+    }
+
+    /// A drained batch costs each live backup exactly ONE replication RPC,
+    /// however many appends and stores it coalesced — and the seat-0 node
+    /// (whose place the driven core takes) receives none.
+    #[test]
+    fn coalesced_batch_sends_one_rpc_per_backup() {
+        let (state, raw, fabric, shutdown, threads, journal) = launch_backups(3);
+        // Drive a fresh seat-0 core through serve_batch directly so the
+        // batch composition is exact (the spawned seat-0 node idles).
+        let mut core = MaintainerCore::new(MaintainerId(0), DatacenterId(0), journal.clone());
+        let station = ServiceStation::new("driver", StationConfig::uncapped());
+        let appended = Counter::new();
+        let mut crash_buffer = Vec::new();
+        let mut pending_replication = Vec::new();
+        let ctx = ReplicaCtx {
+            group: Arc::clone(&state),
+            index: 0,
+            detector: None,
+            heartbeat_interval: Duration::from_millis(5),
+        };
+        let (tx1, rx1) = bounded(1);
+        let (tx2, rx2) = bounded(1);
+        serve_batch(
+            &mut core,
+            vec![
+                BatchItem::Append {
+                    payloads: vec![payload("a")],
+                    reply: Some(tx1),
+                },
+                BatchItem::Append {
+                    payloads: vec![payload("b")],
+                    reply: Some(tx2),
+                },
+                BatchItem::Store {
+                    entries: vec![stored_entry(5, "s")],
+                },
+            ],
+            &station,
+            &fabric,
+            &appended,
+            &mut crash_buffer,
+            &mut pending_replication,
+            &ctx,
+        );
+        assert_eq!(rx1.recv().unwrap().unwrap(), vec![(TOId(1), LId(0))]);
+        assert_eq!(rx2.recv().unwrap().unwrap(), vec![(TOId(2), LId(1))]);
+        assert_eq!(appended.get(), 3);
+        // One push per backup for the whole 3-record batch; the acting
+        // primary's own seat gets nothing.
+        assert_eq!(raw[0].replicate_rpc_counter().get(), 0);
+        assert_eq!(raw[1].replicate_rpc_counter().get(), 1);
+        assert_eq!(raw[2].replicate_rpc_counter().get(), 1);
+        // And the push carried every record of the batch.
+        for backup in &raw[1..] {
+            for lid in [0, 1, 5] {
+                assert_eq!(backup.read(LId(lid), false).unwrap().lid, LId(lid));
+            }
+        }
+        shutdown.signal();
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+
+    /// A fencing event while a batch is in service fails the WHOLE batch:
+    /// every append waiter gets the fencing error and nothing is acked —
+    /// no partial acks under a deposed generation.
+    #[test]
+    fn fencing_mid_batch_fails_every_item() {
+        let (state, raw, fabric, shutdown, threads, journal) = launch_backups(2);
+        let mut core = MaintainerCore::new(MaintainerId(0), DatacenterId(0), journal.clone());
+        // Rate-capped station: serving the 2-record batch blocks the driver
+        // for ~200ms, a deterministic window to depose it in.
+        let station = ServiceStation::new("driver", StationConfig::with_rate(10.0));
+        let appended = Counter::new();
+        let ctx = ReplicaCtx {
+            group: Arc::clone(&state),
+            index: 0,
+            detector: None,
+            heartbeat_interval: Duration::from_millis(5),
+        };
+        let (tx1, rx1) = bounded(1);
+        let (tx2, rx2) = bounded(1);
+        let driver = {
+            let fabric = fabric.clone();
+            let appended = appended.clone();
+            std::thread::spawn(move || {
+                let mut crash_buffer = Vec::new();
+                let mut pending_replication = Vec::new();
+                serve_batch(
+                    &mut core,
+                    vec![
+                        BatchItem::Append {
+                            payloads: vec![payload("a")],
+                            reply: Some(tx1),
+                        },
+                        BatchItem::Append {
+                            payloads: vec![payload("b")],
+                            reply: Some(tx2),
+                        },
+                    ],
+                    &station,
+                    &fabric,
+                    &appended,
+                    &mut crash_buffer,
+                    &mut pending_replication,
+                    &ctx,
+                );
+            })
+        };
+        // Depose seat 0 while the batch is still being served.
+        std::thread::sleep(Duration::from_millis(50));
+        state.promote(1);
+        driver.join().unwrap();
+        // Both waiters see the fencing failure; neither append was acked.
+        assert!(matches!(
+            rx1.recv().unwrap(),
+            Err(ChariotsError::Fenced { .. })
+        ));
+        assert!(matches!(
+            rx2.recv().unwrap(),
+            Err(ChariotsError::Fenced { .. })
+        ));
+        assert_eq!(appended.get(), 0, "no partial acks");
+        assert_eq!(raw[1].replicate_rpc_counter().get(), 0);
+        shutdown.signal();
+        for t in threads {
+            t.join().unwrap();
+        }
     }
 
     #[test]

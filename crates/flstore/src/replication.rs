@@ -485,7 +485,7 @@ pub fn run_repair(groups: &[ReplicaGroupHandle], batch: usize, lag: &Gauge) {
             worst_lag = worst_lag.max(top.0 - frontier.0);
             if let Ok(missing) = replicas[source].scan(frontier, batch) {
                 if !missing.is_empty() {
-                    let _ = replicas[i].replicate(missing, generation);
+                    let _ = replicas[i].replicate(missing.into(), generation);
                 }
             }
         }
@@ -498,7 +498,7 @@ mod tests {
     use super::*;
     use crate::epoch::EpochJournal;
     use crate::maintainer::MaintainerCore;
-    use crate::node::{spawn_replica, Fabric};
+    use crate::node::{spawn_replica, BatchPolicy, Fabric};
     use bytes::Bytes;
     use chariots_simnet::{Shutdown, StationConfig};
     use chariots_types::{DatacenterId, TagSet};
@@ -543,6 +543,7 @@ mod tests {
                 shutdown.clone(),
                 ctx,
                 appended.clone(),
+                BatchPolicy::default(),
             );
             raw.push(h);
             threads.push(t);
@@ -587,7 +588,7 @@ mod tests {
         // A replicate stamped with the stale generation is fenced.
         let entry = group.replicas()[1].read(LId(0), false).unwrap();
         let err = group.replicas()[0]
-            .replicate(vec![entry], old_gen)
+            .replicate(vec![entry].into(), old_gen)
             .unwrap_err();
         assert!(matches!(err, ChariotsError::Fenced { .. }), "got {err:?}");
         shutdown.signal();

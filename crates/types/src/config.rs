@@ -8,6 +8,26 @@ use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
+/// When a maintainer flushes **and fsyncs** its write-ahead log — the §5.2
+/// durability point. Group commit (the default) syncs once per drained
+/// request batch, amortizing the fsync the way BTRLog-style cloud logs do;
+/// the other two policies exist for the `batching` bench ablation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WalSyncPolicy {
+    /// One flush+fsync per drained group-commit batch (default): every
+    /// *acked* record is durable, at one fsync per batch instead of one per
+    /// record.
+    #[default]
+    PerBatch,
+    /// Flush+fsync after every record applied. The strictest (and slowest)
+    /// policy; equivalent to `PerBatch` with a batch bound of 1.
+    PerRecord,
+    /// Never fsync on the serve path; frames are flushed to the OS per
+    /// batch but the durability point is left to the OS / shutdown. Crash
+    /// durability is NOT guaranteed — ablation and bulk-load use only.
+    Never,
+}
+
 /// Configuration of one datacenter's FLStore deployment (§5).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FLStoreConfig {
@@ -34,6 +54,16 @@ pub struct FLStoreConfig {
     /// Silence after which the failure detector suspects a replica and the
     /// controller considers failing over its group.
     pub suspicion_timeout: Duration,
+    /// Group-commit drain bound: after a maintainer node picks up one
+    /// request it opportunistically drains further queued `Append`/`Store`
+    /// requests into the same batch, up to this many *records*. 1 disables
+    /// coalescing (every request is its own batch).
+    pub max_batch_records: usize,
+    /// Group-commit drain bound in payload bytes: a drained batch stops
+    /// growing once the summed record bodies reach this bound.
+    pub max_batch_bytes: usize,
+    /// When the maintainer WAL is flushed+fsynced on the serve path.
+    pub wal_sync_policy: WalSyncPolicy,
 }
 
 impl Default for FLStoreConfig {
@@ -47,6 +77,9 @@ impl Default for FLStoreConfig {
             replication_factor: 2,
             heartbeat_interval: Duration::from_millis(5),
             suspicion_timeout: Duration::from_millis(150),
+            max_batch_records: 512,
+            max_batch_bytes: 1 << 20,
+            wal_sync_policy: WalSyncPolicy::default(),
         }
     }
 }
@@ -100,6 +133,24 @@ impl FLStoreConfig {
         self
     }
 
+    /// Sets the group-commit drain bound in records (1 disables coalescing).
+    pub fn max_batch_records(mut self, n: usize) -> Self {
+        self.max_batch_records = n;
+        self
+    }
+
+    /// Sets the group-commit drain bound in payload bytes.
+    pub fn max_batch_bytes(mut self, n: usize) -> Self {
+        self.max_batch_bytes = n;
+        self
+    }
+
+    /// Sets the WAL sync policy for the maintainer serve path.
+    pub fn wal_sync_policy(mut self, p: WalSyncPolicy) -> Self {
+        self.wal_sync_policy = p;
+        self
+    }
+
     /// Validates internal consistency.
     pub fn validate(&self) -> Result<(), String> {
         if self.num_maintainers == 0 {
@@ -116,6 +167,12 @@ impl FLStoreConfig {
         }
         if self.suspicion_timeout < self.heartbeat_interval {
             return Err("suspicion_timeout must be at least the heartbeat interval".into());
+        }
+        if self.max_batch_records == 0 {
+            return Err("max_batch_records must be at least 1".into());
+        }
+        if self.max_batch_bytes == 0 {
+            return Err("max_batch_bytes must be at least 1".into());
         }
         Ok(())
     }
@@ -338,6 +395,27 @@ mod tests {
             .heartbeat_interval(Duration::from_millis(50))
             .suspicion_timeout(Duration::from_millis(10));
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn batching_knobs_validate() {
+        assert!(FLStoreConfig::new()
+            .max_batch_records(0)
+            .validate()
+            .is_err());
+        assert!(FLStoreConfig::new().max_batch_bytes(0).validate().is_err());
+        let cfg = FLStoreConfig::new()
+            .max_batch_records(64)
+            .max_batch_bytes(4096)
+            .wal_sync_policy(WalSyncPolicy::Never);
+        assert_eq!(cfg.max_batch_records, 64);
+        assert_eq!(cfg.max_batch_bytes, 4096);
+        assert_eq!(cfg.wal_sync_policy, WalSyncPolicy::Never);
+        assert!(cfg.validate().is_ok());
+        assert_eq!(
+            FLStoreConfig::default().wal_sync_policy,
+            WalSyncPolicy::PerBatch
+        );
     }
 
     #[test]

@@ -14,4 +14,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> batching smoke gate"
+cargo run --release -p chariots-bench --bin harness -- \
+  --smoke --metrics-out target/bench-artifacts/batching-metrics.json batching
+
 echo "All checks passed."

@@ -157,3 +157,175 @@ fn cross_dc_causal_chain_is_ordered_at_every_replica() {
     }
     cluster.shutdown();
 }
+
+/// Group-commit equivalence: any interleaving of `Append` and `Store`
+/// requests served through the maintainer node's coalescing drain loop
+/// produces exactly the log (contents and position assignments) of a
+/// [`MaintainerCore`] serving the same operations one at a time.
+mod group_commit_equivalence {
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use bytes::Bytes;
+    use chariots_flstore::node::{spawn_maintainer, Fabric};
+    use chariots_flstore::{AppendPayload, EpochJournal, MaintainerCore, RangeMap};
+    use chariots_simnet::{ServiceStation, Shutdown, StationConfig};
+    use chariots_types::{
+        DatacenterId, Entry, LId, MaintainerId, Record, RecordId, TOId, TagSet, VersionVector,
+    };
+    use proptest::prelude::*;
+
+    /// One submitted request. `Append(n)` carries `n` payloads; `Store(n)`
+    /// carries `n` pre-routed entries at far positions that cannot collide
+    /// with post-assignment.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Append(usize),
+        Store(usize),
+    }
+
+    fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+        proptest::collection::vec(
+            prop_oneof![
+                (1usize..=4).prop_map(Op::Append),
+                (1usize..=3).prop_map(Op::Store),
+            ],
+            1..12,
+        )
+    }
+
+    /// Base position of the `Store` operand space: far above anything the
+    /// appends of one case can assign, so the two request kinds never race
+    /// for a slot.
+    const STORE_BASE: u64 = 100_000;
+
+    /// Materializes the concrete operations: payload bodies for appends,
+    /// full entries (deterministic far positions, a second host's record
+    /// ids) for stores. Both the serial and the batched run consume these
+    /// verbatim.
+    fn materialize(ops: &[Op]) -> Vec<MaterializedOp> {
+        let mut out = Vec::new();
+        let mut store_slot = 0u64;
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                Op::Append(n) => out.push(MaterializedOp::Append(
+                    (0..*n)
+                        .map(|j| {
+                            AppendPayload::new(
+                                TagSet::new(),
+                                Bytes::from(format!("a{i}.{j}").into_bytes()),
+                            )
+                        })
+                        .collect(),
+                )),
+                Op::Store(n) => {
+                    let entries: Vec<Entry> = (0..*n)
+                        .map(|_| {
+                            let slot = store_slot;
+                            store_slot += 1;
+                            Entry::new(
+                                LId(STORE_BASE + slot),
+                                Record::new(
+                                    RecordId::new(DatacenterId(1), TOId(slot + 1)),
+                                    VersionVector::new(2),
+                                    TagSet::new(),
+                                    Bytes::from(format!("s{slot}").into_bytes()),
+                                ),
+                            )
+                        })
+                        .collect();
+                    out.push(MaterializedOp::Store(entries));
+                }
+            }
+        }
+        out
+    }
+
+    enum MaterializedOp {
+        Append(Vec<AppendPayload>),
+        Store(Vec<Entry>),
+    }
+
+    fn journal() -> EpochJournal {
+        EpochJournal::new(RangeMap::new(1, 16))
+    }
+
+    fn scan_all(entries: Vec<Entry>) -> Vec<(LId, RecordId, Bytes)> {
+        entries
+            .into_iter()
+            .map(|e| (e.lid, e.record.id, e.record.body))
+            .collect()
+    }
+
+    proptest! {
+        // Each case spawns a node thread; keep the case count modest.
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn coalesced_serving_matches_serial(ops in arb_ops()) {
+            let materialized = materialize(&ops);
+            let total: u64 = materialized
+                .iter()
+                .map(|op| match op {
+                    MaterializedOp::Append(p) => p.len() as u64,
+                    MaterializedOp::Store(e) => e.len() as u64,
+                })
+                .sum();
+
+            // Serial reference: one core, one operation at a time.
+            let mut serial = MaintainerCore::new(MaintainerId(0), DatacenterId(0), journal());
+            for op in &materialized {
+                match op {
+                    MaterializedOp::Append(payloads) => {
+                        serial.append_batch(payloads.clone()).expect("serial append");
+                    }
+                    MaterializedOp::Store(entries) => {
+                        serial.store_entries(entries.clone()).expect("serial store");
+                    }
+                }
+            }
+
+            // Batched run: the same operations fired into a node whose loop
+            // coalesces whatever it finds queued (submission order = channel
+            // order, so the batch order matches the serial order).
+            let core = MaintainerCore::new(MaintainerId(0), DatacenterId(0), journal());
+            let station = Arc::new(ServiceStation::new("gce", StationConfig::uncapped()));
+            let shutdown = Shutdown::new();
+            let (handle, thread) = spawn_maintainer(
+                core,
+                station,
+                Fabric::new(),
+                Duration::from_millis(50),
+                shutdown.clone(),
+            );
+            let counter = handle.appended_counter();
+            for op in materialized {
+                match op {
+                    MaterializedOp::Append(payloads) => {
+                        prop_assert!(handle.append_async(payloads));
+                    }
+                    MaterializedOp::Store(entries) => {
+                        prop_assert!(handle.store(entries));
+                    }
+                }
+            }
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            while counter.get() < total {
+                prop_assert!(
+                    std::time::Instant::now() < deadline,
+                    "only {}/{} records committed",
+                    counter.get(),
+                    total
+                );
+                std::thread::sleep(Duration::from_millis(1));
+            }
+
+            let batched_log = handle.scan(LId(0), 1_000_000).expect("scan");
+            shutdown.signal();
+            thread.join().expect("join node");
+
+            let serial_log = serial.scan_from(LId(0), 1_000_000);
+            prop_assert_eq!(scan_all(batched_log), scan_all(serial_log));
+        }
+    }
+}
