@@ -162,7 +162,7 @@ fn bench_indexer(c: &mut Criterion) {
         ix.post("key", Some(TagValue::Int(i as i64)), LId(i));
     }
     group.bench_function("lookup_most_recent_100_of_10k", |bench| {
-        bench.iter(|| ix.lookup("key", None, Limit::MostRecent(100)))
+        bench.iter(|| ix.lookup("key", None, None, Limit::MostRecent(100)))
     });
     group.bench_function("post", |bench| {
         let mut i = 10_000u64;

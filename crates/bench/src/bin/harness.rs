@@ -10,7 +10,7 @@
 use std::path::PathBuf;
 
 use chariots_bench::experiments::{
-    ablations, apps, availability, baseline, batching, fig7, fig8, fig9, tables, txn,
+    ablations, apps, availability, baseline, batching, fig7, fig8, fig9, readpath, tables, txn,
 };
 use chariots_bench::report::Report;
 use chariots_simnet::MetricsSnapshot;
@@ -30,13 +30,15 @@ experiments:
              maintainer-primary crash (replication factor 2)
   batching   group-commit sweep: throughput/latency vs drain bound and
              WAL sync policy
+  readpath   read sweep: scatter-gather batched reads and client caches
+             vs per-record reads, plus pushed-down rule lookups
   txn        commit latency vs WAN latency (Message Futures / Helios)
   apps       Hyksos / stream-processing throughput over the log
   ablations  A1/A2 (FLStore knobs), A3 (token policy), A5 (flush threshold)
   all        everything above
 --quick trims warmups/windows for smoke runs
 --smoke implies --quick and additionally gates: experiments with a smoke
-  check (batching) fail the process when the check fails
+  check (batching, readpath) fail the process when the check fails
 --metrics-out writes the merged metrics registries (counters, gauges,
   per-stage latency histograms) of every selected experiment as JSON";
 
@@ -84,6 +86,7 @@ fn main() {
             "baseline" => vec![baseline::run(quick)],
             "availability" => vec![availability::run(quick)],
             "batching" => vec![batching::run(quick)],
+            "readpath" => vec![readpath::run(quick)],
             "txn" => vec![txn::run(quick)],
             "apps" => vec![apps::run(quick)],
             "ablations" => vec![
@@ -104,13 +107,19 @@ fn main() {
     let mut run_and_collect = |name: &str| {
         for report in run(name) {
             report.finish();
-            if smoke && report.id == "batching" {
-                match batching::verify_smoke(&report) {
-                    Ok(()) => println!("smoke gate [{}]: ok", report.id),
-                    Err(e) => {
+            if smoke {
+                let gate = match report.id.as_str() {
+                    "batching" => Some(batching::verify_smoke(&report)),
+                    "readpath" => Some(readpath::verify_smoke(&report)),
+                    _ => None,
+                };
+                match gate {
+                    Some(Ok(())) => println!("smoke gate [{}]: ok", report.id),
+                    Some(Err(e)) => {
                         eprintln!("smoke gate [{}]: FAIL: {e}", report.id);
                         smoke_failures += 1;
                     }
+                    None => {}
                 }
             }
             if let Some(m) = &report.metrics {
@@ -132,6 +141,7 @@ fn main() {
                 "baseline",
                 "availability",
                 "batching",
+                "readpath",
                 "txn",
                 "apps",
                 "ablations",

@@ -10,5 +10,6 @@ pub mod batching;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod readpath;
 pub mod tables;
 pub mod txn;

@@ -174,6 +174,18 @@ impl ChariotsClient {
         Ok(entry)
     }
 
+    /// Batched `Read` by position: one scatter-gather round trip per
+    /// owning maintainer group instead of one RPC per record. Results come
+    /// back in input order; every successfully read record is folded into
+    /// the causal context.
+    pub fn read_many(&mut self, lids: &[LId]) -> Vec<Result<Entry>> {
+        let results = self.store.read_many(lids);
+        for entry in results.iter().flatten() {
+            self.observe_entry(entry);
+        }
+        results
+    }
+
     /// `Read(in: rules, out: records)` — §3.
     pub fn read_rule(&mut self, rule: &ReadRule) -> Result<Vec<Entry>> {
         let entries = self.store.read_rule(rule)?;

@@ -8,11 +8,13 @@
 //! data path.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use chariots_simnet::Counter;
 use chariots_types::{ChariotsError, DatacenterId, Epoch, Generation, LId, MaintainerId, Result};
 use parking_lot::RwLock;
 
+use crate::client::ReadObs;
 use crate::epoch::EpochJournal;
 use crate::node::IndexerHandle;
 use crate::range::RangeMap;
@@ -36,6 +38,12 @@ pub struct Session {
     pub journal: EpochJournal,
     /// Approximate number of records in the shared log at session start.
     pub approx_records: u64,
+    /// Head-of-Log cache TTL clients should use (`ZERO` disables).
+    pub hl_cache_ttl: Duration,
+    /// Entry-cache capacity clients should use (0 disables).
+    pub read_cache_entries: usize,
+    /// Deployment-wide read-path instruments clients feed.
+    pub read_obs: ReadObs,
 }
 
 struct ControllerState {
@@ -43,6 +51,9 @@ struct ControllerState {
     maintainers: Vec<ReplicaGroupHandle>,
     indexers: Vec<IndexerHandle>,
     journal: EpochJournal,
+    hl_cache_ttl: Duration,
+    read_cache_entries: usize,
+    read_obs: ReadObs,
 }
 
 /// The metadata oracle for one datacenter's FLStore deployment.
@@ -62,9 +73,23 @@ impl Controller {
                 maintainers: Vec::new(),
                 indexers: Vec::new(),
                 journal: EpochJournal::new(initial),
+                hl_cache_ttl: Duration::ZERO,
+                read_cache_entries: 0,
+                read_obs: ReadObs::new(),
             })),
             appended: Counter::new(),
         }
+    }
+
+    /// Configures the read-path settings handed out with sessions: the
+    /// Head-of-Log cache TTL, the entry-cache capacity, and the shared
+    /// read instruments. Raw controllers start with both caches off; the
+    /// deployment layer calls this from `FLStoreConfig`.
+    pub fn configure_reads(&self, hl_cache_ttl: Duration, read_cache_entries: usize, obs: ReadObs) {
+        let mut state = self.state.write();
+        state.hl_cache_ttl = hl_cache_ttl;
+        state.read_cache_entries = read_cache_entries;
+        state.read_obs = obs;
     }
 
     /// Registers the deployment's maintainer replica groups.
@@ -112,6 +137,9 @@ impl Controller {
             indexers: state.indexers.clone(),
             journal: state.journal.clone(),
             approx_records: self.approx_records(),
+            hl_cache_ttl: state.hl_cache_ttl,
+            read_cache_entries: state.read_cache_entries,
+            read_obs: state.read_obs.clone(),
         }
     }
 

@@ -12,7 +12,7 @@ use chariots_simnet::{
 };
 use chariots_types::{DatacenterId, FLStoreConfig, LId, MaintainerId, Result};
 
-use crate::client::FLStoreClient;
+use crate::client::{FLStoreClient, ReadObs};
 use crate::controller::Controller;
 use crate::indexer::IndexerCore;
 use crate::maintainer::MaintainerCore;
@@ -67,6 +67,11 @@ impl FLStore {
         let controller = Controller::new(dc, initial);
         let prefix = format!("dc{}.flstore", dc.0);
         let registry = MetricsRegistry::new(prefix.clone());
+        controller.configure_reads(
+            cfg.hl_cache_ttl,
+            cfg.read_cache_entries,
+            ReadObs::registered(&registry, &prefix),
+        );
         let fabric = Fabric::with_obs(FabricObs::registered(&registry, &prefix));
         let shutdown = Shutdown::new();
         let detector = if cfg.replication_factor > 1 {
@@ -279,13 +284,22 @@ impl FLStore {
         let mut client = self.client();
         let mut batch = Vec::new();
         let mut lid = archive.archived_below();
-        while lid < bound {
-            match client.read_with_hl(lid, true) {
-                Ok(entry) => batch.push(entry),
-                Err(chariots_types::ChariotsError::GarbageCollected(_)) => {}
-                Err(_) => break, // not yet readable: archive up to here only
+        // Batched sweep: chunks of positions through the scatter-gather
+        // read path instead of one RPC per position.
+        const CHUNK: usize = 256;
+        'sweep: while lid < bound {
+            let mut lids = Vec::with_capacity(CHUNK);
+            while lid < bound && lids.len() < CHUNK {
+                lids.push(lid);
+                lid = lid.next();
             }
-            lid = lid.next();
+            for result in client.read_many(&lids) {
+                match result {
+                    Ok(entry) => batch.push(entry),
+                    Err(chariots_types::ChariotsError::GarbageCollected(_)) => {}
+                    Err(_) => break 'sweep, // not yet readable: archive up to here only
+                }
+            }
         }
         let archived_to = batch.last().map(|e| e.lid.next());
         archive.archive(&batch)?;

@@ -62,7 +62,13 @@ impl IndexerCore {
     }
 
     /// Looks up positions of records carrying tag `key`, optionally
-    /// filtered by a value predicate, bounded by `limit`.
+    /// filtered by a value predicate and an exclusive position bound,
+    /// bounded by `limit`.
+    ///
+    /// `below` is applied *before* the limit, so a client can push down
+    /// both its Head-of-Log bound and a rule's `LIdBelow` condition and
+    /// still receive exactly the `limit` oldest/most-recent qualifying
+    /// positions — no over-fetching with `Limit::All`.
     ///
     /// `MostRecent(n)` results are in descending `LId` order (the §5.3
     /// example: "return the most recent 100 record LIds").
@@ -70,15 +76,23 @@ impl IndexerCore {
         &mut self,
         key: &str,
         predicate: Option<&ValuePredicate>,
+        below: Option<LId>,
         limit: Limit,
     ) -> Vec<LId> {
         self.lookups += 1;
         let Some(list) = self.postings.get(key) else {
             return Vec::new();
         };
-        let matches = |p: &Posting| match predicate {
-            Some(pred) => pred.matches(p.value.as_ref()),
-            None => true,
+        let matches = |p: &Posting| {
+            if let Some(bound) = below {
+                if p.lid >= bound {
+                    return false;
+                }
+            }
+            match predicate {
+                Some(pred) => pred.matches(p.value.as_ref()),
+                None => true,
+            }
         };
         match limit {
             Limit::All => list.iter().filter(|p| matches(p)).map(|p| p.lid).collect(),
@@ -143,8 +157,14 @@ mod tests {
         ix.post("key", Some(TagValue::Str("x".into())), LId(3));
         ix.post("key", Some(TagValue::Str("y".into())), LId(7));
         ix.post("other", None, LId(5));
-        assert_eq!(ix.lookup("key", None, Limit::All), vec![LId(3), LId(7)]);
-        assert_eq!(ix.lookup("missing", None, Limit::All), Vec::<LId>::new());
+        assert_eq!(
+            ix.lookup("key", None, None, Limit::All),
+            vec![LId(3), LId(7)]
+        );
+        assert_eq!(
+            ix.lookup("missing", None, None, Limit::All),
+            Vec::<LId>::new()
+        );
         assert_eq!(ix.keys(), 2);
         assert_eq!(ix.posted(), 3);
     }
@@ -156,7 +176,7 @@ mod tests {
         ix.post("k", None, LId(4));
         ix.post("k", None, LId(7));
         assert_eq!(
-            ix.lookup("k", None, Limit::All),
+            ix.lookup("k", None, None, Limit::All),
             vec![LId(4), LId(7), LId(10)]
         );
     }
@@ -168,10 +188,13 @@ mod tests {
             ix.post("k", None, LId(lid));
         }
         assert_eq!(
-            ix.lookup("k", None, Limit::MostRecent(3)),
+            ix.lookup("k", None, None, Limit::MostRecent(3)),
             vec![LId(9), LId(8), LId(7)]
         );
-        assert_eq!(ix.lookup("k", None, Limit::Oldest(2)), vec![LId(0), LId(1)]);
+        assert_eq!(
+            ix.lookup("k", None, None, Limit::Oldest(2)),
+            vec![LId(0), LId(1)]
+        );
     }
 
     #[test]
@@ -185,15 +208,39 @@ mod tests {
         let got = ix.lookup(
             "seq",
             Some(&ValuePredicate::Gt(TagValue::Int(10))),
+            None,
             Limit::MostRecent(1),
         );
         assert_eq!(got, vec![LId(3)]);
         let got = ix.lookup(
             "seq",
             Some(&ValuePredicate::Le(TagValue::Int(10))),
+            None,
             Limit::All,
         );
         assert_eq!(got, vec![LId(0), LId(1)]);
+    }
+
+    #[test]
+    fn below_bound_applies_before_the_limit() {
+        let mut ix = IndexerCore::new();
+        for lid in 0..10 {
+            ix.post("k", None, LId(lid));
+        }
+        // The most recent position *below 6* is 5 — a post-hoc filter over
+        // a `MostRecent(1)` lookup would instead see 9 and drop it.
+        assert_eq!(
+            ix.lookup("k", None, Some(LId(6)), Limit::MostRecent(1)),
+            vec![LId(5)]
+        );
+        assert_eq!(
+            ix.lookup("k", None, Some(LId(3)), Limit::All),
+            vec![LId(0), LId(1), LId(2)]
+        );
+        assert_eq!(
+            ix.lookup("k", None, Some(LId::ZERO), Limit::All),
+            Vec::<LId>::new()
+        );
     }
 
     #[test]
@@ -204,7 +251,7 @@ mod tests {
         }
         ix.post("gone", None, LId(1));
         ix.gc_before(LId(4));
-        assert_eq!(ix.lookup("k", None, Limit::All), vec![LId(4), LId(5)]);
+        assert_eq!(ix.lookup("k", None, None, Limit::All), vec![LId(4), LId(5)]);
         assert_eq!(ix.keys(), 1, "emptied keys are dropped");
     }
 }

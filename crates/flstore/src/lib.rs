@@ -59,7 +59,7 @@ pub mod segment;
 pub mod wal;
 
 pub use archive::{ArchiveReader, ArchiveWriter};
-pub use client::{AppendRouting, FLStoreClient};
+pub use client::{AppendRouting, FLStoreClient, ReadObs};
 pub use controller::{Controller, Session};
 pub use deployment::FLStore;
 pub use epoch::{EpochAssignment, EpochJournal};
@@ -438,7 +438,7 @@ mod proptests {
             }
             reference.sort_unstable();
             let pred = ValuePredicate::Ge(TagValue::Int(0));
-            let got = ix.lookup("k", Some(&pred), Limit::MostRecent(k));
+            let got = ix.lookup("k", Some(&pred), None, Limit::MostRecent(k));
             let expected: Vec<LId> = reference
                 .iter()
                 .rev()

@@ -522,6 +522,16 @@ impl MaintainerCore {
             .ok_or(ChariotsError::NotYetAvailable(lid))
     }
 
+    /// Reads several positions in one pass, returning per-position results
+    /// in input order. Each position is gated exactly as in [`read`], so a
+    /// batch of one is indistinguishable from a single read — the batching
+    /// only amortizes the request round trip, not the checks.
+    ///
+    /// [`read`]: MaintainerCore::read
+    pub fn read_many(&mut self, lids: &[LId], enforce_hl: bool) -> Vec<Result<Entry>> {
+        lids.iter().map(|&lid| self.read(lid, enforce_hl)).collect()
+    }
+
     /// Scans this maintainer's stored entries with `lid ≥ from`, in `LId`
     /// order, up to `max` entries. Senders use this to ship local records to
     /// other datacenters; unlike client reads it is *not* HL-gated (causal

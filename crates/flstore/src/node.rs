@@ -101,6 +101,17 @@ pub enum MaintainerRequest {
         /// Reply channel.
         reply: Sender<Result<Entry>>,
     },
+    /// Read several positions in one round trip (scatter-gather read
+    /// path). Each position is gated exactly like a single `Read`; the
+    /// reply carries one result per requested position, in request order.
+    ReadBatch {
+        /// Positions to read.
+        lids: Vec<LId>,
+        /// Whether to refuse positions at/above the Head of the Log.
+        enforce_hl: bool,
+        /// Reply channel (one result per position, in order).
+        reply: Sender<Vec<Result<Entry>>>,
+    },
     /// Scan owned entries with `lid ≥ from` (sender/reader bulk path).
     Scan {
         /// Scan start.
@@ -242,6 +253,21 @@ impl MaintainerHandle {
             })
             .map_err(|_| ChariotsError::ShutDown)?;
         rx.recv().map_err(|_| ChariotsError::ShutDown)?
+    }
+
+    /// Read several positions in one round trip. Returns one result per
+    /// requested position, in request order; the outer `Result` only fails
+    /// when the node is gone.
+    pub fn read_batch(&self, lids: Vec<LId>, enforce_hl: bool) -> Result<Vec<Result<Entry>>> {
+        let (reply, rx) = bounded(1);
+        self.tx
+            .send(MaintainerRequest::ReadBatch {
+                lids,
+                enforce_hl,
+                reply,
+            })
+            .map_err(|_| ChariotsError::ShutDown)?;
+        rx.recv().map_err(|_| ChariotsError::ShutDown)
     }
 
     /// Scan owned entries with `lid ≥ from`.
@@ -1180,6 +1206,27 @@ fn serve_request(
             };
             let _ = reply.send(result);
         }
+        MaintainerRequest::ReadBatch {
+            lids,
+            enforce_hl,
+            reply,
+        } => {
+            // Mirrors the single-read arm: a crashed machine refuses every
+            // position in the batch, not just some.
+            let result = if station.is_crashed() {
+                lids.iter()
+                    .map(|_| {
+                        Err(ChariotsError::Unavailable(format!(
+                            "maintainer {}",
+                            core.id()
+                        )))
+                    })
+                    .collect()
+            } else {
+                core.read_many(&lids, enforce_hl)
+            };
+            let _ = reply.send(result);
+        }
         MaintainerRequest::Scan { from, max, reply } => {
             let _ = reply.send(core.scan_from(from, max));
         }
@@ -1216,6 +1263,10 @@ pub enum IndexerRequest {
         key: String,
         /// Optional value predicate.
         predicate: Option<ValuePredicate>,
+        /// Optional exclusive position bound, applied before the limit
+        /// (clients push their Head-of-Log view and `LIdBelow` conditions
+        /// down here).
+        below: Option<LId>,
         /// Result bound.
         limit: Limit,
         /// Reply channel.
@@ -1255,11 +1306,13 @@ impl IndexerHandle {
         self.posted.clone()
     }
 
-    /// Looks up positions carrying a tag.
+    /// Looks up positions carrying a tag, optionally below an exclusive
+    /// position bound (applied before `limit`).
     pub fn lookup(
         &self,
         key: String,
         predicate: Option<ValuePredicate>,
+        below: Option<LId>,
         limit: Limit,
     ) -> Result<Vec<LId>> {
         let (reply, rx) = bounded(1);
@@ -1267,6 +1320,7 @@ impl IndexerHandle {
             .send(IndexerRequest::Lookup {
                 key,
                 predicate,
+                below,
                 limit,
                 reply,
             })
@@ -1305,10 +1359,11 @@ pub fn spawn_indexer(
                 Ok(IndexerRequest::Lookup {
                     key,
                     predicate,
+                    below,
                     limit,
                     reply,
                 }) => {
-                    let _ = reply.send(core.lookup(&key, predicate.as_ref(), limit));
+                    let _ = reply.send(core.lookup(&key, predicate.as_ref(), below, limit));
                 }
                 Ok(IndexerRequest::Gc { before }) => core.gc_before(before),
                 Err(RecvTimeoutError::Timeout) => continue,

@@ -320,6 +320,68 @@ impl ReplicaGroupHandle {
         Err(last)
     }
 
+    /// Read several positions in one round trip per replica, with the same
+    /// per-position fallback semantics as [`read`](Self::read): positions a
+    /// replica refuses as `Unavailable` or `NotYetAvailable` are retried
+    /// against the backups in seat order, while every other outcome (the
+    /// entry, `GarbageCollected`, `WrongMaintainer`, …) is final. Returns
+    /// one result per requested position, in request order.
+    pub fn read_batch(&self, lids: &[LId], enforce_hl: bool) -> Vec<Result<Entry>> {
+        let mut results: Vec<Option<Result<Entry>>> = lids.iter().map(|_| None).collect();
+        let mut pending: Vec<usize> = (0..lids.len()).collect();
+        let mut last = ChariotsError::NoLivePrimary(self.id);
+        let primary_index = self.state.primary_index();
+        let replicas = self.state.replicas();
+        // Primary first, then the backups in seat order.
+        let order = std::iter::once(primary_index)
+            .chain((0..replicas.len()).filter(|&i| i != primary_index));
+        for i in order {
+            if pending.is_empty() {
+                break;
+            }
+            let Some(replica) = replicas.get(i) else {
+                continue;
+            };
+            let batch: Vec<LId> = pending.iter().map(|&p| lids[p]).collect();
+            match replica.read_batch(batch, enforce_hl) {
+                Ok(batch_results) => {
+                    let mut still = Vec::new();
+                    for (&p, r) in pending.iter().zip(batch_results) {
+                        match r {
+                            // Keep falling back, exactly as the single-read
+                            // path does: down (Unavailable) or lagging
+                            // (NotYetAvailable) replicas may be covered by
+                            // a later, more caught-up seat.
+                            Err(
+                                e @ (ChariotsError::Unavailable(_)
+                                | ChariotsError::NotYetAvailable(_)),
+                            ) => {
+                                last = e;
+                                still.push(p);
+                            }
+                            other => results[p] = Some(other),
+                        }
+                    }
+                    pending = still;
+                }
+                // The node is gone entirely: like the single-read path,
+                // a dead channel is final, not a fallback trigger.
+                Err(e) => {
+                    for p in pending.drain(..) {
+                        results[p] = Some(Err(e.clone()));
+                    }
+                }
+            }
+        }
+        for p in pending {
+            results[p] = Some(Err(last.clone()));
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every position resolved"))
+            .collect()
+    }
+
     /// Scan owned entries with `lid ≥ from` (served by the primary).
     pub fn scan(&self, from: LId, max: usize) -> Result<Vec<Entry>> {
         self.primary()?.scan(from, max)

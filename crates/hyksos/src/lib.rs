@@ -224,33 +224,49 @@ impl Materializer {
 
     /// Replays the log up to `bound` (exclusive) — a historical snapshot
     /// if `bound` is below the head.
+    ///
+    /// Positions are fetched in chunks through the scatter-gather batch
+    /// read path (one RPC per owning maintainer per chunk) rather than one
+    /// round trip per record.
     pub fn catch_up_to(&mut self, bound: LId) -> Result<LId> {
+        const CHUNK: usize = 256;
         while self.cursor < bound {
-            let lid = self.cursor;
-            self.cursor = self.cursor.next();
-            let entry = match self.log.read(lid) {
-                Ok(e) => e,
-                Err(ChariotsError::GarbageCollected(_)) => continue,
-                Err(e) => return Err(e),
-            };
-            let Some(batch) = PutBatch::decode(&entry.record.body) else {
-                continue; // not a Hyksos record
-            };
-            if !entry.record.tags.contains_key(KEY_TAG) {
-                continue;
+            let mut lids = Vec::with_capacity(CHUNK);
+            while self.cursor < bound && lids.len() < CHUNK {
+                lids.push(self.cursor);
+                self.cursor = self.cursor.next();
             }
-            for key in &batch.deletes {
-                self.view.remove(key);
-            }
-            for (key, value) in &batch.puts {
-                self.view.insert(
-                    key.clone(),
-                    Versioned {
-                        value: value.clone(),
-                        lid: entry.lid,
-                        toid: entry.record.toid(),
-                    },
-                );
+            for (&lid, result) in lids.iter().zip(self.log.read_many(&lids)) {
+                let entry = match result {
+                    Ok(e) => e,
+                    Err(ChariotsError::GarbageCollected(_)) => continue,
+                    Err(e) => {
+                        // Resume exactly past the failed position, as the
+                        // per-record loop did; the rest of the chunk stays
+                        // unapplied for the next catch-up.
+                        self.cursor = lid.next();
+                        return Err(e);
+                    }
+                };
+                let Some(batch) = PutBatch::decode(&entry.record.body) else {
+                    continue; // not a Hyksos record
+                };
+                if !entry.record.tags.contains_key(KEY_TAG) {
+                    continue;
+                }
+                for key in &batch.deletes {
+                    self.view.remove(key);
+                }
+                for (key, value) in &batch.puts {
+                    self.view.insert(
+                        key.clone(),
+                        Versioned {
+                            value: value.clone(),
+                            lid: entry.lid,
+                            toid: entry.record.toid(),
+                        },
+                    );
+                }
             }
         }
         Ok(self.cursor)

@@ -64,6 +64,17 @@ pub struct FLStoreConfig {
     pub max_batch_bytes: usize,
     /// When the maintainer WAL is flushed+fsynced on the serve path.
     pub wal_sync_policy: WalSyncPolicy,
+    /// How long a client may serve `read_rule` from its cached Head of the
+    /// Log before refreshing it with an RPC. The HL is monotonic, so a
+    /// stale value is always a safe *lower* bound — the cache trades
+    /// freshness (a record may become visible up to one TTL late) for one
+    /// `head_of_log` round trip per rule. `Duration::ZERO` disables the
+    /// cache.
+    pub hl_cache_ttl: Duration,
+    /// Capacity of the client-side entry cache (entries, keyed by `LId`).
+    /// Committed positions below the Head of the Log are immutable, so the
+    /// cache needs no invalidation. 0 disables it.
+    pub read_cache_entries: usize,
 }
 
 impl Default for FLStoreConfig {
@@ -80,6 +91,8 @@ impl Default for FLStoreConfig {
             max_batch_records: 512,
             max_batch_bytes: 1 << 20,
             wal_sync_policy: WalSyncPolicy::default(),
+            hl_cache_ttl: Duration::from_millis(5),
+            read_cache_entries: 4096,
         }
     }
 }
@@ -148,6 +161,18 @@ impl FLStoreConfig {
     /// Sets the WAL sync policy for the maintainer serve path.
     pub fn wal_sync_policy(mut self, p: WalSyncPolicy) -> Self {
         self.wal_sync_policy = p;
+        self
+    }
+
+    /// Sets the client Head-of-Log cache TTL (`Duration::ZERO` disables).
+    pub fn hl_cache_ttl(mut self, d: Duration) -> Self {
+        self.hl_cache_ttl = d;
+        self
+    }
+
+    /// Sets the client entry-cache capacity in entries (0 disables).
+    pub fn read_cache_entries(mut self, n: usize) -> Self {
+        self.read_cache_entries = n;
         self
     }
 
@@ -416,6 +441,19 @@ mod tests {
             FLStoreConfig::default().wal_sync_policy,
             WalSyncPolicy::PerBatch
         );
+    }
+
+    #[test]
+    fn read_cache_knobs_build_and_disable() {
+        let cfg = FLStoreConfig::new()
+            .hl_cache_ttl(Duration::ZERO)
+            .read_cache_entries(0);
+        assert_eq!(cfg.hl_cache_ttl, Duration::ZERO);
+        assert_eq!(cfg.read_cache_entries, 0);
+        // Zero means "disabled", not "invalid".
+        assert!(cfg.validate().is_ok());
+        assert!(FLStoreConfig::default().hl_cache_ttl > Duration::ZERO);
+        assert!(FLStoreConfig::default().read_cache_entries > 0);
     }
 
     #[test]

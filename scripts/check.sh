@@ -18,4 +18,8 @@ echo "==> batching smoke gate"
 cargo run --release -p chariots-bench --bin harness -- \
   --smoke --metrics-out target/bench-artifacts/batching-metrics.json batching
 
+echo "==> readpath smoke gate"
+cargo run --release -p chariots-bench --bin harness -- \
+  --smoke --metrics-out target/bench-artifacts/readpath-metrics.json readpath
+
 echo "All checks passed."

@@ -329,3 +329,207 @@ mod group_commit_equivalence {
         }
     }
 }
+
+/// Read-path equivalence: the scatter-gather `read_many` and the batched,
+/// cache-enabled `read_rule` return exactly what the per-record serial
+/// path (caches off, one RPC per position) returns — across maintainer
+/// counts, replication factors, and a crashed primary served by backup
+/// fallback.
+mod read_path_equivalence {
+    use std::time::{Duration, Instant};
+
+    use chariots_flstore::{AppendPayload, FLStore, FLStoreClient};
+    use chariots_types::{
+        Condition, DatacenterId, Entry, FLStoreConfig, LId, ReadRule, Tag, TagSet, TagValue,
+        ValuePredicate,
+    };
+    use proptest::prelude::*;
+
+    const TAG: &str = "k";
+
+    /// Positions per striping round (`batch_size`).
+    const ROUND: usize = 4;
+
+    #[derive(Debug, Clone)]
+    struct Scenario {
+        maintainers: usize,
+        replication: usize,
+        records: usize,
+        crash_primary: bool,
+        seed: u64,
+    }
+
+    fn arb_scenario() -> impl Strategy<Value = Scenario> {
+        (
+            1usize..=3,
+            1usize..=2,
+            1usize..=2,
+            any::<bool>(),
+            any::<u64>(),
+        )
+            .prop_map(|(maintainers, replication, rounds, crash, seed)| Scenario {
+                maintainers,
+                replication,
+                // Crashing only makes sense with a backup to fall back to.
+                crash_primary: crash && replication > 1,
+                // Whole striping rounds on every maintainer, so the
+                // round-robin appends leave no sub-round gaps and the HL
+                // can cover everything appended.
+                records: maintainers * ROUND * rounds,
+                seed,
+            })
+    }
+
+    fn launch(s: &Scenario) -> FLStore {
+        let cfg = FLStoreConfig::new()
+            .maintainers(s.maintainers)
+            .batch_size(ROUND as u64)
+            .indexers(1)
+            .replication(s.replication)
+            .gossip_interval(Duration::from_millis(1))
+            .heartbeat_interval(Duration::from_millis(2))
+            .suspicion_timeout(Duration::from_millis(40));
+        FLStore::launch(DatacenterId(0), cfg).expect("launch")
+    }
+
+    /// A client with both read caches disabled: the serial reference.
+    fn serial_client(store: &FLStore) -> FLStoreClient {
+        store
+            .client()
+            .with_hl_cache_ttl(Duration::ZERO)
+            .with_entry_cache_capacity(0)
+    }
+
+    /// Reads every position one RPC at a time, panicking only on real
+    /// gaps; returns entries once all are readable, `None` if any position
+    /// is still transiently unreadable.
+    fn try_serial_read_all(client: &mut FLStoreClient, records: usize) -> Option<Vec<Entry>> {
+        let mut out = Vec::with_capacity(records);
+        for l in 0..records as u64 {
+            out.push(client.read_with_hl(LId(l), true).ok()?);
+        }
+        Some(out)
+    }
+
+    proptest! {
+        // Each case launches a full deployment; keep the case count modest.
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        #[test]
+        fn batched_reads_match_the_serial_path(s in arb_scenario()) {
+            let store = launch(&s);
+            let mut writer = store.client();
+            for i in 0..s.records {
+                let mut tags = TagSet::new();
+                tags.push(Tag::with_value(TAG, (i % 3).to_string().as_str()));
+                writer
+                    .append(tags, format!("r{i}"))
+                    .expect("append");
+            }
+            // Wait for everything to be readable.
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                if writer.head_of_log().expect("hl") >= LId(s.records as u64) {
+                    break;
+                }
+                prop_assert!(Instant::now() < deadline, "HL never covered the appends");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+
+            // Postings reach the indexer asynchronously from the HL: wait
+            // until the index covers every record before comparing
+            // rule-based reads against the model (the indexer nodes are
+            // not part of any replica group, so the crash below cannot
+            // un-warm them).
+            let mut reference = serial_client(&store);
+            let all_tagged = ReadRule::where_(Condition::HasTag(TAG.into()));
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                if reference.read_rule(&all_tagged).expect("warm index").len() == s.records {
+                    break;
+                }
+                prop_assert!(Instant::now() < deadline, "indexer never caught up");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+
+            if s.crash_primary {
+                // Crash one group's primary AFTER the appends are acked:
+                // reads must ride the backup fallback (and, once the
+                // monitor promotes, the new primary).
+                let group = s.seed as usize % s.maintainers;
+                store.maintainers()[group].crash();
+            }
+
+            // Serial reference: per-record RPCs, no caches. A just-crashed
+            // primary's backup may briefly lag on gossip, so poll until
+            // the reference itself sees everything.
+            let deadline = Instant::now() + Duration::from_secs(10);
+            let expected = loop {
+                if let Some(entries) = try_serial_read_all(&mut reference, s.records) {
+                    break entries;
+                }
+                prop_assert!(Instant::now() < deadline, "serial reference never settled");
+                std::thread::sleep(Duration::from_millis(2));
+            };
+
+            // A query mix: every position, plus seed-driven duplicates and
+            // out-of-order picks.
+            let mut lids: Vec<LId> = (0..s.records as u64).map(LId).collect();
+            let mut state = s.seed | 1;
+            for _ in 0..s.records / 2 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                lids.push(LId(state % s.records as u64));
+            }
+
+            // Batched path, caches at their deployment defaults — run
+            // twice so the second pass is served from the entry cache.
+            let mut batched = store.client();
+            for pass in 0..2 {
+                let got = batched.read_many(&lids);
+                prop_assert_eq!(got.len(), lids.len());
+                for (lid, result) in lids.iter().zip(got) {
+                    let entry = result.expect("position below HL must read");
+                    prop_assert_eq!(&entry, &expected[lid.0 as usize], "pass {}", pass);
+                }
+            }
+
+            // Rule equivalence: batched+cached read_rule vs the model
+            // (the rule applied to the full serial log). Two evaluations
+            // each, exercising HL-cache hits on the second.
+            let rules = [
+                ReadRule::where_(Condition::TagValue(
+                    TAG.into(),
+                    ValuePredicate::Eq(TagValue::Str("1".into())),
+                ))
+                .most_recent(2),
+                ReadRule::where_(Condition::HasTag(TAG.into()))
+                    .and(Condition::LIdBelow(LId(s.records as u64 / 2)))
+                    .oldest(3),
+                // Exact-LId path, with an extra non-LId condition that is
+                // filtered after the batch read.
+                ReadRule::where_(Condition::LIdEq(LId(0)))
+                    .and(Condition::HasTag(TAG.into())),
+                ReadRule::where_(Condition::TagValue(
+                    TAG.into(),
+                    ValuePredicate::Ge(TagValue::Str("1".into())),
+                ))
+                .and(Condition::FromHost(DatacenterId(0)))
+                .most_recent(4),
+            ];
+            for rule in &rules {
+                let model = rule.apply(expected.iter());
+                for pass in 0..2 {
+                    let got = batched.read_rule(rule).expect("read_rule");
+                    prop_assert_eq!(&got, &model, "rule {:?} pass {}", rule, pass);
+                }
+                // The serial-path client must agree too (same code, caches
+                // and batching ablated).
+                let serial_got = reference.read_rule(rule).expect("serial read_rule");
+                prop_assert_eq!(&serial_got, &model, "serial rule {:?}", rule);
+            }
+            store.shutdown();
+        }
+    }
+}
