@@ -10,7 +10,7 @@
 use std::path::PathBuf;
 
 use chariots_bench::experiments::{
-    ablations, apps, availability, baseline, batching, fig7, fig8, fig9, readpath, tables, txn,
+    ablations, apps, availability, baseline, batching, fig7, fig8, fig9, geo, readpath, tables, txn,
 };
 use chariots_bench::report::Report;
 use chariots_simnet::MetricsSnapshot;
@@ -32,13 +32,15 @@ experiments:
              WAL sync policy
   readpath   read sweep: scatter-gather batched reads and client caches
              vs per-record reads, plus pushed-down rule lookups
+  geo        WAN propagation sweep: cursor-based delta shipping and
+             event-driven senders vs full re-offer, on a lossy WAN
   txn        commit latency vs WAN latency (Message Futures / Helios)
   apps       Hyksos / stream-processing throughput over the log
   ablations  A1/A2 (FLStore knobs), A3 (token policy), A5 (flush threshold)
   all        everything above
 --quick trims warmups/windows for smoke runs
 --smoke implies --quick and additionally gates: experiments with a smoke
-  check (batching, readpath) fail the process when the check fails
+  check (batching, readpath, geo) fail the process when the check fails
 --metrics-out writes the merged metrics registries (counters, gauges,
   per-stage latency histograms) of every selected experiment as JSON";
 
@@ -87,6 +89,7 @@ fn main() {
             "availability" => vec![availability::run(quick)],
             "batching" => vec![batching::run(quick)],
             "readpath" => vec![readpath::run(quick)],
+            "geo" => vec![geo::run(quick)],
             "txn" => vec![txn::run(quick)],
             "apps" => vec![apps::run(quick)],
             "ablations" => vec![
@@ -111,6 +114,7 @@ fn main() {
                 let gate = match report.id.as_str() {
                     "batching" => Some(batching::verify_smoke(&report)),
                     "readpath" => Some(readpath::verify_smoke(&report)),
+                    "geo" => Some(geo::verify_smoke(&report)),
                     _ => None,
                 };
                 match gate {
@@ -142,6 +146,7 @@ fn main() {
                 "availability",
                 "batching",
                 "readpath",
+                "geo",
                 "txn",
                 "apps",
                 "ablations",

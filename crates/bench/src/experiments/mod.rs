@@ -10,6 +10,7 @@ pub mod batching;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod geo;
 pub mod readpath;
 pub mod tables;
 pub mod txn;

@@ -57,20 +57,29 @@ impl ATable {
     }
 
     /// Raises `T[i][j]` to `t` (never lowers — knowledge is monotone).
-    pub fn observe(&mut self, i: DatacenterId, j: DatacenterId, t: TOId) {
+    /// Returns whether the cell actually rose.
+    pub fn observe(&mut self, i: DatacenterId, j: DatacenterId, t: TOId) -> bool {
         let idx = self.idx(i, j);
         if t > self.cells[idx] {
             self.cells[idx] = t;
+            true
+        } else {
+            false
         }
     }
 
     /// Replaces row `i` with the pointwise max of itself and `row` —
     /// how a datacenter incorporates a peer's gossiped applied cut.
-    pub fn merge_row(&mut self, i: DatacenterId, row: &VersionVector) {
+    /// Returns whether any cell rose (stale gossip merges to `false`), so
+    /// callers can propagate knowledge changes — e.g. wake the senders —
+    /// without a feedback storm on redundant deliveries.
+    pub fn merge_row(&mut self, i: DatacenterId, row: &VersionVector) -> bool {
+        let mut rose = false;
         for j in 0..self.n {
             let dc = DatacenterId(j as u16);
-            self.observe(i, dc, row.get(dc));
+            rose |= self.observe(i, dc, row.get(dc));
         }
+        rose
     }
 
     /// Pointwise max with an entire table (full ATable exchange, as in the
@@ -164,10 +173,21 @@ mod tests {
         let mut t = ATable::new(3);
         t.observe(dc(1), dc(0), TOId(4));
         let row = VersionVector::from_entries(vec![TOId(2), TOId(7), TOId(1)]);
-        t.merge_row(dc(1), &row);
+        assert!(t.merge_row(dc(1), &row), "knowledge rose");
         assert_eq!(t.get(dc(1), dc(0)), TOId(4), "kept the larger");
         assert_eq!(t.get(dc(1), dc(1)), TOId(7));
         assert_eq!(t.get(dc(1), dc(2)), TOId(1));
+    }
+
+    #[test]
+    fn redundant_merges_report_no_rise() {
+        let mut t = ATable::new(2);
+        let row = VersionVector::from_entries(vec![TOId(3), TOId(5)]);
+        assert!(t.merge_row(dc(0), &row));
+        // A duplicated delivery of the same cut changes nothing.
+        assert!(!t.merge_row(dc(0), &row));
+        assert!(!t.observe(dc(0), dc(1), TOId(4)), "stale observe");
+        assert!(t.observe(dc(0), dc(1), TOId(6)));
     }
 
     #[test]

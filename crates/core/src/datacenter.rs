@@ -13,7 +13,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use chariots_simnet::{
-    Counter, LinkSender, MetricsRegistry, MetricsSnapshot, PipelineTracer, ServiceStation,
+    Counter, LinkSender, MetricsRegistry, MetricsSnapshot, Notify, PipelineTracer, ServiceStation,
     Shutdown, StationConfig,
 };
 use chariots_types::{ChariotsConfig, ChariotsError, DatacenterId, LId, Result};
@@ -29,7 +29,7 @@ use crate::stages::batcher::{spawn_batcher, BatcherHandle};
 use crate::stages::filter::{spawn_filter, FilterCore, FilterHandle, FilterIngress, FilterRouting};
 use crate::stages::queue::{spawn_queue, QueueHandle, QueueIngress, QueueNodeConfig};
 use crate::stages::receiver::spawn_receiver;
-use crate::stages::sender::{spawn_sender, SenderNode};
+use crate::stages::sender::{spawn_sender, SenderMetrics, SenderNode};
 use crate::stages::STAGE_NAMES;
 use crate::token::Token;
 
@@ -94,6 +94,10 @@ pub struct ChariotsDc {
     queue_ingresses: Arc<RwLock<Vec<QueueIngress>>>,
     plan: Arc<RwLock<RoutingPlan>>,
     stations: StageStations,
+    /// The producer-side sender wakeup handed to late-added queues (a
+    /// detached signal when delta shipping is off, so the baseline stays
+    /// interval-driven).
+    producer_wakeup: Notify,
     registry: MetricsRegistry,
     tracer: PipelineTracer,
     gc_floor: AtomicU64,
@@ -138,6 +142,18 @@ impl ChariotsDc {
 
         let atable = Arc::new(RwLock::new(ATable::new(cfg.num_datacenters)));
 
+        // The senders' wakeup: queues signal it when new local records are
+        // routed, receivers when gossip raises the ATable. With delta
+        // shipping off (the bench baseline, matching the original design),
+        // producers get a *detached* signal so senders stay purely
+        // interval-driven.
+        let sender_wakeup = Notify::new();
+        let producer_wakeup = if cfg.sender_delta_shipping {
+            sender_wakeup.clone()
+        } else {
+            Notify::new()
+        };
+
         // Queues: pre-create the token ring, then spawn.
         let n_q = cfg.stages.queues;
         let token_channels: Vec<(Sender<Token>, Receiver<Token>)> =
@@ -160,6 +176,7 @@ impl ChariotsDc {
                     idle_pause: std::time::Duration::from_micros(200),
                     tracer: tracer.stage("queue"),
                     store_tracer: tracer.stage("store"),
+                    sender_wakeup: producer_wakeup.clone(),
                 },
                 token_channels[i].clone(),
                 station,
@@ -197,6 +214,10 @@ impl ChariotsDc {
                 tracer.stage("filter"),
             );
             registry.register_counter(format!("{prefix}.filter{i}.in"), handle.processed_counter());
+            registry.register_counter(
+                format!("{prefix}.filter{i}.dups"),
+                handle.duplicates_counter(),
+            );
             filters.push(handle);
             threads.push(thread);
         }
@@ -241,6 +262,7 @@ impl ChariotsDc {
                     wan_rx.clone(),
                     Arc::clone(&batchers),
                     Arc::clone(&atable),
+                    producer_wakeup.clone(),
                     station,
                     shutdown.clone(),
                     format!("{dc}-receiver-{i}"),
@@ -249,6 +271,7 @@ impl ChariotsDc {
                 registry.register_counter(format!("{prefix}.receiver{i}.in"), counter);
                 threads.push(thread);
             }
+            let wan_metrics = SenderMetrics::registered(&registry, &prefix);
             for i in 0..cfg.stages.senders {
                 // Sender i is responsible for maintainers i, i+S, i+2S, …
                 let node = SenderNode::new(
@@ -258,7 +281,12 @@ impl ChariotsDc {
                     cfg.stages.senders,
                     Arc::clone(&atable),
                     peers.clone(),
-                );
+                )
+                .with_policy(cfg.sender_delta_shipping)
+                .with_retransmit_timeout(cfg.retransmit_timeout)
+                .with_max_chunk_bytes(cfg.max_propagation_bytes)
+                .with_cache_cap(cfg.sender_cache_max_records)
+                .with_metrics(wan_metrics.clone());
                 let station = Arc::new(ServiceStation::new(
                     format!("{dc}-sender-{i}"),
                     stations.sender.clone(),
@@ -266,6 +294,7 @@ impl ChariotsDc {
                 let (counter, thread) = spawn_sender(
                     node,
                     cfg.propagation_interval,
+                    sender_wakeup.clone(),
                     station,
                     shutdown.clone(),
                     format!("{dc}-sender-{i}"),
@@ -289,6 +318,7 @@ impl ChariotsDc {
             queue_ingresses,
             plan,
             stations,
+            producer_wakeup,
             registry,
             tracer,
             gc_floor: AtomicU64::new(0),
@@ -385,6 +415,7 @@ impl ChariotsDc {
                 idle_pause: std::time::Duration::from_micros(200),
                 tracer: self.tracer.stage("queue"),
                 store_tracer: self.tracer.stage("store"),
+                sender_wakeup: self.producer_wakeup.clone(),
             },
             (token_tx, token_rx),
             station,
@@ -445,6 +476,10 @@ impl ChariotsDc {
         self.registry.register_counter(
             format!("dc{}.filter{idx}.in", self.dc.0),
             handle.processed_counter(),
+        );
+        self.registry.register_counter(
+            format!("dc{}.filter{idx}.dups", self.dc.0),
+            handle.duplicates_counter(),
         );
         self.filter_ingresses.write().push(handle.ingress());
         self.filters.push(handle);

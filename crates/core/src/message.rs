@@ -1,6 +1,8 @@
 //! Messages flowing through the Chariots pipeline (§6.2) and between
 //! datacenters.
 
+use std::sync::Arc;
+
 use bytes::Bytes;
 use chariots_types::{DatacenterId, LId, Record, TOId, TagSet, TraceId, VersionVector};
 use crossbeam::channel::Sender;
@@ -70,8 +72,11 @@ pub struct PropagationMsg {
     /// The sending datacenter.
     pub from: DatacenterId,
     /// Local records of `from`, in `TOId` order (within this sender's
-    /// subset of the log).
-    pub records: Vec<Record>,
+    /// subset of the log). Shared, not owned: a sender builds each chunk
+    /// once and fans the same allocation out to every peer that needs the
+    /// range, so cloning the message (links duplicate, receivers share a
+    /// channel) never deep-copies the payload.
+    pub records: Arc<[Record]>,
     /// `from`'s applied cut (row `from` of its ATable).
     pub applied: VersionVector,
 }
@@ -131,12 +136,12 @@ mod tests {
         );
         let empty = PropagationMsg {
             from: DatacenterId(0),
-            records: vec![],
+            records: Arc::from(vec![]),
             applied: VersionVector::new(2),
         };
         let one = PropagationMsg {
             from: DatacenterId(0),
-            records: vec![record],
+            records: Arc::from(vec![record]),
             applied: VersionVector::new(2),
         };
         assert!(one.wire_size() >= empty.wire_size() + 100);

@@ -118,7 +118,9 @@ pub struct FilterCore {
     /// entries are dropped (they will be re-propagated — the ATable loop is
     /// the source of reliability, the filter buffer is an optimization).
     max_reorder: usize,
-    duplicates_dropped: u64,
+    /// Shared so the bench harness can watch duplicate arrivals live (the
+    /// WAN duplicate ratio of the geo experiment).
+    duplicates_dropped: Counter,
 }
 
 impl FilterCore {
@@ -129,7 +131,7 @@ impl FilterCore {
             plan,
             champions: HashMap::new(),
             max_reorder: 65_536,
-            duplicates_dropped: 0,
+            duplicates_dropped: Counter::new(),
         }
     }
 
@@ -147,7 +149,13 @@ impl FilterCore {
 
     /// Duplicates dropped so far.
     pub fn duplicates_dropped(&self) -> u64 {
-        self.duplicates_dropped
+        self.duplicates_dropped.get()
+    }
+
+    /// A live handle to the duplicates-dropped counter (survives the core
+    /// moving into its node thread).
+    pub fn duplicates_counter(&self) -> Counter {
+        self.duplicates_dropped.clone()
     }
 
     /// Records parked in reorder buffers.
@@ -187,7 +195,7 @@ impl FilterCore {
                 reorder: BTreeMap::new(),
             });
         if toid < champ.next_expected {
-            self.duplicates_dropped += 1;
+            self.duplicates_dropped.add(1);
             return Vec::new();
         }
         if toid == champ.next_expected {
@@ -207,7 +215,7 @@ impl FilterCore {
         }
         // Future record: park it (duplicates collapse on the key).
         if champ.reorder.len() < max_reorder && champ.reorder.insert(toid, external).is_some() {
-            self.duplicates_dropped += 1;
+            self.duplicates_dropped.add(1);
         }
         Vec::new()
     }
@@ -260,6 +268,7 @@ pub struct FilterHandle {
     tx: Sender<Vec<Incoming>>,
     station: Arc<ServiceStation>,
     processed: Counter,
+    duplicates: Counter,
     tracer: StageTracer,
 }
 
@@ -276,6 +285,12 @@ impl FilterHandle {
     /// Records processed (bench instrumentation).
     pub fn processed_counter(&self) -> Counter {
         self.processed.clone()
+    }
+
+    /// Duplicates this filter has dropped (bench instrumentation — the
+    /// numerator of the WAN duplicate ratio).
+    pub fn duplicates_counter(&self) -> Counter {
+        self.duplicates.clone()
     }
 
     /// The machine's capacity model.
@@ -301,6 +316,7 @@ pub fn spawn_filter(
         tx,
         station: Arc::clone(&station),
         processed: processed.clone(),
+        duplicates: core.duplicates_counter(),
         tracer: tracer.clone(),
     };
     let thread = std::thread::Builder::new()

@@ -18,4 +18,4 @@ pub use batcher::{spawn_batcher, BatcherCore, BatcherHandle};
 pub use filter::{spawn_filter, FilterCore, FilterHandle, FilterIngress, FilterRouting};
 pub use queue::{spawn_queue, QueueCore, QueueHandle, QueueIngress, QueueNodeConfig};
 pub use receiver::spawn_receiver;
-pub use sender::{spawn_sender, SenderNode};
+pub use sender::{spawn_sender, SenderMetrics, SenderNode};

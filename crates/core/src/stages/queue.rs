@@ -18,7 +18,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use chariots_simnet::{Counter, ServiceStation, Shutdown, StageTracer};
+use chariots_simnet::{Counter, Notify, ServiceStation, Shutdown, StageTracer};
 use chariots_types::{DatacenterId, Entry, MaintainerId, Record, RecordId};
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::{Mutex, RwLock};
@@ -274,6 +274,10 @@ pub struct QueueNodeConfig {
     /// Store-stage tracer: a record's store span starts when the queue
     /// hands it to a maintainer and ends when the maintainer persists it.
     pub store_tracer: StageTracer,
+    /// Signalled after this queue routes newly assigned entries to the
+    /// maintainers — the "new local records exist" edge that wakes the
+    /// senders for an immediate propagation round.
+    pub sender_wakeup: Notify,
 }
 
 /// Spawns a queue node. The caller supplies the token channel pair so the
@@ -363,6 +367,13 @@ fn queue_loop(
         }
         route_entries(entries, &cfg.controller, &cfg.maintainers.read());
         cfg.atable.write().merge_row(cfg.dc, &token.applied);
+        if assigned > 0 {
+            // New local records are on their way to the maintainers: wake
+            // the senders so propagation starts now, not at the next
+            // heartbeat. Coalesces, so a busy ring costs one signal per
+            // sender round at most.
+            cfg.sender_wakeup.notify();
+        }
         token.passes += 1;
 
         if assigned == 0 && staged == 0 && !cfg.idle_pause.is_zero() {

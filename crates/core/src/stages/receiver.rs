@@ -3,13 +3,19 @@
 //!
 //! Receivers drain the WAN links, record the sending datacenter's applied
 //! cut in the shared ATable (the knowledge that drives propagation
-//! filtering and GC), and forward the records to the batchers.
+//! filtering and GC), and forward the records to the batchers. When a
+//! message actually raises the ATable — new knowledge, not a redundant
+//! heartbeat — the receiver signals the local senders' wakeup so the next
+//! propagation round runs immediately instead of waiting out the heartbeat
+//! floor. Gating the signal on the rise keeps the WAN quiet: redundant
+//! gossip never triggers a reply round, so two event-driven datacenters
+//! cannot ping-pong each other awake.
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use chariots_simnet::{Counter, PipelineTracer, ServiceStation, Shutdown};
+use chariots_simnet::{Counter, Notify, PipelineTracer, ServiceStation, Shutdown};
 use crossbeam::channel::{Receiver, RecvTimeoutError};
 use parking_lot::RwLock;
 
@@ -24,6 +30,7 @@ pub fn spawn_receiver(
     wan_rx: Receiver<PropagationMsg>,
     batchers: Arc<RwLock<Vec<BatcherHandle>>>,
     atable: Arc<RwLock<ATable>>,
+    wakeup: Notify,
     station: Arc<ServiceStation>,
     shutdown: Shutdown,
     name: String,
@@ -46,23 +53,33 @@ pub fn spawn_receiver(
                     Err(RecvTimeoutError::Disconnected) => return,
                 };
                 let n = msg.records.len() as u64;
-                station.note_arrival(n.max(1));
-                if station.serve(n.max(1)).is_err() {
-                    continue; // crashed: the ATable loop re-sends
+                // Empty heartbeats (applied-cut gossip) cost the ingress
+                // machine nothing record-shaped: charging them a full
+                // record unit would let idle gossip eat serve capacity.
+                if n > 0 {
+                    station.note_arrival(n);
+                    if station.serve(n).is_err() {
+                        continue; // crashed: the ATable loop re-sends
+                    }
+                } else if station.is_crashed() {
+                    continue;
                 }
                 processed.add(n);
                 // The sender's applied cut: everything `from` has
-                // incorporated — row `from` of our ATable.
-                atable.write().merge_row(msg.from, &msg.applied);
+                // incorporated — row `from` of our ATable. A rise means our
+                // senders may have new room to offer (or prune): wake them.
+                if atable.write().merge_row(msg.from, &msg.applied) {
+                    wakeup.notify();
+                }
                 let batchers = batchers.read();
                 if batchers.is_empty() {
                     continue;
                 }
                 let t0 = std::time::Instant::now();
-                for record in msg.records {
+                for record in msg.records.iter() {
                     // A foreign record's trace does not cross the WAN: this
                     // datacenter re-samples it under its own tracer.
-                    let record = record.with_trace(tracer.sample());
+                    let record = record.clone().with_trace(tracer.sample());
                     rr = (rr + 1) % batchers.len();
                     batchers[rr].send(Incoming::External(record));
                 }
@@ -86,12 +103,14 @@ mod tests {
     use crossbeam::channel::unbounded;
     use std::time::Instant;
 
-    #[test]
-    fn receiver_updates_atable_and_forwards() {
-        let shutdown = Shutdown::new();
-        let atable = Arc::new(RwLock::new(ATable::new(2)));
+    fn test_batchers(
+        shutdown: &Shutdown,
+    ) -> (
+        Arc<RwLock<Vec<BatcherHandle>>>,
+        crossbeam::channel::Receiver<Vec<Incoming>>,
+        JoinHandle<()>,
+    ) {
         let (filter_tx, filter_rx) = unbounded();
-        let station = Arc::new(ServiceStation::new("r0", StationConfig::uncapped()));
         let filter_ingress = crate::stages::filter::FilterIngress::from_parts(
             filter_tx,
             Arc::new(ServiceStation::new("f0", StationConfig::uncapped())),
@@ -110,12 +129,26 @@ mod tests {
             "batcher".into(),
             chariots_simnet::StageTracer::disabled(),
         );
-        let batchers = Arc::new(RwLock::new(vec![batcher]));
+        (
+            Arc::new(RwLock::new(vec![batcher])),
+            filter_rx,
+            batcher_thread,
+        )
+    }
+
+    #[test]
+    fn receiver_updates_atable_and_forwards() {
+        let shutdown = Shutdown::new();
+        let atable = Arc::new(RwLock::new(ATable::new(2)));
+        let station = Arc::new(ServiceStation::new("r0", StationConfig::uncapped()));
+        let (batchers, filter_rx, batcher_thread) = test_batchers(&shutdown);
         let (wan_tx, wan_rx) = unbounded();
+        let mut wakeup = Notify::new();
         let (counter, recv_thread) = spawn_receiver(
             wan_rx,
             batchers,
             Arc::clone(&atable),
+            wakeup.clone(),
             station,
             shutdown.clone(),
             "receiver".into(),
@@ -131,7 +164,7 @@ mod tests {
         wan_tx
             .send(PropagationMsg {
                 from: DatacenterId(1),
-                records: vec![record],
+                records: Arc::from(vec![record]),
                 applied: VersionVector::from_entries(vec![TOId(0), TOId(1)]),
             })
             .unwrap();
@@ -152,6 +185,59 @@ mod tests {
             std::thread::sleep(Duration::from_millis(2));
         }
         assert_eq!(counter.get(), 1);
+        // The ATable rise signalled the senders' wakeup.
+        assert!(wakeup.try_consume(), "knowledge rise wakes the senders");
+        shutdown.signal();
+        recv_thread.join().unwrap();
+        batcher_thread.join().unwrap();
+    }
+
+    /// Regression: empty applied-cut heartbeats must not be charged as
+    /// record work at the ingress station — under the old `n.max(1)`
+    /// accounting, the gossip floor alone consumed serve capacity. And a
+    /// redundant heartbeat (no ATable rise) must not wake the senders.
+    #[test]
+    fn empty_heartbeats_cost_nothing_and_do_not_wake_senders() {
+        let shutdown = Shutdown::new();
+        let atable = Arc::new(RwLock::new(ATable::new(2)));
+        let station = Arc::new(ServiceStation::new("r0", StationConfig::uncapped()));
+        let (batchers, _filter_rx, batcher_thread) = test_batchers(&shutdown);
+        let (wan_tx, wan_rx) = unbounded();
+        let mut wakeup = Notify::new();
+        let (counter, recv_thread) = spawn_receiver(
+            wan_rx,
+            batchers,
+            Arc::clone(&atable),
+            wakeup.clone(),
+            Arc::clone(&station),
+            shutdown.clone(),
+            "receiver".into(),
+            PipelineTracer::disabled(),
+        );
+
+        let cut = VersionVector::from_entries(vec![TOId(0), TOId(3)]);
+        for _ in 0..5 {
+            wan_tx
+                .send(PropagationMsg {
+                    from: DatacenterId(1),
+                    records: Arc::from(vec![]),
+                    applied: cut.clone(),
+                })
+                .unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(1);
+        while atable.read().get(DatacenterId(1), DatacenterId(1)) < TOId(3) {
+            assert!(Instant::now() < deadline, "heartbeats still merge the cut");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Give the remaining redundant heartbeats time to drain.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(station.served(), 0, "heartbeats are not record work");
+        assert_eq!(counter.get(), 0);
+        // Exactly the first heartbeat raised knowledge; the four redundant
+        // ones coalesce into that single pending signal.
+        assert!(wakeup.try_consume());
+        assert!(!wakeup.try_consume(), "redundant gossip does not re-wake");
         shutdown.signal();
         recv_thread.join().unwrap();
         batcher_thread.join().unwrap();

@@ -4,20 +4,32 @@
 //! … Each Sender machine is responsible to send parts of the log from some
 //! of the maintainers to a number of Receivers at other datacenters."
 //!
-//! Reliability comes from the ATable, exactly as in the abstract solution's
-//! *Propagate* (§6.1): a sender keeps re-offering every local record the
-//! peer is not yet known to have (`T[peer][own] < TOId`). Acknowledgement
-//! is implicit — the peer's applied cut flows back with *its* propagation
-//! messages — so partitions, drops, and duplicated deliveries all heal
-//! without any dedicated ack protocol (the filters and queues downstream
-//! are exactly-once).
+//! Reliability still comes from the ATable, exactly as in the abstract
+//! solution's *Propagate* (§6.1) — but a healthy round no longer re-offers
+//! the entire unacknowledged window. Each sender keeps a per-peer **send
+//! cursor** (the TOId high-water mark of what it has offered) and ships
+//! only records beyond it; acknowledgement is still implicit — the peer's
+//! applied cut flows back with *its* propagation messages. Only when a
+//! peer's cut stalls past `retransmit_timeout` with offered records
+//! outstanding does the sender fall back to re-offering from the
+//! ATable-known cut, so drops, duplicated deliveries, and partitions heal
+//! exactly as before (the filters and queues downstream are exactly-once).
+//!
+//! Outgoing chunks are built once per round as `Arc<[Record]>` and shared
+//! across every peer that needs the same range, bounded both by record
+//! count ([`SEND_BATCH`]) and by bytes (`max_chunk_bytes`). Rounds are
+//! event-driven: the queues (new local records) and receivers (ATable
+//! rises) signal the senders' [`Notify`], with the propagation interval
+//! demoted to a gossip heartbeat floor.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use chariots_simnet::{Counter, LinkSender, ServiceStation, Shutdown, StageTracer};
+use chariots_simnet::{
+    Counter, LinkSender, MetricsRegistry, Notify, ServiceStation, Shutdown, StageTracer,
+};
 use chariots_types::{DatacenterId, LId, Record, TOId};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -33,9 +45,70 @@ use crate::message::PropagationMsg;
 const SEND_BATCH: usize = 512;
 /// How many entries a sender pulls from one maintainer per scan.
 const SCAN_BATCH: usize = 4096;
+/// After an event wakeup, how long the sender waits before scanning — the
+/// queue signals when it *routes* entries to the maintainers, a moment
+/// before they are applied and scannable; this grace absorbs that race so
+/// the event path does not degrade to the heartbeat floor.
+const WAKEUP_GRACE: Duration = Duration::from_micros(200);
+
+/// WAN propagation counters, shared by every sender of one datacenter.
+#[derive(Debug, Clone)]
+pub struct SenderMetrics {
+    /// Wire bytes shipped (records + applied-cut gossip).
+    pub bytes: Counter,
+    /// Records offered to peers (including retransmissions).
+    pub records: Counter,
+    /// Timeout-triggered fallbacks to re-offering from the ATable cut.
+    pub retransmits: Counter,
+    /// Non-empty chunks shipped.
+    pub chunks: Counter,
+    /// Records evicted from the bounded retransmission cache.
+    pub cache_evicted: Counter,
+}
+
+impl SenderMetrics {
+    /// Unregistered counters (tests, standalone nodes).
+    pub fn disabled() -> Self {
+        SenderMetrics {
+            bytes: Counter::new(),
+            records: Counter::new(),
+            retransmits: Counter::new(),
+            chunks: Counter::new(),
+            cache_evicted: Counter::new(),
+        }
+    }
+
+    /// Counters registered under `{prefix}.chariots.wan.*`. Repeated calls
+    /// return handles to the same counters, so a datacenter's senders share
+    /// one set.
+    pub fn registered(registry: &MetricsRegistry, prefix: &str) -> Self {
+        SenderMetrics {
+            bytes: registry.counter(&format!("{prefix}.chariots.wan.bytes")),
+            records: registry.counter(&format!("{prefix}.chariots.wan.records")),
+            retransmits: registry.counter(&format!("{prefix}.chariots.wan.retransmits")),
+            chunks: registry.counter(&format!("{prefix}.chariots.wan.chunks")),
+            cache_evicted: registry.counter(&format!("{prefix}.chariots.wan.cache.evicted")),
+        }
+    }
+}
+
+/// Per-peer propagation state.
+#[derive(Debug)]
+struct PeerState {
+    /// TOId high-water mark of what this sender has offered the peer. A
+    /// healthy round ships only `(cursor, …]`.
+    cursor: TOId,
+    /// The peer's applied cut for our records, as of the last round.
+    known: TOId,
+    /// When the peer last made observable progress: its cut rose, we
+    /// offered it new records, or a retransmission fired. The stall clock
+    /// for the retransmission fallback.
+    last_progress: Instant,
+}
 
 /// One sender machine: scans its subset of maintainers for new local
-/// records and re-offers unacknowledged ones to every peer each round.
+/// records and offers each peer the records beyond its send cursor,
+/// falling back to the ATable-known cut when the peer stalls.
 pub struct SenderNode {
     dc: DatacenterId,
     /// The deployment's maintainer registry; this sender is responsible
@@ -46,15 +119,27 @@ pub struct SenderNode {
     num_senders: usize,
     /// Per-maintainer scan cursors, by registry index.
     cursors: HashMap<usize, LId>,
-    /// Local records discovered, by TOId (pruned once all peers know them).
+    /// Local records discovered, by TOId (pruned once all peers know them,
+    /// capped at `cache_max_records`).
     cache: BTreeMap<TOId, Record>,
+    /// Highest TOId ever evicted from the cache by the cap. Ranges at or
+    /// below it re-hydrate from the maintainers on demand.
+    evicted_to: TOId,
     atable: Arc<RwLock<ATable>>,
     /// WAN egress per peer: `peers[i] = (peer id, link sender)`.
     peers: Vec<(DatacenterId, LinkSender<PropagationMsg>)>,
+    states: Vec<PeerState>,
+    /// `false` restores the seed's full re-offer policy (bench baseline).
+    delta_shipping: bool,
+    retransmit_timeout: Duration,
+    max_chunk_bytes: usize,
+    cache_max_records: usize,
+    metrics: SenderMetrics,
 }
 
 impl SenderNode {
-    /// Creates the sender state.
+    /// Creates the sender state with delta shipping on and default bounds;
+    /// tune with the `with_*` builders.
     pub fn new(
         dc: DatacenterId,
         registry: Arc<RwLock<Vec<ReplicaGroupHandle>>>,
@@ -64,6 +149,15 @@ impl SenderNode {
         peers: Vec<(DatacenterId, LinkSender<PropagationMsg>)>,
     ) -> Self {
         assert!(num_senders > 0 && my_index < num_senders);
+        let now = Instant::now();
+        let states = peers
+            .iter()
+            .map(|_| PeerState {
+                cursor: TOId::NONE,
+                known: TOId::NONE,
+                last_progress: now,
+            })
+            .collect();
         SenderNode {
             dc,
             registry,
@@ -71,18 +165,60 @@ impl SenderNode {
             num_senders,
             cursors: HashMap::new(),
             cache: BTreeMap::new(),
+            evicted_to: TOId::NONE,
             atable,
             peers,
+            states,
+            delta_shipping: true,
+            retransmit_timeout: Duration::from_millis(200),
+            max_chunk_bytes: 1 << 20,
+            cache_max_records: usize::MAX,
+            metrics: SenderMetrics::disabled(),
         }
     }
 
+    /// Enables or disables delta shipping (`false` = full re-offer).
+    pub fn with_policy(mut self, delta_shipping: bool) -> Self {
+        self.delta_shipping = delta_shipping;
+        self
+    }
+
+    /// Sets the stalled-peer retransmission timeout.
+    pub fn with_retransmit_timeout(mut self, d: Duration) -> Self {
+        self.retransmit_timeout = d;
+        self
+    }
+
+    /// Sets the per-chunk byte bound.
+    pub fn with_max_chunk_bytes(mut self, n: usize) -> Self {
+        self.max_chunk_bytes = n.max(1);
+        self
+    }
+
+    /// Caps the retransmission cache (records).
+    pub fn with_cache_cap(mut self, n: usize) -> Self {
+        self.cache_max_records = n.max(1);
+        self
+    }
+
+    /// Attaches WAN propagation counters.
+    pub fn with_metrics(mut self, metrics: SenderMetrics) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
     /// One propagation round: scan for new local records, then offer each
-    /// peer everything it is missing. `station`, when present, models the
+    /// peer what it is missing — its cursor delta when healthy, the
+    /// ATable-known cut after a stall. `station`, when present, models the
     /// sender's NIC: the round pays for each chunk *before* it goes on the
     /// wire, so the long-run send rate respects the machine's capacity.
     /// Returns the number of records sent.
-    pub fn round(&mut self, station: Option<&chariots_simnet::ServiceStation>) -> u64 {
+    pub fn round(&mut self, station: Option<&ServiceStation>) -> u64 {
         self.scan_new_records();
+        self.enforce_cache_cap();
+        let now = Instant::now();
+        // One ATable read per round: our applied cut (shared by every
+        // outgoing message) and each peer's knowledge of our records.
         let (applied, peer_known): (chariots_types::VersionVector, Vec<TOId>) = {
             let at = self.atable.read();
             (
@@ -93,15 +229,56 @@ impl SenderNode {
                     .collect(),
             )
         };
+
+        // Advance per-peer state and pick each peer's offer start.
+        let mut starts: Vec<TOId> = Vec::with_capacity(self.peers.len());
+        for (state, known) in self.states.iter_mut().zip(peer_known.iter().copied()) {
+            if known > state.known {
+                state.known = known;
+                state.last_progress = now;
+            }
+            if state.cursor < known {
+                // Acknowledged past our cursor (e.g. relayed via a third
+                // datacenter): never re-offer what the peer already has.
+                state.cursor = known;
+            }
+            let start = if !self.delta_shipping {
+                known
+            } else if state.cursor > known
+                && now.duration_since(state.last_progress) >= self.retransmit_timeout
+            {
+                // Offered records outstanding and the peer's cut stalled:
+                // heal by re-offering from the ATable-known cut. One
+                // fallback per timeout window, not per round.
+                self.metrics.retransmits.add(1);
+                state.last_progress = now;
+                state.cursor = known;
+                known
+            } else {
+                state.cursor
+            };
+            starts.push(start);
+        }
+
+        // A stale peer recovering may need records the cap evicted;
+        // re-hydrate them from the maintainers before building chunks.
+        if let Some(min_start) = starts.iter().copied().min() {
+            if min_start < self.evicted_to {
+                self.rehydrate(min_start);
+            }
+        }
+
+        // Build each distinct chunk once and fan the shared payload out to
+        // every peer starting at the same cursor.
+        let mut chunks: HashMap<TOId, Arc<[Record]>> = HashMap::new();
         let mut sent = 0u64;
-        for ((peer, link), known) in self.peers.iter().zip(peer_known.iter()) {
-            let _ = peer;
-            let records: Vec<Record> = self
-                .cache
-                .range(known.next()..)
-                .take(SEND_BATCH)
-                .map(|(_, r)| r.clone())
-                .collect();
+        for (i, start) in starts.into_iter().enumerate() {
+            let records = chunks
+                .entry(start)
+                .or_insert_with(|| {
+                    build_chunk(&self.cache, start, SEND_BATCH, self.max_chunk_bytes)
+                })
+                .clone();
             let n = records.len() as u64;
             if n > 0 {
                 if let Some(st) = station {
@@ -110,15 +287,28 @@ impl SenderNode {
                         continue; // crashed: this peer's chunk waits
                     }
                 }
+                self.metrics.chunks.add(1);
+                self.metrics.records.add(n);
+                if let Some(last) = records.last() {
+                    let state = &mut self.states[i];
+                    if last.toid() > state.cursor {
+                        state.cursor = last.toid();
+                        // A fresh offer restarts the stall clock.
+                        state.last_progress = now;
+                    }
+                }
             }
             // Even an empty message carries our applied cut — that is the
             // gossip that unblocks the peer's GC and our pruning.
             sent += n;
-            link.send(PropagationMsg {
+            let msg = PropagationMsg {
                 from: self.dc,
                 records,
                 applied: applied.clone(),
-            });
+            };
+            self.metrics.bytes.add(msg.wire_size() as u64);
+            let (_, link) = &self.peers[i];
+            link.send(msg);
         }
         self.prune(&peer_known);
         sent
@@ -126,15 +316,7 @@ impl SenderNode {
 
     /// Pulls newly persisted local records from this sender's maintainers.
     fn scan_new_records(&mut self) {
-        let mine: Vec<(usize, ReplicaGroupHandle)> = {
-            let registry = self.registry.read();
-            registry
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| i % self.num_senders == self.my_index)
-                .map(|(i, h)| (i, h.clone()))
-                .collect()
-        };
+        let mine = self.my_maintainers();
         for (idx, handle) in mine {
             let cursor = self.cursors.entry(idx).or_insert(LId::ZERO);
             // Only positions below the maintainer's frontier are final
@@ -175,6 +357,85 @@ impl SenderNode {
         }
     }
 
+    /// The maintainers this sender is responsible for.
+    fn my_maintainers(&self) -> Vec<(usize, ReplicaGroupHandle)> {
+        let registry = self.registry.read();
+        registry
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % self.num_senders == self.my_index)
+            .map(|(i, h)| (i, h.clone()))
+            .collect()
+    }
+
+    /// Caps the retransmission cache by evicting the oldest records (only
+    /// a stale peer can still need them, and they re-hydrate on demand).
+    fn enforce_cache_cap(&mut self) {
+        let over = self.cache.len().saturating_sub(self.cache_max_records);
+        if over == 0 {
+            return;
+        }
+        for _ in 0..over {
+            if let Some((toid, _)) = self.cache.pop_first() {
+                if toid > self.evicted_to {
+                    self.evicted_to = toid;
+                }
+            }
+        }
+        self.metrics.cache_evicted.add(over as u64);
+    }
+
+    /// Re-reads evicted local records in `(start, evicted_to]` from the
+    /// maintainers via the ordinary scan path (at most one chunk's worth —
+    /// a recovering peer drains at chunk granularity anyway). Safe even
+    /// against GC: the ATable's collection rule keeps any record some
+    /// datacenter still lacks.
+    fn rehydrate(&mut self, start: TOId) {
+        let lo = start.next();
+        let hi = self.evicted_to;
+        if lo > hi {
+            return;
+        }
+        let mut budget = SEND_BATCH;
+        for (_, handle) in self.my_maintainers() {
+            if budget == 0 {
+                break;
+            }
+            let Ok(stats) = handle.stats() else { continue };
+            let frontier = stats.frontier;
+            let mut cursor = LId::ZERO;
+            'scan: loop {
+                let Ok(entries) = handle.scan(cursor, SCAN_BATCH) else {
+                    break;
+                };
+                if entries.is_empty() {
+                    break;
+                }
+                let full = entries.len() == SCAN_BATCH;
+                for e in entries {
+                    if e.lid >= frontier {
+                        break 'scan;
+                    }
+                    cursor = e.lid.next();
+                    if e.record.host() != self.dc {
+                        continue;
+                    }
+                    let t = e.record.toid();
+                    if t >= lo && t <= hi && !self.cache.contains_key(&t) {
+                        self.cache.insert(t, e.record);
+                        budget -= 1;
+                        if budget == 0 {
+                            break 'scan;
+                        }
+                    }
+                }
+                if !full {
+                    break;
+                }
+            }
+        }
+    }
+
     /// Drops cached records every peer already knows.
     fn prune(&mut self, peer_known: &[TOId]) {
         let Some(min_known) = peer_known.iter().min().copied() else {
@@ -192,10 +453,40 @@ impl SenderNode {
     }
 }
 
-/// Spawns a sender node running one round per `interval`.
+/// Builds one outgoing chunk: records beyond `start`, bounded by count and
+/// by summed wire size (a chunk always makes progress — the first record
+/// ships even if it alone exceeds the byte bound).
+fn build_chunk(
+    cache: &BTreeMap<TOId, Record>,
+    start: TOId,
+    max_records: usize,
+    max_bytes: usize,
+) -> Arc<[Record]> {
+    let mut out: Vec<Record> = Vec::new();
+    let mut bytes = 0usize;
+    for r in cache.range(start.next()..).map(|(_, r)| r) {
+        // Record::wire_size is what Incoming::wire_size charges for an
+        // external record, so the chunk bound matches the link model.
+        let sz = r.wire_size();
+        if !out.is_empty() && (out.len() >= max_records || bytes + sz > max_bytes) {
+            break;
+        }
+        bytes += sz;
+        out.push(r.clone());
+        if out.len() >= max_records {
+            break;
+        }
+    }
+    out.into()
+}
+
+/// Spawns a sender node. Rounds are event-driven: `wakeup` fires when new
+/// local records are routed or the ATable rises, and `interval` is the
+/// gossip heartbeat floor a quiet sender still honours.
 pub fn spawn_sender(
     mut node: SenderNode,
     interval: Duration,
+    mut wakeup: Notify,
     station: Arc<ServiceStation>,
     shutdown: Shutdown,
     name: String,
@@ -217,7 +508,9 @@ pub fn spawn_sender(
                 // round service time rather than per-record spans.
                 tracer.observe(t0.elapsed());
             }
-            std::thread::sleep(interval);
+            if wakeup.wait_timeout(interval) {
+                std::thread::sleep(WAKEUP_GRACE);
+            }
         })
         .expect("spawn sender");
     (counter, thread)
@@ -260,7 +553,7 @@ mod tests {
     }
 
     #[test]
-    fn sender_ships_unknown_records_and_stops_when_acked() {
+    fn delta_sender_ships_new_records_exactly_once_until_timeout() {
         let (maintainer, shutdown, threads) = maintainer_with_local_records(5);
         let atable = Arc::new(RwLock::new(ATable::new(2)));
         let (link_tx, link_rx, _h) = Link::spawn_simple::<PropagationMsg>(LinkConfig::default());
@@ -271,25 +564,157 @@ mod tests {
             1,
             Arc::clone(&atable),
             vec![(DatacenterId(1), link_tx)],
-        );
-        // Wait for the maintainer's gossip-driven frontier to update.
+        )
+        .with_retransmit_timeout(Duration::from_millis(40));
+        // Wait for the maintainer's frontier to cover the appends.
         std::thread::sleep(Duration::from_millis(10));
         let sent = node.round(None);
         assert_eq!(sent, 5);
         let msg = link_rx.recv_timeout(Duration::from_secs(1)).unwrap();
         assert_eq!(msg.records.len(), 5);
         assert_eq!(msg.from, DatacenterId(0));
-        // Without an ack, the next round re-offers everything.
-        assert_eq!(node.round(None), 5, "re-offered until acknowledged");
-        assert_eq!(node.cache_len(), 5);
+        // Delta shipping: the cursor advanced, so the very next round does
+        // NOT re-offer (no ack yet, but no timeout either).
+        assert_eq!(node.round(None), 0, "cursor suppresses the re-offer");
+        assert_eq!(node.cache_len(), 5, "unacked records stay cached");
+        // After the stall timeout with no ack, the sender falls back to
+        // re-offering from the ATable-known cut — the healing path.
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(node.round(None), 5, "timeout re-offers the window");
+        assert_eq!(node.metrics.retransmits.get(), 1);
         // The peer's applied cut arrives (via a receiver, modelled here by
-        // writing the ATable row directly).
+        // writing the ATable row directly): pruning resumes.
         atable.write().merge_row(
             DatacenterId(1),
             &VersionVector::from_entries(vec![TOId(5), TOId(0)]),
         );
         assert_eq!(node.round(None), 0, "peer has everything");
         assert_eq!(node.cache_len(), 0, "cache pruned");
+        shutdown.signal();
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn full_reoffer_policy_matches_seed_behavior() {
+        let (maintainer, shutdown, threads) = maintainer_with_local_records(3);
+        let atable = Arc::new(RwLock::new(ATable::new(2)));
+        let (link_tx, _link_rx, _h) = Link::spawn_simple::<PropagationMsg>(LinkConfig::default());
+        let mut node = SenderNode::new(
+            DatacenterId(0),
+            Arc::new(RwLock::new(vec![maintainer])),
+            0,
+            1,
+            atable,
+            vec![(DatacenterId(1), link_tx)],
+        )
+        .with_policy(false);
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(node.round(None), 3);
+        // No ack: the baseline re-offers the whole window every round.
+        assert_eq!(node.round(None), 3, "re-offered until acknowledged");
+        assert_eq!(node.round(None), 3);
+        shutdown.signal();
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn shared_chunk_fans_out_to_peers_at_the_same_cursor() {
+        let (maintainer, shutdown, threads) = maintainer_with_local_records(4);
+        let atable = Arc::new(RwLock::new(ATable::new(3)));
+        let (tx1, rx1, _h1) = Link::spawn_simple::<PropagationMsg>(LinkConfig::default());
+        let (tx2, rx2, _h2) = Link::spawn_simple::<PropagationMsg>(LinkConfig::default());
+        let mut node = SenderNode::new(
+            DatacenterId(0),
+            Arc::new(RwLock::new(vec![maintainer])),
+            0,
+            1,
+            atable,
+            vec![(DatacenterId(1), tx1), (DatacenterId(2), tx2)],
+        );
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(node.round(None), 8, "4 records offered to each peer");
+        let m1 = rx1.recv_timeout(Duration::from_secs(1)).unwrap();
+        let m2 = rx2.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(m1.records.len(), 4);
+        assert!(
+            Arc::ptr_eq(&m1.records, &m2.records),
+            "both peers share one payload allocation"
+        );
+        assert_eq!(node.metrics.chunks.get(), 2, "one chunk count per peer");
+        shutdown.signal();
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn chunks_respect_the_byte_bound() {
+        let (maintainer, shutdown, threads) = maintainer_with_local_records(6);
+        let atable = Arc::new(RwLock::new(ATable::new(2)));
+        let (link_tx, link_rx, _h) = Link::spawn_simple::<PropagationMsg>(LinkConfig::default());
+        let mut node = SenderNode::new(
+            DatacenterId(0),
+            Arc::new(RwLock::new(vec![maintainer])),
+            0,
+            1,
+            atable,
+            vec![(DatacenterId(1), link_tx)],
+        )
+        .with_max_chunk_bytes(1); // every record alone exceeds the bound
+        std::thread::sleep(Duration::from_millis(10));
+        // A chunk always makes progress: exactly one record per round.
+        assert_eq!(node.round(None), 1);
+        let msg = link_rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(msg.records.len(), 1);
+        assert_eq!(msg.records[0].toid(), TOId(1));
+        assert_eq!(node.round(None), 1, "cursor advanced to the next record");
+        let msg = link_rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(msg.records[0].toid(), TOId(2));
+        shutdown.signal();
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn cache_cap_evicts_and_rehydrates_for_a_lagging_peer() {
+        let (maintainer, shutdown, threads) = maintainer_with_local_records(12);
+        let atable = Arc::new(RwLock::new(ATable::new(2)));
+        let (link_tx, link_rx, _h) = Link::spawn_simple::<PropagationMsg>(LinkConfig::default());
+        let mut node = SenderNode::new(
+            DatacenterId(0),
+            Arc::new(RwLock::new(vec![maintainer])),
+            0,
+            1,
+            Arc::clone(&atable),
+            vec![(DatacenterId(1), link_tx)],
+        )
+        .with_cache_cap(4);
+        std::thread::sleep(Duration::from_millis(10));
+        // The cap evicts the 8 oldest of the 12 scanned records — but the
+        // peer's cursor is still at zero, below the eviction high-water, so
+        // the round re-hydrates the evicted range from the maintainers and
+        // the offer still starts at TOId 1. Nothing is lost.
+        assert_eq!(node.round(None), 12);
+        assert_eq!(node.metrics.cache_evicted.get(), 8, "12 scanned, 4 kept");
+        let msg = link_rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(msg.records.len(), 12);
+        assert_eq!(
+            msg.records[0].toid(),
+            TOId(1),
+            "offer starts below the eviction high-water: rehydrated"
+        );
+        // Once the peer acks everything, the cache empties as before.
+        atable.write().merge_row(
+            DatacenterId(1),
+            &VersionVector::from_entries(vec![TOId(12), TOId(0)]),
+        );
+        node.round(None);
+        assert_eq!(node.cache_len(), 0);
         shutdown.signal();
         for t in threads {
             t.join().unwrap();
@@ -316,6 +741,8 @@ mod tests {
         let msg = link_rx.recv_timeout(Duration::from_secs(1)).unwrap();
         assert!(msg.records.is_empty());
         assert_eq!(msg.applied.get(DatacenterId(0)), TOId(7));
+        assert!(node.metrics.bytes.get() > 0, "gossip bytes are counted");
+        assert_eq!(node.metrics.chunks.get(), 0, "heartbeats are not chunks");
         shutdown.signal();
         for t in threads {
             t.join().unwrap();

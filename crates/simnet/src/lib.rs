@@ -23,6 +23,9 @@
 //!   [`FailureMonitor`] thread that drives failover decisions.
 //! * [`retry`] — [`RetryPolicy`]: bounded retries with deterministic
 //!   jittered exponential backoff for clients riding out failover windows.
+//! * [`notify`] — [`Notify`]: edge-triggered, coalescing wakeups that turn
+//!   fixed-interval polling loops into event-driven ones (the interval
+//!   demotes to a heartbeat floor).
 //! * [`shutdown`] — cooperative worker shutdown.
 //! * [`tempdir`] — [`TestDir`]: collision-free, self-cleaning scratch
 //!   directories for tests that persist WALs.
@@ -49,6 +52,7 @@
 pub mod failure;
 pub mod link;
 pub mod metrics;
+pub mod notify;
 pub mod pacing;
 pub mod retry;
 pub mod shutdown;
@@ -62,6 +66,7 @@ pub use metrics::{
     sample_until, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
     Series, ThroughputMeter, TimeSeries,
 };
+pub use notify::Notify;
 pub use pacing::{sleep_until, RateLimiter};
 pub use retry::RetryPolicy;
 pub use shutdown::Shutdown;

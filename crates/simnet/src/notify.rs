@@ -1,0 +1,135 @@
+//! Edge-triggered wakeup signalling between pipeline stages.
+//!
+//! A [`Notify`] replaces fixed-interval polling loops with event-driven
+//! ones: producers call [`notify`](Notify::notify) when new work exists
+//! (a maintainer frontier advanced, an ATable row rose) and the consumer
+//! blocks in [`wait_timeout`](Notify::wait_timeout) with its periodic
+//! interval demoted to a heartbeat floor.
+//!
+//! Clones share the underlying signal but each clone keeps its **own**
+//! consumption cursor, so several waiters can watch the same source and
+//! every one of them observes every signal — the primitive is a broadcast
+//! edge, not a semaphore. Signals coalesce: ten `notify` calls between two
+//! waits wake the waiter once, which is exactly what a scan-the-world
+//! consumer wants.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+#[derive(Debug, Default)]
+struct Inner {
+    seq: Mutex<u64>,
+    cvar: Condvar,
+}
+
+/// A cloneable edge-triggered wakeup signal. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct Notify {
+    inner: Arc<Inner>,
+    /// The last sequence number this handle has consumed. Cloning copies
+    /// the cursor, so a fresh clone observes only signals after the clone.
+    seen: u64,
+}
+
+impl Notify {
+    /// A new signal with no pending wakeups.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Signals every current and future waiter. Never blocks beyond the
+    /// internal lock; safe to call from hot paths.
+    pub fn notify(&self) {
+        let mut seq = self.inner.seq.lock().expect("notify lock");
+        *seq = seq.wrapping_add(1);
+        drop(seq);
+        self.inner.cvar.notify_all();
+    }
+
+    /// Waits until a signal arrives or `timeout` elapses. Returns whether
+    /// this handle was signalled (a signal that arrived *before* the call
+    /// and has not been consumed by this handle counts, so wakeups are
+    /// never lost to races).
+    pub fn wait_timeout(&mut self, timeout: Duration) -> bool {
+        let seen = self.seen;
+        let seq = self.inner.seq.lock().expect("notify lock");
+        let (seq, _) = self
+            .inner
+            .cvar
+            .wait_timeout_while(seq, timeout, |s| *s == seen)
+            .expect("notify wait");
+        let signalled = *seq != seen;
+        self.seen = *seq;
+        signalled
+    }
+
+    /// Consumes a pending signal without blocking. Returns whether one was
+    /// pending.
+    pub fn try_consume(&mut self) -> bool {
+        let seq = self.inner.seq.lock().expect("notify lock");
+        let signalled = *seq != self.seen;
+        self.seen = *seq;
+        signalled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn wait_times_out_without_signal() {
+        let mut n = Notify::new();
+        let t0 = Instant::now();
+        assert!(!n.wait_timeout(Duration::from_millis(20)));
+        assert!(t0.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn pending_signal_wakes_immediately() {
+        let mut n = Notify::new();
+        n.notify();
+        let t0 = Instant::now();
+        assert!(n.wait_timeout(Duration::from_secs(5)));
+        assert!(t0.elapsed() < Duration::from_secs(1));
+        // Consumed: the next wait blocks again.
+        assert!(!n.wait_timeout(Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn signals_coalesce() {
+        let mut n = Notify::new();
+        for _ in 0..10 {
+            n.notify();
+        }
+        assert!(n.try_consume());
+        assert!(!n.try_consume(), "ten signals consume as one");
+    }
+
+    #[test]
+    fn cross_thread_wakeup() {
+        let mut waiter = Notify::new();
+        let notifier = waiter.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            notifier.notify();
+        });
+        let t0 = Instant::now();
+        assert!(waiter.wait_timeout(Duration::from_secs(5)));
+        assert!(t0.elapsed() < Duration::from_secs(1));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn every_clone_observes_every_signal() {
+        let mut a = Notify::new();
+        let mut b = a.clone();
+        let notifier = a.clone();
+        notifier.notify();
+        assert!(a.try_consume());
+        assert!(b.try_consume(), "broadcast, not a semaphore");
+        assert!(!a.try_consume());
+        assert!(!b.try_consume());
+    }
+}

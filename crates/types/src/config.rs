@@ -267,9 +267,34 @@ pub struct ChariotsConfig {
     /// with the token, trading network I/O for append latency (§6.2: "it is
     /// a design decision"). Ablation A3.
     pub token_carries_deferred: bool,
-    /// Interval between propagation snapshots sent to every peer (§6.1
-    /// *Propagate*).
+    /// Heartbeat floor of the senders stage (§6.1 *Propagate*): with delta
+    /// shipping on, senders run a round as soon as new local records or an
+    /// ATable update arrives, and this interval only bounds how long a
+    /// quiet sender may go without gossiping its applied cut. With delta
+    /// shipping off it is the fixed round interval, as in the abstract
+    /// solution.
     pub propagation_interval: Duration,
+    /// Cursor-based delta shipping for the senders stage: a healthy round
+    /// ships only records beyond a per-peer send cursor instead of
+    /// re-offering the whole unacknowledged window, and rounds are
+    /// event-driven. `false` restores the full re-offer policy (the
+    /// abstract solution's *Propagate*, kept for the `geo` bench baseline).
+    pub sender_delta_shipping: bool,
+    /// How long a peer's applied cut may stall — with offered records still
+    /// unacknowledged — before a sender falls back to re-offering from the
+    /// ATable-known cut. The healing path for dropped chunks and healed
+    /// partitions; must comfortably exceed the WAN round trip plus one
+    /// propagation interval, or healthy peers get spurious retransmissions.
+    pub retransmit_timeout: Duration,
+    /// Byte bound of one outgoing propagation chunk (summed record wire
+    /// sizes, alongside the record-count bound), so a catch-up burst after
+    /// a partition heals cannot monopolize the WAN link.
+    pub max_propagation_bytes: usize,
+    /// Cap of a sender's retransmission cache in records. A crashed or
+    /// partitioned peer pins the cache's pruning bound; beyond this cap the
+    /// oldest records are evicted and re-hydrated from the maintainers via
+    /// the scan path if the stale peer recovers.
+    pub sender_cache_max_records: usize,
     /// User-specified spatial GC rule: keep at most this many records
     /// per datacenter log beyond the replication-safe prefix. `None`
     /// disables user GC (records are kept indefinitely, §6.1).
@@ -291,6 +316,10 @@ impl Default for ChariotsConfig {
             batcher_flush_interval: Duration::from_millis(2),
             token_carries_deferred: true,
             propagation_interval: Duration::from_millis(10),
+            sender_delta_shipping: true,
+            retransmit_timeout: Duration::from_millis(200),
+            max_propagation_bytes: 1 << 20,
+            sender_cache_max_records: 131_072,
             gc_keep_records: None,
             trace_sample_every: 64,
         }
@@ -333,9 +362,35 @@ impl ChariotsConfig {
         self
     }
 
-    /// Sets the propagation interval.
+    /// Sets the propagation interval (the heartbeat floor under delta
+    /// shipping).
     pub fn propagation_interval(mut self, d: Duration) -> Self {
         self.propagation_interval = d;
+        self
+    }
+
+    /// Enables or disables sender delta shipping (`false` restores the
+    /// full re-offer baseline).
+    pub fn sender_delta_shipping(mut self, yes: bool) -> Self {
+        self.sender_delta_shipping = yes;
+        self
+    }
+
+    /// Sets the stalled-peer retransmission timeout.
+    pub fn retransmit_timeout(mut self, d: Duration) -> Self {
+        self.retransmit_timeout = d;
+        self
+    }
+
+    /// Sets the byte bound of one propagation chunk.
+    pub fn max_propagation_bytes(mut self, n: usize) -> Self {
+        self.max_propagation_bytes = n;
+        self
+    }
+
+    /// Sets the sender retransmission-cache cap in records.
+    pub fn sender_cache_max_records(mut self, n: usize) -> Self {
+        self.sender_cache_max_records = n;
         self
     }
 
@@ -365,6 +420,15 @@ impl ChariotsConfig {
         }
         if self.batcher_flush_threshold == 0 {
             return Err("batcher_flush_threshold must be at least 1".into());
+        }
+        if self.retransmit_timeout.is_zero() {
+            return Err("retransmit_timeout must be positive".into());
+        }
+        if self.max_propagation_bytes == 0 {
+            return Err("max_propagation_bytes must be at least 1".into());
+        }
+        if self.sender_cache_max_records == 0 {
+            return Err("sender_cache_max_records must be at least 1".into());
         }
         self.flstore.validate()
     }
@@ -464,6 +528,28 @@ mod tests {
         // A single-datacenter deployment does not need senders.
         cfg.num_datacenters = 1;
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn propagation_knobs_validate() {
+        let cfg = ChariotsConfig::new();
+        assert!(cfg.sender_delta_shipping, "delta shipping defaults on");
+        assert!(cfg.retransmit_timeout > cfg.propagation_interval);
+        let mut cfg = ChariotsConfig::new()
+            .sender_delta_shipping(false)
+            .retransmit_timeout(Duration::from_millis(50))
+            .max_propagation_bytes(4096)
+            .sender_cache_max_records(1024);
+        assert!(!cfg.sender_delta_shipping);
+        assert!(cfg.validate().is_ok());
+        cfg.retransmit_timeout = Duration::ZERO;
+        assert!(cfg.validate().is_err());
+        cfg.retransmit_timeout = Duration::from_millis(50);
+        cfg.max_propagation_bytes = 0;
+        assert!(cfg.validate().is_err());
+        cfg.max_propagation_bytes = 4096;
+        cfg.sender_cache_max_records = 0;
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

@@ -22,4 +22,8 @@ echo "==> readpath smoke gate"
 cargo run --release -p chariots-bench --bin harness -- \
   --smoke --metrics-out target/bench-artifacts/readpath-metrics.json readpath
 
+echo "==> geo smoke gate"
+cargo run --release -p chariots-bench --bin harness -- \
+  --smoke --metrics-out target/bench-artifacts/geo-metrics.json geo
+
 echo "All checks passed."

@@ -330,6 +330,174 @@ mod group_commit_equivalence {
     }
 }
 
+/// WAN propagation equivalence: cursor-based delta shipping (per-peer send
+/// cursors, event-driven rounds, timeout-triggered re-offer healing)
+/// delivers exactly the outcome of the always-re-offer policy under
+/// message drops, duplication, and a partition-then-heal — the cursor is a
+/// transmission-scheduling optimization, not a semantic change. Both
+/// policies must converge to identical record sets with all log
+/// invariants intact, and every datacenter's applied cut must cover the
+/// full workload.
+mod wan_propagation_equivalence {
+    use std::time::{Duration, Instant};
+
+    use chariots::prelude::*;
+    use chariots_types::RecordId;
+    use proptest::prelude::*;
+
+    use crate::common::{assert_log_invariants, assert_same_record_sets, dump_log};
+
+    #[derive(Debug, Clone)]
+    struct Scenario {
+        dcs: usize,
+        steps: usize,
+        /// Partition DC 0 ↔ DC 1 for the middle third of the workload,
+        /// forcing the delta policy through its stall-fallback path.
+        partition: bool,
+        seed: u64,
+    }
+
+    fn arb_scenario() -> impl Strategy<Value = Scenario> {
+        (2usize..=3, 12usize..=24, any::<bool>(), any::<u64>()).prop_map(
+            |(dcs, steps, partition, seed)| Scenario {
+                dcs,
+                steps,
+                partition,
+                seed,
+            },
+        )
+    }
+
+    fn launch(s: &Scenario, delta: bool) -> ChariotsCluster {
+        let mut cfg = ChariotsConfig::new().datacenters(s.dcs);
+        cfg.flstore = FLStoreConfig::new()
+            .maintainers(2)
+            .batch_size(8)
+            .gossip_interval(Duration::from_millis(1));
+        cfg.batcher_flush_threshold = 2;
+        cfg.batcher_flush_interval = Duration::from_millis(1);
+        cfg.propagation_interval = Duration::from_millis(2);
+        cfg.sender_delta_shipping = delta;
+        // Small enough that dropped chunks re-offer many times within the
+        // convergence deadline.
+        cfg.retransmit_timeout = Duration::from_millis(25);
+        // A hostile WAN: drops exercise the healing fallback, duplication
+        // exercises the filters, jitter reorders chunks.
+        let wan = LinkConfig::with_latency(Duration::from_millis(1))
+            .jitter(Duration::from_millis(1))
+            .drop_prob(0.05)
+            .duplicate_prob(0.05)
+            .seed(s.seed ^ u64::from(delta));
+        ChariotsCluster::launch(cfg, StageStations::default(), wan).expect("launch cluster")
+    }
+
+    /// Runs the deterministic workload (same construction as
+    /// [`super::run_workload`]) with an optional mid-run partition of
+    /// DC 0 ↔ DC 1. Returns total appends.
+    fn drive(cluster: &ChariotsCluster, s: &Scenario) -> u64 {
+        let mut clients: Vec<ChariotsClient> = (0..s.dcs)
+            .map(|i| cluster.client(DatacenterId(i as u16)))
+            .collect();
+        let (a, b) = (DatacenterId(0), DatacenterId(1));
+        let mut state = s.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        for step in 0..s.steps {
+            if s.partition && step == s.steps / 3 {
+                cluster.partition(a, b);
+            }
+            if s.partition && step == (2 * s.steps) / 3 {
+                // Let the outage outlast the retransmit timeout so healing
+                // really goes through the fallback re-offer.
+                std::thread::sleep(Duration::from_millis(40));
+                cluster.heal(a, b);
+            }
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let dc = (state % s.dcs as u64) as usize;
+            clients[dc]
+                .append(TagSet::new(), format!("w{step}"))
+                .expect("append");
+        }
+        s.steps as u64
+    }
+
+    /// Record-id sets of every datacenter's log, sorted.
+    fn record_sets(cluster: &ChariotsCluster, s: &Scenario, total: u64) -> Vec<Vec<RecordId>> {
+        assert!(
+            cluster.wait_for_replication(total, Duration::from_secs(30)),
+            "cluster never converged"
+        );
+        let logs: Vec<Vec<Entry>> = (0..s.dcs)
+            .map(|i| dump_log(cluster, DatacenterId(i as u16)))
+            .collect();
+        for log in &logs {
+            assert_eq!(log.len() as u64, total);
+            assert_log_invariants(log, s.dcs);
+        }
+        assert_same_record_sets(&logs);
+        logs.iter()
+            .map(|log| {
+                let mut ids: Vec<RecordId> = log.iter().map(|e| e.id()).collect();
+                ids.sort();
+                ids
+            })
+            .collect()
+    }
+
+    /// Waits until every datacenter's own applied cut (row `i` of its
+    /// ATable) covers the per-host workload counts — the cut the senders
+    /// gossip, and the quantity delta shipping must not corrupt.
+    fn assert_applied_cuts_converge(cluster: &ChariotsCluster, s: &Scenario, ids: &[RecordId]) {
+        let per_host =
+            |host: DatacenterId| -> u64 { ids.iter().filter(|id| id.host == host).count() as u64 };
+        let deadline = Instant::now() + Duration::from_secs(10);
+        for i in 0..s.dcs {
+            let dc = DatacenterId(i as u16);
+            let atable = cluster.dc(dc).atable();
+            loop {
+                let row = atable.read().row(dc);
+                let done = (0..s.dcs).all(|j| {
+                    let host = DatacenterId(j as u16);
+                    row.get(host).0 >= per_host(host)
+                });
+                if done {
+                    break;
+                }
+                assert!(
+                    Instant::now() < deadline,
+                    "DC {i} applied cut stalled at {row}"
+                );
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+
+    proptest! {
+        // Each case launches two full multi-DC clusters; keep it small.
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        #[test]
+        fn delta_shipping_matches_full_reoffer(s in arb_scenario()) {
+            let delta_cluster = launch(&s, true);
+            let total = drive(&delta_cluster, &s);
+            let delta_sets = record_sets(&delta_cluster, &s, total);
+            assert_applied_cuts_converge(&delta_cluster, &s, &delta_sets[0]);
+            delta_cluster.shutdown();
+
+            let full_cluster = launch(&s, false);
+            let full_total = drive(&full_cluster, &s);
+            prop_assert_eq!(total, full_total);
+            let full_sets = record_sets(&full_cluster, &s, total);
+            assert_applied_cuts_converge(&full_cluster, &s, &full_sets[0]);
+            full_cluster.shutdown();
+
+            // The equivalence: both policies deliver the same records
+            // everywhere.
+            prop_assert_eq!(delta_sets, full_sets);
+        }
+    }
+}
+
 /// Read-path equivalence: the scatter-gather `read_many` and the batched,
 /// cache-enabled `read_rule` return exactly what the per-record serial
 /// path (caches off, one RPC per position) returns — across maintainer
