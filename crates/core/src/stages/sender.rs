@@ -14,6 +14,24 @@
 //! outstanding does the sender fall back to re-offering from the
 //! ATable-known cut, so drops, duplicated deliveries, and partitions heal
 //! exactly as before (the filters and queues downstream are exactly-once).
+//! The stall clock starts when records first go outstanding and is
+//! restarted only by observable peer progress or by the fallback itself —
+//! never by fresh offers, so sustained append load cannot starve the
+//! retransmission a stalled peer is waiting for.
+//!
+//! Two invariants keep the cursor from ever *skipping* a record:
+//!
+//! * **Stable frontier.** Local TOIds and LIds are assigned together under
+//!   the queues' token, so TOId order is LId order. A chunk never ships a
+//!   record unless every one of this sender's maintainers has scanned past
+//!   its LId — otherwise a lower TOId could still surface late from a
+//!   maintainer whose group commit is in flight, and the advancing cursor
+//!   would strand it until a retransmit timeout.
+//! * **Eviction guard.** When the bounded cache evicts a record, its exact
+//!   location (maintainer, LId) is kept in an index; a stale peer's offer
+//!   window re-reads evicted records back by point lookup, lowest TOIds
+//!   first, and a chunk never ships past a TOId still sitting in the
+//!   index (e.g. its re-read failed during a failover).
 //!
 //! Outgoing chunks are built once per round as `Arc<[Record]>` and shared
 //! across every peer that needs the same range, bounded both by record
@@ -60,7 +78,7 @@ pub struct SenderMetrics {
     pub records: Counter,
     /// Timeout-triggered fallbacks to re-offering from the ATable cut.
     pub retransmits: Counter,
-    /// Non-empty chunks shipped.
+    /// Distinct non-empty chunks built (each may fan out to many peers).
     pub chunks: Counter,
     /// Records evicted from the bounded retransmission cache.
     pub cache_evicted: Counter,
@@ -100,10 +118,23 @@ struct PeerState {
     cursor: TOId,
     /// The peer's applied cut for our records, as of the last round.
     known: TOId,
-    /// When the peer last made observable progress: its cut rose, we
-    /// offered it new records, or a retransmission fired. The stall clock
-    /// for the retransmission fallback.
-    last_progress: Instant,
+    /// Stall clock for the retransmission fallback: when this peer first
+    /// had offered records outstanding beyond `known` without observable
+    /// progress since. Restarted when the cut rises or the fallback fires,
+    /// cleared when the peer catches up — but NOT restarted by fresh
+    /// offers, so rounds more frequent than the timeout (sustained append
+    /// load) cannot postpone the retransmission forever.
+    stalled_since: Option<Instant>,
+}
+
+/// A locally scanned record held for (re)transmission, remembering where
+/// it was scanned from so an evicted copy can be re-read by point lookup.
+#[derive(Debug, Clone)]
+struct Cached {
+    /// Registry index of the maintainer group the record lives on.
+    midx: usize,
+    lid: LId,
+    record: Record,
 }
 
 /// One sender machine: scans its subset of maintainers for new local
@@ -121,10 +152,13 @@ pub struct SenderNode {
     cursors: HashMap<usize, LId>,
     /// Local records discovered, by TOId (pruned once all peers know them,
     /// capped at `cache_max_records`).
-    cache: BTreeMap<TOId, Record>,
-    /// Highest TOId ever evicted from the cache by the cap. Ranges at or
-    /// below it re-hydrate from the maintainers on demand.
-    evicted_to: TOId,
+    cache: BTreeMap<TOId, Cached>,
+    /// Where evicted-but-possibly-still-needed records live: TOId →
+    /// (registry index, LId). Entries move back into `cache` by point
+    /// lookup when a stale peer's offer window reaches them, and are
+    /// pruned exactly like the cache once every peer's cut passes them
+    /// (~tens of bytes per record versus a full payload).
+    evicted: BTreeMap<TOId, (usize, LId)>,
     atable: Arc<RwLock<ATable>>,
     /// WAN egress per peer: `peers[i] = (peer id, link sender)`.
     peers: Vec<(DatacenterId, LinkSender<PropagationMsg>)>,
@@ -149,13 +183,12 @@ impl SenderNode {
         peers: Vec<(DatacenterId, LinkSender<PropagationMsg>)>,
     ) -> Self {
         assert!(num_senders > 0 && my_index < num_senders);
-        let now = Instant::now();
         let states = peers
             .iter()
             .map(|_| PeerState {
                 cursor: TOId::NONE,
                 known: TOId::NONE,
-                last_progress: now,
+                stalled_since: None,
             })
             .collect();
         SenderNode {
@@ -165,7 +198,7 @@ impl SenderNode {
             num_senders,
             cursors: HashMap::new(),
             cache: BTreeMap::new(),
-            evicted_to: TOId::NONE,
+            evicted: BTreeMap::new(),
             atable,
             peers,
             states,
@@ -235,23 +268,32 @@ impl SenderNode {
         for (state, known) in self.states.iter_mut().zip(peer_known.iter().copied()) {
             if known > state.known {
                 state.known = known;
-                state.last_progress = now;
+                // Observable progress: the stall clock restarts (and is
+                // cleared below if the peer caught up entirely).
+                state.stalled_since = Some(now);
             }
             if state.cursor < known {
                 // Acknowledged past our cursor (e.g. relayed via a third
                 // datacenter): never re-offer what the peer already has.
                 state.cursor = known;
             }
+            if state.cursor <= known {
+                // Nothing outstanding — there is no stall to clock.
+                state.stalled_since = None;
+            }
             let start = if !self.delta_shipping {
                 known
             } else if state.cursor > known
-                && now.duration_since(state.last_progress) >= self.retransmit_timeout
+                && state
+                    .stalled_since
+                    .is_some_and(|t| now.duration_since(t) >= self.retransmit_timeout)
             {
                 // Offered records outstanding and the peer's cut stalled:
                 // heal by re-offering from the ATable-known cut. One
-                // fallback per timeout window, not per round.
+                // fallback per timeout window, not per round — the clock
+                // restarts when the re-offer goes out below.
                 self.metrics.retransmits.add(1);
-                state.last_progress = now;
+                state.stalled_since = None;
                 state.cursor = known;
                 known
             } else {
@@ -260,13 +302,15 @@ impl SenderNode {
             starts.push(start);
         }
 
-        // A stale peer recovering may need records the cap evicted;
-        // re-hydrate them from the maintainers before building chunks.
-        if let Some(min_start) = starts.iter().copied().min() {
-            if min_start < self.evicted_to {
-                self.rehydrate(min_start);
-            }
-        }
+        // A stale peer's offer window may need records the cap evicted;
+        // point-read them back from the maintainers before building chunks.
+        self.rehydrate(&starts);
+
+        // Never ship (and advance a cursor) past the stable frontier: a
+        // record above it could still be followed by a lower TOId
+        // surfacing late from a lagging maintainer, and the skipped record
+        // would strand until a retransmit timeout.
+        let stable = self.stable_frontier();
 
         // Build each distinct chunk once and fan the shared payload out to
         // every peer starting at the same cursor.
@@ -276,7 +320,20 @@ impl SenderNode {
             let records = chunks
                 .entry(start)
                 .or_insert_with(|| {
-                    build_chunk(&self.cache, start, SEND_BATCH, self.max_chunk_bytes)
+                    let chunk = build_chunk(
+                        &self.cache,
+                        &self.evicted,
+                        start,
+                        stable,
+                        SEND_BATCH,
+                        self.max_chunk_bytes,
+                    );
+                    if !chunk.is_empty() {
+                        // One count per distinct payload built, not per
+                        // peer send — the fan-out effectiveness metric.
+                        self.metrics.chunks.add(1);
+                    }
+                    chunk
                 })
                 .clone();
             let n = records.len() as u64;
@@ -287,14 +344,17 @@ impl SenderNode {
                         continue; // crashed: this peer's chunk waits
                     }
                 }
-                self.metrics.chunks.add(1);
                 self.metrics.records.add(n);
                 if let Some(last) = records.last() {
                     let state = &mut self.states[i];
                     if last.toid() > state.cursor {
                         state.cursor = last.toid();
-                        // A fresh offer restarts the stall clock.
-                        state.last_progress = now;
+                        // Records going outstanding start the stall clock;
+                        // an already-running clock keeps running (fresh
+                        // offers are not peer progress).
+                        if state.cursor > state.known {
+                            state.stalled_since.get_or_insert(now);
+                        }
                     }
                 }
             }
@@ -329,6 +389,15 @@ impl SenderNode {
                     break;
                 };
                 if entries.is_empty() {
+                    // Nothing filled at or above the cursor, so no owned
+                    // slot sits in [cursor, frontier) (slots below the
+                    // frontier are filled by definition): the cursor can
+                    // jump to the frontier without skipping anything. This
+                    // keeps a record-less maintainer (fresh stripe) from
+                    // pinning the stable frontier at zero.
+                    if *cursor < frontier {
+                        *cursor = frontier;
+                    }
                     break;
                 }
                 let mut advanced = false;
@@ -337,7 +406,14 @@ impl SenderNode {
                         break;
                     }
                     if e.record.host() == self.dc {
-                        self.cache.insert(e.record.toid(), e.record.clone());
+                        self.cache.insert(
+                            e.record.toid(),
+                            Cached {
+                                midx: idx,
+                                lid: e.lid,
+                                record: e.record.clone(),
+                            },
+                        );
                     }
                     *cursor = e.lid.next();
                     advanced = true;
@@ -368,70 +444,96 @@ impl SenderNode {
             .collect()
     }
 
+    /// The highest cached TOId every one of this sender's maintainers has
+    /// scanned past (by LId). Local TOIds and LIds are assigned together
+    /// under the token — TOId order *is* LId order — and a maintainer only
+    /// admits new records at owned slots at or above its frontier, so no
+    /// record at a TOId at or below this bound can surface later.
+    fn stable_frontier(&self) -> TOId {
+        let registry_len = self.registry.read().len();
+        let mut min_scanned: Option<LId> = None;
+        for idx in (0..registry_len).filter(|i| i % self.num_senders == self.my_index) {
+            let c = self.cursors.get(&idx).copied().unwrap_or(LId::ZERO);
+            min_scanned = Some(min_scanned.map_or(c, |m| m.min(c)));
+        }
+        let Some(min_scanned) = min_scanned else {
+            return TOId::NONE;
+        };
+        // Cached TOIds ascend with their LIds, so walk down from the top
+        // to the first entry below every scan cursor. The walk is bounded
+        // by the records one lagging maintainer is holding back.
+        self.cache
+            .iter()
+            .rev()
+            .find(|(_, c)| c.lid < min_scanned)
+            .map(|(t, _)| *t)
+            .unwrap_or(TOId::NONE)
+    }
+
     /// Caps the retransmission cache by evicting the oldest records (only
-    /// a stale peer can still need them, and they re-hydrate on demand).
+    /// a stale peer can still need them) into the location index, from
+    /// which they re-hydrate on demand.
     fn enforce_cache_cap(&mut self) {
         let over = self.cache.len().saturating_sub(self.cache_max_records);
         if over == 0 {
             return;
         }
         for _ in 0..over {
-            if let Some((toid, _)) = self.cache.pop_first() {
-                if toid > self.evicted_to {
-                    self.evicted_to = toid;
-                }
+            if let Some((toid, c)) = self.cache.pop_first() {
+                self.evicted.insert(toid, (c.midx, c.lid));
             }
         }
         self.metrics.cache_evicted.add(over as u64);
     }
 
-    /// Re-reads evicted local records in `(start, evicted_to]` from the
-    /// maintainers via the ordinary scan path (at most one chunk's worth —
-    /// a recovering peer drains at chunk granularity anyway). Safe even
+    /// Moves evicted records that some peer's offer window now needs back
+    /// into the cache — lowest TOIds first, at most a chunk's worth per
+    /// distinct offer start — via exact per-maintainer point lookups (no
+    /// log rescans). A record whose read fails (its group mid-failover)
+    /// stays in the index, and [`build_chunk`]'s eviction guard keeps
+    /// every offer short of the hole until a later round heals it. Safe
     /// against GC: the ATable's collection rule keeps any record some
     /// datacenter still lacks.
-    fn rehydrate(&mut self, start: TOId) {
-        let lo = start.next();
-        let hi = self.evicted_to;
-        if lo > hi {
+    fn rehydrate(&mut self, starts: &[TOId]) {
+        if self.evicted.is_empty() {
             return;
         }
-        let mut budget = SEND_BATCH;
-        for (_, handle) in self.my_maintainers() {
-            if budget == 0 {
-                break;
+        let mut sorted: Vec<TOId> = starts.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut picks: BTreeMap<TOId, (usize, LId)> = BTreeMap::new();
+        for start in sorted {
+            for (t, loc) in self.evicted.range(start.next()..).take(SEND_BATCH) {
+                picks.insert(*t, *loc);
             }
-            let Ok(stats) = handle.stats() else { continue };
-            let frontier = stats.frontier;
-            let mut cursor = LId::ZERO;
-            'scan: loop {
-                let Ok(entries) = handle.scan(cursor, SCAN_BATCH) else {
-                    break;
-                };
-                if entries.is_empty() {
-                    break;
+        }
+        if picks.is_empty() {
+            return;
+        }
+        let mut by_maintainer: HashMap<usize, Vec<(TOId, LId)>> = HashMap::new();
+        for (t, (idx, lid)) in picks {
+            by_maintainer.entry(idx).or_default().push((t, lid));
+        }
+        for (idx, positions) in by_maintainer {
+            let handle = self.registry.read().get(idx).cloned();
+            let Some(handle) = handle else { continue };
+            let lids: Vec<LId> = positions.iter().map(|&(_, lid)| lid).collect();
+            let results = handle.read_batch(&lids, false);
+            for ((t, lid), result) in positions.into_iter().zip(results) {
+                let Ok(entry) = result else { continue };
+                // The slot must still hold the record we evicted.
+                if entry.record.host() != self.dc || entry.record.toid() != t {
+                    continue;
                 }
-                let full = entries.len() == SCAN_BATCH;
-                for e in entries {
-                    if e.lid >= frontier {
-                        break 'scan;
-                    }
-                    cursor = e.lid.next();
-                    if e.record.host() != self.dc {
-                        continue;
-                    }
-                    let t = e.record.toid();
-                    if t >= lo && t <= hi && !self.cache.contains_key(&t) {
-                        self.cache.insert(t, e.record);
-                        budget -= 1;
-                        if budget == 0 {
-                            break 'scan;
-                        }
-                    }
-                }
-                if !full {
-                    break;
-                }
+                self.cache.insert(
+                    t,
+                    Cached {
+                        midx: idx,
+                        lid,
+                        record: entry.record,
+                    },
+                );
+                self.evicted.remove(&t);
             }
         }
     }
@@ -445,34 +547,57 @@ impl SenderNode {
             return;
         }
         self.cache = self.cache.split_off(&min_known.next());
+        self.evicted = self.evicted.split_off(&min_known.next());
     }
 
     /// Records currently cached for retransmission.
     pub fn cache_len(&self) -> usize {
         self.cache.len()
     }
+
+    /// Evicted records currently tracked by the location index.
+    pub fn evicted_len(&self) -> usize {
+        self.evicted.len()
+    }
 }
 
-/// Builds one outgoing chunk: records beyond `start`, bounded by count and
-/// by summed wire size (a chunk always makes progress — the first record
-/// ships even if it alone exceeds the byte bound).
+/// Builds one outgoing chunk: records in `(start, stable]`, bounded by
+/// count and by summed wire size (a chunk always makes progress — the
+/// first record ships even if it alone exceeds the byte bound). The chunk
+/// additionally stops short of the first TOId still in the eviction index
+/// — offering past it would advance the peer's cursor over a record the
+/// sender cannot currently produce.
 fn build_chunk(
-    cache: &BTreeMap<TOId, Record>,
+    cache: &BTreeMap<TOId, Cached>,
+    evicted: &BTreeMap<TOId, (usize, LId)>,
     start: TOId,
+    stable: TOId,
     max_records: usize,
     max_bytes: usize,
 ) -> Arc<[Record]> {
+    let bound = evicted
+        .range(start.next()..)
+        .next()
+        .map(|(t, _)| t.prev())
+        .unwrap_or(stable)
+        .min(stable);
+    if bound <= start {
+        return Vec::new().into();
+    }
     let mut out: Vec<Record> = Vec::new();
     let mut bytes = 0usize;
-    for r in cache.range(start.next()..).map(|(_, r)| r) {
+    for (t, c) in cache.range(start.next()..) {
+        if *t > bound {
+            break;
+        }
         // Record::wire_size is what Incoming::wire_size charges for an
         // external record, so the chunk bound matches the link model.
-        let sz = r.wire_size();
+        let sz = c.record.wire_size();
         if !out.is_empty() && (out.len() >= max_records || bytes + sz > max_bytes) {
             break;
         }
         bytes += sz;
-        out.push(r.clone());
+        out.push(c.record.clone());
         if out.len() >= max_records {
             break;
         }
@@ -519,9 +644,10 @@ pub fn spawn_sender(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
     use chariots_flstore::{AppendPayload, EpochJournal, Fabric, MaintainerCore, RangeMap};
     use chariots_simnet::{Link, LinkConfig, StationConfig};
-    use chariots_types::{MaintainerId, TagSet, VersionVector};
+    use chariots_types::{Entry, MaintainerId, RecordId, TagSet, VersionVector};
 
     /// Builds one maintainer node with some local records persisted the
     /// Chariots way (pre-assigned entries).
@@ -596,6 +722,143 @@ mod tests {
         }
     }
 
+    /// Regression for retransmit starvation: fresh offers must not restart
+    /// the stall clock. Under sustained append load (rounds more frequent
+    /// than the timeout), a peer stalled at a dropped chunk still gets its
+    /// fallback re-offer within one timeout window.
+    #[test]
+    fn sustained_append_load_does_not_starve_the_retransmit_fallback() {
+        let (maintainer, shutdown, threads) = maintainer_with_local_records(3);
+        let atable = Arc::new(RwLock::new(ATable::new(2)));
+        let (link_tx, link_rx, _h) = Link::spawn_simple::<PropagationMsg>(LinkConfig::default());
+        let mut node = SenderNode::new(
+            DatacenterId(0),
+            Arc::new(RwLock::new(vec![maintainer.clone()])),
+            0,
+            1,
+            atable,
+            vec![(DatacenterId(1), link_tx)],
+        )
+        .with_retransmit_timeout(Duration::from_millis(40));
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(node.round(None), 3, "initial window offered");
+        let _ = link_rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        // The peer never acks (its chunk was "dropped"); meanwhile the
+        // workload keeps appending, so every round has something fresh to
+        // offer. The stall clock must keep running regardless.
+        let deadline = Instant::now() + Duration::from_millis(400);
+        let mut appended = 3;
+        while node.metrics.retransmits.get() == 0 {
+            assert!(
+                Instant::now() < deadline,
+                "retransmit fallback starved by sustained fresh offers"
+            );
+            maintainer
+                .append(vec![AppendPayload::new(
+                    TagSet::new(),
+                    format!("w{appended}"),
+                )])
+                .unwrap();
+            appended += 1;
+            std::thread::sleep(Duration::from_millis(10));
+            node.round(None);
+        }
+        // The fallback re-offered from the known cut: the whole window,
+        // starting back at TOId 1, goes out again.
+        let reoffer = std::iter::from_fn(|| link_rx.recv_timeout(Duration::from_millis(100)).ok())
+            .find(|m| m.records.first().is_some_and(|r| r.toid() == TOId(1)))
+            .expect("fallback re-offer starts at the known cut");
+        assert!(reoffer.records.len() >= 3);
+        shutdown.signal();
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+
+    /// Regression for cursor gap-skipping: with several maintainers per
+    /// sender, a lower TOId surfacing late (its maintainer's group commit
+    /// in flight) must not be passed over by a cursor already advanced by
+    /// a faster maintainer's higher TOIds. The stable frontier holds the
+    /// chunk back until every maintainer has scanned past the gap.
+    #[test]
+    fn late_record_from_slow_maintainer_is_not_skipped() {
+        let shutdown = Shutdown::new();
+        let dc = DatacenterId(0);
+        // Two maintainers, striped 4 LIds each: m0 owns [0,4), m1 [4,8).
+        let journal = EpochJournal::new(RangeMap::new(2, 4));
+        let mut handles = Vec::new();
+        let mut threads = Vec::new();
+        for i in 0..2u16 {
+            let core = MaintainerCore::new(MaintainerId(i), dc, journal.clone());
+            let station = Arc::new(ServiceStation::new(
+                format!("m{i}"),
+                StationConfig::uncapped(),
+            ));
+            let (handle, thread) = chariots_flstore::node::spawn_maintainer(
+                core,
+                station,
+                Fabric::new(),
+                Duration::from_millis(1),
+                shutdown.clone(),
+            );
+            handles.push(ReplicaGroupHandle::solo(handle));
+            threads.push(thread);
+        }
+        let local = |toid: u64, body: &str| {
+            Record::new(
+                RecordId::new(dc, TOId(toid)),
+                VersionVector::new(2),
+                TagSet::new(),
+                Bytes::copy_from_slice(body.as_bytes()),
+            )
+        };
+        let external = |toid: u64| {
+            Record::new(
+                RecordId::new(DatacenterId(1), TOId(toid)),
+                VersionVector::new(2),
+                TagSet::new(),
+                Bytes::new(),
+            )
+        };
+        // TOId order is LId order for local records: T1@L0, T2@L1 (m0),
+        // T3@L4 (m1). T2's store lags — m0's frontier stays at L1 — while
+        // m1 has already persisted T3.
+        handles[0].store(vec![
+            Entry::new(LId(0), local(1, "a")),
+            Entry::new(LId(2), external(1)),
+            Entry::new(LId(3), external(2)),
+        ]);
+        handles[1].store(vec![Entry::new(LId(4), local(3, "c"))]);
+        let atable = Arc::new(RwLock::new(ATable::new(2)));
+        let (link_tx, link_rx, _h) = Link::spawn_simple::<PropagationMsg>(LinkConfig::default());
+        let mut node = SenderNode::new(
+            dc,
+            Arc::new(RwLock::new(handles.clone())),
+            0,
+            1,
+            atable,
+            vec![(DatacenterId(1), link_tx)],
+        );
+        std::thread::sleep(Duration::from_millis(10));
+        // T3 is cached but unstable (m0's scan stops at its frontier, L1):
+        // only T1 ships, and the cursor stays short of the gap.
+        assert_eq!(node.round(None), 1, "chunk stops at the stable frontier");
+        let msg = link_rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(msg.records.len(), 1);
+        assert_eq!(msg.records[0].toid(), TOId(1));
+        // The slow store lands; the frontier and the stable bound advance.
+        handles[0].store(vec![Entry::new(LId(1), local(2, "b"))]);
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(node.round(None), 2, "gap record and successor ship");
+        let msg = link_rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        let toids: Vec<TOId> = msg.records.iter().map(|r| r.toid()).collect();
+        assert_eq!(toids, vec![TOId(2), TOId(3)], "in order, nothing skipped");
+        shutdown.signal();
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+
     #[test]
     fn full_reoffer_policy_matches_seed_behavior() {
         let (maintainer, shutdown, threads) = maintainer_with_local_records(3);
@@ -644,7 +907,11 @@ mod tests {
             Arc::ptr_eq(&m1.records, &m2.records),
             "both peers share one payload allocation"
         );
-        assert_eq!(node.metrics.chunks.get(), 2, "one chunk count per peer");
+        assert_eq!(
+            node.metrics.chunks.get(),
+            1,
+            "one distinct chunk built, fanned out to both peers"
+        );
         shutdown.signal();
         for t in threads {
             t.join().unwrap();
@@ -695,12 +962,13 @@ mod tests {
         )
         .with_cache_cap(4);
         std::thread::sleep(Duration::from_millis(10));
-        // The cap evicts the 8 oldest of the 12 scanned records — but the
-        // peer's cursor is still at zero, below the eviction high-water, so
-        // the round re-hydrates the evicted range from the maintainers and
-        // the offer still starts at TOId 1. Nothing is lost.
+        // The cap evicts the 8 oldest of the 12 scanned records into the
+        // location index — but the peer's cursor is still at zero, so the
+        // round re-hydrates them by point lookup and the offer still
+        // starts at TOId 1. Nothing is lost.
         assert_eq!(node.round(None), 12);
         assert_eq!(node.metrics.cache_evicted.get(), 8, "12 scanned, 4 kept");
+        assert_eq!(node.evicted_len(), 0, "rehydration emptied the index");
         let msg = link_rx.recv_timeout(Duration::from_secs(1)).unwrap();
         assert_eq!(msg.records.len(), 12);
         assert_eq!(
@@ -715,10 +983,41 @@ mod tests {
         );
         node.round(None);
         assert_eq!(node.cache_len(), 0);
+        assert_eq!(node.evicted_len(), 0);
         shutdown.signal();
         for t in threads {
             t.join().unwrap();
         }
+    }
+
+    /// The eviction guard: a chunk never offers past a TOId that is still
+    /// only in the eviction index (its re-read failed), because the peer's
+    /// cursor would skip it permanently.
+    #[test]
+    fn chunk_stops_short_of_an_unrehydrated_eviction() {
+        let rec = |toid: u64| Cached {
+            midx: 0,
+            lid: LId(toid - 1),
+            record: Record::new(
+                RecordId::new(DatacenterId(0), TOId(toid)),
+                VersionVector::new(2),
+                TagSet::new(),
+                Bytes::new(),
+            ),
+        };
+        let cache: BTreeMap<TOId, Cached> = [1u64, 2, 4, 5]
+            .into_iter()
+            .map(|t| (TOId(t), rec(t)))
+            .collect();
+        let evicted: BTreeMap<TOId, (usize, LId)> = [(TOId(3), (0usize, LId(2)))].into();
+        let chunk = build_chunk(&cache, &evicted, TOId::NONE, TOId(5), 512, 1 << 20);
+        let toids: Vec<TOId> = chunk.iter().map(|r| r.toid()).collect();
+        assert_eq!(toids, vec![TOId(1), TOId(2)], "stops before the hole");
+        // Once the hole heals (record back in cache), the rest ships.
+        let mut cache = cache;
+        cache.insert(TOId(3), rec(3));
+        let chunk = build_chunk(&cache, &BTreeMap::new(), TOId::NONE, TOId(5), 512, 1 << 20);
+        assert_eq!(chunk.len(), 5);
     }
 
     #[test]

@@ -333,7 +333,8 @@ mod group_commit_equivalence {
 /// WAN propagation equivalence: cursor-based delta shipping (per-peer send
 /// cursors, event-driven rounds, timeout-triggered re-offer healing)
 /// delivers exactly the outcome of the always-re-offer policy under
-/// message drops, duplication, and a partition-then-heal — the cursor is a
+/// message drops, duplication, and a partition-then-heal with *sustained*
+/// append load across the heal — the cursor is a
 /// transmission-scheduling optimization, not a semantic change. Both
 /// policies must converge to identical record sets with all log
 /// invariants intact, and every datacenter's applied cut must cover the
@@ -400,6 +401,7 @@ mod wan_propagation_equivalence {
             .collect();
         let (a, b) = (DatacenterId(0), DatacenterId(1));
         let mut state = s.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut dc0_appends = 0u64;
         for step in 0..s.steps {
             if s.partition && step == s.steps / 3 {
                 cluster.partition(a, b);
@@ -414,11 +416,41 @@ mod wan_propagation_equivalence {
             state ^= state >> 7;
             state ^= state << 17;
             let dc = (state % s.dcs as u64) as usize;
+            if dc == 0 {
+                dc0_appends += 1;
+            }
             clients[dc]
                 .append(TagSet::new(), format!("w{step}"))
                 .expect("append");
         }
-        s.steps as u64
+        let mut total = s.steps as u64;
+        if s.partition {
+            // Sustained post-heal load: DC 0 keeps appending (paced well
+            // inside the retransmit timeout) and DC 1 must absorb every
+            // pre-heal DC 0 record *while* the load runs. The partition
+            // guarantees the delta policy enters this phase with offered
+            // records outstanding (cursor > known), so a stall clock that
+            // fresh offers can restart would never fire and DC 1 would
+            // stay stuck at the gap for the whole window. The extra count
+            // is fixed so both policies produce identical record sets.
+            const EXTRA: u64 = 300;
+            let atable = cluster.dc(b).atable();
+            let mut converged_under_load = false;
+            for extra in 0..EXTRA {
+                converged_under_load =
+                    converged_under_load || atable.read().row(b).get(a).0 >= dc0_appends;
+                clients[0]
+                    .append(TagSet::new(), format!("x{extra}"))
+                    .expect("append");
+                total += 1;
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            assert!(
+                converged_under_load || atable.read().row(b).get(a).0 >= dc0_appends,
+                "DC 1 never absorbed DC 0's pre-heal records under sustained load"
+            );
+        }
+        total
     }
 
     /// Record-id sets of every datacenter's log, sorted.
