@@ -1,0 +1,208 @@
+//! `chariots-top`: a refreshing terminal dashboard over a live geo
+//! workload.
+//!
+//! Launches a small multi-datacenter cluster over a simulated WAN, drives
+//! paced appends into DC 0, and renders the telemetry collector's live
+//! view in place — per-stage throughput, queue depths and other health
+//! gauges, rolling latency quantiles, and the newest journal events —
+//! until `--duration` elapses.
+//!
+//! ```sh
+//! cargo run --release -p chariots-bench --bin chariots-top -- \
+//!     --duration 30 --refresh 500 --dcs 2 --rate 4000
+//! ```
+
+use std::time::{Duration, Instant};
+
+use chariots_core::{ChariotsCluster, StageStations};
+use chariots_simnet::{Collector, CollectorConfig, LinkConfig, LiveView, RateLimiter, Shutdown};
+use chariots_types::{ChariotsConfig, DatacenterId, FLStoreConfig, TagSet};
+
+const USAGE: &str = "\
+usage: chariots-top [--duration <secs>] [--refresh <ms>] [--dcs <n>] [--rate <appends/s>]
+  --duration  how long to run before exiting (default 20)
+  --refresh   dashboard refresh interval in ms (default 500)
+  --dcs       datacenters in the cluster (default 2)
+  --rate      paced append rate into DC 0 (default 4000)";
+
+struct Opts {
+    duration: Duration,
+    refresh: Duration,
+    dcs: usize,
+    rate: f64,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        duration: Duration::from_secs(20),
+        refresh: Duration::from_millis(500),
+        dcs: 2,
+        rate: 4_000.0,
+    };
+    let mut args = std::env::args().skip(1);
+    let value = |flag: &str, args: &mut dyn Iterator<Item = String>| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("{flag} requires a value\n{USAGE}");
+            std::process::exit(2);
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--duration" => {
+                opts.duration = Duration::from_secs_f64(parse(&value(&arg, &mut args), &arg))
+            }
+            "--refresh" => {
+                opts.refresh = Duration::from_millis(parse::<u64>(&value(&arg, &mut args), &arg))
+            }
+            "--dcs" => opts.dcs = parse(&value(&arg, &mut args), &arg),
+            "--rate" => opts.rate = parse(&value(&arg, &mut args), &arg),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("could not parse {flag} value {s:?}\n{USAGE}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let opts = parse_opts();
+
+    let mut cfg = ChariotsConfig::new().datacenters(opts.dcs);
+    cfg.flstore = FLStoreConfig::new()
+        .maintainers(2)
+        .batch_size(32)
+        .gossip_interval(Duration::from_millis(2));
+    cfg.batcher_flush_threshold = 16;
+    cfg.batcher_flush_interval = Duration::from_millis(2);
+    let wan = LinkConfig::with_latency(Duration::from_millis(3))
+        .jitter(Duration::from_micros(500))
+        .seed(7);
+    let cluster =
+        ChariotsCluster::launch(cfg, StageStations::default(), wan).expect("launch cluster");
+    let collector = Collector::spawn(cluster.registries(), CollectorConfig::default());
+
+    // Paced append client into DC 0; its records propagate to every peer.
+    let shutdown = Shutdown::new();
+    let client_thread = {
+        let mut client = cluster.client(DatacenterId(0));
+        let stop = shutdown.clone();
+        let rate = opts.rate;
+        std::thread::Builder::new()
+            .name("chariots-top-client".into())
+            .spawn(move || {
+                let mut pacer = RateLimiter::new(rate);
+                let mut i = 0u64;
+                while !stop.is_signaled() {
+                    pacer.pace(1);
+                    if client
+                        .append_async(TagSet::new(), format!("top{i}"))
+                        .is_err()
+                    {
+                        return;
+                    }
+                    i += 1;
+                }
+            })
+            .expect("spawn client")
+    };
+
+    let window_ticks = 16;
+    let deadline = Instant::now() + opts.duration;
+    while Instant::now() < deadline {
+        std::thread::sleep(opts.refresh);
+        render(&collector.live(window_ticks, 10));
+    }
+
+    shutdown.signal();
+    let _ = client_thread.join();
+    let timeline = collector.stop();
+    cluster.shutdown();
+    println!(
+        "\nchariots-top: {} collector ticks, {} journal events over {:?}",
+        timeline.ticks.len(),
+        timeline.events.len(),
+        opts.duration
+    );
+}
+
+/// Clears the terminal and renders one frame of the dashboard.
+fn render(live: &LiveView) {
+    // ANSI: clear screen, home cursor.
+    print!("\x1b[2J\x1b[H");
+    println!(
+        "chariots-top — up {:.1}s, {} scrapes @ {:?}",
+        live.elapsed.as_secs_f64(),
+        live.ticks,
+        live.interval
+    );
+
+    println!("\nthroughput (rolling, rec/s)");
+    let mut rates: Vec<&(String, f64)> = live
+        .rates
+        .iter()
+        .filter(|(k, _)| k.ends_with(".in"))
+        .collect();
+    rates.sort_by(|a, b| a.0.cmp(&b.0));
+    for (key, rate) in rates.iter().take(24) {
+        println!("  {key:<36} {rate:>10.0}");
+    }
+
+    println!("\nhealth gauges (queue depth / occupancy / lag / backlog)");
+    let mut gauges: Vec<&(String, i64)> = live
+        .gauges
+        .iter()
+        .filter(|(k, _)| {
+            k.ends_with(".queue.depth")
+                || k.ends_with(".occupancy")
+                || k.ends_with(".cursor_lag")
+                || k.ends_with(".wal.backlog")
+                || k.ends_with(".replica.lag")
+        })
+        .collect();
+    gauges.sort_by(|a, b| a.0.cmp(&b.0));
+    for (key, v) in gauges.iter().take(24) {
+        println!("  {key:<36} {v:>10}");
+    }
+
+    println!("\nlatency (rolling window, µs)");
+    let mut quantiles: Vec<_> = live
+        .quantiles
+        .iter()
+        .filter(|(k, w)| k.ends_with(".latency_us") && w.count() > 0)
+        .collect();
+    quantiles.sort_by(|a, b| a.0.cmp(&b.0));
+    println!("  {:<36} {:>8} {:>8} {:>8}", "stage", "n", "p50", "p99");
+    for (key, w) in quantiles.iter().take(12) {
+        println!(
+            "  {key:<36} {:>8} {:>8} {:>8}",
+            w.count(),
+            w.percentile(0.50),
+            w.percentile(0.99)
+        );
+    }
+
+    println!("\nevents (newest last)");
+    if live.events.is_empty() {
+        println!("  (none yet)");
+    }
+    for e in &live.events {
+        println!(
+            "  [{:>9.3}s] {:<20} {}",
+            e.at_us as f64 / 1e6,
+            e.kind.label(),
+            e.source
+        );
+    }
+}

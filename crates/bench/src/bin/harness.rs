@@ -10,13 +10,15 @@
 use std::path::PathBuf;
 
 use chariots_bench::experiments::{
-    ablations, apps, availability, baseline, batching, fig7, fig8, fig9, geo, readpath, tables, txn,
+    ablations, apps, availability, baseline, batching, fig7, fig8, fig9, geo, obs, readpath,
+    tables, txn,
 };
 use chariots_bench::report::Report;
 use chariots_simnet::MetricsSnapshot;
 
 const USAGE: &str = "\
-usage: harness [--quick] [--smoke] [--metrics-out <path>] <experiment>...
+usage: harness [--quick] [--smoke] [--metrics-out <path>]
+               [--timeline-out <path>] [--trace-out <path>] <experiment>...
 experiments:
   fig7       single-maintainer throughput vs target load
   fig8       FLStore scalability with maintainers
@@ -37,17 +39,26 @@ experiments:
   txn        commit latency vs WAN latency (Message Futures / Helios)
   apps       Hyksos / stream-processing throughput over the log
   ablations  A1/A2 (FLStore knobs), A3 (token policy), A5 (flush threshold)
+  obs        telemetry collector overhead: throughput with/without 100ms
+             scrapes, plus the exportable timeline and Chrome trace
   all        everything above
 --quick trims warmups/windows for smoke runs
 --smoke implies --quick and additionally gates: experiments with a smoke
-  check (batching, readpath, geo) fail the process when the check fails
+  check (batching, readpath, geo, obs) fail the process when the check
+  fails
 --metrics-out writes the merged metrics registries (counters, gauges,
-  per-stage latency histograms) of every selected experiment as JSON";
+  per-stage latency histograms) of every selected experiment as JSON
+--timeline-out writes the obs run's collector timeline (per-tick counter
+  deltas, gauge samples, rolling quantiles, journal events) as JSON
+--trace-out writes the obs run's Chrome trace_event JSON (pipeline spans
+  + journal events; open in Perfetto or chrome://tracing)";
 
 fn main() {
     let mut quick = false;
     let mut smoke = false;
     let mut metrics_out: Option<PathBuf> = None;
+    let mut timeline_out: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
     let mut selected: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -61,6 +72,20 @@ fn main() {
                 Some(path) => metrics_out = Some(PathBuf::from(path)),
                 None => {
                     eprintln!("--metrics-out requires a path\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            "--timeline-out" => match args.next() {
+                Some(path) => timeline_out = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--timeline-out requires a path\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            "--trace-out" => match args.next() {
+                Some(path) => trace_out = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--trace-out requires a path\n{USAGE}");
                     std::process::exit(2);
                 }
             },
@@ -92,6 +117,11 @@ fn main() {
             "geo" => vec![geo::run(quick)],
             "txn" => vec![txn::run(quick)],
             "apps" => vec![apps::run(quick)],
+            "obs" => vec![obs::run(
+                quick,
+                timeline_out.as_deref(),
+                trace_out.as_deref(),
+            )],
             "ablations" => vec![
                 ablations::run_flstore_knobs(quick),
                 ablations::run_token_policy(quick),
@@ -115,6 +145,7 @@ fn main() {
                     "batching" => Some(batching::verify_smoke(&report)),
                     "readpath" => Some(readpath::verify_smoke(&report)),
                     "geo" => Some(geo::verify_smoke(&report)),
+                    "obs" => Some(obs::verify_smoke(&report)),
                     _ => None,
                 };
                 match gate {
@@ -150,6 +181,7 @@ fn main() {
                 "txn",
                 "apps",
                 "ablations",
+                "obs",
             ] {
                 run_and_collect(e);
             }

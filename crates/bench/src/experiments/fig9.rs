@@ -4,14 +4,20 @@
 //! batchers finish early (they run ahead of the saturated filter), the
 //! queue keeps draining afterwards, and the queue's observed throughput
 //! *rises* near the end once the upstream stops competing for capacity.
+//!
+//! The series come from the telemetry [`Collector`]: it scrapes the
+//! cluster's registries (plus an ad-hoc `clients` registry for the load
+//! generators) every 500 ms, and the experiment reads per-tick counter
+//! deltas back out of the unified [`Timeline`] — the spawned replacement
+//! for the old inline `sample_until` loop.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use chariots_core::{ChariotsCluster, Incoming, LocalAppend, StageStations};
-use chariots_simnet::{sample_until, LinkConfig, RateLimiter, Shutdown};
+use chariots_simnet::{
+    Collector, CollectorConfig, LinkConfig, MetricsRegistry, RateLimiter, Shutdown,
+};
 use chariots_types::{
     ChariotsConfig, DatacenterId, FLStoreConfig, StageCounts, TagSet, VersionVector,
 };
@@ -52,9 +58,13 @@ pub fn run(quick: bool) -> Report {
     let dc = cluster.dc(DatacenterId(0));
     let batchers = dc.batcher_handles();
 
+    // The load generators report into their own registry, scraped
+    // alongside the cluster's.
+    let clients_registry = MetricsRegistry::new("clients");
+    let client_counter = clients_registry.counter("clients.generated");
+
     // Two clients, each pushing a fixed record count at machine rate.
     let shutdown = Shutdown::new();
-    let client_counter = chariots_simnet::Counter::new();
     let mut client_threads = Vec::new();
     for c in 0..2usize {
         let batcher = batchers[c % batchers.len()].clone();
@@ -80,55 +90,53 @@ pub fn run(quick: bool) -> Report {
         }));
     }
 
-    // Sample client, one batcher, and the queue — the series Fig. 9 plots.
-    let stage_counters = dc.stage_counters();
-    let find = |prefix: &str| {
-        stage_counters
-            .iter()
-            .find(|(n, _)| n.starts_with(prefix))
-            .map(|(n, c)| (n.clone(), c.clone()))
-            .expect("stage counter")
-    };
-    let sampled = vec![
-        ("clients".to_string(), client_counter.clone()),
-        find("batcher-0"),
-        find("queue-0"),
-        find("store-0"),
-    ];
-    let store_counter = find("store-0").1;
-    let done = Arc::new(AtomicBool::new(false));
-    let done_clone = Arc::clone(&done);
-    let cap = if quick { 30 } else { 60 }; // max samples (safety)
-    let mut ticks = 0usize;
-    let ts = sample_until(&sampled, sample_interval, move || {
-        ticks += 1;
-        let finished = store_counter.get() >= total_records || ticks > cap;
-        if finished {
-            done_clone.store(true, Ordering::Release);
-        }
-        finished
-    });
+    // One collector over every registry; the series Fig. 9 plots are read
+    // back out of its timeline after the run.
+    let mut registries = cluster.registries();
+    registries.push(clients_registry);
+    let collector = Collector::spawn(registries, CollectorConfig::with_interval(sample_interval));
+
+    // Wait for the store to absorb the whole workload (bounded).
+    let store_counter = dc
+        .stage_counters()
+        .into_iter()
+        .find(|(n, _)| n.starts_with("store-0"))
+        .map(|(_, c)| c)
+        .expect("stage counter");
+    let cap = if quick { 30u32 } else { 60 }; // max sample windows (safety)
+    let deadline = Instant::now() + sample_interval * cap;
+    while store_counter.get() < total_records && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(50));
+    }
 
     shutdown.signal();
     for t in client_threads {
         let _ = t.join();
     }
     let metrics = cluster.metrics();
+    let timeline = collector.stop();
     cluster.shutdown();
 
+    let keys = [
+        "clients.generated",
+        "dc0.batcher0.in",
+        "dc0.queue0.in",
+        "dc0.store0.in",
+    ];
+    let interval = Duration::from_micros(timeline.interval_us);
     let mut report = Report::new(
         "fig9",
         "Figure 9: pipeline throughput over time (table-4 deployment, fixed workload)",
-        ts.series
-            .iter()
-            .map(|s| format!("{} rec/s", s.name))
-            .collect(),
+        keys.iter().map(|k| format!("{k} rec/s")).collect(),
     );
-    let rates: Vec<Vec<f64>> = ts.series.iter().map(|s| s.rates(ts.interval)).collect();
+    let rates: Vec<Vec<f64>> = keys
+        .iter()
+        .map(|k| timeline.counter_series(k).rates(interval))
+        .collect();
     let n_ticks = rates.first().map(|r| r.len()).unwrap_or(0);
     for tick in 0..n_ticks {
         report.row(
-            format!("t={:.1}s", (tick + 1) as f64 * ts.interval.as_secs_f64()),
+            format!("t={:.1}s", (tick + 1) as f64 * interval.as_secs_f64()),
             rates.iter().map(|r| r[tick]).collect(),
         );
     }

@@ -11,6 +11,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod geo;
+pub mod obs;
 pub mod readpath;
 pub mod tables;
 pub mod txn;

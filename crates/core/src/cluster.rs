@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
-use chariots_simnet::{Link, LinkConfig, LinkHandle, MetricsSnapshot};
+use chariots_simnet::{Link, LinkConfig, LinkHandle, MetricsRegistry, MetricsSnapshot};
 use chariots_types::{ChariotsConfig, ChariotsError, DatacenterId, Result};
 use crossbeam::channel::unbounded;
 
@@ -122,6 +122,18 @@ impl ChariotsCluster {
     /// Fault-injection handle for the directed link `from → to`.
     pub fn link(&self, from: DatacenterId, to: DatacenterId) -> Option<&LinkHandle> {
         self.links.get(&(from, to))
+    }
+
+    /// Every live metrics registry in the deployment — each datacenter's
+    /// pipeline registry followed by its FLStore registry — in the form a
+    /// telemetry [`Collector`](chariots_simnet::Collector) attaches.
+    pub fn registries(&self) -> Vec<MetricsRegistry> {
+        let mut out = Vec::with_capacity(self.dcs.len() * 2);
+        for dc in &self.dcs {
+            out.push(dc.registry().clone());
+            out.push(dc.flstore().registry().clone());
+        }
+        out
     }
 
     /// A snapshot of every datacenter's metrics (pipeline and FLStore

@@ -29,8 +29,8 @@ use crate::stages::batcher::{spawn_batcher, BatcherHandle};
 use crate::stages::filter::{spawn_filter, FilterCore, FilterHandle, FilterIngress, FilterRouting};
 use crate::stages::queue::{spawn_queue, QueueHandle, QueueIngress, QueueNodeConfig};
 use crate::stages::receiver::spawn_receiver;
-use crate::stages::sender::{spawn_sender, SenderMetrics, SenderNode};
-use crate::stages::STAGE_NAMES;
+use crate::stages::sender::{spawn_sender, SenderHealth, SenderMetrics, SenderNode};
+use crate::stages::{StageHealth, STAGE_NAMES};
 use crate::token::Token;
 
 /// Per-stage capacity models for the simulated machines (see `DESIGN.md`
@@ -177,6 +177,7 @@ impl ChariotsDc {
                     tracer: tracer.stage("queue"),
                     store_tracer: tracer.stage("store"),
                     sender_wakeup: producer_wakeup.clone(),
+                    health: StageHealth::registered(&registry, &prefix, &format!("queue{i}")),
                 },
                 token_channels[i].clone(),
                 station,
@@ -212,6 +213,7 @@ impl ChariotsDc {
                 shutdown.clone(),
                 format!("{dc}-filter-{i}"),
                 tracer.stage("filter"),
+                StageHealth::registered(&registry, &prefix, &format!("filter{i}")),
             );
             registry.register_counter(format!("{prefix}.filter{i}.in"), handle.processed_counter());
             registry.register_counter(
@@ -241,6 +243,7 @@ impl ChariotsDc {
                 shutdown.clone(),
                 format!("{dc}-batcher-{i}"),
                 tracer.stage("batcher"),
+                StageHealth::registered(&registry, &prefix, &format!("batcher{i}")),
             );
             registry.register_counter(
                 format!("{prefix}.batcher{i}.in"),
@@ -267,11 +270,13 @@ impl ChariotsDc {
                     shutdown.clone(),
                     format!("{dc}-receiver-{i}"),
                     tracer.clone(),
+                    StageHealth::registered(&registry, &prefix, &format!("receiver{i}")),
                 );
                 registry.register_counter(format!("{prefix}.receiver{i}.in"), counter);
                 threads.push(thread);
             }
             let wan_metrics = SenderMetrics::registered(&registry, &prefix);
+            let peer_ids: Vec<DatacenterId> = peers.iter().map(|(p, _)| *p).collect();
             for i in 0..cfg.stages.senders {
                 // Sender i is responsible for maintainers i, i+S, i+2S, …
                 let node = SenderNode::new(
@@ -286,7 +291,13 @@ impl ChariotsDc {
                 .with_retransmit_timeout(cfg.retransmit_timeout)
                 .with_max_chunk_bytes(cfg.max_propagation_bytes)
                 .with_cache_cap(cfg.sender_cache_max_records)
-                .with_metrics(wan_metrics.clone());
+                .with_metrics(wan_metrics.clone())
+                .with_health(SenderHealth::registered(
+                    &registry,
+                    &prefix,
+                    &format!("sender{i}"),
+                    &peer_ids,
+                ));
                 let station = Arc::new(ServiceStation::new(
                     format!("{dc}-sender-{i}"),
                     stations.sender.clone(),
@@ -381,6 +392,11 @@ impl ChariotsDc {
             self.shutdown.clone(),
             format!("{}-batcher-{idx}", self.dc),
             self.tracer.stage("batcher"),
+            StageHealth::registered(
+                &self.registry,
+                &format!("dc{}", self.dc.0),
+                &format!("batcher{idx}"),
+            ),
         );
         self.registry.register_counter(
             format!("dc{}.batcher{idx}.in", self.dc.0),
@@ -416,6 +432,11 @@ impl ChariotsDc {
                 tracer: self.tracer.stage("queue"),
                 store_tracer: self.tracer.stage("store"),
                 sender_wakeup: self.producer_wakeup.clone(),
+                health: StageHealth::registered(
+                    &self.registry,
+                    &format!("dc{}", self.dc.0),
+                    &format!("queue{idx}"),
+                ),
             },
             (token_tx, token_rx),
             station,
@@ -472,6 +493,11 @@ impl ChariotsDc {
             self.shutdown.clone(),
             format!("{}-filter-{idx}", self.dc),
             self.tracer.stage("filter"),
+            StageHealth::registered(
+                &self.registry,
+                &format!("dc{}", self.dc.0),
+                &format!("filter{idx}"),
+            ),
         );
         self.registry.register_counter(
             format!("dc{}.filter{idx}.in", self.dc.0),
@@ -595,6 +621,14 @@ impl ChariotsDc {
         if bound.0 > floor {
             self.flstore.gc_before(bound);
             self.gc_floor.store(bound.0, Ordering::Release);
+            self.registry.journal().publish(
+                &format!("dc{}.gc", self.dc.0),
+                None,
+                chariots_simnet::EventKind::GcSweep {
+                    bound: bound.0,
+                    collected: bound.0 - floor,
+                },
+            );
         }
         Ok(bound)
     }

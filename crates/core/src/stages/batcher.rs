@@ -21,6 +21,7 @@ use parking_lot::RwLock;
 use crate::message::Incoming;
 use crate::routing_plan::RoutingPlan;
 use crate::stages::filter::FilterIngress;
+use crate::stages::StageHealth;
 
 /// The synchronous state of one batcher: per-filter buffers.
 #[derive(Debug)]
@@ -121,6 +122,7 @@ impl BatcherHandle {
 
 /// Spawns a batcher node: drains its channel, paces through its station,
 /// and flushes batches to the (dynamically growable) filter fleet.
+#[allow(clippy::too_many_arguments)]
 pub fn spawn_batcher(
     plan: Arc<RwLock<RoutingPlan>>,
     threshold: usize,
@@ -130,6 +132,7 @@ pub fn spawn_batcher(
     shutdown: Shutdown,
     name: String,
     tracer: StageTracer,
+    health: StageHealth,
 ) -> (BatcherHandle, JoinHandle<()>) {
     let (tx, rx) = unbounded::<Incoming>();
     let processed = Counter::new();
@@ -151,6 +154,7 @@ pub fn spawn_batcher(
                 &shutdown,
                 &processed,
                 &tracer,
+                &health,
             )
         })
         .expect("spawn batcher");
@@ -183,12 +187,15 @@ fn batcher_loop(
     shutdown: &Shutdown,
     processed: &Counter,
     tracer: &StageTracer,
+    health: &StageHealth,
 ) {
     let mut last_flush = Instant::now();
     loop {
         if shutdown.is_signaled() {
             return;
         }
+        health.depth.set(rx.len() as i64);
+        health.occupancy.set(core.buffered() as i64);
         match rx.recv_timeout(flush_interval) {
             Ok(record) => {
                 if station.serve(1).is_err() {
@@ -329,6 +336,7 @@ mod tests {
             shutdown.clone(),
             "batcher-test".into(),
             StageTracer::disabled(),
+            StageHealth::disabled(),
         );
         for i in 0..10 {
             assert!(handle.send(external(0, i + 1)));

@@ -32,6 +32,7 @@ use parking_lot::RwLock;
 
 use crate::message::Incoming;
 use crate::routing_plan::RoutingPlan;
+use crate::stages::StageHealth;
 
 /// Deterministic record→filter striping for one routing epoch.
 ///
@@ -309,6 +310,7 @@ pub fn spawn_filter(
     shutdown: Shutdown,
     name: String,
     tracer: StageTracer,
+    health: StageHealth,
 ) -> (FilterHandle, JoinHandle<()>) {
     let (tx, rx) = unbounded::<Vec<Incoming>>();
     let processed = Counter::new();
@@ -321,11 +323,16 @@ pub fn spawn_filter(
     };
     let thread = std::thread::Builder::new()
         .name(name)
-        .spawn(move || filter_loop(core, &rx, &queues, &station, &shutdown, &processed, &tracer))
+        .spawn(move || {
+            filter_loop(
+                core, &rx, &queues, &station, &shutdown, &processed, &tracer, &health,
+            )
+        })
         .expect("spawn filter");
     (handle, thread)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn filter_loop(
     mut core: FilterCore,
     rx: &Receiver<Vec<Incoming>>,
@@ -334,12 +341,17 @@ fn filter_loop(
     shutdown: &Shutdown,
     processed: &Counter,
     tracer: &StageTracer,
+    health: &StageHealth,
 ) {
     let mut rr = 0usize;
     loop {
         if shutdown.is_signaled() {
             return;
         }
+        health.depth.set(rx.len() as i64);
+        // Occupancy: records parked in reorder buffers, waiting for their
+        // predecessor — the early-warning signal for WAN reordering storms.
+        health.occupancy.set(core.reordering() as i64);
         let batch = match rx.recv_timeout(Duration::from_millis(20)) {
             Ok(b) => b,
             Err(RecvTimeoutError::Timeout) => continue,

@@ -27,6 +27,7 @@ use chariots_flstore::{Controller, ReplicaGroupHandle};
 
 use crate::atable::ATable;
 use crate::message::{Incoming, LocalAppend};
+use crate::stages::StageHealth;
 use crate::token::Token;
 
 /// The synchronous assignment logic of one queue.
@@ -278,6 +279,9 @@ pub struct QueueNodeConfig {
     /// maintainers — the "new local records exist" edge that wakes the
     /// senders for an immediate propagation round.
     pub sender_wakeup: Notify,
+    /// Health gauges: inbound channel depth and records held (staged for
+    /// the next token visit plus parked with unmet dependencies).
+    pub health: StageHealth,
 }
 
 /// Spawns a queue node. The caller supplies the token channel pair so the
@@ -322,6 +326,10 @@ fn queue_loop(
         if shutdown.is_signaled() {
             return;
         }
+        cfg.health.depth.set(records_rx.len() as i64);
+        cfg.health
+            .occupancy
+            .set((core.staged_len() + core.parked_len()) as i64);
         // Stage any waiting records (non-blocking), paying their machine
         // cost NOW — while this queue does *not* hold the token. The
         // per-record work (staging, buffering, building batches) is what a

@@ -22,10 +22,12 @@ use parking_lot::RwLock;
 use crate::atable::ATable;
 use crate::message::{Incoming, PropagationMsg};
 use crate::stages::batcher::BatcherHandle;
+use crate::stages::StageHealth;
 
 /// Spawns a receiver node draining `wan_rx`. Multiple receivers of one
 /// datacenter share the same channel (crossbeam channels are MPMC), exactly
 /// like multiple machines behind one ingress VIP.
+#[allow(clippy::too_many_arguments)]
 pub fn spawn_receiver(
     wan_rx: Receiver<PropagationMsg>,
     batchers: Arc<RwLock<Vec<BatcherHandle>>>,
@@ -35,6 +37,7 @@ pub fn spawn_receiver(
     shutdown: Shutdown,
     name: String,
     tracer: PipelineTracer,
+    health: StageHealth,
 ) -> (Counter, JoinHandle<()>) {
     let processed = Counter::new();
     let counter = processed.clone();
@@ -47,6 +50,9 @@ pub fn spawn_receiver(
                 if shutdown.is_signaled() {
                     return;
                 }
+                // A receiver holds nothing between iterations; its health
+                // is entirely the WAN channel backlog behind it.
+                health.depth.set(wan_rx.len() as i64);
                 let msg = match wan_rx.recv_timeout(Duration::from_millis(20)) {
                     Ok(m) => m,
                     Err(RecvTimeoutError::Timeout) => continue,
@@ -128,6 +134,7 @@ mod tests {
             shutdown.clone(),
             "batcher".into(),
             chariots_simnet::StageTracer::disabled(),
+            StageHealth::disabled(),
         );
         (
             Arc::new(RwLock::new(vec![batcher])),
@@ -153,6 +160,7 @@ mod tests {
             shutdown.clone(),
             "receiver".into(),
             PipelineTracer::disabled(),
+            StageHealth::disabled(),
         );
 
         let record = Record::new(
@@ -213,6 +221,7 @@ mod tests {
             shutdown.clone(),
             "receiver".into(),
             PipelineTracer::disabled(),
+            StageHealth::disabled(),
         );
 
         let cut = VersionVector::from_entries(vec![TOId(0), TOId(3)]);

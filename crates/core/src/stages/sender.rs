@@ -46,7 +46,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use chariots_simnet::{
-    Counter, LinkSender, MetricsRegistry, Notify, ServiceStation, Shutdown, StageTracer,
+    Counter, EventJournal, EventKind, Gauge, LinkSender, MetricsRegistry, Notify, ServiceStation,
+    Shutdown, StageTracer,
 };
 use chariots_types::{DatacenterId, LId, Record, TOId};
 use parking_lot::RwLock;
@@ -110,6 +111,70 @@ impl SenderMetrics {
     }
 }
 
+/// Live health of one sender machine, refreshed once per propagation
+/// round: retransmission-cache occupancy and, per peer, how far the
+/// peer's applied cut trails this sender's offer cursor. Timeout-triggered
+/// fallbacks additionally land in the registry's event journal as
+/// [`EventKind::WanRetransmit`], correlated with the peer they healed.
+#[derive(Debug, Clone)]
+pub struct SenderHealth {
+    /// Records currently cached for (re)transmission.
+    pub cache: Gauge,
+    /// Evicted-record locations tracked for on-demand rehydration.
+    pub evicted: Gauge,
+    /// Per-peer cursor lag (offered-but-unacknowledged TOIds), in the
+    /// sender's peer order.
+    pub peer_lag: Vec<Gauge>,
+    journal: EventJournal,
+    source: String,
+}
+
+impl SenderHealth {
+    /// Unregistered gauges and a detached journal (tests, standalone
+    /// nodes).
+    pub fn disabled() -> Self {
+        SenderHealth {
+            cache: Gauge::new(),
+            evicted: Gauge::new(),
+            peer_lag: Vec::new(),
+            journal: EventJournal::default(),
+            source: String::new(),
+        }
+    }
+
+    /// Gauges registered as `{prefix}.{node}.cache.occupancy`,
+    /// `{prefix}.{node}.evicted.occupancy`, and
+    /// `{prefix}.{node}.peer{P}.cursor_lag`; events publish to the
+    /// registry's journal under source `{prefix}.{node}`.
+    pub fn registered(
+        registry: &MetricsRegistry,
+        prefix: &str,
+        node: &str,
+        peers: &[DatacenterId],
+    ) -> Self {
+        SenderHealth {
+            cache: registry.gauge(&format!("{prefix}.{node}.cache.occupancy")),
+            evicted: registry.gauge(&format!("{prefix}.{node}.evicted.occupancy")),
+            peer_lag: peers
+                .iter()
+                .map(|p| registry.gauge(&format!("{prefix}.{node}.peer{}.cursor_lag", p.index())))
+                .collect(),
+            journal: registry.journal().clone(),
+            source: format!("{prefix}.{node}"),
+        }
+    }
+
+    fn note_retransmit(&self, peer: DatacenterId) {
+        self.journal.publish(
+            &self.source,
+            None,
+            EventKind::WanRetransmit {
+                peer: peer.index() as u64,
+            },
+        );
+    }
+}
+
 /// Per-peer propagation state.
 #[derive(Debug)]
 struct PeerState {
@@ -169,6 +234,7 @@ pub struct SenderNode {
     max_chunk_bytes: usize,
     cache_max_records: usize,
     metrics: SenderMetrics,
+    health: SenderHealth,
 }
 
 impl SenderNode {
@@ -207,6 +273,7 @@ impl SenderNode {
             max_chunk_bytes: 1 << 20,
             cache_max_records: usize::MAX,
             metrics: SenderMetrics::disabled(),
+            health: SenderHealth::disabled(),
         }
     }
 
@@ -240,6 +307,12 @@ impl SenderNode {
         self
     }
 
+    /// Attaches health gauges and the event journal.
+    pub fn with_health(mut self, health: SenderHealth) -> Self {
+        self.health = health;
+        self
+    }
+
     /// One propagation round: scan for new local records, then offer each
     /// peer what it is missing — its cursor delta when healthy, the
     /// ATable-known cut after a stall. `station`, when present, models the
@@ -265,7 +338,12 @@ impl SenderNode {
 
         // Advance per-peer state and pick each peer's offer start.
         let mut starts: Vec<TOId> = Vec::with_capacity(self.peers.len());
-        for (state, known) in self.states.iter_mut().zip(peer_known.iter().copied()) {
+        for (i, (state, known)) in self
+            .states
+            .iter_mut()
+            .zip(peer_known.iter().copied())
+            .enumerate()
+        {
             if known > state.known {
                 state.known = known;
                 // Observable progress: the stall clock restarts (and is
@@ -293,6 +371,7 @@ impl SenderNode {
                 // fallback per timeout window, not per round — the clock
                 // restarts when the re-offer goes out below.
                 self.metrics.retransmits.add(1);
+                self.health.note_retransmit(self.peers[i].0);
                 state.stalled_since = None;
                 state.cursor = known;
                 known
@@ -371,6 +450,15 @@ impl SenderNode {
             link.send(msg);
         }
         self.prune(&peer_known);
+        // Refresh this machine's health gauges once per round, post-prune,
+        // so the readings reflect what the round left behind.
+        self.health.cache.set(self.cache.len() as i64);
+        self.health.evicted.set(self.evicted.len() as i64);
+        for (i, state) in self.states.iter().enumerate() {
+            if let Some(lag) = self.health.peer_lag.get(i) {
+                lag.set(state.cursor.0.saturating_sub(state.known.0) as i64);
+            }
+        }
         sent
     }
 

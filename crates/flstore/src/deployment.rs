@@ -194,9 +194,10 @@ impl FLStore {
             .heartbeat_interval
             .max(self.cfg.suspicion_timeout / 4);
         let tick_detector = detector.clone();
+        let journal = self.registry.journal().clone();
         self.monitor = Some(FailureMonitor::spawn(detector, period, move |_suspects| {
             let groups = controller.groups();
-            run_failover(&groups, &tick_detector, &failovers);
+            run_failover(&groups, &tick_detector, &failovers, &journal);
             run_repair(&groups, 256, &lag);
         }));
     }
@@ -270,6 +271,13 @@ impl FLStore {
         self.spawn_maintainer_group(new_id)?;
         self.rewire();
         self.controller.announce_epoch(boundary, new_map)?;
+        self.registry.journal().publish(
+            &format!("{}.controller", self.registry.name()),
+            None,
+            chariots_simnet::EventKind::EpochChange {
+                boundary: boundary.0,
+            },
+        );
         Ok(new_id)
     }
 

@@ -104,6 +104,9 @@ pub struct MaintainerCore {
     /// Counts WAL fsyncs (shared with the node's metrics registry as
     /// `flstore.wal.sync.count`).
     wal_syncs: Counter,
+    /// WAL frames appended since the last fsync — the crash-durability
+    /// debt the next sync retires.
+    wal_pending: usize,
     deferred: Vec<MinBoundWaiter>,
     max_deferred: usize,
     /// Entries built for drained min-bound waiters since the last
@@ -130,6 +133,7 @@ impl MaintainerCore {
             wal: None,
             sync_policy: WalSyncPolicy::default(),
             wal_syncs: Counter::new(),
+            wal_pending: 0,
             deferred: Vec::new(),
             max_deferred: 65_536,
             drained: Vec::new(),
@@ -417,11 +421,13 @@ impl MaintainerCore {
         if write_wal {
             if let Some(wal) = &mut self.wal {
                 wal.append(&entry)?;
+                self.wal_pending += 1;
                 // The strictest policy pays one fsync per record; the batch
                 // policies defer to the sync_batch() commit point.
                 if self.sync_policy == WalSyncPolicy::PerRecord {
                     wal.sync()?;
                     self.wal_syncs.add(1);
+                    self.wal_pending = 0;
                 }
             }
         }
@@ -610,6 +616,7 @@ impl MaintainerCore {
         if let Some(wal) = &mut self.wal {
             wal.sync()?;
             self.wal_syncs.add(1);
+            self.wal_pending = 0;
         }
         Ok(())
     }
@@ -630,8 +637,12 @@ impl MaintainerCore {
             WalSyncPolicy::PerBatch => {
                 wal.sync()?;
                 self.wal_syncs.add(1);
+                self.wal_pending = 0;
             }
             WalSyncPolicy::PerRecord => {}
+            // `Never` flushes frames to the OS without an fsync, so the
+            // crash-durability debt is *not* retired — the backlog gauge
+            // keeps growing, which is the honest signal for this ablation.
             WalSyncPolicy::Never => wal.flush()?,
         }
         Ok(())
@@ -640,6 +651,12 @@ impl MaintainerCore {
     /// WAL fsyncs performed by this core so far.
     pub fn wal_syncs(&self) -> u64 {
         self.wal_syncs.get()
+    }
+
+    /// WAL frames appended since the last fsync — records that would be
+    /// lost if the machine died right now. Zero when persistence is off.
+    pub fn wal_backlog(&self) -> usize {
+        self.wal_pending
     }
 }
 

@@ -17,7 +17,8 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use chariots_simnet::{
-    Counter, Gauge, Histogram, MetricsRegistry, ServiceStation, Shutdown, StageTracer,
+    Counter, EventJournal, EventKind, Gauge, Histogram, MetricsRegistry, ServiceStation, Shutdown,
+    StageTracer,
 };
 use chariots_types::{
     ChariotsError, Entry, Generation, LId, Limit, MaintainerId, Result, TOId, TagValue, TraceId,
@@ -361,16 +362,32 @@ pub struct FabricObs {
     pub batch_bytes: Histogram,
     /// WAL flush+fsync operations across all maintainer cores.
     pub wal_syncs: Counter,
+    /// WAL frames appended but not yet fsynced, as of the most recent
+    /// durability point any core paid (crash-durability debt; stays
+    /// nonzero under `WalSyncPolicy::Never`).
+    pub wal_backlog: Gauge,
     /// Drained min-bound entries whose replication push was abandoned to
     /// anti-entropy repair (deposed mid-drain, or a live backup refused).
     pub replication_dropped: Counter,
+    /// Event journal for WAL sync-stall events (the registry's journal
+    /// when registered; a detached ring otherwise).
+    journal: EventJournal,
+    /// Journal source label (`{prefix}.wal`).
+    source: String,
 }
+
+/// A batch fsync slower than this is journalled as a
+/// [`WalSyncStall`](EventKind::WalSyncStall): at the paper's target rates a
+/// multi-millisecond durability point stalls the whole maintainer loop.
+const WAL_STALL_THRESHOLD: Duration = Duration::from_millis(5);
 
 impl FabricObs {
     /// Instruments registered in `registry` as `{prefix}.append.latency_us`,
     /// `{prefix}.store.latency_us`, `{prefix}.gossip.rounds`, `{prefix}.hl`,
     /// `{prefix}.batch.size`, `{prefix}.batch.bytes`,
-    /// `{prefix}.wal.sync.count`, and `{prefix}.replication.dropped`.
+    /// `{prefix}.wal.sync.count`, `{prefix}.wal.backlog`, and
+    /// `{prefix}.replication.dropped`. The registry's event journal also
+    /// receives WAL sync-stall events.
     pub fn registered(registry: &MetricsRegistry, prefix: &str) -> Self {
         FabricObs {
             append_latency: registry.histogram(&format!("{prefix}.append.latency_us")),
@@ -380,7 +397,10 @@ impl FabricObs {
             batch_size: registry.histogram(&format!("{prefix}.batch.size")),
             batch_bytes: registry.histogram(&format!("{prefix}.batch.bytes")),
             wal_syncs: registry.counter(&format!("{prefix}.wal.sync.count")),
+            wal_backlog: registry.gauge(&format!("{prefix}.wal.backlog")),
             replication_dropped: registry.counter(&format!("{prefix}.replication.dropped")),
+            journal: registry.journal().clone(),
+            source: format!("{prefix}.wal"),
         }
     }
 
@@ -388,6 +408,32 @@ impl FabricObs {
         self.gossip_rounds.add(1);
         self.hl.raise_to(hl.0 as i64);
     }
+
+    /// Records one durability point: refreshes the backlog gauge and
+    /// journals a [`WalSyncStall`](EventKind::WalSyncStall) when the sync
+    /// blew past [`WAL_STALL_THRESHOLD`].
+    fn note_wal_sync(&self, elapsed: Duration, backlog: usize) {
+        self.wal_backlog.set(backlog as i64);
+        if elapsed >= WAL_STALL_THRESHOLD {
+            self.journal.publish(
+                &self.source,
+                None,
+                EventKind::WalSyncStall {
+                    stall_us: u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
+                },
+            );
+        }
+    }
+}
+
+/// Pays one [`MaintainerCore::sync_batch`] durability point under the
+/// clock, reporting its duration and the core's remaining WAL backlog to
+/// the fabric's instruments.
+fn timed_sync_batch(core: &mut MaintainerCore, fabric: &Fabric) -> Result<()> {
+    let t0 = std::time::Instant::now();
+    let result = core.sync_batch();
+    fabric.obs().note_wal_sync(t0.elapsed(), core.wal_backlog());
+    result
 }
 
 /// Wiring shared by all maintainers of one deployment: peer handles for
@@ -620,7 +666,7 @@ fn replicate_drained(core: &mut MaintainerCore, ctx: &ReplicaCtx, fabric: &Fabri
     }
     // Drained entries were applied (and WAL-appended) after the last batch
     // commit point; give them their own durability point before pushing.
-    let _ = core.sync_batch();
+    let _ = timed_sync_batch(core, fabric);
     let entries: Arc<[Entry]> = drained.into();
     let Some(generation) = ctx.group.primary_generation(ctx.index) else {
         fabric.obs().replication_dropped.add(entries.len() as u64);
@@ -821,7 +867,7 @@ fn serve_batch(
         // point or replication push to pay for.
         Ok(())
     } else {
-        core.sync_batch()
+        timed_sync_batch(core, fabric)
             .and_then(|()| replicate_to_backups(ctx, &share, generation))
             .and_then(|()| {
                 if ctx.group.primary_generation(ctx.index) != Some(generation) {
@@ -1145,7 +1191,7 @@ fn serve_request(
             };
             let result = core.append_min_bound(payload, min).and_then(|assigned| {
                 if let Some(entry) = &assigned {
-                    core.sync_batch()?;
+                    timed_sync_batch(core, fabric)?;
                     let share: Arc<[Entry]> = vec![entry.clone()].into();
                     replicate_to_backups(ctx, &share, generation)?;
                     if ctx.group.primary_generation(ctx.index) != Some(generation) {
@@ -1188,7 +1234,7 @@ fn serve_request(
             // primary's ack implies durability group-wide.
             let result = core
                 .replicate_entries(&entries)
-                .and_then(|frontier| core.sync_batch().map(|()| frontier));
+                .and_then(|frontier| timed_sync_batch(core, fabric).map(|()| frontier));
             let _ = reply.send(result);
         }
         MaintainerRequest::Read {

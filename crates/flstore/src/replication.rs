@@ -26,7 +26,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use chariots_simnet::{Counter, FailureDetector, Gauge, ServiceStation};
+use chariots_simnet::{Counter, EventJournal, EventKind, FailureDetector, Gauge, ServiceStation};
 use chariots_types::{ChariotsError, Entry, Generation, LId, MaintainerId, Result, TOId};
 use parking_lot::RwLock;
 
@@ -463,10 +463,17 @@ impl ReplicaGroupHandle {
 /// its machine must be up, and among such candidates the one with the
 /// highest frontier wins (it holds the longest replicated suffix, so the
 /// least data is re-fetched by repair afterwards).
+///
+/// Each promotion publishes a [`EventKind::FailoverStart`] /
+/// [`EventKind::FailoverEnd`] pair plus a [`EventKind::Fencing`] event
+/// into `journal`. The reported promotion latency is how long the group
+/// ran without an acting primary: the time from the silent primary
+/// crossing the suspicion threshold to the promotion landing.
 pub fn run_failover(
     groups: &[ReplicaGroupHandle],
     detector: &FailureDetector,
     failovers: &Counter,
+    journal: &EventJournal,
 ) -> usize {
     let mut promoted = 0;
     for group in groups {
@@ -476,7 +483,8 @@ pub fn run_failover(
             continue;
         }
         let primary_index = state.primary_index();
-        if !detector.is_suspected(&replica_key(group.id, primary_index)) {
+        let key = replica_key(group.id, primary_index);
+        if !detector.is_suspected(&key) {
             continue;
         }
         let mut best: Option<(usize, LId)> = None;
@@ -493,7 +501,31 @@ pub fn run_failover(
             }
         }
         if let Some((index, _)) = best {
-            state.promote(index);
+            let source = format!("flstore.{}", group.id);
+            let gid = group.id.0 as u64;
+            journal.publish(&source, None, EventKind::FailoverStart { group: gid });
+            let generation = state.promote(index);
+            let latency = detector
+                .last_heartbeat_age(&key)
+                .map(|age| age.saturating_sub(detector.suspicion_timeout()))
+                .unwrap_or_default();
+            journal.publish(
+                &source,
+                None,
+                EventKind::FailoverEnd {
+                    group: gid,
+                    new_primary: index as u64,
+                    promotion_latency_us: latency.as_micros() as u64,
+                },
+            );
+            journal.publish(
+                &source,
+                None,
+                EventKind::Fencing {
+                    group: gid,
+                    generation: generation.as_u64(),
+                },
+            );
             failovers.add(1);
             promoted += 1;
         }
@@ -694,12 +726,13 @@ mod tests {
         detector.register(&replica_key(MaintainerId(0), 0));
         group.crash();
         let failovers = Counter::new();
+        let journal = EventJournal::default();
         let deadline = std::time::Instant::now() + Duration::from_secs(2);
         loop {
             detector.heartbeat(&replica_key(MaintainerId(0), 1));
             detector.heartbeat(&replica_key(MaintainerId(0), 2));
             let groups = [group.clone()];
-            if run_failover(&groups, &detector, &failovers) > 0 {
+            if run_failover(&groups, &detector, &failovers, &journal) > 0 {
                 break;
             }
             assert!(std::time::Instant::now() < deadline, "never promoted");
@@ -708,6 +741,27 @@ mod tests {
         assert_ne!(group.state().primary_index(), 0);
         assert_eq!(failovers.get(), 1);
         assert_eq!(group.generation(), Generation(1));
+        // The promotion left its structured trail: start, end (with the
+        // promotion latency), and the fencing bump.
+        let events = journal.recent(8);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::FailoverStart { group: 0 })));
+        assert!(events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::FailoverEnd {
+                group: 0,
+                new_primary: _,
+                promotion_latency_us: _,
+            }
+        )));
+        assert!(events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::Fencing {
+                group: 0,
+                generation: 1,
+            }
+        )));
         shutdown.signal();
         for t in threads {
             t.join().unwrap();

@@ -14,8 +14,11 @@
 //! * [`pacing`] — precise sleeps and the open-loop [`RateLimiter`] used by
 //!   target-throughput load generators.
 //! * [`metrics`] — counters, gauges, log-bucketed latency histograms, the
-//!   time-series sampler behind Fig. 9, and the named [`MetricsRegistry`]
-//!   whose [`MetricsSnapshot`] the bench harness dumps as JSON.
+//!   time-series sampler behind Fig. 9, the named [`MetricsRegistry`]
+//!   whose [`MetricsSnapshot`] the bench harness dumps as JSON, and the
+//!   live telemetry plane: windowed views, the structured [`EventJournal`],
+//!   the background [`Collector`], and Prometheus / Chrome-trace
+//!   exporters.
 //! * [`trace`] — sampled per-record tracing: a [`PipelineTracer`] stamps
 //!   [`TraceId`](chariots_types::TraceId)s on records and stages record
 //!   enter/exit times through [`StageTracer`]s.
@@ -62,9 +65,13 @@ pub mod trace;
 
 pub use failure::{FailureDetector, FailureMonitor};
 pub use link::{Link, LinkConfig, LinkHandle, LinkSender};
+#[allow(deprecated)] // re-exported for the tests that still exercise it
+pub use metrics::sample_until;
 pub use metrics::{
-    sample_until, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
-    Series, ThroughputMeter, TimeSeries,
+    chrome_trace, parse_prometheus_text, prometheus_text, ChromeTrace, Collector, CollectorConfig,
+    CollectorHandle, Counter, Event, EventJournal, EventKind, Gauge, Histogram, HistogramSnapshot,
+    LiveView, MetricsRegistry, MetricsSnapshot, Sampler, Series, ThroughputMeter, TimeSeries,
+    Timeline, TimelineTick, WindowSummary,
 };
 pub use notify::Notify;
 pub use pacing::{sleep_until, RateLimiter};
@@ -72,4 +79,4 @@ pub use retry::RetryPolicy;
 pub use shutdown::Shutdown;
 pub use station::{ServiceStation, StationConfig};
 pub use tempdir::TestDir;
-pub use trace::{PipelineTracer, StageTracer};
+pub use trace::{PipelineTracer, StageTracer, TraceSpan};

@@ -1,0 +1,593 @@
+//! The background telemetry collector: one thread, many registries, a
+//! unified timeline.
+//!
+//! A [`Collector`] scrapes every attached [`MetricsRegistry`] (cluster
+//! DCs, FLStore, the CORFU baseline, ad-hoc client registries) at a fixed
+//! interval. Each scrape ticks a windowed wrapper per metric (see
+//! [`super::window`]) — producers pay nothing; the collector diffs
+//! cumulative values on its own thread — drains each registry's
+//! [`EventJournal`](super::EventJournal) through a cursor, and appends one
+//! [`TimelineTick`] to a bounded [`Timeline`].
+//!
+//! Two consumers are served concurrently: [`CollectorHandle::live`] gives
+//! dashboards (`chariots-top`, the future autoscaling loop) rolling rates,
+//! gauge values, windowed quantiles and recent events without stopping
+//! anything, and [`CollectorHandle::stop`] joins the thread and returns
+//! the whole [`Timeline`] for serialization (`--timeline-out`).
+//!
+//! Metric keys are qualified per registry: a metric already prefixed with
+//! its registry's name (the repo convention — registry `dc0` holds
+//! `dc0.batcher0.in`) keeps its name; anything else gets
+//! `{registry}.{metric}` so two registries can never collide in the
+//! unified view.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use super::journal::Event;
+use super::window::{WindowSummary, WindowedCounter, WindowedGauge, WindowedHistogram};
+use super::{Histogram, HistogramSnapshot, MetricsRegistry, Series};
+use crate::notify::Notify;
+use crate::shutdown::Shutdown;
+
+/// Collector tuning. The defaults match the `obs` bench: 100 ms scrapes,
+/// a ~6 s rolling window, and a timeline bounded at 4096 ticks.
+#[derive(Debug, Clone)]
+pub struct CollectorConfig {
+    /// Scrape interval.
+    pub interval: Duration,
+    /// Windows retained per metric (rolling-quantile depth).
+    pub windows: usize,
+    /// Timeline ticks retained; beyond this the oldest ticks are dropped
+    /// (and counted in [`Timeline::dropped_ticks`]).
+    pub timeline_cap: usize,
+    /// Journal events retained in the timeline.
+    pub event_cap: usize,
+}
+
+impl Default for CollectorConfig {
+    fn default() -> Self {
+        CollectorConfig {
+            interval: Duration::from_millis(100),
+            windows: super::window::DEFAULT_WINDOWS,
+            timeline_cap: 4096,
+            event_cap: 4096,
+        }
+    }
+}
+
+impl CollectorConfig {
+    /// A config scraping every `interval` with the default retention.
+    pub fn with_interval(interval: Duration) -> Self {
+        CollectorConfig {
+            interval,
+            ..CollectorConfig::default()
+        }
+    }
+}
+
+/// Rolling quantiles of one histogram's latest windows, as stored per
+/// timeline tick.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuantileSample {
+    /// Samples in the window.
+    pub count: u64,
+    /// Median (upper bucket bound).
+    pub p50: u64,
+    /// 99th percentile (upper bucket bound).
+    pub p99: u64,
+}
+
+/// One scrape's worth of the unified timeline. Zero counter deltas and
+/// empty histogram windows are omitted to keep serialized timelines
+/// compact; readers treat a missing key as zero.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimelineTick {
+    /// Microseconds since the collector started.
+    pub elapsed_us: u64,
+    /// Per-metric counter deltas over this tick (zeros omitted).
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values sampled at this tick.
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub gauges: BTreeMap<String, i64>,
+    /// Per-histogram quantiles of this tick's window (empty windows
+    /// omitted).
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub quantiles: BTreeMap<String, QuantileSample>,
+}
+
+/// The collector's serializable output: every tick plus every journal
+/// event it drained, in scrape order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    /// Scrape interval in microseconds.
+    pub interval_us: u64,
+    /// One entry per scrape, oldest first.
+    pub ticks: Vec<TimelineTick>,
+    /// Journal events drained across all registries, in drain order.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub events: Vec<Event>,
+    /// Ticks dropped because the timeline hit its retention cap.
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub dropped_ticks: u64,
+}
+
+fn is_zero(v: &u64) -> bool {
+    *v == 0
+}
+
+impl Timeline {
+    /// Reconstructs one counter's per-tick delta series (missing keys are
+    /// the omitted zeros), compatible with the Fig. 9 plotting path.
+    pub fn counter_series(&self, key: &str) -> Series {
+        Series {
+            name: key.to_string(),
+            deltas: self
+                .ticks
+                .iter()
+                .map(|t| t.counters.get(key).copied().unwrap_or(0))
+                .collect(),
+        }
+    }
+
+    /// Every counter key appearing anywhere in the timeline, sorted.
+    pub fn counter_keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .ticks
+            .iter()
+            .flat_map(|t| t.counters.keys().cloned())
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+}
+
+/// A live, non-destructive view for dashboards: rolling rates, latest
+/// gauges, rolling quantiles, and the newest journal events.
+#[derive(Debug, Clone)]
+pub struct LiveView {
+    /// Time since the collector started.
+    pub elapsed: Duration,
+    /// Scrape interval.
+    pub interval: Duration,
+    /// Scrapes completed so far.
+    pub ticks: u64,
+    /// Per-counter rate (events/s) over the rolling window.
+    pub rates: Vec<(String, f64)>,
+    /// Latest sampled gauge values.
+    pub gauges: Vec<(String, i64)>,
+    /// Rolling window summary per histogram.
+    pub quantiles: Vec<(String, WindowSummary)>,
+    /// Newest journal events across all registries, oldest first.
+    pub events: Vec<Event>,
+}
+
+struct ScrapeState {
+    counters: BTreeMap<String, WindowedCounter>,
+    gauges: BTreeMap<String, WindowedGauge>,
+    histograms: BTreeMap<String, WindowedHistogram>,
+    /// Journal drain cursor per attached registry (same index).
+    cursors: Vec<u64>,
+    events: Vec<Event>,
+    ticks: Vec<TimelineTick>,
+    dropped_ticks: u64,
+}
+
+struct Shared {
+    interval: Duration,
+    windows: usize,
+    timeline_cap: usize,
+    event_cap: usize,
+    epoch: Instant,
+    registries: Mutex<Vec<MetricsRegistry>>,
+    state: Mutex<ScrapeState>,
+    ticks: AtomicU64,
+    /// Cost of each scrape pass, µs (the collector's own overhead).
+    scrape_cost: Histogram,
+}
+
+impl Shared {
+    /// The unified key for `metric` of `registry`: unchanged when already
+    /// scoped by the registry name, `{registry}.{metric}` otherwise.
+    fn key(registry: &str, metric: &str) -> String {
+        let scoped =
+            metric.starts_with(registry) && metric.as_bytes().get(registry.len()) == Some(&b'.');
+        if scoped || metric == registry {
+            metric.to_string()
+        } else {
+            format!("{registry}.{metric}")
+        }
+    }
+
+    fn scrape(&self) {
+        let t0 = Instant::now();
+        let registries = self.registries.lock().clone();
+        let mut state = self.state.lock();
+        state.cursors.resize(registries.len(), 0);
+
+        let elapsed_us = u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let mut tick = TimelineTick {
+            elapsed_us,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            quantiles: BTreeMap::new(),
+        };
+
+        for (idx, reg) in registries.iter().enumerate() {
+            let scope = reg.name().to_string();
+            for (name, counter) in reg.counters() {
+                let key = Self::key(&scope, &name);
+                let windows = self.windows;
+                let w = state
+                    .counters
+                    .entry(key.clone())
+                    .or_insert_with(|| WindowedCounter::from_zero(counter, windows));
+                let delta = w.tick();
+                if delta > 0 {
+                    tick.counters.insert(key, delta);
+                }
+            }
+            for (name, gauge) in reg.gauges() {
+                let key = Self::key(&scope, &name);
+                let windows = self.windows;
+                let w = state
+                    .gauges
+                    .entry(key.clone())
+                    .or_insert_with(|| WindowedGauge::new(gauge, windows));
+                tick.gauges.insert(key, w.tick());
+            }
+            for (name, histogram) in reg.histograms() {
+                let key = Self::key(&scope, &name);
+                let windows = self.windows;
+                let w = state
+                    .histograms
+                    .entry(key.clone())
+                    .or_insert_with(|| WindowedHistogram::from_zero(histogram, windows));
+                let win = w.tick();
+                if win.count() > 0 {
+                    tick.quantiles.insert(
+                        key,
+                        QuantileSample {
+                            count: win.count(),
+                            p50: win.percentile(0.50),
+                            p99: win.percentile(0.99),
+                        },
+                    );
+                }
+            }
+            let fresh = reg.journal().since(state.cursors[idx]);
+            if let Some(last) = fresh.last() {
+                state.cursors[idx] = last.seq;
+            }
+            state.events.extend(fresh);
+        }
+
+        if state.events.len() > self.event_cap {
+            let excess = state.events.len() - self.event_cap;
+            state.events.drain(..excess);
+        }
+        state.ticks.push(tick);
+        if state.ticks.len() > self.timeline_cap {
+            state.ticks.remove(0);
+            state.dropped_ticks += 1;
+        }
+        drop(state);
+
+        self.ticks.fetch_add(1, Ordering::Relaxed);
+        self.scrape_cost.record_duration(t0.elapsed());
+    }
+}
+
+/// Namespace for spawning the collector thread.
+pub struct Collector;
+
+impl Collector {
+    /// Spawns the collector over `registries`, scraping per `config`.
+    /// More registries can be attached later via
+    /// [`CollectorHandle::attach`].
+    pub fn spawn(registries: Vec<MetricsRegistry>, config: CollectorConfig) -> CollectorHandle {
+        let shared = Arc::new(Shared {
+            interval: config.interval,
+            windows: config.windows.max(1),
+            timeline_cap: config.timeline_cap.max(1),
+            event_cap: config.event_cap,
+            epoch: Instant::now(),
+            registries: Mutex::new(registries),
+            state: Mutex::new(ScrapeState {
+                counters: BTreeMap::new(),
+                gauges: BTreeMap::new(),
+                histograms: BTreeMap::new(),
+                cursors: Vec::new(),
+                events: Vec::new(),
+                ticks: Vec::new(),
+                dropped_ticks: 0,
+            }),
+            ticks: AtomicU64::new(0),
+            scrape_cost: Histogram::new(),
+        });
+        let shutdown = Shutdown::new();
+        let wakeup = Notify::new();
+
+        let thread = {
+            let shared = Arc::clone(&shared);
+            let shutdown = shutdown.clone();
+            let mut wakeup = wakeup.clone();
+            std::thread::Builder::new()
+                .name("telemetry-collector".into())
+                .spawn(move || {
+                    let interval = shared.interval;
+                    let mut next = Instant::now() + interval;
+                    loop {
+                        while !shutdown.is_signaled() {
+                            let now = Instant::now();
+                            if now >= next {
+                                break;
+                            }
+                            wakeup.wait_timeout(next - now);
+                        }
+                        if shutdown.is_signaled() {
+                            // Final scrape: runs shorter than one interval
+                            // still produce a tick, and the last partial
+                            // window is captured.
+                            shared.scrape();
+                            return;
+                        }
+                        shared.scrape();
+                        next += interval;
+                        // Fell badly behind (debugger pause, CPU
+                        // starvation): resync instead of scraping in a
+                        // tight burst.
+                        if Instant::now() > next + interval * 4 {
+                            next = Instant::now() + interval;
+                        }
+                    }
+                })
+                .expect("spawn telemetry collector thread")
+        };
+
+        CollectorHandle {
+            shared,
+            shutdown,
+            wakeup,
+            thread: Some(thread),
+        }
+    }
+}
+
+/// Owner handle for a running collector. Dropping without
+/// [`stop`](CollectorHandle::stop) detaches the thread only after
+/// signalling it, so nothing lingers.
+pub struct CollectorHandle {
+    shared: Arc<Shared>,
+    shutdown: Shutdown,
+    wakeup: Notify,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for CollectorHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "CollectorHandle(interval={:?}, ticks={})",
+            self.shared.interval,
+            self.ticks()
+        )
+    }
+}
+
+impl CollectorHandle {
+    /// Attaches another registry; it is scraped from the next tick on. A
+    /// registry whose name is already attached is ignored (idempotent).
+    pub fn attach(&self, registry: &MetricsRegistry) {
+        let mut regs = self.shared.registries.lock();
+        if regs.iter().any(|r| r.name() == registry.name()) {
+            return;
+        }
+        regs.push(registry.clone());
+    }
+
+    /// Scrapes completed so far.
+    pub fn ticks(&self) -> u64 {
+        self.shared.ticks.load(Ordering::Relaxed)
+    }
+
+    /// The collector's own per-scrape cost (µs).
+    pub fn scrape_cost(&self) -> HistogramSnapshot {
+        self.shared.scrape_cost.snapshot()
+    }
+
+    /// A dashboard view: rates and quantiles over the newest
+    /// `window_ticks` windows plus the newest `recent_events` events.
+    pub fn live(&self, window_ticks: usize, recent_events: usize) -> LiveView {
+        let state = self.shared.state.lock();
+        let rates = state
+            .counters
+            .iter()
+            .map(|(k, w)| (k.clone(), w.rate(window_ticks, self.shared.interval)))
+            .collect();
+        let gauges = state
+            .gauges
+            .iter()
+            .map(|(k, w)| (k.clone(), w.latest()))
+            .collect();
+        let quantiles = state
+            .histograms
+            .iter()
+            .map(|(k, w)| (k.clone(), w.rolling(window_ticks)))
+            .collect();
+        let events = state
+            .events
+            .iter()
+            .skip(state.events.len().saturating_sub(recent_events))
+            .cloned()
+            .collect();
+        LiveView {
+            elapsed: self.shared.epoch.elapsed(),
+            interval: self.shared.interval,
+            ticks: self.ticks(),
+            rates,
+            gauges,
+            quantiles,
+            events,
+        }
+    }
+
+    /// Signals the collector, joins it (one final scrape runs first), and
+    /// returns the accumulated timeline.
+    pub fn stop(mut self) -> Timeline {
+        self.shutdown.signal();
+        self.wakeup.notify();
+        if let Some(thread) = self.thread.take() {
+            thread.join().expect("collector thread panicked");
+        }
+        let mut state = self.shared.state.lock();
+        Timeline {
+            interval_us: u64::try_from(self.shared.interval.as_micros()).unwrap_or(u64::MAX),
+            ticks: std::mem::take(&mut state.ticks),
+            events: std::mem::take(&mut state.events),
+            dropped_ticks: state.dropped_ticks,
+        }
+    }
+}
+
+impl Drop for CollectorHandle {
+    fn drop(&mut self) {
+        self.shutdown.signal();
+        self.wakeup.notify();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::journal::EventKind;
+
+    #[test]
+    fn collector_builds_a_timeline_and_stops_cleanly() {
+        let reg = MetricsRegistry::new("dc0");
+        let c = reg.counter("dc0.batcher0.in");
+        let g = reg.gauge("dc0.batcher0.queue.depth");
+        let h = reg.histogram("dc0.batcher.latency_us");
+        let handle = Collector::spawn(
+            vec![reg.clone()],
+            CollectorConfig::with_interval(Duration::from_millis(5)),
+        );
+        for i in 0..20 {
+            c.add(10);
+            g.set(i);
+            h.record(100 + i as u64);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        reg.journal().publish(
+            "dc0.gc",
+            None,
+            EventKind::GcSweep {
+                bound: 7,
+                collected: 3,
+            },
+        );
+        let timeline = handle.stop();
+        assert!(!timeline.ticks.is_empty());
+        let series = timeline.counter_series("dc0.batcher0.in");
+        assert_eq!(series.deltas.iter().sum::<u64>(), 200, "deltas telescope");
+        assert!(timeline
+            .ticks
+            .iter()
+            .any(|t| t.gauges.contains_key("dc0.batcher0.queue.depth")));
+        assert!(timeline
+            .ticks
+            .iter()
+            .any(|t| t.quantiles.contains_key("dc0.batcher.latency_us")));
+        assert_eq!(timeline.events.len(), 1, "journal drained into timeline");
+        assert_eq!(timeline.counter_keys(), vec!["dc0.batcher0.in".to_string()]);
+    }
+
+    #[test]
+    fn unscoped_metrics_get_registry_prefixed_keys() {
+        let reg = MetricsRegistry::new("clients");
+        reg.counter("issued").add(5);
+        let handle = Collector::spawn(
+            vec![reg],
+            CollectorConfig::with_interval(Duration::from_millis(2)),
+        );
+        std::thread::sleep(Duration::from_millis(10));
+        let timeline = handle.stop();
+        assert!(
+            timeline
+                .counter_keys()
+                .contains(&"clients.issued".to_string()),
+            "keys: {:?}",
+            timeline.counter_keys()
+        );
+    }
+
+    #[test]
+    fn attach_adds_registries_mid_run_and_live_reports_rates() {
+        let a = MetricsRegistry::new("dc0");
+        let ca = a.counter("dc0.x");
+        let handle = Collector::spawn(
+            vec![a.clone()],
+            CollectorConfig::with_interval(Duration::from_millis(2)),
+        );
+        let b = MetricsRegistry::new("dc1");
+        let cb = b.counter("dc1.y");
+        handle.attach(&b);
+        handle.attach(&b); // idempotent
+        for _ in 0..10 {
+            ca.add(1);
+            cb.add(2);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let live = handle.live(16, 8);
+        assert!(live.ticks > 0);
+        assert!(live.rates.iter().any(|(k, _)| k == "dc1.y"));
+        let timeline = handle.stop();
+        assert_eq!(
+            timeline.counter_series("dc1.y").deltas.iter().sum::<u64>(),
+            20
+        );
+    }
+
+    #[test]
+    fn timeline_serializes_and_roundtrips() {
+        let reg = MetricsRegistry::new("dc0");
+        reg.counter("dc0.c").add(1);
+        reg.histogram("dc0.h").record(50);
+        let handle = Collector::spawn(
+            vec![reg],
+            CollectorConfig::with_interval(Duration::from_millis(2)),
+        );
+        std::thread::sleep(Duration::from_millis(8));
+        let timeline = handle.stop();
+        let json = serde_json::to_string(&timeline).unwrap();
+        let back: Timeline = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, timeline);
+    }
+
+    #[test]
+    fn short_runs_still_capture_a_final_tick() {
+        let reg = MetricsRegistry::new("dc0");
+        reg.counter("dc0.c").add(9);
+        let handle = Collector::spawn(
+            vec![reg],
+            CollectorConfig::with_interval(Duration::from_secs(3600)),
+        );
+        let timeline = handle.stop();
+        assert_eq!(timeline.ticks.len(), 1, "stop forces a final scrape");
+        assert_eq!(
+            timeline.counter_series("dc0.c").deltas,
+            vec![9],
+            "the partial window is captured"
+        );
+    }
+}

@@ -1,0 +1,356 @@
+//! Snapshot exporters: Prometheus text format and Chrome `trace_event`
+//! JSON.
+//!
+//! [`prometheus_text`] renders any [`MetricsSnapshot`] in the Prometheus
+//! exposition format (counters/gauges verbatim, histograms as summaries
+//! with `quantile` labels plus `_sum`/`_count`); [`parse_prometheus_text`]
+//! is the matching validator the smoke gate round-trips through.
+//!
+//! [`chrome_trace`] turns [`PipelineTracer`](crate::trace::PipelineTracer)
+//! spans and [`EventJournal`](super::EventJournal) entries into a Chrome
+//! `trace_event` JSON object (the format Perfetto and `chrome://tracing`
+//! open): stage crossings become `ph: "X"` complete events on one track
+//! per trace id, journal events become `ph: "i"` instants. Tracer and
+//! journal epochs are both "component creation time"; components of one
+//! deployment launch within microseconds of each other, so tracks line up
+//! to well under a typical stage latency (documented, not corrected).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use super::journal::{Event, EventJournal};
+use super::MetricsSnapshot;
+use crate::trace::PipelineTracer;
+
+/// Maps a metric name onto the Prometheus name charset: any character
+/// outside `[a-zA-Z0-9_:]` becomes `_`, and a leading digit is prefixed.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Renders `snap` in the Prometheus text exposition format. Counters and
+/// gauges map directly; each histogram becomes a `summary` with
+/// `quantile="0.5|0.95|0.99"` samples plus `_sum` and `_count`. Dotted
+/// metric names sanitize to underscores (`dc0.batcher0.in` →
+/// `dc0_batcher0_in`); two names that sanitize identically keep the last
+/// one (the repo's dotted scheme never collides this way).
+pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let n = sanitize(name);
+        out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+    }
+    for (name, v) in &snap.gauges {
+        let n = sanitize(name);
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+    }
+    for (name, h) in &snap.histograms {
+        let n = sanitize(name);
+        out.push_str(&format!("# TYPE {n} summary\n"));
+        out.push_str(&format!("{n}{{quantile=\"0.5\"}} {}\n", h.p50));
+        out.push_str(&format!("{n}{{quantile=\"0.95\"}} {}\n", h.p95));
+        out.push_str(&format!("{n}{{quantile=\"0.99\"}} {}\n", h.p99));
+        out.push_str(&format!("{n}_sum {}\n", h.sum));
+        out.push_str(&format!("{n}_count {}\n", h.count));
+    }
+    out
+}
+
+/// A parsed Prometheus text exposition: sample values keyed by
+/// `name{labels}` exactly as they appeared, plus declared types.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParsedProm {
+    /// Declared metric types from `# TYPE` lines.
+    pub types: BTreeMap<String, String>,
+    /// Sample values keyed by the full series name (including labels).
+    pub samples: BTreeMap<String, f64>,
+}
+
+/// Parses (and thereby validates) Prometheus text exposition format:
+/// every non-empty line must be a well-formed comment, `# TYPE`/`# HELP`
+/// directive, or `name[{labels}] value` sample with a valid metric name
+/// and a parseable value. Returns the parsed samples or a description of
+/// the first offending line.
+pub fn parse_prometheus_text(text: &str) -> Result<ParsedProm, String> {
+    let mut parsed = ParsedProm::default();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                let (Some(name), Some(ty)) = (parts.next(), parts.next()) else {
+                    return Err(format!("line {}: malformed TYPE: {line:?}", lineno + 1));
+                };
+                if !matches!(
+                    ty,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(format!("line {}: unknown metric type {ty:?}", lineno + 1));
+                }
+                parsed.types.insert(name.to_string(), ty.to_string());
+            }
+            // `# HELP` and plain comments validate trivially.
+            continue;
+        }
+        // Sample line: name[{labels}] value [timestamp]
+        let (series, rest) = match line.find('{') {
+            Some(brace) => {
+                let close = line[brace..]
+                    .find('}')
+                    .map(|i| brace + i)
+                    .ok_or_else(|| format!("line {}: unclosed label braces", lineno + 1))?;
+                (&line[..=close], line[close + 1..].trim_start())
+            }
+            None => {
+                let sp = line
+                    .find(char::is_whitespace)
+                    .ok_or_else(|| format!("line {}: sample without value", lineno + 1))?;
+                (&line[..sp], line[sp..].trim_start())
+            }
+        };
+        let name = series.split('{').next().unwrap_or("");
+        let valid_name = !name.is_empty()
+            && !name.starts_with(|c: char| c.is_ascii_digit())
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':');
+        if !valid_name {
+            return Err(format!("line {}: invalid metric name {name:?}", lineno + 1));
+        }
+        let value_str = rest.split_whitespace().next().unwrap_or("");
+        let value: f64 = value_str
+            .parse()
+            .map_err(|_| format!("line {}: unparseable value {value_str:?}", lineno + 1))?;
+        parsed.samples.insert(series.to_string(), value);
+    }
+    Ok(parsed)
+}
+
+/// One Chrome `trace_event`. Only the fields this exporter emits are
+/// modelled; `deny_unknown_fields` is deliberately *not* set so traces
+/// from richer producers still deserialize.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Event name (stage name or journal event label).
+    pub name: String,
+    /// Category (`"pipeline"` or `"journal"`).
+    pub cat: String,
+    /// Phase: `"X"` complete event (with `dur`) or `"i"` instant.
+    pub ph: String,
+    /// Timestamp, microseconds.
+    pub ts: f64,
+    /// Duration, microseconds (complete events only).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub dur: Option<f64>,
+    /// Process id (one per exported component).
+    pub pid: u64,
+    /// Thread id (the trace id for pipeline spans).
+    pub tid: u64,
+    /// Instant-event scope (`"p"` = process), instants only.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub s: Option<String>,
+    /// Free-form payload (journal event fields).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub args: Option<serde_json::Value>,
+}
+
+/// A Chrome `trace_event` JSON document (object form).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChromeTrace {
+    /// The events, in timestamp order.
+    #[serde(rename = "traceEvents")]
+    pub trace_events: Vec<TraceEvent>,
+    /// Display unit hint for the viewer.
+    #[serde(rename = "displayTimeUnit")]
+    pub display_time_unit: String,
+    /// Metadata: maps pid → component name.
+    #[serde(
+        rename = "otherData",
+        skip_serializing_if = "BTreeMap::is_empty",
+        default
+    )]
+    pub other_data: BTreeMap<String, String>,
+}
+
+/// Exports pipeline spans and journal events as a Chrome trace. Each
+/// `(name, tracer)` pair becomes one pid whose tids are trace ids; each
+/// `(name, journal)` pair becomes one pid of instant events. Open the
+/// serialized JSON in Perfetto or `chrome://tracing`.
+pub fn chrome_trace(
+    tracers: &[(String, PipelineTracer)],
+    journals: &[(String, EventJournal)],
+) -> ChromeTrace {
+    let mut events = Vec::new();
+    let mut other_data = BTreeMap::new();
+    let mut pid = 0u64;
+    for (name, tracer) in tracers {
+        pid += 1;
+        other_data.insert(format!("pid{pid}"), name.clone());
+        for span in tracer.spans() {
+            events.push(TraceEvent {
+                name: span.stage.clone(),
+                cat: "pipeline".to_string(),
+                ph: "X".to_string(),
+                ts: span.start_ns as f64 / 1_000.0,
+                dur: Some((span.end_ns - span.start_ns) as f64 / 1_000.0),
+                pid,
+                tid: span.trace,
+                s: None,
+                args: None,
+            });
+        }
+    }
+    for (name, journal) in journals {
+        pid += 1;
+        other_data.insert(format!("pid{pid}"), name.clone());
+        for event in journal.recent(usize::MAX) {
+            let Event {
+                seq,
+                at_us,
+                source,
+                trace,
+                kind,
+            } = event;
+            let mut args = serde_json::to_value(&kind).unwrap_or_default();
+            if let Some(map) = args.as_object_mut() {
+                map.insert("seq".into(), seq.into());
+                map.insert("source".into(), source.clone().into());
+            }
+            events.push(TraceEvent {
+                name: kind.label().to_string(),
+                cat: "journal".to_string(),
+                ph: "i".to_string(),
+                ts: at_us as f64,
+                dur: None,
+                pid,
+                tid: trace.unwrap_or(0),
+                s: Some("p".to_string()),
+                args: Some(args),
+            });
+        }
+    }
+    events.sort_by(|a, b| a.ts.total_cmp(&b.ts));
+    ChromeTrace {
+        trace_events: events,
+        display_time_unit: "ms".to_string(),
+        other_data,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::journal::EventKind;
+    use crate::metrics::MetricsRegistry;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let reg = MetricsRegistry::new("dc0");
+        reg.counter("dc0.batcher0.in").add(42);
+        reg.gauge("dc0.queue0.queue.depth").set(-3);
+        let h = reg.histogram("dc0.batcher.latency_us");
+        for v in [10, 20, 30, 40, 1000] {
+            h.record(v);
+        }
+        reg.snapshot()
+    }
+
+    #[test]
+    fn prometheus_text_roundtrips_the_parse_check() {
+        let snap = sample_snapshot();
+        let text = prometheus_text(&snap);
+        let parsed = parse_prometheus_text(&text).expect("rendered output must parse");
+        assert_eq!(parsed.samples["dc0_batcher0_in"], 42.0);
+        assert_eq!(parsed.samples["dc0_queue0_queue_depth"], -3.0);
+        assert_eq!(parsed.types["dc0_batcher_latency_us"], "summary");
+        assert_eq!(parsed.samples["dc0_batcher_latency_us_count"], 5.0);
+        assert_eq!(parsed.samples["dc0_batcher_latency_us_sum"], 1100.0);
+        assert!(parsed
+            .samples
+            .contains_key("dc0_batcher_latency_us{quantile=\"0.99\"}"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_prometheus_text("9leading_digit 1").is_err());
+        assert!(parse_prometheus_text("bad-char 1").is_err());
+        assert!(parse_prometheus_text("no_value").is_err());
+        assert!(parse_prometheus_text("name{unclosed 1").is_err());
+        assert!(parse_prometheus_text("x notanumber").is_err());
+        assert!(parse_prometheus_text("# TYPE x sideways").is_err());
+        assert!(parse_prometheus_text("# HELP x fine\nx 1\n").is_ok());
+    }
+
+    #[test]
+    fn sanitize_maps_dots_and_leading_digits() {
+        assert_eq!(sanitize("dc0.batcher0.in"), "dc0_batcher0_in");
+        assert_eq!(sanitize("0weird"), "_0weird");
+        assert_eq!(sanitize("ok:name_1"), "ok:name_1");
+    }
+
+    #[test]
+    fn chrome_trace_schema_validates_and_roundtrips() {
+        let reg = MetricsRegistry::new("dc0");
+        let tracer = PipelineTracer::new(&["batcher", "queue"], 1, &reg, "dc0");
+        let id = tracer.sample().unwrap();
+        let st = tracer.stage("batcher");
+        st.enter(Some(id));
+        st.exit(Some(id));
+        reg.journal().publish(
+            "dc0.sender",
+            Some(chariots_types::TraceId(7)),
+            EventKind::WanRetransmit { peer: 1 },
+        );
+
+        let trace = chrome_trace(
+            &[("dc0".to_string(), tracer)],
+            &[("dc0".to_string(), reg.journal().clone())],
+        );
+        assert_eq!(trace.trace_events.len(), 2);
+
+        // Schema check per the trace_event spec: every event carries
+        // name/cat/ph/ts/pid/tid; "X" events carry dur; "i" events carry a
+        // scope. The JSON roundtrips through the typed model.
+        let json = serde_json::to_value(&trace).unwrap();
+        let events = json["traceEvents"].as_array().unwrap();
+        for e in events {
+            for key in ["name", "cat", "ph", "ts", "pid", "tid"] {
+                assert!(e.get(key).is_some(), "event missing {key}: {e}");
+            }
+            match e["ph"].as_str().unwrap() {
+                "X" => assert!(e["dur"].as_f64().is_some(), "complete event without dur"),
+                "i" => assert!(e["s"].as_str().is_some(), "instant event without scope"),
+                ph => panic!("unexpected phase {ph}"),
+            }
+        }
+        assert_eq!(json["displayTimeUnit"], "ms");
+        let back: ChromeTrace = serde_json::from_value(json).unwrap();
+        assert_eq!(back, trace);
+
+        // The journal instant keeps its trace correlation and payload.
+        let instant = trace
+            .trace_events
+            .iter()
+            .find(|e| e.ph == "i")
+            .expect("journal event exported");
+        assert_eq!(instant.tid, 7);
+        let args = instant.args.as_ref().unwrap();
+        assert_eq!(args["kind"], "wan_retransmit");
+        assert_eq!(args["peer"], 1);
+    }
+}

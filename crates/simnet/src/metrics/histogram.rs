@@ -146,6 +146,18 @@ impl Histogram {
         self.max()
     }
 
+    /// A copy of the raw cumulative bucket counts (monotone non-decreasing
+    /// per bucket), the substrate for windowed diffing: the elementwise
+    /// difference of two copies is exactly the histogram of the samples
+    /// recorded in between.
+    pub(crate) fn bucket_counts(&self) -> Vec<u64> {
+        self.inner
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
     /// Adds all of `other`'s buckets into `self` (elementwise, so merging
     /// is commutative and associative).
     pub fn merge_from(&self, other: &Histogram) {

@@ -1,0 +1,325 @@
+//! The structured event journal: typed, timestamped lifecycle events.
+//!
+//! Counters say *how much*; the journal says *what happened when*. Control
+//! events that are individually rare but individually meaningful —
+//! failovers, fencings, WAN retransmit fallbacks, epoch changes, GC
+//! sweeps, WAL sync stalls — are appended as typed [`Event`]s to a bounded
+//! ring embedded in every [`MetricsRegistry`](super::MetricsRegistry), so
+//! any component holding a registry can publish without new plumbing.
+//!
+//! Publishing is one `fetch_add` to claim a sequence number plus one
+//! uncontended per-slot mutex store (slots are only contended when two
+//! publishers race `capacity` events apart); readers never block writers
+//! for more than a slot swap. [`recent`](EventJournal::recent) is
+//! non-destructive, so multiple consumers (the collector, `chariots-top`,
+//! the Chrome-trace exporter) can read the same window.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use chariots_types::TraceId;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Default journal capacity (events retained).
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 1024;
+
+/// What happened. Tagged so the JSON reads as
+/// `{"kind": "failover_end", "group": 3, ...}`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum EventKind {
+    /// A failure monitor suspected a primary and began promotion.
+    FailoverStart {
+        /// Maintainer/replica group whose primary is suspected.
+        group: u64,
+    },
+    /// A backup finished promotion and the group has a new primary.
+    FailoverEnd {
+        /// The recovered group.
+        group: u64,
+        /// Replica index promoted to primary.
+        new_primary: u64,
+        /// Suspect-to-promoted latency (the paper's recovery metric).
+        promotion_latency_us: u64,
+    },
+    /// A group's generation advanced, fencing the deposed primary.
+    Fencing {
+        /// The fenced group.
+        group: u64,
+        /// Generation now required to assign.
+        generation: u64,
+    },
+    /// A WAN sender fell back to retransmitting from its peer cursor.
+    WanRetransmit {
+        /// Destination datacenter id.
+        peer: u64,
+    },
+    /// A new epoch boundary was announced (elastic reconfiguration).
+    EpochChange {
+        /// First LId of the new epoch.
+        boundary: u64,
+    },
+    /// A GC pass trimmed the log below the replicated bound.
+    GcSweep {
+        /// New GC floor (first retained LId).
+        bound: u64,
+        /// Records collected by this sweep.
+        collected: u64,
+    },
+    /// A WAL batch sync exceeded the sync-policy stall threshold.
+    WalSyncStall {
+        /// Observed sync duration.
+        stall_us: u64,
+    },
+}
+
+impl EventKind {
+    /// A short lowercase label for dashboards (`"failover_end"` etc.).
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::FailoverStart { .. } => "failover_start",
+            EventKind::FailoverEnd { .. } => "failover_end",
+            EventKind::Fencing { .. } => "fencing",
+            EventKind::WanRetransmit { .. } => "wan_retransmit",
+            EventKind::EpochChange { .. } => "epoch_change",
+            EventKind::GcSweep { .. } => "gc_sweep",
+            EventKind::WalSyncStall { .. } => "wal_sync_stall",
+        }
+    }
+}
+
+/// One journal entry: what happened, when, where, and (optionally) which
+/// traced record it correlates with.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Global publish order within this journal (dense from 0).
+    pub seq: u64,
+    /// Microseconds since the journal's creation.
+    pub at_us: u64,
+    /// Component that published (e.g. `"dc0.sender"`).
+    pub source: String,
+    /// Correlated [`TraceId`] value, if the event arose while handling a
+    /// traced record.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub trace: Option<u64>,
+    /// The typed payload.
+    #[serde(flatten)]
+    pub kind: EventKind,
+}
+
+struct Inner {
+    epoch: Instant,
+    seq: AtomicU64,
+    slots: Vec<Mutex<Option<Event>>>,
+}
+
+/// A bounded, shared ring of [`Event`]s. Clones share the same ring.
+#[derive(Clone)]
+pub struct EventJournal {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for EventJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "EventJournal(published={}, capacity={})",
+            self.published(),
+            self.inner.slots.len()
+        )
+    }
+}
+
+impl Default for EventJournal {
+    fn default() -> Self {
+        EventJournal::new(DEFAULT_JOURNAL_CAPACITY)
+    }
+}
+
+impl EventJournal {
+    /// An empty journal retaining up to `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        EventJournal {
+            inner: Arc::new(Inner {
+                epoch: Instant::now(),
+                seq: AtomicU64::new(0),
+                slots: (0..capacity.max(1)).map(|_| Mutex::new(None)).collect(),
+            }),
+        }
+    }
+
+    /// Appends an event, evicting the oldest once the ring is full.
+    /// Returns the event's sequence number.
+    pub fn publish(&self, source: &str, trace: Option<TraceId>, kind: EventKind) -> u64 {
+        let inner = &self.inner;
+        let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+        let at_us = u64::try_from(inner.epoch.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let event = Event {
+            seq,
+            at_us,
+            source: source.to_string(),
+            trace: trace.map(|t| t.0),
+            kind,
+        };
+        let slot = &inner.slots[(seq as usize) % inner.slots.len()];
+        let mut guard = slot.lock();
+        // A slower writer lapped by a faster one must not clobber the
+        // newer occupant (writes race only `capacity` events apart).
+        if guard.as_ref().is_none_or(|e| e.seq <= seq) {
+            *guard = Some(event);
+        }
+        seq
+    }
+
+    /// Total events ever published (retained or evicted).
+    pub fn published(&self) -> u64 {
+        self.inner.seq.load(Ordering::Relaxed)
+    }
+
+    /// Whether nothing has ever been published.
+    pub fn is_empty(&self) -> bool {
+        self.published() == 0
+    }
+
+    /// The newest `k` retained events in publish order (oldest first).
+    /// Non-destructive: repeated calls see overlapping windows.
+    pub fn recent(&self, k: usize) -> Vec<Event> {
+        let mut out: Vec<Event> = self
+            .inner
+            .slots
+            .iter()
+            .filter_map(|s| s.lock().clone())
+            .collect();
+        out.sort_unstable_by_key(|e| e.seq);
+        if out.len() > k {
+            out.drain(..out.len() - k);
+        }
+        out
+    }
+
+    /// Retained events with `seq > after`, in publish order. The cursor
+    /// form of [`recent`](Self::recent) for incremental consumers.
+    pub fn since(&self, after: u64) -> Vec<Event> {
+        let mut out: Vec<Event> = self
+            .inner
+            .slots
+            .iter()
+            .filter_map(|s| s.lock().clone())
+            .filter(|e| e.seq > after)
+            .collect();
+        out.sort_unstable_by_key(|e| e.seq);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_and_recent_roundtrip_in_order() {
+        let j = EventJournal::new(8);
+        assert!(j.is_empty());
+        j.publish(
+            "dc0.gc",
+            None,
+            EventKind::GcSweep {
+                bound: 10,
+                collected: 5,
+            },
+        );
+        j.publish(
+            "dc0.sender",
+            Some(TraceId(42)),
+            EventKind::WanRetransmit { peer: 1 },
+        );
+        let events = j.recent(10);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(
+            events[0].kind,
+            EventKind::GcSweep {
+                bound: 10,
+                collected: 5
+            }
+        );
+        assert_eq!(events[1].trace, Some(42));
+        assert!(events[1].at_us >= events[0].at_us);
+        assert_eq!(j.published(), 2);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_keeps_newest() {
+        let j = EventJournal::new(4);
+        for i in 0..10u64 {
+            j.publish("x", None, EventKind::EpochChange { boundary: i });
+        }
+        let events = j.recent(100);
+        assert_eq!(events.len(), 4);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert_eq!(j.published(), 10);
+    }
+
+    #[test]
+    fn recent_caps_at_k_and_since_respects_cursor() {
+        let j = EventJournal::new(16);
+        for i in 0..6u64 {
+            j.publish("x", None, EventKind::EpochChange { boundary: i });
+        }
+        assert_eq!(j.recent(2).len(), 2);
+        assert_eq!(j.recent(2)[0].seq, 4);
+        let newer = j.since(3);
+        assert_eq!(newer.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![4, 5]);
+    }
+
+    #[test]
+    fn events_serialize_with_flat_tagged_kind() {
+        let j = EventJournal::new(4);
+        j.publish(
+            "dc0.flstore",
+            None,
+            EventKind::FailoverEnd {
+                group: 2,
+                new_primary: 1,
+                promotion_latency_us: 1500,
+            },
+        );
+        let e = &j.recent(1)[0];
+        let json = serde_json::to_value(e).unwrap();
+        assert_eq!(json["kind"], "failover_end");
+        assert_eq!(json["group"], 2);
+        assert_eq!(json["promotion_latency_us"], 1500);
+        assert!(json.get("trace").is_none(), "None trace is omitted");
+        let back: Event = serde_json::from_value(json).unwrap();
+        assert_eq!(&back, e);
+    }
+
+    #[test]
+    fn concurrent_publishers_never_lose_sequence_density() {
+        let j = EventJournal::new(64);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let j = j.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        j.publish("t", None, EventKind::EpochChange { boundary: i });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(j.published(), 400);
+        let events = j.recent(1000);
+        assert_eq!(events.len(), 64, "ring retains exactly its capacity");
+        // The retained window is the newest events, in order.
+        for pair in events.windows(2) {
+            assert!(pair[0].seq < pair[1].seq);
+        }
+        assert!(events.iter().all(|e| e.seq >= 400 - 64));
+    }
+}

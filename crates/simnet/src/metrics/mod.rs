@@ -1,12 +1,18 @@
 //! Observability primitives: counters, gauges, log-bucketed histograms,
-//! the time-series sampler behind the paper's Fig. 9, and a named
-//! [`MetricsRegistry`] whose [`MetricsSnapshot`] serializes to JSON.
+//! the time-series sampler behind the paper's Fig. 9, a named
+//! [`MetricsRegistry`] whose [`MetricsSnapshot`] serializes to JSON — and
+//! the live telemetry plane layered on top: windowed views
+//! ([`window`]), the structured [`EventJournal`], the background
+//! [`Collector`], and the Prometheus / Chrome-trace exporters
+//! ([`export`]).
 //!
 //! Naming scheme (see `DESIGN.md` §Observability): per-machine counters
-//! are `dc{N}.{stage}{i}.in`, per-stage latency histograms are
-//! `dc{N}.{stage}.latency_us`, and FLStore internals live under
-//! `dc{N}.flstore.*`. Everything here is lock-free on the hot path —
-//! registries take a lock only at get-or-create and snapshot time.
+//! are `dc{N}.{stage}{i}.in`, per-stage health gauges are
+//! `dc{N}.{stage}{i}.queue.depth` / `.occupancy`, per-stage latency
+//! histograms are `dc{N}.{stage}.latency_us`, and FLStore internals live
+//! under `dc{N}.flstore.*`. Everything here is lock-free on the hot path —
+//! registries take a lock only at get-or-create and snapshot time, and
+//! windowing happens on the collector's thread, never the producer's.
 
 mod counter;
 mod gauge;
@@ -14,8 +20,21 @@ mod histogram;
 mod registry;
 mod sampler;
 
+pub mod collector;
+pub mod export;
+pub mod journal;
+pub mod window;
+
+pub use collector::{
+    Collector, CollectorConfig, CollectorHandle, LiveView, Timeline, TimelineTick,
+};
 pub use counter::{Counter, ThroughputMeter};
+pub use export::{chrome_trace, parse_prometheus_text, prometheus_text, ChromeTrace, TraceEvent};
 pub use gauge::Gauge;
 pub use histogram::{Histogram, HistogramSnapshot};
+pub use journal::{Event, EventJournal, EventKind};
 pub use registry::{MetricsRegistry, MetricsSnapshot};
-pub use sampler::{sample_until, Series, TimeSeries};
+#[allow(deprecated)] // re-exported for the tests that still exercise it
+pub use sampler::sample_until;
+pub use sampler::{Sampler, Series, TimeSeries};
+pub use window::{WindowSummary, WindowedCounter, WindowedGauge, WindowedHistogram};

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
-use super::{Counter, Gauge, Histogram, HistogramSnapshot};
+use super::{Counter, EventJournal, Gauge, Histogram, HistogramSnapshot};
 
 #[derive(Debug, Default)]
 struct Inner {
@@ -23,6 +23,7 @@ struct Inner {
 pub struct MetricsRegistry {
     name: Arc<String>,
     inner: Arc<RwLock<Inner>>,
+    journal: EventJournal,
 }
 
 impl MetricsRegistry {
@@ -31,12 +32,20 @@ impl MetricsRegistry {
         MetricsRegistry {
             name: Arc::new(name.into()),
             inner: Arc::new(RwLock::new(Inner::default())),
+            journal: EventJournal::default(),
         }
     }
 
     /// The registry's name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The registry's embedded [`EventJournal`]: any component holding a
+    /// registry (or a clone of one) can publish lifecycle events without
+    /// extra plumbing, and the collector reads them from the same handle.
+    pub fn journal(&self) -> &EventJournal {
+        &self.journal
     }
 
     /// Returns the counter named `name`, creating it if absent.
@@ -94,6 +103,26 @@ impl MetricsRegistry {
             .collect()
     }
 
+    /// All registered gauges, sorted by name.
+    pub fn gauges(&self) -> Vec<(String, Gauge)> {
+        self.inner
+            .read()
+            .gauges
+            .iter()
+            .map(|(n, g)| (n.clone(), g.clone()))
+            .collect()
+    }
+
+    /// All registered histograms, sorted by name.
+    pub fn histograms(&self) -> Vec<(String, Histogram)> {
+        self.inner
+            .read()
+            .histograms
+            .iter()
+            .map(|(n, h)| (n.clone(), h.clone()))
+            .collect()
+    }
+
     /// A point-in-time, serializable view of every metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let inner = self.inner.read();
@@ -143,26 +172,42 @@ impl MetricsSnapshot {
         }
     }
 
-    /// Folds `other` into `self`. Metric names are expected to be
-    /// disjoint (each registry prefixes its names with its scope); on a
-    /// clash, counters add, gauges take `other`'s value, and the
-    /// histogram summary with more samples wins (summaries cannot be
-    /// merged exactly — merge live [`super::Histogram`]s for that).
+    /// Folds `other` into `self`, collision-safely. Metric names are
+    /// expected to be disjoint (each registry prefixes its names with its
+    /// scope); when two registries nevertheless share a name, the incoming
+    /// metric is kept under `{other.name}.{name}` (then
+    /// `{other.name}#2.{name}`, `#3`, … if even that clashes) instead of
+    /// silently summing or overwriting — merged snapshots never lose or
+    /// conflate samples.
     pub fn merge(&mut self, other: &MetricsSnapshot) {
         for (name, v) in &other.counters {
-            *self.counters.entry(name.clone()).or_insert(0) += v;
+            let key = Self::merge_key(&self.counters, &other.name, name);
+            self.counters.insert(key, *v);
         }
         for (name, v) in &other.gauges {
-            self.gauges.insert(name.clone(), *v);
+            let key = Self::merge_key(&self.gauges, &other.name, name);
+            self.gauges.insert(key, *v);
         }
         for (name, h) in &other.histograms {
-            match self.histograms.get(name) {
-                Some(existing) if existing.count >= h.count => {}
-                _ => {
-                    self.histograms.insert(name.clone(), h.clone());
-                }
-            }
+            let key = Self::merge_key(&self.histograms, &other.name, name);
+            self.histograms.insert(key, h.clone());
         }
+    }
+
+    /// `name` if free in `map`, else a deterministic scope-prefixed
+    /// alternative that is.
+    fn merge_key<V>(map: &BTreeMap<String, V>, scope: &str, name: &str) -> String {
+        if !map.contains_key(name) {
+            return name.to_string();
+        }
+        let prefixed = format!("{scope}.{name}");
+        if !map.contains_key(&prefixed) {
+            return prefixed;
+        }
+        (2..)
+            .map(|k| format!("{scope}#{k}.{name}"))
+            .find(|cand| !map.contains_key(cand))
+            .expect("some suffix is always free")
     }
 }
 
@@ -205,18 +250,57 @@ mod tests {
     }
 
     #[test]
-    fn merge_combines_disjoint_and_sums_clashing_counters() {
+    fn merge_combines_disjoint_names_unchanged() {
         let a = MetricsRegistry::new("dc0");
         a.counter("dc0.batcher0.in").add(10);
         let b = MetricsRegistry::new("dc1");
         b.counter("dc1.batcher0.in").add(20);
-        b.counter("dc0.batcher0.in").add(1); // clash: sums
         b.histogram("dc1.queue.latency_us").record(5);
         let mut merged = MetricsSnapshot::empty("cluster");
         merged.merge(&a.snapshot());
         merged.merge(&b.snapshot());
-        assert_eq!(merged.counters["dc0.batcher0.in"], 11);
+        assert_eq!(merged.counters["dc0.batcher0.in"], 10);
         assert_eq!(merged.counters["dc1.batcher0.in"], 20);
         assert_eq!(merged.histograms["dc1.queue.latency_us"].count, 1);
+    }
+
+    #[test]
+    fn merge_keeps_clashing_metrics_under_scoped_names() {
+        // Regression test for the old lossy behaviour: counters used to
+        // sum silently, gauges and histograms to overwrite. A clash must
+        // now keep both values apart under a scope-prefixed name.
+        let a = MetricsRegistry::new("dc0");
+        a.counter("requests").add(10);
+        a.gauge("depth").set(3);
+        a.histogram("lat").record(100);
+        let b = MetricsRegistry::new("corfu");
+        b.counter("requests").add(1);
+        b.gauge("depth").set(9);
+        b.histogram("lat").record(5);
+        b.histogram("lat").record(6);
+        let mut merged = MetricsSnapshot::empty("all");
+        merged.merge(&a.snapshot());
+        merged.merge(&b.snapshot());
+        assert_eq!(
+            merged.counters["requests"], 10,
+            "first arrival keeps the name"
+        );
+        assert_eq!(merged.counters["corfu.requests"], 1, "clash gets scoped");
+        assert_eq!(merged.gauges["depth"], 3);
+        assert_eq!(merged.gauges["corfu.depth"], 9);
+        assert_eq!(merged.histograms["lat"].count, 1);
+        assert_eq!(
+            merged.histograms["corfu.lat"].count, 2,
+            "no higher-count-wins"
+        );
+
+        // A third registry clashing on both the bare and the scoped name
+        // still lands deterministically.
+        let c = MetricsRegistry::new("corfu");
+        c.counter("requests").add(7);
+        c.counter("corfu.requests").add(8);
+        merged.merge(&c.snapshot());
+        assert_eq!(merged.counters["corfu.corfu.requests"], 8);
+        assert_eq!(merged.counters["corfu#2.requests"], 7);
     }
 }

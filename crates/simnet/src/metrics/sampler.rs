@@ -36,9 +36,16 @@ pub struct TimeSeries {
 
 /// Samples a set of named counters every `interval` until `stop` returns
 /// true, producing per-interval deltas. Runs inline on the calling thread
-/// (spawn one if concurrency is needed). A counter that resets or is
-/// replaced mid-run contributes a zero delta for that tick (saturating),
-/// not a panic.
+/// and hands back no handle, so the caller can neither stop it externally
+/// nor do anything else meanwhile — use [`Sampler::spawn`] (or the
+/// telemetry [`Collector`](super::Collector)) instead. A counter that
+/// resets or is replaced mid-run contributes a zero delta for that tick
+/// (saturating), not a panic.
+#[deprecated(
+    since = "0.6.0",
+    note = "blocks the calling thread with no stop handle; use Sampler::spawn \
+            or the telemetry Collector"
+)]
 pub fn sample_until(
     counters: &[(String, Counter)],
     interval: Duration,
@@ -65,7 +72,42 @@ pub fn sample_until(
     TimeSeries { interval, series }
 }
 
+/// A background counter sampler with stop/join semantics: the spawned
+/// replacement for [`sample_until`]. The sampling loop runs on its own
+/// thread; [`stop`](Sampler::stop) signals it and joins, returning the
+/// accumulated [`TimeSeries`].
+#[derive(Debug)]
+pub struct Sampler {
+    shutdown: crate::Shutdown,
+    thread: std::thread::JoinHandle<TimeSeries>,
+}
+
+impl Sampler {
+    /// Spawns a thread sampling `counters` every `interval` until
+    /// [`stop`](Sampler::stop) is called.
+    pub fn spawn(counters: Vec<(String, Counter)>, interval: Duration) -> Sampler {
+        let shutdown = crate::Shutdown::new();
+        let stop = shutdown.clone();
+        let thread = std::thread::Builder::new()
+            .name("sampler".into())
+            .spawn(move || {
+                #[allow(deprecated)] // the inline loop is the implementation
+                sample_until(&counters, interval, || stop.is_signaled())
+            })
+            .expect("spawn sampler thread");
+        Sampler { shutdown, thread }
+    }
+
+    /// Signals the sampling loop and joins it, returning everything
+    /// sampled so far. Returns within one `interval` of the call.
+    pub fn stop(self) -> TimeSeries {
+        self.shutdown.signal();
+        self.thread.join().expect("sampler thread panicked")
+    }
+}
+
 #[cfg(test)]
+#[allow(deprecated)] // the deprecated inline path is kept for tests
 mod tests {
     use super::*;
 
@@ -102,6 +144,28 @@ mod tests {
             deltas: vec![50, 100],
         };
         assert_eq!(s.rates(Duration::from_millis(500)), vec![100.0, 200.0]);
+    }
+
+    #[test]
+    fn spawned_sampler_stops_and_returns_series() {
+        let c = Counter::new();
+        let sampler = Sampler::spawn(
+            vec![("stage".to_string(), c.clone())],
+            Duration::from_millis(5),
+        );
+        for _ in 0..10 {
+            c.add(10);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let ts = sampler.stop();
+        assert_eq!(ts.series.len(), 1);
+        assert_eq!(ts.series[0].name, "stage");
+        let total: u64 = ts.series[0].deltas.iter().sum();
+        assert!(total <= 100);
+        assert!(
+            !ts.series[0].deltas.is_empty(),
+            "sampler ran at least one tick before stop"
+        );
     }
 
     #[test]

@@ -1,0 +1,465 @@
+//! Windowed views over cumulative metrics.
+//!
+//! The live metrics ([`Counter`], [`Gauge`], [`Histogram`]) are cumulative
+//! and lock-free; hot paths never pay for windowing. Instead, the
+//! telemetry [`Collector`](super::Collector) owns one windowed wrapper per
+//! scraped metric and *ticks* it at the sampling interval: each tick diffs
+//! the cumulative value against the previous tick and pushes the delta
+//! into a bounded ring of time buckets. "Rate over the last N ticks" and
+//! "rolling p50/p99" then reduce over the ring without touching the
+//! producer side at all.
+//!
+//! Histogram windows work because the underlying buckets are monotone
+//! non-decreasing: the elementwise difference of two cumulative bucket
+//! snapshots is exactly the histogram of the samples recorded in between
+//! (a [`WindowSummary`]), and summaries merge by elementwise addition, so
+//! merging every window of a run reproduces the whole-run histogram
+//! bucket-for-bucket (see the proptest at the bottom).
+//!
+//! Scrapes are not atomic across a histogram's count/sum/buckets (each is
+//! its own relaxed atomic), so under concurrent load a single window may
+//! transiently show `count != Σ buckets`; the telescoping sums still agree
+//! with the cumulative totals once the producers quiesce.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use super::histogram::{bucket_bounds, NUM_BUCKETS};
+use super::{Counter, Gauge, Histogram};
+
+/// Default ring capacity for windowed metrics (ticks retained).
+pub const DEFAULT_WINDOWS: usize = 64;
+
+/// The histogram of samples recorded within one collector window: the
+/// elementwise bucket delta between two cumulative snapshots. Merging is
+/// elementwise addition, so summaries are commutative and associative and
+/// merging all windows of a run reproduces the whole-run histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowSummary {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl Default for WindowSummary {
+    fn default() -> Self {
+        WindowSummary::empty()
+    }
+}
+
+impl WindowSummary {
+    /// A summary with no samples.
+    pub fn empty() -> Self {
+        WindowSummary {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// The whole-run summary of a cumulative histogram (a "window" from
+    /// zero to now). Useful as the reference in windowing tests.
+    pub fn from_histogram(h: &Histogram) -> Self {
+        WindowSummary {
+            buckets: h.bucket_counts(),
+            count: h.count(),
+            sum: h.sum(),
+        }
+    }
+
+    /// Samples in this window.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of the samples in this window.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample value, or 0.0 for an empty window.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Adds `other`'s samples into `self` (elementwise bucket addition).
+    pub fn merge(&mut self, other: &WindowSummary) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// The `q`-quantile (`0.0 < q <= 1.0`) of the window's samples: the
+    /// upper bound of the bucket holding the ⌈q·count⌉-th smallest sample
+    /// (windows do not track an exact max, so unlike
+    /// [`Histogram::percentile`] the bound is not clamped — the estimate
+    /// stays within the same bucket). Returns 0 for an empty window.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum >= rank {
+                return bucket_bounds(idx).1;
+            }
+        }
+        // count and buckets raced (torn scrape); report the top non-empty
+        // bucket's bound rather than panicking.
+        self.buckets
+            .iter()
+            .rposition(|&b| b > 0)
+            .map(|idx| bucket_bounds(idx).1)
+            .unwrap_or(0)
+    }
+}
+
+/// A bounded ring of per-tick values with a rolling reducer.
+#[derive(Debug, Clone)]
+struct Ring<T> {
+    slots: VecDeque<T>,
+    cap: usize,
+}
+
+impl<T> Ring<T> {
+    fn new(cap: usize) -> Self {
+        Ring {
+            // Grow lazily: `cap` bounds retention, not the allocation
+            // (an unbounded ring must not pre-allocate usize::MAX slots).
+            slots: VecDeque::with_capacity(cap.max(1).min(DEFAULT_WINDOWS)),
+            cap: cap.max(1),
+        }
+    }
+
+    fn push(&mut self, v: T) {
+        if self.slots.len() == self.cap {
+            self.slots.pop_front();
+        }
+        self.slots.push_back(v);
+    }
+
+    /// The newest `n` entries, oldest first.
+    fn last(&self, n: usize) -> impl Iterator<Item = &T> {
+        let skip = self.slots.len().saturating_sub(n);
+        self.slots.iter().skip(skip)
+    }
+
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// A [`Counter`] plus a ring of per-tick deltas.
+#[derive(Debug, Clone)]
+pub struct WindowedCounter {
+    source: Counter,
+    last: u64,
+    ring: Ring<u64>,
+}
+
+impl WindowedCounter {
+    /// Wraps `source`, retaining up to `windows` ticks. The current value
+    /// is the baseline: the first tick reports growth from *now*.
+    pub fn new(source: Counter, windows: usize) -> Self {
+        let last = source.get();
+        WindowedCounter {
+            source,
+            last,
+            ring: Ring::new(windows),
+        }
+    }
+
+    /// Like [`new`](Self::new) but with a zero baseline: the first tick
+    /// reports the counter's whole accumulated value. This is what a
+    /// collector wants when it first discovers a metric — the counts
+    /// recorded before discovery belong to the first window, not to
+    /// nothing.
+    pub fn from_zero(source: Counter, windows: usize) -> Self {
+        WindowedCounter {
+            source,
+            last: 0,
+            ring: Ring::new(windows),
+        }
+    }
+
+    /// Closes the current window: pushes the delta since the previous tick
+    /// and returns it. A counter replaced or reset mid-run contributes a
+    /// saturating zero delta, not a panic.
+    pub fn tick(&mut self) -> u64 {
+        let now = self.source.get();
+        let delta = now.saturating_sub(self.last);
+        self.last = now;
+        self.ring.push(delta);
+        delta
+    }
+
+    /// The most recent tick's delta (0 before the first tick).
+    pub fn latest_delta(&self) -> u64 {
+        self.ring.slots.back().copied().unwrap_or(0)
+    }
+
+    /// Sum of the newest `n` tick deltas.
+    pub fn rolling_sum(&self, n: usize) -> u64 {
+        self.ring.last(n).sum()
+    }
+
+    /// Events per second over the newest `n` ticks of length `interval`.
+    /// Divides by the ticks actually present, so early in a run the rate
+    /// reflects real elapsed time. Zero if no ticks or a zero interval.
+    pub fn rate(&self, n: usize, interval: Duration) -> f64 {
+        let ticks = self.ring.len().min(n.max(1));
+        let secs = interval.as_secs_f64() * ticks as f64;
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.rolling_sum(n) as f64 / secs
+    }
+}
+
+/// A [`Gauge`] plus a ring of per-tick sampled values.
+#[derive(Debug, Clone)]
+pub struct WindowedGauge {
+    source: Gauge,
+    ring: Ring<i64>,
+}
+
+impl WindowedGauge {
+    /// Wraps `source`, retaining up to `windows` ticks.
+    pub fn new(source: Gauge, windows: usize) -> Self {
+        WindowedGauge {
+            source,
+            ring: Ring::new(windows),
+        }
+    }
+
+    /// Samples the gauge into the ring and returns the sampled value.
+    pub fn tick(&mut self) -> i64 {
+        let v = self.source.get();
+        self.ring.push(v);
+        v
+    }
+
+    /// The most recent sampled value (0 before the first tick).
+    pub fn latest(&self) -> i64 {
+        self.ring.slots.back().copied().unwrap_or(0)
+    }
+
+    /// Largest sample among the newest `n` ticks (0 if none).
+    pub fn rolling_max(&self, n: usize) -> i64 {
+        self.ring.last(n).copied().max().unwrap_or(0)
+    }
+
+    /// Mean of the newest `n` samples (0.0 if none).
+    pub fn rolling_avg(&self, n: usize) -> f64 {
+        let ticks = self.ring.len().min(n.max(1));
+        if ticks == 0 {
+            return 0.0;
+        }
+        self.ring.last(n).sum::<i64>() as f64 / ticks as f64
+    }
+}
+
+/// A [`Histogram`] plus a ring of per-tick [`WindowSummary`] deltas.
+#[derive(Debug, Clone)]
+pub struct WindowedHistogram {
+    source: Histogram,
+    last_buckets: Vec<u64>,
+    last_count: u64,
+    last_sum: u64,
+    ring: Ring<WindowSummary>,
+}
+
+impl WindowedHistogram {
+    /// Wraps `source`, retaining up to `windows` ticks. The current bucket
+    /// contents are the baseline.
+    pub fn new(source: Histogram, windows: usize) -> Self {
+        let last_buckets = source.bucket_counts();
+        let last_count = source.count();
+        let last_sum = source.sum();
+        WindowedHistogram {
+            source,
+            last_buckets,
+            last_count,
+            last_sum,
+            ring: Ring::new(windows),
+        }
+    }
+
+    /// Like [`new`](Self::new) but with an empty baseline: samples
+    /// recorded before wrapping land in the first window (see
+    /// [`WindowedCounter::from_zero`]).
+    pub fn from_zero(source: Histogram, windows: usize) -> Self {
+        WindowedHistogram {
+            source,
+            last_buckets: vec![0; NUM_BUCKETS],
+            last_count: 0,
+            last_sum: 0,
+            ring: Ring::new(windows),
+        }
+    }
+
+    /// Closes the current window: diffs the cumulative buckets against the
+    /// previous tick into a [`WindowSummary`] and pushes it.
+    pub fn tick(&mut self) -> &WindowSummary {
+        let buckets = self.source.bucket_counts();
+        let count = self.source.count();
+        let sum = self.source.sum();
+        let delta = WindowSummary {
+            buckets: buckets
+                .iter()
+                .zip(self.last_buckets.iter())
+                .map(|(now, then)| now.saturating_sub(*then))
+                .collect(),
+            count: count.saturating_sub(self.last_count),
+            sum: sum.saturating_sub(self.last_sum),
+        };
+        self.last_buckets = buckets;
+        self.last_count = count;
+        self.last_sum = sum;
+        self.ring.push(delta);
+        self.ring.slots.back().expect("just pushed")
+    }
+
+    /// The merged summary of the newest `n` windows.
+    pub fn rolling(&self, n: usize) -> WindowSummary {
+        let mut out = WindowSummary::empty();
+        for w in self.ring.last(n) {
+            out.merge(w);
+        }
+        out
+    }
+
+    /// The most recent single window (empty before the first tick).
+    pub fn latest(&self) -> WindowSummary {
+        self.ring.slots.back().cloned().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn counter_windows_report_deltas_and_rates() {
+        let c = Counter::new();
+        c.add(100); // pre-existing total is the baseline, not a delta
+        let mut w = WindowedCounter::new(c.clone(), 4);
+        c.add(10);
+        assert_eq!(w.tick(), 10);
+        c.add(30);
+        assert_eq!(w.tick(), 30);
+        assert_eq!(w.latest_delta(), 30);
+        assert_eq!(w.rolling_sum(2), 40);
+        assert_eq!(w.rate(2, Duration::from_millis(500)), 40.0);
+        // The ring is bounded: push more ticks than capacity.
+        for _ in 0..8 {
+            w.tick();
+        }
+        assert_eq!(w.ring.len(), 4);
+    }
+
+    #[test]
+    fn counter_reset_contributes_zero_not_panic() {
+        let c = Counter::new();
+        c.add(50);
+        let mut w = WindowedCounter::new(c.clone(), 4);
+        // Simulate a replaced counter: the windowed wrapper still holds
+        // the old handle but a snapshot arrives smaller than `last`.
+        let fresh = Counter::new();
+        fresh.add(10);
+        let mut w2 = WindowedCounter {
+            source: fresh,
+            last: 50,
+            ring: Ring::new(4),
+        };
+        assert_eq!(w2.tick(), 0);
+        c.add(5);
+        assert_eq!(w.tick(), 5);
+    }
+
+    #[test]
+    fn gauge_windows_track_latest_and_max() {
+        let g = Gauge::new();
+        let mut w = WindowedGauge::new(g.clone(), 4);
+        g.set(10);
+        w.tick();
+        g.set(3);
+        w.tick();
+        assert_eq!(w.latest(), 3);
+        assert_eq!(w.rolling_max(2), 10);
+        assert_eq!(w.rolling_avg(2), 6.5);
+    }
+
+    #[test]
+    fn histogram_window_isolates_the_interval() {
+        let h = Histogram::new();
+        h.record(5);
+        let mut w = WindowedHistogram::new(h.clone(), 4);
+        h.record(100);
+        h.record(200);
+        let win = w.tick().clone();
+        assert_eq!(win.count(), 2, "baseline sample excluded");
+        assert_eq!(win.sum(), 300);
+        assert!(win.percentile(1.0) >= 200);
+        h.record(7);
+        let win2 = w.tick();
+        assert_eq!(win2.count(), 1);
+        assert_eq!(win2.percentile(0.5), 7, "small values are exact");
+    }
+
+    #[test]
+    fn empty_window_percentile_is_zero() {
+        assert_eq!(WindowSummary::empty().percentile(0.99), 0);
+        assert_eq!(WindowSummary::empty().mean(), 0.0);
+    }
+
+    proptest! {
+        /// Satellite guarantee: merging every per-tick window of a run
+        /// reproduces the whole-run histogram exactly (buckets, count,
+        /// sum), and the rolling quantile equals the whole-run bucket
+        /// quantile.
+        #[test]
+        fn merged_windows_equal_whole_run_histogram(
+            chunks in proptest::collection::vec(
+                proptest::collection::vec(0u64..1_000_000_000, 0..40),
+                1..12,
+            ),
+            q in 0.01f64..1.0,
+        ) {
+            let h = Histogram::new();
+            let mut w = WindowedHistogram::new(h.clone(), usize::MAX);
+            for chunk in &chunks {
+                for &v in chunk {
+                    h.record(v);
+                }
+                let win = w.tick();
+                prop_assert_eq!(win.count(), chunk.len() as u64);
+            }
+            let merged = w.rolling(usize::MAX);
+            let whole = WindowSummary::from_histogram(&h);
+            prop_assert_eq!(&merged, &whole);
+            // The windowed quantile is the unclamped upper bucket bound;
+            // the live histogram clamps to the observed max. Both land in
+            // the exact value's bucket.
+            let win_q = merged.percentile(q);
+            let live_q = h.percentile(q);
+            prop_assert!(win_q >= live_q);
+            if merged.count() > 0 {
+                let (lo, hi) = super::bucket_bounds(
+                    super::super::histogram::bucket_index(live_q),
+                );
+                prop_assert!(win_q >= lo && win_q <= hi,
+                    "windowed q {win_q} outside live quantile bucket {lo}..={hi}");
+            }
+        }
+    }
+}

@@ -189,6 +189,38 @@ impl PipelineTracer {
         }
     }
 
+    /// Every complete stage span still resident in the slot table, for
+    /// export (Chrome `trace_event` JSON). Each span covers one stage of
+    /// one sampled record: `start_ns`/`end_ns` are nanoseconds since the
+    /// tracer's epoch. Spans whose slot was recycled by a newer sample are
+    /// gone (their latency histograms already recorded them).
+    pub fn spans(&self) -> Vec<TraceSpan> {
+        let Some(inner) = self.inner.as_ref() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for slot in &inner.slots {
+            let id = slot.id.load(Ordering::Relaxed);
+            if id == 0 {
+                continue;
+            }
+            for (s, name) in inner.stages.iter().enumerate() {
+                let entered = slot.enters[s].load(Ordering::Relaxed);
+                let exited = slot.exits[s].load(Ordering::Relaxed);
+                if entered != 0 && exited >= entered {
+                    out.push(TraceSpan {
+                        trace: id,
+                        stage: name.clone(),
+                        start_ns: entered - 1, // undo the +1 epoch offset
+                        end_ns: exited - 1,
+                    });
+                }
+            }
+        }
+        out.sort_unstable_by_key(|s| (s.start_ns, s.trace));
+        out
+    }
+
     /// The per-stage latencies stamped for trace `t`, in stage order,
     /// covering stages with both an enter and an exit. `None` if the
     /// trace's slot was recycled by a newer sample.
@@ -208,6 +240,20 @@ impl PipelineTracer {
         }
         Some(out)
     }
+}
+
+/// One stage crossing of one sampled record, as reported by
+/// [`PipelineTracer::spans`]. Timestamps are ns since the tracer's epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// The sampled record's trace id.
+    pub trace: u64,
+    /// Stage name (e.g. `"batcher"`).
+    pub stage: String,
+    /// Stage-entry time, ns since the tracer's epoch.
+    pub start_ns: u64,
+    /// Stage-exit time, ns since the tracer's epoch.
+    pub end_ns: u64,
 }
 
 /// One stage's handle onto a [`PipelineTracer`]: stamps enters/exits for
@@ -306,6 +352,24 @@ mod tests {
             .snapshot()
             .histograms
             .contains_key("dc0.queue.latency_us"));
+    }
+
+    #[test]
+    fn spans_export_complete_stage_crossings() {
+        let reg = MetricsRegistry::new("t");
+        let t = PipelineTracer::new(&["batcher", "queue"], 1, &reg, "dc0");
+        let id = t.sample().unwrap();
+        let batcher = t.stage("batcher");
+        batcher.enter(Some(id));
+        batcher.exit(Some(id));
+        let queue = t.stage("queue");
+        queue.enter(Some(id)); // never exits: incomplete, not exported
+        let spans = t.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].trace, id.0);
+        assert_eq!(spans[0].stage, "batcher");
+        assert!(spans[0].end_ns >= spans[0].start_ns);
+        assert!(PipelineTracer::disabled().spans().is_empty());
     }
 
     #[test]

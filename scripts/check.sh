@@ -26,4 +26,10 @@ echo "==> geo smoke gate"
 cargo run --release -p chariots-bench --bin harness -- \
   --smoke --metrics-out target/bench-artifacts/geo-metrics.json geo
 
+echo "==> obs smoke gate"
+cargo run --release -p chariots-bench --bin harness -- \
+  --smoke --metrics-out target/bench-artifacts/obs-metrics.json \
+  --timeline-out target/bench-artifacts/obs-timeline.json \
+  --trace-out target/bench-artifacts/obs-trace.json obs
+
 echo "All checks passed."
