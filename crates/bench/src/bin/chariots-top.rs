@@ -14,22 +14,30 @@
 
 use std::time::{Duration, Instant};
 
-use chariots_core::{ChariotsCluster, StageStations};
-use chariots_simnet::{Collector, CollectorConfig, LinkConfig, LiveView, RateLimiter, Shutdown};
+use chariots_core::{AutoscaleConfig, Autoscaler, ChariotsCluster, StagePolicy, StageStations};
+use chariots_simnet::{
+    Collector, CollectorConfig, EventKind, LinkConfig, LiveView, RateLimiter, Shutdown,
+    StationConfig,
+};
 use chariots_types::{ChariotsConfig, DatacenterId, FLStoreConfig, TagSet};
 
 const USAGE: &str = "\
 usage: chariots-top [--duration <secs>] [--refresh <ms>] [--dcs <n>] [--rate <appends/s>]
+                    [--autoscale]
   --duration  how long to run before exiting (default 20)
   --refresh   dashboard refresh interval in ms (default 500)
   --dcs       datacenters in the cluster (default 2)
-  --rate      paced append rate into DC 0 (default 4000)";
+  --rate      paced append rate into DC 0 (default 4000)
+  --autoscale close the autoscaling control plane over the cluster (the
+              elastic stages are capped below the append rate so the
+              dashboard shows live scale-out/scale-in)";
 
 struct Opts {
     duration: Duration,
     refresh: Duration,
     dcs: usize,
     rate: f64,
+    autoscale: bool,
 }
 
 fn parse_opts() -> Opts {
@@ -38,6 +46,7 @@ fn parse_opts() -> Opts {
         refresh: Duration::from_millis(500),
         dcs: 2,
         rate: 4_000.0,
+        autoscale: false,
     };
     let mut args = std::env::args().skip(1);
     let value = |flag: &str, args: &mut dyn Iterator<Item = String>| -> String {
@@ -56,6 +65,7 @@ fn parse_opts() -> Opts {
             }
             "--dcs" => opts.dcs = parse(&value(&arg, &mut args), &arg),
             "--rate" => opts.rate = parse(&value(&arg, &mut args), &arg),
+            "--autoscale" => opts.autoscale = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -89,11 +99,22 @@ fn main() {
     let wan = LinkConfig::with_latency(Duration::from_millis(3))
         .jitter(Duration::from_micros(500))
         .seed(7);
-    let cluster =
-        ChariotsCluster::launch(cfg, StageStations::default(), wan).expect("launch cluster");
-    let collector = Collector::spawn(cluster.registries(), CollectorConfig::default());
+    // With --autoscale, cap the elastic stages below the append rate so a
+    // single machine falls behind and the control plane visibly acts.
+    let stations = if opts.autoscale {
+        StageStations {
+            batcher: StationConfig::with_rate(opts.rate * 0.6),
+            queue: StationConfig::with_rate(opts.rate * 0.6),
+            ..StageStations::default()
+        }
+    } else {
+        StageStations::default()
+    };
+    let cluster = ChariotsCluster::launch(cfg, stations, wan).expect("launch cluster");
 
     // Paced append client into DC 0; its records propagate to every peer.
+    // (Opened before the autoscaler takes the cluster: client handles stay
+    // valid across reconfigurations.)
     let shutdown = Shutdown::new();
     let client_thread = {
         let mut client = cluster.client(DatacenterId(0));
@@ -120,21 +141,63 @@ fn main() {
 
     let window_ticks = 16;
     let deadline = Instant::now() + opts.duration;
-    while Instant::now() < deadline {
-        std::thread::sleep(opts.refresh);
-        render(&collector.live(window_ticks, 10));
-    }
-
-    shutdown.signal();
-    let _ = client_thread.join();
-    let timeline = collector.stop();
-    cluster.shutdown();
+    let timeline = if opts.autoscale {
+        let handle = Autoscaler::launch(cluster, top_autoscale_cfg());
+        while Instant::now() < deadline {
+            std::thread::sleep(opts.refresh);
+            render(&handle.live(window_ticks, 10));
+        }
+        shutdown.signal();
+        let _ = client_thread.join();
+        let outcome = handle.stop();
+        outcome.cluster.shutdown();
+        println!(
+            "\nchariots-top: {} scale-outs, {} scale-ins, {} blocked verdicts",
+            outcome.summary.scale_outs(),
+            outcome.summary.scale_ins(),
+            outcome.summary.blocked
+        );
+        outcome.timeline
+    } else {
+        let collector = Collector::spawn(cluster.registries(), CollectorConfig::default());
+        while Instant::now() < deadline {
+            std::thread::sleep(opts.refresh);
+            render(&collector.live(window_ticks, 10));
+        }
+        shutdown.signal();
+        let _ = client_thread.join();
+        let timeline = collector.stop();
+        cluster.shutdown();
+        timeline
+    };
     println!(
         "\nchariots-top: {} collector ticks, {} journal events over {:?}",
         timeline.ticks.len(),
         timeline.events.len(),
         opts.duration
     );
+}
+
+/// A dashboard-speed autoscaler: sub-second reactions so a 20-second run
+/// shows scale-out under the capped stages and scale-in once load drops.
+fn top_autoscale_cfg() -> AutoscaleConfig {
+    let elastic = StagePolicy {
+        min: 1,
+        max: 4,
+        high_backlog: 200.0,
+        high_p99_us: 0.0,
+        high_batch: 0.0,
+        low_frac: 0.1,
+        sustain: 3,
+        cooldown: Duration::from_secs(2),
+        scale_in: true,
+    };
+    AutoscaleConfig {
+        interval: Duration::from_millis(100),
+        batcher: elastic.clone(),
+        queue: elastic,
+        ..AutoscaleConfig::default()
+    }
 }
 
 /// Clears the terminal and renders one frame of the dashboard.
@@ -176,6 +239,21 @@ fn render(live: &LiveView) {
         println!("  {key:<36} {v:>10}");
     }
 
+    // Autoscaler machine counts (present only when the control plane is
+    // attached).
+    let mut machines: Vec<&(String, i64)> = live
+        .gauges
+        .iter()
+        .filter(|(k, _)| k.ends_with(".machines"))
+        .collect();
+    if !machines.is_empty() {
+        machines.sort_by(|a, b| a.0.cmp(&b.0));
+        println!("\nmachines (autoscaler)");
+        for (key, v) in machines {
+            println!("  {key:<36} {v:>10}");
+        }
+    }
+
     println!("\nlatency (rolling window, µs)");
     let mut quantiles: Vec<_> = live
         .quantiles
@@ -199,10 +277,36 @@ fn render(live: &LiveView) {
     }
     for e in &live.events {
         println!(
-            "  [{:>9.3}s] {:<20} {}",
+            "  [{:>9.3}s] {:<20} {} {}",
             e.at_us as f64 / 1e6,
             e.kind.label(),
-            e.source
+            e.source,
+            event_detail(&e.kind)
         );
+    }
+}
+
+/// Human detail text for the reconfiguration events; empty for kinds whose
+/// label already says it all.
+fn event_detail(kind: &EventKind) -> String {
+    match kind {
+        EventKind::ScaleOut {
+            stage,
+            machines,
+            signal_milli,
+        } => format!(
+            "{stage} → {machines} machines (signal {:.2}× watermark)",
+            *signal_milli as f64 / 1000.0
+        ),
+        EventKind::ScaleIn {
+            stage,
+            machines,
+            signal_milli,
+        } => format!(
+            "{stage} → {machines} machines (signal {:.2}× watermark)",
+            *signal_milli as f64 / 1000.0
+        ),
+        EventKind::EpochChange { boundary } => format!("new epoch from LId {boundary}"),
+        _ => String::new(),
     }
 }

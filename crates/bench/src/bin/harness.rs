@@ -10,8 +10,8 @@
 use std::path::PathBuf;
 
 use chariots_bench::experiments::{
-    ablations, apps, availability, baseline, batching, fig7, fig8, fig9, geo, obs, readpath,
-    tables, txn,
+    ablations, apps, availability, baseline, batching, elasticity, fig7, fig8, fig9, geo, obs,
+    readpath, tables, txn,
 };
 use chariots_bench::report::Report;
 use chariots_simnet::MetricsSnapshot;
@@ -41,15 +41,19 @@ experiments:
   ablations  A1/A2 (FLStore knobs), A3 (token policy), A5 (flush threshold)
   obs        telemetry collector overhead: throughput with/without 100ms
              scrapes, plus the exportable timeline and Chrome trace
+  elasticity flash crowd vs the autoscaling control plane: scale-out
+             under load, drain-and-retire after, integrity vs a static
+             layout, and the cost of each reconfiguration
   all        everything above
 --quick trims warmups/windows for smoke runs
 --smoke implies --quick and additionally gates: experiments with a smoke
-  check (batching, readpath, geo, obs) fail the process when the check
-  fails
+  check (batching, readpath, geo, obs, elasticity) fail the process when
+  the check fails
 --metrics-out writes the merged metrics registries (counters, gauges,
   per-stage latency histograms) of every selected experiment as JSON
---timeline-out writes the obs run's collector timeline (per-tick counter
-  deltas, gauge samples, rolling quantiles, journal events) as JSON
+--timeline-out writes the obs (or elasticity) run's collector timeline
+  (per-tick counter deltas, gauge samples, rolling quantiles, journal
+  events) as JSON
 --trace-out writes the obs run's Chrome trace_event JSON (pipeline spans
   + journal events; open in Perfetto or chrome://tracing)";
 
@@ -122,6 +126,7 @@ fn main() {
                 timeline_out.as_deref(),
                 trace_out.as_deref(),
             )],
+            "elasticity" => vec![elasticity::run(quick, timeline_out.as_deref())],
             "ablations" => vec![
                 ablations::run_flstore_knobs(quick),
                 ablations::run_token_policy(quick),
@@ -146,6 +151,7 @@ fn main() {
                     "readpath" => Some(readpath::verify_smoke(&report)),
                     "geo" => Some(geo::verify_smoke(&report)),
                     "obs" => Some(obs::verify_smoke(&report)),
+                    "elasticity" => Some(elasticity::verify_smoke(&report)),
                     _ => None,
                 };
                 match gate {
@@ -182,6 +188,7 @@ fn main() {
                 "apps",
                 "ablations",
                 "obs",
+                "elasticity",
             ] {
                 run_and_collect(e);
             }

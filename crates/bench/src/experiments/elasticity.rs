@@ -1,0 +1,452 @@
+//! Elasticity experiment (`elasticity`): a flash crowd hits a
+//! single-datacenter pipeline whose batcher and queue machines are
+//! rate-capped, once with the autoscaling control plane closed over the
+//! cluster and once with a static (over-provisioned-by-nothing) layout.
+//!
+//! The load is a diurnal-style three-phase shape — base rate, a spike at
+//! 2× the per-machine capacity, base rate again — driven open-loop. The
+//! autoscaled run must scale out under the spike, drain-and-retire back
+//! down after the cooldown, and lose or duplicate nothing relative to the
+//! static run. The table reports, per run, the actuated scale-outs and
+//! scale-ins, blocked verdicts, the integrity counts (lost / duplicated
+//! records), and the cost of reconfiguring: the worst single-tick
+//! throughput dip inside the spike window, the peak queue-stage p99 over
+//! baseline, and the time from the end of the spike until the pipeline's
+//! backlog drained back under the scale-out watermark.
+
+use std::collections::HashSet;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use chariots_core::{AutoscaleConfig, Autoscaler, ChariotsCluster, StagePolicy, StageStations};
+use chariots_simnet::{
+    Collector, CollectorConfig, LinkConfig, RateLimiter, StationConfig, Timeline,
+};
+use chariots_types::{ChariotsConfig, DatacenterId, FLStoreConfig, LId, TagSet};
+
+use crate::report::Report;
+
+/// Per-machine service cap (records/s) on the elastic stages. The spike
+/// arrives at 2× this, so a single machine must fall behind.
+const STAGE_CAP: f64 = 1_500.0;
+/// Backlog watermark the bench policies scale out at (also the drain
+/// threshold for the convergence metric).
+const HIGH_BACKLOG: f64 = 100.0;
+
+/// The three-phase open-loop load shape.
+struct LoadShape {
+    base_rate: f64,
+    spike_rate: f64,
+    base_before: Duration,
+    spike: Duration,
+    base_after: Duration,
+}
+
+impl LoadShape {
+    fn new(quick: bool) -> Self {
+        LoadShape {
+            base_rate: 400.0,
+            spike_rate: 2.0 * STAGE_CAP,
+            base_before: Duration::from_millis(if quick { 1_000 } else { 2_000 }),
+            spike: Duration::from_millis(if quick { 2_500 } else { 5_000 }),
+            base_after: Duration::from_millis(if quick { 1_500 } else { 3_000 }),
+        }
+    }
+}
+
+/// What one run hands back for the table.
+struct RunResult {
+    appended: u64,
+    scale_outs: f64,
+    scale_ins: f64,
+    blocked: f64,
+    lost: u64,
+    duplicated: u64,
+    timeline: Timeline,
+    /// Offset of the spike's start/end from the collector's start.
+    spike_window: (Duration, Duration),
+}
+
+fn pipeline_cfg() -> ChariotsConfig {
+    let mut cfg = ChariotsConfig::new().datacenters(1);
+    cfg.flstore = FLStoreConfig::new()
+        .maintainers(2)
+        .batch_size(16)
+        .gossip_interval(Duration::from_millis(1));
+    cfg.batcher_flush_threshold = 16;
+    cfg.batcher_flush_interval = Duration::from_millis(1);
+    cfg
+}
+
+/// Batcher and queue machines capped at [`STAGE_CAP`]; everything else
+/// uncapped so the bottleneck is unambiguous.
+fn stations() -> StageStations {
+    StageStations {
+        batcher: StationConfig::with_rate(STAGE_CAP),
+        queue: StationConfig::with_rate(STAGE_CAP),
+        ..StageStations::default()
+    }
+}
+
+/// A bench-speed controller: 25 ms scrapes, 50 ms evaluations, two-round
+/// sustain, sub-second cooldowns, scale-in enabled on the capped stages.
+/// Filter and maintainer policies stay at their defaults (high watermarks
+/// / disabled), so the smoke run exercises exactly the batcher and queue
+/// loops.
+fn autoscale_cfg() -> AutoscaleConfig {
+    let elastic = StagePolicy {
+        min: 1,
+        max: 4,
+        high_backlog: HIGH_BACKLOG,
+        high_p99_us: 0.0,
+        high_batch: 0.0,
+        low_frac: 0.1,
+        sustain: 2,
+        cooldown: Duration::from_millis(600),
+        scale_in: true,
+    };
+    let mut cfg = AutoscaleConfig {
+        interval: Duration::from_millis(50),
+        window_ticks: 3,
+        alpha: 0.6,
+        batcher: elastic.clone(),
+        queue: elastic,
+        ..AutoscaleConfig::default()
+    };
+    cfg.collector.interval = Duration::from_millis(25);
+    cfg
+}
+
+/// Drives the three-phase shape through `client`, returning how many
+/// records were appended (open-loop, fire-and-forget).
+fn drive(client: &mut chariots_core::ChariotsClient, shape: &LoadShape) -> u64 {
+    let mut appended = 0u64;
+    for (rate, duration) in [
+        (shape.base_rate, shape.base_before),
+        (shape.spike_rate, shape.spike),
+        (shape.base_rate, shape.base_after),
+    ] {
+        let mut pacer = RateLimiter::new(rate);
+        let end = Instant::now() + duration;
+        while Instant::now() < end {
+            pacer.pace(1);
+            if client
+                .append_async(TagSet::new(), format!("e{appended}"))
+                .is_ok()
+            {
+                appended += 1;
+            }
+        }
+    }
+    appended
+}
+
+/// Reads back the whole log and checks it against the `appended` records
+/// this run produced: returns `(lost, duplicated)` counts.
+fn integrity(client: &mut chariots_core::ChariotsClient, appended: u64) -> (u64, u64) {
+    let hl = client.head_of_log().map(|l| l.0).unwrap_or(0);
+    let mut seen: HashSet<(u16, u64)> = HashSet::new();
+    let mut reads_ok = 0u64;
+    let mut lid = 0u64;
+    while lid < hl {
+        let chunk: Vec<LId> = (lid..(lid + 256).min(hl)).map(LId).collect();
+        lid += chunk.len() as u64;
+        for entry in client.read_many(&chunk).into_iter().flatten() {
+            reads_ok += 1;
+            let r = &entry.record;
+            seen.insert((r.host().0, r.toid().as_u64()));
+        }
+    }
+    let expected: HashSet<(u16, u64)> = (1..=appended).map(|t| (0u16, t)).collect();
+    let lost = expected.difference(&seen).count() as u64;
+    let duplicated = reads_ok - seen.len() as u64;
+    (lost, duplicated)
+}
+
+/// One autoscaled run: cluster → client → autoscaler → flash crowd →
+/// drain → wait for the post-load scale-in → stop and read back.
+fn run_autoscaled(shape: &LoadShape) -> RunResult {
+    let cluster =
+        ChariotsCluster::launch(pipeline_cfg(), stations(), LinkConfig::default()).expect("launch");
+    let mut client = cluster.client(DatacenterId(0));
+    let handle = Autoscaler::launch(cluster, autoscale_cfg());
+
+    // Tick timestamps count from the collector's start, which is (a few
+    // microseconds before) right now.
+    let spike_start = shape.base_before;
+    let appended = drive(&mut client, shape);
+    let spike_end = spike_start + shape.spike;
+
+    // Drain in short slices so the control loop keeps evaluating (and can
+    // scale in) while we wait.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let done =
+            handle.with_cluster(|c| c.wait_for_replication(appended, Duration::from_millis(20)));
+        if done {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "elasticity: autoscaled run never drained ({appended} records)"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // The backlog is now empty: give the controller until well past its
+    // cooldown to actuate the post-crowd scale-in before stopping.
+    let scalein = handle
+        .registry()
+        .counter("chariots.autoscale.scalein.count");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while scalein.get() == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    let (lost, duplicated) = integrity(&mut client, appended);
+    let outcome = handle.stop();
+    outcome.cluster.shutdown();
+    RunResult {
+        appended,
+        scale_outs: outcome.summary.scale_outs() as f64,
+        scale_ins: outcome.summary.scale_ins() as f64,
+        blocked: outcome.summary.blocked as f64,
+        lost,
+        duplicated,
+        timeline: outcome.timeline,
+        spike_window: (spike_start, spike_end),
+    }
+}
+
+/// The static control: same shape, same caps, fixed layout; a plain
+/// collector produces the comparable timeline.
+fn run_static(shape: &LoadShape) -> RunResult {
+    let cluster =
+        ChariotsCluster::launch(pipeline_cfg(), stations(), LinkConfig::default()).expect("launch");
+    let collector = Collector::spawn(
+        cluster.registries(),
+        CollectorConfig {
+            interval: Duration::from_millis(25),
+            ..CollectorConfig::default()
+        },
+    );
+    let mut client = cluster.client(DatacenterId(0));
+
+    let spike_start = shape.base_before;
+    let appended = drive(&mut client, shape);
+    let spike_end = spike_start + shape.spike;
+
+    assert!(
+        cluster.wait_for_replication(appended, Duration::from_secs(120)),
+        "elasticity: static run never drained ({appended} records)"
+    );
+    let (lost, duplicated) = integrity(&mut client, appended);
+    let timeline = collector.stop();
+    cluster.shutdown();
+    RunResult {
+        appended,
+        scale_outs: 0.0,
+        scale_ins: 0.0,
+        blocked: 0.0,
+        lost,
+        duplicated,
+        timeline,
+        spike_window: (spike_start, spike_end),
+    }
+}
+
+/// Per-tick committed throughput (records/s) from the `dc0.store*.in`
+/// counter deltas.
+fn tick_rate(tick: &chariots_simnet::TimelineTick, interval_s: f64) -> f64 {
+    let committed: u64 = tick
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("dc0.store") && k.ends_with(".in"))
+        .map(|(_, v)| *v)
+        .sum();
+    committed as f64 / interval_s
+}
+
+/// Total batcher + queue backlog (health gauges) at a tick.
+fn tick_backlog(tick: &chariots_simnet::TimelineTick) -> i64 {
+    tick.gauges
+        .iter()
+        .filter(|(k, _)| {
+            (k.starts_with("dc0.batcher") || k.starts_with("dc0.queue"))
+                && (k.ends_with(".queue.depth") || k.ends_with(".occupancy"))
+        })
+        .map(|(_, v)| (*v).max(0))
+        .sum()
+}
+
+/// The reconfiguration-cost triple mined from a run's timeline:
+/// `(dip %, p99 spike µs, converge ms)`.
+fn reconfig_cost(timeline: &Timeline, spike: (Duration, Duration)) -> (f64, f64, f64) {
+    let interval_s = timeline.interval_us as f64 / 1e6;
+    let in_window = |tick: &&chariots_simnet::TimelineTick, lo: Duration, hi: Duration| {
+        let at = Duration::from_micros(tick.elapsed_us);
+        at >= lo && at < hi
+    };
+    let (spike_start, spike_end) = spike;
+
+    // Baseline: the first base phase (skipping the first couple of ticks
+    // of cold start).
+    let warmup = Duration::from_millis(100);
+    let base_ticks: Vec<_> = timeline
+        .ticks
+        .iter()
+        .filter(|t| in_window(t, warmup, spike_start))
+        .collect();
+    let base_p99 = mean(
+        base_ticks
+            .iter()
+            .filter_map(|t| t.quantiles.get("dc0.queue.latency_us"))
+            .map(|q| q.p99 as f64),
+    );
+
+    // Spike window: worst tick vs the window mean.
+    let spike_ticks: Vec<_> = timeline
+        .ticks
+        .iter()
+        .filter(|t| in_window(t, spike_start, spike_end))
+        .collect();
+    let rates: Vec<f64> = spike_ticks
+        .iter()
+        .map(|t| tick_rate(t, interval_s))
+        .collect();
+    let spike_mean = mean(rates.iter().copied());
+    let spike_min = rates.iter().copied().fold(f64::INFINITY, f64::min);
+    let dip_pct = if spike_mean > 0.0 && spike_min.is_finite() {
+        (1.0 - spike_min / spike_mean).max(0.0) * 100.0
+    } else {
+        0.0
+    };
+
+    let peak_p99 = timeline
+        .ticks
+        .iter()
+        .filter_map(|t| t.quantiles.get("dc0.queue.latency_us"))
+        .map(|q| q.p99 as f64)
+        .fold(0.0, f64::max);
+    let p99_spike_us = (peak_p99 - base_p99).max(0.0);
+
+    // Convergence: first tick at/after the end of the spike whose total
+    // backlog is back under the scale-out watermark.
+    let converge_ms = timeline
+        .ticks
+        .iter()
+        .filter(|t| Duration::from_micros(t.elapsed_us) >= spike_end)
+        .find(|t| tick_backlog(t) < HIGH_BACKLOG as i64)
+        .map(|t| (Duration::from_micros(t.elapsed_us) - spike_end).as_secs_f64() * 1e3)
+        .unwrap_or(f64::NAN);
+
+    (dip_pct, p99_spike_us, converge_ms)
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0, 0u64);
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Runs the elasticity experiment, optionally exporting the autoscaled
+/// run's collector timeline (scale events, machine gauges, backlog).
+pub fn run(quick: bool, timeline_out: Option<&Path>) -> Report {
+    let shape = LoadShape::new(quick);
+    let stat = run_static(&shape);
+    let scaled = run_autoscaled(&shape);
+
+    let mut report = Report::new(
+        "elasticity",
+        "Flash crowd vs the autoscaling control plane (capped batcher/queue stages)",
+        vec![
+            "scale-outs".into(),
+            "scale-ins".into(),
+            "blocked".into(),
+            "lost".into(),
+            "dup".into(),
+            "dip (%)".into(),
+            "p99 spike (µs)".into(),
+            "converge (ms)".into(),
+        ],
+    );
+    for (label, r) in [("static", &stat), ("autoscaled", &scaled)] {
+        let (dip, p99_spike, converge) = reconfig_cost(&r.timeline, r.spike_window);
+        report.row(
+            label,
+            vec![
+                r.scale_outs,
+                r.scale_ins,
+                r.blocked,
+                r.lost as f64,
+                r.duplicated as f64,
+                dip,
+                p99_spike,
+                converge,
+            ],
+        );
+    }
+    report.note(format!(
+        "three-phase open-loop load on 1 DC: {:.0}/s base, {:.0}/s flash crowd \
+         ({}ms) against batcher/queue machines capped at {:.0}/s each; the \
+         autoscaled run must scale out under the crowd and drain-and-retire \
+         after it passes (static={} autoscaled={} records appended)",
+        shape.base_rate,
+        shape.spike_rate,
+        shape.spike.as_millis(),
+        STAGE_CAP,
+        stat.appended,
+        scaled.appended,
+    ));
+    report.note(
+        "integrity: every run reads its whole log back and checks the \
+         (datacenter, TOId) set against what it appended — lost and dup \
+         must both be 0 with and without reconfigurations",
+    );
+    report.note(format!(
+        "dip = worst single-tick committed throughput inside the spike \
+         window vs that window's mean; p99 spike = peak queue-stage tick \
+         p99 over the pre-crowd baseline; converge = spike end → backlog \
+         back under the {HIGH_BACKLOG:.0}-record watermark"
+    ));
+    if let Some(path) = timeline_out {
+        super::obs::write_json(path, &scaled.timeline, "elasticity timeline");
+    }
+    report
+}
+
+/// Smoke gate for CI: the autoscaled run must have scaled out under the
+/// crowd, scaled back in after it, and neither run may lose or duplicate
+/// a record.
+pub fn verify_smoke(report: &Report) -> Result<(), String> {
+    let find = |label: &str| -> Result<&crate::report::Row, String> {
+        report
+            .rows
+            .iter()
+            .find(|r| r.label == label)
+            .ok_or_else(|| format!("missing {label} row"))
+    };
+    let stat = find("static")?;
+    let scaled = find("autoscaled")?;
+    if scaled.values[0] < 1.0 {
+        return Err("the flash crowd triggered no scale-out".into());
+    }
+    if scaled.values[1] < 1.0 {
+        return Err("no scale-in after the crowd passed".into());
+    }
+    for (label, row) in [("static", stat), ("autoscaled", scaled)] {
+        if row.values[3] != 0.0 {
+            return Err(format!("{label} run lost {} records", row.values[3]));
+        }
+        if row.values[4] != 0.0 {
+            return Err(format!("{label} run duplicated {} records", row.values[4]));
+        }
+    }
+    Ok(())
+}

@@ -90,7 +90,7 @@ fn run_one(with_collector: bool, records: u64) -> (f64, Option<ObsArtifacts>) {
     (committed_per_s, artifacts)
 }
 
-fn write_json<T: serde::Serialize>(path: &Path, value: &T, what: &str) {
+pub(crate) fn write_json<T: serde::Serialize>(path: &Path, value: &T, what: &str) {
     if let Some(dir) = path.parent() {
         let _ = std::fs::create_dir_all(dir);
     }

@@ -1,0 +1,87 @@
+//! Turning verdicts into cluster mutations.
+//!
+//! One thin, synchronous layer between the policy and the deployment:
+//! scale-out maps onto the live-elasticity entry points (§6.3 —
+//! `add_batcher` / `add_queue` / `add_filter`, and epoch-based range
+//! reassignment for maintainers), scale-in onto the drain-and-retire
+//! paths. Every call returns the stage's resulting machine count so the
+//! controller can gauge it without re-locking the cluster.
+
+use std::time::Duration;
+
+use chariots_types::{ChariotsError, LId, Result};
+
+use super::policy::ScaleDecision;
+use super::signals::ScaleStage;
+use crate::datacenter::ChariotsDc;
+
+/// Actuation knobs: drain deadlines and reassignment margins.
+#[derive(Debug, Clone)]
+pub struct Actuator {
+    /// How long a retiring queue gets to drain before the retire is
+    /// cancelled and the node restored.
+    pub queue_drain_timeout: Duration,
+    /// TOId margin past the highest known TOId for a filter routing
+    /// boundary (must outrun records in flight to batchers).
+    pub filter_margin: u64,
+    /// LId margin past the current head of log for a maintainer epoch
+    /// boundary (must outrun records in flight to the queues: records
+    /// assigned *before* the announcement but *above* the boundary would
+    /// land on the old owner while readers ask the new one).
+    pub maintainer_margin: u64,
+}
+
+impl Default for Actuator {
+    fn default() -> Self {
+        Actuator {
+            queue_drain_timeout: Duration::from_secs(10),
+            filter_margin: 5_000,
+            maintainer_margin: 200_000,
+        }
+    }
+}
+
+impl Actuator {
+    /// Applies one decision to one datacenter and returns the stage's
+    /// machine count afterwards. Errors (drain timeout, floor reached,
+    /// unsupported direction) leave the deployment as it was.
+    pub fn apply(
+        &self,
+        dc: &mut ChariotsDc,
+        stage: ScaleStage,
+        decision: ScaleDecision,
+    ) -> Result<usize> {
+        match (stage, decision) {
+            (ScaleStage::Batcher, ScaleDecision::Out) => {
+                dc.add_batcher();
+                Ok(dc.batcher_count())
+            }
+            (ScaleStage::Batcher, ScaleDecision::In) => {
+                dc.retire_batcher()?;
+                Ok(dc.batcher_count())
+            }
+            (ScaleStage::Queue, ScaleDecision::Out) => {
+                dc.add_queue();
+                Ok(dc.queue_count())
+            }
+            (ScaleStage::Queue, ScaleDecision::In) => {
+                dc.retire_queue(self.queue_drain_timeout)?;
+                Ok(dc.queue_count())
+            }
+            (ScaleStage::Filter, ScaleDecision::Out) => {
+                dc.add_filter(self.filter_margin);
+                Ok(dc.filter_count())
+            }
+            (ScaleStage::Maintainer, ScaleDecision::Out) => {
+                let hl = dc.flstore().client().head_of_log()?;
+                dc.flstore_add_maintainer(LId(hl.0 + self.maintainer_margin))?;
+                Ok(dc.maintainer_count())
+            }
+            (ScaleStage::Filter | ScaleStage::Maintainer, ScaleDecision::In) => {
+                Err(ChariotsError::InvalidConfig(format!(
+                    "{stage} scale-in is not supported: its routing history only grows"
+                )))
+            }
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! The autoscaling control plane: metrics-driven elasticity over the
+//! §6.2 pipeline and the §6.3 reconfiguration machinery.
+//!
+//! Chariots makes every stage elastically growable online — batchers,
+//! queues, and filters via the shared routing structures, maintainers via
+//! epoch-based future reassignment — but the paper leaves *when* to grow
+//! to the operator. This module closes the loop:
+//!
+//! * [`signals`] scrapes the deployment's [`LiveView`] into smoothed
+//!   per-stage signals (queue depth, occupancy, stage p99, maintainer
+//!   batch size),
+//! * [`policy`] folds them through a target-tracking policy with
+//!   hysteresis, sustain counts, per-stage cooldowns, and min/max bounds,
+//! * [`actuator`] maps verdicts onto the live cluster — `add_*` and
+//!   epoch announcements outward, **drain-and-retire** inward (the
+//!   genuinely new mechanism: stop admitting, flush in-flight, unsplice
+//!   from the routing plan / token ring, join the thread), and
+//! * [`controller`] runs it all on a background thread, journaling every
+//!   decision as a typed `ScaleOut` / `ScaleIn` event with the triggering
+//!   signal and exporting `chariots.autoscale.*` counters and per-stage
+//!   machine-count gauges through the same collector it reads from.
+//!
+//! [`LiveView`]: chariots_simnet::LiveView
+
+pub mod actuator;
+pub mod controller;
+pub mod policy;
+pub mod signals;
+
+pub use actuator::Actuator;
+pub use controller::{
+    AutoscaleConfig, AutoscaleOutcome, AutoscaleSummary, Autoscaler, AutoscalerHandle, ScaleAction,
+    AUTOSCALE_REGISTRY,
+};
+pub use policy::{ScaleDecision, StageGovernor, StagePolicy, Verdict};
+pub use signals::{extract, ScaleStage, SignalSmoother, StageSignal};

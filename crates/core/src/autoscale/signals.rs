@@ -1,0 +1,244 @@
+//! Per-stage load signals scraped from the collector's [`LiveView`].
+//!
+//! The sensor side of the control loop: raw extraction pulls the queue
+//! depth / occupancy gauges, stage latency quantiles, and the FLStore
+//! batch-size histogram out of a live view by key, and a
+//! [`SignalSmoother`] EWMA-filters them so one noisy scrape window can't
+//! flap a scale decision.
+
+use std::collections::HashMap;
+
+use chariots_simnet::LiveView;
+
+/// The four elastic stages the autoscaler governs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScaleStage {
+    /// Ingress buffering machines.
+    Batcher,
+    /// Token-ring LId-assignment machines.
+    Queue,
+    /// Exactly-once championing machines.
+    Filter,
+    /// FLStore log-maintainer groups.
+    Maintainer,
+}
+
+impl ScaleStage {
+    /// Every governed stage, in evaluation order.
+    pub const ALL: [ScaleStage; 4] = [
+        ScaleStage::Batcher,
+        ScaleStage::Queue,
+        ScaleStage::Filter,
+        ScaleStage::Maintainer,
+    ];
+
+    /// The stage's name in journal events and autoscaler gauges.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScaleStage::Batcher => "batcher",
+            ScaleStage::Queue => "queue",
+            ScaleStage::Filter => "filter",
+            ScaleStage::Maintainer => "maintainer",
+        }
+    }
+
+    /// The stage's name in pipeline metric keys (maintainers surface as
+    /// the `store` stage there).
+    fn metric_stage(&self) -> &'static str {
+        match self {
+            ScaleStage::Maintainer => "store",
+            other => other.name(),
+        }
+    }
+}
+
+impl std::fmt::Display for ScaleStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One stage's load signals (raw or smoothed).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageSignal {
+    /// Records waiting at the stage — channel depth plus records held
+    /// (buffered / staged / parked) — summed over its machines.
+    pub backlog: f64,
+    /// The stage's p99 latency over the live window, microseconds.
+    pub p99_us: f64,
+    /// Median FLStore maintainer batch size over the live window
+    /// (maintainers only: batches pinned at the configured cap mean the
+    /// stripe is saturating).
+    pub batch_p50: f64,
+}
+
+/// Strips `prefix` + a non-empty machine index off `key`, returning what
+/// follows the digits (`"dc0.batcher12.queue.depth"` with prefix
+/// `"dc0.batcher"` → `".queue.depth"`).
+fn machine_suffix<'a>(key: &'a str, prefix: &str) -> Option<&'a str> {
+    let rest = key.strip_prefix(prefix)?;
+    let suffix = rest.trim_start_matches(|c: char| c.is_ascii_digit());
+    if suffix.len() == rest.len() {
+        return None; // no machine index: a different stage's key
+    }
+    Some(suffix)
+}
+
+/// Extracts one stage's raw (unsmoothed) signals from a live view.
+/// Missing keys read as zero — a deployment without the corresponding
+/// instrumentation simply never trips that watermark.
+pub fn extract(view: &LiveView, dc: u16, stage: ScaleStage) -> StageSignal {
+    let health_prefix = format!("dc{dc}.{}", stage.metric_stage());
+    let backlog: f64 = view
+        .gauges
+        .iter()
+        .filter(|(key, _)| {
+            matches!(
+                machine_suffix(key, &health_prefix),
+                Some(".queue.depth") | Some(".occupancy")
+            )
+        })
+        .map(|(_, v)| (*v).max(0) as f64)
+        .sum();
+    let latency_key = format!("dc{dc}.{}.latency_us", stage.metric_stage());
+    let p99_us = view
+        .quantiles
+        .iter()
+        .find(|(key, _)| key == &latency_key)
+        .map(|(_, summary)| summary.percentile(0.99) as f64)
+        .unwrap_or(0.0);
+    let batch_p50 = if stage == ScaleStage::Maintainer {
+        let batch_key = format!("dc{dc}.flstore.batch.size");
+        view.quantiles
+            .iter()
+            .find(|(key, _)| key == &batch_key)
+            .map(|(_, summary)| summary.percentile(0.5) as f64)
+            .unwrap_or(0.0)
+    } else {
+        0.0
+    };
+    StageSignal {
+        backlog,
+        p99_us,
+        batch_p50,
+    }
+}
+
+/// EWMA filter over per-`(dc, stage)` signals: `s ← α·raw + (1−α)·s`.
+/// The first observation seeds the state directly.
+#[derive(Debug)]
+pub struct SignalSmoother {
+    alpha: f64,
+    state: HashMap<(u16, ScaleStage), StageSignal>,
+}
+
+impl SignalSmoother {
+    /// A smoother with weight `alpha` on the newest observation (clamped
+    /// to `(0, 1]`; `1.0` disables smoothing).
+    pub fn new(alpha: f64) -> Self {
+        SignalSmoother {
+            alpha: alpha.clamp(f64::EPSILON, 1.0),
+            state: HashMap::new(),
+        }
+    }
+
+    /// Extracts `stage`'s raw signals from `view`, folds them into the
+    /// smoothed state, and returns the smoothed value.
+    pub fn observe(&mut self, view: &LiveView, dc: u16, stage: ScaleStage) -> StageSignal {
+        let raw = extract(view, dc, stage);
+        let smoothed = match self.state.get(&(dc, stage)) {
+            None => raw,
+            Some(prev) => {
+                let a = self.alpha;
+                StageSignal {
+                    backlog: a * raw.backlog + (1.0 - a) * prev.backlog,
+                    p99_us: a * raw.p99_us + (1.0 - a) * prev.p99_us,
+                    batch_p50: a * raw.batch_p50 + (1.0 - a) * prev.batch_p50,
+                }
+            }
+        };
+        self.state.insert((dc, stage), smoothed);
+        smoothed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chariots_simnet::{Histogram, WindowSummary};
+    use std::time::Duration;
+
+    fn summary_of(values: &[u64]) -> WindowSummary {
+        let h = Histogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        WindowSummary::from_histogram(&h)
+    }
+
+    fn view() -> LiveView {
+        LiveView {
+            elapsed: Duration::from_secs(1),
+            interval: Duration::from_millis(100),
+            ticks: 10,
+            rates: vec![("dc0.batcher0.in".into(), 100.0)],
+            gauges: vec![
+                ("dc0.batcher0.queue.depth".into(), 40),
+                ("dc0.batcher0.occupancy".into(), 10),
+                ("dc0.batcher1.queue.depth".into(), 50),
+                ("dc0.queue0.queue.depth".into(), 7),
+                ("dc0.flstore.hl".into(), 1000),
+                ("dc1.batcher0.queue.depth".into(), 999),
+            ],
+            quantiles: vec![
+                (
+                    "dc0.batcher.latency_us".into(),
+                    summary_of(&[100, 200, 300]),
+                ),
+                ("dc0.flstore.batch.size".into(), summary_of(&[8, 8, 8, 8])),
+            ],
+            events: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn extract_sums_health_gauges_for_the_right_dc_and_stage() {
+        let sig = extract(&view(), 0, ScaleStage::Batcher);
+        assert_eq!(sig.backlog, 100.0);
+        assert!(sig.p99_us >= 200.0, "p99 from the stage histogram");
+        assert_eq!(sig.batch_p50, 0.0, "batch size is maintainer-only");
+        let queue = extract(&view(), 0, ScaleStage::Queue);
+        assert_eq!(queue.backlog, 7.0);
+    }
+
+    #[test]
+    fn extract_reads_maintainer_batch_size() {
+        let sig = extract(&view(), 0, ScaleStage::Maintainer);
+        assert!(sig.batch_p50 >= 8.0);
+        assert_eq!(sig.backlog, 0.0, "hl gauge is not a health gauge");
+    }
+
+    #[test]
+    fn missing_keys_read_as_zero() {
+        let sig = extract(&view(), 3, ScaleStage::Filter);
+        assert_eq!(sig, StageSignal::default());
+    }
+
+    #[test]
+    fn smoother_converges_toward_the_raw_signal() {
+        let mut s = SignalSmoother::new(0.5);
+        let v = view();
+        let first = s.observe(&v, 0, ScaleStage::Batcher);
+        assert_eq!(first.backlog, 100.0, "first observation seeds directly");
+        // A quiet view: the smoothed value decays, not snaps, to zero.
+        let quiet = LiveView {
+            gauges: Vec::new(),
+            quantiles: Vec::new(),
+            ..v
+        };
+        let second = s.observe(&quiet, 0, ScaleStage::Batcher);
+        assert_eq!(second.backlog, 50.0);
+        let third = s.observe(&quiet, 0, ScaleStage::Batcher);
+        assert_eq!(third.backlog, 25.0);
+    }
+}

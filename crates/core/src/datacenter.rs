@@ -11,6 +11,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use chariots_simnet::{
     Counter, LinkSender, MetricsRegistry, MetricsSnapshot, Notify, PipelineTracer, ServiceStation,
@@ -102,6 +103,16 @@ pub struct ChariotsDc {
     tracer: PipelineTracer,
     gc_floor: AtomicU64,
     shutdown: Shutdown,
+    /// Lifetime spawn counts per elastic stage. Node names and metric keys
+    /// are derived from these, never from list positions, so a retired
+    /// node's name is never reused (reusing it would silently alias
+    /// registry entries and stale collector windows).
+    spawned_batchers: usize,
+    spawned_queues: usize,
+    /// Worker threads for the retireable stages, index-aligned with the
+    /// corresponding handle lists so retire can join exactly one thread.
+    batcher_threads: Vec<JoinHandle<()>>,
+    queue_threads: Vec<JoinHandle<()>>,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -122,6 +133,8 @@ impl ChariotsDc {
         cfg.validate().map_err(ChariotsError::InvalidConfig)?;
         let shutdown = Shutdown::new();
         let mut threads: Vec<JoinHandle<()>> = Vec::new();
+        let mut batcher_threads: Vec<JoinHandle<()>> = Vec::new();
+        let mut queue_threads: Vec<JoinHandle<()>> = Vec::new();
 
         // Observability: the per-DC metrics registry and the sampled
         // record tracer all six stages stamp into (see DESIGN.md
@@ -186,7 +199,7 @@ impl ChariotsDc {
             );
             registry.register_counter(format!("{prefix}.queue{i}.in"), handle.processed_counter());
             queues.push(handle);
-            threads.push(thread);
+            queue_threads.push(thread);
         }
         // Exactly one token exists; it starts at queue 0.
         queues[0].inject_token(Token::new(cfg.num_datacenters));
@@ -228,8 +241,9 @@ impl ChariotsDc {
         ));
 
         // Batchers.
-        let mut batcher_handles = Vec::with_capacity(cfg.stages.batchers);
-        for i in 0..cfg.stages.batchers {
+        let n_b = cfg.stages.batchers;
+        let mut batcher_handles = Vec::with_capacity(n_b);
+        for i in 0..n_b {
             let station = Arc::new(ServiceStation::new(
                 format!("{dc}-batcher-{i}"),
                 stations.batcher.clone(),
@@ -250,7 +264,7 @@ impl ChariotsDc {
                 handle.processed_counter(),
             );
             batcher_handles.push(handle);
-            threads.push(thread);
+            batcher_threads.push(thread);
         }
         let batchers = Arc::new(RwLock::new(batcher_handles));
 
@@ -334,6 +348,10 @@ impl ChariotsDc {
             tracer,
             gc_floor: AtomicU64::new(0),
             shutdown,
+            spawned_batchers: n_b,
+            spawned_queues: n_q,
+            batcher_threads,
+            queue_threads,
             threads,
         })
     }
@@ -378,7 +396,8 @@ impl ChariotsDc {
     /// inform local receivers of its existence" — here, it registers in the
     /// shared list both receivers and clients consult.
     pub fn add_batcher(&mut self) -> usize {
-        let idx = self.batchers.read().len();
+        let idx = self.spawned_batchers;
+        self.spawned_batchers += 1;
         let station = Arc::new(ServiceStation::new(
             format!("{}-batcher-{idx}", self.dc),
             self.stations.batcher.clone(),
@@ -403,8 +422,32 @@ impl ChariotsDc {
             handle.processed_counter(),
         );
         self.batchers.write().push(handle);
-        self.threads.push(thread);
+        self.batcher_threads.push(thread);
         idx
+    }
+
+    /// Scale-in (drain-and-retire): removes the most recently added
+    /// batcher. Popping the handle from the shared list under its write
+    /// lock is the admission barrier — clients and receivers hold the read
+    /// lock for the duration of each send, so once the lock is released no
+    /// new record can reach the victim. The node then serves and flushes
+    /// everything already admitted before its thread exits, so nothing is
+    /// lost. Errors if only one batcher remains.
+    pub fn retire_batcher(&mut self) -> Result<()> {
+        let victim = {
+            let mut batchers = self.batchers.write();
+            if batchers.len() <= 1 {
+                return Err(ChariotsError::InvalidConfig(
+                    "cannot retire the last batcher".into(),
+                ));
+            }
+            batchers.pop().expect("non-empty")
+        };
+        victim.begin_retire();
+        if let Some(t) = self.batcher_threads.pop() {
+            let _ = t.join();
+        }
+        Ok(())
     }
 
     /// Live elasticity (§6.3): adds a queue to the token ring. The new
@@ -412,7 +455,8 @@ impl ChariotsDc {
     /// with the filters — which needs no coordination "because a queue can
     /// receive any record".
     pub fn add_queue(&mut self) -> usize {
-        let idx = self.queues.len();
+        let idx = self.spawned_queues;
+        self.spawned_queues += 1;
         let (token_tx, token_rx) = unbounded::<Token>();
         // The new queue forwards to queue 0 (closing the ring).
         let next = Arc::new(Mutex::new(self.queues[0].token_sender()));
@@ -449,11 +493,85 @@ impl ChariotsDc {
         );
         // Splice into the ring: the previous last queue now forwards to
         // the new one.
-        self.queues[idx - 1].set_next(handle.token_sender());
+        self.queues
+            .last()
+            .expect("at least one queue")
+            .set_next(handle.token_sender());
         self.queue_ingresses.write().push(handle.ingress());
         self.queues.push(handle);
-        self.threads.push(thread);
+        self.queue_threads.push(thread);
         idx
+    }
+
+    /// Scale-in (drain-and-retire): removes the most recently added queue
+    /// from the token ring. Steps, in order:
+    ///
+    /// 1. Pop the victim's ingress under the shared list's write lock —
+    ///    filters hold the read lock for the duration of each send, so
+    ///    after this no new record reaches the victim.
+    /// 2. Signal the drain; the victim evicts parked records onto the
+    ///    token and confirms — while holding the token — that its channel,
+    ///    staged set, and parked set are empty.
+    /// 3. Unsplice the ring: the predecessor forwards straight to queue 0
+    ///    (the victim, being last, already forwards there itself, so the
+    ///    ring stays closed throughout).
+    /// 4. Stop the node; its loop forwards any straggler token before
+    ///    exiting, preserving the deployment's single token.
+    ///
+    /// If the drain misses `drain_timeout`, the retire is cancelled, the
+    /// ingress restored, and `Unavailable` returned — the ring is left
+    /// exactly as it was. Errors with `InvalidConfig` if only one queue
+    /// remains.
+    pub fn retire_queue(&mut self, drain_timeout: Duration) -> Result<()> {
+        if self.queues.len() <= 1 {
+            return Err(ChariotsError::InvalidConfig(
+                "cannot retire the last queue".into(),
+            ));
+        }
+        // Admission barrier (step 1).
+        self.queue_ingresses.write().pop();
+        let victim = self.queues.last().expect("non-empty").clone();
+        victim.begin_retire();
+        let deadline = Instant::now() + drain_timeout;
+        while !victim.is_drained() {
+            if Instant::now() >= deadline {
+                victim.cancel_retire();
+                self.queue_ingresses.write().push(victim.ingress());
+                return Err(ChariotsError::Unavailable(
+                    "queue drain timed out; retire cancelled".into(),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Unsplice (step 3), then stop and join (step 4).
+        let n = self.queues.len();
+        self.queues[n - 2].set_next(self.queues[0].token_sender());
+        victim.finish_retire();
+        self.queues.pop();
+        if let Some(t) = self.queue_threads.pop() {
+            let _ = t.join();
+        }
+        Ok(())
+    }
+
+    /// Live batcher machines (the autoscaler's per-stage gauge source).
+    pub fn batcher_count(&self) -> usize {
+        self.batchers.read().len()
+    }
+
+    /// Live queue machines.
+    pub fn queue_count(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Live filter machines.
+    pub fn filter_count(&self) -> usize {
+        self.filters.len()
+    }
+
+    /// Live maintainer groups.
+    pub fn maintainer_count(&self) -> usize {
+        self.maintainer_registry.read().len()
     }
 
     /// Live elasticity (§6.3): adds a filter via *future reassignment*.
@@ -633,20 +751,26 @@ impl ChariotsDc {
         Ok(bound)
     }
 
-    /// Stops every stage and joins the worker threads.
-    pub fn shutdown(mut self) {
+    fn join_all(&mut self) {
         self.shutdown.signal();
-        for t in self.threads.drain(..) {
+        for t in self
+            .threads
+            .drain(..)
+            .chain(self.batcher_threads.drain(..))
+            .chain(self.queue_threads.drain(..))
+        {
             let _ = t.join();
         }
+    }
+
+    /// Stops every stage and joins the worker threads.
+    pub fn shutdown(mut self) {
+        self.join_all();
     }
 }
 
 impl Drop for ChariotsDc {
     fn drop(&mut self) {
-        self.shutdown.signal();
-        for t in self.threads.drain(..) {
-            let _ = t.join();
-        }
+        self.join_all();
     }
 }

@@ -36,6 +36,7 @@
 
 pub mod abstract_log;
 pub mod atable;
+pub mod autoscale;
 pub mod client;
 pub mod cluster;
 pub mod datacenter;
@@ -46,6 +47,10 @@ pub mod token;
 
 pub use abstract_log::{AbstractCluster, AbstractDc, Snapshot};
 pub use atable::ATable;
+pub use autoscale::{
+    Actuator, AutoscaleConfig, AutoscaleOutcome, AutoscaleSummary, Autoscaler, AutoscalerHandle,
+    ScaleDecision, ScaleStage, StagePolicy,
+};
 pub use client::ChariotsClient;
 pub use cluster::ChariotsCluster;
 pub use datacenter::{ChariotsDc, StageStations};

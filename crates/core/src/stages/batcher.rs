@@ -98,6 +98,7 @@ pub struct BatcherHandle {
     station: Arc<ServiceStation>,
     processed: Counter,
     tracer: StageTracer,
+    retire: Shutdown,
 }
 
 impl BatcherHandle {
@@ -118,6 +119,15 @@ impl BatcherHandle {
     pub fn station(&self) -> Arc<ServiceStation> {
         Arc::clone(&self.station)
     }
+
+    /// Signals drain-and-retire: the loop serves and flushes everything
+    /// already admitted, then exits so the caller can join the thread.
+    /// The caller must have removed this handle from the shared batcher
+    /// list first — that write lock is the admission barrier, after which
+    /// the channel only shrinks.
+    pub fn begin_retire(&self) {
+        self.retire.signal();
+    }
 }
 
 /// Spawns a batcher node: drains its channel, paces through its station,
@@ -136,11 +146,13 @@ pub fn spawn_batcher(
 ) -> (BatcherHandle, JoinHandle<()>) {
     let (tx, rx) = unbounded::<Incoming>();
     let processed = Counter::new();
+    let retire = Shutdown::new();
     let handle = BatcherHandle {
         tx,
         station: Arc::clone(&station),
         processed: processed.clone(),
         tracer: tracer.clone(),
+        retire: retire.clone(),
     };
     let thread = std::thread::Builder::new()
         .name(name)
@@ -152,6 +164,7 @@ pub fn spawn_batcher(
                 &station,
                 flush_interval,
                 &shutdown,
+                &retire,
                 &processed,
                 &tracer,
                 &health,
@@ -185,6 +198,7 @@ fn batcher_loop(
     station: &ServiceStation,
     flush_interval: Duration,
     shutdown: &Shutdown,
+    retire: &Shutdown,
     processed: &Counter,
     tracer: &StageTracer,
     health: &StageHealth,
@@ -192,6 +206,27 @@ fn batcher_loop(
     let mut last_flush = Instant::now();
     loop {
         if shutdown.is_signaled() {
+            return;
+        }
+        if retire.is_signaled() {
+            // Drain-and-retire: admission stopped when the handle left the
+            // shared list, so the channel only shrinks. Serve what's left,
+            // flush every buffer, zero the gauges, and exit — nothing this
+            // node ever admitted is lost.
+            while let Ok(record) = rx.try_recv() {
+                if station.serve(1).is_err() {
+                    continue; // crashed: the record is lost
+                }
+                processed.add(1);
+                if let Some((idx, batch)) = core.ingest(record) {
+                    send_to_filter(filters, idx, batch, tracer);
+                }
+            }
+            for (idx, batch) in core.flush_all() {
+                send_to_filter(filters, idx, batch, tracer);
+            }
+            health.depth.set(0);
+            health.occupancy.set(0);
             return;
         }
         health.depth.set(rx.len() as i64);

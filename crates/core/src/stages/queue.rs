@@ -14,6 +14,7 @@
 //! receive any record" — filters just see a longer ingress list.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -150,6 +151,15 @@ impl QueueCore {
         }
         out
     }
+
+    /// Moves everything parked *at this queue* onto the token, regardless
+    /// of the carries-deferred policy. Used by drain-and-retire: a queue
+    /// leaving the ring must not strand records with unmet dependencies —
+    /// the token carries them to the surviving queues.
+    pub fn evict_onto(&mut self, token: &mut Token) {
+        token.deferred.append(&mut self.parked);
+        token.deferred_local.append(&mut self.parked_local);
+    }
 }
 
 /// Routes assigned entries to their owning maintainer groups and stores
@@ -202,6 +212,31 @@ impl QueueIngress {
     }
 }
 
+/// Drain-and-retire coordination between a queue's handle and its loop.
+#[derive(Clone)]
+struct RetireState {
+    /// Set by the actuator: stop accepting that new work will arrive and
+    /// start evicting parked records onto the token.
+    retiring: Arc<AtomicBool>,
+    /// Set by the loop while holding the token: channel, staged set, and
+    /// parked set are all empty — nothing is stranded here anymore.
+    drained: Arc<AtomicBool>,
+    /// Per-node stop (distinct from deployment shutdown): signalled once
+    /// the ring is unspliced; the loop forwards any straggler tokens and
+    /// exits.
+    stop: Shutdown,
+}
+
+impl RetireState {
+    fn new() -> Self {
+        RetireState {
+            retiring: Arc::new(AtomicBool::new(false)),
+            drained: Arc::new(AtomicBool::new(false)),
+            stop: Shutdown::new(),
+        }
+    }
+}
+
 /// Handle to a queue node.
 #[derive(Clone)]
 pub struct QueueHandle {
@@ -211,6 +246,7 @@ pub struct QueueHandle {
     station: Arc<ServiceStation>,
     processed: Counter,
     tracer: StageTracer,
+    retire: RetireState,
 }
 
 impl QueueHandle {
@@ -249,6 +285,34 @@ impl QueueHandle {
     /// The machine's capacity model.
     pub fn station(&self) -> Arc<ServiceStation> {
         Arc::clone(&self.station)
+    }
+
+    /// Starts drain-and-retire. The caller must already have removed this
+    /// queue's ingress from the shared list (the admission barrier) — from
+    /// here on the loop evicts parked records onto the token and reports
+    /// [`is_drained`](Self::is_drained) once nothing is left on this node.
+    pub fn begin_retire(&self) {
+        self.retire.retiring.store(true, Ordering::SeqCst);
+    }
+
+    /// Aborts an in-progress retire (drain deadline missed). The loop
+    /// clears its drained flag on the next token visit and the node keeps
+    /// serving.
+    pub fn cancel_retire(&self) {
+        self.retire.retiring.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether the node has confirmed — while holding the token — that its
+    /// channel, staged set, and parked set are all empty.
+    pub fn is_drained(&self) -> bool {
+        self.retire.drained.load(Ordering::SeqCst)
+    }
+
+    /// Final retire step, after the ring has been unspliced around this
+    /// node: the loop forwards any straggler tokens and exits, so the
+    /// caller can join the thread.
+    pub fn finish_retire(&self) {
+        self.retire.stop.signal();
     }
 }
 
@@ -297,6 +361,7 @@ pub fn spawn_queue(
     let (records_tx, records_rx) = unbounded::<Vec<Incoming>>();
     let (token_tx, token_rx) = token_channel;
     let processed = Counter::new();
+    let retire = RetireState::new();
     let handle = QueueHandle {
         records_tx,
         token_tx,
@@ -304,10 +369,21 @@ pub fn spawn_queue(
         station: Arc::clone(&station),
         processed: processed.clone(),
         tracer: cfg.tracer.clone(),
+        retire: retire.clone(),
     };
     let thread = std::thread::Builder::new()
         .name(name)
-        .spawn(move || queue_loop(cfg, &records_rx, &token_rx, &station, &shutdown, &processed))
+        .spawn(move || {
+            queue_loop(
+                cfg,
+                &records_rx,
+                &token_rx,
+                &station,
+                &shutdown,
+                &processed,
+                &retire,
+            )
+        })
         .expect("spawn queue");
     (handle, thread)
 }
@@ -319,11 +395,24 @@ fn queue_loop(
     station: &ServiceStation,
     shutdown: &Shutdown,
     processed: &Counter,
+    retire: &RetireState,
 ) {
     let mut core = QueueCore::new(cfg.dc, cfg.carries_deferred);
     let pass_token = |token: Token| cfg.next_queue.lock().send(token).is_ok();
     loop {
         if shutdown.is_signaled() {
+            return;
+        }
+        if retire.stop.is_signaled() {
+            // Retired: the ring is already unspliced around this node, so
+            // no further tokens will be addressed here — but one may still
+            // sit in the channel. Forward stragglers so the deployment's
+            // single token survives, then exit.
+            while let Ok(token) = token_rx.try_recv() {
+                let _ = pass_token(token);
+            }
+            cfg.health.depth.set(0);
+            cfg.health.occupancy.set(0);
             return;
         }
         cfg.health.depth.set(records_rx.len() as i64);
@@ -374,6 +463,19 @@ fn queue_loop(
             cfg.store_tracer.enter(e.record.trace);
         }
         route_entries(entries, &cfg.controller, &cfg.maintainers.read());
+        if retire.retiring.load(Ordering::SeqCst) {
+            // Draining: the ingress is already gone, so the channel only
+            // shrinks. Push anything parked here onto the token and report
+            // drained once this node holds no records at all — judged
+            // while holding the token, so the verdict cannot race an
+            // assignment.
+            core.evict_onto(&mut token);
+            let empty = records_rx.is_empty() && core.staged_len() == 0 && core.parked_len() == 0;
+            retire.drained.store(empty, Ordering::SeqCst);
+        } else if retire.drained.load(Ordering::SeqCst) {
+            // A cancelled retire leaves no stale verdict behind.
+            retire.drained.store(false, Ordering::SeqCst);
+        }
         cfg.atable.write().merge_row(cfg.dc, &token.applied);
         if assigned > 0 {
             // New local records are on their way to the maintainers: wake

@@ -216,3 +216,97 @@ mod tests {
         assert_eq!(j.owner_of(LId(80)), MaintainerId(2)); // epoch2 rel 20
     }
 }
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Builds a journal from `(gap, maintainers, batch)` announcement
+    /// specs: each boundary advances by `gap` (so `gap = 1` exercises
+    /// back-to-back announcements one position apart).
+    fn journal_from(specs: &[(u64, usize, u64)]) -> EpochJournal {
+        let mut j = EpochJournal::new(RangeMap::new(2, 8));
+        let mut start = 0u64;
+        for &(gap, m, b) in specs {
+            start += gap;
+            j.announce(LId(start), RangeMap::new(m, b));
+        }
+        j
+    }
+
+    proptest! {
+        /// Across any multi-epoch history, `owner_of` / `local_index` /
+        /// `lid_for` agree: the governing assignment round-trips every
+        /// position through exactly one maintainer's dense local index.
+        #[test]
+        fn owner_local_lid_roundtrip(
+            specs in proptest::collection::vec((1u64..300, 1usize..6, 1u64..64), 0..6),
+            lids in proptest::collection::vec(0u64..2_000, 1..32),
+        ) {
+            let j = journal_from(&specs);
+            for &lid in &lids {
+                let lid = LId(lid);
+                let a = j.assignment_at(lid);
+                let owner = j.owner_of(lid);
+                prop_assert_eq!(a.owner_of(lid), owner);
+                let idx = a.local_index(owner, lid);
+                prop_assert!(idx.is_some(), "the owner must index its own slot");
+                prop_assert_eq!(a.lid_for(owner, idx.unwrap()), lid);
+                // No other maintainer of that epoch claims the slot.
+                for cand in 0..a.map.num_maintainers() as u16 {
+                    let cand = MaintainerId(cand);
+                    if cand != owner {
+                        prop_assert_eq!(a.local_index(cand, lid), None);
+                    }
+                }
+            }
+        }
+
+        /// Epoch starts are strictly increasing and epoch numbers dense,
+        /// so `by_epoch` / `end_of` tile the log without gaps or overlap.
+        #[test]
+        fn history_is_dense_and_monotone(
+            specs in proptest::collection::vec((1u64..300, 1usize..6, 1u64..64), 0..6),
+        ) {
+            let j = journal_from(&specs);
+            let epochs = j.assignments();
+            prop_assert_eq!(epochs.len(), specs.len() + 1);
+            for (i, pair) in epochs.windows(2).enumerate() {
+                prop_assert!(pair[0].start < pair[1].start);
+                prop_assert_eq!(pair[1].epoch, pair[0].epoch.next());
+                prop_assert_eq!(j.end_of(pair[0].epoch), Some(pair[1].start));
+                prop_assert_eq!(j.by_epoch(pair[0].epoch), Some(&epochs[i]));
+            }
+            prop_assert_eq!(j.end_of(j.current().epoch), None);
+        }
+
+        /// Announcing at the current frontier (the smallest legal
+        /// advance), repeatedly and back-to-back one position apart: the
+        /// boundary position starts the new epoch's round-robin at
+        /// maintainer 0 and the position just below stays with the old
+        /// map's owner.
+        #[test]
+        fn frontier_and_back_to_back_announcements(
+            count in 1usize..8,
+            m in 1usize..6,
+            b in 1u64..64,
+        ) {
+            let mut j = EpochJournal::new(RangeMap::new(2, 8));
+            for _ in 0..count {
+                let frontier = LId(j.current().start.0 + 1);
+                let before = j.owner_of(LId(frontier.0 - 1));
+                j.announce(frontier, RangeMap::new(m, b));
+                // Fresh epoch: relative position 0 is round 0, owner 0.
+                prop_assert_eq!(j.owner_of(frontier), MaintainerId(0));
+                prop_assert_eq!(
+                    j.owner_of(LId(frontier.0 - 1)),
+                    before,
+                    "positions below the boundary keep their owner"
+                );
+                prop_assert_eq!(j.current().start, frontier);
+            }
+            prop_assert_eq!(j.assignments().len(), count + 1);
+        }
+    }
+}

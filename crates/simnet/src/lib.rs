@@ -65,8 +65,6 @@ pub mod trace;
 
 pub use failure::{FailureDetector, FailureMonitor};
 pub use link::{Link, LinkConfig, LinkHandle, LinkSender};
-#[allow(deprecated)] // re-exported for the tests that still exercise it
-pub use metrics::sample_until;
 pub use metrics::{
     chrome_trace, parse_prometheus_text, prometheus_text, ChromeTrace, Collector, CollectorConfig,
     CollectorHandle, Counter, Event, EventJournal, EventKind, Gauge, Histogram, HistogramSnapshot,

@@ -73,6 +73,26 @@ pub enum EventKind {
         /// Observed sync duration.
         stall_us: u64,
     },
+    /// The autoscaler added a machine to a pipeline stage.
+    ScaleOut {
+        /// Stage that grew (`"batcher"`, `"queue"`, `"filter"`,
+        /// `"maintainer"`).
+        stage: String,
+        /// Machines in the stage after the action.
+        machines: u64,
+        /// The triggering normalized policy signal, in thousandths (1000 =
+        /// exactly at the scale-out watermark).
+        signal_milli: u64,
+    },
+    /// The autoscaler drained and retired a machine from a stage.
+    ScaleIn {
+        /// Stage that shrank.
+        stage: String,
+        /// Machines in the stage after the action.
+        machines: u64,
+        /// The triggering normalized policy signal, in thousandths.
+        signal_milli: u64,
+    },
 }
 
 impl EventKind {
@@ -86,6 +106,8 @@ impl EventKind {
             EventKind::EpochChange { .. } => "epoch_change",
             EventKind::GcSweep { .. } => "gc_sweep",
             EventKind::WalSyncStall { .. } => "wal_sync_stall",
+            EventKind::ScaleOut { .. } => "scale_out",
+            EventKind::ScaleIn { .. } => "scale_in",
         }
     }
 }

@@ -34,7 +34,5 @@ pub use gauge::Gauge;
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use journal::{Event, EventJournal, EventKind};
 pub use registry::{MetricsRegistry, MetricsSnapshot};
-#[allow(deprecated)] // re-exported for the tests that still exercise it
-pub use sampler::sample_until;
 pub use sampler::{Sampler, Series, TimeSeries};
 pub use window::{WindowSummary, WindowedCounter, WindowedGauge, WindowedHistogram};

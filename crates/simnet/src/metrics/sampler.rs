@@ -35,18 +35,12 @@ pub struct TimeSeries {
 }
 
 /// Samples a set of named counters every `interval` until `stop` returns
-/// true, producing per-interval deltas. Runs inline on the calling thread
-/// and hands back no handle, so the caller can neither stop it externally
-/// nor do anything else meanwhile — use [`Sampler::spawn`] (or the
-/// telemetry [`Collector`](super::Collector)) instead. A counter that
-/// resets or is replaced mid-run contributes a zero delta for that tick
-/// (saturating), not a panic.
-#[deprecated(
-    since = "0.6.0",
-    note = "blocks the calling thread with no stop handle; use Sampler::spawn \
-            or the telemetry Collector"
-)]
-pub fn sample_until(
+/// true, producing per-interval deltas. Runs inline on the calling thread —
+/// this is [`Sampler`]'s private implementation; external callers use
+/// [`Sampler::spawn`] (or the telemetry [`Collector`](super::Collector)).
+/// A counter that resets or is replaced mid-run contributes a zero delta
+/// for that tick (saturating), not a panic.
+fn sample_until(
     counters: &[(String, Counter)],
     interval: Duration,
     mut stop: impl FnMut() -> bool,
@@ -72,10 +66,9 @@ pub fn sample_until(
     TimeSeries { interval, series }
 }
 
-/// A background counter sampler with stop/join semantics: the spawned
-/// replacement for [`sample_until`]. The sampling loop runs on its own
-/// thread; [`stop`](Sampler::stop) signals it and joins, returning the
-/// accumulated [`TimeSeries`].
+/// A background counter sampler with stop/join semantics. The sampling
+/// loop runs on its own thread; [`stop`](Sampler::stop) signals it and
+/// joins, returning the accumulated [`TimeSeries`].
 #[derive(Debug)]
 pub struct Sampler {
     shutdown: crate::Shutdown,
@@ -90,10 +83,7 @@ impl Sampler {
         let stop = shutdown.clone();
         let thread = std::thread::Builder::new()
             .name("sampler".into())
-            .spawn(move || {
-                #[allow(deprecated)] // the inline loop is the implementation
-                sample_until(&counters, interval, || stop.is_signaled())
-            })
+            .spawn(move || sample_until(&counters, interval, || stop.is_signaled()))
             .expect("spawn sampler thread");
         Sampler { shutdown, thread }
     }
@@ -107,14 +97,16 @@ impl Sampler {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the deprecated inline path is kept for tests
 mod tests {
     use super::*;
 
     #[test]
     fn sampler_collects_deltas() {
         let c = Counter::new();
-        let counters = vec![("stage".to_string(), c.clone())];
+        let sampler = Sampler::spawn(
+            vec![("stage".to_string(), c.clone())],
+            Duration::from_millis(20),
+        );
         let producer = {
             let c = c.clone();
             std::thread::spawn(move || {
@@ -124,12 +116,9 @@ mod tests {
                 }
             })
         };
-        let ticks = std::cell::Cell::new(0);
-        let ts = sample_until(&counters, Duration::from_millis(20), || {
-            ticks.set(ticks.get() + 1);
-            ticks.get() > 4
-        });
         producer.join().unwrap();
+        std::thread::sleep(Duration::from_millis(40));
+        let ts = sampler.stop();
         assert_eq!(ts.series.len(), 1);
         assert_eq!(ts.series[0].name, "stage");
         let total: u64 = ts.series[0].deltas.iter().sum();

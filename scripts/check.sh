@@ -32,4 +32,9 @@ cargo run --release -p chariots-bench --bin harness -- \
   --timeline-out target/bench-artifacts/obs-timeline.json \
   --trace-out target/bench-artifacts/obs-trace.json obs
 
+echo "==> elasticity smoke gate"
+cargo run --release -p chariots-bench --bin harness -- \
+  --smoke --metrics-out target/bench-artifacts/elasticity-metrics.json \
+  --timeline-out target/bench-artifacts/elasticity-timeline.json elasticity
+
 echo "All checks passed."

@@ -61,7 +61,9 @@ pub use chariots_types as types;
 /// The most commonly used items across the stack.
 pub mod prelude {
     pub use chariots_core::{
-        AbstractCluster, AbstractDc, ChariotsClient, ChariotsCluster, ChariotsDc, StageStations,
+        AbstractCluster, AbstractDc, Actuator, AutoscaleConfig, AutoscaleOutcome, Autoscaler,
+        AutoscalerHandle, ChariotsClient, ChariotsCluster, ChariotsDc, ScaleDecision, ScaleStage,
+        StagePolicy, StageStations,
     };
     pub use chariots_flstore::{AppendPayload, FLStore, FLStoreClient};
     pub use chariots_hyksos::{HyksosClient, Materializer, PutBatch, Versioned};

@@ -155,6 +155,101 @@ fn added_queue_keeps_token_ring_alive_after_bursts() {
 }
 
 #[test]
+fn retire_batcher_under_load_keeps_every_record() {
+    let mut cluster = launch_single_dc();
+    let mut client = cluster.client(DatacenterId(0));
+    cluster.dc_mut(DatacenterId(0)).add_batcher();
+    append_n(&mut client, 25, "pre");
+    // Drain-and-retire one batcher while the client keeps its handle.
+    cluster.dc_mut(DatacenterId(0)).retire_batcher().unwrap();
+    assert_eq!(cluster.dc(DatacenterId(0)).batcher_count(), 1);
+    append_n(&mut client, 25, "post");
+    wait_hl(&cluster, 50);
+    let log = dump_log(&cluster, DatacenterId(0));
+    assert_eq!(log.len(), 50, "nothing lost or duplicated across retire");
+    assert_log_invariants(&log, 1);
+    cluster.shutdown();
+}
+
+#[test]
+fn retire_queue_preserves_the_token_ring() {
+    let mut cluster = launch_single_dc();
+    let mut client = cluster.client(DatacenterId(0));
+    cluster.dc_mut(DatacenterId(0)).add_queue();
+    cluster.dc_mut(DatacenterId(0)).add_queue();
+    append_n(&mut client, 20, "pre");
+    // Shrink 3 → 2 → 1; the ring must stay whole each time (the token
+    // keeps circulating through the survivors).
+    cluster
+        .dc_mut(DatacenterId(0))
+        .retire_queue(Duration::from_secs(10))
+        .unwrap();
+    append_n(&mut client, 20, "mid");
+    cluster
+        .dc_mut(DatacenterId(0))
+        .retire_queue(Duration::from_secs(10))
+        .unwrap();
+    assert_eq!(cluster.dc(DatacenterId(0)).queue_count(), 1);
+    // Burst, go idle, burst again — a broken ring would stall here.
+    append_n(&mut client, 10, "b1");
+    std::thread::sleep(Duration::from_millis(100));
+    append_n(&mut client, 10, "b2");
+    wait_hl(&cluster, 60);
+    let log = dump_log(&cluster, DatacenterId(0));
+    assert_eq!(log.len(), 60);
+    assert_log_invariants(&log, 1);
+    cluster.shutdown();
+}
+
+#[test]
+fn retiring_the_last_machine_of_a_stage_is_refused() {
+    let mut cluster = launch_single_dc();
+    let dc = cluster.dc_mut(DatacenterId(0));
+    assert!(dc.retire_batcher().is_err(), "last batcher must survive");
+    assert!(
+        dc.retire_queue(Duration::from_secs(1)).is_err(),
+        "last queue must survive"
+    );
+    // The refusals left the pipeline fully functional.
+    let mut client = cluster.client(DatacenterId(0));
+    append_n(&mut client, 10, "after");
+    wait_hl(&cluster, 10);
+    cluster.shutdown();
+}
+
+#[test]
+fn autoscaler_launch_and_stop_hand_the_cluster_back_intact() {
+    // Lifecycle only: no load, so a default-policy autoscaler must not
+    // act; the cluster comes back usable and the timeline non-empty.
+    let cluster = launch_single_dc();
+    let mut client = cluster.client(DatacenterId(0));
+    append_n(&mut client, 10, "pre");
+    let mut cfg = AutoscaleConfig {
+        interval: Duration::from_millis(20),
+        ..AutoscaleConfig::default()
+    };
+    cfg.collector.interval = Duration::from_millis(10);
+    let handle = Autoscaler::launch(cluster, cfg);
+    append_n(&mut client, 10, "during");
+    std::thread::sleep(Duration::from_millis(150));
+    let outcome = handle.stop();
+    assert!(outcome.summary.evals > 0, "control loop never evaluated");
+    assert!(
+        outcome.summary.actions.is_empty(),
+        "quiet cluster must not be reconfigured: {:?}",
+        outcome.summary.actions
+    );
+    assert!(!outcome.timeline.ticks.is_empty());
+    let cluster = outcome.cluster;
+    append_n(&mut client, 10, "post");
+    wait_hl(&cluster, 30);
+    let log = dump_log(&cluster, DatacenterId(0));
+    assert_eq!(log.len(), 30);
+    assert_log_invariants(&log, 1);
+    cluster.shutdown();
+}
+
+#[test]
 fn hl_remains_safe_during_maintainer_growth() {
     // Reads below the HL must never fail across a maintainer expansion.
     let mut cluster = launch_single_dc();
