@@ -258,7 +258,10 @@ fn render(live: &LiveView) {
     let mut quantiles: Vec<_> = live
         .quantiles
         .iter()
-        .filter(|(k, w)| k.ends_with(".latency_us") && w.count() > 0)
+        .filter(|(k, w)| {
+            (k.ends_with(".latency_us") || k.ends_with(".fsync_us") || k.ends_with(".repl_wait_us"))
+                && w.count() > 0
+        })
         .collect();
     quantiles.sort_by(|a, b| a.0.cmp(&b.0));
     println!("  {:<36} {:>8} {:>8} {:>8}", "stage", "n", "p50", "p99");

@@ -10,8 +10,8 @@
 use std::path::PathBuf;
 
 use chariots_bench::experiments::{
-    ablations, apps, availability, baseline, batching, elasticity, fig7, fig8, fig9, geo, obs,
-    readpath, tables, txn,
+    ablations, apps, availability, baseline, batching, commitpath, elasticity, fig7, fig8, fig9,
+    geo, obs, readpath, tables, txn,
 };
 use chariots_bench::report::Report;
 use chariots_simnet::MetricsSnapshot;
@@ -32,6 +32,9 @@ experiments:
              maintainer-primary crash (replication factor 2)
   batching   group-commit sweep: throughput/latency vs drain bound and
              WAL sync policy
+  commitpath serial fsync-then-replicate vs pipelined quorum commit:
+             ack latency, fsync/replication breakdown, and an acked-record
+             integrity audit across a forced failover
   readpath   read sweep: scatter-gather batched reads and client caches
              vs per-record reads, plus pushed-down rule lookups
   geo        WAN propagation sweep: cursor-based delta shipping and
@@ -47,8 +50,8 @@ experiments:
   all        everything above
 --quick trims warmups/windows for smoke runs
 --smoke implies --quick and additionally gates: experiments with a smoke
-  check (batching, readpath, geo, obs, elasticity) fail the process when
-  the check fails
+  check (batching, commitpath, readpath, geo, obs, elasticity) fail the
+  process when the check fails
 --metrics-out writes the merged metrics registries (counters, gauges,
   per-stage latency histograms) of every selected experiment as JSON
 --timeline-out writes the obs (or elasticity) run's collector timeline
@@ -117,6 +120,7 @@ fn main() {
             "baseline" => vec![baseline::run(quick)],
             "availability" => vec![availability::run(quick)],
             "batching" => vec![batching::run(quick)],
+            "commitpath" => vec![commitpath::run(quick)],
             "readpath" => vec![readpath::run(quick)],
             "geo" => vec![geo::run(quick)],
             "txn" => vec![txn::run(quick)],
@@ -148,6 +152,7 @@ fn main() {
             if smoke {
                 let gate = match report.id.as_str() {
                     "batching" => Some(batching::verify_smoke(&report)),
+                    "commitpath" => Some(commitpath::verify_smoke(&report)),
                     "readpath" => Some(readpath::verify_smoke(&report)),
                     "geo" => Some(geo::verify_smoke(&report)),
                     "obs" => Some(obs::verify_smoke(&report)),
@@ -182,6 +187,7 @@ fn main() {
                 "baseline",
                 "availability",
                 "batching",
+                "commitpath",
                 "readpath",
                 "geo",
                 "txn",

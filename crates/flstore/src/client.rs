@@ -50,6 +50,7 @@ fn transient(e: &ChariotsError) -> bool {
             | ChariotsError::Fenced { .. }
             | ChariotsError::NoLivePrimary(_)
             | ChariotsError::WrongMaintainer { .. }
+            | ChariotsError::QuorumLost { .. }
     )
 }
 

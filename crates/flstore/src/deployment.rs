@@ -154,6 +154,7 @@ impl FLStore {
                 index: r,
                 detector: self.detector.clone(),
                 heartbeat_interval: self.cfg.heartbeat_interval,
+                commit_mode: self.cfg.commit_mode,
             };
             let (handle, thread) = spawn_replica(
                 core,

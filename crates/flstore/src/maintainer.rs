@@ -10,6 +10,7 @@
 //! server wrapper lives in [`node`](crate::node).
 
 use std::path::PathBuf;
+use std::time::Duration;
 
 use bytes::Bytes;
 use chariots_simnet::Counter;
@@ -82,6 +83,9 @@ pub struct MaintainerStats {
     pub deferred: usize,
     /// This maintainer's current frontier.
     pub frontier: LId,
+    /// The frontier as of the last successful durability point — every
+    /// owned position below it is both filled and fsynced.
+    pub durable_frontier: LId,
     /// This maintainer's current view of the Head of the Log.
     pub head_of_log: LId,
 }
@@ -104,9 +108,12 @@ pub struct MaintainerCore {
     /// Counts WAL fsyncs (shared with the node's metrics registry as
     /// `flstore.wal.sync.count`).
     wal_syncs: Counter,
-    /// WAL frames appended since the last fsync — the crash-durability
-    /// debt the next sync retires.
-    wal_pending: usize,
+    /// The frontier as of the last successful durability point; feeds the
+    /// pipelined-commit tracker and failover watermarks.
+    durable: LId,
+    /// Fault-injection hook: added latency paid inside every durability
+    /// point (tests use it to widen the fsync window).
+    sync_delay: Option<Duration>,
     deferred: Vec<MinBoundWaiter>,
     max_deferred: usize,
     /// Entries built for drained min-bound waiters since the last
@@ -133,7 +140,8 @@ impl MaintainerCore {
             wal: None,
             sync_policy: WalSyncPolicy::default(),
             wal_syncs: Counter::new(),
-            wal_pending: 0,
+            durable: LId::ZERO,
+            sync_delay: None,
             deferred: Vec::new(),
             max_deferred: 65_536,
             drained: Vec::new(),
@@ -144,6 +152,7 @@ impl MaintainerCore {
         // A fresh maintainer's frontier is its first owned slot, not zero:
         // it is not blocking any position below that slot.
         core.refresh_own_frontier();
+        core.durable = core.frontier();
         core
     }
 
@@ -166,6 +175,13 @@ impl MaintainerCore {
         self
     }
 
+    /// Fault injection: pays `delay` inside every durability point. Tests
+    /// use it to hold a replica's fsync open while others race ahead.
+    pub fn with_sync_delay(mut self, delay: Duration) -> Self {
+        self.sync_delay = Some(delay);
+        self
+    }
+
     /// Enables write-ahead persistence at `path`, replaying any existing
     /// entries first (crash recovery).
     pub fn with_wal(mut self, path: impl Into<PathBuf>) -> Result<Self> {
@@ -182,6 +198,8 @@ impl MaintainerCore {
             state.next_local = state.store.filled_prefix();
         }
         self.refresh_own_frontier();
+        // Replayed entries were durable before the restart.
+        self.durable = self.frontier();
         self.wal = Some(Wal::open(path)?);
         Ok(self)
     }
@@ -421,13 +439,11 @@ impl MaintainerCore {
         if write_wal {
             if let Some(wal) = &mut self.wal {
                 wal.append(&entry)?;
-                self.wal_pending += 1;
                 // The strictest policy pays one fsync per record; the batch
                 // policies defer to the sync_batch() commit point.
                 if self.sync_policy == WalSyncPolicy::PerRecord {
                     wal.sync()?;
                     self.wal_syncs.add(1);
-                    self.wal_pending = 0;
                 }
             }
         }
@@ -605,6 +621,7 @@ impl MaintainerCore {
             reads: self.stats_reads,
             deferred: self.deferred.len(),
             frontier: self.hl.get(self.id),
+            durable_frontier: self.durable,
             head_of_log: self.hl.head_of_log(),
         }
     }
@@ -613,11 +630,14 @@ impl MaintainerCore {
     /// unconditionally — shutdown paths and tests that want durability
     /// regardless of the configured policy.
     pub fn sync(&mut self) -> Result<()> {
+        if let Some(d) = self.sync_delay {
+            std::thread::sleep(d);
+        }
         if let Some(wal) = &mut self.wal {
             wal.sync()?;
             self.wal_syncs.add(1);
-            self.wal_pending = 0;
         }
+        self.durable = self.frontier();
         Ok(())
     }
 
@@ -630,22 +650,34 @@ impl MaintainerCore {
     /// - `Never`: flush frames to the OS but skip the fsync (ablation /
     ///   bulk-load; crash durability is forfeited).
     pub fn sync_batch(&mut self) -> Result<()> {
-        let Some(wal) = &mut self.wal else {
-            return Ok(());
-        };
-        match self.sync_policy {
-            WalSyncPolicy::PerBatch => {
-                wal.sync()?;
-                self.wal_syncs.add(1);
-                self.wal_pending = 0;
-            }
-            WalSyncPolicy::PerRecord => {}
-            // `Never` flushes frames to the OS without an fsync, so the
-            // crash-durability debt is *not* retired — the backlog gauge
-            // keeps growing, which is the honest signal for this ablation.
-            WalSyncPolicy::Never => wal.flush()?,
+        if let Some(d) = self.sync_delay {
+            std::thread::sleep(d);
         }
+        if let Some(wal) = &mut self.wal {
+            match self.sync_policy {
+                WalSyncPolicy::PerBatch => {
+                    wal.sync()?;
+                    self.wal_syncs.add(1);
+                }
+                WalSyncPolicy::PerRecord => {}
+                // `Never` flushes frames to the OS without an fsync, so the
+                // crash-durability debt is *not* retired — the backlog gauge
+                // keeps growing, which is the honest signal for this
+                // ablation. The durable frontier still advances: the
+                // ablation deliberately treats flushed as good enough.
+                WalSyncPolicy::Never => wal.flush()?,
+            }
+        }
+        self.durable = self.frontier();
         Ok(())
+    }
+
+    /// The frontier as of the last successful durability point: every
+    /// owned position below it is filled *and* covered by an fsync (or by
+    /// the configured policy's weaker promise). Without persistence this
+    /// tracks the plain frontier.
+    pub fn durable_frontier(&self) -> LId {
+        self.durable
     }
 
     /// WAL fsyncs performed by this core so far.
@@ -656,7 +688,7 @@ impl MaintainerCore {
     /// WAL frames appended since the last fsync — records that would be
     /// lost if the machine died right now. Zero when persistence is off.
     pub fn wal_backlog(&self) -> usize {
-        self.wal_pending
+        self.wal.as_ref().map_or(0, |w| w.unsynced() as usize)
     }
 }
 

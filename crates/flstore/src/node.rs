@@ -17,12 +17,12 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use chariots_simnet::{
-    Counter, EventJournal, EventKind, Gauge, Histogram, MetricsRegistry, ServiceStation, Shutdown,
-    StageTracer,
+    Counter, EventJournal, EventKind, Gauge, Histogram, MetricsRegistry, Notify, ServiceStation,
+    Shutdown, StageTracer,
 };
 use chariots_types::{
-    ChariotsError, Entry, Generation, LId, Limit, MaintainerId, Result, TOId, TagValue, TraceId,
-    ValuePredicate,
+    ChariotsError, CommitMode, Entry, Generation, LId, Limit, MaintainerId, Result, TOId, TagValue,
+    TraceId, ValuePredicate,
 };
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::RwLock;
@@ -30,6 +30,9 @@ use parking_lot::RwLock;
 use crate::indexer::{indexer_for, IndexerCore};
 use crate::maintainer::{AppendPayload, MaintainerCore, MaintainerStats};
 use crate::range::RangeMap;
+use crate::replication::commit::{
+    quorum_required, CommitOutcomeCtx, CommitWaiter, MAX_PENDING_COMMITS,
+};
 use crate::replication::{GroupState, ReplicaCtx, ReplicaGroupHandle};
 
 /// Reply channel for append requests: the assigned `(TOId, LId)` pairs.
@@ -90,8 +93,13 @@ pub enum MaintainerRequest {
         entries: Arc<[Entry]>,
         /// The sender's view of the group generation (fencing).
         generation: Generation,
-        /// Replies with this replica's frontier after applying.
-        reply: Sender<Result<LId>>,
+        /// Replies with this replica's frontier after applying. `None` for
+        /// pipelined sends, which report through the commit tracker
+        /// instead.
+        reply: Option<Sender<Result<LId>>>,
+        /// Pipelined-commit sequence number to ack durability against
+        /// (`None` for synchronous anti-entropy/serial replication).
+        seq: Option<u64>,
     },
     /// Read one position.
     Read {
@@ -237,10 +245,29 @@ impl MaintainerHandle {
             .send(MaintainerRequest::Replicate {
                 entries,
                 generation,
-                reply,
+                reply: Some(reply),
+                seq: None,
             })
             .map_err(|_| ChariotsError::ShutDown)?;
         rx.recv().map_err(|_| ChariotsError::ShutDown)?
+    }
+
+    /// Non-blocking replication push for the pipelined commit path: the
+    /// backup fsyncs the entries and reports durability for batch `seq`
+    /// through the group's commit tracker instead of a reply channel.
+    /// Returns `false` if the backup's channel is gone (counts as an
+    /// immediate failure for the quorum).
+    pub fn replicate_async(&self, entries: Arc<[Entry]>, generation: Generation, seq: u64) -> bool {
+        self.station.note_arrival(entries.len() as u64);
+        self.replicate_rpcs.add(1);
+        self.tx
+            .send(MaintainerRequest::Replicate {
+                entries,
+                generation,
+                reply: None,
+                seq: Some(seq),
+            })
+            .is_ok()
     }
 
     /// Read one position.
@@ -369,6 +396,16 @@ pub struct FabricObs {
     /// Drained min-bound entries whose replication push was abandoned to
     /// anti-entropy repair (deposed mid-drain, or a live backup refused).
     pub replication_dropped: Counter,
+    /// The primary's own WAL fsync leg of each commit, in µs.
+    pub commit_fsync: Histogram,
+    /// Commit time spent waiting on backup acks *after* the primary's own
+    /// durability point (the exposed, un-overlapped replication wait).
+    pub commit_repl_wait: Histogram,
+    /// Register-to-quorum latency of each acked batch, in µs.
+    pub commit_quorum_latency: Histogram,
+    /// Cumulative µs of fsync/replication overlap the pipelined commit hid
+    /// versus a serial chain paying the two legs back to back.
+    pub commit_overlap_saved: Counter,
     /// Event journal for WAL sync-stall events (the registry's journal
     /// when registered; a detached ring otherwise).
     journal: EventJournal,
@@ -385,9 +422,11 @@ impl FabricObs {
     /// Instruments registered in `registry` as `{prefix}.append.latency_us`,
     /// `{prefix}.store.latency_us`, `{prefix}.gossip.rounds`, `{prefix}.hl`,
     /// `{prefix}.batch.size`, `{prefix}.batch.bytes`,
-    /// `{prefix}.wal.sync.count`, `{prefix}.wal.backlog`, and
-    /// `{prefix}.replication.dropped`. The registry's event journal also
-    /// receives WAL sync-stall events.
+    /// `{prefix}.wal.sync.count`, `{prefix}.wal.backlog`,
+    /// `{prefix}.replication.dropped`, `{prefix}.commit.fsync_us`,
+    /// `{prefix}.commit.repl_wait_us`, `{prefix}.commit.quorum.latency_us`,
+    /// and `{prefix}.commit.overlap_saved_us`. The registry's event journal
+    /// also receives WAL sync-stall/failure events.
     pub fn registered(registry: &MetricsRegistry, prefix: &str) -> Self {
         FabricObs {
             append_latency: registry.histogram(&format!("{prefix}.append.latency_us")),
@@ -399,6 +438,11 @@ impl FabricObs {
             wal_syncs: registry.counter(&format!("{prefix}.wal.sync.count")),
             wal_backlog: registry.gauge(&format!("{prefix}.wal.backlog")),
             replication_dropped: registry.counter(&format!("{prefix}.replication.dropped")),
+            commit_fsync: registry.histogram(&format!("{prefix}.commit.fsync_us")),
+            commit_repl_wait: registry.histogram(&format!("{prefix}.commit.repl_wait_us")),
+            commit_quorum_latency: registry
+                .histogram(&format!("{prefix}.commit.quorum.latency_us")),
+            commit_overlap_saved: registry.counter(&format!("{prefix}.commit.overlap_saved_us")),
             journal: registry.journal().clone(),
             source: format!("{prefix}.wal"),
         }
@@ -424,16 +468,29 @@ impl FabricObs {
             );
         }
     }
+
+    /// Journals a batch sync failing outright: the `records` it covered
+    /// were never made durable and must not be replicated or acked.
+    pub(crate) fn note_wal_sync_failed(&self, records: u64) {
+        self.journal
+            .publish(&self.source, None, EventKind::WalSyncFailed { records });
+    }
 }
 
 /// Pays one [`MaintainerCore::sync_batch`] durability point under the
 /// clock, reporting its duration and the core's remaining WAL backlog to
-/// the fabric's instruments.
-fn timed_sync_batch(core: &mut MaintainerCore, fabric: &Fabric) -> Result<()> {
+/// the fabric's instruments. Returns the sync's wall-clock duration; a
+/// failed sync is additionally journalled as a
+/// [`WalSyncFailed`](EventKind::WalSyncFailed) covering the core's backlog.
+fn timed_sync_batch(core: &mut MaintainerCore, fabric: &Fabric) -> Result<Duration> {
     let t0 = std::time::Instant::now();
     let result = core.sync_batch();
-    fabric.obs().note_wal_sync(t0.elapsed(), core.wal_backlog());
-    result
+    let elapsed = t0.elapsed();
+    fabric.obs().note_wal_sync(elapsed, core.wal_backlog());
+    if result.is_err() {
+        fabric.obs().note_wal_sync_failed(core.wal_backlog() as u64);
+    }
+    result.map(|()| elapsed)
 }
 
 /// Wiring shared by all maintainers of one deployment: peer handles for
@@ -485,7 +542,7 @@ impl Fabric {
         *self.store_tracer.write() = tracer;
     }
 
-    fn stamp_store_exits(&self, traced: &[TraceId]) {
+    pub(crate) fn stamp_store_exits(&self, traced: &[TraceId]) {
         if traced.is_empty() {
             return;
         }
@@ -503,7 +560,7 @@ impl Fabric {
         }
     }
 
-    fn post_tags(&self, entries_tags: Vec<(String, Option<TagValue>, LId)>) {
+    pub(crate) fn post_tags(&self, entries_tags: Vec<(String, Option<TagValue>, LId)>) {
         let indexers = self.indexers.read();
         if indexers.is_empty() {
             return;
@@ -584,13 +641,16 @@ pub fn spawn_replica(
                 &ctx,
                 batch,
             );
+            // Nobody is left to ack this replica's in-flight pipelined
+            // batches: fail their waiters instead of letting them hang.
+            ctx.group.abort_pending(ChariotsError::ShutDown);
             core
         })
         .expect("spawn maintainer");
     (handle, thread)
 }
 
-fn collect_tag_postings(entries: &[Entry]) -> Vec<(String, Option<TagValue>, LId)> {
+pub(crate) fn collect_tag_postings(entries: &[Entry]) -> Vec<(String, Option<TagValue>, LId)> {
     let mut out = Vec::new();
     for e in entries {
         for tag in e.record.tags.iter() {
@@ -638,6 +698,90 @@ fn replicate_to_backups(
     Ok(())
 }
 
+/// The group's live backups from this replica's point of view:
+/// `(seat index, handle)` for every other replica whose machine is up.
+/// Crashed backups are excluded from the commit's participant set exactly
+/// as the serial path skips them (anti-entropy catches them up later).
+fn live_backups(ctx: &ReplicaCtx) -> Vec<(usize, MaintainerHandle)> {
+    ctx.group
+        .replicas()
+        .into_iter()
+        .enumerate()
+        .filter(|(i, r)| *i != ctx.index && !r.station().is_crashed())
+        .collect()
+}
+
+/// The pipelined commit: ship the batch's shared `Arc<[Entry]>` to every
+/// live backup *first* (non-blocking), pay the primary's own WAL fsync
+/// while those RPCs are in flight, and let the group's
+/// [`CommitTracker`](crate::replication::commit::CommitTracker) resolve
+/// the batch — fanning replies out — the moment f+1 seats report
+/// it durable. Whichever seat's ack completes the quorum runs the
+/// completion, so the ack can land before the primary's fsync returns.
+///
+/// `pay_fsync` is `false` for drained-waiter flushes, whose durability
+/// point was already paid before registration (the primary then enrolls
+/// as already-durable).
+#[allow(clippy::too_many_arguments)]
+fn pipelined_commit(
+    core: &mut MaintainerCore,
+    ctx: &ReplicaCtx,
+    fabric: &Fabric,
+    generation: Generation,
+    share: Arc<[Entry]>,
+    waiters: Vec<CommitWaiter>,
+    drained_records: u64,
+    outcome_ctx: CommitOutcomeCtx,
+    backups: &[(usize, MaintainerHandle)],
+    quorum_wait: &mut Notify,
+    pay_fsync: bool,
+) {
+    let tracker = ctx.group.commit();
+    // Backpressure: bound the batches in flight awaiting quorum so a slow
+    // backup cannot let the tracker grow without bound.
+    while tracker.pending() >= MAX_PENDING_COMMITS {
+        quorum_wait.wait_timeout(Duration::from_millis(1));
+    }
+    let mut participants = 1u64 << ctx.index;
+    for (i, _) in backups {
+        participants |= 1u64 << *i;
+    }
+    let required = quorum_required(
+        ctx.group.replica_count(),
+        participants.count_ones() as usize,
+    );
+    let seq = tracker.register(
+        generation,
+        ctx.index,
+        participants,
+        required,
+        Arc::clone(&share),
+        waiters,
+        drained_records,
+        outcome_ctx,
+    );
+    // Backups first — their fsyncs overlap the primary's below.
+    for (i, backup) in backups {
+        if !backup.replicate_async(Arc::clone(&share), generation, seq) {
+            ctx.group.report_commit_failure(*i, seq);
+        }
+    }
+    if pay_fsync {
+        match timed_sync_batch(core, fabric) {
+            Ok(elapsed) => {
+                let fsync_us = elapsed.as_micros() as u64;
+                fabric.obs().commit_fsync.record(fsync_us);
+                ctx.group
+                    .report_primary_durable(ctx.index, seq, fsync_us, core.durable_frontier());
+            }
+            Err(_) => ctx.group.report_commit_failure(ctx.index, seq),
+        }
+    } else {
+        ctx.group
+            .report_primary_durable(ctx.index, seq, 0, core.durable_frontier());
+    }
+}
+
 /// The error a deposed (or never-primary) replica answers assignment
 /// requests with: the client should refresh and re-route.
 fn fenced(group: MaintainerId, ctx: &ReplicaCtx) -> ChariotsError {
@@ -656,24 +800,69 @@ fn fenced(group: MaintainerId, ctx: &ReplicaCtx) -> ChariotsError {
 /// into the batch's own push). The drained entries come straight from the
 /// core — no store re-reads — and ride one shared-`Arc` push per backup.
 /// Best-effort: the waiters were acked as *parked*, not as committed, so a
-/// shortfall here is left to anti-entropy repair rather than failing the
-/// current request — but every abandoned entry is counted on
-/// `flstore.replication.dropped` so the shortfall is visible.
-fn replicate_drained(core: &mut MaintainerCore, ctx: &ReplicaCtx, fabric: &Fabric) {
+/// shortfall here — including a failed local durability point, after which
+/// the entries must not be pushed at all — is left to anti-entropy repair
+/// rather than failing the current request, but every abandoned entry is
+/// counted on `flstore.replication.dropped` so the shortfall is visible.
+fn replicate_drained(
+    core: &mut MaintainerCore,
+    ctx: &ReplicaCtx,
+    fabric: &Fabric,
+    appended: &Counter,
+    quorum_wait: &mut Notify,
+) {
     let drained = core.take_drained();
     if drained.is_empty() {
         return;
     }
+    let n = drained.len() as u64;
     // Drained entries were applied (and WAL-appended) after the last batch
-    // commit point; give them their own durability point before pushing.
-    let _ = timed_sync_batch(core, fabric);
+    // commit point; give them their own durability point before pushing. A
+    // failed sync means they are NOT durable locally — abandon the push to
+    // anti-entropy rather than replicate records a restart would lose.
+    if timed_sync_batch(core, fabric).is_err() {
+        fabric.obs().replication_dropped.add(n);
+        return;
+    }
     let entries: Arc<[Entry]> = drained.into();
     let Some(generation) = ctx.group.primary_generation(ctx.index) else {
-        fabric.obs().replication_dropped.add(entries.len() as u64);
+        fabric.obs().replication_dropped.add(n);
         return;
     };
+    ctx.group.note_durable(ctx.index, core.durable_frontier());
+    let backups = live_backups(ctx);
+    if ctx.commit_mode == CommitMode::PipelinedQuorum && !backups.is_empty() {
+        // Background flush: ride the pipelined path (the fsync above
+        // already made the primary durable), but keep it out of the
+        // ack-path commit metrics.
+        let outcome_ctx = CommitOutcomeCtx {
+            fabric: fabric.clone(),
+            appended: appended.clone(),
+            total_records: 0,
+            total_bytes: 0,
+            had_appends: false,
+            had_stores: false,
+            post_share_tags: false,
+            measured: false,
+            started: std::time::Instant::now(),
+        };
+        pipelined_commit(
+            core,
+            ctx,
+            fabric,
+            generation,
+            entries,
+            Vec::new(),
+            n,
+            outcome_ctx,
+            &backups,
+            quorum_wait,
+            false,
+        );
+        return;
+    }
     if replicate_to_backups(ctx, &entries, generation).is_err() {
-        fabric.obs().replication_dropped.add(entries.len() as u64);
+        fabric.obs().replication_dropped.add(n);
     }
 }
 
@@ -764,6 +953,7 @@ fn serve_batch(
     crash_buffer: &mut Vec<Entry>,
     pending_replication: &mut Vec<Entry>,
     ctx: &ReplicaCtx,
+    quorum_wait: &mut Notify,
 ) {
     let total_records: usize = batch.iter().map(BatchItem::records).sum();
     let total_bytes: usize = batch.iter().map(BatchItem::bytes).sum();
@@ -856,29 +1046,91 @@ fn serve_batch(
     let drained_count = drained.len();
     committed.extend(drained);
 
-    // Commit: the batch's single durability point, then one shared-`Arc`
-    // push per live backup, then the post-replication primacy re-check — a
-    // deposition anywhere in the window fails the whole batch (the promoted
-    // backup may resume assignment at these very positions, so acking any
-    // of it would admit duplicate LIds).
+    // Commit. Pipelined (the default with live backups): register the
+    // batch with the group's commit tracker, ship the shared `Arc` to the
+    // backups first, pay the primary's fsync while those RPCs are in
+    // flight, and let the tracker ack at f+1 durable copies — replies fan
+    // out from whichever seat completes the quorum, so this function
+    // returns before the batch is acked.
     let share: Arc<[Entry]> = committed.into();
+    let backups = live_backups(ctx);
+    if !share.is_empty() && ctx.commit_mode == CommitMode::PipelinedQuorum && !backups.is_empty() {
+        let waiters = applied
+            .into_iter()
+            .filter_map(|item| match item {
+                AppliedItem::Append { assigned, reply } => Some(CommitWaiter::Append {
+                    ids: assigned.iter().map(|e| (e.record.toid(), e.lid)).collect(),
+                    count: assigned.len() as u64,
+                    reply,
+                }),
+                AppliedItem::AppendFailed { err, reply } => {
+                    Some(CommitWaiter::FailedAppend { err, reply })
+                }
+                AppliedItem::Store { entries } => Some(CommitWaiter::Store { entries }),
+                AppliedItem::StoreFailed => None,
+            })
+            .collect();
+        let outcome_ctx = CommitOutcomeCtx {
+            fabric: fabric.clone(),
+            appended: appended.clone(),
+            total_records: total_records as u64,
+            total_bytes: total_bytes as u64,
+            had_appends,
+            had_stores,
+            post_share_tags: true,
+            measured: true,
+            started: t0,
+        };
+        pipelined_commit(
+            core,
+            ctx,
+            fabric,
+            generation,
+            share,
+            waiters,
+            drained_count as u64,
+            outcome_ctx,
+            &backups,
+            quorum_wait,
+            true,
+        );
+        return;
+    }
+
+    // Serial commit (oracle mode, solo groups, or no live backup): the
+    // batch's single durability point, then one shared-`Arc` push per live
+    // backup, then the post-replication primacy re-check — a deposition
+    // anywhere in the window fails the whole batch (the promoted backup
+    // may resume assignment at these very positions, so acking any of it
+    // would admit duplicate LIds).
     let commit = if share.is_empty() {
         // Nothing committed (every item failed on its own): no durability
         // point or replication push to pay for.
         Ok(())
     } else {
-        timed_sync_batch(core, fabric)
-            .and_then(|()| replicate_to_backups(ctx, &share, generation))
-            .and_then(|()| {
-                if ctx.group.primary_generation(ctx.index) != Some(generation) {
-                    return Err(ChariotsError::Fenced {
-                        group: core.id(),
-                        sent: generation,
-                        current: ctx.group.generation(),
-                    });
-                }
-                Ok(())
-            })
+        let obs = fabric.obs().clone();
+        let group_id = core.id();
+        (|| {
+            let fsync = timed_sync_batch(core, fabric)?;
+            let fsync_us = fsync.as_micros() as u64;
+            obs.commit_fsync.record(fsync_us);
+            ctx.group.note_durable(ctx.index, core.durable_frontier());
+            let repl0 = std::time::Instant::now();
+            replicate_to_backups(ctx, &share, generation)?;
+            if ctx.group.primary_generation(ctx.index) != Some(generation) {
+                return Err(ChariotsError::Fenced {
+                    group: group_id,
+                    sent: generation,
+                    current: ctx.group.generation(),
+                });
+            }
+            // The two legs ran back to back: the replication wait is fully
+            // exposed, and nothing was saved by overlap.
+            let repl_us = repl0.elapsed().as_micros() as u64;
+            obs.commit_repl_wait.record(repl_us);
+            obs.commit_quorum_latency.record(fsync_us + repl_us);
+            Ok(())
+        })()
     };
 
     match commit {
@@ -966,6 +1218,12 @@ fn maintainer_loop(
     let mut last_heartbeat = std::time::Instant::now();
     let heartbeat_key = ctx.key();
     let mut was_primary = ctx.group.is_primary(ctx.index);
+    // Wakeup for pipelined-commit backpressure: signalled whenever a batch
+    // leaves the group's commit tracker.
+    let mut quorum_wait = ctx.group.commit().subscribe();
+    // Seed this seat's durable watermark: whatever the core holds now
+    // (fresh, or replayed from its WAL) is durable.
+    ctx.group.note_durable(ctx.index, core.durable_frontier());
     // Pre-routed entries that arrived while the machine was crashed: their
     // positions are already committed by the queues' token, so they must
     // not be lost — a real deployment recovers them from the WAL or a
@@ -1043,6 +1301,11 @@ fn maintainer_loop(
             }
         }
 
+        // Store entries orphaned by failed pipelined batches (their
+        // completion may run on a backup's thread, which cannot reach this
+        // queue directly) join the re-replication queue here.
+        pending_replication.extend(ctx.group.commit().take_orphans());
+
         // Re-replication of applied-but-unreplicated positions: keep
         // pushing until every live backup holds them, or hand them to the
         // new primary if this replica was deposed mid-flight.
@@ -1099,6 +1362,7 @@ fn maintainer_loop(
                         &mut crash_buffer,
                         &mut pending_replication,
                         ctx,
+                        &mut quorum_wait,
                     );
                     if let Some(req) = followup {
                         serve_request(
@@ -1110,6 +1374,7 @@ fn maintainer_loop(
                             &mut crash_buffer,
                             &mut pending_replication,
                             ctx,
+                            &mut quorum_wait,
                         );
                     }
                 }
@@ -1122,6 +1387,7 @@ fn maintainer_loop(
                     &mut crash_buffer,
                     &mut pending_replication,
                     ctx,
+                    &mut quorum_wait,
                 ),
             }
         }
@@ -1132,7 +1398,8 @@ fn maintainer_loop(
         if last_gossip.elapsed() >= gossip_interval {
             last_gossip = std::time::Instant::now();
             let _ = core.drain_deferred();
-            replicate_drained(core, ctx, fabric);
+            replicate_drained(core, ctx, fabric, appended, &mut quorum_wait);
+            ctx.group.note_durable(ctx.index, core.durable_frontier());
             let (from, frontier) = core.gossip_out();
             if is_primary {
                 fabric.gossip(from, frontier);
@@ -1152,6 +1419,7 @@ fn serve_request(
     crash_buffer: &mut Vec<Entry>,
     pending_replication: &mut Vec<Entry>,
     ctx: &ReplicaCtx,
+    quorum_wait: &mut Notify,
 ) {
     match req {
         // Append/Store normally enter through the loop's batch drain; a
@@ -1165,6 +1433,7 @@ fn serve_request(
             crash_buffer,
             pending_replication,
             ctx,
+            quorum_wait,
         ),
         MaintainerRequest::Store { entries } => serve_batch(
             core,
@@ -1175,6 +1444,7 @@ fn serve_request(
             crash_buffer,
             pending_replication,
             ctx,
+            quorum_wait,
         ),
         MaintainerRequest::AppendMinBound {
             payload,
@@ -1189,53 +1459,118 @@ fn serve_request(
                 let _ = reply.send(Err(fenced(core.id(), ctx)));
                 return;
             };
-            let result = core.append_min_bound(payload, min).and_then(|assigned| {
-                if let Some(entry) = &assigned {
-                    timed_sync_batch(core, fabric)?;
-                    let share: Arc<[Entry]> = vec![entry.clone()].into();
-                    replicate_to_backups(ctx, &share, generation)?;
-                    if ctx.group.primary_generation(ctx.index) != Some(generation) {
-                        return Err(ChariotsError::Fenced {
-                            group: core.id(),
-                            sent: generation,
-                            current: ctx.group.generation(),
-                        });
+            match core.append_min_bound(payload, min) {
+                Ok(Some(entry)) => {
+                    let backups = live_backups(ctx);
+                    if ctx.commit_mode == CommitMode::PipelinedQuorum && !backups.is_empty() {
+                        // A one-entry pipelined batch: the MinBound waiter
+                        // replies and counts at quorum.
+                        let share: Arc<[Entry]> = vec![entry.clone()].into();
+                        let waiter = CommitWaiter::MinBound {
+                            id: Some((entry.record.toid(), entry.lid)),
+                            reply,
+                        };
+                        let outcome_ctx = CommitOutcomeCtx {
+                            fabric: fabric.clone(),
+                            appended: appended.clone(),
+                            total_records: 0,
+                            total_bytes: 0,
+                            had_appends: false,
+                            had_stores: false,
+                            post_share_tags: true,
+                            measured: true,
+                            started: std::time::Instant::now(),
+                        };
+                        pipelined_commit(
+                            core,
+                            ctx,
+                            fabric,
+                            generation,
+                            share,
+                            vec![waiter],
+                            0,
+                            outcome_ctx,
+                            &backups,
+                            quorum_wait,
+                            true,
+                        );
+                    } else {
+                        let group_id = core.id();
+                        let result = (|| {
+                            timed_sync_batch(core, fabric)?;
+                            ctx.group.note_durable(ctx.index, core.durable_frontier());
+                            let share: Arc<[Entry]> = vec![entry.clone()].into();
+                            replicate_to_backups(ctx, &share, generation)?;
+                            if ctx.group.primary_generation(ctx.index) != Some(generation) {
+                                return Err(ChariotsError::Fenced {
+                                    group: group_id,
+                                    sent: generation,
+                                    current: ctx.group.generation(),
+                                });
+                            }
+                            appended.add(1);
+                            fabric.post_tags(collect_tag_postings(std::slice::from_ref(&entry)));
+                            Ok(Some((entry.record.toid(), entry.lid)))
+                        })();
+                        let _ = reply.send(result);
                     }
-                    appended.add(1);
-                    fabric.post_tags(collect_tag_postings(std::slice::from_ref(entry)));
                 }
-                Ok(assigned.map(|e| (e.record.toid(), e.lid)))
-            });
-            replicate_drained(core, ctx, fabric);
-            let _ = reply.send(result);
+                Ok(None) => {
+                    let _ = reply.send(Ok(None));
+                }
+                Err(e) => {
+                    let _ = reply.send(Err(e));
+                }
+            }
+            replicate_drained(core, ctx, fabric, appended, quorum_wait);
         }
         MaintainerRequest::Replicate {
             entries,
             generation,
             reply,
+            seq,
         } => {
             let n = entries.len() as u64;
-            if let Err(e) = station.serve(n) {
-                let _ = reply.send(Err(e));
-                return;
-            }
-            let current = ctx.group.generation();
-            if generation < current {
-                let _ = reply.send(Err(ChariotsError::Fenced {
-                    group: core.id(),
-                    sent: generation,
-                    current,
-                }));
-                return;
-            }
+            let group_id = core.id();
             // No counters, postings, or trace stamps here: the acting
             // primary already accounted for these records. Backups group-
-            // commit too — one WAL sync per replicated batch, so the
-            // primary's ack implies durability group-wide.
-            let result = core
-                .replicate_entries(&entries)
-                .and_then(|frontier| timed_sync_batch(core, fabric).map(|()| frontier));
-            let _ = reply.send(result);
+            // commit too — one WAL sync per replicated batch, so a durable
+            // ack means the records survive this replica's crash.
+            let outcome = station
+                .serve(n)
+                .and_then(|()| {
+                    let current = ctx.group.generation();
+                    if generation < current {
+                        return Err(ChariotsError::Fenced {
+                            group: group_id,
+                            sent: generation,
+                            current,
+                        });
+                    }
+                    Ok(())
+                })
+                .and_then(|()| core.replicate_entries(&entries))
+                .and_then(|frontier| timed_sync_batch(core, fabric).map(|_| frontier));
+            if outcome.is_ok() {
+                // Raise this seat's durable watermark in both commit modes:
+                // failover promotes by it.
+                ctx.group.note_durable(ctx.index, core.durable_frontier());
+            }
+            match (reply, seq) {
+                // Synchronous caller (serial replication, anti-entropy).
+                (Some(reply), _) => {
+                    let _ = reply.send(outcome);
+                }
+                // Pipelined push: report durability to the commit tracker;
+                // whoever completes the quorum fans the batch's acks out.
+                (None, Some(seq)) => match outcome {
+                    Ok(_) => ctx
+                        .group
+                        .report_commit_ack(ctx.index, seq, core.durable_frontier()),
+                    Err(_) => ctx.group.report_commit_failure(ctx.index, seq),
+                },
+                (None, None) => {}
+            }
         }
         MaintainerRequest::Read {
             lid,
@@ -1282,7 +1617,7 @@ fn serve_request(
         MaintainerRequest::GossipIn { from, frontier } => {
             core.gossip_in(from, frontier);
             let _ = core.drain_deferred();
-            replicate_drained(core, ctx, fabric);
+            replicate_drained(core, ctx, fabric, appended, quorum_wait);
         }
         MaintainerRequest::AnnounceEpoch { start, map } => {
             core.announce_epoch(start, map);
@@ -1589,6 +1924,7 @@ mod tests {
                 index: r,
                 detector: None,
                 heartbeat_interval: Duration::from_millis(5),
+                commit_mode: CommitMode::PipelinedQuorum,
             };
             let (h, t) = spawn_replica(
                 core,
@@ -1638,6 +1974,7 @@ mod tests {
             index: 0,
             detector: None,
             heartbeat_interval: Duration::from_millis(5),
+            commit_mode: CommitMode::PipelinedQuorum,
         };
         let (tx1, rx1) = bounded(1);
         let (tx2, rx2) = bounded(1);
@@ -1662,6 +1999,7 @@ mod tests {
             &mut crash_buffer,
             &mut pending_replication,
             &ctx,
+            &mut Notify::new(),
         );
         assert_eq!(rx1.recv().unwrap().unwrap(), vec![(TOId(1), LId(0))]);
         assert_eq!(rx2.recv().unwrap().unwrap(), vec![(TOId(2), LId(1))]);
@@ -1699,6 +2037,7 @@ mod tests {
             index: 0,
             detector: None,
             heartbeat_interval: Duration::from_millis(5),
+            commit_mode: CommitMode::PipelinedQuorum,
         };
         let (tx1, rx1) = bounded(1);
         let (tx2, rx2) = bounded(1);
@@ -1726,6 +2065,7 @@ mod tests {
                     &mut crash_buffer,
                     &mut pending_replication,
                     &ctx,
+                    &mut Notify::new(),
                 );
             })
         };

@@ -27,12 +27,18 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use chariots_simnet::{Counter, EventJournal, EventKind, FailureDetector, Gauge, ServiceStation};
-use chariots_types::{ChariotsError, Entry, Generation, LId, MaintainerId, Result, TOId};
+use chariots_types::{
+    ChariotsError, CommitMode, Entry, Generation, LId, MaintainerId, Result, TOId,
+};
 use parking_lot::RwLock;
 
 use crate::maintainer::{AppendPayload, MaintainerStats};
 use crate::node::MaintainerHandle;
 use crate::range::RangeMap;
+
+pub mod commit;
+
+use commit::{CommitTracker, ResolvedCommit};
 
 /// The failure-detector key of one replica, e.g. `"M1.r0"`.
 pub fn replica_key(group: MaintainerId, index: usize) -> String {
@@ -49,6 +55,7 @@ pub struct GroupState {
     primary: AtomicUsize,
     generation: AtomicU64,
     replicas: RwLock<Vec<MaintainerHandle>>,
+    commit: CommitTracker,
 }
 
 impl GroupState {
@@ -61,6 +68,7 @@ impl GroupState {
             primary: AtomicUsize::new(0),
             generation: AtomicU64::new(Generation::INITIAL.as_u64()),
             replicas: RwLock::new(Vec::new()),
+            commit: CommitTracker::new(group),
         }
     }
 
@@ -129,14 +137,83 @@ impl GroupState {
     }
 
     /// Promotes replica `index` to primary and bumps the generation,
-    /// fencing every request stamped with the old one. Returns the new
-    /// generation.
+    /// fencing every request stamped with the old one — including every
+    /// pipelined batch still awaiting quorum under the old generation.
+    /// Returns the new generation.
     pub fn promote(&self, index: usize) -> Generation {
         // Generation first: a deposed primary that still sees itself as
         // primary for an instant will have its replication fenced.
         let g = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
         self.primary.store(index, Ordering::Release);
-        Generation(g)
+        let new_gen = Generation(g);
+        let fenced = self.commit.fence(new_gen);
+        self.finish(fenced);
+        new_gen
+    }
+
+    /// The group's pipelined-commit ledger.
+    pub fn commit(&self) -> &CommitTracker {
+        &self.commit
+    }
+
+    /// Raises replica `index`'s durable watermark (highest contiguous
+    /// fsynced frontier) — the state failover promotes by.
+    pub fn note_durable(&self, index: usize, frontier: LId) {
+        self.commit.note_durable(index, frontier);
+    }
+
+    /// A backup reports batch `seq` durable at `frontier`. Resolves the
+    /// batch if this ack completes its quorum.
+    pub fn report_commit_ack(&self, index: usize, seq: u64, frontier: LId) {
+        self.commit.note_durable(index, frontier);
+        let resolved = self.commit.report_ack(index, seq);
+        self.finish(resolved.into_iter().collect());
+    }
+
+    /// A replica reports batch `seq` failed on its seat (send error,
+    /// fencing, or sync failure). Resolves the batch as quorum-lost if too
+    /// few participants remain.
+    pub fn report_commit_failure(&self, index: usize, seq: u64) {
+        let resolved = self.commit.report_failure(index, seq);
+        self.finish(resolved.into_iter().collect());
+    }
+
+    /// The primary reports its own WAL fsync done for batch `seq`.
+    pub fn report_primary_durable(&self, index: usize, seq: u64, fsync_us: u64, frontier: LId) {
+        self.commit.note_durable(index, frontier);
+        let resolved = self.commit.report_primary_durable(index, seq, fsync_us);
+        self.finish(resolved.into_iter().collect());
+    }
+
+    /// Fails every in-flight pipelined batch with `err` (replica loop
+    /// shutdown — nobody is left to ack, so waiters must not hang).
+    pub fn abort_pending(&self, err: ChariotsError) {
+        let resolved = self.commit.abort(err);
+        self.finish(resolved);
+    }
+
+    /// Completes resolved batches outside the tracker lock, re-checking
+    /// fencing first: a batch whose quorum arrived *after* a promotion
+    /// deposed its primary must not ack — the new primary may assign those
+    /// positions to different records.
+    fn finish(&self, resolved: Vec<ResolvedCommit>) {
+        for ResolvedCommit { batch, outcome } in resolved {
+            let outcome = if outcome.is_ok()
+                && self.primary_generation(batch.primary) != Some(batch.generation)
+            {
+                Err(ChariotsError::Fenced {
+                    group: self.group,
+                    sent: batch.generation,
+                    current: self.generation(),
+                })
+            } else {
+                outcome
+            };
+            let orphans = batch.complete(outcome);
+            if !orphans.is_empty() {
+                self.commit.park_orphans(orphans);
+            }
+        }
     }
 }
 
@@ -152,17 +229,22 @@ pub struct ReplicaCtx {
     pub detector: Option<FailureDetector>,
     /// Liveness reporting period.
     pub heartbeat_interval: Duration,
+    /// How an acting primary commits batches: serially (fsync, then
+    /// replicate, then ack) or pipelined at f+1 durable copies.
+    pub commit_mode: CommitMode,
 }
 
 impl ReplicaCtx {
     /// Wiring for a single-replica (unreplicated) group — the legacy
-    /// standalone-maintainer shape used by tests and benches.
+    /// standalone-maintainer shape used by tests and benches. There are no
+    /// backups to overlap with, so the commit mode is serial.
     pub fn solo(group: Arc<GroupState>) -> Self {
         ReplicaCtx {
             group,
             index: 0,
             detector: None,
             heartbeat_interval: Duration::from_millis(5),
+            commit_mode: CommitMode::Serial,
         }
     }
 
@@ -461,8 +543,11 @@ impl ReplicaGroupHandle {
 ///
 /// The decision inputs are per-replica: a candidate must be unsuspected,
 /// its machine must be up, and among such candidates the one with the
-/// highest frontier wins (it holds the longest replicated suffix, so the
-/// least data is re-fetched by repair afterwards).
+/// highest **durable watermark** wins — the commit tracker's record of the
+/// highest contiguous frontier that seat has fsynced (falling back to the
+/// seat's self-reported durable frontier). A pipelined batch is only
+/// promised to survive on seats that reported it durable, so promoting by
+/// volatile frontier could seat a primary missing acked records.
 ///
 /// Each promotion publishes a [`EventKind::FailoverStart`] /
 /// [`EventKind::FailoverEnd`] pair plus a [`EventKind::Fencing`] event
@@ -495,9 +580,18 @@ pub fn run_failover(
             {
                 continue;
             }
-            let Ok(stats) = replica.stats() else { continue };
-            if best.is_none_or(|(_, f)| stats.frontier > f) {
-                best = Some((i, stats.frontier));
+            // Promote by durable watermark, not the volatile frontier: a
+            // backup may have applied entries whose fsync failed, and a
+            // pipelined batch is only promised to survive on seats that
+            // reported it durable.
+            let watermark = state.commit().durable_frontier(i).unwrap_or(LId::ZERO).max(
+                replica
+                    .stats()
+                    .map(|s| s.durable_frontier)
+                    .unwrap_or(LId::ZERO),
+            );
+            if best.is_none_or(|(_, f)| watermark > f) {
+                best = Some((i, watermark));
             }
         }
         if let Some((index, _)) = best {
@@ -628,6 +722,7 @@ mod tests {
                 index: r,
                 detector: None,
                 heartbeat_interval: Duration::from_millis(5),
+                commit_mode: CommitMode::PipelinedQuorum,
             };
             let (h, t) = spawn_replica(
                 core,

@@ -1,0 +1,661 @@
+//! Pipelined quorum commit tracking (the f+1 durable-copies rule).
+//!
+//! Under [`CommitMode::PipelinedQuorum`](chariots_types::CommitMode), the
+//! acting primary no longer serializes `fsync → replicate → ack`. It ships
+//! the batch's shared `Arc<[Entry]>` to every live backup *first*, pays its
+//! own WAL fsync while those RPCs are in flight, and acks the batch as soon
+//! as **f+1 replicas report the entries durable** — whichever combination
+//! of {primary fsync, backup fsync acks} gets there first. The
+//! [`CommitTracker`] is the per-group ledger making that possible: it holds
+//! each in-flight batch's waiters, counts durable acks against the quorum,
+//! and maintains the per-replica **durable watermark** failover promotes
+//! by.
+//!
+//! The tracker is deliberately a plain data structure: it never talks to
+//! the network and never re-checks fencing itself. Its owner —
+//! [`GroupState`](crate::replication::GroupState) — wraps every mutation,
+//! performs the post-quorum generation re-check, and runs batch completion
+//! outside the tracker lock.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
+
+use chariots_simnet::Notify;
+use chariots_types::{ChariotsError, Entry, Generation, LId, MaintainerId, Result, TOId, TraceId};
+use crossbeam::channel::Sender;
+use parking_lot::Mutex;
+
+use crate::node::{collect_tag_postings, AppendReplySender, Fabric};
+use chariots_simnet::Counter;
+
+/// Upper bound on batches a primary may have in flight awaiting quorum.
+/// Past it, `serve_batch` blocks until a resolution frees a slot — simple
+/// backpressure so a slow backup cannot let the tracker grow without
+/// bound.
+pub(crate) const MAX_PENDING_COMMITS: usize = 64;
+
+/// The durable acks a batch needs before it may be acked to the client:
+/// a majority of the group (`f + 1` of `2f + 1`, and both copies at
+/// `rf = 2`), capped at the replicas actually participating — crashed
+/// backups are skipped at send time exactly as the serial path skips them,
+/// so a degraded group still commits on what is live.
+pub(crate) fn quorum_required(replica_count: usize, participants: usize) -> usize {
+    (replica_count / 2 + 1).min(participants).max(1)
+}
+
+/// One request's stake in a pending batch, parked until the batch resolves.
+pub(crate) enum CommitWaiter {
+    /// A post-assigned append: the ids to ack on success.
+    Append {
+        /// Assigned `(TOId, LId)` pairs, in request order.
+        ids: Vec<(TOId, LId)>,
+        /// Closed-loop reply channel, if anyone is waiting.
+        reply: Option<AppendReplySender>,
+        /// Records this item contributes to the appended counter.
+        count: u64,
+    },
+    /// An append that failed on its own during the apply pass. It always
+    /// receives its *own* error, whatever the batch outcome — serial
+    /// parity with [`AppliedItem::AppendFailed`](crate::node).
+    FailedAppend {
+        /// The item's own application error.
+        err: ChariotsError,
+        /// Closed-loop reply channel, if anyone is waiting.
+        reply: Option<AppendReplySender>,
+    },
+    /// Pre-routed entries from the queues stage: counted on success,
+    /// parked as orphans for re-replication on failure (their positions
+    /// are committed upstream and must not be lost).
+    Store {
+        /// The stored entries.
+        entries: Vec<Entry>,
+    },
+    /// An explicit-order (min-bound) append.
+    MinBound {
+        /// The assigned id, if the append was not parked.
+        id: Option<(TOId, LId)>,
+        /// Reply channel.
+        reply: Sender<Result<Option<(TOId, LId)>>>,
+    },
+}
+
+/// Everything batch completion needs outside the tracker: instruments,
+/// counters, and the batch's observability facts. Captured at registration
+/// so completion can run on whichever replica's thread reaches quorum.
+pub(crate) struct CommitOutcomeCtx {
+    /// Deployment fabric (metrics, tag postings, trace stamps).
+    pub fabric: Fabric,
+    /// Group-level appended counter (bumped only on successful commit).
+    pub appended: Counter,
+    /// Records in the batch (0 skips batch-size metrics).
+    pub total_records: u64,
+    /// Summed record-body bytes in the batch.
+    pub total_bytes: u64,
+    /// Whether the batch carried appends (append-latency histogram).
+    pub had_appends: bool,
+    /// Whether the batch carried stores (store-latency histogram).
+    pub had_stores: bool,
+    /// Whether to post the share's tags to the indexers on success.
+    pub post_share_tags: bool,
+    /// Whether to record commit-path quorum metrics (off for background
+    /// drained-waiter flushes, which would pollute the ack-path numbers).
+    pub measured: bool,
+    /// When the batch's service began (append/store latency baseline).
+    pub started: Instant,
+}
+
+/// One batch in flight: who must ack, who has, and everything needed to
+/// finish it.
+pub(crate) struct PendingCommit {
+    /// Tracker-assigned sequence number (the ack correlation key).
+    pub seq: u64,
+    /// Generation the batch was admitted under.
+    pub generation: Generation,
+    /// Seat index of the registering primary.
+    pub primary: usize,
+    /// Bitmask of participating replica seats ({primary} ∪ live backups).
+    participants: u64,
+    /// Bitmask of seats that reported the batch durable.
+    acked: u64,
+    /// Bitmask of seats that failed (send error, fencing, sync failure).
+    failed: u64,
+    /// Durable acks required to resolve.
+    required: usize,
+    /// The batch's shared entries (tag postings + trace stamps on success).
+    share: Arc<[Entry]>,
+    /// Parked request stakes.
+    waiters: Vec<CommitWaiter>,
+    /// Drained min-bound entries riding the batch (counted as dropped on
+    /// failure — they were acked as *parked*, not committed).
+    drained_records: u64,
+    /// Completion context.
+    ctx: CommitOutcomeCtx,
+    /// When the batch entered the tracker (quorum-latency baseline).
+    registered: Instant,
+    /// When the primary reported its own fsync durable, if it has.
+    primary_reported: Option<Instant>,
+    /// The primary's fsync duration in µs (overlap accounting).
+    primary_fsync_us: u64,
+}
+
+impl PendingCommit {
+    /// Completes the batch: metrics, tag postings, reply fan-out. Returns
+    /// orphaned `Store` entries the caller must park for re-replication.
+    /// Runs on whichever thread resolved the quorum — never under the
+    /// tracker lock.
+    pub(crate) fn complete(self, outcome: Result<()>) -> Vec<Entry> {
+        let PendingCommit {
+            share,
+            waiters,
+            drained_records,
+            ctx,
+            registered,
+            primary_reported,
+            primary_fsync_us,
+            ..
+        } = self;
+        let obs = ctx.fabric.obs();
+        match outcome {
+            Ok(()) => {
+                let elapsed = ctx.started.elapsed();
+                if ctx.total_records > 0 {
+                    obs.batch_size.record(ctx.total_records);
+                    obs.batch_bytes.record(ctx.total_bytes);
+                }
+                if ctx.had_appends {
+                    obs.append_latency.record_duration(elapsed);
+                }
+                if ctx.had_stores {
+                    obs.store_latency.record_duration(elapsed);
+                }
+                if ctx.measured {
+                    let quorum_us = registered.elapsed().as_micros() as u64;
+                    obs.commit_quorum_latency.record(quorum_us);
+                    // Time spent waiting on backups *after* the primary's
+                    // own durability point — the serial chain's entire
+                    // replication leg, now mostly hidden under the fsync.
+                    let repl_wait_us = primary_reported
+                        .map(|t| t.elapsed().as_micros() as u64)
+                        .unwrap_or(0);
+                    obs.commit_repl_wait.record(repl_wait_us);
+                    // What the overlap bought: a serial chain would have
+                    // paid fsync + backup wait back to back.
+                    let saved = if primary_reported.is_some() {
+                        primary_fsync_us
+                    } else {
+                        // Quorum reached before the primary's fsync even
+                        // returned: the whole wait was hidden.
+                        quorum_us
+                    };
+                    obs.commit_overlap_saved.add(saved);
+                }
+                let traced: Vec<TraceId> = share.iter().filter_map(|e| e.record.trace).collect();
+                ctx.fabric.stamp_store_exits(&traced);
+                if ctx.post_share_tags {
+                    ctx.fabric.post_tags(collect_tag_postings(&share));
+                }
+                // Count everything before any reply goes out: a client
+                // that observes its ack must also observe the counter.
+                let counted: u64 = waiters
+                    .iter()
+                    .map(|w| match w {
+                        CommitWaiter::Append { count, .. } => *count,
+                        CommitWaiter::FailedAppend { .. } => 0,
+                        CommitWaiter::Store { entries } => entries.len() as u64,
+                        CommitWaiter::MinBound { id, .. } => u64::from(id.is_some()),
+                    })
+                    .sum();
+                ctx.appended.add(counted);
+                for waiter in waiters {
+                    match waiter {
+                        CommitWaiter::Append { ids, reply, .. } => {
+                            if let Some(reply) = reply {
+                                let _ = reply.send(Ok(ids));
+                            }
+                        }
+                        CommitWaiter::FailedAppend { err, reply } => {
+                            if let Some(reply) = reply {
+                                let _ = reply.send(Err(err));
+                            }
+                        }
+                        CommitWaiter::Store { .. } => {}
+                        CommitWaiter::MinBound { id, reply } => {
+                            let _ = reply.send(Ok(id));
+                        }
+                    }
+                }
+                Vec::new()
+            }
+            Err(e) => {
+                let mut orphans = Vec::new();
+                for waiter in waiters {
+                    match waiter {
+                        // No partial acks: every append waiter sees the
+                        // batch failure, whatever its own item did.
+                        CommitWaiter::Append { reply, .. } => {
+                            if let Some(reply) = reply {
+                                let _ = reply.send(Err(e.clone()));
+                            }
+                        }
+                        CommitWaiter::FailedAppend { err, reply } => {
+                            if let Some(reply) = reply {
+                                let _ = reply.send(Err(err));
+                            }
+                        }
+                        CommitWaiter::Store { entries } => orphans.extend(entries),
+                        CommitWaiter::MinBound { reply, .. } => {
+                            let _ = reply.send(Err(e.clone()));
+                        }
+                    }
+                }
+                obs.replication_dropped.add(drained_records);
+                orphans
+            }
+        }
+    }
+}
+
+/// A batch plucked out of the tracker with its decided outcome, awaiting
+/// completion by the tracker's owner (who re-checks fencing first).
+pub(crate) struct ResolvedCommit {
+    /// The batch.
+    pub batch: PendingCommit,
+    /// The tracker's verdict (quorum reached / quorum lost / aborted).
+    pub outcome: Result<()>,
+}
+
+#[derive(Default)]
+struct Inner {
+    next_seq: u64,
+    pending: VecDeque<PendingCommit>,
+    /// Per-replica durable watermarks: the highest contiguous frontier each
+    /// seat has reported fsynced. Failover promotes the live seat with the
+    /// highest watermark.
+    durable: Vec<LId>,
+    /// Store entries from failed batches, awaiting re-replication by the
+    /// next replica loop turn (completion may run on a backup's thread,
+    /// which has no access to the primary loop's pending list).
+    orphans: Vec<Entry>,
+}
+
+/// Per-group ledger of in-flight pipelined commits and per-replica durable
+/// watermarks. See the module docs for the protocol; see
+/// [`GroupState`](crate::replication::GroupState) for the wrapper methods
+/// that drive it.
+pub struct CommitTracker {
+    inner: Mutex<Inner>,
+    group: MaintainerId,
+    /// Signalled whenever a batch leaves the tracker (backpressure wakeup).
+    resolved: Notify,
+}
+
+impl std::fmt::Debug for CommitTracker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("CommitTracker")
+            .field("group", &self.group)
+            .field("pending", &inner.pending.len())
+            .field("durable", &inner.durable)
+            .finish()
+    }
+}
+
+impl CommitTracker {
+    /// An empty tracker for `group`.
+    pub fn new(group: MaintainerId) -> Self {
+        CommitTracker {
+            inner: Mutex::new(Inner::default()),
+            group,
+            resolved: Notify::new(),
+        }
+    }
+
+    /// A wakeup handle signalled on every resolution (each clone has its
+    /// own cursor; see [`Notify`]).
+    pub fn subscribe(&self) -> Notify {
+        self.resolved.clone()
+    }
+
+    /// Batches currently awaiting quorum.
+    pub fn pending(&self) -> usize {
+        self.inner.lock().pending.len()
+    }
+
+    /// Raises replica `replica`'s durable watermark to `frontier` (never
+    /// lowers it — watermarks are monotone).
+    pub fn note_durable(&self, replica: usize, frontier: LId) {
+        let mut inner = self.inner.lock();
+        if inner.durable.len() <= replica {
+            inner.durable.resize(replica + 1, LId::ZERO);
+        }
+        if frontier > inner.durable[replica] {
+            inner.durable[replica] = frontier;
+        }
+    }
+
+    /// Replica `replica`'s durable watermark, if it has ever reported one.
+    pub fn durable_frontier(&self, replica: usize) -> Option<LId> {
+        self.inner.lock().durable.get(replica).copied()
+    }
+
+    /// Registers a batch awaiting `required` durable acks from the seats in
+    /// the `participants` bitmask. Returns the batch's sequence number —
+    /// the correlation key every ack must carry.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn register(
+        &self,
+        generation: Generation,
+        primary: usize,
+        participants: u64,
+        required: usize,
+        share: Arc<[Entry]>,
+        waiters: Vec<CommitWaiter>,
+        drained_records: u64,
+        ctx: CommitOutcomeCtx,
+    ) -> u64 {
+        let mut inner = self.inner.lock();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.pending.push_back(PendingCommit {
+            seq,
+            generation,
+            primary,
+            participants,
+            acked: 0,
+            failed: 0,
+            required,
+            share,
+            waiters,
+            drained_records,
+            ctx,
+            registered: Instant::now(),
+            primary_reported: None,
+            primary_fsync_us: 0,
+        });
+        seq
+    }
+
+    /// Records a durable ack from seat `replica` for batch `seq`. Returns
+    /// the batch if the ack completed its quorum. Acks for unknown
+    /// sequence numbers (already resolved, fenced, or aborted) are ignored.
+    pub(crate) fn report_ack(&self, replica: usize, seq: u64) -> Option<ResolvedCommit> {
+        self.report(replica, seq, true, None)
+    }
+
+    /// Records the primary's own fsync completing for batch `seq` — a
+    /// durable ack plus the overlap-accounting facts.
+    pub(crate) fn report_primary_durable(
+        &self,
+        replica: usize,
+        seq: u64,
+        fsync_us: u64,
+    ) -> Option<ResolvedCommit> {
+        self.report(replica, seq, true, Some(fsync_us))
+    }
+
+    /// Records seat `replica` failing batch `seq` (send error, fencing,
+    /// or sync failure). Returns the batch resolved as
+    /// [`ChariotsError::QuorumLost`] if the remaining live participants can
+    /// no longer reach quorum.
+    pub(crate) fn report_failure(&self, replica: usize, seq: u64) -> Option<ResolvedCommit> {
+        self.report(replica, seq, false, None)
+    }
+
+    fn report(
+        &self,
+        replica: usize,
+        seq: u64,
+        durable: bool,
+        fsync_us: Option<u64>,
+    ) -> Option<ResolvedCommit> {
+        let resolved = {
+            let mut inner = self.inner.lock();
+            let pos = inner.pending.iter().position(|b| b.seq == seq)?;
+            let batch = &mut inner.pending[pos];
+            let bit = 1u64 << replica;
+            if batch.participants & bit == 0 {
+                return None;
+            }
+            if durable {
+                batch.acked |= bit;
+                if let Some(us) = fsync_us {
+                    batch.primary_reported = Some(Instant::now());
+                    batch.primary_fsync_us = us;
+                }
+                if (batch.acked.count_ones() as usize) < batch.required {
+                    return None;
+                }
+                let batch = inner.pending.remove(pos).expect("position just found");
+                ResolvedCommit {
+                    batch,
+                    outcome: Ok(()),
+                }
+            } else {
+                batch.failed |= bit;
+                let reachable = (batch.participants & !batch.failed).count_ones() as usize;
+                if reachable >= batch.required {
+                    return None;
+                }
+                let batch = inner.pending.remove(pos).expect("position just found");
+                let durable = batch.acked.count_ones() as usize;
+                let required = batch.required;
+                ResolvedCommit {
+                    outcome: Err(ChariotsError::QuorumLost {
+                        group: self.group,
+                        required,
+                        durable,
+                    }),
+                    batch,
+                }
+            }
+        };
+        self.resolved.notify();
+        Some(resolved)
+    }
+
+    /// Fails every pending batch registered under a generation older than
+    /// `current` (a promotion landed; the deposed primary must not ack).
+    pub(crate) fn fence(&self, current: Generation) -> Vec<ResolvedCommit> {
+        let fenced: Vec<PendingCommit> = {
+            let mut inner = self.inner.lock();
+            let (stale, live): (Vec<_>, Vec<_>) = inner
+                .pending
+                .drain(..)
+                .partition(|b| b.generation < current);
+            inner.pending = live.into();
+            stale
+        };
+        if fenced.is_empty() {
+            return Vec::new();
+        }
+        self.resolved.notify();
+        let group = self.group;
+        fenced
+            .into_iter()
+            .map(|batch| {
+                let sent = batch.generation;
+                ResolvedCommit {
+                    batch,
+                    outcome: Err(ChariotsError::Fenced {
+                        group,
+                        sent,
+                        current,
+                    }),
+                }
+            })
+            .collect()
+    }
+
+    /// Fails every pending batch with `err` (shutdown: nobody is left to
+    /// ack, so waiters must not hang).
+    pub(crate) fn abort(&self, err: ChariotsError) -> Vec<ResolvedCommit> {
+        let drained: Vec<PendingCommit> = {
+            let mut inner = self.inner.lock();
+            inner.pending.drain(..).collect()
+        };
+        if drained.is_empty() {
+            return Vec::new();
+        }
+        self.resolved.notify();
+        drained
+            .into_iter()
+            .map(|batch| ResolvedCommit {
+                batch,
+                outcome: Err(err.clone()),
+            })
+            .collect()
+    }
+
+    /// Parks orphaned store entries from a failed batch for the next
+    /// replica loop turn to re-replicate.
+    pub(crate) fn park_orphans(&self, entries: Vec<Entry>) {
+        self.inner.lock().orphans.extend(entries);
+    }
+
+    /// Takes every parked orphan (drained by the replica loops into their
+    /// `pending_replication` queues).
+    pub fn take_orphans(&self) -> Vec<Entry> {
+        std::mem::take(&mut self.inner.lock().orphans)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome_ctx() -> CommitOutcomeCtx {
+        CommitOutcomeCtx {
+            fabric: Fabric::new(),
+            appended: Counter::new(),
+            total_records: 1,
+            total_bytes: 8,
+            had_appends: true,
+            had_stores: false,
+            post_share_tags: false,
+            measured: true,
+            started: Instant::now(),
+        }
+    }
+
+    fn register(tracker: &CommitTracker, participants: u64, required: usize) -> u64 {
+        tracker.register(
+            Generation::INITIAL,
+            0,
+            participants,
+            required,
+            Vec::new().into(),
+            Vec::new(),
+            0,
+            outcome_ctx(),
+        )
+    }
+
+    #[test]
+    fn quorum_rule_matches_f_plus_one() {
+        assert_eq!(quorum_required(1, 1), 1);
+        assert_eq!(quorum_required(2, 2), 2);
+        assert_eq!(quorum_required(3, 3), 2);
+        assert_eq!(quorum_required(5, 5), 3);
+        // Crashed backups shrink the participant set, never below one.
+        assert_eq!(quorum_required(3, 1), 1);
+        assert_eq!(quorum_required(2, 1), 1);
+    }
+
+    #[test]
+    fn resolves_exactly_at_quorum() {
+        let tracker = CommitTracker::new(MaintainerId(0));
+        let seq = register(&tracker, 0b111, 2);
+        assert!(tracker.report_ack(1, seq).is_none(), "1 of 2");
+        let resolved = tracker.report_ack(2, seq).expect("2 of 2 resolves");
+        assert!(resolved.outcome.is_ok());
+        assert_eq!(tracker.pending(), 0);
+        // A late ack for a resolved batch is ignored.
+        assert!(tracker.report_ack(0, seq).is_none());
+    }
+
+    #[test]
+    fn quorum_lost_when_too_many_participants_fail() {
+        let tracker = CommitTracker::new(MaintainerId(3));
+        let seq = register(&tracker, 0b111, 2);
+        assert!(tracker.report_failure(1, seq).is_none(), "still reachable");
+        let resolved = tracker.report_failure(2, seq).expect("unreachable now");
+        assert!(matches!(
+            resolved.outcome,
+            Err(ChariotsError::QuorumLost {
+                group: MaintainerId(3),
+                required: 2,
+                durable: 0,
+            })
+        ));
+    }
+
+    #[test]
+    fn ack_then_failures_still_commits_at_quorum() {
+        let tracker = CommitTracker::new(MaintainerId(0));
+        let seq = register(&tracker, 0b111, 2);
+        assert!(tracker.report_ack(0, seq).is_none());
+        assert!(tracker.report_failure(2, seq).is_none(), "2 seats left ≥ 2");
+        let resolved = tracker.report_ack(1, seq).expect("quorum");
+        assert!(resolved.outcome.is_ok());
+    }
+
+    #[test]
+    fn fence_fails_only_older_generations() {
+        let tracker = CommitTracker::new(MaintainerId(0));
+        let old = register(&tracker, 0b11, 2);
+        let next = Generation::INITIAL.next();
+        let kept = tracker.register(
+            next,
+            1,
+            0b11,
+            2,
+            Vec::new().into(),
+            Vec::new(),
+            0,
+            outcome_ctx(),
+        );
+        let fenced = tracker.fence(next);
+        assert_eq!(fenced.len(), 1);
+        assert_eq!(fenced[0].batch.seq, old);
+        assert!(matches!(
+            fenced[0].outcome,
+            Err(ChariotsError::Fenced { .. })
+        ));
+        assert_eq!(tracker.pending(), 1);
+        assert!(tracker.report_ack(0, kept).is_none());
+    }
+
+    #[test]
+    fn watermarks_are_monotone_per_replica() {
+        let tracker = CommitTracker::new(MaintainerId(0));
+        assert_eq!(tracker.durable_frontier(0), None);
+        tracker.note_durable(0, LId(5));
+        tracker.note_durable(2, LId(3));
+        tracker.note_durable(0, LId(2)); // never lowers
+        assert_eq!(tracker.durable_frontier(0), Some(LId(5)));
+        assert_eq!(tracker.durable_frontier(1), Some(LId::ZERO));
+        assert_eq!(tracker.durable_frontier(2), Some(LId(3)));
+    }
+
+    #[test]
+    fn abort_drains_everything_and_notifies() {
+        let tracker = CommitTracker::new(MaintainerId(0));
+        let mut wakeup = tracker.subscribe();
+        register(&tracker, 0b11, 2);
+        register(&tracker, 0b11, 2);
+        let aborted = tracker.abort(ChariotsError::ShutDown);
+        assert_eq!(aborted.len(), 2);
+        assert_eq!(tracker.pending(), 0);
+        assert!(wakeup.try_consume(), "resolution signalled");
+    }
+
+    #[test]
+    fn acks_from_non_participants_are_ignored() {
+        let tracker = CommitTracker::new(MaintainerId(0));
+        let seq = register(&tracker, 0b011, 2);
+        assert!(tracker.report_ack(2, seq).is_none(), "seat 2 not enrolled");
+        assert!(tracker.report_ack(0, seq).is_none());
+        assert!(tracker.report_ack(1, seq).is_some());
+    }
+}

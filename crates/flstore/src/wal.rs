@@ -177,6 +177,7 @@ pub struct Wal {
     path: PathBuf,
     writer: BufWriter<File>,
     appended: u64,
+    synced: u64,
 }
 
 impl Wal {
@@ -192,6 +193,7 @@ impl Wal {
             path,
             writer: BufWriter::new(file),
             appended: 0,
+            synced: 0,
         })
     }
 
@@ -217,12 +219,24 @@ impl Wal {
     /// Flushes and fsyncs (durability point).
     pub fn sync(&mut self) -> Result<()> {
         self.flush()?;
-        self.writer.get_ref().sync_data().map_err(io_err)
+        self.writer.get_ref().sync_data().map_err(io_err)?;
+        self.synced = self.appended;
+        Ok(())
     }
 
     /// Number of frames appended through this handle.
     pub fn appended(&self) -> u64 {
         self.appended
+    }
+
+    /// Number of frames covered by the last successful `sync`.
+    pub fn synced(&self) -> u64 {
+        self.synced
+    }
+
+    /// Frames appended but not yet covered by a successful `sync`.
+    pub fn unsynced(&self) -> u64 {
+        self.appended - self.synced
     }
 
     /// The file backing this WAL.

@@ -73,6 +73,12 @@ pub enum EventKind {
         /// Observed sync duration.
         stall_us: u64,
     },
+    /// A WAL batch sync failed outright; the entries it covered were not
+    /// made durable and must not be replicated or acked.
+    WalSyncFailed {
+        /// Records whose durability the failed sync covered.
+        records: u64,
+    },
     /// The autoscaler added a machine to a pipeline stage.
     ScaleOut {
         /// Stage that grew (`"batcher"`, `"queue"`, `"filter"`,
@@ -106,6 +112,7 @@ impl EventKind {
             EventKind::EpochChange { .. } => "epoch_change",
             EventKind::GcSweep { .. } => "gc_sweep",
             EventKind::WalSyncStall { .. } => "wal_sync_stall",
+            EventKind::WalSyncFailed { .. } => "wal_sync_failed",
             EventKind::ScaleOut { .. } => "scale_out",
             EventKind::ScaleIn { .. } => "scale_in",
         }

@@ -28,6 +28,30 @@ pub enum WalSyncPolicy {
     Never,
 }
 
+/// How the acting primary of a maintainer replica group reaches the
+/// commit point for a group-commit batch.
+///
+/// `Serial` is the classic chain: apply → WAL fsync → push to every live
+/// backup → ack, so append latency is *fsync + slowest-backup RPC* even
+/// though the two are independent I/O. `PipelinedQuorum` (the default)
+/// ships the batch to the live backups first, pays the primary's fsync
+/// while those pushes are in flight, and acks as soon as a majority of
+/// the group's replicas — counting the primary and each backup that
+/// fsynced the batch — report it durable, cutting the ack latency to
+/// *max(fsync, ship + backup fsync)*.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CommitMode {
+    /// Ack only after the primary fsynced **and** every live backup acked
+    /// its replication push — today's semantics, kept as the equivalence
+    /// oracle for the pipelined path.
+    Serial,
+    /// Ship to backups first, fsync in parallel, ack at a majority of
+    /// durable copies (whichever combination of primary fsync and backup
+    /// fsync acks gets there first).
+    #[default]
+    PipelinedQuorum,
+}
+
 /// Configuration of one datacenter's FLStore deployment (§5).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FLStoreConfig {
@@ -64,6 +88,10 @@ pub struct FLStoreConfig {
     pub max_batch_bytes: usize,
     /// When the maintainer WAL is flushed+fsynced on the serve path.
     pub wal_sync_policy: WalSyncPolicy,
+    /// How a replica group's primary reaches the commit point for a batch:
+    /// the serial fsync-then-replicate chain, or the pipelined quorum
+    /// commit that overlaps the two (the default).
+    pub commit_mode: CommitMode,
     /// How long a client may serve `read_rule` from its cached Head of the
     /// Log before refreshing it with an RPC. The HL is monotonic, so a
     /// stale value is always a safe *lower* bound — the cache trades
@@ -91,6 +119,7 @@ impl Default for FLStoreConfig {
             max_batch_records: 512,
             max_batch_bytes: 1 << 20,
             wal_sync_policy: WalSyncPolicy::default(),
+            commit_mode: CommitMode::default(),
             hl_cache_ttl: Duration::from_millis(5),
             read_cache_entries: 4096,
         }
@@ -161,6 +190,13 @@ impl FLStoreConfig {
     /// Sets the WAL sync policy for the maintainer serve path.
     pub fn wal_sync_policy(mut self, p: WalSyncPolicy) -> Self {
         self.wal_sync_policy = p;
+        self
+    }
+
+    /// Sets the replica-group commit mode (serial chain vs pipelined
+    /// quorum).
+    pub fn commit_mode(mut self, m: CommitMode) -> Self {
+        self.commit_mode = m;
         self
     }
 
@@ -505,6 +541,17 @@ mod tests {
             FLStoreConfig::default().wal_sync_policy,
             WalSyncPolicy::PerBatch
         );
+    }
+
+    #[test]
+    fn commit_mode_defaults_to_pipelined_quorum() {
+        assert_eq!(
+            FLStoreConfig::default().commit_mode,
+            CommitMode::PipelinedQuorum
+        );
+        let cfg = FLStoreConfig::new().commit_mode(CommitMode::Serial);
+        assert_eq!(cfg.commit_mode, CommitMode::Serial);
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

@@ -46,6 +46,17 @@ pub enum ChariotsError {
     UnknownDatacenter(DatacenterId),
     /// Configuration rejected by validation.
     InvalidConfig(String),
+    /// A pipelined commit could not reach its durability quorum: too many
+    /// replicas failed before f+1 copies of the batch were durable.
+    QuorumLost {
+        /// The replica group whose quorum was lost.
+        group: MaintainerId,
+        /// Durable acks required for the batch to commit.
+        required: usize,
+        /// Durable acks actually received before the quorum became
+        /// unreachable.
+        durable: usize,
+    },
     /// The component was asked to operate after shutdown.
     ShutDown,
     /// Persistent storage failed (segment I/O).
@@ -83,6 +94,14 @@ impl fmt::Display for ChariotsError {
             ChariotsError::Overloaded(what) => write!(f, "{what} is overloaded"),
             ChariotsError::UnknownDatacenter(dc) => write!(f, "unknown datacenter {dc}"),
             ChariotsError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            ChariotsError::QuorumLost {
+                group,
+                required,
+                durable,
+            } => write!(
+                f,
+                "group {group}: quorum lost ({durable} of {required} required durable acks)"
+            ),
             ChariotsError::ShutDown => write!(f, "component is shut down"),
             ChariotsError::Storage(msg) => write!(f, "storage error: {msg}"),
         }

@@ -43,7 +43,7 @@ pub mod record;
 pub mod rules;
 
 pub use causality::{compare, CausalOrder, VersionVector};
-pub use config::{ChariotsConfig, FLStoreConfig, StageCounts, WalSyncPolicy};
+pub use config::{ChariotsConfig, CommitMode, FLStoreConfig, StageCounts, WalSyncPolicy};
 pub use error::{ChariotsError, Result};
 pub use ids::{
     ClientId, DatacenterId, Epoch, Generation, LId, MaintainerId, RecordId, TOId, TraceId,

@@ -18,6 +18,10 @@ echo "==> batching smoke gate"
 cargo run --release -p chariots-bench --bin harness -- \
   --smoke --metrics-out target/bench-artifacts/batching-metrics.json batching
 
+echo "==> commitpath smoke gate"
+cargo run --release -p chariots-bench --bin harness -- \
+  --smoke --metrics-out target/bench-artifacts/commitpath-metrics.json commitpath
+
 echo "==> readpath smoke gate"
 cargo run --release -p chariots-bench --bin harness -- \
   --smoke --metrics-out target/bench-artifacts/readpath-metrics.json readpath

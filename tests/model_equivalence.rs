@@ -530,6 +530,176 @@ mod wan_propagation_equivalence {
     }
 }
 
+/// Commit-path equivalence: the pipelined quorum commit (primary ships
+/// the batch to its backups first, overlaps its own WAL fsync with the
+/// replication RPCs, and acks at f+1 durable copies) is a latency
+/// optimization, not a semantic change. Under the same deterministic
+/// workload — including a primary crash that drops every in-flight RPC
+/// on the dead station and forces a failover mid-run — `PipelinedQuorum`
+/// and `Serial` must produce identical acked-record sets, every acked
+/// `(LId, body)` must read back from the surviving group, no acked
+/// position may be reused, and the log below the final Head of the Log
+/// must stay dense.
+mod commit_mode_equivalence {
+    use std::collections::BTreeSet;
+    use std::time::{Duration, Instant};
+
+    use chariots_flstore::{FLStore, FLStoreClient};
+    use chariots_types::{CommitMode, DatacenterId, FLStoreConfig, LId, TagSet};
+    use proptest::prelude::*;
+
+    /// Positions per striping round (`batch_size`).
+    const ROUND: usize = 4;
+
+    /// Appends fired after the crash, riding client retries across the
+    /// failover window.
+    const POST_CRASH: usize = 8;
+
+    #[derive(Debug, Clone)]
+    struct Scenario {
+        maintainers: usize,
+        replication: usize,
+        records: usize,
+        crash_primary: bool,
+        seed: u64,
+    }
+
+    fn arb_scenario() -> impl Strategy<Value = Scenario> {
+        (
+            1usize..=2,
+            2usize..=3,
+            1usize..=2,
+            any::<bool>(),
+            any::<u64>(),
+        )
+            .prop_map(
+                |(maintainers, replication, rounds, crash_primary, seed)| Scenario {
+                    maintainers,
+                    replication,
+                    records: maintainers * ROUND * rounds,
+                    crash_primary,
+                    seed,
+                },
+            )
+    }
+
+    fn launch(s: &Scenario, mode: CommitMode) -> FLStore {
+        let cfg = FLStoreConfig::new()
+            .maintainers(s.maintainers)
+            .batch_size(ROUND as u64)
+            .replication(s.replication)
+            .commit_mode(mode)
+            .gossip_interval(Duration::from_millis(1))
+            .heartbeat_interval(Duration::from_millis(2))
+            .suspicion_timeout(Duration::from_millis(40));
+        FLStore::launch(DatacenterId(0), cfg).expect("launch")
+    }
+
+    /// Polls until `lid` reads back, returning its body; panics at the
+    /// deadline (a just-promoted backup may briefly lag on gossip).
+    fn read_body(client: &mut FLStoreClient, lid: LId, deadline: Instant) -> bytes::Bytes {
+        loop {
+            match client.read_with_hl(lid, true) {
+                Ok(entry) => return entry.record.body,
+                Err(e) => {
+                    assert!(Instant::now() < deadline, "acked {lid} unreadable: {e}");
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+        }
+    }
+
+    /// Drives the workload under one commit mode and verifies the
+    /// durability contract inside the run; returns the acked `(LId, body)`
+    /// pairs in append order.
+    fn run(s: &Scenario, mode: CommitMode) -> Vec<(LId, String)> {
+        let store = launch(s, mode);
+        let mut client = store.client();
+        let mut acked: Vec<(LId, String)> = Vec::new();
+        for i in 0..s.records {
+            let body = format!("p{i}");
+            let (_, lid) = client.append(TagSet::new(), body.clone()).expect("append");
+            acked.push((lid, body));
+        }
+        // Let the pre-crash workload settle (HL covers every acked
+        // position) so both modes reach the same state at the crash point.
+        let max_pre = acked.iter().map(|&(lid, _)| lid).max().expect("acked");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while client.head_of_log().expect("hl") <= max_pre {
+            assert!(Instant::now() < deadline, "HL never covered the appends");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+
+        if s.crash_primary {
+            // Crash one group's primary: its in-flight RPCs are dropped
+            // wholesale, the monitor promotes a backup, and the client's
+            // retry schedule carries the post-crash appends across the
+            // window. A failed attempt assigned nothing, so no retry can
+            // duplicate a record.
+            let group = s.seed as usize % s.maintainers;
+            store.maintainers()[group].crash();
+            for i in 0..POST_CRASH {
+                let body = format!("q{i}");
+                let (_, lid) = client
+                    .append(TagSet::new(), body.clone())
+                    .expect("append must survive the failover window");
+                acked.push((lid, body));
+            }
+        }
+
+        // No acked position was ever assigned twice.
+        let positions: BTreeSet<LId> = acked.iter().map(|&(lid, _)| lid).collect();
+        assert_eq!(positions.len(), acked.len(), "an acked LId was reused");
+
+        // Every acked record is durable: it reads back from the surviving
+        // group with exactly the acked body at exactly the acked position.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        for (lid, body) in &acked {
+            let got = read_body(&mut client, *lid, deadline);
+            assert_eq!(&got[..], body.as_bytes(), "acked {lid} lost or replaced");
+        }
+
+        // Log density: every position below the final HL is readable —
+        // the commit path left no holes behind.
+        let hl = client.head_of_log().expect("hl");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        for l in 0..hl.0 {
+            read_body(&mut client, LId(l), deadline);
+        }
+
+        store.shutdown();
+        acked
+    }
+
+    proptest! {
+        // Each case launches two full deployments; keep the case count
+        // small.
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        #[test]
+        fn pipelined_quorum_matches_serial(s in arb_scenario()) {
+            let pipelined = run(&s, CommitMode::PipelinedQuorum);
+            let serial = run(&s, CommitMode::Serial);
+
+            // The settled pre-crash prefix is fully deterministic: both
+            // modes must assign the identical positions to the identical
+            // records.
+            prop_assert_eq!(&pipelined[..s.records], &serial[..s.records]);
+
+            // Across the whole run (retry timing makes post-crash routing,
+            // and hence positions, timing-dependent) the *acked record
+            // sets* must agree: same records acked, none lost, none
+            // doubled.
+            let bodies = |acks: &[(LId, String)]| -> Vec<String> {
+                let mut b: Vec<String> = acks.iter().map(|(_, body)| body.clone()).collect();
+                b.sort();
+                b
+            };
+            prop_assert_eq!(bodies(&pipelined), bodies(&serial));
+        }
+    }
+}
+
 /// Read-path equivalence: the scatter-gather `read_many` and the batched,
 /// cache-enabled `read_rule` return exactly what the per-record serial
 /// path (caches off, one RPC per position) returns — across maintainer
