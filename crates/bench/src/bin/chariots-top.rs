@@ -310,6 +310,18 @@ fn event_detail(kind: &EventKind) -> String {
             *signal_milli as f64 / 1000.0
         ),
         EventKind::EpochChange { boundary } => format!("new epoch from LId {boundary}"),
+        EventKind::CompactionSweep {
+            segments_deleted,
+            segments_rewritten,
+            reclaimed_bytes,
+        } => format!(
+            "{segments_deleted} deleted, {segments_rewritten} rewritten, {reclaimed_bytes} B freed"
+        ),
+        EventKind::CheckpointWritten {
+            upto,
+            entries,
+            bytes,
+        } => format!("{entries} entries to LId {upto} ({bytes} B)"),
         _ => String::new(),
     }
 }

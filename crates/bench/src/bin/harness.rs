@@ -11,7 +11,7 @@ use std::path::PathBuf;
 
 use chariots_bench::experiments::{
     ablations, apps, availability, baseline, batching, commitpath, elasticity, fig7, fig8, fig9,
-    geo, obs, readpath, tables, txn,
+    geo, obs, readpath, recovery, tables, txn,
 };
 use chariots_bench::report::Report;
 use chariots_simnet::MetricsSnapshot;
@@ -37,6 +37,9 @@ experiments:
              integrity audit across a forced failover
   readpath   read sweep: scatter-gather batched reads and client caches
              vs per-record reads, plus pushed-down rule lookups
+  recovery   restart sweep: flat-WAL full replay vs segmented WAL with
+             checkpoints — time-to-serving, replayed bytes, reclaimed
+             disk, and an acked-record ledger across the restart
   geo        WAN propagation sweep: cursor-based delta shipping and
              event-driven senders vs full re-offer, on a lossy WAN
   txn        commit latency vs WAN latency (Message Futures / Helios)
@@ -50,8 +53,8 @@ experiments:
   all        everything above
 --quick trims warmups/windows for smoke runs
 --smoke implies --quick and additionally gates: experiments with a smoke
-  check (batching, commitpath, readpath, geo, obs, elasticity) fail the
-  process when the check fails
+  check (batching, commitpath, readpath, recovery, geo, obs, elasticity)
+  fail the process when the check fails
 --metrics-out writes the merged metrics registries (counters, gauges,
   per-stage latency histograms) of every selected experiment as JSON
 --timeline-out writes the obs (or elasticity) run's collector timeline
@@ -122,6 +125,7 @@ fn main() {
             "batching" => vec![batching::run(quick)],
             "commitpath" => vec![commitpath::run(quick)],
             "readpath" => vec![readpath::run(quick)],
+            "recovery" => vec![recovery::run(quick)],
             "geo" => vec![geo::run(quick)],
             "txn" => vec![txn::run(quick)],
             "apps" => vec![apps::run(quick)],
@@ -154,6 +158,7 @@ fn main() {
                     "batching" => Some(batching::verify_smoke(&report)),
                     "commitpath" => Some(commitpath::verify_smoke(&report)),
                     "readpath" => Some(readpath::verify_smoke(&report)),
+                    "recovery" => Some(recovery::verify_smoke(&report)),
                     "geo" => Some(geo::verify_smoke(&report)),
                     "obs" => Some(obs::verify_smoke(&report)),
                     "elasticity" => Some(elasticity::verify_smoke(&report)),
@@ -189,6 +194,7 @@ fn main() {
                 "batching",
                 "commitpath",
                 "readpath",
+                "recovery",
                 "geo",
                 "txn",
                 "apps",

@@ -15,5 +15,6 @@ pub mod fig9;
 pub mod geo;
 pub mod obs;
 pub mod readpath;
+pub mod recovery;
 pub mod tables;
 pub mod txn;

@@ -4,34 +4,66 @@
 //! employ a cold storage solution to archive older records." This module
 //! provides that tier: before the hot log reclaims a prefix, its entries
 //! are appended to an archive file (the same CRC-framed format as the
-//! WAL), and an [`ArchiveReader`] serves reads of collected positions —
-//! the substrate for the paper's "time travel" and auditing use cases.
+//! WAL segments, but flat and unsegmented — archives only grow at the
+//! tail and are never compacted), and an [`ArchiveReader`] serves reads
+//! of collected positions — the substrate for the paper's "time travel"
+//! and auditing use cases.
+//!
+//! The reader keeps only an LId→offset index resident plus a small
+//! bounded cache of decoded entries; bodies stay on disk until asked for.
 
+use std::collections::VecDeque;
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, BufWriter, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
 
 use chariots_types::{ChariotsError, Entry, LId, Result};
 
-use crate::wal::Wal;
+use crate::wal::{encode_entry, read_frame, write_frame, FrameStep};
+
+fn io_err(e: std::io::Error) -> ChariotsError {
+    ChariotsError::Storage(e.to_string())
+}
+
+/// Decoded entries kept resident by an [`ArchiveReader`]. Small on
+/// purpose: archive reads are cold-path (anti-entropy repair, audits).
+const READER_CACHE_ENTRIES: usize = 1024;
 
 /// Append-side handle to an archive file.
 #[derive(Debug)]
 pub struct ArchiveWriter {
-    wal: Wal,
+    path: PathBuf,
+    writer: BufWriter<File>,
     /// Positions strictly below this have been archived.
     archived_below: LId,
 }
 
 impl ArchiveWriter {
     /// Opens (creating if absent) the archive at `path`. Existing frames
-    /// are scanned to find where archiving left off.
+    /// are scanned (not loaded) to find where archiving left off.
     pub fn open(path: impl Into<PathBuf>) -> Result<Self> {
         let path = path.into();
-        let archived_below = Wal::replay(&path)?
-            .last()
-            .map(|e| e.lid.next())
-            .unwrap_or(LId::ZERO);
+        let mut archived_below = LId::ZERO;
+        match File::open(&path) {
+            Ok(file) => {
+                let mut reader = BufReader::new(file);
+                while let FrameStep::Entry(entry, _) = read_frame(&mut reader)? {
+                    archived_below = entry.lid.next();
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(io_err(e)),
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(io_err)?;
         Ok(ArchiveWriter {
-            wal: Wal::open(path)?,
+            path,
+            writer: BufWriter::new(file),
             archived_below,
         })
     }
@@ -40,6 +72,7 @@ impl ArchiveWriter {
     /// order (the GC bound only moves forward, so this is the natural call
     /// pattern); re-archiving already-archived positions is a no-op.
     pub fn archive(&mut self, entries: &[Entry]) -> Result<()> {
+        let mut payload = Vec::new();
         for entry in entries {
             if entry.lid < self.archived_below {
                 continue; // idempotent re-archive
@@ -50,10 +83,13 @@ impl ArchiveWriter {
                     self.archived_below, entry.lid
                 )));
             }
-            self.wal.append(entry)?;
+            payload.clear();
+            encode_entry(entry, &mut payload);
+            write_frame(&mut self.writer, &payload)?;
             self.archived_below = entry.lid.next();
         }
-        self.wal.sync()
+        self.writer.flush().map_err(io_err)?;
+        self.writer.get_ref().sync_data().map_err(io_err)
     }
 
     /// Positions strictly below this are safely archived.
@@ -63,57 +99,151 @@ impl ArchiveWriter {
 
     /// The backing file.
     pub fn path(&self) -> &Path {
-        self.wal.path()
+        &self.path
     }
 }
 
-/// Read-side handle: loads the archive into memory for position lookups.
-/// Archives are cold by definition — opened on demand, not kept hot.
+/// Interior state of an [`ArchiveReader`]: the file handle plus a small
+/// FIFO cache of decoded entries.
+#[derive(Debug)]
+struct ReaderInner {
+    /// `None` when no archive file existed at open time (the index is
+    /// empty, so no read ever needs it).
+    file: Option<File>,
+    cache: VecDeque<(LId, Entry)>,
+}
+
+/// Read-side handle: a lazily-consulted LId→offset index over the
+/// archive file. Only the index (8 bytes per entry) and a bounded cache
+/// of decoded entries stay resident; payloads are fetched on demand.
 #[derive(Debug)]
 pub struct ArchiveReader {
-    entries: Vec<Entry>,
+    path: PathBuf,
+    /// First archived position; entries are dense from here.
+    base: Option<LId>,
+    /// Byte offset of each entry's frame, indexed by `lid - base`.
+    offsets: Vec<u64>,
+    inner: Mutex<ReaderInner>,
 }
 
 impl ArchiveReader {
-    /// Loads the archive at `path`.
+    /// Opens the archive at `path`, scanning frame boundaries to build
+    /// the offset index without retaining any payloads.
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut base = None;
+        let mut offsets = Vec::new();
+        let file = match File::open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                // No archive yet: an empty reader.
+                return Ok(ArchiveReader {
+                    path,
+                    base,
+                    offsets,
+                    inner: Mutex::new(ReaderInner {
+                        file: None,
+                        cache: VecDeque::new(),
+                    }),
+                });
+            }
+            Err(e) => return Err(io_err(e)),
+        };
+        let mut reader = BufReader::new(file);
+        let mut pos = 0u64;
+        loop {
+            match read_frame(&mut reader)? {
+                FrameStep::Entry(entry, bytes) => {
+                    if base.is_none() {
+                        base = Some(entry.lid);
+                    }
+                    offsets.push(pos);
+                    pos += bytes;
+                }
+                FrameStep::Eof | FrameStep::Invalid => break,
+            }
+        }
+        let file = File::open(&path).map_err(io_err)?;
         Ok(ArchiveReader {
-            entries: Wal::replay(path)?,
+            path,
+            base,
+            offsets,
+            inner: Mutex::new(ReaderInner {
+                file: Some(file),
+                cache: VecDeque::new(),
+            }),
         })
     }
 
-    /// Reads the archived entry at `lid`.
+    /// Reads the archived entry at `lid`, seeking to its frame on disk
+    /// (or serving it from the bounded cache).
     pub fn read(&self, lid: LId) -> Result<Entry> {
         // Entries are dense and LId-ordered starting at the first archived
         // position.
-        let base = self
-            .entries
-            .first()
-            .map(|e| e.lid)
-            .ok_or(ChariotsError::NotYetAvailable(lid))?;
+        let base = self.base.ok_or(ChariotsError::NotYetAvailable(lid))?;
         if lid < base {
             return Err(ChariotsError::GarbageCollected(lid));
         }
-        self.entries
+        let offset = *self
+            .offsets
             .get((lid.0 - base.0) as usize)
-            .filter(|e| e.lid == lid)
-            .cloned()
-            .ok_or(ChariotsError::NotYetAvailable(lid))
+            .ok_or(ChariotsError::NotYetAvailable(lid))?;
+        let inner = &mut *self.inner.lock();
+        if let Some((_, e)) = inner.cache.iter().find(|(l, _)| *l == lid) {
+            return Ok(e.clone());
+        }
+        // A non-empty offset index implies the file existed at open time.
+        let file = inner
+            .file
+            .as_mut()
+            .ok_or(ChariotsError::NotYetAvailable(lid))?;
+        file.seek(SeekFrom::Start(offset)).map_err(io_err)?;
+        let entry = match read_frame(file)? {
+            FrameStep::Entry(entry, _) if entry.lid == lid => *entry,
+            // The index said a frame lives here; anything else means the
+            // file changed underneath us or rotted.
+            _ => {
+                return Err(ChariotsError::Storage(format!(
+                    "archive frame at offset {offset} unreadable for {lid}"
+                )))
+            }
+        };
+        if inner.cache.len() >= READER_CACHE_ENTRIES {
+            inner.cache.pop_front();
+        }
+        inner.cache.push_back((lid, entry.clone()));
+        Ok(entry)
     }
 
     /// Number of archived entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.offsets.len()
     }
 
     /// Whether the archive is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.offsets.is_empty()
     }
 
-    /// Iterates archived entries in `LId` order.
-    pub fn iter(&self) -> impl Iterator<Item = &Entry> {
-        self.entries.iter()
+    /// Streams archived entries in `LId` order from disk (nothing is
+    /// retained once yielded).
+    pub fn iter(&self) -> impl Iterator<Item = Entry> {
+        let reader = File::open(&self.path).map(BufReader::new);
+        let mut remaining = self.offsets.len();
+        let mut reader = reader.ok();
+        std::iter::from_fn(move || {
+            if remaining == 0 {
+                return None;
+            }
+            let r = reader.as_mut()?;
+            match read_frame(r) {
+                Ok(FrameStep::Entry(entry, _)) => {
+                    remaining -= 1;
+                    Some(*entry)
+                }
+                _ => None,
+            }
+        })
     }
 }
 
@@ -197,6 +327,26 @@ mod tests {
         let r = ArchiveReader::open(&path).unwrap();
         assert!(r.is_empty());
         assert!(r.read(LId(0)).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reader_serves_reads_with_bounded_cache() {
+        let path = temp_path("bounded.arc");
+        let mut w = ArchiveWriter::open(&path).unwrap();
+        let entries: Vec<Entry> = (0..64).map(entry).collect();
+        w.archive(&entries).unwrap();
+        let r = ArchiveReader::open(&path).unwrap();
+        // Random-access reads hit the offset index, not a resident Vec.
+        for lid in [63u64, 0, 31, 7, 63, 0] {
+            let e = r.read(LId(lid)).unwrap();
+            assert_eq!(e.lid, LId(lid));
+            assert_eq!(&e.record.body[..], format!("r{lid}").as_bytes());
+        }
+        assert!(r.inner.lock().cache.len() <= READER_CACHE_ENTRIES);
+        // Streaming iteration sees everything, in order.
+        let lids: Vec<u64> = r.iter().map(|e| e.lid.0).collect();
+        assert_eq!(lids, (0..64).collect::<Vec<u64>>());
         std::fs::remove_file(&path).unwrap();
     }
 }

@@ -129,7 +129,10 @@ impl FLStore {
             let mut core = MaintainerCore::new(id, self.dc, self.controller.journal())
                 .with_max_deferred(self.cfg.max_deferred_appends)
                 .with_sync_policy(self.cfg.wal_sync_policy)
-                .with_wal_sync_counter(self.fabric.obs().wal_syncs.clone());
+                .with_wal_sync_counter(self.fabric.obs().wal_syncs.clone())
+                .with_wal_segment_bytes(self.cfg.wal_segment_bytes)
+                .with_compact_live_frac_milli(self.cfg.compact_live_frac_milli)
+                .with_checkpoint_interval(self.cfg.checkpoint_interval);
             if let Some(dir) = &self.persist_dir {
                 std::fs::create_dir_all(dir)
                     .map_err(|e| chariots_types::ChariotsError::Storage(e.to_string()))?;

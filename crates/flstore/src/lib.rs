@@ -65,13 +65,15 @@ pub use deployment::FLStore;
 pub use epoch::{EpochAssignment, EpochJournal};
 pub use gossip::HlVector;
 pub use indexer::{indexer_for, IndexerCore, Posting};
-pub use maintainer::{AppendPayload, MaintainerCore, MaintainerStats};
+pub use maintainer::{
+    AppendPayload, CheckpointInfo, MaintainerCore, MaintainerStats, RecoveryStats, StorageStats,
+};
 pub use node::{Fabric, FabricObs, IndexerHandle, MaintainerHandle};
 pub use range::RangeMap;
 pub use replication::{
     replica_key, run_failover, run_repair, GroupState, ReplicaCtx, ReplicaGroupHandle,
 };
-pub use wal::Wal;
+pub use wal::{CompactionStats, SegmentInfo, Wal, WalPosition, WalReplay, DEFAULT_SEGMENT_BYTES};
 
 #[cfg(test)]
 mod deployment_tests {
@@ -314,10 +316,14 @@ mod proptests {
                 }
                 wal.sync().unwrap();
             }
-            let mut data = std::fs::read(&path).unwrap();
-            let idx = flip_at % data.len();
+            // Corruption lands in the first (and only) segment file; frame
+            // data starts past its 48-byte header.
+            let seg = Wal::segment_path(&path, 0);
+            let mut data = std::fs::read(&seg).unwrap();
+            let header = 48usize.min(data.len() - 1);
+            let idx = header + flip_at % (data.len() - header);
             data[idx] ^= flip_mask;
-            std::fs::write(&path, &data).unwrap();
+            std::fs::write(&seg, &data).unwrap();
             // Must not panic; the intact prefix must be a prefix of the
             // original entries.
             let replayed = Wal::replay(&path).unwrap();

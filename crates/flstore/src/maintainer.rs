@@ -9,8 +9,10 @@
 //! everything is testable without spawning anything. The thread-hosted
 //! server wrapper lives in [`node`](crate::node).
 
-use std::path::PathBuf;
-use std::time::Duration;
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use chariots_simnet::Counter;
@@ -22,7 +24,7 @@ use chariots_types::{
 use crate::epoch::EpochJournal;
 use crate::gossip::HlVector;
 use crate::segment::SegmentStore;
-use crate::wal::Wal;
+use crate::wal::{crc32, decode_entry, encode_entry, CompactionStats, Wal, WalPosition};
 
 /// What an application client sends to append: tags plus the opaque body.
 /// The maintainer constructs the full [`Record`] — identity included —
@@ -70,6 +72,148 @@ struct MinBoundWaiter {
     min: LId,
 }
 
+/// How the last [`MaintainerCore::with_wal`] recovery went: whether a
+/// checkpoint cut the replay short, and how much work the replay was.
+/// This is the signal the `recovery` bench measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryStats {
+    /// Whether a valid checkpoint was loaded (current or previous).
+    pub used_checkpoint: bool,
+    /// Entries restored from the checkpoint snapshot.
+    pub checkpoint_entries: u64,
+    /// On-disk size of the loaded checkpoint file.
+    pub checkpoint_bytes: u64,
+    /// WAL frames replayed (the suffix past the checkpoint, or everything).
+    pub replayed_frames: u64,
+    /// WAL frame bytes read during replay.
+    pub replayed_bytes: u64,
+}
+
+/// Point-in-time storage footprint of one maintainer, for the
+/// `flstore.storage.*` gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StorageStats {
+    /// Live WAL segment files (sealed + active).
+    pub segments: u64,
+    /// Total bytes across the live WAL segment files.
+    pub disk_bytes: u64,
+    /// Payload bytes of live entries resident in memory.
+    pub live_bytes: u64,
+}
+
+/// Result of one [`MaintainerCore::checkpoint`]: what was snapshotted and
+/// what the accompanying WAL truncation reclaimed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointInfo {
+    /// The durable frontier captured by the checkpoint.
+    pub upto: LId,
+    /// Entries snapshotted.
+    pub entries: u64,
+    /// On-disk size of the checkpoint file.
+    pub bytes: u64,
+    /// WAL bytes reclaimed by truncating segments the previous checkpoint
+    /// already covers.
+    pub reclaimed_bytes: u64,
+}
+
+fn io_err(e: std::io::Error) -> ChariotsError {
+    ChariotsError::Storage(e.to_string())
+}
+
+/// Checkpoint file header: magic, version, reserved, body length, body CRC.
+const CKPT_MAGIC: [u8; 4] = *b"CCKP";
+const CKPT_VERSION: u16 = 1;
+const CKPT_HEADER_LEN: usize = 20;
+
+fn ckpt_path(base: &Path, suffix: &str) -> PathBuf {
+    let mut name = base
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    name.push_str(suffix);
+    base.with_file_name(name)
+}
+
+/// Parsed checkpoint contents.
+struct CheckpointData {
+    /// Per-epoch GC floors (local-index space), index = epoch.
+    gc_floors: Vec<u64>,
+    /// The WAL position the snapshot covers: replay resumes here.
+    wal_pos: WalPosition,
+    /// Snapshotted live entries.
+    entries: Vec<Entry>,
+    /// On-disk size of the checkpoint file.
+    file_bytes: u64,
+}
+
+/// Loads and validates the checkpoint at `path`. Any malformation —
+/// missing file, bad magic, wrong version, truncation, CRC mismatch,
+/// undecodable entry — yields `None`: the caller falls back to the
+/// previous checkpoint or a full replay, never to partial state.
+fn load_checkpoint(path: &Path) -> Option<CheckpointData> {
+    let data = std::fs::read(path).ok()?;
+    if data.len() < CKPT_HEADER_LEN || data[0..4] != CKPT_MAGIC {
+        return None;
+    }
+    if u16::from_le_bytes([data[4], data[5]]) != CKPT_VERSION {
+        return None;
+    }
+    let body_len = u64::from_le_bytes(data[8..16].try_into().ok()?) as usize;
+    let body_crc = u32::from_le_bytes(data[16..20].try_into().ok()?);
+    let body = data.get(CKPT_HEADER_LEN..CKPT_HEADER_LEN + body_len)?;
+    if crc32(body) != body_crc {
+        return None;
+    }
+    struct BodyCursor<'a> {
+        body: &'a [u8],
+        pos: usize,
+    }
+    impl<'a> BodyCursor<'a> {
+        fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+            let s = self.body.get(self.pos..self.pos.checked_add(n)?)?;
+            self.pos += n;
+            Some(s)
+        }
+        fn u16(&mut self) -> Option<u16> {
+            self.take(2).map(|b| u16::from_le_bytes([b[0], b[1]]))
+        }
+        fn u32(&mut self) -> Option<u32> {
+            self.take(4)
+                .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+        }
+        fn u64(&mut self) -> Option<u64> {
+            self.take(8)
+                .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+        }
+    }
+    let mut c = BodyCursor { body, pos: 0 };
+    let epoch_count = c.u16()? as usize;
+    let mut gc_floors = Vec::with_capacity(epoch_count);
+    for _ in 0..epoch_count {
+        gc_floors.push(c.u64()?);
+    }
+    let wal_pos = WalPosition {
+        seq: c.u64()?,
+        offset: c.u64()?,
+    };
+    let entry_count = c.u64()? as usize;
+    let mut entries = Vec::with_capacity(entry_count.min(1 << 20));
+    for _ in 0..entry_count {
+        let len = c.u32()? as usize;
+        let payload = c.take(len)?;
+        entries.push(decode_entry(payload)?);
+    }
+    if c.pos != body.len() {
+        return None; // trailing garbage
+    }
+    Some(CheckpointData {
+        gc_floors,
+        wal_pos,
+        entries,
+        file_bytes: data.len() as u64,
+    })
+}
+
 /// Counters exposed for diagnostics and the bench harness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MaintainerStats {
@@ -114,6 +258,31 @@ pub struct MaintainerCore {
     /// Fault-injection hook: added latency paid inside every durability
     /// point (tests use it to widen the fsync window).
     sync_delay: Option<Duration>,
+    /// WAL segment rotation threshold; applied when `with_wal` opens the
+    /// log, so it must be configured first.
+    wal_segment_bytes: u64,
+    /// Compaction live-ratio threshold in thousandths (0 disables
+    /// rewrites; fully dead segments are still deleted).
+    compact_live_frac_milli: u32,
+    /// Checkpoint cadence for [`MaintainerCore::maybe_checkpoint`];
+    /// `Duration::ZERO` disables.
+    checkpoint_interval: Duration,
+    last_checkpoint: Instant,
+    /// WAL segment seqs anchoring the current and previous checkpoints
+    /// (protected from compaction; truncation keeps everything from the
+    /// previous one up so fallback recovery always finds its suffix).
+    cur_ckpt_seq: Option<u64>,
+    prev_ckpt_seq: Option<u64>,
+    /// How the last recovery went (zeroed for a fresh core).
+    recovery: RecoveryStats,
+    /// Highest GC bound applied so far (gates repeat sweeps).
+    last_gc_bound: LId,
+    /// Compaction sweeps that changed anything (shared with the node's
+    /// registry as `flstore.storage.compactions`).
+    compactions: Counter,
+    /// Disk bytes reclaimed by compaction + checkpoint truncation
+    /// (`flstore.storage.reclaimed_bytes`).
+    reclaimed: Counter,
     deferred: Vec<MinBoundWaiter>,
     max_deferred: usize,
     /// Entries built for drained min-bound waiters since the last
@@ -142,6 +311,16 @@ impl MaintainerCore {
             wal_syncs: Counter::new(),
             durable: LId::ZERO,
             sync_delay: None,
+            wal_segment_bytes: crate::wal::DEFAULT_SEGMENT_BYTES,
+            compact_live_frac_milli: 500,
+            checkpoint_interval: Duration::ZERO,
+            last_checkpoint: Instant::now(),
+            cur_ckpt_seq: None,
+            prev_ckpt_seq: None,
+            recovery: RecoveryStats::default(),
+            last_gc_bound: LId::ZERO,
+            compactions: Counter::new(),
+            reclaimed: Counter::new(),
             deferred: Vec::new(),
             max_deferred: 65_536,
             drained: Vec::new(),
@@ -182,15 +361,80 @@ impl MaintainerCore {
         self
     }
 
-    /// Enables write-ahead persistence at `path`, replaying any existing
-    /// entries first (crash recovery).
+    /// Sets the WAL segment rotation threshold. Must be called before
+    /// [`MaintainerCore::with_wal`] to take effect.
+    pub fn with_wal_segment_bytes(mut self, bytes: u64) -> Self {
+        self.wal_segment_bytes = bytes.max(1);
+        self
+    }
+
+    /// Sets the compaction live-ratio threshold in thousandths (see
+    /// `FLStoreConfig::compact_live_frac`).
+    pub fn with_compact_live_frac_milli(mut self, milli: u32) -> Self {
+        self.compact_live_frac_milli = milli.min(1000);
+        self
+    }
+
+    /// Sets the cadence of [`MaintainerCore::maybe_checkpoint`]
+    /// (`Duration::ZERO` disables periodic checkpoints).
+    pub fn with_checkpoint_interval(mut self, interval: Duration) -> Self {
+        self.checkpoint_interval = interval;
+        self
+    }
+
+    /// Shares the storage-maintenance counters (registry-backed
+    /// `flstore.storage.compactions` / `flstore.storage.reclaimed_bytes`).
+    pub fn with_storage_counters(mut self, compactions: Counter, reclaimed: Counter) -> Self {
+        self.compactions = compactions;
+        self.reclaimed = reclaimed;
+        self
+    }
+
+    /// Enables write-ahead persistence at `path`, recovering any existing
+    /// state first: the latest valid checkpoint (falling back to the
+    /// previous one, then to nothing, on corruption) plus a streamed
+    /// replay of the WAL suffix the checkpoint does not cover — O(delta
+    /// since checkpoint), not O(log). [`MaintainerCore::recovery_stats`]
+    /// reports how the recovery went.
     pub fn with_wal(mut self, path: impl Into<PathBuf>) -> Result<Self> {
         let path = path.into();
-        for entry in Wal::replay(&path)? {
+        let mut stats = RecoveryStats::default();
+        // Newest checkpoint first; a bad CRC (or any malformation) falls
+        // back to the double-buffered previous snapshot, never to a
+        // half-applied state.
+        let checkpoint = load_checkpoint(&ckpt_path(&path, ".ckpt"))
+            .or_else(|| load_checkpoint(&ckpt_path(&path, ".ckpt.prev")));
+        let replay_from = match checkpoint {
+            Some(ckpt) => {
+                stats.used_checkpoint = true;
+                stats.checkpoint_entries = ckpt.entries.len() as u64;
+                stats.checkpoint_bytes = ckpt.file_bytes;
+                // Floors first: a restored floor must reject stale WAL
+                // frames below it during the suffix replay.
+                for (i, floor) in ckpt.gc_floors.iter().enumerate() {
+                    self.epoch_state(i).store.gc_before(*floor);
+                }
+                for entry in ckpt.entries {
+                    self.apply_recovered(entry)?;
+                }
+                self.cur_ckpt_seq = Some(ckpt.wal_pos.seq);
+                self.prev_ckpt_seq = Some(ckpt.wal_pos.seq);
+                Some(ckpt.wal_pos)
+            }
+            None => None,
+        };
+        let mut replay = match replay_from {
+            Some(pos) => Wal::replay_from(&path, pos)?,
+            None => Wal::replay_iter(&path)?,
+        };
+        for entry in replay.by_ref() {
             // Last-wins: a replica's WAL may hold a newer frame for a slot
             // it first learned via replication and later saw repaired.
-            self.locate_and_apply(entry, false, true)?;
+            self.apply_recovered(entry?)?;
         }
+        stats.replayed_frames = replay.frames();
+        stats.replayed_bytes = replay.bytes_read();
+        self.recovery = stats;
         // Self-assignment resumes after the densest filled prefix of each
         // epoch (appends are dense per epoch, so the prefix is exact).
         for (i, state) in self.epochs.iter_mut().enumerate() {
@@ -200,8 +444,20 @@ impl MaintainerCore {
         self.refresh_own_frontier();
         // Replayed entries were durable before the restart.
         self.durable = self.frontier();
-        self.wal = Some(Wal::open(path)?);
+        let mut wal = Wal::open_with(path, self.wal_segment_bytes)?;
+        wal.set_protected(self.cur_ckpt_seq.iter().chain(&self.prev_ckpt_seq).copied());
+        self.wal = Some(wal);
         Ok(self)
+    }
+
+    /// Applies one recovered entry (checkpoint snapshot or WAL frame),
+    /// overwriting any occupant. Positions below a restored GC floor are
+    /// skipped — the floor is authoritative, the stale frame is not.
+    fn apply_recovered(&mut self, entry: Entry) -> Result<()> {
+        match self.locate_and_apply(entry, false, true) {
+            Ok(_) | Err(ChariotsError::GarbageCollected(_)) => Ok(()),
+            Err(e) => Err(e),
+        }
     }
 
     /// This maintainer's id.
@@ -592,8 +848,17 @@ impl MaintainerCore {
         out
     }
 
-    /// Garbage-collects every owned position strictly below `bound`.
-    pub fn gc_before(&mut self, bound: LId) {
+    /// Garbage-collects every owned position strictly below `bound`, then
+    /// compacts the WAL: segments whose frames are all (or mostly) below
+    /// the collection floor are deleted or rewritten, so the hot log's
+    /// disk footprint tracks the live suffix instead of growing forever.
+    ///
+    /// Returns the combined reclaim outcome when anything was freed.
+    pub fn gc_before(&mut self, bound: LId) -> Option<CompactionStats> {
+        if bound <= self.last_gc_bound {
+            return None; // the bound only moves forward; nothing new to do
+        }
+        self.last_gc_bound = bound;
         for (i, state) in self.epochs.iter_mut().enumerate() {
             let epoch = chariots_types::Epoch(i as u32);
             let Some(assignment) = self.journal.by_epoch(epoch) else {
@@ -605,6 +870,51 @@ impl MaintainerCore {
             let span = bound.0 - assignment.start.0;
             let floor = assignment.map.owned_below(self.id, span);
             state.store.gc_before(floor);
+        }
+        self.wal.as_ref()?;
+        // The new floors must be durable before any frame below them is
+        // dropped: recovery has to learn "collected", not "empty", for
+        // the reclaimed prefix — an un-persisted floor would let a
+        // restarted maintainer re-assign positions that were already
+        // acked. The checkpoint records the floors (and the live
+        // snapshot); if it cannot be written, skip compaction — that
+        // costs disk, never data.
+        let ckpt_reclaimed = match self.checkpoint() {
+            Ok(Some(info)) => info.reclaimed_bytes,
+            _ => return None,
+        };
+        let mut wal = self.wal.take()?;
+        let result = wal.compact(bound, self.compact_live_frac_milli, |lid| {
+            self.lid_live(lid)
+        });
+        self.wal = Some(wal);
+        // Compaction itself is best-effort: a failed rewrite leaves the
+        // original segment in place (tmp + rename).
+        let mut stats = result.ok()?;
+        if !stats.is_empty() {
+            self.compactions.add(1);
+            self.reclaimed.add(stats.reclaimed_bytes);
+        }
+        stats.reclaimed_bytes += ckpt_reclaimed;
+        if stats.is_empty() {
+            return None;
+        }
+        Some(stats)
+    }
+
+    /// Whether the record at `lid` is still live on this maintainer (not
+    /// garbage-collected). Used as the compaction predicate for WAL frames.
+    fn lid_live(&self, lid: LId) -> bool {
+        let assignment = self.journal.assignment_at(lid);
+        let Some(local) = assignment.local_index(self.id, lid) else {
+            // Not one of our slots under the governing epoch: the frame is
+            // a leftover from a reassignment; nothing recovers from it.
+            return false;
+        };
+        match self.epochs.get(assignment.epoch.0 as usize) {
+            Some(state) => !state.store.is_collected(local),
+            // No state for the epoch yet: keep the frame conservatively.
+            None => true,
         }
     }
 
@@ -689,6 +999,143 @@ impl MaintainerCore {
     /// lost if the machine died right now. Zero when persistence is off.
     pub fn wal_backlog(&self) -> usize {
         self.wal.as_ref().map_or(0, |w| w.unsynced() as usize)
+    }
+
+    /// Writes a checkpoint if persistence is on and the configured
+    /// interval has elapsed since the last one. The node's maintenance
+    /// tick calls this.
+    pub fn maybe_checkpoint(&mut self) -> Result<Option<CheckpointInfo>> {
+        if self.checkpoint_interval.is_zero() || self.wal.is_none() {
+            return Ok(None);
+        }
+        if self.last_checkpoint.elapsed() < self.checkpoint_interval {
+            return Ok(None);
+        }
+        self.checkpoint()
+    }
+
+    /// Snapshots durable state to `<wal>.ckpt` so the next recovery loads
+    /// the snapshot and replays only the WAL suffix past it (O(delta)
+    /// restart). Double-buffered: the prior snapshot is kept at
+    /// `<wal>.ckpt.prev` until the new one is durably in place, and the
+    /// WAL keeps every segment from the *previous* checkpoint's position
+    /// up — so a torn or rotted current checkpoint still recovers exactly,
+    /// just with a longer replay. Returns `None` when persistence is off.
+    pub fn checkpoint(&mut self) -> Result<Option<CheckpointInfo>> {
+        let Some(mut wal) = self.wal.take() else {
+            return Ok(None);
+        };
+        let outcome = self.write_checkpoint(&mut wal);
+        self.wal = Some(wal);
+        self.last_checkpoint = Instant::now();
+        outcome.map(Some)
+    }
+
+    fn write_checkpoint(&mut self, wal: &mut Wal) -> Result<CheckpointInfo> {
+        // The snapshot must not get ahead of the log: fsync first, then
+        // record the position the snapshot covers.
+        if let Some(d) = self.sync_delay {
+            std::thread::sleep(d);
+        }
+        wal.sync()?;
+        self.wal_syncs.add(1);
+        self.durable = self.frontier();
+        let pos = wal.position();
+
+        let mut body = Vec::new();
+        body.extend_from_slice(&(self.epochs.len() as u16).to_le_bytes());
+        for state in &self.epochs {
+            body.extend_from_slice(&state.store.gc_floor().to_le_bytes());
+        }
+        body.extend_from_slice(&pos.seq.to_le_bytes());
+        body.extend_from_slice(&pos.offset.to_le_bytes());
+        let mut entry_count = 0u64;
+        let mut frames = Vec::new();
+        let mut payload = Vec::new();
+        for state in &self.epochs {
+            for (_, entry) in state.store.iter() {
+                payload.clear();
+                encode_entry(entry, &mut payload);
+                frames.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                frames.extend_from_slice(&payload);
+                entry_count += 1;
+            }
+        }
+        body.extend_from_slice(&entry_count.to_le_bytes());
+        body.extend_from_slice(&frames);
+
+        let mut header = Vec::with_capacity(CKPT_HEADER_LEN);
+        header.extend_from_slice(&CKPT_MAGIC);
+        header.extend_from_slice(&CKPT_VERSION.to_le_bytes());
+        header.extend_from_slice(&0u16.to_le_bytes());
+        header.extend_from_slice(&(body.len() as u64).to_le_bytes());
+        header.extend_from_slice(&crc32(&body).to_le_bytes());
+
+        let base = wal.path().to_path_buf();
+        let tmp = ckpt_path(&base, ".ckpt.tmp");
+        let cur = ckpt_path(&base, ".ckpt");
+        let prev = ckpt_path(&base, ".ckpt.prev");
+        {
+            let mut f = File::create(&tmp).map_err(io_err)?;
+            f.write_all(&header).map_err(io_err)?;
+            f.write_all(&body).map_err(io_err)?;
+            f.sync_data().map_err(io_err)?;
+        }
+        // Demote the current snapshot before promoting the new one; both
+        // renames are atomic, so every crash point leaves at least one
+        // loadable checkpoint. A *corrupt* current snapshot is deleted
+        // instead of demoted — clobbering a good `.prev` with rot would
+        // open a crash window (between the renames) with no loadable
+        // snapshot but an already-truncated WAL.
+        if cur.exists() {
+            if load_checkpoint(&cur).is_some() {
+                std::fs::rename(&cur, &prev).map_err(io_err)?;
+            } else {
+                std::fs::remove_file(&cur).map_err(io_err)?;
+            }
+        }
+        std::fs::rename(&tmp, &cur).map_err(io_err)?;
+
+        let old_cur = self.cur_ckpt_seq;
+        // The very first snapshot has no predecessor: leave `prev` unset so
+        // nothing is truncated while only one snapshot exists on disk — a
+        // rotted sole `.ckpt` must still fall back to a full WAL replay.
+        self.prev_ckpt_seq = old_cur;
+        self.cur_ckpt_seq = Some(pos.seq);
+        wal.set_protected(
+            self.prev_ckpt_seq
+                .iter()
+                .chain(self.cur_ckpt_seq.iter())
+                .copied(),
+        );
+        // Everything below the *previous* checkpoint's segment is covered
+        // by both on-disk snapshots: safe to drop.
+        let mut reclaimed_bytes = 0;
+        if let Some(seq) = self.prev_ckpt_seq {
+            reclaimed_bytes = wal.truncate_below(seq)?;
+        }
+        self.reclaimed.add(reclaimed_bytes);
+        Ok(CheckpointInfo {
+            upto: self.durable,
+            entries: entry_count,
+            bytes: (CKPT_HEADER_LEN + body.len()) as u64,
+            reclaimed_bytes,
+        })
+    }
+
+    /// How the last [`MaintainerCore::with_wal`] recovery went.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery
+    }
+
+    /// Point-in-time storage footprint: WAL segments and bytes on disk,
+    /// live payload bytes resident in memory.
+    pub fn storage_stats(&self) -> StorageStats {
+        StorageStats {
+            segments: self.wal.as_ref().map_or(0, |w| w.segment_count() as u64),
+            disk_bytes: self.wal.as_ref().map_or(0, |w| w.disk_bytes()),
+            live_bytes: self.epochs.iter().map(|s| s.store.resident_bytes()).sum(),
+        }
     }
 }
 
@@ -982,7 +1429,9 @@ mod tests {
                 .unwrap();
             m.sync_batch().unwrap();
             assert_eq!(m.wal_syncs(), 1, "one fsync for the whole batch");
-            let synced_len = std::fs::metadata(&path).unwrap().len();
+            let synced_len = std::fs::metadata(Wal::segment_path(&path, 0))
+                .unwrap()
+                .len();
             // Batch 2: applied but the crash lands before its sync_batch —
             // nothing in it was ever acked.
             m.append_batch(vec![payload("b1"), payload("b2")]).unwrap();
@@ -991,7 +1440,10 @@ mod tests {
         };
 
         // Crash: tear the file mid-frame inside the unacked second batch.
-        let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(Wal::segment_path(&path, 0))
+            .unwrap();
         file.set_len(synced_len + 5).unwrap();
         drop(file);
 
@@ -1045,5 +1497,166 @@ mod tests {
         let out = m.append_batch(vec![p]).unwrap();
         let e = m.read(out[0].lid, false).unwrap();
         assert!(e.record.tags.contains_key("key"));
+    }
+
+    #[test]
+    fn checkpoint_recovery_replays_only_suffix() {
+        let dir = chariots_simnet::TestDir::new("chariots-m-ckpt");
+        let path = dir.path().join("m0.wal");
+        let journal = EpochJournal::new(RangeMap::new(1, 1000));
+        {
+            let mut m = MaintainerCore::new(MaintainerId(0), DatacenterId(0), journal.clone())
+                .with_wal_segment_bytes(256)
+                .with_wal(&path)
+                .unwrap();
+            m.append_batch((0..50).map(|_| payload("ckpt-body")).collect())
+                .unwrap();
+            m.sync_batch().unwrap();
+            let info = m.checkpoint().unwrap().unwrap();
+            assert_eq!(info.entries, 50);
+            assert!(info.bytes > 0);
+            // Only a short suffix lands after the snapshot.
+            m.append_batch(vec![payload("t1"), payload("t2"), payload("t3")])
+                .unwrap();
+            m.sync().unwrap();
+        }
+        let mut m = MaintainerCore::new(MaintainerId(0), DatacenterId(0), journal)
+            .with_wal_segment_bytes(256)
+            .with_wal(&path)
+            .unwrap();
+        let rs = m.recovery_stats();
+        assert!(rs.used_checkpoint);
+        assert_eq!(rs.checkpoint_entries, 50);
+        assert_eq!(
+            rs.replayed_frames, 3,
+            "recovery replays only the post-checkpoint suffix"
+        );
+        assert_eq!(m.frontier(), LId(53));
+        assert_eq!(
+            &m.read(LId(0), false).unwrap().record.body[..],
+            b"ckpt-body"
+        );
+        assert_eq!(&m.read(LId(52), false).unwrap().record.body[..], b"t3");
+        // Appends resume past the recovered log.
+        let out = m.append_batch(vec![payload("after")]).unwrap();
+        assert_eq!(out[0].lid, LId(53));
+    }
+
+    #[test]
+    fn corrupt_checkpoint_falls_back_to_previous_snapshot() {
+        let dir = chariots_simnet::TestDir::new("chariots-m-ckpt-corrupt");
+        let path = dir.path().join("m0.wal");
+        let journal = EpochJournal::new(RangeMap::new(1, 1000));
+        {
+            let mut m = MaintainerCore::new(MaintainerId(0), DatacenterId(0), journal.clone())
+                .with_wal(&path)
+                .unwrap();
+            m.append_batch((0..10).map(|_| payload("one")).collect())
+                .unwrap();
+            m.sync_batch().unwrap();
+            m.checkpoint().unwrap().unwrap();
+            m.append_batch((0..5).map(|_| payload("two")).collect())
+                .unwrap();
+            m.sync_batch().unwrap();
+            m.checkpoint().unwrap().unwrap();
+            m.append_batch(vec![payload("tail1"), payload("tail2")])
+                .unwrap();
+            m.sync().unwrap();
+        }
+        // Rot the *current* checkpoint's last byte: its CRC fails, so
+        // recovery must fall back to the previous snapshot and replay a
+        // longer suffix — never load half a snapshot.
+        let cur = ckpt_path(&path, ".ckpt");
+        let mut bytes = std::fs::read(&cur).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&cur, &bytes).unwrap();
+
+        let mut m = MaintainerCore::new(MaintainerId(0), DatacenterId(0), journal)
+            .with_wal(&path)
+            .unwrap();
+        let rs = m.recovery_stats();
+        assert!(rs.used_checkpoint, "previous snapshot still loads");
+        assert_eq!(rs.checkpoint_entries, 10, "snapshot #1, not the rotted #2");
+        assert_eq!(
+            rs.replayed_frames, 7,
+            "everything after snapshot #1 replays from the WAL"
+        );
+        assert_eq!(m.frontier(), LId(17));
+        for (lid, body) in [(0u64, "one"), (12, "two"), (16, "tail2")] {
+            assert_eq!(
+                &m.read(LId(lid), false).unwrap().record.body[..],
+                body.as_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn gc_checkpoints_floors_then_compacts_wal() {
+        let dir = chariots_simnet::TestDir::new("chariots-m-gc-compact");
+        let path = dir.path().join("m0.wal");
+        let journal = EpochJournal::new(RangeMap::new(1, 10_000));
+        let mut m = MaintainerCore::new(MaintainerId(0), DatacenterId(0), journal.clone())
+            .with_wal_segment_bytes(512)
+            .with_wal(&path)
+            .unwrap();
+        m.append_batch((0..100).map(|_| payload("wal-compaction-filler")).collect())
+            .unwrap();
+        m.sync_batch().unwrap();
+        let before = m.storage_stats();
+        assert!(before.segments > 4, "small segments force rotation");
+        assert!(before.live_bytes > 0);
+
+        let stats = m.gc_before(LId(90)).expect("sweep reclaims disk");
+        assert!(stats.reclaimed_bytes > 0);
+        let after = m.storage_stats();
+        assert!(
+            after.disk_bytes < before.disk_bytes,
+            "WAL footprint shrinks: {} -> {}",
+            before.disk_bytes,
+            after.disk_bytes
+        );
+        assert!(after.live_bytes < before.live_bytes);
+        // Repeating the same bound is a no-op.
+        assert!(m.gc_before(LId(90)).is_none());
+
+        // The floors went durable with the sweep's checkpoint: recovery
+        // sees the prefix as *collected*, not empty, and resumes append
+        // assignment after the acked log — never re-issuing positions.
+        drop(m);
+        let mut m = MaintainerCore::new(MaintainerId(0), DatacenterId(0), journal)
+            .with_wal_segment_bytes(512)
+            .with_wal(&path)
+            .unwrap();
+        assert!(matches!(
+            m.read(LId(10), false),
+            Err(ChariotsError::GarbageCollected(_))
+        ));
+        assert!(m.read(LId(95), false).is_ok());
+        assert_eq!(m.frontier(), LId(100));
+        let out = m.append_batch(vec![payload("next")]).unwrap();
+        assert_eq!(out[0].lid, LId(100));
+    }
+
+    #[test]
+    fn maybe_checkpoint_respects_interval() {
+        let dir = chariots_simnet::TestDir::new("chariots-m-ckpt-interval");
+        let path = dir.path().join("m0.wal");
+        let journal = EpochJournal::new(RangeMap::new(1, 100));
+        // Disabled by default (zero interval).
+        let mut m = MaintainerCore::new(MaintainerId(0), DatacenterId(0), journal.clone())
+            .with_wal(&path)
+            .unwrap();
+        m.append_batch(vec![payload("a")]).unwrap();
+        m.sync_batch().unwrap();
+        assert!(m.maybe_checkpoint().unwrap().is_none());
+        // A zero-elapsed interval has not fired yet right after startup…
+        let mut m = m.with_checkpoint_interval(Duration::from_secs(3600));
+        assert!(m.maybe_checkpoint().unwrap().is_none());
+        // …but a tiny one fires on the next tick.
+        let mut m = m.with_checkpoint_interval(Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(5));
+        let info = m.maybe_checkpoint().unwrap().expect("interval elapsed");
+        assert_eq!(info.entries, 1);
     }
 }

@@ -406,6 +406,16 @@ pub struct FabricObs {
     /// Cumulative µs of fsync/replication overlap the pipelined commit hid
     /// versus a serial chain paying the two legs back to back.
     pub commit_overlap_saved: Counter,
+    /// Live WAL segment files across all maintainer cores.
+    pub storage_segments: Gauge,
+    /// Total WAL bytes on disk across all maintainer cores.
+    pub storage_disk_bytes: Gauge,
+    /// Live payload bytes resident in memory across all maintainer cores.
+    pub storage_live_bytes: Gauge,
+    /// Compaction sweeps that reclaimed anything.
+    pub storage_compactions: Counter,
+    /// Disk bytes freed by compaction and checkpoint truncation.
+    pub storage_reclaimed: Counter,
     /// Event journal for WAL sync-stall events (the registry's journal
     /// when registered; a detached ring otherwise).
     journal: EventJournal,
@@ -443,6 +453,11 @@ impl FabricObs {
             commit_quorum_latency: registry
                 .histogram(&format!("{prefix}.commit.quorum.latency_us")),
             commit_overlap_saved: registry.counter(&format!("{prefix}.commit.overlap_saved_us")),
+            storage_segments: registry.gauge(&format!("{prefix}.storage.segments")),
+            storage_disk_bytes: registry.gauge(&format!("{prefix}.storage.disk_bytes")),
+            storage_live_bytes: registry.gauge(&format!("{prefix}.storage.live_bytes")),
+            storage_compactions: registry.counter(&format!("{prefix}.storage.compactions")),
+            storage_reclaimed: registry.counter(&format!("{prefix}.storage.reclaimed_bytes")),
             journal: registry.journal().clone(),
             source: format!("{prefix}.wal"),
         }
@@ -474,6 +489,48 @@ impl FabricObs {
     pub(crate) fn note_wal_sync_failed(&self, records: u64) {
         self.journal
             .publish(&self.source, None, EventKind::WalSyncFailed { records });
+    }
+
+    /// Refreshes the storage gauges from one core's point-in-time
+    /// footprint. Gauges are deployment-wide maxima per refresh cycle in a
+    /// multi-core fabric; the single-core deployments the benches run make
+    /// them exact.
+    pub(crate) fn note_storage(&self, stats: crate::maintainer::StorageStats) {
+        self.storage_segments.set(stats.segments as i64);
+        self.storage_disk_bytes.set(stats.disk_bytes as i64);
+        self.storage_live_bytes.set(stats.live_bytes as i64);
+    }
+
+    /// Journals a storage sweep that reclaimed WAL disk and bumps the
+    /// reclaim counters.
+    pub(crate) fn note_compaction(&self, stats: crate::wal::CompactionStats) {
+        self.storage_compactions.add(1);
+        self.storage_reclaimed.add(stats.reclaimed_bytes);
+        self.journal.publish(
+            &self.source,
+            None,
+            EventKind::CompactionSweep {
+                segments_deleted: stats.segments_deleted,
+                segments_rewritten: stats.segments_rewritten,
+                reclaimed_bytes: stats.reclaimed_bytes,
+            },
+        );
+    }
+
+    /// Journals a checkpoint write and counts the WAL disk its truncation
+    /// gave back. (GC-driven checkpoints are folded into their sweep's
+    /// `CompactionStats` instead, so no byte is counted twice.)
+    pub(crate) fn note_checkpoint(&self, info: crate::maintainer::CheckpointInfo) {
+        self.storage_reclaimed.add(info.reclaimed_bytes);
+        self.journal.publish(
+            &self.source,
+            None,
+            EventKind::CheckpointWritten {
+                upto: info.upto.0,
+                entries: info.entries,
+                bytes: info.bytes,
+            },
+        );
     }
 }
 
@@ -1405,6 +1462,14 @@ fn maintainer_loop(
                 fabric.gossip(from, frontier);
                 fabric.obs().note_gossip(core.head_of_log());
             }
+            // Storage maintenance rides the same tick: an interval-gated
+            // checkpoint (O(delta) restarts) and fresh footprint gauges.
+            // A failed snapshot costs restart time, not correctness — the
+            // WAL still holds everything — so errors are not fatal here.
+            if let Ok(Some(info)) = core.maybe_checkpoint() {
+                fabric.obs().note_checkpoint(info);
+            }
+            fabric.obs().note_storage(core.storage_stats());
         }
     }
 }
@@ -1623,7 +1688,10 @@ fn serve_request(
             core.announce_epoch(start, map);
         }
         MaintainerRequest::Gc { before } => {
-            core.gc_before(before);
+            if let Some(stats) = core.gc_before(before) {
+                fabric.obs().note_compaction(stats);
+            }
+            fabric.obs().note_storage(core.storage_stats());
         }
         MaintainerRequest::Stats { reply } => {
             let _ = reply.send(core.stats());

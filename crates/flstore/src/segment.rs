@@ -51,6 +51,9 @@ pub struct SegmentStore {
     len: u64,
     /// Slots `< gc_floor` were garbage-collected.
     gc_floor: u64,
+    /// Payload bytes (record bodies) of live entries. GC must drive this
+    /// down — it is the signal that collected memory was actually freed.
+    resident_bytes: u64,
 }
 
 impl Default for SegmentStore {
@@ -70,6 +73,7 @@ impl SegmentStore {
             filled_prefix: 0,
             len: 0,
             gc_floor: 0,
+            resident_bytes: 0,
         }
     }
 
@@ -93,6 +97,11 @@ impl SegmentStore {
     /// Local indexes below this were garbage-collected.
     pub fn gc_floor(&self) -> u64 {
         self.gc_floor
+    }
+
+    /// Payload bytes of live entries resident in memory.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_bytes
     }
 
     fn segment_mut(&mut self, local_idx: u64) -> &mut Segment {
@@ -142,9 +151,11 @@ impl SegmentStore {
         if seg.slots[slot].is_some() {
             return Err(ChariotsError::DuplicateRecord(entry.id()));
         }
+        let body_bytes = entry.record.body.len() as u64;
         seg.slots[slot] = Some(entry);
         seg.filled += 1;
         self.len += 1;
+        self.resident_bytes += body_bytes;
         // Advance the contiguous prefix over newly filled slots.
         while self.get(self.filled_prefix).is_some() {
             self.filled_prefix += 1;
@@ -161,10 +172,14 @@ impl SegmentStore {
             return Err(ChariotsError::GarbageCollected(entry.lid));
         }
         let size = self.segment_size as u64;
+        let body_bytes = entry.record.body.len() as u64;
         let seg = self.segment_mut(local_idx);
         let slot = (local_idx % size) as usize;
         let was_empty = seg.slots[slot].is_none();
-        seg.slots[slot] = Some(entry);
+        if let Some(old) = seg.slots[slot].replace(entry) {
+            self.resident_bytes -= old.record.body.len() as u64;
+        }
+        self.resident_bytes += body_bytes;
         if was_empty {
             seg.filled += 1;
             self.len += 1;
@@ -212,11 +227,14 @@ impl SegmentStore {
             return;
         }
         self.gc_floor = local_idx;
-        // Drop whole segments below the floor.
+        // Drop whole segments below the floor, releasing their payloads.
         while let Some(front) = self.segments.front() {
             if front.base + self.segment_size as u64 <= local_idx {
                 let seg = self.segments.pop_front().expect("front exists");
                 self.len -= seg.filled as u64;
+                for entry in seg.slots.into_iter().flatten() {
+                    self.resident_bytes -= entry.record.body.len() as u64;
+                }
                 self.first_base = seg.base + self.segment_size as u64;
             } else {
                 break;
@@ -227,12 +245,19 @@ impl SegmentStore {
             if front.base < local_idx {
                 let upto = (local_idx - front.base) as usize;
                 for slot in front.slots[..upto].iter_mut() {
-                    if slot.take().is_some() {
+                    if let Some(entry) = slot.take() {
                         front.filled -= 1;
                         self.len -= 1;
+                        self.resident_bytes -= entry.record.body.len() as u64;
                     }
                 }
             }
+        }
+        // Release the VecDeque's spare capacity once a GC pass has drained
+        // segments: without this, a long-lived store that GC'd most of its
+        // history still pins the high-water-mark allocation.
+        if self.segments.capacity() > 2 * self.segments.len().max(1) {
+            self.segments.shrink_to_fit();
         }
         if self.filled_prefix < self.gc_floor {
             self.filled_prefix = self.gc_floor;
@@ -376,6 +401,51 @@ mod tests {
         s.insert(4, entry(4)).unwrap();
         assert_eq!(s.get(4).unwrap().lid, LId(4));
         assert_eq!(s.filled_prefix(), 5);
+    }
+
+    #[test]
+    fn gc_releases_resident_payload_bytes() {
+        let mut s = SegmentStore::new(2);
+        let body = vec![7u8; 512];
+        for i in 0..8 {
+            s.insert(
+                i,
+                Entry::new(
+                    LId(i),
+                    Record::new(
+                        RecordId::new(DatacenterId(0), TOId(i + 1)),
+                        VersionVector::new(1),
+                        TagSet::new(),
+                        Bytes::from(body.clone()),
+                    ),
+                ),
+            )
+            .unwrap();
+        }
+        let full = s.resident_bytes();
+        assert_eq!(full, 8 * 512);
+        // GC of a prefix (whole segments plus a straddling slot) must
+        // actually release the collected payload memory.
+        s.gc_before(5);
+        assert_eq!(s.resident_bytes(), 3 * 512);
+        // Replacement swaps the accounting, it doesn't leak the old body.
+        s.insert_or_replace(
+            6,
+            Entry::new(
+                LId(6),
+                Record::new(
+                    RecordId::new(DatacenterId(0), TOId(100)),
+                    VersionVector::new(1),
+                    TagSet::new(),
+                    Bytes::from_static(b"tiny"),
+                ),
+            ),
+        )
+        .unwrap();
+        assert_eq!(s.resident_bytes(), 2 * 512 + 4);
+        s.gc_before(8);
+        assert_eq!(s.resident_bytes(), 0);
+        assert_eq!(s.len(), 0);
     }
 
     #[test]

@@ -69,7 +69,7 @@ impl PutBatch {
 
 /// The result of a get: the value plus the position it was read from
 /// (useful for session tokens and debugging).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Versioned {
     /// The value.
     pub value: String,
@@ -296,6 +296,45 @@ impl Materializer {
     pub fn iter(&self) -> impl Iterator<Item = (&String, &Versioned)> {
         self.view.iter()
     }
+
+    /// Snapshots the view (cursor + live keys) to `path` as JSON. Paired
+    /// with [`restore`](Materializer::restore), this gives the
+    /// materializer the same O(delta) restart the maintainers get from
+    /// their storage checkpoints: a restored view replays only the log
+    /// suffix past the saved cursor instead of everything from LId 0.
+    pub fn checkpoint(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        let snap = ViewCheckpoint {
+            cursor: self.cursor,
+            view: self.view.clone(),
+        };
+        let bytes = serde_json::to_vec(&snap)
+            .map_err(|e| ChariotsError::Storage(format!("view snapshot encode: {e}")))?;
+        std::fs::write(path, bytes)
+            .map_err(|e| ChariotsError::Storage(format!("view snapshot write: {e}")))
+    }
+
+    /// Replaces the view and cursor with a snapshot written by
+    /// [`checkpoint`](Materializer::checkpoint). Call `catch_up` afterwards
+    /// to fold in whatever the log accumulated since the snapshot.
+    pub fn restore(&mut self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| ChariotsError::Storage(format!("view snapshot read: {e}")))?;
+        let snap: ViewCheckpoint = serde_json::from_slice(&bytes)
+            .map_err(|e| ChariotsError::Storage(format!("view snapshot decode: {e}")))?;
+        self.cursor = snap.cursor;
+        self.view = snap.view;
+        Ok(())
+    }
+}
+
+/// Serialized form of a materialized view: the replay cursor plus every
+/// live key.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ViewCheckpoint {
+    /// First log position NOT folded into the view.
+    pub cursor: LId,
+    /// The materialized `key → versioned value` map.
+    pub view: BTreeMap<String, Versioned>,
 }
 
 #[cfg(test)]
@@ -526,6 +565,48 @@ mod tests {
         assert_eq!(view.get("a").unwrap().value, "3");
         assert!(view.get("b").is_none(), "tombstone must erase b");
         assert_eq!(view.len(), 1);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn materializer_checkpoint_restores_view_and_cursor() {
+        let cluster = launch(1);
+        let mut kv = HyksosClient::new(cluster.client(DatacenterId(0)));
+        kv.put("a", "1").unwrap();
+        kv.put("b", "2").unwrap();
+        wait_visible(&mut kv, "b", "2");
+
+        let dir = chariots_simnet::TestDir::new("hyksos-view-ckpt");
+        let snap_path = dir.path().join("view.json");
+        let mut view = Materializer::new(cluster.client(DatacenterId(0)));
+        view.catch_up().unwrap();
+        let cursor = view.cursor();
+        view.checkpoint(&snap_path).unwrap();
+
+        // More writes land after the snapshot.
+        kv.put("a", "3").unwrap();
+        wait_visible(&mut kv, "a", "3");
+
+        // A fresh materializer restored from the snapshot resumes at the
+        // saved cursor (not LId 0) and only needs the suffix.
+        let mut restored = Materializer::new(cluster.client(DatacenterId(0)));
+        restored.restore(&snap_path).unwrap();
+        assert_eq!(restored.cursor(), cursor);
+        assert_eq!(restored.get("a").unwrap().value, "1");
+        assert_eq!(restored.get("b").unwrap().value, "2");
+        restored.catch_up().unwrap();
+        assert_eq!(restored.get("a").unwrap().value, "3");
+        assert!(restored.cursor() > cursor);
+
+        // A corrupt snapshot refuses to load rather than half-applying.
+        std::fs::write(&snap_path, b"{not json").unwrap();
+        let mut broken = Materializer::new(cluster.client(DatacenterId(0)));
+        assert!(broken.restore(&snap_path).is_err());
+        assert_eq!(
+            broken.cursor(),
+            LId::ZERO,
+            "failed restore leaves it untouched"
+        );
         cluster.shutdown();
     }
 

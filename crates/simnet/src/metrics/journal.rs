@@ -99,6 +99,26 @@ pub enum EventKind {
         /// The triggering normalized policy signal, in thousandths.
         signal_milli: u64,
     },
+    /// A storage sweep reclaimed WAL disk: dead segments deleted,
+    /// straddling ones rewritten, checkpoint-covered prefix truncated.
+    CompactionSweep {
+        /// Segments deleted outright.
+        segments_deleted: u64,
+        /// Segments rewritten keeping only live frames.
+        segments_rewritten: u64,
+        /// Disk bytes freed by this sweep.
+        reclaimed_bytes: u64,
+    },
+    /// A maintainer snapshotted its durable state; the next recovery
+    /// replays only the WAL suffix past this point.
+    CheckpointWritten {
+        /// Durable frontier the snapshot covers.
+        upto: u64,
+        /// Entries in the snapshot.
+        entries: u64,
+        /// Snapshot file size.
+        bytes: u64,
+    },
 }
 
 impl EventKind {
@@ -115,6 +135,8 @@ impl EventKind {
             EventKind::WalSyncFailed { .. } => "wal_sync_failed",
             EventKind::ScaleOut { .. } => "scale_out",
             EventKind::ScaleIn { .. } => "scale_in",
+            EventKind::CompactionSweep { .. } => "compaction_sweep",
+            EventKind::CheckpointWritten { .. } => "checkpoint_written",
         }
     }
 }

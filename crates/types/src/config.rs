@@ -103,6 +103,20 @@ pub struct FLStoreConfig {
     /// Committed positions below the Head of the Log are immutable, so the
     /// cache needs no invalidation. 0 disables it.
     pub read_cache_entries: usize,
+    /// Rotation threshold of one maintainer WAL segment file in bytes.
+    /// Smaller segments make compaction and checkpoint truncation more
+    /// granular at the cost of more files.
+    pub wal_segment_bytes: u64,
+    /// Compaction threshold in thousandths: a sealed WAL segment whose
+    /// estimated live ratio falls below `compact_live_frac_milli / 1000`
+    /// is rewritten without its dead frames during a GC sweep. Stored in
+    /// milli-units so the config stays `Eq`/hashable; use
+    /// [`FLStoreConfig::compact_live_frac`] to set it as a fraction.
+    pub compact_live_frac_milli: u32,
+    /// How often a maintainer checkpoints its durable state so recovery
+    /// can replay only the WAL suffix written since. `Duration::ZERO`
+    /// disables checkpointing (recovery replays the whole log).
+    pub checkpoint_interval: Duration,
 }
 
 impl Default for FLStoreConfig {
@@ -122,6 +136,9 @@ impl Default for FLStoreConfig {
             commit_mode: CommitMode::default(),
             hl_cache_ttl: Duration::from_millis(5),
             read_cache_entries: 4096,
+            wal_segment_bytes: 8 * 1024 * 1024,
+            compact_live_frac_milli: 500,
+            checkpoint_interval: Duration::from_secs(1),
         }
     }
 }
@@ -212,6 +229,26 @@ impl FLStoreConfig {
         self
     }
 
+    /// Sets the WAL segment rotation threshold in bytes.
+    pub fn wal_segment_bytes(mut self, n: u64) -> Self {
+        self.wal_segment_bytes = n;
+        self
+    }
+
+    /// Sets the compaction live-ratio threshold as a fraction in `0.0..=1.0`
+    /// (stored internally in thousandths). `0.0` disables compaction
+    /// rewrites (fully-dead segments are still deleted).
+    pub fn compact_live_frac(mut self, frac: f64) -> Self {
+        self.compact_live_frac_milli = (frac.clamp(0.0, 1.0) * 1000.0).round() as u32;
+        self
+    }
+
+    /// Sets the maintainer checkpoint interval (`Duration::ZERO` disables).
+    pub fn checkpoint_interval(mut self, d: Duration) -> Self {
+        self.checkpoint_interval = d;
+        self
+    }
+
     /// Validates internal consistency.
     pub fn validate(&self) -> Result<(), String> {
         if self.num_maintainers == 0 {
@@ -234,6 +271,12 @@ impl FLStoreConfig {
         }
         if self.max_batch_bytes == 0 {
             return Err("max_batch_bytes must be at least 1".into());
+        }
+        if self.wal_segment_bytes == 0 {
+            return Err("wal_segment_bytes must be at least 1".into());
+        }
+        if self.compact_live_frac_milli > 1000 {
+            return Err("compact_live_frac_milli must be at most 1000 (a fraction)".into());
         }
         Ok(())
     }
@@ -565,6 +608,40 @@ mod tests {
         assert!(cfg.validate().is_ok());
         assert!(FLStoreConfig::default().hl_cache_ttl > Duration::ZERO);
         assert!(FLStoreConfig::default().read_cache_entries > 0);
+    }
+
+    #[test]
+    fn storage_knobs_validate() {
+        let cfg = FLStoreConfig::default();
+        assert_eq!(cfg.wal_segment_bytes, 8 * 1024 * 1024);
+        assert_eq!(cfg.compact_live_frac_milli, 500);
+        assert!(cfg.checkpoint_interval > Duration::ZERO);
+        let cfg = FLStoreConfig::new()
+            .wal_segment_bytes(1 << 16)
+            .compact_live_frac(0.25)
+            .checkpoint_interval(Duration::from_millis(200));
+        assert_eq!(cfg.wal_segment_bytes, 1 << 16);
+        assert_eq!(cfg.compact_live_frac_milli, 250);
+        assert!(cfg.validate().is_ok());
+        // Fractions clamp into range instead of overflowing the milli rep.
+        assert_eq!(
+            FLStoreConfig::new()
+                .compact_live_frac(7.0)
+                .compact_live_frac_milli,
+            1000
+        );
+        assert!(FLStoreConfig::new()
+            .wal_segment_bytes(0)
+            .validate()
+            .is_err());
+        let mut cfg = FLStoreConfig::new();
+        cfg.compact_live_frac_milli = 1001;
+        assert!(cfg.validate().is_err());
+        // Zero checkpoint interval means "disabled", not "invalid".
+        assert!(FLStoreConfig::new()
+            .checkpoint_interval(Duration::ZERO)
+            .validate()
+            .is_ok());
     }
 
     #[test]

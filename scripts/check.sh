@@ -26,6 +26,10 @@ echo "==> readpath smoke gate"
 cargo run --release -p chariots-bench --bin harness -- \
   --smoke --metrics-out target/bench-artifacts/readpath-metrics.json readpath
 
+echo "==> recovery smoke gate"
+cargo run --release -p chariots-bench --bin harness -- \
+  --smoke --metrics-out target/bench-artifacts/recovery-metrics.json recovery
+
 echo "==> geo smoke gate"
 cargo run --release -p chariots-bench --bin harness -- \
   --smoke --metrics-out target/bench-artifacts/geo-metrics.json geo
