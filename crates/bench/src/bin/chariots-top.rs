@@ -19,18 +19,22 @@ use chariots_simnet::{
     Collector, CollectorConfig, EventKind, LinkConfig, LiveView, RateLimiter, Shutdown,
     StationConfig,
 };
-use chariots_types::{ChariotsConfig, DatacenterId, FLStoreConfig, TagSet};
+use chariots_types::{ChariotsConfig, DatacenterId, FLStoreConfig, TagSet, TransportMode};
 
 const USAGE: &str = "\
 usage: chariots-top [--duration <secs>] [--refresh <ms>] [--dcs <n>] [--rate <appends/s>]
-                    [--autoscale]
+                    [--autoscale] [--transport <simnet|tcp>]
   --duration  how long to run before exiting (default 20)
   --refresh   dashboard refresh interval in ms (default 500)
   --dcs       datacenters in the cluster (default 2)
   --rate      paced append rate into DC 0 (default 4000)
   --autoscale close the autoscaling control plane over the cluster (the
               elastic stages are capped below the append rate so the
-              dashboard shows live scale-out/scale-in)";
+              dashboard shows live scale-out/scale-in)
+  --transport run the intra-DC hops and FLStore RPCs on in-process simnet
+              channels (default) or real TCP loopback sockets; with tcp
+              the dashboard grows a chariots.transport.* panel (socket
+              B/s, frames/s, reconnects)";
 
 struct Opts {
     duration: Duration,
@@ -38,6 +42,7 @@ struct Opts {
     dcs: usize,
     rate: f64,
     autoscale: bool,
+    transport: TransportMode,
 }
 
 fn parse_opts() -> Opts {
@@ -47,6 +52,7 @@ fn parse_opts() -> Opts {
         dcs: 2,
         rate: 4_000.0,
         autoscale: false,
+        transport: TransportMode::Simnet,
     };
     let mut args = std::env::args().skip(1);
     let value = |flag: &str, args: &mut dyn Iterator<Item = String>| -> String {
@@ -66,6 +72,16 @@ fn parse_opts() -> Opts {
             "--dcs" => opts.dcs = parse(&value(&arg, &mut args), &arg),
             "--rate" => opts.rate = parse(&value(&arg, &mut args), &arg),
             "--autoscale" => opts.autoscale = true,
+            "--transport" => {
+                opts.transport = match value(&arg, &mut args).as_str() {
+                    "simnet" => TransportMode::Simnet,
+                    "tcp" => TransportMode::Tcp,
+                    other => {
+                        eprintln!("--transport must be simnet or tcp, got {other}\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -96,6 +112,7 @@ fn main() {
         .gossip_interval(Duration::from_millis(2));
     cfg.batcher_flush_threshold = 16;
     cfg.batcher_flush_interval = Duration::from_millis(2);
+    let cfg = cfg.transport(opts.transport);
     let wan = LinkConfig::with_latency(Duration::from_millis(3))
         .jitter(Duration::from_micros(500))
         .seed(7);
@@ -254,12 +271,30 @@ fn render(live: &LiveView) {
         }
     }
 
+    // Transport counters (populated only on the TCP backend): rolling
+    // socket bytes/s, frames/s, and reconnects/s per endpoint.
+    let mut transport: Vec<&(String, f64)> = live
+        .rates
+        .iter()
+        .filter(|(k, _)| k.contains(".chariots.transport."))
+        .collect();
+    if !transport.is_empty() {
+        transport.sort_by(|a, b| a.0.cmp(&b.0));
+        println!("\ntransport (rolling: B/s, frames/s, reconnects/s)");
+        for (key, rate) in transport.iter().take(24) {
+            println!("  {key:<52} {rate:>10.0}");
+        }
+    }
+
     println!("\nlatency (rolling window, µs)");
     let mut quantiles: Vec<_> = live
         .quantiles
         .iter()
         .filter(|(k, w)| {
-            (k.ends_with(".latency_us") || k.ends_with(".fsync_us") || k.ends_with(".repl_wait_us"))
+            (k.ends_with(".latency_us")
+                || k.ends_with(".fsync_us")
+                || k.ends_with(".repl_wait_us")
+                || k.ends_with(".serialize_us"))
                 && w.count() > 0
         })
         .collect();

@@ -11,14 +11,16 @@ use std::path::PathBuf;
 
 use chariots_bench::experiments::{
     ablations, apps, availability, baseline, batching, commitpath, elasticity, fig7, fig8, fig9,
-    geo, obs, readpath, recovery, tables, txn,
+    geo, obs, readpath, recovery, tables, txn, wire,
 };
 use chariots_bench::report::Report;
 use chariots_simnet::MetricsSnapshot;
+use chariots_types::TransportMode;
 
 const USAGE: &str = "\
-usage: harness [--quick] [--smoke] [--metrics-out <path>]
-               [--timeline-out <path>] [--trace-out <path>] <experiment>...
+usage: harness [--quick] [--smoke] [--transport <simnet|tcp>]
+               [--metrics-out <path>] [--timeline-out <path>]
+               [--trace-out <path>] <experiment>...
 experiments:
   fig7       single-maintainer throughput vs target load
   fig8       FLStore scalability with maintainers
@@ -50,11 +52,19 @@ experiments:
   elasticity flash crowd vs the autoscaling control plane: scale-out
              under load, drain-and-retire after, integrity vs a static
              layout, and the cost of each reconfiguration
+  wire       transport head-to-head: the Table-4 workload on simnet
+             channels vs real TCP loopback sockets — throughput, append
+             latency, bytes/record on the wire, and an acked-(LId, body)
+             integrity audit on both backends
   all        everything above
 --quick trims warmups/windows for smoke runs
 --smoke implies --quick and additionally gates: experiments with a smoke
-  check (batching, commitpath, readpath, recovery, geo, obs, elasticity)
-  fail the process when the check fails
+  check (batching, commitpath, readpath, recovery, geo, obs, elasticity,
+  wire) fail the process when the check fails
+--transport launches the pipeline experiments (tables 2-5, fig9) on the
+  chosen substrate: in-process simnet channels (default) or real TCP
+  loopback sockets; recorded in every saved results JSON (the wire
+  experiment always runs both backends regardless)
 --metrics-out writes the merged metrics registries (counters, gauges,
   per-stage latency histograms) of every selected experiment as JSON
 --timeline-out writes the obs (or elasticity) run's collector timeline
@@ -78,6 +88,18 @@ fn main() {
                 quick = true;
                 smoke = true;
             }
+            "--transport" => match args.next().as_deref() {
+                Some("simnet") => chariots_bench::set_transport(TransportMode::Simnet),
+                Some("tcp") => chariots_bench::set_transport(TransportMode::Tcp),
+                Some(other) => {
+                    eprintln!("--transport must be simnet or tcp, got {other}\n{USAGE}");
+                    std::process::exit(2);
+                }
+                None => {
+                    eprintln!("--transport requires a value\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
             "--metrics-out" => match args.next() {
                 Some(path) => metrics_out = Some(PathBuf::from(path)),
                 None => {
@@ -135,6 +157,7 @@ fn main() {
                 trace_out.as_deref(),
             )],
             "elasticity" => vec![elasticity::run(quick, timeline_out.as_deref())],
+            "wire" => vec![wire::run(quick)],
             "ablations" => vec![
                 ablations::run_flstore_knobs(quick),
                 ablations::run_token_policy(quick),
@@ -162,6 +185,7 @@ fn main() {
                     "geo" => Some(geo::verify_smoke(&report)),
                     "obs" => Some(obs::verify_smoke(&report)),
                     "elasticity" => Some(elasticity::verify_smoke(&report)),
+                    "wire" => Some(wire::verify_smoke(&report)),
                     _ => None,
                 };
                 match gate {
@@ -201,6 +225,7 @@ fn main() {
                 "ablations",
                 "obs",
                 "elasticity",
+                "wire",
             ] {
                 run_and_collect(e);
             }

@@ -46,6 +46,9 @@ pub fn run(quick: bool) -> Report {
         .gossip_interval(Duration::from_millis(5));
     cfg.batcher_flush_threshold = GEN_BATCH;
     cfg.batcher_flush_interval = Duration::from_millis(2);
+    // `--transport tcp` moves every intra-DC hop (and the FLStore RPCs)
+    // onto real loopback sockets; the default stays on the simnet oracle.
+    let cfg = cfg.transport(crate::transport());
     let stations = StageStations {
         batcher: stage_station(),
         filter: stage_station(),

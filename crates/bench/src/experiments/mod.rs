@@ -18,3 +18,4 @@ pub mod readpath;
 pub mod recovery;
 pub mod tables;
 pub mod txn;
+pub mod wire;

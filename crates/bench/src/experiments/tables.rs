@@ -99,6 +99,9 @@ pub fn run_shape(
         .gossip_interval(Duration::from_millis(5));
     cfg.batcher_flush_threshold = GEN_BATCH;
     cfg.batcher_flush_interval = Duration::from_millis(2);
+    // `--transport tcp` moves every intra-DC hop (and the FLStore RPCs)
+    // onto real loopback sockets; the default stays on the simnet oracle.
+    let cfg = cfg.transport(crate::transport());
 
     let stations = StageStations {
         batcher: stage_station(),

@@ -21,9 +21,36 @@
 
 #![warn(missing_docs)]
 
+use std::sync::OnceLock;
+
+use chariots_types::TransportMode;
+
 pub mod experiments;
 pub mod report;
 pub mod workload;
+
+static TRANSPORT: OnceLock<TransportMode> = OnceLock::new();
+
+/// Selects the transport substrate the pipeline experiments launch their
+/// clusters on (the harness's `--transport` flag). First call wins;
+/// without it every cluster stays on the simnet oracle.
+pub fn set_transport(t: TransportMode) {
+    let _ = TRANSPORT.set(t);
+}
+
+/// The transport substrate selected for this harness run (default:
+/// [`TransportMode::Simnet`]).
+pub fn transport() -> TransportMode {
+    TRANSPORT.get().copied().unwrap_or_default()
+}
+
+/// Short name of a transport mode, as recorded in results JSON.
+pub fn transport_name(t: TransportMode) -> &'static str {
+    match t {
+        TransportMode::Simnet => "simnet",
+        TransportMode::Tcp => "tcp",
+    }
+}
 
 /// Measured rates × `SCALE` ≈ paper-scale rates.
 pub const SCALE: f64 = 10.0;

@@ -21,6 +21,9 @@ pub struct Report {
     pub rows: Vec<Row>,
     /// Bench-scale → paper-scale multiplier used.
     pub scale: f64,
+    /// Transport substrate the harness ran on (`--transport`): `"simnet"`
+    /// (default), `"tcp"`, or `"simnet+tcp"` for the wire head-to-head.
+    pub transport: String,
     /// Free-form notes on what to look for.
     pub notes: Vec<String>,
     /// End-of-run metrics snapshot (counters, gauges, per-stage latency
@@ -47,6 +50,7 @@ impl Report {
             columns,
             rows: Vec::new(),
             scale: SCALE,
+            transport: crate::transport_name(crate::transport()).to_string(),
             notes: Vec::new(),
             metrics: None,
         }

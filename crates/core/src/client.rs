@@ -137,7 +137,7 @@ impl ChariotsClient {
             tags,
             body: body.into(),
             deps: self.context.clone(),
-            reply: Some(reply_tx),
+            reply: Some(chariots_simnet::ReplyTo::local(reply_tx)),
             trace,
         }))?;
         let (toid, lid) = reply_rx.recv().map_err(|_| ChariotsError::ShutDown)?;

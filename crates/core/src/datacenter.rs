@@ -15,9 +15,9 @@ use std::time::{Duration, Instant};
 
 use chariots_simnet::{
     Counter, LinkSender, MetricsRegistry, MetricsSnapshot, Notify, PipelineTracer, ServiceStation,
-    Shutdown, StationConfig,
+    Shutdown, StationConfig, TransportMetrics,
 };
-use chariots_types::{ChariotsConfig, ChariotsError, DatacenterId, LId, Result};
+use chariots_types::{ChariotsConfig, ChariotsError, DatacenterId, LId, Result, TransportMode};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 
@@ -203,9 +203,21 @@ impl ChariotsDc {
         }
         // Exactly one token exists; it starts at queue 0.
         queues[0].inject_token(Token::new(cfg.num_datacenters));
-        let queue_ingresses = Arc::new(RwLock::new(
-            queues.iter().map(|q| q.ingress()).collect::<Vec<_>>(),
-        ));
+        // Under the TCP transport every intra-DC hop crosses a real
+        // loopback socket: the ingress handles handed to the upstream
+        // stage carry a reconnecting `TcpSender` instead of the channel.
+        let mut ingresses = Vec::with_capacity(queues.len());
+        for (i, q) in queues.iter().enumerate() {
+            ingresses.push(wire_stage(
+                &cfg,
+                q.ingress(),
+                &registry,
+                &format!("queue{i}"),
+                &shutdown,
+                |ing, name, sd, m| ing.via_tcp(name, sd, m),
+            )?);
+        }
+        let queue_ingresses = Arc::new(RwLock::new(ingresses));
 
         // Filters, governed by the shared routing plan (future
         // reassignment support, §6.3).
@@ -236,9 +248,18 @@ impl ChariotsDc {
             filters.push(handle);
             threads.push(thread);
         }
-        let filter_ingresses = Arc::new(RwLock::new(
-            filters.iter().map(|f| f.ingress()).collect::<Vec<_>>(),
-        ));
+        let mut f_ingresses = Vec::with_capacity(filters.len());
+        for (i, f) in filters.iter().enumerate() {
+            f_ingresses.push(wire_stage(
+                &cfg,
+                f.ingress(),
+                &registry,
+                &format!("filter{i}"),
+                &shutdown,
+                |ing, name, sd, m| ing.via_tcp(name, sd, m),
+            )?);
+        }
+        let filter_ingresses = Arc::new(RwLock::new(f_ingresses));
 
         // Batchers.
         let n_b = cfg.stages.batchers;
@@ -263,6 +284,14 @@ impl ChariotsDc {
                 format!("{prefix}.batcher{i}.in"),
                 handle.processed_counter(),
             );
+            let handle = wire_stage(
+                &cfg,
+                handle,
+                &registry,
+                &format!("batcher{i}"),
+                &shutdown,
+                |h, name, sd, m| h.via_tcp(name, sd, m),
+            )?;
             batcher_handles.push(handle);
             batcher_threads.push(thread);
         }
@@ -421,6 +450,9 @@ impl ChariotsDc {
             format!("dc{}.batcher{idx}.in", self.dc.0),
             handle.processed_counter(),
         );
+        let handle = self.wire_elastic(handle, &format!("batcher{idx}"), |h, name, sd, m| {
+            h.via_tcp(name, sd, m)
+        });
         self.batchers.write().push(handle);
         self.batcher_threads.push(thread);
         idx
@@ -497,7 +529,12 @@ impl ChariotsDc {
             .last()
             .expect("at least one queue")
             .set_next(handle.token_sender());
-        self.queue_ingresses.write().push(handle.ingress());
+        let ingress = self.wire_elastic(
+            handle.ingress(),
+            &format!("queue{idx}"),
+            |h, name, sd, m| h.via_tcp(name, sd, m),
+        );
+        self.queue_ingresses.write().push(ingress);
         self.queues.push(handle);
         self.queue_threads.push(thread);
         idx
@@ -625,7 +662,12 @@ impl ChariotsDc {
             format!("dc{}.filter{idx}.dups", self.dc.0),
             handle.duplicates_counter(),
         );
-        self.filter_ingresses.write().push(handle.ingress());
+        let ingress = self.wire_elastic(
+            handle.ingress(),
+            &format!("filter{idx}"),
+            |h, name, sd, m| h.via_tcp(name, sd, m),
+        );
+        self.filter_ingresses.write().push(ingress);
         self.filters.push(handle);
         self.threads.push(thread);
         self.plan.write().announce(boundary, new_routing);
@@ -751,6 +793,26 @@ impl ChariotsDc {
         Ok(bound)
     }
 
+    /// TCP-wraps a late-added stage handle under the configured transport.
+    /// Elastic adds cannot fail, so a loopback bind error (fd exhaustion)
+    /// degrades that one node to the in-process channel instead of
+    /// panicking mid-scale-out.
+    fn wire_elastic<T>(
+        &self,
+        handle: T,
+        endpoint: &str,
+        via: impl FnOnce(&T, &str, Shutdown, TransportMetrics) -> std::io::Result<T>,
+    ) -> T {
+        if self.cfg.transport != TransportMode::Tcp {
+            return handle;
+        }
+        let metrics = TransportMetrics::registered(&self.registry, endpoint);
+        match via(&handle, endpoint, self.shutdown.clone(), metrics) {
+            Ok(wired) => wired,
+            Err(_) => handle,
+        }
+    }
+
     fn join_all(&mut self) {
         self.shutdown.signal();
         for t in self
@@ -773,4 +835,25 @@ impl Drop for ChariotsDc {
     fn drop(&mut self) {
         self.join_all();
     }
+}
+
+/// TCP-wraps a stage handle when the configured transport is
+/// [`TransportMode::Tcp`]: spawns the stage's loopback listener, registers
+/// per-endpoint `chariots.transport.*` metrics, and returns a handle whose
+/// sends cross the socket. Under the default simnet transport the handle
+/// passes through untouched.
+fn wire_stage<T>(
+    cfg: &ChariotsConfig,
+    handle: T,
+    registry: &MetricsRegistry,
+    endpoint: &str,
+    shutdown: &Shutdown,
+    via: impl FnOnce(&T, &str, Shutdown, TransportMetrics) -> std::io::Result<T>,
+) -> Result<T> {
+    if cfg.transport != TransportMode::Tcp {
+        return Ok(handle);
+    }
+    let metrics = TransportMetrics::registered(registry, endpoint);
+    via(&handle, endpoint, shutdown.clone(), metrics)
+        .map_err(|e| ChariotsError::Transport(e.to_string()))
 }

@@ -4,8 +4,10 @@
 use std::sync::Arc;
 
 use bytes::Bytes;
-use chariots_types::{DatacenterId, LId, Record, TOId, TagSet, TraceId, VersionVector};
-use crossbeam::channel::Sender;
+use chariots_simnet::ReplyTo;
+use chariots_types::{
+    DatacenterId, LId, Record, TOId, TagSet, TraceId, VersionVector, Wire, WireReader,
+};
 
 /// A locally originated append, not yet assigned a `TOId`.
 ///
@@ -13,7 +15,7 @@ use crossbeam::channel::Sender;
 /// is decided — at the queues stage, under the token. Until then a local
 /// append carries only what the client supplied: tags, body, and the
 /// client's causal context.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct LocalAppend {
     /// System-visible tags.
     pub tags: TagSet,
@@ -24,8 +26,10 @@ pub struct LocalAppend {
     pub deps: VersionVector,
     /// Where to deliver the assigned `(TOId, LId)` ("the assigned TOId and
     /// LId will be sent back to the Application client", §3). `None` for
-    /// open-loop load generation.
-    pub reply: Option<Sender<(TOId, LId)>>,
+    /// open-loop load generation. A [`ReplyTo`] so the slot survives a TCP
+    /// hop: serialized, it becomes a dial-back token the queue answers
+    /// across the wire.
+    pub reply: Option<ReplyTo<(TOId, LId)>>,
     /// Observability: set on a sampled subset of appends so the pipeline
     /// stages stamp per-stage enter/exit times for this record.
     pub trace: Option<TraceId>,
@@ -33,12 +37,55 @@ pub struct LocalAppend {
 
 /// One record entering the pipeline: either a fresh local append or a fully
 /// formed external record received from another datacenter.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub enum Incoming {
     /// A local append awaiting `TOId` and `LId` assignment.
     Local(LocalAppend),
     /// A replica copy of a record created elsewhere.
     External(Record),
+}
+
+impl Wire for LocalAppend {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.tags.encode(buf);
+        self.body.encode(buf);
+        self.deps.encode(buf);
+        self.reply.encode(buf);
+        self.trace.encode(buf);
+    }
+
+    fn decode(r: &mut WireReader) -> Option<Self> {
+        Some(LocalAppend {
+            tags: TagSet::decode(r)?,
+            body: Bytes::decode(r)?,
+            deps: VersionVector::decode(r)?,
+            reply: Option::<ReplyTo<(TOId, LId)>>::decode(r)?,
+            trace: Option::<TraceId>::decode(r)?,
+        })
+    }
+}
+
+impl Wire for Incoming {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Incoming::Local(l) => {
+                buf.push(0);
+                l.encode(buf);
+            }
+            Incoming::External(record) => {
+                buf.push(1);
+                record.encode(buf);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader) -> Option<Self> {
+        match r.u8()? {
+            0 => Some(Incoming::Local(LocalAppend::decode(r)?)),
+            1 => Some(Incoming::External(Record::decode(r)?)),
+            _ => None,
+        }
+    }
 }
 
 impl Incoming {

@@ -14,7 +14,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use chariots_simnet::{Counter, ServiceStation, Shutdown, StageTracer};
+use chariots_simnet::{
+    spawn_wire_listener, Counter, ServiceStation, Shutdown, StageTracer, TcpSender,
+    TransportMetrics,
+};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::RwLock;
 
@@ -99,6 +102,10 @@ pub struct BatcherHandle {
     processed: Counter,
     tracer: StageTracer,
     retire: Shutdown,
+    /// When set, `send` serializes the record and ships it over TCP to
+    /// this node's loopback listener instead of the channel. Everything
+    /// else (station, counters, tracer) is shared with the local handle.
+    wire: Option<Arc<TcpSender>>,
 }
 
 impl BatcherHandle {
@@ -107,7 +114,31 @@ impl BatcherHandle {
     pub fn send(&self, record: Incoming) -> bool {
         self.station.note_arrival(1);
         self.tracer.enter(record.trace());
-        self.tx.send(record).is_ok()
+        match &self.wire {
+            Some(wire) => wire.send(&record).is_ok(),
+            None => self.tx.send(record).is_ok(),
+        }
+    }
+
+    /// Exposes this batcher over TCP: spawns a loopback listener that
+    /// feeds the same inbound channel, and returns a handle clone whose
+    /// `send` goes through a pooled socket. Station accounting and tracing
+    /// stay on the sending side (shared `Arc`s), so both backends charge
+    /// the stage identically; the listener injects raw.
+    pub fn via_tcp(
+        &self,
+        name: &str,
+        shutdown: Shutdown,
+        metrics: TransportMetrics,
+    ) -> std::io::Result<BatcherHandle> {
+        let tx = self.tx.clone();
+        let addr =
+            spawn_wire_listener(name, shutdown, metrics.clone(), move |record: Incoming| {
+                let _ = tx.send(record);
+            })?;
+        let mut wired = self.clone();
+        wired.wire = Some(Arc::new(TcpSender::new(addr, metrics)));
+        Ok(wired)
     }
 
     /// Records processed by this batcher (bench instrumentation).
@@ -153,6 +184,7 @@ pub fn spawn_batcher(
         processed: processed.clone(),
         tracer: tracer.clone(),
         retire: retire.clone(),
+        wire: None,
     };
     let thread = std::thread::Builder::new()
         .name(name)

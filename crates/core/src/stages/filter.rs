@@ -230,6 +230,10 @@ pub struct FilterIngress {
     tx: Sender<Vec<Incoming>>,
     station: Arc<ServiceStation>,
     tracer: StageTracer,
+    /// When set, `send` ships the batch over TCP to this filter's loopback
+    /// listener; the listener feeds `tx` raw, so station accounting stays
+    /// on the sending side either way.
+    wire: Option<Arc<chariots_simnet::TcpSender>>,
 }
 
 impl FilterIngress {
@@ -243,6 +247,7 @@ impl FilterIngress {
             tx,
             station,
             tracer,
+            wire: None,
         }
     }
 
@@ -254,7 +259,33 @@ impl FilterIngress {
         for record in &batch {
             self.tracer.enter(record.trace());
         }
-        self.tx.send(batch).is_ok()
+        match &self.wire {
+            Some(wire) => wire.send(&batch).is_ok(),
+            None => self.tx.send(batch).is_ok(),
+        }
+    }
+
+    /// Exposes this filter over TCP: a loopback listener feeds the same
+    /// channel, and the returned ingress clone sends through a pooled
+    /// socket (one serialization per batch).
+    pub fn via_tcp(
+        &self,
+        name: &str,
+        shutdown: chariots_simnet::Shutdown,
+        metrics: chariots_simnet::TransportMetrics,
+    ) -> std::io::Result<FilterIngress> {
+        let tx = self.tx.clone();
+        let addr = chariots_simnet::spawn_wire_listener(
+            name,
+            shutdown,
+            metrics.clone(),
+            move |batch: Vec<Incoming>| {
+                let _ = tx.send(batch);
+            },
+        )?;
+        let mut wired = self.clone();
+        wired.wire = Some(Arc::new(chariots_simnet::TcpSender::new(addr, metrics)));
+        Ok(wired)
     }
 
     /// The filter machine's capacity model.
@@ -280,6 +311,7 @@ impl FilterHandle {
             tx: self.tx.clone(),
             station: Arc::clone(&self.station),
             tracer: self.tracer.clone(),
+            wire: None,
         }
     }
 

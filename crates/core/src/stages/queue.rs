@@ -193,6 +193,10 @@ pub struct QueueIngress {
     tx: Sender<Vec<Incoming>>,
     station: Arc<ServiceStation>,
     tracer: StageTracer,
+    /// When set, `send` ships the batch over TCP to this queue's loopback
+    /// listener; the listener feeds `tx` raw, so station accounting stays
+    /// on the sending side either way.
+    wire: Option<Arc<chariots_simnet::TcpSender>>,
 }
 
 impl QueueIngress {
@@ -203,7 +207,33 @@ impl QueueIngress {
         for record in &batch {
             self.tracer.enter(record.trace());
         }
-        self.tx.send(batch).is_ok()
+        match &self.wire {
+            Some(wire) => wire.send(&batch).is_ok(),
+            None => self.tx.send(batch).is_ok(),
+        }
+    }
+
+    /// Exposes this queue over TCP: a loopback listener feeds the same
+    /// channel, and the returned ingress clone sends through a pooled
+    /// socket (one serialization per batch).
+    pub fn via_tcp(
+        &self,
+        name: &str,
+        shutdown: Shutdown,
+        metrics: chariots_simnet::TransportMetrics,
+    ) -> std::io::Result<QueueIngress> {
+        let tx = self.tx.clone();
+        let addr = chariots_simnet::spawn_wire_listener(
+            name,
+            shutdown,
+            metrics.clone(),
+            move |batch: Vec<Incoming>| {
+                let _ = tx.send(batch);
+            },
+        )?;
+        let mut wired = self.clone();
+        wired.wire = Some(Arc::new(chariots_simnet::TcpSender::new(addr, metrics)));
+        Ok(wired)
     }
 
     /// The queue machine's capacity model.
@@ -256,6 +286,7 @@ impl QueueHandle {
             tx: self.records_tx.clone(),
             station: Arc::clone(&self.station),
             tracer: self.tracer.clone(),
+            wire: None,
         }
     }
 
@@ -576,7 +607,7 @@ mod tests {
         let mut token = Token::new(2);
         let (reply_tx, reply_rx) = unbounded();
         q.stage(vec![Incoming::Local(LocalAppend {
-            reply: Some(reply_tx),
+            reply: Some(chariots_simnet::ReplyTo::local(reply_tx)),
             ..local(vec![0, 0])
         })]);
         let entries = q.process(&mut token);

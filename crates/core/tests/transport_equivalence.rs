@@ -1,0 +1,169 @@
+//! Transport equivalence: the real-TCP backend must be behaviourally
+//! indistinguishable from the simnet oracle.
+//!
+//! The protocol code is byte-identical on both backends — only the
+//! substrate under the stage handles changes (`DESIGN.md` §15). These
+//! tests run the same workload under [`TransportMode::Simnet`] and
+//! [`TransportMode::Tcp`] and require the acked `(LId, body)` sets and
+//! the log invariants (dense LIds, read-back fidelity, no duplicates) to
+//! match.
+
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+use chariots_core::{ChariotsCluster, StageStations};
+use chariots_simnet::LinkConfig;
+use chariots_types::{
+    ChariotsConfig, DatacenterId, FLStoreConfig, LId, StageCounts, TagSet, TransportMode,
+};
+
+fn cfg(mode: TransportMode) -> ChariotsConfig {
+    let mut cfg = ChariotsConfig::new().datacenters(1);
+    cfg.stages = StageCounts {
+        receivers: 1,
+        batchers: 2,
+        filters: 1,
+        queues: 1,
+        senders: 1,
+    };
+    cfg.flstore = FLStoreConfig::new()
+        .maintainers(2)
+        .batch_size(8)
+        .gossip_interval(Duration::from_millis(1));
+    cfg.batcher_flush_threshold = 4;
+    cfg.batcher_flush_interval = Duration::from_millis(1);
+    cfg.transport(mode)
+}
+
+fn launch(mode: TransportMode) -> ChariotsCluster {
+    ChariotsCluster::launch(cfg(mode), StageStations::default(), LinkConfig::default())
+        .expect("launch cluster")
+}
+
+/// Blocks until every acked position is below the Head of the Log.
+fn wait_readable(cluster: &ChariotsCluster, max_lid: LId) {
+    let mut client = cluster.client(DatacenterId(0));
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while client.head_of_log().map(|hl| hl <= max_lid).unwrap_or(true) {
+        assert!(Instant::now() < deadline, "HL never passed {max_lid}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Runs `n` sequential blocking appends with deterministic bodies and
+/// audits the read-back; returns the acked `(LId, body)` sequence.
+fn sequential_workload(mode: TransportMode, n: u64) -> Vec<(LId, String)> {
+    let cluster = launch(mode);
+    let mut client = cluster.client(DatacenterId(0));
+    let mut acked = Vec::new();
+    for i in 0..n {
+        let body = format!("eq.{i:05}");
+        let (_toid, lid) = client.append(TagSet::new(), body.clone()).expect("append");
+        acked.push((lid, body));
+    }
+    wait_readable(&cluster, acked.iter().map(|&(l, _)| l).max().unwrap());
+    for (lid, body) in &acked {
+        let e = client.read(*lid).expect("read back");
+        assert_eq!(
+            &e.record.body[..],
+            body.as_bytes(),
+            "{mode:?}: body mismatch at {lid}"
+        );
+    }
+    cluster.shutdown();
+    acked
+}
+
+/// Sequential blocking appends are fully deterministic — each record is
+/// acked before the next is issued — so the two backends must produce the
+/// *identical* acked (LId, body) set, not merely equivalent ones.
+#[test]
+fn sequential_workload_produces_identical_acked_sets() {
+    let n = 150u64;
+    let simnet = sequential_workload(TransportMode::Simnet, n);
+    let tcp = sequential_workload(TransportMode::Tcp, n);
+    assert_eq!(
+        simnet, tcp,
+        "acked (LId, body) sets diverge between backends"
+    );
+    // Dense, in-order LIds from 0 on both.
+    for (i, (lid, _)) in tcp.iter().enumerate() {
+        assert_eq!(lid.0 as usize, i, "LIds not dense from 0");
+    }
+}
+
+/// Concurrent clients race, so LId↔body pairings may differ run to run —
+/// but on every backend the acked positions must be dense and unique, the
+/// acked body set must equal the generated set, and each acked pair must
+/// read back verbatim. The two backends must agree on all of it.
+#[test]
+fn concurrent_workload_preserves_log_invariants_on_both_backends() {
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: u64 = 40;
+    for mode in [TransportMode::Simnet, TransportMode::Tcp] {
+        let cluster = launch(mode);
+        let mut threads = Vec::new();
+        for c in 0..CLIENTS {
+            let mut client = cluster.client(DatacenterId(0));
+            threads.push(std::thread::spawn(move || {
+                let mut acked = Vec::new();
+                for i in 0..PER_CLIENT {
+                    let body = format!("cc.{c}.{i:05}");
+                    let (_toid, lid) = client.append(TagSet::new(), body.clone()).expect("append");
+                    acked.push((lid, body));
+                }
+                acked
+            }));
+        }
+        let mut acked: Vec<(LId, String)> = Vec::new();
+        for t in threads {
+            acked.extend(t.join().expect("join client"));
+        }
+        let total = (CLIENTS as u64) * PER_CLIENT;
+        assert_eq!(
+            acked.len() as u64,
+            total,
+            "{mode:?}: not every append acked"
+        );
+
+        // Dense unique LIds 0..total.
+        let lids: BTreeSet<u64> = acked.iter().map(|&(lid, _)| lid.0).collect();
+        assert_eq!(lids.len() as u64, total, "{mode:?}: duplicate acked LIds");
+        assert_eq!(
+            lids.iter().next_back().copied(),
+            Some(total - 1),
+            "{mode:?}: LIds not dense"
+        );
+
+        // Every acked pair reads back verbatim.
+        wait_readable(&cluster, LId(total - 1));
+        let mut reader = cluster.client(DatacenterId(0));
+        for (lid, body) in &acked {
+            let e = reader.read(*lid).expect("read back");
+            assert_eq!(
+                &e.record.body[..],
+                body.as_bytes(),
+                "{mode:?}: body mismatch at {lid}"
+            );
+        }
+
+        // The TCP backend must actually have crossed the wire.
+        if mode == TransportMode::Tcp {
+            let snapshot = cluster.metrics();
+            let wire_bytes: u64 = snapshot
+                .counters
+                .iter()
+                .filter(|(name, _)| {
+                    name.contains(".chariots.transport.") && name.ends_with(".bytes_out")
+                })
+                .map(|(_, v)| *v)
+                .sum();
+            assert!(
+                wire_bytes > 0,
+                "tcp run reported zero socket bytes — the workload never \
+                 left the process boundary"
+            );
+        }
+        cluster.shutdown();
+    }
+}

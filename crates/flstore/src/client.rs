@@ -40,8 +40,10 @@ use crate::replication::ReplicaGroupHandle;
 
 /// Errors worth a bounded retry after a session refresh: the target's
 /// machine is down (failover may be promoting a backup right now), the
-/// group's routing moved (fencing / no primary yet), or the journal went
-/// stale. Everything else — bad requests, GC'd positions, shutdown — is
+/// group's routing moved (fencing / no primary yet), the journal went
+/// stale, or the TCP transport hiccuped (connection reset mid-send,
+/// reconnect in progress, corrupt frame) — the sender reconnects under the
+/// retry. Everything else — bad requests, GC'd positions, shutdown — is
 /// returned immediately.
 fn transient(e: &ChariotsError) -> bool {
     matches!(
@@ -51,6 +53,7 @@ fn transient(e: &ChariotsError) -> bool {
             | ChariotsError::NoLivePrimary(_)
             | ChariotsError::WrongMaintainer { .. }
             | ChariotsError::QuorumLost { .. }
+            | ChariotsError::Transport(_)
     )
 }
 

@@ -8,9 +8,9 @@ use std::thread::JoinHandle;
 
 use chariots_simnet::{
     Counter, FailureDetector, FailureMonitor, MetricsRegistry, MetricsSnapshot, ServiceStation,
-    Shutdown, StageTracer, StationConfig,
+    Shutdown, StageTracer, StationConfig, TransportMetrics,
 };
-use chariots_types::{DatacenterId, FLStoreConfig, LId, MaintainerId, Result};
+use chariots_types::{DatacenterId, FLStoreConfig, LId, MaintainerId, Result, TransportMode};
 
 use crate::client::{FLStoreClient, ReadObs};
 use crate::controller::Controller;
@@ -169,6 +169,23 @@ impl FLStore {
                 appended.clone(),
                 batch,
             );
+            // Under the TCP transport, client-facing RPCs routed through
+            // the registered handles cross a real loopback socket;
+            // replication/gossip stay on the in-process channel (the
+            // wrapped handle routes them locally).
+            let handle = if self.cfg.transport == TransportMode::Tcp {
+                let endpoint = if r == 0 {
+                    format!("maintainer{}", id.0)
+                } else {
+                    format!("maintainer{}.r{r}", id.0)
+                };
+                let metrics = TransportMetrics::registered(&self.registry, &endpoint);
+                handle
+                    .via_tcp(&endpoint, self.shutdown.clone(), metrics)
+                    .map_err(|e| chariots_types::ChariotsError::Transport(e.to_string()))?
+            } else {
+                handle
+            };
             raw.push(handle);
             self.threads.push(forget_result(thread));
         }

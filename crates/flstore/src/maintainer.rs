@@ -18,7 +18,7 @@ use bytes::Bytes;
 use chariots_simnet::Counter;
 use chariots_types::{
     ChariotsError, DatacenterId, Entry, LId, MaintainerId, Record, RecordId, Result, TOId, TagSet,
-    VersionVector, WalSyncPolicy,
+    VersionVector, WalSyncPolicy, Wire, WireReader,
 };
 
 use crate::epoch::EpochJournal;
@@ -45,6 +45,20 @@ impl AppendPayload {
             tags,
             body: body.into(),
         }
+    }
+}
+
+impl Wire for AppendPayload {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.tags.encode(buf);
+        self.body.encode(buf);
+    }
+
+    fn decode(r: &mut WireReader) -> Option<Self> {
+        Some(AppendPayload {
+            tags: TagSet::decode(r)?,
+            body: Bytes::decode(r)?,
+        })
     }
 }
 

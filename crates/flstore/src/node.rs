@@ -17,12 +17,12 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use chariots_simnet::{
-    Counter, EventJournal, EventKind, Gauge, Histogram, MetricsRegistry, Notify, ServiceStation,
-    Shutdown, StageTracer,
+    spawn_wire_listener, Counter, EventJournal, EventKind, Gauge, Histogram, MetricsRegistry,
+    Notify, ReplyTo, ServiceStation, Shutdown, StageTracer, TcpSender, TransportMetrics,
 };
 use chariots_types::{
     ChariotsError, CommitMode, Entry, Generation, LId, Limit, MaintainerId, Result, TOId, TagValue,
-    TraceId, ValuePredicate,
+    TraceId, ValuePredicate, Wire, WireReader,
 };
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::RwLock;
@@ -35,8 +35,11 @@ use crate::replication::commit::{
 };
 use crate::replication::{GroupState, ReplicaCtx, ReplicaGroupHandle};
 
-/// Reply channel for append requests: the assigned `(TOId, LId)` pairs.
-pub type AppendReplySender = Sender<Result<Vec<(TOId, LId)>>>;
+/// Reply slot for append requests: the assigned `(TOId, LId)` pairs. A
+/// [`ReplyTo`] rather than a raw channel sender so the slot survives a TCP
+/// hop — serialized, it becomes a dial-back token the serving node answers
+/// across the wire.
+pub type AppendReplySender = ReplyTo<Result<Vec<(TOId, LId)>>>;
 
 /// Bounds on how many queued requests the node loop coalesces into one
 /// group-commit batch (config knobs `max_batch_records` /
@@ -75,7 +78,7 @@ pub enum MaintainerRequest {
         /// Minimum-bound position.
         min: LId,
         /// Immediate assignment, or `None` if parked.
-        reply: Sender<Result<Option<(TOId, LId)>>>,
+        reply: ReplyTo<Result<Option<(TOId, LId)>>>,
     },
     /// Store entries whose positions were pre-routed by the Chariots
     /// queues.
@@ -108,7 +111,7 @@ pub enum MaintainerRequest {
         /// Whether to refuse positions at/above the Head of the Log.
         enforce_hl: bool,
         /// Reply channel.
-        reply: Sender<Result<Entry>>,
+        reply: ReplyTo<Result<Entry>>,
     },
     /// Read several positions in one round trip (scatter-gather read
     /// path). Each position is gated exactly like a single `Read`; the
@@ -119,7 +122,7 @@ pub enum MaintainerRequest {
         /// Whether to refuse positions at/above the Head of the Log.
         enforce_hl: bool,
         /// Reply channel (one result per position, in order).
-        reply: Sender<Vec<Result<Entry>>>,
+        reply: ReplyTo<Vec<Result<Entry>>>,
     },
     /// Scan owned entries with `lid ≥ from` (sender/reader bulk path).
     Scan {
@@ -128,12 +131,12 @@ pub enum MaintainerRequest {
         /// Maximum entries returned.
         max: usize,
         /// Reply channel.
-        reply: Sender<Vec<Entry>>,
+        reply: ReplyTo<Vec<Entry>>,
     },
     /// Ask for this maintainer's view of the Head of the Log.
     HeadOfLog {
         /// Reply channel.
-        reply: Sender<LId>,
+        reply: ReplyTo<LId>,
     },
     /// Incorporate a peer's gossiped frontier.
     GossipIn {
@@ -161,6 +164,108 @@ pub enum MaintainerRequest {
     },
 }
 
+/// The request variants a client may route over TCP: the append/read/scan
+/// family. `Replicate`, gossip, epoch, GC, and stats traffic is the
+/// simulation harness talking to the machine and stays on the in-process
+/// channel — those variants encode as an invalid tag, so a decoder drops
+/// them instead of ever reconstructing one from the network.
+impl Wire for MaintainerRequest {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            MaintainerRequest::Append { payloads, reply } => {
+                buf.push(0);
+                payloads.encode(buf);
+                reply.encode(buf);
+            }
+            MaintainerRequest::AppendMinBound {
+                payload,
+                min,
+                reply,
+            } => {
+                buf.push(1);
+                payload.encode(buf);
+                min.encode(buf);
+                reply.encode(buf);
+            }
+            MaintainerRequest::Store { entries } => {
+                buf.push(2);
+                entries.encode(buf);
+            }
+            MaintainerRequest::Read {
+                lid,
+                enforce_hl,
+                reply,
+            } => {
+                buf.push(3);
+                lid.encode(buf);
+                enforce_hl.encode(buf);
+                reply.encode(buf);
+            }
+            MaintainerRequest::ReadBatch {
+                lids,
+                enforce_hl,
+                reply,
+            } => {
+                buf.push(4);
+                lids.encode(buf);
+                enforce_hl.encode(buf);
+                reply.encode(buf);
+            }
+            MaintainerRequest::Scan { from, max, reply } => {
+                buf.push(5);
+                from.encode(buf);
+                max.encode(buf);
+                reply.encode(buf);
+            }
+            MaintainerRequest::HeadOfLog { reply } => {
+                buf.push(6);
+                reply.encode(buf);
+            }
+            MaintainerRequest::Replicate { .. }
+            | MaintainerRequest::GossipIn { .. }
+            | MaintainerRequest::AnnounceEpoch { .. }
+            | MaintainerRequest::Gc { .. }
+            | MaintainerRequest::Stats { .. } => buf.push(u8::MAX),
+        }
+    }
+
+    fn decode(r: &mut WireReader) -> Option<Self> {
+        match r.u8()? {
+            0 => Some(MaintainerRequest::Append {
+                payloads: Vec::<AppendPayload>::decode(r)?,
+                reply: Option::<AppendReplySender>::decode(r)?,
+            }),
+            1 => Some(MaintainerRequest::AppendMinBound {
+                payload: AppendPayload::decode(r)?,
+                min: LId::decode(r)?,
+                reply: ReplyTo::<Result<Option<(TOId, LId)>>>::decode(r)?,
+            }),
+            2 => Some(MaintainerRequest::Store {
+                entries: Vec::<Entry>::decode(r)?,
+            }),
+            3 => Some(MaintainerRequest::Read {
+                lid: LId::decode(r)?,
+                enforce_hl: bool::decode(r)?,
+                reply: ReplyTo::<Result<Entry>>::decode(r)?,
+            }),
+            4 => Some(MaintainerRequest::ReadBatch {
+                lids: Vec::<LId>::decode(r)?,
+                enforce_hl: bool::decode(r)?,
+                reply: ReplyTo::<Vec<Result<Entry>>>::decode(r)?,
+            }),
+            5 => Some(MaintainerRequest::Scan {
+                from: LId::decode(r)?,
+                max: usize::decode(r)?,
+                reply: ReplyTo::<Vec<Entry>>::decode(r)?,
+            }),
+            6 => Some(MaintainerRequest::HeadOfLog {
+                reply: ReplyTo::<LId>::decode(r)?,
+            }),
+            _ => None,
+        }
+    }
+}
+
 /// Client-side handle to a maintainer node. Cheap to clone.
 #[derive(Clone)]
 pub struct MaintainerHandle {
@@ -173,18 +278,59 @@ pub struct MaintainerHandle {
     /// however many entries it carries) — observable proof that a drained
     /// batch costs each backup a single push.
     replicate_rpcs: Counter,
+    /// When set, the client-facing RPCs (append/read/scan family) travel
+    /// over this TCP connection instead of the in-process channel.
+    wire: Option<Arc<TcpSender>>,
 }
 
 impl MaintainerHandle {
+    /// Routes a client-facing request: over TCP when this handle was
+    /// wrapped by [`via_tcp`](Self::via_tcp), the in-process channel
+    /// otherwise. Wire failures surface as the transient
+    /// [`ChariotsError::Transport`], so retry-driven clients ride them out.
+    fn dispatch(&self, req: MaintainerRequest) -> Result<()> {
+        match &self.wire {
+            Some(wire) => wire.send(&req),
+            None => self.tx.send(req).map_err(|_| ChariotsError::ShutDown),
+        }
+    }
+
+    /// Wraps this handle so its client-facing RPCs (append/read/scan
+    /// family) travel over a real loopback TCP socket: a listener thread
+    /// feeds the node's queue and the returned handle carries a
+    /// reconnecting [`TcpSender`]. Replication, gossip, epoch, GC, stats,
+    /// and crash/recover stay on the local channel — they are the harness
+    /// modelling the machine, not client traffic. Station accounting stays
+    /// on the sending side (the shared [`ServiceStation`]), so a request
+    /// is never counted twice.
+    pub fn via_tcp(
+        &self,
+        name: &str,
+        shutdown: Shutdown,
+        metrics: TransportMetrics,
+    ) -> std::io::Result<MaintainerHandle> {
+        let tx = self.tx.clone();
+        let addr = spawn_wire_listener(
+            name,
+            shutdown,
+            metrics.clone(),
+            move |req: MaintainerRequest| {
+                let _ = tx.send(req);
+            },
+        )?;
+        let mut wired = self.clone();
+        wired.wire = Some(Arc::new(TcpSender::new(addr, metrics)));
+        Ok(wired)
+    }
+
     /// Fire-and-forget append (open-loop load generation).
     pub fn append_async(&self, payloads: Vec<AppendPayload>) -> bool {
         self.station.note_arrival(payloads.len() as u64);
-        self.tx
-            .send(MaintainerRequest::Append {
-                payloads,
-                reply: None,
-            })
-            .is_ok()
+        self.dispatch(MaintainerRequest::Append {
+            payloads,
+            reply: None,
+        })
+        .is_ok()
     }
 
     /// Append and wait for the assigned `(TOId, LId)` pairs.
@@ -199,12 +345,10 @@ impl MaintainerHandle {
     pub fn append(&self, payloads: Vec<AppendPayload>) -> Result<Vec<(TOId, LId)>> {
         self.station.note_arrival(payloads.len() as u64);
         let (reply, rx) = bounded(1);
-        self.tx
-            .send(MaintainerRequest::Append {
-                payloads,
-                reply: Some(reply),
-            })
-            .map_err(|_| ChariotsError::ShutDown)?;
+        self.dispatch(MaintainerRequest::Append {
+            payloads,
+            reply: Some(ReplyTo::local(reply)),
+        })?;
         rx.recv().map_err(|_| ChariotsError::ShutDown)?
     }
 
@@ -216,20 +360,18 @@ impl MaintainerHandle {
     ) -> Result<Option<(TOId, LId)>> {
         self.station.note_arrival(1);
         let (reply, rx) = bounded(1);
-        self.tx
-            .send(MaintainerRequest::AppendMinBound {
-                payload,
-                min,
-                reply,
-            })
-            .map_err(|_| ChariotsError::ShutDown)?;
+        self.dispatch(MaintainerRequest::AppendMinBound {
+            payload,
+            min,
+            reply: ReplyTo::local(reply),
+        })?;
         rx.recv().map_err(|_| ChariotsError::ShutDown)?
     }
 
     /// Store pre-routed entries (Chariots queues stage).
     pub fn store(&self, entries: Vec<Entry>) -> bool {
         self.station.note_arrival(entries.len() as u64);
-        self.tx.send(MaintainerRequest::Store { entries }).is_ok()
+        self.dispatch(MaintainerRequest::Store { entries }).is_ok()
     }
 
     /// Replicates already-assigned entries onto this replica, stamped with
@@ -273,13 +415,11 @@ impl MaintainerHandle {
     /// Read one position.
     pub fn read(&self, lid: LId, enforce_hl: bool) -> Result<Entry> {
         let (reply, rx) = bounded(1);
-        self.tx
-            .send(MaintainerRequest::Read {
-                lid,
-                enforce_hl,
-                reply,
-            })
-            .map_err(|_| ChariotsError::ShutDown)?;
+        self.dispatch(MaintainerRequest::Read {
+            lid,
+            enforce_hl,
+            reply: ReplyTo::local(reply),
+        })?;
         rx.recv().map_err(|_| ChariotsError::ShutDown)?
     }
 
@@ -288,31 +428,31 @@ impl MaintainerHandle {
     /// when the node is gone.
     pub fn read_batch(&self, lids: Vec<LId>, enforce_hl: bool) -> Result<Vec<Result<Entry>>> {
         let (reply, rx) = bounded(1);
-        self.tx
-            .send(MaintainerRequest::ReadBatch {
-                lids,
-                enforce_hl,
-                reply,
-            })
-            .map_err(|_| ChariotsError::ShutDown)?;
+        self.dispatch(MaintainerRequest::ReadBatch {
+            lids,
+            enforce_hl,
+            reply: ReplyTo::local(reply),
+        })?;
         rx.recv().map_err(|_| ChariotsError::ShutDown)
     }
 
     /// Scan owned entries with `lid ≥ from`.
     pub fn scan(&self, from: LId, max: usize) -> Result<Vec<Entry>> {
         let (reply, rx) = bounded(1);
-        self.tx
-            .send(MaintainerRequest::Scan { from, max, reply })
-            .map_err(|_| ChariotsError::ShutDown)?;
+        self.dispatch(MaintainerRequest::Scan {
+            from,
+            max,
+            reply: ReplyTo::local(reply),
+        })?;
         rx.recv().map_err(|_| ChariotsError::ShutDown)
     }
 
     /// This maintainer's view of the Head of the Log.
     pub fn head_of_log(&self) -> Result<LId> {
         let (reply, rx) = bounded(1);
-        self.tx
-            .send(MaintainerRequest::HeadOfLog { reply })
-            .map_err(|_| ChariotsError::ShutDown)?;
+        self.dispatch(MaintainerRequest::HeadOfLog {
+            reply: ReplyTo::local(reply),
+        })?;
         rx.recv().map_err(|_| ChariotsError::ShutDown)
     }
 
@@ -683,6 +823,7 @@ pub fn spawn_replica(
         station: Arc::clone(&station),
         appended: appended.clone(),
         replicate_rpcs: Counter::new(),
+        wire: None,
     };
     let thread = std::thread::Builder::new()
         .name(format!("maintainer-{}-r{}", core.id(), ctx.index))
@@ -2051,11 +2192,11 @@ mod tests {
             vec![
                 BatchItem::Append {
                     payloads: vec![payload("a")],
-                    reply: Some(tx1),
+                    reply: Some(ReplyTo::local(tx1)),
                 },
                 BatchItem::Append {
                     payloads: vec![payload("b")],
-                    reply: Some(tx2),
+                    reply: Some(ReplyTo::local(tx2)),
                 },
                 BatchItem::Store {
                     entries: vec![stored_entry(5, "s")],
@@ -2120,11 +2261,11 @@ mod tests {
                     vec![
                         BatchItem::Append {
                             payloads: vec![payload("a")],
-                            reply: Some(tx1),
+                            reply: Some(ReplyTo::local(tx1)),
                         },
                         BatchItem::Append {
                             payloads: vec![payload("b")],
-                            reply: Some(tx2),
+                            reply: Some(ReplyTo::local(tx2)),
                         },
                     ],
                     &station,

@@ -21,9 +21,8 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
 
-use chariots_simnet::Notify;
+use chariots_simnet::{Notify, ReplyTo};
 use chariots_types::{ChariotsError, Entry, Generation, LId, MaintainerId, Result, TOId, TraceId};
-use crossbeam::channel::Sender;
 use parking_lot::Mutex;
 
 use crate::node::{collect_tag_postings, AppendReplySender, Fabric};
@@ -75,8 +74,8 @@ pub(crate) enum CommitWaiter {
     MinBound {
         /// The assigned id, if the append was not parked.
         id: Option<(TOId, LId)>,
-        /// Reply channel.
-        reply: Sender<Result<Option<(TOId, LId)>>>,
+        /// Reply slot (survives a TCP hop as a dial-back token).
+        reply: ReplyTo<Result<Option<(TOId, LId)>>>,
     },
 }
 

@@ -38,35 +38,10 @@ use chariots_types::{
 /// Default rotation threshold for one segment file.
 pub const DEFAULT_SEGMENT_BYTES: u64 = 8 * 1024 * 1024;
 
-/// CRC-32 (IEEE 802.3) lookup table, built at compile time.
-const CRC_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut k = 0;
-        while k < 8 {
-            c = if c & 1 != 0 {
-                0xEDB8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
-            k += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-};
-
-/// Computes the CRC-32 checksum of `data`.
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut c = 0xFFFF_FFFFu32;
-    for &b in data {
-        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
-    }
-    c ^ 0xFFFF_FFFF
-}
+// The CRC-32 implementation moved to `chariots_types::wire` so WAL frames
+// and transport frames share one checksum; re-exported to keep `wal::crc32`
+// callers working.
+pub use chariots_types::crc32;
 
 fn io_err(e: std::io::Error) -> ChariotsError {
     ChariotsError::Storage(e.to_string())

@@ -30,6 +30,11 @@
 //!   fixed-interval polling loops into event-driven ones (the interval
 //!   demotes to a heartbeat floor).
 //! * [`shutdown`] — cooperative worker shutdown.
+//! * [`transport`] — the real-socket backend: length-prefixed CRC'd
+//!   frames over `std::net::TcpStream` ([`FrameDecoder`], [`TcpSender`],
+//!   typed listeners, and the [`ReplyTo`] dial-back reply slot), so the
+//!   same `Wire`-encoded protocol runs hardware-limited instead of
+//!   simulation-limited.
 //! * [`tempdir`] — [`TestDir`]: collision-free, self-cleaning scratch
 //!   directories for tests that persist WALs.
 //!
@@ -62,6 +67,7 @@ pub mod shutdown;
 pub mod station;
 pub mod tempdir;
 pub mod trace;
+pub mod transport;
 
 pub use failure::{FailureDetector, FailureMonitor};
 pub use link::{Link, LinkConfig, LinkHandle, LinkSender};
@@ -78,3 +84,8 @@ pub use shutdown::Shutdown;
 pub use station::{ServiceStation, StationConfig};
 pub use tempdir::TestDir;
 pub use trace::{PipelineTracer, StageTracer, TraceSpan};
+pub use transport::{
+    reply_hub, spawn_frame_listener, spawn_wire_listener, write_frame, FrameDecoder, FrameError,
+    RemoteReply, ReplyHub, ReplyTo, TcpSender, TransportMetrics, FRAME_HEADER_BYTES,
+    MAX_FRAME_BYTES,
+};

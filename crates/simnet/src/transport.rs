@@ -1,0 +1,966 @@
+//! Real-socket transport backend: length-prefixed, CRC-checked frames over
+//! `std::net::TcpStream`.
+//!
+//! The simulated substrate moves messages over crossbeam channels; this
+//! module moves the *same* `Wire`-encoded messages over real TCP sockets so
+//! the pipeline's numbers can be hardware-limited instead of
+//! simulation-limited. The protocol code upstream is byte-for-byte
+//! identical on both backends — only the substrate changes.
+//!
+//! Pieces:
+//!
+//! * [`FrameDecoder`] — torn-frame-safe accumulation of the wire format
+//!   `[len u32 LE][crc32 u32 LE][payload]`. Corrupt input is rejected,
+//!   never panicked on, and a CRC-failed frame does not mis-frame the next
+//!   message (the length prefix still delimits it).
+//! * [`TcpSender`] — a pooled, reconnecting connection to one peer. One
+//!   serialization per message into a reusable buffer, then a vectored
+//!   write of header + payload: zero intermediate copies of record bodies.
+//! * [`spawn_wire_listener`] — binds `127.0.0.1:0`, decodes inbound frames
+//!   into typed messages, and hands them to a callback (one reader thread
+//!   per connection, reusable receive buffer).
+//! * [`ReplyTo`] — a reply slot that is a plain channel sender on the
+//!   simnet backend and a dial-back (address, token) pair on the TCP
+//!   backend, so request/reply RPCs cross the wire without the caller
+//!   changing shape.
+//!
+//! Failures surface as [`ChariotsError::Transport`], which the client
+//! retry policy classifies as transient: the sender reconnects on the next
+//! call, so a reset mid-burst looks like a failover window, not an outage.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, IoSlice, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use bytes::{Buf, Bytes, BytesMut};
+use chariots_types::{crc32, ChariotsError, Wire, WireReader};
+use crossbeam::channel::Sender;
+use parking_lot::Mutex;
+
+use crate::metrics::{Counter, Histogram, MetricsRegistry};
+use crate::shutdown::Shutdown;
+
+/// Frame header: `[len u32 LE][crc32 u32 LE]`.
+pub const FRAME_HEADER_BYTES: usize = 8;
+
+/// Upper bound on a single frame's payload. A corrupted or hostile length
+/// prefix cannot make the decoder allocate more than this.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// How often blocking socket loops wake up to poll shutdown.
+const POLL_INTERVAL: Duration = Duration::from_millis(5);
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+/// Per-endpoint transport counters, registered like the `chariots.wan.*`
+/// family: `{prefix}.chariots.transport.{endpoint}.{metric}`.
+#[derive(Debug, Clone, Default)]
+pub struct TransportMetrics {
+    /// Bytes written to sockets (headers included).
+    pub bytes_out: Counter,
+    /// Bytes read from sockets.
+    pub bytes_in: Counter,
+    /// Frames successfully sent or decoded.
+    pub frames: Counter,
+    /// Times a pooled connection had to be re-established.
+    pub reconnects: Counter,
+    /// Microseconds spent serializing each outbound message.
+    pub serialize_us: Histogram,
+}
+
+impl TransportMetrics {
+    /// Metrics not attached to any registry (reply-path plumbing, tests).
+    pub fn detached() -> Self {
+        TransportMetrics::default()
+    }
+
+    /// Metrics registered under
+    /// `{registry name}.chariots.transport.{endpoint}.*`.
+    pub fn registered(registry: &MetricsRegistry, endpoint: &str) -> Self {
+        let base = format!("{}.chariots.transport.{endpoint}", registry.name());
+        TransportMetrics {
+            bytes_out: registry.counter(&format!("{base}.bytes_out")),
+            bytes_in: registry.counter(&format!("{base}.bytes_in")),
+            frames: registry.counter(&format!("{base}.frames")),
+            reconnects: registry.counter(&format!("{base}.reconnects")),
+            serialize_us: registry.histogram(&format!("{base}.serialize_us")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame codec
+// ---------------------------------------------------------------------------
+
+/// Why a frame could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The payload failed its CRC. The frame was skipped; decoding can
+    /// continue at the next length boundary, but callers normally drop the
+    /// connection instead of trusting a stream that has already lied once.
+    CrcMismatch,
+    /// The length prefix exceeds [`MAX_FRAME_BYTES`]. The decoder is
+    /// poisoned — there is no trustworthy boundary to resynchronize at —
+    /// and the connection must be dropped.
+    TooLarge(usize),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::CrcMismatch => write!(f, "frame failed CRC check"),
+            FrameError::TooLarge(n) => {
+                write!(f, "frame length {n} exceeds cap {MAX_FRAME_BYTES}")
+            }
+        }
+    }
+}
+
+/// Writes one frame to `w` as a vectored write of header + payload. The
+/// payload is borrowed, not copied.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let mut header = [0u8; FRAME_HEADER_BYTES];
+    header[0..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[4..8].copy_from_slice(&crc32(payload).to_le_bytes());
+    let total = FRAME_HEADER_BYTES + payload.len();
+    let mut written = 0;
+    while written < total {
+        let n = if written < FRAME_HEADER_BYTES {
+            let bufs = [IoSlice::new(&header[written..]), IoSlice::new(payload)];
+            w.write_vectored(&bufs)?
+        } else {
+            w.write(&payload[written - FRAME_HEADER_BYTES..])?
+        };
+        if n == 0 {
+            return Err(io::ErrorKind::WriteZero.into());
+        }
+        written += n;
+    }
+    Ok(())
+}
+
+/// Incremental, torn-frame-safe decoder for the wire format. Feed it raw
+/// socket bytes with [`extend`](Self::extend); pull complete payloads with
+/// [`next_frame`](Self::next_frame). Yielded payloads are zero-copy slices
+/// of the accumulation buffer (frozen `Bytes`), so a decoded record body
+/// aliases the receive buffer rather than being copied out of it.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: BytesMut,
+    poisoned: bool,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Appends raw bytes read off the socket.
+    pub fn extend(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Bytes buffered but not yet consumed.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// The next complete, CRC-valid payload, `Ok(None)` if more bytes are
+    /// needed, or an error. After [`FrameError::CrcMismatch`] the bad
+    /// frame has been skipped and decoding may continue; after
+    /// [`FrameError::TooLarge`] the decoder stays poisoned.
+    pub fn next_frame(&mut self) -> Result<Option<Bytes>, FrameError> {
+        if self.poisoned {
+            return Err(FrameError::TooLarge(MAX_FRAME_BYTES + 1));
+        }
+        if self.buf.len() < FRAME_HEADER_BYTES {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[0..4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME_BYTES {
+            self.poisoned = true;
+            return Err(FrameError::TooLarge(len));
+        }
+        if self.buf.len() < FRAME_HEADER_BYTES + len {
+            return Ok(None);
+        }
+        let crc = u32::from_le_bytes(self.buf[4..8].try_into().expect("4 bytes"));
+        if crc32(&self.buf[FRAME_HEADER_BYTES..FRAME_HEADER_BYTES + len]) != crc {
+            // The length prefix still delimits the bad frame, so skip it
+            // and stay framed for the next message.
+            self.buf.advance(FRAME_HEADER_BYTES + len);
+            return Err(FrameError::CrcMismatch);
+        }
+        let mut frame = self.buf.split_to(FRAME_HEADER_BYTES + len);
+        frame.advance(FRAME_HEADER_BYTES);
+        Ok(Some(frame.freeze()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sender
+// ---------------------------------------------------------------------------
+
+struct SenderState {
+    stream: Option<TcpStream>,
+    /// Reusable encode buffer: one serialization per message, no
+    /// per-message allocation once the buffer has grown to working size.
+    buf: Vec<u8>,
+    ever_connected: bool,
+}
+
+/// A pooled, reconnecting TCP connection to one peer. `send` serializes
+/// the message once into a reusable buffer and writes header + payload
+/// with a vectored write. On an I/O error the connection is dropped and
+/// re-dialed once within the same call; if that also fails the error
+/// surfaces as the transient [`ChariotsError::Transport`] and the *next*
+/// call dials fresh — callers under a retry policy ride straight through.
+pub struct TcpSender {
+    peer: SocketAddr,
+    state: Mutex<SenderState>,
+    metrics: TransportMetrics,
+}
+
+impl TcpSender {
+    /// A sender for `peer`. The connection is dialed lazily on first send.
+    pub fn new(peer: SocketAddr, metrics: TransportMetrics) -> Self {
+        TcpSender {
+            peer,
+            state: Mutex::new(SenderState {
+                stream: None,
+                buf: Vec::new(),
+                ever_connected: false,
+            }),
+            metrics,
+        }
+    }
+
+    /// The peer this sender dials.
+    pub fn peer(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// Serializes `msg` and sends it as one frame.
+    pub fn send<T: Wire>(&self, msg: &T) -> Result<(), ChariotsError> {
+        let mut guard = self.state.lock();
+        let st = &mut *guard;
+        st.buf.clear();
+        let t0 = Instant::now();
+        msg.encode(&mut st.buf);
+        self.metrics
+            .serialize_us
+            .record(t0.elapsed().as_micros() as u64);
+        self.send_buffered(st)
+    }
+
+    /// Sends an already-encoded payload as one frame (reply plumbing).
+    pub fn send_raw(&self, payload: &[u8]) -> Result<(), ChariotsError> {
+        let mut guard = self.state.lock();
+        let st = &mut *guard;
+        st.buf.clear();
+        st.buf.extend_from_slice(payload);
+        self.send_buffered(st)
+    }
+
+    fn send_buffered(&self, st: &mut SenderState) -> Result<(), ChariotsError> {
+        let mut last_err: Option<io::Error> = None;
+        for _attempt in 0..2 {
+            if st.stream.is_none() {
+                if st.ever_connected {
+                    self.metrics.reconnects.add(1);
+                }
+                match TcpStream::connect(self.peer) {
+                    Ok(s) => {
+                        let _ = s.set_nodelay(true);
+                        st.ever_connected = true;
+                        st.stream = Some(s);
+                    }
+                    Err(e) => {
+                        return Err(ChariotsError::Transport(format!(
+                            "connect to {} failed: {e}",
+                            self.peer
+                        )));
+                    }
+                }
+            }
+            let stream = st.stream.as_mut().expect("connected above");
+            match write_frame(stream, &st.buf) {
+                Ok(()) => {
+                    self.metrics.frames.add(1);
+                    self.metrics
+                        .bytes_out
+                        .add((FRAME_HEADER_BYTES + st.buf.len()) as u64);
+                    return Ok(());
+                }
+                Err(e) => {
+                    // Reconnect once and retry: a peer restart between
+                    // sends otherwise loses exactly one message.
+                    st.stream = None;
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(ChariotsError::Transport(format!(
+            "send to {} failed: {}",
+            self.peer,
+            last_err.expect("loop exited via error")
+        )))
+    }
+}
+
+impl fmt::Debug for TcpSender {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TcpSender")
+            .field("peer", &self.peer)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Listener
+// ---------------------------------------------------------------------------
+
+/// Binds `127.0.0.1:0` and serves inbound frames to `on_frame` until
+/// `shutdown` is signaled. Returns the bound address. One reader thread
+/// per connection, each with a reusable receive buffer; threads exit on
+/// peer disconnect, any frame error (the stream can no longer be
+/// trusted), or shutdown.
+pub fn spawn_frame_listener<F>(
+    name: &str,
+    shutdown: Shutdown,
+    metrics: TransportMetrics,
+    on_frame: F,
+) -> io::Result<SocketAddr>
+where
+    F: Fn(Bytes) + Send + Clone + 'static,
+{
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let accept_name = format!("{name}-accept");
+    thread::Builder::new()
+        .name(accept_name)
+        .spawn(move || {
+            while !shutdown.is_signaled() {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let shutdown = shutdown.clone();
+                        let metrics = metrics.clone();
+                        let on_frame = on_frame.clone();
+                        let _ = thread::Builder::new()
+                            .name("transport-conn".into())
+                            .spawn(move || serve_connection(stream, shutdown, metrics, on_frame));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        thread::sleep(POLL_INTERVAL);
+                    }
+                    Err(_) => break,
+                }
+            }
+        })
+        .map_err(io::Error::other)?;
+    Ok(addr)
+}
+
+fn serve_connection<F>(
+    stream: TcpStream,
+    shutdown: Shutdown,
+    metrics: TransportMetrics,
+    on_frame: F,
+) where
+    F: Fn(Bytes),
+{
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL * 10));
+    let mut stream = stream;
+    let mut decoder = FrameDecoder::new();
+    let mut chunk = vec![0u8; 64 * 1024];
+    while !shutdown.is_signaled() {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                metrics.bytes_in.add(n as u64);
+                decoder.extend(&chunk[..n]);
+                loop {
+                    match decoder.next_frame() {
+                        Ok(Some(payload)) => {
+                            metrics.frames.add(1);
+                            on_frame(payload);
+                        }
+                        Ok(None) => break,
+                        // A stream that failed framing once cannot be
+                        // trusted again: drop the connection and let the
+                        // sender reconnect.
+                        Err(_) => return,
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Like [`spawn_frame_listener`], but decodes each frame into `T` and
+/// silently drops frames that fail to decode (the CRC already vouched for
+/// transport integrity; a decode failure means a protocol mismatch).
+pub fn spawn_wire_listener<T, F>(
+    name: &str,
+    shutdown: Shutdown,
+    metrics: TransportMetrics,
+    on_msg: F,
+) -> io::Result<SocketAddr>
+where
+    T: Wire,
+    F: Fn(T) + Send + Clone + 'static,
+{
+    spawn_frame_listener(name, shutdown, metrics, move |frame| {
+        if let Some(msg) = chariots_types::decode_exact::<T>(frame) {
+            on_msg(msg);
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Reply hub: request/reply over one-way frames
+// ---------------------------------------------------------------------------
+
+type ReplyCallback = Box<dyn FnOnce(Option<WireReader>) + Send>;
+
+/// The process-global reply endpoint. When a [`ReplyTo::Local`] is
+/// serialized for the wire, the hub registers a one-shot waiter and the
+/// frame carries `(hub address, token)` instead of the channel. The server
+/// dials back with `[token u64][has u8][reply bytes]`; the hub routes the
+/// payload to the waiter. Replies for RPCs whose request frame was lost
+/// simply never arrive — callers surface that through their own error
+/// paths, exactly as a crashed simnet stage would.
+pub struct ReplyHub {
+    addr: SocketAddr,
+    next_token: AtomicU64,
+    waiters: Arc<Mutex<HashMap<u64, ReplyCallback>>>,
+}
+
+impl ReplyHub {
+    /// The loopback address servers dial back to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Registers a one-shot waiter; returns its token.
+    pub fn register(&self, cb: ReplyCallback) -> u64 {
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        self.waiters.lock().insert(token, cb);
+        token
+    }
+
+    /// Waiters currently parked (diagnostics / tests).
+    pub fn pending(&self) -> usize {
+        self.waiters.lock().len()
+    }
+
+    fn complete(&self, token: u64, reply: Option<WireReader>) {
+        let cb = self.waiters.lock().remove(&token);
+        if let Some(cb) = cb {
+            cb(reply);
+        }
+    }
+}
+
+/// The lazily started process-global [`ReplyHub`]. The accept thread is a
+/// daemon: it lives for the process and needs no shutdown plumbing.
+pub fn reply_hub() -> &'static ReplyHub {
+    static HUB: OnceLock<ReplyHub> = OnceLock::new();
+    HUB.get_or_init(|| {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind reply hub on loopback");
+        let addr = listener.local_addr().expect("reply hub local addr");
+        let waiters: Arc<Mutex<HashMap<u64, ReplyCallback>>> = Arc::default();
+        let thread_waiters = Arc::clone(&waiters);
+        thread::Builder::new()
+            .name("reply-hub".into())
+            .spawn(move || {
+                for stream in listener.incoming().flatten() {
+                    let waiters = Arc::clone(&thread_waiters);
+                    let _ = thread::Builder::new()
+                        .name("reply-hub-conn".into())
+                        .spawn(move || hub_serve(stream, waiters));
+                }
+            })
+            .expect("spawn reply hub accept thread");
+        ReplyHub {
+            addr,
+            next_token: AtomicU64::new(1),
+            waiters,
+        }
+    })
+}
+
+fn hub_serve(mut stream: TcpStream, waiters: Arc<Mutex<HashMap<u64, ReplyCallback>>>) {
+    let mut decoder = FrameDecoder::new();
+    let mut chunk = vec![0u8; 64 * 1024];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => {
+                decoder.extend(&chunk[..n]);
+                loop {
+                    match decoder.next_frame() {
+                        Ok(Some(payload)) => {
+                            let mut r = WireReader::new(payload);
+                            let (Some(token), Some(has)) = (r.u64(), r.u8()) else {
+                                return;
+                            };
+                            let reply = if has == 1 { Some(r) } else { None };
+                            let cb = waiters.lock().remove(&token);
+                            if let Some(cb) = cb {
+                                cb(reply);
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(_) => return,
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Pooled dial-back senders, keyed by hub address. Every server in the
+/// process reuses one connection per client hub rather than dialing per
+/// reply.
+fn reply_sender(addr: SocketAddr) -> Arc<TcpSender> {
+    static POOL: OnceLock<Mutex<HashMap<SocketAddr, Arc<TcpSender>>>> = OnceLock::new();
+    let pool = POOL.get_or_init(|| Mutex::new(HashMap::new()));
+    Arc::clone(
+        pool.lock()
+            .entry(addr)
+            .or_insert_with(|| Arc::new(TcpSender::new(addr, TransportMetrics::detached()))),
+    )
+}
+
+fn send_reply_frame(addr: SocketAddr, payload: &[u8]) -> bool {
+    reply_sender(addr).send_raw(payload).is_ok()
+}
+
+/// The wire half of a [`ReplyTo`]: where to dial back, and which waiter
+/// token to complete. One-shot; dropping it unanswered sends a tombstone
+/// so the waiter's channel disconnects instead of hanging (mirroring how
+/// dropping a crossbeam `Sender` fails the paired `recv`).
+pub struct RemoteReply {
+    addr: SocketAddr,
+    token: u64,
+    sent: AtomicBool,
+    forwarded: AtomicBool,
+}
+
+impl RemoteReply {
+    fn send_value<T: Wire>(&self, value: &T) -> bool {
+        if self.sent.swap(true, Ordering::AcqRel) {
+            return false;
+        }
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(&self.token.to_le_bytes());
+        buf.push(1);
+        value.encode(&mut buf);
+        send_reply_frame(self.addr, &buf)
+    }
+}
+
+impl Drop for RemoteReply {
+    fn drop(&mut self) {
+        if self.sent.load(Ordering::Acquire) || self.forwarded.load(Ordering::Acquire) {
+            return;
+        }
+        let mut buf = Vec::with_capacity(9);
+        buf.extend_from_slice(&self.token.to_le_bytes());
+        buf.push(0);
+        let _ = send_reply_frame(self.addr, &buf);
+    }
+}
+
+impl fmt::Debug for RemoteReply {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RemoteReply({} #{})", self.addr, self.token)
+    }
+}
+
+/// A reply slot that works on both backends. On the simnet path it wraps
+/// the existing crossbeam sender unchanged; when a request is serialized
+/// for TCP, the local sender becomes a hub registration and travels as a
+/// dial-back `(address, token)` pair. Re-serializing a `Remote` (a hop
+/// forwarding the request onward) writes the same pair, so multi-hop
+/// pipelines deliver the reply straight to the original caller.
+pub enum ReplyTo<T> {
+    /// In-process delivery over a channel.
+    Local(Sender<T>),
+    /// Dial-back delivery to another process's reply hub.
+    Remote(RemoteReply),
+}
+
+impl<T> ReplyTo<T> {
+    /// Wraps a channel sender (the simnet path).
+    pub fn local(tx: Sender<T>) -> Self {
+        ReplyTo::Local(tx)
+    }
+}
+
+impl<T: Wire> ReplyTo<T> {
+    /// Delivers the reply. Returns false if the receiver is gone, exactly
+    /// like `Sender::send(..).is_ok()` — every call site treats that the
+    /// same way it treated a dropped channel.
+    pub fn send(&self, value: T) -> bool {
+        match self {
+            ReplyTo::Local(tx) => tx.send(value).is_ok(),
+            ReplyTo::Remote(remote) => remote.send_value(&value),
+        }
+    }
+}
+
+impl<T> fmt::Debug for ReplyTo<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplyTo::Local(_) => write!(f, "ReplyTo::Local"),
+            ReplyTo::Remote(r) => write!(f, "ReplyTo::Remote({r:?})"),
+        }
+    }
+}
+
+impl<T: Wire + Send + 'static> Wire for ReplyTo<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            ReplyTo::Local(tx) => {
+                let hub = reply_hub();
+                let tx = tx.clone();
+                let token = hub.register(Box::new(move |reply| {
+                    if let Some(mut r) = reply {
+                        if let Some(value) = T::decode(&mut r) {
+                            let _ = tx.send(value);
+                        }
+                    }
+                    // A tombstone (or undecodable reply) just drops `tx`,
+                    // disconnecting the waiter's receive side.
+                }));
+                hub.addr().to_string().encode(buf);
+                buf.extend_from_slice(&token.to_le_bytes());
+            }
+            ReplyTo::Remote(remote) => {
+                remote.forwarded.store(true, Ordering::Release);
+                remote.addr.to_string().encode(buf);
+                buf.extend_from_slice(&remote.token.to_le_bytes());
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader) -> Option<Self> {
+        let addr: SocketAddr = String::decode(r)?.parse().ok()?;
+        let token = r.u64()?;
+        Some(ReplyTo::Remote(RemoteReply {
+            addr,
+            token,
+            sent: AtomicBool::new(false),
+            forwarded: AtomicBool::new(false),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chariots_types::{
+        encode_to_vec, DatacenterId, Entry, LId, Record, RecordId, TOId, TagSet, VersionVector,
+    };
+    use crossbeam::channel::{bounded, unbounded, RecvTimeoutError};
+
+    fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_frame(&mut out, payload).unwrap();
+        out
+    }
+
+    fn entry(lid: u64, body: &'static [u8]) -> Entry {
+        Entry::new(
+            LId(lid),
+            Record::new(
+                RecordId::new(DatacenterId(0), TOId(lid + 1)),
+                VersionVector::new(2),
+                TagSet::new(),
+                Bytes::from_static(body),
+            ),
+        )
+    }
+
+    #[test]
+    fn frames_survive_arbitrary_chunking() {
+        let payloads: Vec<Vec<u8>> = vec![vec![], vec![1], vec![2; 300], b"hello".to_vec()];
+        let stream: Vec<u8> = payloads.iter().flat_map(|p| frame_bytes(p)).collect();
+        // Feed one byte at a time: every torn boundary is exercised.
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in &stream {
+            dec.extend(std::slice::from_ref(b));
+            while let Some(f) = dec.next_frame().unwrap() {
+                got.push(f.to_vec());
+            }
+        }
+        assert_eq!(got, payloads);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn crc_mismatch_skips_frame_and_stays_framed() {
+        let mut stream = frame_bytes(b"first");
+        let mut bad = frame_bytes(b"second");
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40; // flip a payload bit
+        stream.extend_from_slice(&bad);
+        stream.extend_from_slice(&frame_bytes(b"third"));
+
+        let mut dec = FrameDecoder::new();
+        dec.extend(&stream);
+        assert_eq!(dec.next_frame().unwrap().unwrap().as_ref(), b"first");
+        assert_eq!(dec.next_frame(), Err(FrameError::CrcMismatch));
+        assert_eq!(dec.next_frame().unwrap().unwrap().as_ref(), b"third");
+        assert_eq!(dec.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_length_poisons_instead_of_allocating() {
+        let mut dec = FrameDecoder::new();
+        let mut header = (u32::MAX).to_le_bytes().to_vec();
+        header.extend_from_slice(&0u32.to_le_bytes());
+        dec.extend(&header);
+        assert!(matches!(dec.next_frame(), Err(FrameError::TooLarge(_))));
+        // Poisoned: even after more bytes arrive it refuses to resync.
+        dec.extend(&frame_bytes(b"late"));
+        assert!(matches!(dec.next_frame(), Err(FrameError::TooLarge(_))));
+    }
+
+    #[test]
+    fn sender_reaches_listener_with_typed_messages() {
+        let shutdown = Shutdown::new();
+        let registry = MetricsRegistry::new("dc0");
+        let rx_metrics = TransportMetrics::registered(&registry, "store0");
+        let (tx, rx) = unbounded::<Vec<Entry>>();
+        let addr = spawn_wire_listener("test", shutdown.clone(), rx_metrics, move |batch| {
+            let _ = tx.send(batch);
+        })
+        .unwrap();
+
+        let tx_metrics = TransportMetrics::registered(&registry, "client0");
+        let sender = TcpSender::new(addr, tx_metrics.clone());
+        let batch = vec![entry(7, b"alpha"), entry(8, b"beta")];
+        sender.send(&batch).unwrap();
+        let got = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(got, batch);
+        assert_eq!(tx_metrics.frames.get(), 1);
+        assert!(tx_metrics.bytes_out.get() > FRAME_HEADER_BYTES as u64);
+        assert_eq!(tx_metrics.reconnects.get(), 0);
+        let snap = registry.snapshot();
+        assert!(snap.counters["dc0.chariots.transport.client0.bytes_out"] > 0);
+        shutdown.signal();
+    }
+
+    #[test]
+    fn sender_reconnects_after_listener_side_drop() {
+        let shutdown = Shutdown::new();
+        let (tx, rx) = unbounded::<Vec<Entry>>();
+        let seen = tx.clone();
+        let metrics = TransportMetrics::detached();
+        let addr = spawn_wire_listener(
+            "test",
+            shutdown.clone(),
+            TransportMetrics::detached(),
+            move |batch| {
+                let _ = seen.send(batch);
+            },
+        )
+        .unwrap();
+        drop(tx);
+
+        let sender = TcpSender::new(addr, metrics.clone());
+        sender.send(&vec![entry(1, b"a")]).unwrap();
+        rx.recv_timeout(Duration::from_secs(5)).unwrap();
+
+        // Kill the server-side connection by poisoning it with a frame the
+        // listener rejects (bad CRC): the handler drops the stream.
+        {
+            let mut guard = sender.state.lock();
+            let mut raw = frame_bytes(b"garbage");
+            let last = raw.len() - 1;
+            raw[last] ^= 1;
+            guard.stream.as_mut().unwrap().write_all(&raw).unwrap();
+        }
+
+        // Depending on timing the first resend may be buffered by the
+        // kernel before the reset is visible; the retry-once-in-send plus
+        // at most one more call always lands it.
+        let mut delivered = false;
+        for _ in 0..50 {
+            if sender.send(&vec![entry(2, b"b")]).is_ok()
+                && rx.recv_timeout(Duration::from_millis(200)).is_ok()
+            {
+                delivered = true;
+                break;
+            }
+        }
+        assert!(delivered, "message re-delivered after connection drop");
+        assert!(metrics.reconnects.get() >= 1);
+        shutdown.signal();
+    }
+
+    #[test]
+    fn reply_to_roundtrips_over_the_hub() {
+        let (tx, rx) = bounded::<chariots_types::Result<Vec<(TOId, LId)>>>(1);
+        let encoded = encode_to_vec(&ReplyTo::local(tx));
+        let decoded: ReplyTo<chariots_types::Result<Vec<(TOId, LId)>>> =
+            chariots_types::decode_exact(Bytes::from(encoded)).unwrap();
+        assert!(matches!(decoded, ReplyTo::Remote(_)));
+        assert!(decoded.send(Ok(vec![(TOId(3), LId(9))])));
+        let got = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(got, Ok(vec![(TOId(3), LId(9))]));
+    }
+
+    #[test]
+    fn dropping_remote_reply_disconnects_the_waiter() {
+        let (tx, rx) = bounded::<LId>(1);
+        let encoded = encode_to_vec(&ReplyTo::local(tx));
+        let decoded: ReplyTo<LId> = chariots_types::decode_exact(Bytes::from(encoded)).unwrap();
+        drop(decoded); // tombstone
+        match rx.recv_timeout(Duration::from_secs(5)) {
+            Err(RecvTimeoutError::Disconnected) => {}
+            other => panic!("expected disconnect, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forwarded_reply_suppresses_tombstone_and_still_delivers() {
+        let (tx, rx) = bounded::<LId>(1);
+        let hop1 = encode_to_vec(&ReplyTo::local(tx));
+        let mid: ReplyTo<LId> = chariots_types::decode_exact(Bytes::from(hop1)).unwrap();
+        // The middle hop forwards the request onward: re-encode, then drop
+        // its copy. The tombstone must be suppressed.
+        let hop2 = encode_to_vec(&mid);
+        drop(mid);
+        let end: ReplyTo<LId> = chariots_types::decode_exact(Bytes::from(hop2)).unwrap();
+        assert!(end.send(LId(42)));
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), LId(42));
+    }
+
+    #[test]
+    fn double_send_on_remote_reply_is_rejected() {
+        let (tx, rx) = bounded::<LId>(2);
+        let encoded = encode_to_vec(&ReplyTo::local(tx));
+        let decoded: ReplyTo<LId> = chariots_types::decode_exact(Bytes::from(encoded)).unwrap();
+        assert!(decoded.send(LId(1)));
+        assert!(!decoded.send(LId(2)), "remote replies are one-shot");
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), LId(1));
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Cutting the stream at *every* byte boundary never loses,
+            /// duplicates, or corrupts a frame: the decoder yields exactly
+            /// the frames whose bytes have fully arrived.
+            #[test]
+            fn torn_frames_at_every_boundary(
+                payloads in proptest::collection::vec(
+                    proptest::collection::vec(any::<u8>(), 0..64), 1..6),
+                cut_seed in any::<u64>(),
+            ) {
+                let stream: Vec<u8> =
+                    payloads.iter().flat_map(|p| frame_bytes(p)).collect();
+                let cut = (cut_seed as usize) % (stream.len() + 1);
+                let mut dec = FrameDecoder::new();
+                let mut got = Vec::new();
+                for part in [&stream[..cut], &stream[cut..]] {
+                    dec.extend(part);
+                    while let Some(f) = dec.next_frame().unwrap() {
+                        got.push(f.to_vec());
+                    }
+                }
+                prop_assert_eq!(got, payloads);
+            }
+
+            /// A bit flip inside a payload is always caught by the CRC:
+            /// the poisoned frame is rejected, every other frame decodes
+            /// intact, and the decoder never panics or mis-frames.
+            #[test]
+            fn payload_bit_flip_is_rejected_without_desync(
+                payloads in proptest::collection::vec(
+                    proptest::collection::vec(any::<u8>(), 1..64), 1..6),
+                victim_seed in any::<u64>(),
+                bit in 0u8..8,
+            ) {
+                let victim = (victim_seed as usize) % payloads.len();
+                let mut stream = Vec::new();
+                let mut flip_at = None;
+                for (i, p) in payloads.iter().enumerate() {
+                    let start = stream.len();
+                    stream.extend_from_slice(&frame_bytes(p));
+                    if i == victim {
+                        let off = (victim_seed as usize) % p.len();
+                        flip_at = Some(start + FRAME_HEADER_BYTES + off);
+                    }
+                }
+                stream[flip_at.unwrap()] ^= 1 << bit;
+
+                let mut dec = FrameDecoder::new();
+                dec.extend(&stream);
+                let mut got = Vec::new();
+                let mut crc_errors = 0;
+                loop {
+                    match dec.next_frame() {
+                        Ok(Some(f)) => got.push(f.to_vec()),
+                        Ok(None) => break,
+                        Err(FrameError::CrcMismatch) => crc_errors += 1,
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                }
+                prop_assert_eq!(crc_errors, 1);
+                let expected: Vec<Vec<u8>> = payloads
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != victim)
+                    .map(|(_, p)| p.clone())
+                    .collect();
+                prop_assert_eq!(got, expected);
+            }
+
+            /// Flipping a bit *anywhere* (headers included) never panics
+            /// the decoder, and every frame it does yield carried a valid
+            /// CRC for its claimed extent.
+            #[test]
+            fn arbitrary_corruption_never_panics(
+                payloads in proptest::collection::vec(
+                    proptest::collection::vec(any::<u8>(), 0..32), 1..5),
+                pos_seed in any::<u64>(),
+                bit in 0u8..8,
+            ) {
+                let mut stream: Vec<u8> =
+                    payloads.iter().flat_map(|p| frame_bytes(p)).collect();
+                let pos = (pos_seed as usize) % stream.len();
+                stream[pos] ^= 1 << bit;
+                let mut dec = FrameDecoder::new();
+                dec.extend(&stream);
+                // Bounded pulls: poison and torn tails both terminate.
+                for _ in 0..(payloads.len() + 2) {
+                    match dec.next_frame() {
+                        Ok(Some(_)) | Err(FrameError::CrcMismatch) => {}
+                        Ok(None) | Err(FrameError::TooLarge(_)) => break,
+                    }
+                }
+            }
+        }
+    }
+}

@@ -52,6 +52,26 @@ pub enum CommitMode {
     PipelinedQuorum,
 }
 
+/// Which substrate carries messages between the deployment's machines.
+///
+/// The protocol code is byte-for-byte identical on both; only the seam
+/// under the stage handles changes (see `DESIGN.md` §15). `Simnet` (the
+/// default) keeps every link an in-process channel — deterministic, and
+/// the test/bench oracle. `Tcp` runs the intra-DC hops (client→batcher,
+/// batcher→filter, filter→queue, and the FLStore client↔maintainer RPCs)
+/// over real `TcpStream`s with length-prefixed CRC'd frames, so measured
+/// numbers are hardware-limited instead of queueing-model-limited.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransportMode {
+    /// In-process crossbeam channels behind the simnet substitution
+    /// (deterministic; zero serialization).
+    #[default]
+    Simnet,
+    /// Real TCP sockets on loopback/NICs: one serialization per batch,
+    /// vectored writes, per-peer connection reuse with reconnect-on-error.
+    Tcp,
+}
+
 /// Configuration of one datacenter's FLStore deployment (§5).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FLStoreConfig {
@@ -117,6 +137,11 @@ pub struct FLStoreConfig {
     /// can replay only the WAL suffix written since. `Duration::ZERO`
     /// disables checkpointing (recovery replays the whole log).
     pub checkpoint_interval: Duration,
+    /// Substrate carrying client↔maintainer RPCs: in-process channels
+    /// (default) or real TCP sockets. Replication, gossip, and control
+    /// traffic stay in-process either way (`DESIGN.md` §15).
+    #[serde(default)]
+    pub transport: TransportMode,
 }
 
 impl Default for FLStoreConfig {
@@ -139,6 +164,7 @@ impl Default for FLStoreConfig {
             wal_segment_bytes: 8 * 1024 * 1024,
             compact_live_frac_milli: 500,
             checkpoint_interval: Duration::from_secs(1),
+            transport: TransportMode::default(),
         }
     }
 }
@@ -246,6 +272,12 @@ impl FLStoreConfig {
     /// Sets the maintainer checkpoint interval (`Duration::ZERO` disables).
     pub fn checkpoint_interval(mut self, d: Duration) -> Self {
         self.checkpoint_interval = d;
+        self
+    }
+
+    /// Sets the transport substrate for client↔maintainer RPCs.
+    pub fn transport(mut self, t: TransportMode) -> Self {
+        self.transport = t;
         self
     }
 
@@ -383,6 +415,14 @@ pub struct ChariotsConfig {
     /// times for it. `0` disables tracing entirely; `1` traces every
     /// record (tests/debugging).
     pub trace_sample_every: u64,
+    /// Substrate carrying the intra-DC pipeline hops (client→batcher,
+    /// batcher→filter, filter→queue): in-process channels (default) or
+    /// real TCP sockets. WAN propagation and the token ring stay on the
+    /// simnet substrate either way (`DESIGN.md` §15). Set via
+    /// [`ChariotsConfig::transport`], which also switches the embedded
+    /// FLStore's RPC transport so the whole datacenter moves together.
+    #[serde(default)]
+    pub transport: TransportMode,
 }
 
 impl Default for ChariotsConfig {
@@ -401,6 +441,7 @@ impl Default for ChariotsConfig {
             sender_cache_max_records: 131_072,
             gc_keep_records: None,
             trace_sample_every: 64,
+            transport: TransportMode::default(),
         }
     }
 }
@@ -482,6 +523,14 @@ impl ChariotsConfig {
     /// Sets the record-trace sampling period (0 disables tracing).
     pub fn trace_sample_every(mut self, n: u64) -> Self {
         self.trace_sample_every = n;
+        self
+    }
+
+    /// Sets the transport substrate for the whole datacenter: the pipeline
+    /// hops *and* the embedded FLStore's client↔maintainer RPCs.
+    pub fn transport(mut self, t: TransportMode) -> Self {
+        self.transport = t;
+        self.flstore.transport = t;
         self
     }
 
@@ -674,6 +723,25 @@ mod tests {
         cfg.max_propagation_bytes = 4096;
         cfg.sender_cache_max_records = 0;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn transport_defaults_to_simnet_and_switches_both_layers() {
+        assert_eq!(ChariotsConfig::default().transport, TransportMode::Simnet);
+        assert_eq!(FLStoreConfig::default().transport, TransportMode::Simnet);
+        let cfg = ChariotsConfig::new().transport(TransportMode::Tcp);
+        assert_eq!(cfg.transport, TransportMode::Tcp);
+        assert_eq!(
+            cfg.flstore.transport,
+            TransportMode::Tcp,
+            "the datacenter-level knob moves the embedded FLStore too"
+        );
+        assert!(cfg.validate().is_ok());
+        // Configs persisted before the knob existed still deserialize.
+        let mut json: serde_json::Value = serde_json::to_value(FLStoreConfig::default()).unwrap();
+        json.as_object_mut().unwrap().remove("transport");
+        let legacy: FLStoreConfig = serde_json::from_value(json).unwrap();
+        assert_eq!(legacy.transport, TransportMode::Simnet);
     }
 
     #[test]

@@ -61,6 +61,11 @@ pub enum ChariotsError {
     ShutDown,
     /// Persistent storage failed (segment I/O).
     Storage(String),
+    /// A transport-level I/O fault: connection reset, reconnect in
+    /// progress, or a frame failing its CRC. Transient by construction —
+    /// the TCP backend reconnects on the next send, so `RetryPolicy`-driven
+    /// clients ride these out like failover windows.
+    Transport(String),
 }
 
 impl fmt::Display for ChariotsError {
@@ -104,6 +109,7 @@ impl fmt::Display for ChariotsError {
             ),
             ChariotsError::ShutDown => write!(f, "component is shut down"),
             ChariotsError::Storage(msg) => write!(f, "storage error: {msg}"),
+            ChariotsError::Transport(msg) => write!(f, "transport error: {msg}"),
         }
     }
 }

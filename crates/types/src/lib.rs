@@ -16,6 +16,9 @@
 //! * [`rules`] — the [`ReadRule`] predicate language of the `Read` API.
 //! * [`config`] — builder-style deployment configuration.
 //! * [`error`] — [`ChariotsError`] and the workspace [`Result`] alias.
+//! * [`wire`] — the hand-rolled [`Wire`] codec the TCP transport backend
+//!   serializes with (zero-copy record bodies via [`WireReader`]), plus
+//!   the shared [`crc32`] used by both the WAL and transport frames.
 //!
 //! ```
 //! use chariots_types::{DatacenterId, Record, RecordBuilder, Tag, TOId, RecordId, VersionVector};
@@ -41,15 +44,19 @@ pub mod error;
 pub mod ids;
 pub mod record;
 pub mod rules;
+pub mod wire;
 
 pub use causality::{compare, CausalOrder, VersionVector};
-pub use config::{ChariotsConfig, CommitMode, FLStoreConfig, StageCounts, WalSyncPolicy};
+pub use config::{
+    ChariotsConfig, CommitMode, FLStoreConfig, StageCounts, TransportMode, WalSyncPolicy,
+};
 pub use error::{ChariotsError, Result};
 pub use ids::{
     ClientId, DatacenterId, Epoch, Generation, LId, MaintainerId, RecordId, TOId, TraceId,
 };
 pub use record::{Entry, Record, RecordBuilder, Tag, TagSet, TagValue};
 pub use rules::{Condition, Limit, ReadRule, ValuePredicate};
+pub use wire::{crc32, decode_exact, encode_to_vec, Wire, WireReader};
 
 #[cfg(test)]
 mod proptests {
@@ -59,6 +66,37 @@ mod proptests {
     fn arb_vv(n: usize) -> impl Strategy<Value = VersionVector> {
         proptest::collection::vec(0u64..64, n)
             .prop_map(|v| VersionVector::from_entries(v.into_iter().map(TOId).collect()))
+    }
+
+    fn arb_tag() -> impl Strategy<Value = Tag> {
+        (
+            "[a-z]{0,6}",
+            proptest::option::of(prop_oneof![
+                any::<i64>().prop_map(TagValue::Int),
+                "[ -~]{0,12}".prop_map(TagValue::Str),
+            ]),
+        )
+            .prop_map(|(key, value)| Tag { key, value })
+    }
+
+    fn arb_record() -> impl Strategy<Value = Record> {
+        (
+            0u16..4,
+            0u64..1_000_000,
+            arb_vv(3),
+            proptest::collection::vec(arb_tag(), 0..4),
+            proptest::collection::vec(any::<u8>(), 0..256),
+            proptest::option::of(any::<u64>().prop_map(TraceId)),
+        )
+            .prop_map(|(host, toid, deps, tags, body, trace)| {
+                Record::new(
+                    RecordId::new(DatacenterId(host), TOId(toid)),
+                    deps,
+                    TagSet::from_tags(tags),
+                    bytes::Bytes::from(body),
+                )
+                .with_trace(trace)
+            })
     }
 
     proptest! {
@@ -108,6 +146,33 @@ mod proptests {
                     prop_assert!(!a.dominates(&b) && !b.dominates(&a));
                 }
             }
+        }
+
+        /// The wire codec is lossless on arbitrary record batches —
+        /// including the trace id, which serde deliberately drops but the
+        /// TCP backend must carry.
+        #[test]
+        fn wire_roundtrips_arbitrary_record_batches(
+            batch in proptest::collection::vec((0u64..1 << 40, arb_record()), 0..16),
+        ) {
+            let entries: Vec<Entry> =
+                batch.into_iter().map(|(l, r)| Entry::new(LId(l), r)).collect();
+            let buf = wire::encode_to_vec(&entries);
+            let back: Vec<Entry> =
+                wire::decode_exact(bytes::Bytes::from(buf)).expect("decodes");
+            prop_assert_eq!(back.len(), entries.len());
+            for (b, e) in back.iter().zip(entries.iter()) {
+                prop_assert_eq!(b, e);
+                prop_assert_eq!(b.record.trace, e.record.trace);
+            }
+        }
+
+        /// Decoding arbitrary garbage never panics; it either produces a
+        /// value or rejects cleanly.
+        #[test]
+        fn wire_decode_of_garbage_never_panics(raw in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let mut r = WireReader::new(bytes::Bytes::from(raw));
+            let _ = Vec::<Entry>::decode(&mut r);
         }
 
         /// ReadRule::apply with MostRecent(n) returns at most n entries in

@@ -45,4 +45,8 @@ cargo run --release -p chariots-bench --bin harness -- \
   --smoke --metrics-out target/bench-artifacts/elasticity-metrics.json \
   --timeline-out target/bench-artifacts/elasticity-timeline.json elasticity
 
+echo "==> wire smoke gate"
+cargo run --release -p chariots-bench --bin harness -- \
+  --smoke --metrics-out target/bench-artifacts/wire-metrics.json wire
+
 echo "All checks passed."
